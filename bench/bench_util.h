@@ -1,0 +1,71 @@
+#ifndef TMDB_BENCH_BENCH_UTIL_H_
+#define TMDB_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/database.h"
+
+namespace tmdb::bench {
+
+/// Aborts the bench with a readable message on any setup error — a bench
+/// with broken setup must not report numbers.
+inline void CheckOk(const Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "bench setup failed (%s): %s\n", what,
+                 status.ToString().c_str());
+    std::abort();
+  }
+}
+
+template <typename T>
+T CheckOk(Result<T> result, const char* what) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "bench failed (%s): %s\n", what,
+                 result.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(result).value();
+}
+
+/// Runs a query under a strategy/join policy, aborting on error.
+inline QueryResult MustRun(Database* db, const std::string& query,
+                           Strategy strategy,
+                           JoinImpl impl = JoinImpl::kAuto) {
+  RunOptions options;
+  options.strategy = strategy;
+  options.join_impl = impl;
+  return CheckOk(db->Run(query, options), query.c_str());
+}
+
+/// Cache of databases keyed by a config string, so google-benchmark's
+/// repeated invocations of a benchmark function reuse one loaded database.
+class DbCache {
+ public:
+  /// Returns the database for `key`, building it with `loader` on first use.
+  template <typename Loader>
+  Database* Get(const std::string& key, Loader loader) {
+    auto it = dbs_.find(key);
+    if (it == dbs_.end()) {
+      auto db = std::make_unique<Database>();
+      CheckOk(loader(db.get()), key.c_str());
+      it = dbs_.emplace(key, std::move(db)).first;
+    }
+    return it->second.get();
+  }
+
+ private:
+  std::map<std::string, std::unique_ptr<Database>> dbs_;
+};
+
+inline DbCache& GlobalDbCache() {
+  static auto& cache = *new DbCache();
+  return cache;
+}
+
+}  // namespace tmdb::bench
+
+#endif  // TMDB_BENCH_BENCH_UTIL_H_

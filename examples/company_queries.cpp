@@ -1,0 +1,91 @@
+// The paper's Section 3 company schema and example queries Q1 and Q2,
+// exercised end to end on generated data: complex-object attributes
+// (nested address tuples, set-valued children/emps), nesting in the WHERE
+// clause over a set-valued attribute (Q1 — not flattened, per the paper)
+// and nesting in the SELECT clause (Q2 — nest join).
+//
+//   ./build/examples/company_queries
+
+#include <cstdio>
+
+#include "core/database.h"
+#include "workload/generators.h"
+
+namespace {
+
+using tmdb::CompanyConfig;
+using tmdb::Database;
+using tmdb::LoadCompanyTables;
+using tmdb::RunOptions;
+using tmdb::Strategy;
+
+void Check(const tmdb::Status& status) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+template <typename T>
+T Check(tmdb::Result<T> result) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(result).value();
+}
+
+void RunAndShow(Database* db, const char* title, const std::string& query,
+                Strategy strategy) {
+  std::printf("---- %s ----\n%s\n", title, query.c_str());
+  RunOptions options;
+  options.strategy = strategy;
+  auto result = Check(db->Run(query, options));
+  std::printf("%s\n", result.ToString(8).c_str());
+}
+
+}  // namespace
+
+int main() {
+  Database db;
+  CompanyConfig config;
+  config.num_depts = 6;
+  config.num_emps = 40;
+  config.num_cities = 3;
+  Check(LoadCompanyTables(&db, config));
+
+  // Q1 (paper Section 3.2): departments that have at least one employee
+  // (by name, via the set-valued emps attribute) living in the same city
+  // the department is located. The paper's original compares address
+  // tuples of members of d.emps; with emps storing names here, we join
+  // through EMP. The set-valued iteration FROM d.emps stays nested —
+  // "there is no use to flatten" (Section 3.2).
+  const std::string q1 =
+      "SELECT d.dname FROM DEPT d WHERE "
+      "EXISTS e IN (SELECT m FROM EMP m WHERE m.name IN "
+      "(SELECT n FROM d.emps n)) (e.address.city = d.address.city)";
+  RunAndShow(&db, "Q1: departments with a local employee", q1,
+             Strategy::kNestJoin);
+
+  // Q2 (paper Section 3.2): for every department, its name and the
+  // employees living in the department's city — SELECT-clause nesting,
+  // processed by a nest join.
+  const std::string q2 =
+      "SELECT (dname = d.dname, emps = SELECT e.name FROM EMP e "
+      "WHERE e.address.city = d.address.city) FROM DEPT d";
+  RunAndShow(&db, "Q2: departments with co-located employees", q2,
+             Strategy::kNestJoin);
+
+  // Bonus: employees with at least 2 children, showing nested set-valued
+  // attributes in predicates.
+  const std::string q3 =
+      "SELECT (name = e.name, kids = count(e.children)) FROM EMP e "
+      "WHERE count(e.children) >= 2";
+  RunAndShow(&db, "Q3: employees with at least two children", q3,
+             Strategy::kNestJoin);
+
+  // Show how Q2 is planned: the subquery becomes a nest join.
+  std::printf("---- EXPLAIN Q2 ----\n%s\n",
+              Check(db.Explain(q2, Strategy::kNestJoin)).c_str());
+  return 0;
+}

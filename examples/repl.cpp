@@ -1,0 +1,119 @@
+// Interactive SFW shell over the paper's example databases.
+//
+//   ./build/examples/repl
+//
+// Statements:
+//   SELECT ... / CREATE TABLE ... / DEFINE SORT ... / INSERT INTO ... VALUES
+// Commands:
+//   \strategy <name>       naive | kim | outerjoin | nestjoin | nestjoin-only
+//   \explain <query>       show naive plan, rewrite decisions, final plans
+//   \tables                list tables and schemas
+//   \stats                 show counters of the last query
+//   \quit
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "base/string_util.h"
+#include "core/database.h"
+#include "workload/generators.h"
+
+namespace {
+
+using tmdb::Database;
+using tmdb::RunOptions;
+using tmdb::Status;
+using tmdb::StrategyName;
+using tmdb::Strategy;
+
+void CheckSetup(const Status& status) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "setup error: %s\n", status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+bool ParseStrategy(const std::string& name, Strategy* out) {
+  for (Strategy s : {Strategy::kNaive, Strategy::kKim, Strategy::kOuterJoin,
+                     Strategy::kNestJoin, Strategy::kNestJoinOnly}) {
+    if (name == StrategyName(s)) {
+      *out = s;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+int main() {
+  Database db;
+  // The Section 2 R/S schema and the Section 3 company schema side by side.
+  tmdb::CountBugConfig rs;
+  rs.num_r = 50;
+  rs.num_s = 100;
+  CheckSetup(LoadCountBugTables(&db, rs));
+  tmdb::CompanyConfig company;
+  company.num_depts = 5;
+  company.num_emps = 30;
+  CheckSetup(LoadCompanyTables(&db, company));
+
+  Strategy strategy = Strategy::kNestJoin;
+  tmdb::ExecStats last_stats;
+
+  std::printf("tmdb shell — tables R, S, EMP, DEPT loaded. \\quit to exit.\n");
+  std::string line;
+  while (true) {
+    std::printf("tmdb(%s)> ", StrategyName(strategy).c_str());
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    std::string input(tmdb::StripWhitespace(line));
+    if (input.empty()) continue;
+
+    if (input == "\\quit" || input == "\\q") break;
+    if (input == "\\tables") {
+      for (const std::string& name : db.catalog()->TableNames()) {
+        auto table = db.catalog()->GetTable(name);
+        if (table.ok()) {
+          std::printf("  %s : %s (%zu rows)\n", name.c_str(),
+                      (*table)->schema().ToString().c_str(),
+                      (*table)->NumRows());
+        }
+      }
+      continue;
+    }
+    if (input == "\\stats") {
+      std::printf("  %s\n", last_stats.ToString().c_str());
+      continue;
+    }
+    if (input.rfind("\\strategy", 0) == 0) {
+      std::string name(tmdb::StripWhitespace(input.substr(9)));
+      if (!ParseStrategy(name, &strategy)) {
+        std::printf("  unknown strategy '%s' (naive, kim, outerjoin, "
+                    "nestjoin, nestjoin-only)\n",
+                    name.c_str());
+      }
+      continue;
+    }
+    if (input.rfind("\\explain", 0) == 0) {
+      std::string query(tmdb::StripWhitespace(input.substr(8)));
+      auto explained = db.Explain(query, strategy);
+      std::printf("%s\n", explained.ok()
+                              ? explained->c_str()
+                              : explained.status().ToString().c_str());
+      continue;
+    }
+
+    RunOptions options;
+    options.strategy = strategy;
+    auto result = db.Execute(input, options);
+    if (!result.ok()) {
+      std::printf("  %s\n", result.status().ToString().c_str());
+      continue;
+    }
+    std::printf("%s", result->ToString(20).c_str());
+    if (result->is_query) last_stats = result->query.stats;
+  }
+  return 0;
+}

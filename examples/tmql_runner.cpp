@@ -1,0 +1,59 @@
+// Script runner: executes a .tmql file of ';'-separated statements
+// (CREATE TABLE / DEFINE SORT / INSERT / EXPLAIN / queries) and prints
+// each result.
+//
+//   ./build/examples/tmql_runner examples/company.tmql [strategy]
+//
+// With no arguments, runs the bundled demo script if found next to the
+// current working directory.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/database.h"
+
+namespace {
+
+using tmdb::Database;
+using tmdb::RunOptions;
+using tmdb::Strategy;
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n", message.c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string path = argc > 1 ? argv[1] : "examples/company.tmql";
+  RunOptions options;
+  if (argc > 2) {
+    const std::string name = argv[2];
+    bool found = false;
+    for (Strategy s :
+         {Strategy::kNaive, Strategy::kKim, Strategy::kOuterJoin,
+          Strategy::kNestJoin, Strategy::kNestJoinOnly}) {
+      if (name == tmdb::StrategyName(s)) {
+        options.strategy = s;
+        found = true;
+      }
+    }
+    if (!found) return Fail("unknown strategy '" + name + "'");
+  }
+
+  std::ifstream file(path);
+  if (!file) return Fail("cannot open " + path);
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+
+  Database db;
+  auto results = db.ExecuteScript(buffer.str(), options);
+  if (!results.ok()) return Fail(results.status().ToString());
+  for (const tmdb::StatementResult& result : *results) {
+    std::printf("%s\n", result.ToString(25).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,462 @@
+#include "algebra/logical_op.h"
+
+#include <utility>
+
+#include "base/logging.h"
+#include "base/string_util.h"
+#include "types/schema_ops.h"
+
+namespace tmdb {
+
+namespace {
+
+Status RequireBoolPred(const Expr& pred, const char* where) {
+  if (!pred.type().is_bool() && !pred.type().is_any()) {
+    return Status::TypeError(StrCat(where, " predicate must be boolean, got ",
+                                    pred.type().ToString()));
+  }
+  return Status::OK();
+}
+
+Status RequireTupleRows(const LogicalOpPtr& op, const char* where) {
+  if (op == nullptr) {
+    return Status::InvalidArgument(StrCat(where, ": null input plan"));
+  }
+  if (!op->output_type().is_tuple()) {
+    return Status::TypeError(StrCat(where, " requires tuple-shaped rows, got ",
+                                    op->output_type().ToString()));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<LogicalOpPtr> LogicalOp::Scan(std::shared_ptr<const Table> table) {
+  if (table == nullptr) {
+    return Status::InvalidArgument("Scan: null table");
+  }
+  auto op = std::shared_ptr<LogicalOp>(
+      new LogicalOp(OpKind::kScan, table->schema()));
+  op->table_ = std::move(table);
+  return LogicalOpPtr(op);
+}
+
+Result<LogicalOpPtr> LogicalOp::ExprSource(Expr expr) {
+  if (!expr.type().is_collection()) {
+    return Status::TypeError(
+        StrCat("ExprSource requires a set- or list-valued expression, got ",
+               expr.type().ToString()));
+  }
+  auto op = std::shared_ptr<LogicalOp>(
+      new LogicalOp(OpKind::kExprSource, expr.type().element()));
+  op->func_ = std::move(expr);
+  op->has_func_ = true;
+  return LogicalOpPtr(op);
+}
+
+Result<LogicalOpPtr> LogicalOp::Select(LogicalOpPtr input, std::string var,
+                                       Expr pred) {
+  if (input == nullptr) return Status::InvalidArgument("Select: null input");
+  TMDB_RETURN_IF_ERROR(RequireBoolPred(pred, "Select"));
+  auto op = std::shared_ptr<LogicalOp>(
+      new LogicalOp(OpKind::kSelect, input->output_type()));
+  op->inputs_ = {std::move(input)};
+  op->var_ = std::move(var);
+  op->pred_ = std::move(pred);
+  op->has_pred_ = true;
+  return LogicalOpPtr(op);
+}
+
+Result<LogicalOpPtr> LogicalOp::Map(LogicalOpPtr input, std::string var,
+                                    Expr expr) {
+  if (input == nullptr) return Status::InvalidArgument("Map: null input");
+  auto op = std::shared_ptr<LogicalOp>(
+      new LogicalOp(OpKind::kMap, expr.type()));
+  op->inputs_ = {std::move(input)};
+  op->var_ = std::move(var);
+  op->func_ = std::move(expr);
+  op->has_func_ = true;
+  return LogicalOpPtr(op);
+}
+
+Result<LogicalOpPtr> LogicalOp::Join(LogicalOpPtr left, LogicalOpPtr right,
+                                     std::string left_var,
+                                     std::string right_var, Expr pred) {
+  TMDB_RETURN_IF_ERROR(RequireTupleRows(left, "Join"));
+  TMDB_RETURN_IF_ERROR(RequireTupleRows(right, "Join"));
+  TMDB_RETURN_IF_ERROR(RequireBoolPred(pred, "Join"));
+  if (left_var == right_var) {
+    return Status::InvalidArgument("Join: variables must differ");
+  }
+  TMDB_ASSIGN_OR_RETURN(
+      Type out, ConcatTupleTypes(left->output_type(), right->output_type()));
+  auto op =
+      std::shared_ptr<LogicalOp>(new LogicalOp(OpKind::kJoin, std::move(out)));
+  op->inputs_ = {std::move(left), std::move(right)};
+  op->var_ = std::move(left_var);
+  op->right_var_ = std::move(right_var);
+  op->pred_ = std::move(pred);
+  op->has_pred_ = true;
+  return LogicalOpPtr(op);
+}
+
+Result<LogicalOpPtr> LogicalOp::SemiJoin(LogicalOpPtr left, LogicalOpPtr right,
+                                         std::string left_var,
+                                         std::string right_var, Expr pred) {
+  TMDB_RETURN_IF_ERROR(RequireTupleRows(left, "SemiJoin"));
+  TMDB_RETURN_IF_ERROR(RequireTupleRows(right, "SemiJoin"));
+  TMDB_RETURN_IF_ERROR(RequireBoolPred(pred, "SemiJoin"));
+  if (left_var == right_var) {
+    return Status::InvalidArgument("SemiJoin: variables must differ");
+  }
+  auto op = std::shared_ptr<LogicalOp>(
+      new LogicalOp(OpKind::kSemiJoin, left->output_type()));
+  op->inputs_ = {std::move(left), std::move(right)};
+  op->var_ = std::move(left_var);
+  op->right_var_ = std::move(right_var);
+  op->pred_ = std::move(pred);
+  op->has_pred_ = true;
+  return LogicalOpPtr(op);
+}
+
+Result<LogicalOpPtr> LogicalOp::AntiJoin(LogicalOpPtr left, LogicalOpPtr right,
+                                         std::string left_var,
+                                         std::string right_var, Expr pred) {
+  TMDB_RETURN_IF_ERROR(RequireTupleRows(left, "AntiJoin"));
+  TMDB_RETURN_IF_ERROR(RequireTupleRows(right, "AntiJoin"));
+  TMDB_RETURN_IF_ERROR(RequireBoolPred(pred, "AntiJoin"));
+  if (left_var == right_var) {
+    return Status::InvalidArgument("AntiJoin: variables must differ");
+  }
+  auto op = std::shared_ptr<LogicalOp>(
+      new LogicalOp(OpKind::kAntiJoin, left->output_type()));
+  op->inputs_ = {std::move(left), std::move(right)};
+  op->var_ = std::move(left_var);
+  op->right_var_ = std::move(right_var);
+  op->pred_ = std::move(pred);
+  op->has_pred_ = true;
+  return LogicalOpPtr(op);
+}
+
+Result<LogicalOpPtr> LogicalOp::OuterJoin(LogicalOpPtr left,
+                                          LogicalOpPtr right,
+                                          std::string left_var,
+                                          std::string right_var, Expr pred) {
+  TMDB_RETURN_IF_ERROR(RequireTupleRows(left, "OuterJoin"));
+  TMDB_RETURN_IF_ERROR(RequireTupleRows(right, "OuterJoin"));
+  TMDB_RETURN_IF_ERROR(RequireBoolPred(pred, "OuterJoin"));
+  if (left_var == right_var) {
+    return Status::InvalidArgument("OuterJoin: variables must differ");
+  }
+  TMDB_ASSIGN_OR_RETURN(
+      Type out, ConcatTupleTypes(left->output_type(), right->output_type()));
+  auto op = std::shared_ptr<LogicalOp>(
+      new LogicalOp(OpKind::kOuterJoin, std::move(out)));
+  op->inputs_ = {std::move(left), std::move(right)};
+  op->var_ = std::move(left_var);
+  op->right_var_ = std::move(right_var);
+  op->pred_ = std::move(pred);
+  op->has_pred_ = true;
+  return LogicalOpPtr(op);
+}
+
+Result<LogicalOpPtr> LogicalOp::NestJoin(LogicalOpPtr left, LogicalOpPtr right,
+                                         std::string left_var,
+                                         std::string right_var, Expr pred,
+                                         Expr func, std::string label) {
+  TMDB_RETURN_IF_ERROR(RequireTupleRows(left, "NestJoin"));
+  TMDB_RETURN_IF_ERROR(RequireTupleRows(right, "NestJoin"));
+  TMDB_RETURN_IF_ERROR(RequireBoolPred(pred, "NestJoin"));
+  if (left_var == right_var) {
+    return Status::InvalidArgument("NestJoin: variables must differ");
+  }
+  // The label must not occur on the top level of the left operand (paper,
+  // Section 6) — AddField enforces exactly that.
+  TMDB_ASSIGN_OR_RETURN(
+      Type out, AddField(left->output_type(), label, Type::Set(func.type())));
+  auto op = std::shared_ptr<LogicalOp>(
+      new LogicalOp(OpKind::kNestJoin, std::move(out)));
+  op->inputs_ = {std::move(left), std::move(right)};
+  op->var_ = std::move(left_var);
+  op->right_var_ = std::move(right_var);
+  op->pred_ = std::move(pred);
+  op->has_pred_ = true;
+  op->func_ = std::move(func);
+  op->has_func_ = true;
+  op->label_ = std::move(label);
+  return LogicalOpPtr(op);
+}
+
+Result<LogicalOpPtr> LogicalOp::Nest(LogicalOpPtr input,
+                                     std::vector<std::string> group_attrs,
+                                     std::string var, Expr elem,
+                                     std::string label,
+                                     bool null_group_to_empty) {
+  TMDB_RETURN_IF_ERROR(RequireTupleRows(input, "Nest"));
+  TMDB_ASSIGN_OR_RETURN(Type key_type,
+                        ProjectFields(input->output_type(), group_attrs));
+  TMDB_ASSIGN_OR_RETURN(Type out,
+                        AddField(key_type, label, Type::Set(elem.type())));
+  auto op =
+      std::shared_ptr<LogicalOp>(new LogicalOp(OpKind::kNest, std::move(out)));
+  op->inputs_ = {std::move(input)};
+  op->group_attrs_ = std::move(group_attrs);
+  op->var_ = std::move(var);
+  op->func_ = std::move(elem);
+  op->has_func_ = true;
+  op->label_ = std::move(label);
+  op->null_group_to_empty_ = null_group_to_empty;
+  return LogicalOpPtr(op);
+}
+
+Result<LogicalOpPtr> LogicalOp::Unnest(LogicalOpPtr input, std::string attr) {
+  TMDB_RETURN_IF_ERROR(RequireTupleRows(input, "Unnest"));
+  TMDB_ASSIGN_OR_RETURN(Type attr_type, input->output_type().FieldType(attr));
+  if (!attr_type.is_set() || !attr_type.element().is_tuple()) {
+    return Status::TypeError(
+        StrCat("Unnest requires a set-of-tuples attribute, '", attr, "' is ",
+               attr_type.ToString()));
+  }
+  TMDB_ASSIGN_OR_RETURN(Type rest, RemoveField(input->output_type(), attr));
+  TMDB_ASSIGN_OR_RETURN(Type out, ConcatTupleTypes(rest, attr_type.element()));
+  auto op = std::shared_ptr<LogicalOp>(
+      new LogicalOp(OpKind::kUnnest, std::move(out)));
+  op->inputs_ = {std::move(input)};
+  op->unnest_attr_ = std::move(attr);
+  return LogicalOpPtr(op);
+}
+
+Result<LogicalOpPtr> LogicalOp::Union(LogicalOpPtr left, LogicalOpPtr right) {
+  if (left == nullptr || right == nullptr) {
+    return Status::InvalidArgument("Union: null input");
+  }
+  TMDB_ASSIGN_OR_RETURN(
+      Type out, UnifyTypes(left->output_type(), right->output_type()));
+  auto op = std::shared_ptr<LogicalOp>(
+      new LogicalOp(OpKind::kUnion, std::move(out)));
+  op->inputs_ = {std::move(left), std::move(right)};
+  return LogicalOpPtr(op);
+}
+
+Result<LogicalOpPtr> LogicalOp::Difference(LogicalOpPtr left,
+                                           LogicalOpPtr right) {
+  if (left == nullptr || right == nullptr) {
+    return Status::InvalidArgument("Difference: null input");
+  }
+  TMDB_ASSIGN_OR_RETURN(
+      Type out, UnifyTypes(left->output_type(), right->output_type()));
+  auto op = std::shared_ptr<LogicalOp>(
+      new LogicalOp(OpKind::kDifference, std::move(out)));
+  op->inputs_ = {std::move(left), std::move(right)};
+  return LogicalOpPtr(op);
+}
+
+const LogicalOpPtr& LogicalOp::input() const {
+  TMDB_CHECK(inputs_.size() == 1);
+  return inputs_[0];
+}
+
+const LogicalOpPtr& LogicalOp::left() const {
+  TMDB_CHECK(inputs_.size() == 2);
+  return inputs_[0];
+}
+
+const LogicalOpPtr& LogicalOp::right() const {
+  TMDB_CHECK(inputs_.size() == 2);
+  return inputs_[1];
+}
+
+const std::shared_ptr<const Table>& LogicalOp::table() const {
+  TMDB_CHECK(kind_ == OpKind::kScan);
+  return table_;
+}
+
+const std::string& LogicalOp::var() const { return var_; }
+const std::string& LogicalOp::left_var() const {
+  TMDB_CHECK(is_join_family());
+  return var_;
+}
+const std::string& LogicalOp::right_var() const {
+  TMDB_CHECK(is_join_family());
+  return right_var_;
+}
+
+const Expr& LogicalOp::pred() const {
+  TMDB_CHECK(has_pred_);
+  return pred_;
+}
+
+const Expr& LogicalOp::func() const {
+  TMDB_CHECK(has_func_);
+  return func_;
+}
+
+const std::string& LogicalOp::label() const {
+  TMDB_CHECK(kind_ == OpKind::kNestJoin || kind_ == OpKind::kNest);
+  return label_;
+}
+
+const std::vector<std::string>& LogicalOp::group_attrs() const {
+  TMDB_CHECK(kind_ == OpKind::kNest);
+  return group_attrs_;
+}
+
+bool LogicalOp::null_group_to_empty() const {
+  TMDB_CHECK(kind_ == OpKind::kNest);
+  return null_group_to_empty_;
+}
+
+const std::string& LogicalOp::unnest_attr() const {
+  TMDB_CHECK(kind_ == OpKind::kUnnest);
+  return unnest_attr_;
+}
+
+std::string LogicalOp::Describe() const {
+  switch (kind_) {
+    case OpKind::kScan:
+      return StrCat("Scan(", table_->name(), ")");
+    case OpKind::kExprSource:
+      return StrCat("ExprSource(", func_.ToString(), ")");
+    case OpKind::kSelect:
+      return StrCat("Select[", var_, " : ", pred_.ToString(), "]");
+    case OpKind::kMap:
+      return StrCat("Map[", var_, " : ", func_.ToString(), "]");
+    case OpKind::kJoin:
+    case OpKind::kSemiJoin:
+    case OpKind::kAntiJoin:
+    case OpKind::kOuterJoin:
+      return StrCat(OpKindName(kind_), "[", var_, ",", right_var_, " : ",
+                    pred_.ToString(), "]");
+    case OpKind::kNestJoin:
+      return StrCat("NestJoin[", var_, ",", right_var_, " : ",
+                    pred_.ToString(), ", G = ", func_.ToString(), "; ", label_,
+                    "]");
+    case OpKind::kNest:
+      return StrCat(null_group_to_empty_ ? "Nest*" : "Nest", "[by (",
+                    ::tmdb::Join(group_attrs_, ", "), "), ", var_, " : ",
+                    func_.ToString(), "; ", label_, "]");
+    case OpKind::kUnnest:
+      return StrCat("Unnest[", unnest_attr_, "]");
+    case OpKind::kUnion:
+      return "Union";
+    case OpKind::kDifference:
+      return "Difference";
+  }
+  return "?";
+}
+
+namespace {
+
+void PrintTree(const LogicalOp& op, int depth, std::string* out) {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  out->append(op.Describe());
+  out->append("\n");
+  for (const LogicalOpPtr& child : op.inputs()) {
+    PrintTree(*child, depth + 1, out);
+  }
+}
+
+}  // namespace
+
+std::string LogicalOp::ToString() const {
+  std::string out;
+  PrintTree(*this, 0, &out);
+  return out;
+}
+
+namespace {
+
+void CollectPlanFreeVars(const LogicalOp& op,
+                         const std::set<std::string>& bound,
+                         std::set<std::string>* out) {
+  // Variables bound by this operator, visible to its own expressions.
+  std::set<std::string> here = bound;
+  std::vector<const Expr*> exprs;
+  switch (op.op_kind()) {
+    case OpKind::kScan:
+      break;
+    case OpKind::kExprSource:
+      exprs.push_back(&op.func());
+      break;
+    case OpKind::kSelect:
+      here.insert(op.var());
+      exprs.push_back(&op.pred());
+      break;
+    case OpKind::kMap:
+      here.insert(op.var());
+      exprs.push_back(&op.func());
+      break;
+    case OpKind::kJoin:
+    case OpKind::kSemiJoin:
+    case OpKind::kAntiJoin:
+    case OpKind::kOuterJoin:
+      here.insert(op.left_var());
+      here.insert(op.right_var());
+      exprs.push_back(&op.pred());
+      break;
+    case OpKind::kNestJoin:
+      here.insert(op.left_var());
+      here.insert(op.right_var());
+      exprs.push_back(&op.pred());
+      exprs.push_back(&op.func());
+      break;
+    case OpKind::kNest:
+      here.insert(op.var());
+      exprs.push_back(&op.func());
+      break;
+    case OpKind::kUnnest:
+    case OpKind::kUnion:
+    case OpKind::kDifference:
+      break;
+  }
+  for (const Expr* e : exprs) {
+    for (const std::string& v : e->FreeVars()) {
+      if (here.count(v) == 0) out->insert(v);
+    }
+  }
+  for (const LogicalOpPtr& child : op.inputs()) {
+    CollectPlanFreeVars(*child, bound, out);
+  }
+}
+
+}  // namespace
+
+std::set<std::string> PlanFreeVars(const LogicalOp& plan) {
+  std::set<std::string> out;
+  CollectPlanFreeVars(plan, {}, &out);
+  return out;
+}
+
+std::string OpKindName(OpKind kind) {
+  switch (kind) {
+    case OpKind::kScan:
+      return "Scan";
+    case OpKind::kExprSource:
+      return "ExprSource";
+    case OpKind::kSelect:
+      return "Select";
+    case OpKind::kMap:
+      return "Map";
+    case OpKind::kJoin:
+      return "Join";
+    case OpKind::kSemiJoin:
+      return "SemiJoin";
+    case OpKind::kAntiJoin:
+      return "AntiJoin";
+    case OpKind::kOuterJoin:
+      return "OuterJoin";
+    case OpKind::kNestJoin:
+      return "NestJoin";
+    case OpKind::kNest:
+      return "Nest";
+    case OpKind::kUnnest:
+      return "Unnest";
+    case OpKind::kUnion:
+      return "Union";
+    case OpKind::kDifference:
+      return "Difference";
+  }
+  return "?";
+}
+
+}  // namespace tmdb

@@ -1,0 +1,189 @@
+#ifndef TMDB_ALGEBRA_LOGICAL_OP_H_
+#define TMDB_ALGEBRA_LOGICAL_OP_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "catalog/table.h"
+#include "expr/expr.h"
+#include "types/type.h"
+
+namespace tmdb {
+
+class LogicalOp;
+using LogicalOpPtr = std::shared_ptr<const LogicalOp>;
+
+/// Operators of the complex-object algebra (an ADL-style extension of the
+/// NF² algebra of Schek/Scholl that the paper builds on), plus the paper's
+/// contribution: the nest join.
+enum class OpKind {
+  kScan,       // table extension
+  kExprSource, // iterate the elements of a (possibly correlated) set expr
+  kSelect,     // σ_{x : p(x)}
+  kMap,        // π / function application: { f(x) | x ∈ input } (a set!)
+  kJoin,       // X ⋈_{x,y : q} Y — output tuples x ++ y
+  kSemiJoin,   // X ⋉ Y — left tuples with a match
+  kAntiJoin,   // X ▷ Y — left tuples without a match
+  kOuterJoin,  // left outerjoin — dangling left tuples padded with NULLs
+  kNestJoin,   // X ▵_{x,y : q, G; a} Y — x ++ (a = {G(x,y) | match})
+  kNest,       // ν — group by attributes, collect the rest as a set
+  kUnnest,     // μ — flatten a set-valued attribute
+  kUnion,      // set union of equally-typed inputs
+  kDifference, // set difference
+};
+
+/// An immutable logical plan node. Plans are DAG-shaped shared trees; every
+/// node derives and stores its output row type at construction (factories
+/// type-check and return errors).
+///
+/// Predicates and functions reference the operators' iteration variables by
+/// name, exactly like the paper writes X ⋈_{x,y:Q(x,y)} Y. Inside a naive
+/// (unrewritten) plan they may additionally reference correlation variables
+/// bound by an enclosing subplan evaluation.
+class LogicalOp {
+ public:
+  // -- Factories (type-checked) ---------------------------------------------
+
+  static Result<LogicalOpPtr> Scan(std::shared_ptr<const Table> table);
+
+  /// Produces one row per element of the collection `expr` evaluates to.
+  /// Used for set-valued FROM operands (`FROM d.emps e`), which are stored
+  /// with the objects themselves and therefore never flattened (paper,
+  /// Section 3.2). `expr` may reference correlation variables.
+  static Result<LogicalOpPtr> ExprSource(Expr expr);
+
+  /// σ: keeps rows where pred(var := row) holds. pred must be boolean.
+  static Result<LogicalOpPtr> Select(LogicalOpPtr input, std::string var,
+                                     Expr pred);
+
+  /// Function application { expr(var := row) | row ∈ input }. The output is
+  /// a *set*: duplicates produced by the projection collapse (TM sets are
+  /// duplicate-free). Output rows may be any value kind, but most operators
+  /// downstream require tuples.
+  static Result<LogicalOpPtr> Map(LogicalOpPtr input, std::string var,
+                                  Expr expr);
+
+  static Result<LogicalOpPtr> Join(LogicalOpPtr left, LogicalOpPtr right,
+                                   std::string left_var, std::string right_var,
+                                   Expr pred);
+  static Result<LogicalOpPtr> SemiJoin(LogicalOpPtr left, LogicalOpPtr right,
+                                       std::string left_var,
+                                       std::string right_var, Expr pred);
+  static Result<LogicalOpPtr> AntiJoin(LogicalOpPtr left, LogicalOpPtr right,
+                                       std::string left_var,
+                                       std::string right_var, Expr pred);
+  /// Left outerjoin: matching pairs are concatenated; dangling left tuples
+  /// are padded with NULLs in the right attribute positions (the relational
+  /// repair of the COUNT bug — kept as the Ganski–Wong baseline).
+  static Result<LogicalOpPtr> OuterJoin(LogicalOpPtr left, LogicalOpPtr right,
+                                        std::string left_var,
+                                        std::string right_var, Expr pred);
+
+  /// The paper's nest join X ▵_{x,y : pred, func; label} Y: every left tuple
+  /// x is extended with (label = { func(x,y) | y ∈ Y, pred(x,y) }). Dangling
+  /// x get label = ∅ — grouping and dangling-tuple preservation in one
+  /// operator, no NULLs.
+  static Result<LogicalOpPtr> NestJoin(LogicalOpPtr left, LogicalOpPtr right,
+                                       std::string left_var,
+                                       std::string right_var, Expr pred,
+                                       Expr func, std::string label);
+
+  /// ν: groups rows by `group_attrs`; each output tuple is the group key
+  /// extended with (label = { elem(var := row) | row ∈ group }).
+  /// With `null_group_to_empty` (the ν* of the paper, after Scholl), an
+  /// element that is NULL or a tuple of only NULLs is dropped, so a group
+  /// consisting solely of outerjoin padding becomes the empty set.
+  static Result<LogicalOpPtr> Nest(LogicalOpPtr input,
+                                   std::vector<std::string> group_attrs,
+                                   std::string var, Expr elem,
+                                   std::string label,
+                                   bool null_group_to_empty);
+
+  /// μ: for each row, replaces the set-of-tuples attribute `attr` by the
+  /// attributes of each of its elements (one output row per element; rows
+  /// with attr = ∅ vanish — μ is not information-preserving, which is why
+  /// the nest join matters).
+  static Result<LogicalOpPtr> Unnest(LogicalOpPtr input, std::string attr);
+
+  static Result<LogicalOpPtr> Union(LogicalOpPtr left, LogicalOpPtr right);
+  static Result<LogicalOpPtr> Difference(LogicalOpPtr left,
+                                         LogicalOpPtr right);
+
+  // -- Accessors --------------------------------------------------------------
+
+  OpKind op_kind() const { return kind_; }
+  /// Type of the rows this operator produces.
+  const Type& output_type() const { return output_type_; }
+
+  /// Children: empty for kScan, one for unary ops, two for binary ops.
+  const std::vector<LogicalOpPtr>& inputs() const { return inputs_; }
+  const LogicalOpPtr& input() const;  // unary
+  const LogicalOpPtr& left() const;   // binary
+  const LogicalOpPtr& right() const;  // binary
+
+  /// kScan payload.
+  const std::shared_ptr<const Table>& table() const;
+
+  /// Iteration variable names. var() for unary ops; left_var()/right_var()
+  /// for join-family ops.
+  const std::string& var() const;
+  const std::string& left_var() const;
+  const std::string& right_var() const;
+
+  /// Predicate (kSelect and the join family).
+  const Expr& pred() const;
+  /// Map/Nest element function; NestJoin's G.
+  const Expr& func() const;
+  /// NestJoin / Nest grouping label.
+  const std::string& label() const;
+  /// kNest payload.
+  const std::vector<std::string>& group_attrs() const;
+  bool null_group_to_empty() const;
+  /// kUnnest payload.
+  const std::string& unnest_attr() const;
+
+  bool is_join_family() const {
+    return kind_ == OpKind::kJoin || kind_ == OpKind::kSemiJoin ||
+           kind_ == OpKind::kAntiJoin || kind_ == OpKind::kOuterJoin ||
+           kind_ == OpKind::kNestJoin;
+  }
+
+  /// Multi-line tree rendering with operator parameters.
+  std::string ToString() const;
+  /// One-line operator description (no children).
+  std::string Describe() const;
+
+ private:
+  LogicalOp(OpKind kind, Type output_type)
+      : kind_(kind), output_type_(std::move(output_type)) {}
+
+  OpKind kind_;
+  Type output_type_;
+  std::vector<LogicalOpPtr> inputs_;
+  std::shared_ptr<const Table> table_;  // kScan
+  std::string var_;                      // unary iteration var
+  std::string right_var_;                // join-family right var
+  Expr pred_;                            // kSelect, joins
+  Expr func_;                            // kMap, kNestJoin G, kNest elem
+  std::string label_;                    // kNestJoin, kNest
+  std::vector<std::string> group_attrs_; // kNest
+  bool null_group_to_empty_ = false;     // kNest
+  std::string unnest_attr_;              // kUnnest
+  bool has_pred_ = false;
+  bool has_func_ = false;
+};
+
+/// Human-readable operator name ("NestJoin", "SemiJoin", ...).
+std::string OpKindName(OpKind kind);
+
+/// Variables occurring free in the plan: referenced by some operator's
+/// expression but bound neither by that operator nor anywhere below. For a
+/// correlated subquery plan these are exactly its correlation variables.
+std::set<std::string> PlanFreeVars(const LogicalOp& plan);
+
+}  // namespace tmdb
+
+#endif  // TMDB_ALGEBRA_LOGICAL_OP_H_

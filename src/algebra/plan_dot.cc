@@ -1,0 +1,131 @@
+#include "algebra/plan_dot.h"
+
+#include <vector>
+
+#include "algebra/subplan.h"
+#include "base/string_util.h"
+
+namespace tmdb {
+
+namespace {
+
+// Local subplan collector (the richer one lives in rewrite/, which sits
+// above this library).
+void CollectSubplanExprs(const Expr& e, std::vector<Expr>* out) {
+  switch (e.expr_kind()) {
+    case ExprKind::kSubplan:
+      out->push_back(e);
+      return;
+    case ExprKind::kFieldAccess:
+      CollectSubplanExprs(e.field_base(), out);
+      return;
+    case ExprKind::kBinary:
+      CollectSubplanExprs(e.lhs(), out);
+      CollectSubplanExprs(e.rhs(), out);
+      return;
+    case ExprKind::kUnary:
+      CollectSubplanExprs(e.operand(), out);
+      return;
+    case ExprKind::kQuantifier:
+      CollectSubplanExprs(e.quant_collection(), out);
+      CollectSubplanExprs(e.quant_pred(), out);
+      return;
+    case ExprKind::kAggregate:
+      CollectSubplanExprs(e.agg_arg(), out);
+      return;
+    case ExprKind::kTupleCtor:
+    case ExprKind::kSetCtor:
+      for (const Expr& c : e.ctor_elements()) CollectSubplanExprs(c, out);
+      return;
+    case ExprKind::kLiteral:
+    case ExprKind::kVarRef:
+      return;
+  }
+}
+
+std::string DotEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+class DotBuilder {
+ public:
+  std::string Build(const LogicalOp& plan) {
+    out_ = "digraph plan {\n  rankdir=BT;\n  node [shape=box, "
+           "fontname=\"monospace\", fontsize=10];\n";
+    Emit(plan);
+    out_ += "}\n";
+    return out_;
+  }
+
+ private:
+  /// Emits the node for `op` (and its subtree); returns its dot id.
+  std::string Emit(const LogicalOp& op) {
+    const std::string id = StrCat("n", counter_++);
+    out_ += StrCat("  ", id, " [label=\"", DotEscape(op.Describe()),
+                   "\"];\n");
+    for (const LogicalOpPtr& child : op.inputs()) {
+      const std::string child_id = Emit(*child);
+      out_ += StrCat("  ", child_id, " -> ", id, ";\n");
+    }
+    // Correlated subplans inside this operator's expressions appear as
+    // dashed clusters pointing at the operator that evaluates them.
+    std::vector<const Expr*> exprs;
+    switch (op.op_kind()) {
+      case OpKind::kSelect:
+        exprs.push_back(&op.pred());
+        break;
+      case OpKind::kMap:
+      case OpKind::kExprSource:
+        exprs.push_back(&op.func());
+        break;
+      case OpKind::kJoin:
+      case OpKind::kSemiJoin:
+      case OpKind::kAntiJoin:
+      case OpKind::kOuterJoin:
+        exprs.push_back(&op.pred());
+        break;
+      case OpKind::kNestJoin:
+        exprs.push_back(&op.pred());
+        exprs.push_back(&op.func());
+        break;
+      case OpKind::kNest:
+        exprs.push_back(&op.func());
+        break;
+      default:
+        break;
+    }
+    for (const Expr* e : exprs) {
+      std::vector<Expr> subs;
+      CollectSubplanExprs(*e, &subs);
+      for (const Expr& sub : subs) {
+        const auto& plan_subplan =
+            static_cast<const PlanSubplan&>(sub.subplan());
+        const std::string cluster = StrCat("cluster_sub", counter_++);
+        out_ += StrCat("  subgraph ", cluster,
+                       " {\n  style=dashed; label=\"correlated subquery\";\n");
+        const std::string sub_id = Emit(*plan_subplan.plan());
+        out_ += "  }\n";
+        out_ += StrCat("  ", sub_id, " -> ", id, " [style=dashed];\n");
+      }
+    }
+    return id;
+  }
+
+  std::string out_;
+  int counter_ = 0;
+};
+
+}  // namespace
+
+std::string PlanToDot(const LogicalOp& plan) {
+  DotBuilder builder;
+  return builder.Build(plan);
+}
+
+}  // namespace tmdb

@@ -1,0 +1,17 @@
+#ifndef TMDB_ALGEBRA_PLAN_DOT_H_
+#define TMDB_ALGEBRA_PLAN_DOT_H_
+
+#include <string>
+
+#include "algebra/logical_op.h"
+
+namespace tmdb {
+
+/// Renders a logical plan as a Graphviz digraph (one node per operator,
+/// edges child → parent, correlated subplans expanded as dashed clusters).
+/// Paste into `dot -Tsvg` to visualise the shapes the unnester produces.
+std::string PlanToDot(const LogicalOp& plan);
+
+}  // namespace tmdb
+
+#endif  // TMDB_ALGEBRA_PLAN_DOT_H_

@@ -1,0 +1,24 @@
+#include "algebra/subplan.h"
+
+#include "base/string_util.h"
+
+namespace tmdb {
+
+std::string PlanSubplan::ToString() const {
+  // Single-line compression of the plan tree for embedding in expressions.
+  std::string tree = plan_->ToString();
+  for (char& c : tree) {
+    if (c == '\n') c = ' ';
+  }
+  return StrCat("SUBQUERY{ ", StripWhitespace(tree), " }");
+}
+
+Expr PlanSubplan::MakeExpr(LogicalOpPtr plan,
+                           std::set<std::string> free_vars) {
+  Type row_type = plan->output_type();
+  auto subplan = std::make_shared<PlanSubplan>(std::move(plan),
+                                               std::move(free_vars));
+  return Expr::Subplan(std::move(subplan), Type::Set(std::move(row_type)));
+}
+
+}  // namespace tmdb

@@ -1,0 +1,40 @@
+#ifndef TMDB_ALGEBRA_SUBPLAN_H_
+#define TMDB_ALGEBRA_SUBPLAN_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+
+#include "algebra/logical_op.h"
+#include "expr/expr.h"
+
+namespace tmdb {
+
+/// A correlated subquery embedded in an expression: the inner query block
+/// before unnesting. Evaluating one runs `plan` once per binding of its
+/// free variables and collects the rows into a set — exactly the paper's
+/// naive nested-loop semantics, which serves as the engine's ground truth.
+class PlanSubplan final : public SubplanBase {
+ public:
+  PlanSubplan(LogicalOpPtr plan, std::set<std::string> free_vars)
+      : plan_(std::move(plan)), free_vars_(std::move(free_vars)) {}
+
+  const LogicalOpPtr& plan() const { return plan_; }
+  const std::set<std::string>& free_vars() const override {
+    return free_vars_;
+  }
+
+  std::string ToString() const override;
+
+  /// Builds a subplan expression; its type is P(row type of `plan`).
+  static Expr MakeExpr(LogicalOpPtr plan, std::set<std::string> free_vars);
+
+ private:
+  LogicalOpPtr plan_;
+  std::set<std::string> free_vars_;
+};
+
+}  // namespace tmdb
+
+#endif  // TMDB_ALGEBRA_SUBPLAN_H_

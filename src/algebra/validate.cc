@@ -1,0 +1,198 @@
+#include "algebra/validate.h"
+
+#include <map>
+#include <string>
+
+#include "algebra/subplan.h"
+#include "base/string_util.h"
+
+namespace tmdb {
+
+namespace {
+
+using Scope = std::map<std::string, Type>;
+
+/// A variable reference with static type `ref` is compatible with the row
+/// type `actual` its producer emits. Rewrites may leave a reference typed
+/// with a *narrower* tuple (the row before labels were appended), so
+/// tuple compatibility is field-subset, not equality.
+bool RefCompatible(const Type& ref, const Type& actual) {
+  if (ref.is_any() || actual.is_any()) return true;
+  if (ref.is_tuple() && actual.is_tuple()) {
+    for (const Field& f : ref.fields()) {
+      int idx = actual.FieldIndex(f.name);
+      if (idx < 0) return false;
+      if (!RefCompatible(f.type, actual.fields()[static_cast<size_t>(idx)]
+                                     .type)) {
+        return false;
+      }
+    }
+    return true;
+  }
+  if (ref.is_numeric() && actual.is_numeric()) return true;
+  if (ref.kind() != actual.kind()) return false;
+  if (ref.is_collection()) return RefCompatible(ref.element(), actual.element());
+  return true;
+}
+
+Status CheckExpr(const Expr& e, const Scope& scope);
+Status ValidateNode(const LogicalOp& op, const Scope& outer);
+
+Status CheckSubplan(const Expr& e, const Scope& scope) {
+  const auto& subplan = static_cast<const PlanSubplan&>(e.subplan());
+  // Declared free variables must cover the actual ones...
+  for (const std::string& v : PlanFreeVars(*subplan.plan())) {
+    if (subplan.free_vars().count(v) == 0) {
+      return Status::Internal(
+          StrCat("subplan references '", v,
+                 "' but does not declare it as a free variable"));
+    }
+  }
+  // ...and the declared ones must be in scope here.
+  for (const std::string& v : subplan.free_vars()) {
+    if (scope.count(v) == 0) {
+      return Status::Internal(
+          StrCat("subplan free variable '", v, "' is not in scope"));
+    }
+  }
+  // The inner block is a plan in its own right, evaluated under the
+  // current scope (correlation).
+  return ValidateNode(*subplan.plan(), scope);
+}
+
+Status CheckExpr(const Expr& e, const Scope& scope) {
+  switch (e.expr_kind()) {
+    case ExprKind::kLiteral:
+      return Status::OK();
+    case ExprKind::kVarRef: {
+      auto it = scope.find(e.var_name());
+      if (it == scope.end()) {
+        return Status::Internal(
+            StrCat("variable '", e.var_name(), "' is not in scope"));
+      }
+      if (!RefCompatible(e.type(), it->second)) {
+        return Status::Internal(StrCat(
+            "variable '", e.var_name(), "' has static type ",
+            e.type().ToString(), " incompatible with producer row type ",
+            it->second.ToString()));
+      }
+      return Status::OK();
+    }
+    case ExprKind::kFieldAccess:
+      return CheckExpr(e.field_base(), scope);
+    case ExprKind::kBinary:
+      TMDB_RETURN_IF_ERROR(CheckExpr(e.lhs(), scope));
+      return CheckExpr(e.rhs(), scope);
+    case ExprKind::kUnary:
+      return CheckExpr(e.operand(), scope);
+    case ExprKind::kQuantifier: {
+      TMDB_RETURN_IF_ERROR(CheckExpr(e.quant_collection(), scope));
+      Scope inner = scope;
+      Type elem = e.quant_collection().type().is_collection()
+                      ? e.quant_collection().type().element()
+                      : Type::Any();
+      inner[e.quant_var()] = std::move(elem);
+      return CheckExpr(e.quant_pred(), inner);
+    }
+    case ExprKind::kAggregate:
+      return CheckExpr(e.agg_arg(), scope);
+    case ExprKind::kTupleCtor:
+    case ExprKind::kSetCtor:
+      for (const Expr& c : e.ctor_elements()) {
+        TMDB_RETURN_IF_ERROR(CheckExpr(c, scope));
+      }
+      return Status::OK();
+    case ExprKind::kSubplan:
+      return CheckSubplan(e, scope);
+  }
+  return Status::Internal("unhandled expression kind in validator");
+}
+
+Status RequireBool(const Expr& e, const char* where) {
+  if (!e.type().is_bool() && !e.type().is_any()) {
+    return Status::Internal(
+        StrCat(where, ": non-boolean predicate ", e.ToString()));
+  }
+  return Status::OK();
+}
+
+Status ValidateNode(const LogicalOp& op, const Scope& outer) {
+  // Validate children first (they see the same correlation scope).
+  for (const LogicalOpPtr& child : op.inputs()) {
+    TMDB_RETURN_IF_ERROR(ValidateNode(*child, outer));
+  }
+
+  Scope scope = outer;
+  switch (op.op_kind()) {
+    case OpKind::kScan:
+      return Status::OK();
+    case OpKind::kExprSource:
+      return CheckExpr(op.func(), outer);
+    case OpKind::kSelect: {
+      scope[op.var()] = op.input()->output_type();
+      TMDB_RETURN_IF_ERROR(RequireBool(op.pred(), "Select"));
+      return CheckExpr(op.pred(), scope);
+    }
+    case OpKind::kMap: {
+      scope[op.var()] = op.input()->output_type();
+      return CheckExpr(op.func(), scope);
+    }
+    case OpKind::kJoin:
+    case OpKind::kSemiJoin:
+    case OpKind::kAntiJoin:
+    case OpKind::kOuterJoin: {
+      scope[op.left_var()] = op.left()->output_type();
+      scope[op.right_var()] = op.right()->output_type();
+      TMDB_RETURN_IF_ERROR(RequireBool(op.pred(), "join"));
+      return CheckExpr(op.pred(), scope);
+    }
+    case OpKind::kNestJoin: {
+      const Type& left = op.left()->output_type();
+      if (left.is_tuple() && left.FieldIndex(op.label()) >= 0) {
+        return Status::Internal(StrCat("nest join label '", op.label(),
+                                       "' collides with a left attribute"));
+      }
+      scope[op.left_var()] = left;
+      scope[op.right_var()] = op.right()->output_type();
+      TMDB_RETURN_IF_ERROR(RequireBool(op.pred(), "NestJoin"));
+      TMDB_RETURN_IF_ERROR(CheckExpr(op.pred(), scope));
+      return CheckExpr(op.func(), scope);
+    }
+    case OpKind::kNest: {
+      const Type& input = op.input()->output_type();
+      for (const std::string& attr : op.group_attrs()) {
+        if (!input.is_tuple() || input.FieldIndex(attr) < 0) {
+          return Status::Internal(
+              StrCat("Nest groups by missing attribute '", attr, "'"));
+        }
+      }
+      scope[op.var()] = input;
+      return CheckExpr(op.func(), scope);
+    }
+    case OpKind::kUnnest: {
+      const Type& input = op.input()->output_type();
+      if (!input.is_tuple() || input.FieldIndex(op.unnest_attr()) < 0) {
+        return Status::Internal(StrCat("Unnest of missing attribute '",
+                                       op.unnest_attr(), "'"));
+      }
+      return Status::OK();
+    }
+    case OpKind::kUnion:
+    case OpKind::kDifference:
+      return Status::OK();
+  }
+  return Status::Internal("unhandled operator kind in validator");
+}
+
+}  // namespace
+
+Status ValidatePlan(const LogicalOp& plan) {
+  // Top-level plans have no correlation variables; correlated subplans
+  // embedded in expressions are checked via CheckSubplan with the scope at
+  // their use site (their inner operators are validated when the subplan
+  // is reached through the Expr walk — here we validate the *tree* of
+  // operators and the scoping of every expression they carry).
+  return ValidateNode(plan, {});
+}
+
+}  // namespace tmdb

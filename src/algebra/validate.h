@@ -1,0 +1,29 @@
+#ifndef TMDB_ALGEBRA_VALIDATE_H_
+#define TMDB_ALGEBRA_VALIDATE_H_
+
+#include "algebra/logical_op.h"
+#include "base/status.h"
+
+namespace tmdb {
+
+/// Structural well-formedness check for logical plans, run by tests after
+/// every rewrite. Verifies, for each operator:
+///
+///  - expressions reference only variables that are in scope (the
+///    operator's own iteration variables, plus — inside a correlated
+///    subplan — its declared free variables);
+///  - the static type recorded for each in-scope variable reference is
+///    *compatible* with the producing operator's row type (field-subset
+///    compatibility: rewrites may retype a variable to an extended row);
+///  - boolean positions hold boolean expressions;
+///  - nest join labels do not collide with left-operand attributes
+///    (enforced at construction, re-checked here);
+///  - correlated subplans' declared free variables cover what their plans
+///    actually reference.
+///
+/// Returns the first violation found.
+Status ValidatePlan(const LogicalOp& plan);
+
+}  // namespace tmdb
+
+#endif  // TMDB_ALGEBRA_VALIDATE_H_

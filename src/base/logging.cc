@@ -1,0 +1,10 @@
+#include "base/logging.h"
+
+namespace tmdb::internal_logging {
+
+void CheckFail(const char* file, int line, const std::string& msg) {
+  std::cerr << file << ":" << line << ": " << msg << std::endl;
+  std::abort();
+}
+
+}  // namespace tmdb::internal_logging

@@ -1,0 +1,43 @@
+#ifndef TMDB_BASE_LOGGING_H_
+#define TMDB_BASE_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace tmdb::internal_logging {
+
+/// Prints the failure message and aborts. Out-of-line so the macro below
+/// stays small at every call site.
+[[noreturn]] void CheckFail(const char* file, int line, const std::string& msg);
+
+}  // namespace tmdb::internal_logging
+
+/// Aborts with a diagnostic when `cond` is false. Used for programming-error
+/// invariants (not for data-dependent errors, which use Status). Enabled in
+/// all build types: this engine is a research artifact where a loud failure
+/// beats silent corruption.
+#define TMDB_CHECK(cond)                                                   \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::tmdb::internal_logging::CheckFail(__FILE__, __LINE__,              \
+                                          "TMDB_CHECK failed: " #cond);    \
+    }                                                                      \
+  } while (false)
+
+#define TMDB_CHECK_MSG(cond, msg)                                          \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::ostringstream _tmdb_oss;                                        \
+      _tmdb_oss << "TMDB_CHECK failed: " #cond << " — " << msg;            \
+    ::tmdb::internal_logging::CheckFail(__FILE__, __LINE__, _tmdb_oss.str()); \
+    }                                                                      \
+  } while (false)
+
+/// Marks unreachable code paths.
+#define TMDB_UNREACHABLE(msg)                                              \
+  ::tmdb::internal_logging::CheckFail(__FILE__, __LINE__,                  \
+                                      std::string("unreachable: ") + (msg))
+
+#endif  // TMDB_BASE_LOGGING_H_

@@ -1,0 +1,110 @@
+#ifndef TMDB_BASE_RANDOM_H_
+#define TMDB_BASE_RANDOM_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "base/logging.h"
+
+namespace tmdb {
+
+/// Small deterministic PRNG (xorshift128+). Workload generators and property
+/// tests use this instead of std::mt19937 so that generated databases are
+/// identical across platforms and standard-library versions — a failing seed
+/// reported by CI reproduces exactly on a laptop.
+class Random {
+ public:
+  explicit Random(uint64_t seed) {
+    // SplitMix64 seeding: avoids the all-zero state and decorrelates nearby
+    // seeds.
+    uint64_t z = seed + 0x9e3779b97f4a7c15ULL;
+    s0_ = Mix(&z);
+    s1_ = Mix(&z);
+    if (s0_ == 0 && s1_ == 0) s1_ = 1;
+  }
+
+  /// Uniform 64-bit value.
+  uint64_t Next() {
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  uint64_t Uniform(uint64_t n) {
+    TMDB_CHECK(n > 0);
+    return Next() % n;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    TMDB_CHECK(lo <= hi);
+    return lo + static_cast<int64_t>(
+                    Uniform(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Bernoulli draw with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+ private:
+  static uint64_t Mix(uint64_t* z) {
+    uint64_t x = (*z += 0x9e3779b97f4a7c15ULL);
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+  }
+
+  uint64_t s0_;
+  uint64_t s1_;
+};
+
+/// Zipf-distributed sampler over [0, n): P(k) ∝ 1 / (k+1)^s. Used by the
+/// skew benchmarks — grouped joins (nest join, ν) are sensitive to key
+/// skew because group sizes follow the key distribution. s = 0 degrades to
+/// uniform. Precomputes the CDF (laptop-scale n), samples by binary
+/// search; deterministic given the underlying Random.
+class Zipf {
+ public:
+  Zipf(size_t n, double s) : cdf_(n) {
+    TMDB_CHECK(n > 0);
+    double total = 0.0;
+    for (size_t k = 0; k < n; ++k) {
+      total += 1.0 / std::pow(static_cast<double>(k + 1), s);
+      cdf_[k] = total;
+    }
+    for (size_t k = 0; k < n; ++k) cdf_[k] /= total;
+  }
+
+  /// Draws one sample using `rng`.
+  uint64_t Next(Random* rng) const {
+    const double u = rng->NextDouble();
+    // First index whose cumulative probability reaches u.
+    size_t lo = 0;
+    size_t hi = cdf_.size() - 1;
+    while (lo < hi) {
+      const size_t mid = (lo + hi) / 2;
+      if (cdf_[mid] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace tmdb
+
+#endif  // TMDB_BASE_RANDOM_H_

@@ -1,0 +1,86 @@
+#ifndef TMDB_BASE_RESULT_H_
+#define TMDB_BASE_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "base/status.h"
+
+namespace tmdb {
+
+/// Holds either a value of type T or a non-OK Status (Arrow-style). Fallible
+/// value-producing functions return Result<T>; the value is accessed only
+/// after checking ok().
+///
+/// Result is implicitly constructible from both T and Status so that
+/// `return value;` and `return Status::TypeError(...)` both work.
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (implicit by design, like arrow::Result).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs from an error status. Must not be OK: an OK status carries
+  /// no value and would leave the Result unusable.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` if this holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;  // OK iff value_ holds a value
+  std::optional<T> value_;
+};
+
+/// Evaluates `rexpr` (a Result<T>), propagating errors; on success binds the
+/// value to `lhs`. `lhs` may include a declaration: TMDB_ASSIGN_OR_RETURN(auto
+/// x, F());
+#define TMDB_ASSIGN_OR_RETURN(lhs, rexpr)                            \
+  TMDB_ASSIGN_OR_RETURN_IMPL_(                                       \
+      TMDB_RESULT_CONCAT_(_tmdb_result_, __LINE__), lhs, rexpr)
+
+#define TMDB_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value()
+
+#define TMDB_RESULT_CONCAT_(a, b) TMDB_RESULT_CONCAT_2_(a, b)
+#define TMDB_RESULT_CONCAT_2_(a, b) a##b
+
+}  // namespace tmdb
+
+#endif  // TMDB_BASE_RESULT_H_

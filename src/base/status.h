@@ -1,0 +1,96 @@
+#ifndef TMDB_BASE_STATUS_H_
+#define TMDB_BASE_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace tmdb {
+
+/// Error categories used throughout the engine. The set is deliberately
+/// small: callers branch on "did it work" far more often than on the
+/// specific category, which mostly serves diagnostics.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // caller passed something malformed
+  kNotFound,          // named entity (table, attribute, variable) missing
+  kAlreadyExists,     // duplicate definition
+  kTypeError,         // expression/type mismatch detected by sema or algebra
+  kParseError,        // lexer/parser rejected the input
+  kUnsupported,       // recognised but not implemented feature
+  kInternal,          // invariant violation inside the engine
+};
+
+/// Returns a stable human-readable name ("TypeError", ...) for a code.
+const char* StatusCodeName(StatusCode code);
+
+/// A cheap, copyable success-or-error value (Arrow/Abseil style). The engine
+/// is built without exceptions; every fallible function returns Status or
+/// Result<T>.
+///
+/// An OK status stores no message and allocates nothing.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  /// Prefixes the message with more context, keeping the code. No-op on OK.
+  Status WithContext(const std::string& context) const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Propagates a non-OK Status to the caller. Usable in any function that
+/// returns Status (or Result<T>, via the implicit conversion).
+#define TMDB_RETURN_IF_ERROR(expr)                  \
+  do {                                              \
+    ::tmdb::Status _tmdb_status = (expr);           \
+    if (!_tmdb_status.ok()) return _tmdb_status;    \
+  } while (false)
+
+}  // namespace tmdb
+
+#endif  // TMDB_BASE_STATUS_H_

@@ -1,0 +1,44 @@
+#ifndef TMDB_BASE_STRING_UTIL_H_
+#define TMDB_BASE_STRING_UTIL_H_
+
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tmdb {
+
+/// Joins the elements of `parts` with `sep` between them.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Splits `s` on `sep`, keeping empty pieces.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Returns `s` with leading/trailing ASCII whitespace removed.
+std::string_view StripWhitespace(std::string_view s);
+
+/// True if `s` starts with / ends with the given prefix/suffix.
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// ASCII lower-casing (the SFW language keywords are case-insensitive).
+std::string ToLower(std::string_view s);
+
+/// printf-free type-safe concatenation: StrCat(1, " + ", 2.5) == "1 + 2.5".
+template <typename... Args>
+std::string StrCat(const Args&... args) {
+  std::ostringstream oss;
+  (oss << ... << args);
+  return oss.str();
+}
+
+/// Indents every line of `text` by `spaces` spaces (used by plan printers).
+std::string IndentLines(const std::string& text, int spaces);
+
+/// Escapes a string for inclusion in a quoted literal: ", \ and control
+/// characters become backslash escapes.
+std::string EscapeString(std::string_view s);
+
+}  // namespace tmdb
+
+#endif  // TMDB_BASE_STRING_UTIL_H_

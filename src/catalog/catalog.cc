@@ -1,0 +1,75 @@
+#include "catalog/catalog.h"
+
+#include <utility>
+
+#include "base/string_util.h"
+
+namespace tmdb {
+
+Result<std::shared_ptr<Table>> Catalog::CreateTable(const std::string& name,
+                                                    Type schema) {
+  if (tables_.count(name) > 0) {
+    return Status::AlreadyExists(StrCat("table '", name, "' already exists"));
+  }
+  TMDB_ASSIGN_OR_RETURN(std::shared_ptr<Table> table,
+                        Table::Create(name, std::move(schema)));
+  tables_[name] = table;
+  return table;
+}
+
+Status Catalog::RegisterTable(std::shared_ptr<Table> table) {
+  if (table == nullptr) {
+    return Status::InvalidArgument("cannot register a null table");
+  }
+  if (tables_.count(table->name()) > 0) {
+    return Status::AlreadyExists(
+        StrCat("table '", table->name(), "' already exists"));
+  }
+  tables_[table->name()] = std::move(table);
+  return Status::OK();
+}
+
+Result<std::shared_ptr<Table>> Catalog::GetTable(
+    const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound(StrCat("no table named '", name, "'"));
+  }
+  return it->second;
+}
+
+bool Catalog::HasTable(const std::string& name) const {
+  return tables_.count(name) > 0;
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, table] : tables_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+Status Catalog::DefineSort(const std::string& name, Type type) {
+  if (sorts_.count(name) > 0) {
+    return Status::AlreadyExists(StrCat("sort '", name, "' already exists"));
+  }
+  if (!type.is_tuple()) {
+    return Status::TypeError(
+        StrCat("sort '", name, "' must be a tuple type, got ",
+               type.ToString()));
+  }
+  sorts_.emplace(name, std::move(type));
+  return Status::OK();
+}
+
+Result<Type> Catalog::GetSort(const std::string& name) const {
+  auto it = sorts_.find(name);
+  if (it == sorts_.end()) {
+    return Status::NotFound(StrCat("no sort named '", name, "'"));
+  }
+  return it->second;
+}
+
+}  // namespace tmdb

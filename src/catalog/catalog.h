@@ -1,0 +1,47 @@
+#ifndef TMDB_CATALOG_CATALOG_H_
+#define TMDB_CATALOG_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "catalog/table.h"
+#include "types/type.h"
+
+namespace tmdb {
+
+/// Name → table mapping for one database. Also stores named tuple types
+/// ("sorts" in TM, e.g. Address) so schemas can reference them by name when
+/// parsed from DDL-ish helper code.
+class Catalog {
+ public:
+  Catalog() = default;
+
+  // Copying a catalog would silently alias tables; forbid it.
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  /// Creates and registers an empty table.
+  Result<std::shared_ptr<Table>> CreateTable(const std::string& name,
+                                             Type schema);
+  /// Registers an existing table under its own name.
+  Status RegisterTable(std::shared_ptr<Table> table);
+
+  Result<std::shared_ptr<Table>> GetTable(const std::string& name) const;
+  bool HasTable(const std::string& name) const;
+  std::vector<std::string> TableNames() const;
+
+  /// Named tuple types (TM sorts).
+  Status DefineSort(const std::string& name, Type type);
+  Result<Type> GetSort(const std::string& name) const;
+
+ private:
+  std::map<std::string, std::shared_ptr<Table>> tables_;
+  std::map<std::string, Type> sorts_;
+};
+
+}  // namespace tmdb
+
+#endif  // TMDB_CATALOG_CATALOG_H_

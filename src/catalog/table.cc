@@ -1,0 +1,64 @@
+#include "catalog/table.h"
+
+#include <unordered_set>
+#include <utility>
+
+#include "base/string_util.h"
+
+namespace tmdb {
+
+Result<std::shared_ptr<Table>> Table::Create(std::string name, Type schema) {
+  if (!schema.is_tuple()) {
+    return Status::TypeError(StrCat("table '", name,
+                                    "' requires a tuple schema, got ",
+                                    schema.ToString()));
+  }
+  if (name.empty()) {
+    return Status::InvalidArgument("table name must be non-empty");
+  }
+  return std::shared_ptr<Table>(new Table(std::move(name), std::move(schema)));
+}
+
+Status Table::Insert(Value row) {
+  if (!ConformsTo(row, schema_)) {
+    return Status::TypeError(StrCat("row ", row.ToString(),
+                                    " does not conform to schema of table '",
+                                    name_, "': ", schema_.ToString()));
+  }
+  // Extensions are sets: reject exact duplicates.
+  const uint64_t h = row.Hash();
+  auto [begin, end] = hash_index_.equal_range(h);
+  for (auto it = begin; it != end; ++it) {
+    if (rows_[it->second].Equals(row)) {
+      return Status::AlreadyExists(StrCat("duplicate row in table '", name_,
+                                          "': ", row.ToString()));
+    }
+  }
+  hash_index_.emplace(h, rows_.size());
+  rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+Status Table::InsertAll(const std::vector<Value>& rows) {
+  for (const Value& row : rows) {
+    TMDB_RETURN_IF_ERROR(Insert(row));
+  }
+  return Status::OK();
+}
+
+std::string Table::ToString(size_t max_rows) const {
+  std::string out = StrCat("TABLE ", name_, " : ", schema_.ToString(), "  (",
+                           rows_.size(), " rows)\n");
+  size_t shown = 0;
+  for (const Value& row : rows_) {
+    if (shown == max_rows) {
+      out += StrCat("  ... (", rows_.size() - shown, " more)\n");
+      break;
+    }
+    out += "  " + row.ToString() + "\n";
+    ++shown;
+  }
+  return out;
+}
+
+}  // namespace tmdb

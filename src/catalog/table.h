@@ -1,0 +1,57 @@
+#ifndef TMDB_CATALOG_TABLE_H_
+#define TMDB_CATALOG_TABLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "base/result.h"
+#include "types/type.h"
+#include "values/value.h"
+
+namespace tmdb {
+
+/// A named class extension: a set of complex-object tuples conforming to a
+/// tuple schema. This is the paper's `CLASS ... WITH EXTENSION NAME` reduced
+/// to its query-relevant core — an in-memory table whose attributes may be
+/// arbitrarily nested (set-valued attributes are stored with the objects
+/// themselves, "as materialized joins", Section 3.2).
+///
+/// Rows are stored in insertion order; the *set* semantics (duplicate-free)
+/// is enforced at insertion via a hash of the row values.
+class Table {
+ public:
+  /// Creates a table. `schema` must be a tuple type.
+  static Result<std::shared_ptr<Table>> Create(std::string name, Type schema);
+
+  const std::string& name() const { return name_; }
+  const Type& schema() const { return schema_; }
+
+  /// Appends a row after validating it against the schema. Duplicate rows
+  /// are rejected (extensions are sets).
+  Status Insert(Value row);
+  /// Appends many rows; stops at the first failure.
+  Status InsertAll(const std::vector<Value>& rows);
+
+  size_t NumRows() const { return rows_.size(); }
+  const std::vector<Value>& rows() const { return rows_; }
+
+  /// Multi-line rendering of schema and rows, used by examples and tests.
+  std::string ToString(size_t max_rows = 20) const;
+
+ private:
+  Table(std::string name, Type schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  std::string name_;
+  Type schema_;
+  std::vector<Value> rows_;
+  // row hash → row index, used to enforce set semantics on insert.
+  std::unordered_multimap<uint64_t, size_t> hash_index_;
+};
+
+}  // namespace tmdb
+
+#endif  // TMDB_CATALOG_TABLE_H_

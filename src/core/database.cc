@@ -1,0 +1,183 @@
+#include "core/database.h"
+
+#include <utility>
+
+#include "base/string_util.h"
+#include "exec/executor.h"
+#include "parser/parser.h"
+#include "parser/statement.h"
+#include "sema/binder.h"
+#include "sema/type_resolver.h"
+
+namespace tmdb {
+
+std::string QueryResult::ToString(size_t max_rows) const {
+  std::string out = StrCat(rows.size(), " row(s), strategy = ",
+                           StrategyName(strategy), "\n");
+  size_t shown = 0;
+  for (const Value& row : rows) {
+    if (shown == max_rows) {
+      out += StrCat("  ... (", rows.size() - shown, " more)\n");
+      break;
+    }
+    out += "  " + row.ToString() + "\n";
+    ++shown;
+  }
+  return out;
+}
+
+Result<std::shared_ptr<Table>> Database::CreateTable(const std::string& name,
+                                                     Type schema) {
+  return catalog_.CreateTable(name, std::move(schema));
+}
+
+Status Database::Insert(const std::string& table, Value row) {
+  TMDB_ASSIGN_OR_RETURN(std::shared_ptr<Table> t, catalog_.GetTable(table));
+  return t->Insert(std::move(row));
+}
+
+Result<LogicalOpPtr> Database::Plan(const std::string& query,
+                                    Strategy strategy, UnnestReport* report) {
+  TMDB_ASSIGN_OR_RETURN(AstPtr ast, ParseQuery(query));
+  Binder binder(&catalog_);
+  TMDB_ASSIGN_OR_RETURN(LogicalOpPtr naive, binder.BindQuery(*ast));
+  return PlanForStrategy(naive, strategy, report);
+}
+
+Result<QueryResult> Database::Run(const std::string& query,
+                                  RunOptions options) {
+  TMDB_ASSIGN_OR_RETURN(LogicalOpPtr logical,
+                        Plan(query, options.strategy, nullptr));
+  PlannerOptions planner_options;
+  planner_options.join_impl = options.join_impl;
+  Planner planner(planner_options);
+  TMDB_ASSIGN_OR_RETURN(PhysicalOpPtr physical, planner.Plan(logical));
+  Executor executor;
+  TMDB_ASSIGN_OR_RETURN(std::vector<Value> rows,
+                        executor.RunPhysical(physical.get()));
+  QueryResult result;
+  result.rows = std::move(rows);
+  result.stats = executor.stats();
+  result.strategy = options.strategy;
+  return result;
+}
+
+std::string StatementResult::ToString(size_t max_rows) const {
+  if (is_query) return query.ToString(max_rows);
+  return message + "\n";
+}
+
+Result<StatementResult> Database::Execute(const std::string& statement,
+                                          RunOptions options) {
+  TMDB_ASSIGN_OR_RETURN(StatementPtr parsed, ParseStatement(statement));
+  return ExecuteParsed(*parsed, options);
+}
+
+Result<std::vector<StatementResult>> Database::ExecuteScript(
+    const std::string& script, RunOptions options) {
+  TMDB_ASSIGN_OR_RETURN(std::vector<StatementPtr> statements,
+                        ParseScript(script));
+  std::vector<StatementResult> results;
+  results.reserve(statements.size());
+  for (const StatementPtr& statement : statements) {
+    TMDB_ASSIGN_OR_RETURN(StatementResult result,
+                          ExecuteParsed(*statement, options));
+    results.push_back(std::move(result));
+  }
+  return results;
+}
+
+Result<StatementResult> Database::ExecuteParsed(const Statement& statement,
+                                                const RunOptions& options) {
+  StatementResult result;
+  switch (statement.kind) {
+    case Statement::Kind::kQuery: {
+      Binder binder(&catalog_);
+      TMDB_ASSIGN_OR_RETURN(LogicalOpPtr naive,
+                            binder.BindQuery(*statement.query));
+      TMDB_ASSIGN_OR_RETURN(LogicalOpPtr plan,
+                            PlanForStrategy(naive, options.strategy));
+      PlannerOptions planner_options;
+      planner_options.join_impl = options.join_impl;
+      Planner planner(planner_options);
+      TMDB_ASSIGN_OR_RETURN(PhysicalOpPtr physical, planner.Plan(plan));
+      Executor executor;
+      TMDB_ASSIGN_OR_RETURN(std::vector<Value> rows,
+                            executor.RunPhysical(physical.get()));
+      result.is_query = true;
+      result.query.rows = std::move(rows);
+      result.query.stats = executor.stats();
+      result.query.strategy = options.strategy;
+      return result;
+    }
+    case Statement::Kind::kCreateTable: {
+      TMDB_ASSIGN_OR_RETURN(Type schema,
+                            ResolveTypeAst(*statement.schema, catalog_));
+      TMDB_RETURN_IF_ERROR(
+          catalog_.CreateTable(statement.target, std::move(schema)).status());
+      result.message = StrCat("created table ", statement.target);
+      return result;
+    }
+    case Statement::Kind::kDefineSort: {
+      TMDB_ASSIGN_OR_RETURN(Type sort,
+                            ResolveTypeAst(*statement.schema, catalog_));
+      TMDB_RETURN_IF_ERROR(catalog_.DefineSort(statement.target,
+                                               std::move(sort)));
+      result.message = StrCat("defined sort ", statement.target);
+      return result;
+    }
+    case Statement::Kind::kInsert: {
+      TMDB_ASSIGN_OR_RETURN(std::shared_ptr<Table> table,
+                            catalog_.GetTable(statement.target));
+      Binder binder(&catalog_);
+      Executor executor;
+      Environment empty;
+      size_t inserted = 0;
+      for (const AstPtr& value_ast : statement.values) {
+        TMDB_ASSIGN_OR_RETURN(Expr expr, binder.BindExpression(*value_ast));
+        TMDB_ASSIGN_OR_RETURN(Value row, EvalExpr(expr, empty, &executor));
+        TMDB_RETURN_IF_ERROR(table->Insert(std::move(row)));
+        ++inserted;
+      }
+      result.message = StrCat("inserted ", inserted, " row(s) into ",
+                              statement.target);
+      return result;
+    }
+    case Statement::Kind::kExplain: {
+      TMDB_ASSIGN_OR_RETURN(result.message,
+                            ExplainAst(*statement.query, options.strategy));
+      return result;
+    }
+  }
+  return Status::Internal("unhandled statement kind");
+}
+
+Result<std::string> Database::Explain(const std::string& query,
+                                      Strategy strategy) {
+  TMDB_ASSIGN_OR_RETURN(AstPtr ast, ParseQuery(query));
+  return ExplainAst(*ast, strategy);
+}
+
+Result<std::string> Database::ExplainAst(const AstNode& ast,
+                                         Strategy strategy) {
+  Binder binder(&catalog_);
+  TMDB_ASSIGN_OR_RETURN(LogicalOpPtr naive, binder.BindQuery(ast));
+  UnnestReport report;
+  TMDB_ASSIGN_OR_RETURN(LogicalOpPtr rewritten,
+                        PlanForStrategy(naive, strategy, &report));
+  Planner planner;
+  TMDB_ASSIGN_OR_RETURN(PhysicalOpPtr physical, planner.Plan(rewritten));
+
+  std::string out;
+  out += "== query ==\n" + ast.ToString() + "\n";
+  out += "\n== naive logical plan ==\n" + naive->ToString();
+  out += StrCat("\n== rewritten (", StrategyName(strategy),
+                ") logical plan ==\n", rewritten->ToString());
+  if (!report.events.empty()) {
+    out += "\n== unnesting decisions (Table 2) ==\n" + report.ToString();
+  }
+  out += "\n== physical plan ==\n" + physical->ToString();
+  return out;
+}
+
+}  // namespace tmdb

@@ -1,0 +1,105 @@
+#ifndef TMDB_CORE_DATABASE_H_
+#define TMDB_CORE_DATABASE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "catalog/catalog.h"
+#include "exec/exec_context.h"
+#include "optimizer/planner.h"
+#include "parser/statement.h"
+#include "translate/strategies.h"
+#include "values/value.h"
+
+namespace tmdb {
+
+/// Rows + execution metadata returned by Database::Run.
+struct QueryResult {
+  std::vector<Value> rows;
+  ExecStats stats;
+  Strategy strategy = Strategy::kNestJoin;
+
+  /// One row per line.
+  std::string ToString(size_t max_rows = 50) const;
+};
+
+/// Outcome of one statement executed by Database::Execute.
+struct StatementResult {
+  bool is_query = false;
+  QueryResult query;    // populated when is_query
+  std::string message;  // DDL/DML outcome ("created table R", ...)
+
+  std::string ToString(size_t max_rows = 50) const;
+};
+
+/// How Database::Run processes a query.
+struct RunOptions {
+  Strategy strategy = Strategy::kNestJoin;
+  /// Join implementation policy for the physical planner.
+  JoinImpl join_impl = JoinImpl::kAuto;
+};
+
+/// The public facade: an in-memory TM-style complex-object database with
+/// the paper's nested-query optimizer.
+///
+///   Database db;
+///   db.CreateTable("R", Type::Tuple({{"a", Type::Int()}, ...}));
+///   db.Insert("R", row);
+///   auto result = db.Run("SELECT x FROM R x WHERE ...");
+///
+/// Strategies select how nested queries are processed — naive nested-loop,
+/// Kim's (buggy) algorithm, Ganski–Wong outerjoins, or the paper's nest
+/// join / flat-join rewriting (default).
+class Database {
+ public:
+  Database() = default;
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  Catalog* catalog() { return &catalog_; }
+  const Catalog& catalog() const { return catalog_; }
+
+  /// Creates a table with a tuple schema.
+  Result<std::shared_ptr<Table>> CreateTable(const std::string& name,
+                                             Type schema);
+  /// Inserts one row into `table`.
+  Status Insert(const std::string& table, Value row);
+
+  /// Parses, binds, rewrites (per options.strategy), physically plans and
+  /// executes `query`.
+  Result<QueryResult> Run(const std::string& query,
+                          RunOptions options = RunOptions());
+
+  /// Executes one statement of the data language: CREATE TABLE,
+  /// DEFINE SORT, INSERT INTO ... VALUES, or a query expression.
+  Result<StatementResult> Execute(const std::string& statement,
+                                  RunOptions options = RunOptions());
+
+  /// Executes a ';'-separated script, stopping at the first error.
+  Result<std::vector<StatementResult>> ExecuteScript(
+      const std::string& script, RunOptions options = RunOptions());
+
+  /// Produces the logical plan for `query` under `strategy` without
+  /// executing. `report` (optional) receives the unnesting decisions.
+  Result<LogicalOpPtr> Plan(const std::string& query, Strategy strategy,
+                            UnnestReport* report = nullptr);
+
+  /// Human-readable explanation: naive plan, rewritten plan, and the
+  /// Table 2 classifications that drove the rewrite.
+  Result<std::string> Explain(const std::string& query,
+                              Strategy strategy = Strategy::kNestJoin);
+
+ private:
+  Result<StatementResult> ExecuteParsed(const Statement& statement,
+                                        const RunOptions& options);
+  Result<std::string> ExplainAst(const AstNode& ast, Strategy strategy);
+
+  Catalog catalog_;
+};
+
+}  // namespace tmdb
+
+#endif  // TMDB_CORE_DATABASE_H_

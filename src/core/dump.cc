@@ -1,0 +1,107 @@
+#include "core/dump.h"
+
+#include <vector>
+
+#include "base/string_util.h"
+
+namespace tmdb {
+
+Result<std::string> ValueToLiteral(const Value& value) {
+  switch (value.kind()) {
+    case ValueKind::kNull:
+      return Status::Unsupported("NULL has no literal syntax");
+    case ValueKind::kBool:
+      return std::string(value.AsBool() ? "true" : "false");
+    case ValueKind::kInt:
+      return std::to_string(value.AsInt());
+    case ValueKind::kReal: {
+      std::string s = StrCat(value.AsReal());
+      if (s.find('.') == std::string::npos &&
+          s.find('e') == std::string::npos) {
+        s += ".0";
+      }
+      return s;
+    }
+    case ValueKind::kString:
+      return "\"" + EscapeString(value.AsString()) + "\"";
+    case ValueKind::kTuple: {
+      if (value.TupleSize() == 0) {
+        return Status::Unsupported("empty tuples have no literal syntax");
+      }
+      std::vector<std::string> parts;
+      parts.reserve(value.TupleSize());
+      for (size_t i = 0; i < value.TupleSize(); ++i) {
+        TMDB_ASSIGN_OR_RETURN(std::string v,
+                              ValueToLiteral(value.FieldValue(i)));
+        parts.push_back(value.FieldName(i) + " = " + v);
+      }
+      return "(" + Join(parts, ", ") + ")";
+    }
+    case ValueKind::kSet: {
+      std::vector<std::string> parts;
+      parts.reserve(value.NumElements());
+      for (const Value& e : value.Elements()) {
+        TMDB_ASSIGN_OR_RETURN(std::string v, ValueToLiteral(e));
+        parts.push_back(std::move(v));
+      }
+      return "{" + Join(parts, ", ") + "}";
+    }
+    case ValueKind::kList:
+      return Status::Unsupported("lists have no literal syntax");
+  }
+  return Status::Internal("unhandled value kind");
+}
+
+Result<std::string> TypeToDdl(const Type& type) {
+  switch (type.kind()) {
+    case TypeKind::kBool:
+      return std::string("BOOL");
+    case TypeKind::kInt:
+      return std::string("INT");
+    case TypeKind::kReal:
+      return std::string("REAL");
+    case TypeKind::kString:
+      return std::string("STRING");
+    case TypeKind::kSet: {
+      TMDB_ASSIGN_OR_RETURN(std::string elem, TypeToDdl(type.element()));
+      return "P(" + elem + ")";
+    }
+    case TypeKind::kList: {
+      TMDB_ASSIGN_OR_RETURN(std::string elem, TypeToDdl(type.element()));
+      return "L(" + elem + ")";
+    }
+    case TypeKind::kTuple: {
+      std::vector<std::string> parts;
+      parts.reserve(type.fields().size());
+      for (const Field& f : type.fields()) {
+        TMDB_ASSIGN_OR_RETURN(std::string t, TypeToDdl(f.type));
+        parts.push_back(f.name + " : " + t);
+      }
+      return "(" + Join(parts, ", ") + ")";
+    }
+    case TypeKind::kAny:
+      return Status::Unsupported("ANY has no DDL syntax");
+  }
+  return Status::Internal("unhandled type kind");
+}
+
+Result<std::string> DumpScript(const Database& db) {
+  std::string out;
+  for (const std::string& name : db.catalog().TableNames()) {
+    TMDB_ASSIGN_OR_RETURN(auto table, db.catalog().GetTable(name));
+    TMDB_ASSIGN_OR_RETURN(std::string schema, TypeToDdl(table->schema()));
+    out += StrCat("CREATE TABLE ", name, " ", schema, ";\n");
+    if (table->NumRows() > 0) {
+      out += StrCat("INSERT INTO ", name, " VALUES\n");
+      for (size_t i = 0; i < table->rows().size(); ++i) {
+        TMDB_ASSIGN_OR_RETURN(std::string row,
+                              ValueToLiteral(table->rows()[i]));
+        out += "  " + row;
+        out += i + 1 < table->rows().size() ? ",\n" : ";\n";
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace tmdb

@@ -1,0 +1,31 @@
+#ifndef TMDB_CORE_DUMP_H_
+#define TMDB_CORE_DUMP_H_
+
+#include <string>
+
+#include "base/result.h"
+#include "core/database.h"
+#include "types/type.h"
+#include "values/value.h"
+
+namespace tmdb {
+
+/// Renders a value in the *source syntax* of the data language, so that it
+/// round-trips through the parser: tuples as `(a = ..., b = ...)`, sets as
+/// `{...}`, strings quoted/escaped, reals always with a decimal point.
+/// NULL and lists have no literal syntax and yield Unsupported.
+Result<std::string> ValueToLiteral(const Value& value);
+
+/// Renders a type in the DDL syntax of CREATE TABLE / DEFINE SORT
+/// (`INT`, `P(...)`, `(a : INT, ...)`). ANY has no syntax → Unsupported.
+Result<std::string> TypeToDdl(const Type& type);
+
+/// Serialises the whole database — every table schema and every row — as a
+/// script of CREATE TABLE / INSERT statements that ExecuteScript replays
+/// into an identical database. Sorts are inlined into table schemas (the
+/// catalog does not track which attribute used which sort).
+Result<std::string> DumpScript(const Database& db);
+
+}  // namespace tmdb
+
+#endif  // TMDB_CORE_DUMP_H_

@@ -1,0 +1,245 @@
+#include "exec/basic_ops.h"
+
+#include <utility>
+
+#include "base/string_util.h"
+#include "values/value_ops.h"
+
+namespace tmdb {
+
+namespace {
+
+/// Evaluates `expr` with `var` bound to `row`, on top of any correlation
+/// environment carried by the context.
+Result<Value> EvalWithRow(const Expr& expr, const std::string& var,
+                          const Value& row, ExecContext* ctx) {
+  Environment env(ctx->outer_env);
+  env.Bind(var, row);
+  return EvalExpr(expr, env, ctx->subplans);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- TableScan
+
+Status TableScanOp::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  pos_ = 0;
+  return Status::OK();
+}
+
+Result<std::optional<Value>> TableScanOp::Next() {
+  if (pos_ >= table_->NumRows()) return std::optional<Value>();
+  ctx_->stats->rows_emitted++;
+  return std::optional<Value>(table_->rows()[pos_++]);
+}
+
+void TableScanOp::Close() {}
+
+std::string TableScanOp::Describe() const {
+  return StrCat("TableScan(", table_->name(), ")");
+}
+
+// ---------------------------------------------------------------- ExprSource
+
+Status ExprSourceOp::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  pos_ = 0;
+  elements_.clear();
+  Environment env(ctx->outer_env);
+  TMDB_ASSIGN_OR_RETURN(Value coll, EvalExpr(expr_, env, ctx->subplans));
+  if (!coll.is_collection()) {
+    return Status::TypeError(
+        StrCat("FROM operand is not a collection: ", coll.ToString()));
+  }
+  elements_ = coll.Elements();
+  return Status::OK();
+}
+
+Result<std::optional<Value>> ExprSourceOp::Next() {
+  if (pos_ >= elements_.size()) return std::optional<Value>();
+  ctx_->stats->rows_emitted++;
+  return std::optional<Value>(elements_[pos_++]);
+}
+
+void ExprSourceOp::Close() { elements_.clear(); }
+
+std::string ExprSourceOp::Describe() const {
+  return StrCat("ExprSource(", expr_.ToString(), ")");
+}
+
+// -------------------------------------------------------------------- Filter
+
+Status FilterOp::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  return child_->Open(ctx);
+}
+
+Result<std::optional<Value>> FilterOp::Next() {
+  while (true) {
+    TMDB_ASSIGN_OR_RETURN(std::optional<Value> row, child_->Next());
+    if (!row.has_value()) return std::optional<Value>();
+    ctx_->stats->predicate_evals++;
+    TMDB_ASSIGN_OR_RETURN(Value keep, EvalWithRow(pred_, var_, *row, ctx_));
+    if (!keep.is_bool()) {
+      return Status::TypeError(
+          StrCat("filter predicate produced non-boolean ", keep.ToString()));
+    }
+    if (keep.AsBool()) {
+      ctx_->stats->rows_emitted++;
+      return row;
+    }
+  }
+}
+
+void FilterOp::Close() { child_->Close(); }
+
+std::string FilterOp::Describe() const {
+  return StrCat("Filter[", var_, " : ", pred_.ToString(), "]");
+}
+
+// ----------------------------------------------------------------------- Map
+
+Status MapOp::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  seen_.clear();
+  return child_->Open(ctx);
+}
+
+Result<std::optional<Value>> MapOp::Next() {
+  while (true) {
+    TMDB_ASSIGN_OR_RETURN(std::optional<Value> row, child_->Next());
+    if (!row.has_value()) return std::optional<Value>();
+    TMDB_ASSIGN_OR_RETURN(Value out, EvalWithRow(expr_, var_, *row, ctx_));
+    if (seen_.insert(out).second) {
+      ctx_->stats->rows_emitted++;
+      return std::optional<Value>(std::move(out));
+    }
+  }
+}
+
+void MapOp::Close() {
+  seen_.clear();
+  child_->Close();
+}
+
+std::string MapOp::Describe() const {
+  return StrCat("Map[", var_, " : ", expr_.ToString(), "]");
+}
+
+// -------------------------------------------------------------------- Unnest
+
+Status UnnestOp::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  current_rest_.reset();
+  current_elems_.clear();
+  elem_pos_ = 0;
+  return child_->Open(ctx);
+}
+
+Result<std::optional<Value>> UnnestOp::Next() {
+  while (true) {
+    if (current_rest_.has_value() && elem_pos_ < current_elems_.size()) {
+      const Value& elem = current_elems_[elem_pos_++];
+      TMDB_ASSIGN_OR_RETURN(Value out, ConcatTuples(*current_rest_, elem));
+      ctx_->stats->rows_emitted++;
+      return std::optional<Value>(std::move(out));
+    }
+    TMDB_ASSIGN_OR_RETURN(std::optional<Value> row, child_->Next());
+    if (!row.has_value()) return std::optional<Value>();
+    TMDB_ASSIGN_OR_RETURN(Value set, row->Field(attr_));
+    if (!set.is_collection()) {
+      return Status::TypeError(StrCat("Unnest attribute '", attr_,
+                                      "' is not a collection: ",
+                                      set.ToString()));
+    }
+    // Row minus the unnested attribute.
+    std::vector<std::string> names;
+    std::vector<Value> values;
+    for (size_t i = 0; i < row->TupleSize(); ++i) {
+      if (row->FieldName(i) == attr_) continue;
+      names.push_back(row->FieldName(i));
+      values.push_back(row->FieldValue(i));
+    }
+    current_rest_ = Value::Tuple(std::move(names), std::move(values));
+    current_elems_ = set.Elements();
+    elem_pos_ = 0;
+    // Rows with an empty set vanish (μ is not information-preserving).
+  }
+}
+
+void UnnestOp::Close() {
+  current_rest_.reset();
+  current_elems_.clear();
+  child_->Close();
+}
+
+std::string UnnestOp::Describe() const {
+  return StrCat("Unnest[", attr_, "]");
+}
+
+// --------------------------------------------------------------------- Union
+
+Status UnionOp::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  on_right_ = false;
+  seen_.clear();
+  TMDB_RETURN_IF_ERROR(left_->Open(ctx));
+  return right_->Open(ctx);
+}
+
+Result<std::optional<Value>> UnionOp::Next() {
+  while (true) {
+    PhysicalOp* source = on_right_ ? right_.get() : left_.get();
+    TMDB_ASSIGN_OR_RETURN(std::optional<Value> row, source->Next());
+    if (!row.has_value()) {
+      if (on_right_) return std::optional<Value>();
+      on_right_ = true;
+      continue;
+    }
+    if (seen_.insert(*row).second) {
+      ctx_->stats->rows_emitted++;
+      return row;
+    }
+  }
+}
+
+void UnionOp::Close() {
+  seen_.clear();
+  left_->Close();
+  right_->Close();
+}
+
+// ---------------------------------------------------------------- Difference
+
+Status DifferenceOp::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  right_rows_.clear();
+  TMDB_RETURN_IF_ERROR(right_->Open(ctx));
+  while (true) {
+    TMDB_ASSIGN_OR_RETURN(std::optional<Value> row, right_->Next());
+    if (!row.has_value()) break;
+    right_rows_.insert(std::move(*row));
+    ctx_->stats->rows_built++;
+  }
+  right_->Close();
+  return left_->Open(ctx);
+}
+
+Result<std::optional<Value>> DifferenceOp::Next() {
+  while (true) {
+    TMDB_ASSIGN_OR_RETURN(std::optional<Value> row, left_->Next());
+    if (!row.has_value()) return std::optional<Value>();
+    if (right_rows_.count(*row) == 0) {
+      ctx_->stats->rows_emitted++;
+      return row;
+    }
+  }
+}
+
+void DifferenceOp::Close() {
+  right_rows_.clear();
+  left_->Close();
+}
+
+}  // namespace tmdb

@@ -1,0 +1,167 @@
+#ifndef TMDB_EXEC_BASIC_OPS_H_
+#define TMDB_EXEC_BASIC_OPS_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "catalog/table.h"
+#include "exec/physical_op.h"
+#include "expr/eval.h"
+#include "expr/expr.h"
+
+namespace tmdb {
+
+/// Scans the rows of a table extension in storage order.
+class TableScanOp final : public PhysicalOp {
+ public:
+  explicit TableScanOp(std::shared_ptr<const Table> table)
+      : table_(std::move(table)) {}
+
+  Status Open(ExecContext* ctx) override;
+  Result<std::optional<Value>> Next() override;
+  void Close() override;
+  std::string Describe() const override;
+  std::vector<const PhysicalOp*> children() const override { return {}; }
+
+ private:
+  std::shared_ptr<const Table> table_;
+  ExecContext* ctx_ = nullptr;
+  size_t pos_ = 0;
+};
+
+/// Evaluates a (possibly correlated) collection-valued expression and emits
+/// one row per element. Backs set-valued FROM operands such as `d.emps e`.
+class ExprSourceOp final : public PhysicalOp {
+ public:
+  explicit ExprSourceOp(Expr expr) : expr_(std::move(expr)) {}
+
+  Status Open(ExecContext* ctx) override;
+  Result<std::optional<Value>> Next() override;
+  void Close() override;
+  std::string Describe() const override;
+  std::vector<const PhysicalOp*> children() const override { return {}; }
+
+ private:
+  Expr expr_;
+  ExecContext* ctx_ = nullptr;
+  std::vector<Value> elements_;
+  size_t pos_ = 0;
+};
+
+/// σ: emits child rows for which pred(var := row) holds.
+class FilterOp final : public PhysicalOp {
+ public:
+  FilterOp(PhysicalOpPtr child, std::string var, Expr pred)
+      : child_(std::move(child)), var_(std::move(var)), pred_(std::move(pred)) {}
+
+  Status Open(ExecContext* ctx) override;
+  Result<std::optional<Value>> Next() override;
+  void Close() override;
+  std::string Describe() const override;
+  std::vector<const PhysicalOp*> children() const override {
+    return {child_.get()};
+  }
+
+ private:
+  PhysicalOpPtr child_;
+  std::string var_;
+  Expr pred_;
+  ExecContext* ctx_ = nullptr;
+};
+
+/// Function application with set semantics: emits expr(var := row) per child
+/// row, suppressing duplicates (an SFW result is a set).
+class MapOp final : public PhysicalOp {
+ public:
+  MapOp(PhysicalOpPtr child, std::string var, Expr expr)
+      : child_(std::move(child)), var_(std::move(var)), expr_(std::move(expr)) {}
+
+  Status Open(ExecContext* ctx) override;
+  Result<std::optional<Value>> Next() override;
+  void Close() override;
+  std::string Describe() const override;
+  std::vector<const PhysicalOp*> children() const override {
+    return {child_.get()};
+  }
+
+ private:
+  PhysicalOpPtr child_;
+  std::string var_;
+  Expr expr_;
+  ExecContext* ctx_ = nullptr;
+  std::unordered_set<Value, ValueHash, ValueEq> seen_;
+};
+
+/// μ: flattens the set-of-tuples attribute `attr`; each element's fields are
+/// concatenated to the remaining fields of the row.
+class UnnestOp final : public PhysicalOp {
+ public:
+  UnnestOp(PhysicalOpPtr child, std::string attr)
+      : child_(std::move(child)), attr_(std::move(attr)) {}
+
+  Status Open(ExecContext* ctx) override;
+  Result<std::optional<Value>> Next() override;
+  void Close() override;
+  std::string Describe() const override;
+  std::vector<const PhysicalOp*> children() const override {
+    return {child_.get()};
+  }
+
+ private:
+  PhysicalOpPtr child_;
+  std::string attr_;
+  ExecContext* ctx_ = nullptr;
+  std::optional<Value> current_rest_;   // row without attr
+  std::vector<Value> current_elems_;    // elements still to emit
+  size_t elem_pos_ = 0;
+};
+
+/// Set union: left rows, then right rows not already seen.
+class UnionOp final : public PhysicalOp {
+ public:
+  UnionOp(PhysicalOpPtr left, PhysicalOpPtr right)
+      : left_(std::move(left)), right_(std::move(right)) {}
+
+  Status Open(ExecContext* ctx) override;
+  Result<std::optional<Value>> Next() override;
+  void Close() override;
+  std::string Describe() const override { return "Union"; }
+  std::vector<const PhysicalOp*> children() const override {
+    return {left_.get(), right_.get()};
+  }
+
+ private:
+  PhysicalOpPtr left_;
+  PhysicalOpPtr right_;
+  ExecContext* ctx_ = nullptr;
+  bool on_right_ = false;
+  std::unordered_set<Value, ValueHash, ValueEq> seen_;
+};
+
+/// Set difference: left rows not occurring in the (materialised) right.
+class DifferenceOp final : public PhysicalOp {
+ public:
+  DifferenceOp(PhysicalOpPtr left, PhysicalOpPtr right)
+      : left_(std::move(left)), right_(std::move(right)) {}
+
+  Status Open(ExecContext* ctx) override;
+  Result<std::optional<Value>> Next() override;
+  void Close() override;
+  std::string Describe() const override { return "Difference"; }
+  std::vector<const PhysicalOp*> children() const override {
+    return {left_.get(), right_.get()};
+  }
+
+ private:
+  PhysicalOpPtr left_;
+  PhysicalOpPtr right_;
+  ExecContext* ctx_ = nullptr;
+  std::unordered_set<Value, ValueHash, ValueEq> right_rows_;
+};
+
+}  // namespace tmdb
+
+#endif  // TMDB_EXEC_BASIC_OPS_H_

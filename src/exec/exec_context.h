@@ -1,0 +1,39 @@
+#ifndef TMDB_EXEC_EXEC_CONTEXT_H_
+#define TMDB_EXEC_EXEC_CONTEXT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "expr/eval.h"
+
+namespace tmdb {
+
+/// Counters accumulated during one execution. They expose the *work* a
+/// strategy does (the quantity the paper's argument is about), independent
+/// of wall-clock noise: a nested-loop plan shows quadratic predicate_evals
+/// where the unnested plan shows linear probes.
+struct ExecStats {
+  uint64_t rows_emitted = 0;     // rows leaving any operator
+  uint64_t predicate_evals = 0;  // join/select predicate evaluations
+  uint64_t subplan_evals = 0;    // correlated subquery executions (naive)
+  uint64_t hash_probes = 0;      // hash table lookups in hash joins
+  uint64_t rows_built = 0;       // rows materialised into build tables
+
+  void Reset() { *this = ExecStats(); }
+  std::string ToString() const;
+};
+
+/// Per-execution state threaded through the physical operators.
+struct ExecContext {
+  /// Environment of the enclosing evaluation: non-null while running a
+  /// correlated subplan, so inner predicates can see the outer variables.
+  const Environment* outer_env = nullptr;
+  /// Evaluates kSubplan expressions (implemented by the Executor).
+  SubplanEvaluator* subplans = nullptr;
+  /// Work counters; never null during execution.
+  ExecStats* stats = nullptr;
+};
+
+}  // namespace tmdb
+
+#endif  // TMDB_EXEC_EXEC_CONTEXT_H_

@@ -1,0 +1,132 @@
+#include "exec/executor.h"
+
+#include <utility>
+
+#include "algebra/subplan.h"
+#include "base/string_util.h"
+#include "exec/basic_ops.h"
+#include "exec/nest_op.h"
+#include "exec/nested_loop_join.h"
+
+namespace tmdb {
+
+Result<PhysicalOpPtr> Executor::BuildNaivePlan(const LogicalOpPtr& logical) {
+  switch (logical->op_kind()) {
+    case OpKind::kScan:
+      return PhysicalOpPtr(new TableScanOp(logical->table()));
+    case OpKind::kExprSource:
+      return PhysicalOpPtr(new ExprSourceOp(logical->func()));
+    case OpKind::kSelect: {
+      TMDB_ASSIGN_OR_RETURN(PhysicalOpPtr child,
+                            BuildNaivePlan(logical->input()));
+      return PhysicalOpPtr(new FilterOp(std::move(child), logical->var(),
+                                        logical->pred()));
+    }
+    case OpKind::kMap: {
+      TMDB_ASSIGN_OR_RETURN(PhysicalOpPtr child,
+                            BuildNaivePlan(logical->input()));
+      return PhysicalOpPtr(
+          new MapOp(std::move(child), logical->var(), logical->func()));
+    }
+    case OpKind::kJoin:
+    case OpKind::kSemiJoin:
+    case OpKind::kAntiJoin:
+    case OpKind::kOuterJoin:
+    case OpKind::kNestJoin: {
+      TMDB_ASSIGN_OR_RETURN(PhysicalOpPtr left, BuildNaivePlan(logical->left()));
+      TMDB_ASSIGN_OR_RETURN(PhysicalOpPtr right,
+                            BuildNaivePlan(logical->right()));
+      JoinSpec spec;
+      switch (logical->op_kind()) {
+        case OpKind::kJoin:
+          spec.mode = JoinMode::kInner;
+          break;
+        case OpKind::kSemiJoin:
+          spec.mode = JoinMode::kSemi;
+          break;
+        case OpKind::kAntiJoin:
+          spec.mode = JoinMode::kAnti;
+          break;
+        case OpKind::kOuterJoin:
+          spec.mode = JoinMode::kLeftOuter;
+          break;
+        default:
+          spec.mode = JoinMode::kNestJoin;
+          break;
+      }
+      spec.left_var = logical->left_var();
+      spec.right_var = logical->right_var();
+      spec.pred = logical->pred();
+      spec.right_type = logical->right()->output_type();
+      if (logical->op_kind() == OpKind::kNestJoin) {
+        spec.func = logical->func();
+        spec.label = logical->label();
+      }
+      return PhysicalOpPtr(new NestedLoopJoinOp(std::move(left),
+                                                std::move(right),
+                                                std::move(spec)));
+    }
+    case OpKind::kNest: {
+      TMDB_ASSIGN_OR_RETURN(PhysicalOpPtr child,
+                            BuildNaivePlan(logical->input()));
+      return PhysicalOpPtr(new NestOp(std::move(child), logical->group_attrs(),
+                                      logical->var(), logical->func(),
+                                      logical->label(),
+                                      logical->null_group_to_empty()));
+    }
+    case OpKind::kUnnest: {
+      TMDB_ASSIGN_OR_RETURN(PhysicalOpPtr child,
+                            BuildNaivePlan(logical->input()));
+      return PhysicalOpPtr(new UnnestOp(std::move(child),
+                                        logical->unnest_attr()));
+    }
+    case OpKind::kUnion: {
+      TMDB_ASSIGN_OR_RETURN(PhysicalOpPtr left, BuildNaivePlan(logical->left()));
+      TMDB_ASSIGN_OR_RETURN(PhysicalOpPtr right,
+                            BuildNaivePlan(logical->right()));
+      return PhysicalOpPtr(new UnionOp(std::move(left), std::move(right)));
+    }
+    case OpKind::kDifference: {
+      TMDB_ASSIGN_OR_RETURN(PhysicalOpPtr left, BuildNaivePlan(logical->left()));
+      TMDB_ASSIGN_OR_RETURN(PhysicalOpPtr right,
+                            BuildNaivePlan(logical->right()));
+      return PhysicalOpPtr(new DifferenceOp(std::move(left), std::move(right)));
+    }
+  }
+  return Status::Internal("unhandled logical operator kind");
+}
+
+Result<std::vector<Value>> Executor::Run(const LogicalOpPtr& plan) {
+  TMDB_ASSIGN_OR_RETURN(PhysicalOpPtr physical, BuildNaivePlan(plan));
+  return RunPhysical(physical.get());
+}
+
+Result<std::vector<Value>> Executor::RunPhysical(PhysicalOp* root) {
+  ExecContext ctx;
+  ctx.outer_env = nullptr;
+  ctx.subplans = this;
+  ctx.stats = &stats_;
+  return CollectRows(root, &ctx);
+}
+
+Result<Value> Executor::EvaluateSubplan(const SubplanBase& subplan,
+                                        const Environment& env) {
+  // Only PlanSubplan implements SubplanBase in this engine.
+  const auto& plan_subplan = static_cast<const PlanSubplan&>(subplan);
+  auto it = subplan_cache_.find(&subplan);
+  if (it == subplan_cache_.end()) {
+    TMDB_ASSIGN_OR_RETURN(PhysicalOpPtr physical,
+                          BuildNaivePlan(plan_subplan.plan()));
+    it = subplan_cache_.emplace(&subplan, std::move(physical)).first;
+  }
+  stats_.subplan_evals++;
+  ExecContext ctx;
+  ctx.outer_env = &env;
+  ctx.subplans = this;
+  ctx.stats = &stats_;
+  TMDB_ASSIGN_OR_RETURN(std::vector<Value> rows,
+                        CollectRows(it->second.get(), &ctx));
+  return Value::Set(std::move(rows));
+}
+
+}  // namespace tmdb

@@ -1,0 +1,54 @@
+#ifndef TMDB_EXEC_EXECUTOR_H_
+#define TMDB_EXEC_EXECUTOR_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "algebra/logical_op.h"
+#include "base/result.h"
+#include "exec/exec_context.h"
+#include "exec/physical_op.h"
+#include "values/value.h"
+
+namespace tmdb {
+
+/// Runs logical plans. The executor doubles as the SubplanEvaluator: when a
+/// filter or map expression contains a correlated subquery (kSubplan), the
+/// inner plan is executed once per outer row with the outer variables in
+/// scope — the paper's naive nested-loop semantics, which the rewritten
+/// strategies are validated against.
+class Executor final : public SubplanEvaluator {
+ public:
+  Executor() = default;
+
+  /// Direct logical→physical mapping with no optimisation: every join
+  /// becomes a nested-loop join, subplans stay correlated. This is the
+  /// ground-truth interpreter.
+  static Result<PhysicalOpPtr> BuildNaivePlan(const LogicalOpPtr& logical);
+
+  /// Executes `plan` via BuildNaivePlan and returns the produced rows.
+  Result<std::vector<Value>> Run(const LogicalOpPtr& plan);
+
+  /// Executes an already-built physical plan (e.g. from the Planner).
+  Result<std::vector<Value>> RunPhysical(PhysicalOp* root);
+
+  /// Work counters of all executions so far (Reset to scope a measurement).
+  ExecStats* mutable_stats() { return &stats_; }
+  const ExecStats& stats() const { return stats_; }
+
+  /// SubplanEvaluator: runs the correlated inner block under `env` and
+  /// returns its rows as a set value.
+  Result<Value> EvaluateSubplan(const SubplanBase& subplan,
+                                const Environment& env) override;
+
+ private:
+  ExecStats stats_;
+  // Physical plans for subplans are built once and re-opened per outer row
+  // (Open fully resets operator state).
+  std::unordered_map<const SubplanBase*, PhysicalOpPtr> subplan_cache_;
+};
+
+}  // namespace tmdb
+
+#endif  // TMDB_EXEC_EXECUTOR_H_

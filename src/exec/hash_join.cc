@@ -1,0 +1,167 @@
+#include "exec/hash_join.h"
+
+#include <utility>
+
+#include "base/string_util.h"
+#include "values/value_ops.h"
+
+namespace tmdb {
+
+Status HashJoinOp::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  build_.clear();
+  current_left_.reset();
+  current_bucket_ = nullptr;
+  bucket_pos_ = 0;
+  left_matched_ = false;
+
+  // Build phase: hash the right input on its composite key.
+  TMDB_RETURN_IF_ERROR(right_->Open(ctx));
+  while (true) {
+    TMDB_ASSIGN_OR_RETURN(std::optional<Value> row, right_->Next());
+    if (!row.has_value()) break;
+    TMDB_ASSIGN_OR_RETURN(
+        Value key, EvalCompositeKey(right_keys_, spec_.right_var, *row, ctx_));
+    build_[std::move(key)].push_back(std::move(*row));
+    ctx_->stats->rows_built++;
+  }
+  right_->Close();
+  return left_->Open(ctx);
+}
+
+Result<bool> HashJoinOp::AdvanceLeft() {
+  TMDB_ASSIGN_OR_RETURN(std::optional<Value> row, left_->Next());
+  if (!row.has_value()) {
+    current_left_.reset();
+    return false;
+  }
+  current_left_ = std::move(*row);
+  TMDB_ASSIGN_OR_RETURN(
+      Value key,
+      EvalCompositeKey(left_keys_, spec_.left_var, *current_left_, ctx_));
+  ctx_->stats->hash_probes++;
+  auto it = build_.find(key);
+  current_bucket_ = it == build_.end() ? nullptr : &it->second;
+  bucket_pos_ = 0;
+  left_matched_ = false;
+  return true;
+}
+
+Result<std::optional<Value>> HashJoinOp::Next() {
+  switch (spec_.mode) {
+    case JoinMode::kInner:
+    case JoinMode::kLeftOuter: {
+      while (true) {
+        if (!current_left_.has_value()) {
+          TMDB_ASSIGN_OR_RETURN(bool more, AdvanceLeft());
+          if (!more) return std::optional<Value>();
+        }
+        if (current_bucket_ != nullptr) {
+          while (bucket_pos_ < current_bucket_->size()) {
+            const Value& right_row = (*current_bucket_)[bucket_pos_++];
+            TMDB_ASSIGN_OR_RETURN(
+                bool match,
+                EvalJoinPred(spec_, *current_left_, right_row, ctx_));
+            if (match) {
+              left_matched_ = true;
+              TMDB_ASSIGN_OR_RETURN(Value out,
+                                    ConcatTuples(*current_left_, right_row));
+              ctx_->stats->rows_emitted++;
+              return std::optional<Value>(std::move(out));
+            }
+          }
+        }
+        if (spec_.mode == JoinMode::kLeftOuter && !left_matched_) {
+          TMDB_ASSIGN_OR_RETURN(
+              Value out, ConcatTuples(*current_left_,
+                                      NullTupleOfType(spec_.right_type)));
+          current_left_.reset();
+          ctx_->stats->rows_emitted++;
+          return std::optional<Value>(std::move(out));
+        }
+        current_left_.reset();
+      }
+    }
+
+    case JoinMode::kSemi:
+    case JoinMode::kAnti: {
+      const bool want_match = spec_.mode == JoinMode::kSemi;
+      while (true) {
+        TMDB_ASSIGN_OR_RETURN(bool more, AdvanceLeft());
+        if (!more) return std::optional<Value>();
+        bool matched = false;
+        if (current_bucket_ != nullptr) {
+          for (const Value& right_row : *current_bucket_) {
+            TMDB_ASSIGN_OR_RETURN(
+                bool match,
+                EvalJoinPred(spec_, *current_left_, right_row, ctx_));
+            if (match) {
+              matched = true;
+              break;
+            }
+          }
+        }
+        if (matched == want_match) {
+          ctx_->stats->rows_emitted++;
+          Value out = std::move(*current_left_);
+          current_left_.reset();
+          return std::optional<Value>(std::move(out));
+        }
+      }
+    }
+
+    case JoinMode::kNestJoin: {
+      TMDB_ASSIGN_OR_RETURN(bool more, AdvanceLeft());
+      if (!more) return std::optional<Value>();
+      std::vector<Value> group;
+      if (current_bucket_ != nullptr) {
+        for (const Value& right_row : *current_bucket_) {
+          TMDB_ASSIGN_OR_RETURN(
+              bool match, EvalJoinPred(spec_, *current_left_, right_row, ctx_));
+          if (match) {
+            TMDB_ASSIGN_OR_RETURN(
+                Value g, EvalJoinFunc(spec_, *current_left_, right_row, ctx_));
+            group.push_back(std::move(g));
+          }
+        }
+      }
+      TMDB_ASSIGN_OR_RETURN(
+          Value out, ExtendTuple(*current_left_, spec_.label,
+                                 Value::Set(std::move(group))));
+      current_left_.reset();
+      ctx_->stats->rows_emitted++;
+      return std::optional<Value>(std::move(out));
+    }
+  }
+  return Status::Internal("unhandled join mode");
+}
+
+void HashJoinOp::Close() {
+  build_.clear();
+  current_left_.reset();
+  current_bucket_ = nullptr;
+  left_->Close();
+}
+
+std::string HashJoinOp::Describe() const {
+  std::vector<std::string> keys;
+  keys.reserve(left_keys_.size());
+  for (size_t i = 0; i < left_keys_.size(); ++i) {
+    keys.push_back(left_keys_[i].ToString() + " = " +
+                   right_keys_[i].ToString());
+  }
+  std::string out =
+      StrCat("HashJoin<", JoinModeName(spec_.mode), ">[", spec_.left_var, ",",
+             spec_.right_var, " : keys(", Join(keys, ", "), ")");
+  if (!(spec_.pred.is_literal() && spec_.pred.literal_value().is_bool() &&
+        spec_.pred.literal_value().AsBool())) {
+    out += StrCat(", residual ", spec_.pred.ToString());
+  }
+  if (spec_.mode == JoinMode::kNestJoin) {
+    out += StrCat(", G = ", spec_.func.ToString(), "; ", spec_.label);
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace tmdb

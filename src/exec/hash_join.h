@@ -1,0 +1,60 @@
+#ifndef TMDB_EXEC_HASH_JOIN_H_
+#define TMDB_EXEC_HASH_JOIN_H_
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "exec/join_common.h"
+#include "exec/physical_op.h"
+
+namespace tmdb {
+
+/// Hash implementation of all join modes over equi-key predicates.
+///
+/// The *right* operand is always the build side. For inner joins that is
+/// merely a heuristic simplification; for the nest join it is the paper's
+/// correctness restriction (Section 6, "Implementation"): output must be
+/// grouped by left tuples, so with a non-key join attribute only the right
+/// operand may be the build table.
+class HashJoinOp final : public PhysicalOp {
+ public:
+  /// `left_keys[i] = right_keys[i]` are the extracted equi-conjuncts;
+  /// `spec.pred` holds only the residual predicate (True if none).
+  HashJoinOp(PhysicalOpPtr left, PhysicalOpPtr right, JoinSpec spec,
+             std::vector<Expr> left_keys, std::vector<Expr> right_keys)
+      : left_(std::move(left)),
+        right_(std::move(right)),
+        spec_(std::move(spec)),
+        left_keys_(std::move(left_keys)),
+        right_keys_(std::move(right_keys)) {}
+
+  Status Open(ExecContext* ctx) override;
+  Result<std::optional<Value>> Next() override;
+  void Close() override;
+  std::string Describe() const override;
+  std::vector<const PhysicalOp*> children() const override {
+    return {left_.get(), right_.get()};
+  }
+
+ private:
+  Result<bool> AdvanceLeft();
+
+  PhysicalOpPtr left_;
+  PhysicalOpPtr right_;
+  JoinSpec spec_;
+  std::vector<Expr> left_keys_;
+  std::vector<Expr> right_keys_;
+  ExecContext* ctx_ = nullptr;
+
+  std::unordered_map<Value, std::vector<Value>, ValueHash, ValueEq> build_;
+  std::optional<Value> current_left_;
+  const std::vector<Value>* current_bucket_ = nullptr;
+  size_t bucket_pos_ = 0;
+  bool left_matched_ = false;
+};
+
+}  // namespace tmdb
+
+#endif  // TMDB_EXEC_HASH_JOIN_H_

@@ -1,0 +1,69 @@
+#ifndef TMDB_EXEC_JOIN_COMMON_H_
+#define TMDB_EXEC_JOIN_COMMON_H_
+
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "exec/exec_context.h"
+#include "expr/expr.h"
+#include "types/type.h"
+#include "values/value.h"
+
+namespace tmdb {
+
+/// The join flavours every join implementation supports. kNestJoin is the
+/// paper's operator: one output tuple per left row, extended with the set of
+/// G-images of its matches (dangling rows get ∅).
+enum class JoinMode {
+  kInner,
+  kSemi,
+  kAnti,
+  kLeftOuter,
+  kNestJoin,
+};
+
+std::string JoinModeName(JoinMode mode);
+
+/// Parameters shared by all join implementations.
+struct JoinSpec {
+  JoinMode mode = JoinMode::kInner;
+  std::string left_var;
+  std::string right_var;
+  /// Full predicate for nested-loop joins; *residual* predicate (after key
+  /// extraction) for hash and merge joins. Expr::True() if none.
+  Expr pred;
+  /// NestJoin G function (over left_var, right_var). Unused otherwise.
+  Expr func;
+  /// NestJoin grouped-attribute label. Unused otherwise.
+  std::string label;
+  /// Row type of the right input; needed by kLeftOuter to pad dangling
+  /// tuples even when the right input is empty.
+  Type right_type;
+};
+
+/// One equi-key pair: left expression over left_var, right expression over
+/// right_var, such that the conjunct `left = right` held in the original
+/// predicate. Hash and merge joins match on the vector of all keys.
+struct EquiKey {
+  Expr left;
+  Expr right;
+};
+
+/// Evaluates the composite key [k1, ..., kn] of `row` bound to `var`.
+/// Returned as a list value so it hashes/compares as one unit.
+Result<Value> EvalCompositeKey(const std::vector<Expr>& keys,
+                               const std::string& var, const Value& row,
+                               ExecContext* ctx);
+
+/// Evaluates `spec.pred` with both variables bound.
+Result<bool> EvalJoinPred(const JoinSpec& spec, const Value& left_row,
+                          const Value& right_row, ExecContext* ctx);
+
+/// Evaluates `spec.func` (the nest join G) with both variables bound.
+Result<Value> EvalJoinFunc(const JoinSpec& spec, const Value& left_row,
+                           const Value& right_row, ExecContext* ctx);
+
+}  // namespace tmdb
+
+#endif  // TMDB_EXEC_JOIN_COMMON_H_

@@ -1,0 +1,176 @@
+#include "exec/merge_join.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "base/string_util.h"
+#include "values/value_ops.h"
+
+namespace tmdb {
+
+Status MergeJoinOp::MaterialiseSorted(PhysicalOp* source,
+                                      const std::vector<Expr>& keys,
+                                      const std::string& var,
+                                      std::vector<Keyed>* out) {
+  TMDB_RETURN_IF_ERROR(source->Open(ctx_));
+  while (true) {
+    TMDB_ASSIGN_OR_RETURN(std::optional<Value> row, source->Next());
+    if (!row.has_value()) break;
+    TMDB_ASSIGN_OR_RETURN(Value key, EvalCompositeKey(keys, var, *row, ctx_));
+    out->emplace_back(std::move(key), std::move(*row));
+    ctx_->stats->rows_built++;
+  }
+  source->Close();
+  std::sort(out->begin(), out->end(), [](const Keyed& a, const Keyed& b) {
+    return a.first.Compare(b.first) < 0;
+  });
+  return Status::OK();
+}
+
+Status MergeJoinOp::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  left_rows_.clear();
+  right_rows_.clear();
+  left_pos_ = 0;
+  right_run_begin_ = 0;
+  right_run_end_ = 0;
+  run_pos_ = 0;
+  left_consumed_ = true;
+  left_matched_ = false;
+  TMDB_RETURN_IF_ERROR(
+      MaterialiseSorted(left_.get(), left_keys_, spec_.left_var, &left_rows_));
+  return MaterialiseSorted(right_.get(), right_keys_, spec_.right_var,
+                           &right_rows_);
+}
+
+void MergeJoinOp::SeekRightRun(const Value& key) {
+  // Equal consecutive left keys reuse the current run.
+  if (right_run_begin_ < right_run_end_ &&
+      right_rows_[right_run_begin_].first.Compare(key) == 0) {
+    run_pos_ = right_run_begin_;
+    return;
+  }
+  // Keys ascend on both sides, so the run pointer only moves forward.
+  size_t begin = right_run_end_;
+  while (begin < right_rows_.size() &&
+         right_rows_[begin].first.Compare(key) < 0) {
+    ++begin;
+  }
+  size_t end = begin;
+  while (end < right_rows_.size() &&
+         right_rows_[end].first.Compare(key) == 0) {
+    ++end;
+  }
+  right_run_begin_ = begin;
+  right_run_end_ = end;
+  run_pos_ = begin;
+}
+
+Result<std::optional<Value>> MergeJoinOp::Next() {
+  while (true) {
+    if (left_consumed_) {
+      if (left_pos_ >= left_rows_.size()) return std::optional<Value>();
+      // Position the right run for the new left key. Equal consecutive left
+      // keys reuse the run (SeekRightRun is monotone and idempotent for
+      // equal keys).
+      SeekRightRun(left_rows_[left_pos_].first);
+      left_consumed_ = false;
+      left_matched_ = false;
+      run_pos_ = right_run_begin_;
+    }
+
+    const Value& left_row = left_rows_[left_pos_].second;
+
+    switch (spec_.mode) {
+      case JoinMode::kInner:
+      case JoinMode::kLeftOuter: {
+        while (run_pos_ < right_run_end_) {
+          const Value& right_row = right_rows_[run_pos_++].second;
+          TMDB_ASSIGN_OR_RETURN(bool match,
+                                EvalJoinPred(spec_, left_row, right_row, ctx_));
+          if (match) {
+            left_matched_ = true;
+            TMDB_ASSIGN_OR_RETURN(Value out, ConcatTuples(left_row, right_row));
+            ctx_->stats->rows_emitted++;
+            return std::optional<Value>(std::move(out));
+          }
+        }
+        const bool emit_padded =
+            spec_.mode == JoinMode::kLeftOuter && !left_matched_;
+        Value padded_left = left_row;  // copy before advancing
+        left_consumed_ = true;
+        ++left_pos_;
+        if (emit_padded) {
+          TMDB_ASSIGN_OR_RETURN(
+              Value out,
+              ConcatTuples(padded_left, NullTupleOfType(spec_.right_type)));
+          ctx_->stats->rows_emitted++;
+          return std::optional<Value>(std::move(out));
+        }
+        continue;
+      }
+
+      case JoinMode::kSemi:
+      case JoinMode::kAnti: {
+        bool matched = false;
+        for (size_t i = right_run_begin_; i < right_run_end_; ++i) {
+          TMDB_ASSIGN_OR_RETURN(
+              bool match,
+              EvalJoinPred(spec_, left_row, right_rows_[i].second, ctx_));
+          if (match) {
+            matched = true;
+            break;
+          }
+        }
+        Value out = left_row;
+        left_consumed_ = true;
+        ++left_pos_;
+        if (matched == (spec_.mode == JoinMode::kSemi)) {
+          ctx_->stats->rows_emitted++;
+          return std::optional<Value>(std::move(out));
+        }
+        continue;
+      }
+
+      case JoinMode::kNestJoin: {
+        std::vector<Value> group;
+        for (size_t i = right_run_begin_; i < right_run_end_; ++i) {
+          TMDB_ASSIGN_OR_RETURN(
+              bool match,
+              EvalJoinPred(spec_, left_row, right_rows_[i].second, ctx_));
+          if (match) {
+            TMDB_ASSIGN_OR_RETURN(
+                Value g,
+                EvalJoinFunc(spec_, left_row, right_rows_[i].second, ctx_));
+            group.push_back(std::move(g));
+          }
+        }
+        TMDB_ASSIGN_OR_RETURN(Value out,
+                              ExtendTuple(left_row, spec_.label,
+                                          Value::Set(std::move(group))));
+        left_consumed_ = true;
+        ++left_pos_;
+        ctx_->stats->rows_emitted++;
+        return std::optional<Value>(std::move(out));
+      }
+    }
+  }
+}
+
+void MergeJoinOp::Close() {
+  left_rows_.clear();
+  right_rows_.clear();
+}
+
+std::string MergeJoinOp::Describe() const {
+  std::vector<std::string> keys;
+  keys.reserve(left_keys_.size());
+  for (size_t i = 0; i < left_keys_.size(); ++i) {
+    keys.push_back(left_keys_[i].ToString() + " = " +
+                   right_keys_[i].ToString());
+  }
+  return StrCat("MergeJoin<", JoinModeName(spec_.mode), ">[", spec_.left_var,
+                ",", spec_.right_var, " : keys(", Join(keys, ", "), ")]");
+}
+
+}  // namespace tmdb

@@ -1,0 +1,73 @@
+#ifndef TMDB_EXEC_MERGE_JOIN_H_
+#define TMDB_EXEC_MERGE_JOIN_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "exec/join_common.h"
+#include "exec/physical_op.h"
+
+namespace tmdb {
+
+/// Sort-merge implementation of all join modes over equi-key predicates.
+/// Both inputs are materialised and sorted by their composite keys at Open;
+/// the merge walks the left side in key order, pairing each left row with
+/// the run of equal-keyed right rows.
+///
+/// For the nest join this is the "simple modification of a common join
+/// implementation method" the paper describes: since the merge visits each
+/// left row's complete match run consecutively, the grouped output tuple can
+/// be emitted as soon as the run ends, and dangling left rows (no matching
+/// run) emit with the empty set.
+class MergeJoinOp final : public PhysicalOp {
+ public:
+  MergeJoinOp(PhysicalOpPtr left, PhysicalOpPtr right, JoinSpec spec,
+              std::vector<Expr> left_keys, std::vector<Expr> right_keys)
+      : left_(std::move(left)),
+        right_(std::move(right)),
+        spec_(std::move(spec)),
+        left_keys_(std::move(left_keys)),
+        right_keys_(std::move(right_keys)) {}
+
+  Status Open(ExecContext* ctx) override;
+  Result<std::optional<Value>> Next() override;
+  void Close() override;
+  std::string Describe() const override;
+  std::vector<const PhysicalOp*> children() const override {
+    return {left_.get(), right_.get()};
+  }
+
+ private:
+  using Keyed = std::pair<Value, Value>;  // (composite key, row)
+
+  /// Loads `source` into `out` with keys computed by `keys` over `var`,
+  /// sorted ascending by key.
+  Status MaterialiseSorted(PhysicalOp* source, const std::vector<Expr>& keys,
+                           const std::string& var, std::vector<Keyed>* out);
+
+  /// Positions right_group_{begin,end}_ at the run of right keys equal to
+  /// `key` (empty run if none). Advances monotonically.
+  void SeekRightRun(const Value& key);
+
+  PhysicalOpPtr left_;
+  PhysicalOpPtr right_;
+  JoinSpec spec_;
+  std::vector<Expr> left_keys_;
+  std::vector<Expr> right_keys_;
+  ExecContext* ctx_ = nullptr;
+
+  std::vector<Keyed> left_rows_;
+  std::vector<Keyed> right_rows_;
+  size_t left_pos_ = 0;
+  size_t right_run_begin_ = 0;
+  size_t right_run_end_ = 0;
+  size_t run_pos_ = 0;       // inner-mode cursor within the run
+  bool left_consumed_ = true;  // true → advance to next left row
+  bool left_matched_ = false;
+};
+
+}  // namespace tmdb
+
+#endif  // TMDB_EXEC_MERGE_JOIN_H_

@@ -1,0 +1,93 @@
+#include "exec/nest_op.h"
+
+#include <unordered_map>
+#include <utility>
+
+#include "base/string_util.h"
+#include "expr/eval.h"
+#include "values/value_ops.h"
+
+namespace tmdb {
+
+namespace {
+
+/// True for the values ν* discards: NULL itself, or a tuple whose
+/// attributes are all NULL (the image of an outerjoin-padded row).
+bool IsNullPadding(const Value& v) {
+  if (v.is_null()) return true;
+  if (!v.is_tuple()) return false;
+  if (v.TupleSize() == 0) return false;
+  for (size_t i = 0; i < v.TupleSize(); ++i) {
+    if (!v.FieldValue(i).is_null()) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Status NestOp::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  output_.clear();
+  pos_ = 0;
+
+  // Group-by hash: key tuple → collected elements. Insertion order of
+  // groups is preserved for deterministic output.
+  std::unordered_map<Value, size_t, ValueHash, ValueEq> group_index;
+  std::vector<Value> keys;
+  std::vector<std::vector<Value>> groups;
+
+  TMDB_RETURN_IF_ERROR(child_->Open(ctx));
+  while (true) {
+    TMDB_ASSIGN_OR_RETURN(std::optional<Value> row, child_->Next());
+    if (!row.has_value()) break;
+    // Key = projection onto the grouping attributes.
+    std::vector<Value> key_values;
+    key_values.reserve(group_attrs_.size());
+    for (const std::string& attr : group_attrs_) {
+      TMDB_ASSIGN_OR_RETURN(Value v, row->Field(attr));
+      key_values.push_back(std::move(v));
+    }
+    Value key = Value::Tuple(group_attrs_, std::move(key_values));
+
+    Environment env(ctx->outer_env);
+    env.Bind(var_, *row);
+    TMDB_ASSIGN_OR_RETURN(Value elem, EvalExpr(elem_, env, ctx->subplans));
+
+    auto [it, inserted] = group_index.emplace(key, groups.size());
+    if (inserted) {
+      keys.push_back(std::move(key));
+      groups.emplace_back();
+    }
+    if (!(null_group_to_empty_ && IsNullPadding(elem))) {
+      groups[it->second].push_back(std::move(elem));
+    }
+    ctx_->stats->rows_built++;
+  }
+  child_->Close();
+
+  output_.reserve(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    TMDB_ASSIGN_OR_RETURN(
+        Value out, ExtendTuple(keys[i], label_, Value::Set(std::move(groups[i]))));
+    output_.push_back(std::move(out));
+  }
+  return Status::OK();
+}
+
+Result<std::optional<Value>> NestOp::Next() {
+  if (pos_ >= output_.size()) return std::optional<Value>();
+  ctx_->stats->rows_emitted++;
+  return std::optional<Value>(output_[pos_++]);
+}
+
+void NestOp::Close() {
+  output_.clear();
+}
+
+std::string NestOp::Describe() const {
+  return StrCat(null_group_to_empty_ ? "Nest*" : "Nest", "[by (",
+                Join(group_attrs_, ", "), "), ", var_, " : ",
+                elem_.ToString(), "; ", label_, "]");
+}
+
+}  // namespace tmdb

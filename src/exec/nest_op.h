@@ -1,0 +1,57 @@
+#ifndef TMDB_EXEC_NEST_OP_H_
+#define TMDB_EXEC_NEST_OP_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "exec/physical_op.h"
+#include "expr/expr.h"
+
+namespace tmdb {
+
+/// ν (and the ν* variant): hash-groups child rows by `group_attrs`,
+/// emitting one tuple per group — the key attributes extended with
+/// (label = { elem(var := row) | row ∈ group }).
+///
+/// With null_group_to_empty (ν*, after Scholl), elements that are NULL or
+/// tuples consisting solely of NULLs are dropped, so groups that exist only
+/// because of outerjoin padding become the empty set. This is what makes
+/// the Ganski–Wong outerjoin strategy equivalent to the nest join (paper,
+/// Section 6, "Algebraic Properties").
+class NestOp final : public PhysicalOp {
+ public:
+  NestOp(PhysicalOpPtr child, std::vector<std::string> group_attrs,
+         std::string var, Expr elem, std::string label,
+         bool null_group_to_empty)
+      : child_(std::move(child)),
+        group_attrs_(std::move(group_attrs)),
+        var_(std::move(var)),
+        elem_(std::move(elem)),
+        label_(std::move(label)),
+        null_group_to_empty_(null_group_to_empty) {}
+
+  Status Open(ExecContext* ctx) override;
+  Result<std::optional<Value>> Next() override;
+  void Close() override;
+  std::string Describe() const override;
+  std::vector<const PhysicalOp*> children() const override {
+    return {child_.get()};
+  }
+
+ private:
+  PhysicalOpPtr child_;
+  std::vector<std::string> group_attrs_;
+  std::string var_;
+  Expr elem_;
+  std::string label_;
+  bool null_group_to_empty_;
+
+  ExecContext* ctx_ = nullptr;
+  std::vector<Value> output_;  // materialised at Open
+  size_t pos_ = 0;
+};
+
+}  // namespace tmdb
+
+#endif  // TMDB_EXEC_NEST_OP_H_

@@ -1,0 +1,45 @@
+#include "exec/physical_op.h"
+
+#include "base/string_util.h"
+
+namespace tmdb {
+
+std::string ExecStats::ToString() const {
+  return StrCat("rows_emitted=", rows_emitted,
+                " predicate_evals=", predicate_evals,
+                " subplan_evals=", subplan_evals, " hash_probes=", hash_probes,
+                " rows_built=", rows_built);
+}
+
+namespace {
+
+void PrintTree(const PhysicalOp& op, int depth, std::string* out) {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  out->append(op.Describe());
+  out->append("\n");
+  for (const PhysicalOp* child : op.children()) {
+    PrintTree(*child, depth + 1, out);
+  }
+}
+
+}  // namespace
+
+std::string PhysicalOp::ToString() const {
+  std::string out;
+  PrintTree(*this, 0, &out);
+  return out;
+}
+
+Result<std::vector<Value>> CollectRows(PhysicalOp* op, ExecContext* ctx) {
+  TMDB_RETURN_IF_ERROR(op->Open(ctx));
+  std::vector<Value> rows;
+  while (true) {
+    TMDB_ASSIGN_OR_RETURN(std::optional<Value> row, op->Next());
+    if (!row.has_value()) break;
+    rows.push_back(std::move(*row));
+  }
+  op->Close();
+  return rows;
+}
+
+}  // namespace tmdb

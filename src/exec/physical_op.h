@@ -1,0 +1,53 @@
+#ifndef TMDB_EXEC_PHYSICAL_OP_H_
+#define TMDB_EXEC_PHYSICAL_OP_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "exec/exec_context.h"
+#include "values/value.h"
+
+namespace tmdb {
+
+class PhysicalOp;
+using PhysicalOpPtr = std::unique_ptr<PhysicalOp>;
+
+/// Volcano-style pull iterator over complex-object rows.
+///
+/// Protocol: Open(ctx) → Next()* → Close(). Open fully resets operator
+/// state, so a plan can be executed repeatedly (the naive nested-loop
+/// strategy re-opens correlated subplans once per outer row).
+class PhysicalOp {
+ public:
+  virtual ~PhysicalOp() = default;
+
+  PhysicalOp() = default;
+  PhysicalOp(const PhysicalOp&) = delete;
+  PhysicalOp& operator=(const PhysicalOp&) = delete;
+
+  /// (Re)initialises the operator. `ctx` must outlive the iteration.
+  virtual Status Open(ExecContext* ctx) = 0;
+  /// Returns the next row, or nullopt at end of stream.
+  virtual Result<std::optional<Value>> Next() = 0;
+  /// Releases per-execution state (materialised inputs, hash tables).
+  virtual void Close() = 0;
+
+  /// One-line description (operator name + parameters).
+  virtual std::string Describe() const = 0;
+  /// Child operators, for tree printing.
+  virtual std::vector<const PhysicalOp*> children() const = 0;
+
+  /// Multi-line physical plan rendering.
+  std::string ToString() const;
+};
+
+/// Runs a physical plan to completion and collects its rows (in emission
+/// order; callers wanting set semantics wrap the result in Value::Set).
+Result<std::vector<Value>> CollectRows(PhysicalOp* op, ExecContext* ctx);
+
+}  // namespace tmdb
+
+#endif  // TMDB_EXEC_PHYSICAL_OP_H_

@@ -1,0 +1,226 @@
+#include "optimizer/planner.h"
+
+#include <cmath>
+#include <utility>
+
+#include "exec/basic_ops.h"
+#include "exec/hash_join.h"
+#include "exec/merge_join.h"
+#include "exec/nest_op.h"
+#include "exec/nested_loop_join.h"
+#include "rewrite/expr_rewrite.h"
+
+namespace tmdb {
+
+std::string JoinImplName(JoinImpl impl) {
+  switch (impl) {
+    case JoinImpl::kAuto:
+      return "auto";
+    case JoinImpl::kNestedLoop:
+      return "nested-loop";
+    case JoinImpl::kHash:
+      return "hash";
+    case JoinImpl::kMerge:
+      return "sort-merge";
+  }
+  return "?";
+}
+
+EquiKeySplit SplitEquiKeys(const Expr& pred, const std::string& left_var,
+                           const std::string& right_var) {
+  EquiKeySplit out;
+  std::vector<Expr> residual;
+  for (Expr& c : SplitConjuncts(pred)) {
+    bool used = false;
+    if (c.is_binary() && c.binary_op() == BinaryOp::kEq &&
+        CollectSubplans(c).empty()) {
+      auto vars_of = [](const Expr& e) { return e.FreeVars(); };
+      const std::set<std::string> l = vars_of(c.lhs());
+      const std::set<std::string> r = vars_of(c.rhs());
+      auto only = [](const std::set<std::string>& s,
+                     const std::string& v) {
+        return s.size() <= 1 && (s.empty() || s.count(v) > 0);
+      };
+      // A key pair must bind both sides: x-side references left_var only,
+      // y-side right_var only (at least one side non-empty each way to be
+      // a useful key; constant = constant goes to residual).
+      if (only(l, left_var) && only(r, right_var) &&
+          (!l.empty() || !r.empty())) {
+        out.left_keys.push_back(c.lhs());
+        out.right_keys.push_back(c.rhs());
+        used = true;
+      } else if (only(l, right_var) && only(r, left_var) &&
+                 (!l.empty() || !r.empty())) {
+        out.left_keys.push_back(c.rhs());
+        out.right_keys.push_back(c.lhs());
+        used = true;
+      }
+    }
+    if (!used) residual.push_back(std::move(c));
+  }
+  out.residual = Expr::AndAll(std::move(residual));
+  return out;
+}
+
+double EstimateCardinality(const LogicalOp& op) {
+  switch (op.op_kind()) {
+    case OpKind::kScan:
+      return static_cast<double>(op.table()->NumRows());
+    case OpKind::kExprSource:
+      return 10.0;  // unknowable without data; small constant
+    case OpKind::kSelect:
+      return 0.25 * EstimateCardinality(*op.input());
+    case OpKind::kMap:
+      return EstimateCardinality(*op.input());
+    case OpKind::kJoin: {
+      const double l = EstimateCardinality(*op.left());
+      const double r = EstimateCardinality(*op.right());
+      EquiKeySplit split =
+          SplitEquiKeys(op.pred(), op.left_var(), op.right_var());
+      if (!split.left_keys.empty()) return std::max(l, r);
+      return 0.1 * l * r;
+    }
+    case OpKind::kSemiJoin:
+    case OpKind::kAntiJoin:
+      return 0.5 * EstimateCardinality(*op.left());
+    case OpKind::kOuterJoin:
+    case OpKind::kNestJoin:
+      // One output tuple per left tuple (at least) for nest join; the
+      // outerjoin is close enough for ranking purposes.
+      return EstimateCardinality(*op.left());
+    case OpKind::kNest:
+      return 0.5 * EstimateCardinality(*op.input());
+    case OpKind::kUnnest:
+      return 4.0 * EstimateCardinality(*op.input());
+    case OpKind::kUnion:
+      return EstimateCardinality(*op.left()) +
+             EstimateCardinality(*op.right());
+    case OpKind::kDifference:
+      return EstimateCardinality(*op.left());
+  }
+  return 1.0;
+}
+
+namespace {
+
+JoinMode ToJoinMode(OpKind kind) {
+  switch (kind) {
+    case OpKind::kJoin:
+      return JoinMode::kInner;
+    case OpKind::kSemiJoin:
+      return JoinMode::kSemi;
+    case OpKind::kAntiJoin:
+      return JoinMode::kAnti;
+    case OpKind::kOuterJoin:
+      return JoinMode::kLeftOuter;
+    default:
+      return JoinMode::kNestJoin;
+  }
+}
+
+}  // namespace
+
+Result<PhysicalOpPtr> Planner::Plan(const LogicalOpPtr& logical) const {
+  switch (logical->op_kind()) {
+    case OpKind::kScan:
+      return PhysicalOpPtr(new TableScanOp(logical->table()));
+    case OpKind::kExprSource:
+      return PhysicalOpPtr(new ExprSourceOp(logical->func()));
+    case OpKind::kSelect: {
+      TMDB_ASSIGN_OR_RETURN(PhysicalOpPtr child, Plan(logical->input()));
+      return PhysicalOpPtr(
+          new FilterOp(std::move(child), logical->var(), logical->pred()));
+    }
+    case OpKind::kMap: {
+      TMDB_ASSIGN_OR_RETURN(PhysicalOpPtr child, Plan(logical->input()));
+      return PhysicalOpPtr(
+          new MapOp(std::move(child), logical->var(), logical->func()));
+    }
+    case OpKind::kJoin:
+    case OpKind::kSemiJoin:
+    case OpKind::kAntiJoin:
+    case OpKind::kOuterJoin:
+    case OpKind::kNestJoin: {
+      TMDB_ASSIGN_OR_RETURN(PhysicalOpPtr left, Plan(logical->left()));
+      TMDB_ASSIGN_OR_RETURN(PhysicalOpPtr right, Plan(logical->right()));
+
+      JoinSpec spec;
+      spec.mode = ToJoinMode(logical->op_kind());
+      spec.left_var = logical->left_var();
+      spec.right_var = logical->right_var();
+      spec.right_type = logical->right()->output_type();
+      if (logical->op_kind() == OpKind::kNestJoin) {
+        spec.func = logical->func();
+        spec.label = logical->label();
+      }
+
+      EquiKeySplit split = SplitEquiKeys(logical->pred(), spec.left_var,
+                                         spec.right_var);
+      JoinImpl impl = options_.join_impl;
+      if (split.left_keys.empty()) {
+        impl = JoinImpl::kNestedLoop;  // only general implementation
+      } else if (impl == JoinImpl::kAuto) {
+        const double l = EstimateCardinality(*logical->left());
+        const double r = EstimateCardinality(*logical->right());
+        const double nl_cost = l * r;
+        const double hash_cost = l + r;
+        const double merge_cost =
+            l * std::log2(l + 2.0) + r * std::log2(r + 2.0);
+        if (hash_cost <= merge_cost && hash_cost <= nl_cost) {
+          impl = JoinImpl::kHash;
+        } else if (merge_cost <= nl_cost) {
+          impl = JoinImpl::kMerge;
+        } else {
+          impl = JoinImpl::kNestedLoop;
+        }
+      }
+
+      switch (impl) {
+        case JoinImpl::kNestedLoop: {
+          spec.pred = logical->pred();  // full predicate
+          return PhysicalOpPtr(new NestedLoopJoinOp(
+              std::move(left), std::move(right), std::move(spec)));
+        }
+        case JoinImpl::kHash: {
+          spec.pred = split.residual;
+          return PhysicalOpPtr(new HashJoinOp(
+              std::move(left), std::move(right), std::move(spec),
+              std::move(split.left_keys), std::move(split.right_keys)));
+        }
+        case JoinImpl::kMerge: {
+          spec.pred = split.residual;
+          return PhysicalOpPtr(new MergeJoinOp(
+              std::move(left), std::move(right), std::move(spec),
+              std::move(split.left_keys), std::move(split.right_keys)));
+        }
+        case JoinImpl::kAuto:
+          break;
+      }
+      return Status::Internal("join implementation not resolved");
+    }
+    case OpKind::kNest: {
+      TMDB_ASSIGN_OR_RETURN(PhysicalOpPtr child, Plan(logical->input()));
+      return PhysicalOpPtr(new NestOp(
+          std::move(child), logical->group_attrs(), logical->var(),
+          logical->func(), logical->label(), logical->null_group_to_empty()));
+    }
+    case OpKind::kUnnest: {
+      TMDB_ASSIGN_OR_RETURN(PhysicalOpPtr child, Plan(logical->input()));
+      return PhysicalOpPtr(
+          new UnnestOp(std::move(child), logical->unnest_attr()));
+    }
+    case OpKind::kUnion: {
+      TMDB_ASSIGN_OR_RETURN(PhysicalOpPtr left, Plan(logical->left()));
+      TMDB_ASSIGN_OR_RETURN(PhysicalOpPtr right, Plan(logical->right()));
+      return PhysicalOpPtr(new UnionOp(std::move(left), std::move(right)));
+    }
+    case OpKind::kDifference: {
+      TMDB_ASSIGN_OR_RETURN(PhysicalOpPtr left, Plan(logical->left()));
+      TMDB_ASSIGN_OR_RETURN(PhysicalOpPtr right, Plan(logical->right()));
+      return PhysicalOpPtr(new DifferenceOp(std::move(left), std::move(right)));
+    }
+  }
+  return Status::Internal("unhandled logical operator in Planner");
+}
+
+}  // namespace tmdb

@@ -1,0 +1,71 @@
+#ifndef TMDB_OPTIMIZER_PLANNER_H_
+#define TMDB_OPTIMIZER_PLANNER_H_
+
+#include <string>
+#include <vector>
+
+#include "algebra/logical_op.h"
+#include "base/result.h"
+#include "exec/physical_op.h"
+
+namespace tmdb {
+
+/// Which join implementation the planner may pick. This is the whole point
+/// of unnesting (paper, Sections 1–2): a nested query *is* a nested-loop
+/// join; once flattened, the optimizer can choose hash or sort-merge
+/// implementations instead.
+enum class JoinImpl {
+  kAuto,        // cost-based choice
+  kNestedLoop,  // force nested loops (what the nested form is stuck with)
+  kHash,
+  kMerge,
+};
+
+std::string JoinImplName(JoinImpl impl);
+
+struct PlannerOptions {
+  JoinImpl join_impl = JoinImpl::kAuto;
+};
+
+/// Cardinality estimate for a logical operator (input sizes from table
+/// row counts; crude textbook selectivities — enough to rank join
+/// implementations, which is all the cost model is used for).
+double EstimateCardinality(const LogicalOp& op);
+
+/// Translates a logical plan into a physical one.
+///
+/// For join-family operators the planner extracts equi-key conjuncts
+/// (f(x) = g(y) with each side referencing only one operand variable) and
+/// picks an implementation:
+///   - keys found + kAuto: hash join vs sort-merge vs nested loop by a
+///     simple cost formula (hash ≈ |L|+|R|, merge ≈ sort cost, NL ≈ |L|·|R|);
+///   - no keys: nested loop (the only general implementation);
+///   - forced via options: that implementation (falls back to nested loop
+///     when keys are required but absent).
+///
+/// The nest join honours the paper's build-side restriction: the right
+/// operand is always the hash build side / the run-grouped side.
+class Planner {
+ public:
+  explicit Planner(PlannerOptions options = PlannerOptions())
+      : options_(options) {}
+
+  Result<PhysicalOpPtr> Plan(const LogicalOpPtr& logical) const;
+
+ private:
+  PlannerOptions options_;
+};
+
+/// Splits `pred` (over `left_var`/`right_var`) into equi-key pairs and a
+/// residual predicate. Exposed for tests and benches.
+struct EquiKeySplit {
+  std::vector<Expr> left_keys;
+  std::vector<Expr> right_keys;
+  Expr residual;
+};
+EquiKeySplit SplitEquiKeys(const Expr& pred, const std::string& left_var,
+                           const std::string& right_var);
+
+}  // namespace tmdb
+
+#endif  // TMDB_OPTIMIZER_PLANNER_H_

@@ -1,0 +1,173 @@
+#include "parser/ast.h"
+
+#include "base/logging.h"
+#include "base/string_util.h"
+
+namespace tmdb {
+
+namespace {
+
+std::string BinaryOpToken(AstBinaryOp op) {
+  switch (op) {
+    case AstBinaryOp::kAdd:
+      return "+";
+    case AstBinaryOp::kSub:
+      return "-";
+    case AstBinaryOp::kMul:
+      return "*";
+    case AstBinaryOp::kDiv:
+      return "/";
+    case AstBinaryOp::kEq:
+      return "=";
+    case AstBinaryOp::kNe:
+      return "<>";
+    case AstBinaryOp::kLt:
+      return "<";
+    case AstBinaryOp::kLe:
+      return "<=";
+    case AstBinaryOp::kGt:
+      return ">";
+    case AstBinaryOp::kGe:
+      return ">=";
+    case AstBinaryOp::kAnd:
+      return "AND";
+    case AstBinaryOp::kOr:
+      return "OR";
+    case AstBinaryOp::kIn:
+      return "IN";
+    case AstBinaryOp::kNotIn:
+      return "NOT IN";
+    case AstBinaryOp::kUnion:
+      return "UNION";
+    case AstBinaryOp::kIntersect:
+      return "INTERSECT";
+    case AstBinaryOp::kDifference:
+      return "DIFF";
+    case AstBinaryOp::kSubsetEq:
+      return "SUBSETEQ";
+    case AstBinaryOp::kSubset:
+      return "SUBSET";
+    case AstBinaryOp::kSupersetEq:
+      return "SUPSETEQ";
+    case AstBinaryOp::kSuperset:
+      return "SUPSET";
+  }
+  return "?";
+}
+
+std::string AggFuncToken(AstAggFunc func) {
+  switch (func) {
+    case AstAggFunc::kCount:
+      return "count";
+    case AstAggFunc::kSum:
+      return "sum";
+    case AstAggFunc::kAvg:
+      return "avg";
+    case AstAggFunc::kMin:
+      return "min";
+    case AstAggFunc::kMax:
+      return "max";
+  }
+  return "?";
+}
+
+std::string WithToString(const std::vector<AstWithDef>& defs) {
+  if (defs.empty()) return "";
+  std::vector<std::string> parts;
+  parts.reserve(defs.size());
+  for (const AstWithDef& def : defs) {
+    parts.push_back(def.name + " = " + def.expr->ToString());
+  }
+  return " WITH " + Join(parts, ", ");
+}
+
+}  // namespace
+
+std::string AstNode::ToString() const {
+  switch (kind) {
+    case AstKind::kLiteral:
+      return literal.ToString();
+    case AstKind::kIdent:
+      return name;
+    case AstKind::kFieldAccess:
+      return children[0]->ToString() + "." + name;
+    case AstKind::kBinary:
+      return StrCat("(", children[0]->ToString(), " ",
+                    BinaryOpToken(binary_op), " ", children[1]->ToString(),
+                    ")");
+    case AstKind::kUnary:
+      return (unary_op == AstUnaryOp::kNot ? "NOT " : "-") +
+             children[0]->ToString();
+    case AstKind::kQuantifier:
+      return StrCat(quant_kind == AstQuantKind::kExists ? "EXISTS " : "FORALL ",
+                    name, " IN ", children[0]->ToString(), " (",
+                    children[1]->ToString(), ")");
+    case AstKind::kAggregate:
+      return StrCat(AggFuncToken(agg_func), "(", children[0]->ToString(), ")");
+    case AstKind::kTupleCtor: {
+      std::vector<std::string> parts;
+      parts.reserve(ctor_names.size());
+      for (size_t i = 0; i < ctor_names.size(); ++i) {
+        parts.push_back(ctor_names[i] + " = " + children[i]->ToString());
+      }
+      return "(" + Join(parts, ", ") + ")";
+    }
+    case AstKind::kSetCtor: {
+      std::vector<std::string> parts;
+      parts.reserve(children.size());
+      for (const AstPtr& c : children) {
+        parts.push_back(c->ToString());
+      }
+      return "{" + Join(parts, ", ") + "}";
+    }
+    case AstKind::kUnnestCall:
+      return StrCat("UNNEST(", children[0]->ToString(), ")");
+    case AstKind::kSfw: {
+      std::string out =
+          StrCat("SELECT ", select_expr->ToString(), WithToString(select_with));
+      std::vector<std::string> froms;
+      froms.reserve(from.size());
+      for (const AstFromBinding& binding : from) {
+        froms.push_back(binding.operand->ToString() + " " + binding.var);
+      }
+      out += " FROM " + Join(froms, ", ");
+      if (where_expr != nullptr) {
+        out += StrCat(" WHERE ", where_expr->ToString(),
+                      WithToString(where_with));
+      }
+      return out;
+    }
+  }
+  return "?";
+}
+
+AstPtr CloneAst(const AstNode& node) {
+  auto copy = std::make_unique<AstNode>(node.kind);
+  copy->literal = node.literal;
+  copy->name = node.name;
+  copy->binary_op = node.binary_op;
+  copy->unary_op = node.unary_op;
+  copy->quant_kind = node.quant_kind;
+  copy->agg_func = node.agg_func;
+  copy->ctor_names = node.ctor_names;
+  copy->line = node.line;
+  copy->column = node.column;
+  copy->children.reserve(node.children.size());
+  for (const AstPtr& c : node.children) {
+    copy->children.push_back(CloneAst(*c));
+  }
+  if (node.select_expr != nullptr) copy->select_expr = CloneAst(*node.select_expr);
+  for (const AstWithDef& def : node.select_with) {
+    copy->select_with.push_back({def.name, CloneAst(*def.expr)});
+  }
+  for (const AstFromBinding& binding : node.from) {
+    copy->from.push_back({CloneAst(*binding.operand), binding.var});
+  }
+  if (node.where_expr != nullptr) copy->where_expr = CloneAst(*node.where_expr);
+  for (const AstWithDef& def : node.where_with) {
+    copy->where_with.push_back({def.name, CloneAst(*def.expr)});
+  }
+  return copy;
+}
+
+}  // namespace tmdb

@@ -1,0 +1,123 @@
+#ifndef TMDB_PARSER_AST_H_
+#define TMDB_PARSER_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "values/value.h"
+
+namespace tmdb {
+
+struct AstNode;
+using AstPtr = std::unique_ptr<AstNode>;
+
+/// Kinds of (untyped) surface-syntax nodes. The shape mirrors the paper's
+/// language: orthogonal expressions where SFW blocks may appear anywhere an
+/// expression may — in particular in the SELECT and WHERE clauses of other
+/// blocks (Section 3.2).
+enum class AstKind {
+  kLiteral,      // 1, 2.5, "s", true, false
+  kIdent,        // variable reference
+  kFieldAccess,  // e.address.city
+  kBinary,       // arithmetic / comparison / connectives / set operators
+  kUnary,        // NOT, unary minus
+  kQuantifier,   // EXISTS v IN e (p) / FORALL v IN e (p)
+  kAggregate,    // count(e), sum(e), avg(e), min(e), max(e)
+  kTupleCtor,    // (a = e1, b = e2)
+  kSetCtor,      // {e1, ..., en}
+  kUnnestCall,   // UNNEST(e) — collapses a set of sets
+  kSfw,          // SELECT ... FROM ... [WHERE ...] with optional WITH lists
+};
+
+/// Surface binary operators (tokens, not yet type-resolved).
+enum class AstBinaryOp {
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAnd,
+  kOr,
+  kIn,
+  kNotIn,
+  kUnion,
+  kIntersect,
+  kDifference,
+  kSubsetEq,
+  kSubset,
+  kSupersetEq,
+  kSuperset,
+};
+
+enum class AstUnaryOp { kNot, kNeg };
+
+enum class AstQuantKind { kExists, kForAll };
+
+enum class AstAggFunc { kCount, kSum, kAvg, kMin, kMax };
+
+/// One `name = expr` local definition from a WITH clause.
+struct AstWithDef {
+  std::string name;
+  AstPtr expr;
+};
+
+/// One `operand variable` binding from a FROM clause.
+struct AstFromBinding {
+  AstPtr operand;
+  std::string var;
+};
+
+/// A single untyped AST node. One struct with a kind discriminator keeps
+/// recursive walks (printer, binder) compact.
+struct AstNode {
+  AstKind kind;
+
+  // kLiteral
+  Value literal;
+  // kIdent / kFieldAccess field name / kQuantifier variable
+  std::string name;
+  // kBinary / kUnary / kQuantifier / kAggregate discriminators
+  AstBinaryOp binary_op = AstBinaryOp::kEq;
+  AstUnaryOp unary_op = AstUnaryOp::kNot;
+  AstQuantKind quant_kind = AstQuantKind::kExists;
+  AstAggFunc agg_func = AstAggFunc::kCount;
+
+  // Children; meaning depends on kind:
+  //   kFieldAccess: [base]; kBinary: [lhs, rhs]; kUnary/kAggregate/
+  //   kUnnestCall: [operand]; kQuantifier: [collection, pred];
+  //   kTupleCtor/kSetCtor: elements.
+  std::vector<AstPtr> children;
+  // kTupleCtor attribute names.
+  std::vector<std::string> ctor_names;
+
+  // kSfw --------------------------------------------------------------
+  AstPtr select_expr;
+  std::vector<AstWithDef> select_with;  // WITH defs scoped to SELECT clause
+  std::vector<AstFromBinding> from;
+  AstPtr where_expr;                    // null = no WHERE clause
+  std::vector<AstWithDef> where_with;   // WITH defs scoped to WHERE clause
+
+  // Source position (1-based line/column of the first token), for errors.
+  int line = 0;
+  int column = 0;
+
+  explicit AstNode(AstKind k) : kind(k) {}
+
+  /// Parenthesised source-like rendering (used in error messages/tests).
+  std::string ToString() const;
+};
+
+/// Deep copy (WITH inlining duplicates definition bodies).
+AstPtr CloneAst(const AstNode& node);
+
+}  // namespace tmdb
+
+#endif  // TMDB_PARSER_AST_H_

@@ -1,0 +1,383 @@
+#include "parser/lexer.h"
+
+#include <cctype>
+#include <map>
+
+#include "base/string_util.h"
+
+namespace tmdb {
+
+namespace {
+
+const std::map<std::string, TokenKind>& KeywordTable() {
+  static const auto& table = *new std::map<std::string, TokenKind>{
+      {"select", TokenKind::kSelect},
+      {"from", TokenKind::kFrom},
+      {"where", TokenKind::kWhere},
+      {"with", TokenKind::kWith},
+      {"in", TokenKind::kIn},
+      {"not", TokenKind::kNot},
+      {"and", TokenKind::kAnd},
+      {"or", TokenKind::kOr},
+      {"exists", TokenKind::kExists},
+      {"forall", TokenKind::kForAll},
+      {"true", TokenKind::kTrue},
+      {"false", TokenKind::kFalse},
+      {"union", TokenKind::kUnion},
+      {"intersect", TokenKind::kIntersect},
+      {"diff", TokenKind::kDiff},
+      {"subseteq", TokenKind::kSubsetEq},
+      {"subset", TokenKind::kSubset},
+      {"supseteq", TokenKind::kSupsetEq},
+      {"supset", TokenKind::kSupset},
+      {"count", TokenKind::kCount},
+      {"sum", TokenKind::kSum},
+      {"avg", TokenKind::kAvg},
+      {"min", TokenKind::kMin},
+      {"max", TokenKind::kMax},
+      {"unnest", TokenKind::kUnnest},
+      {"create", TokenKind::kCreate},
+      {"table", TokenKind::kTable},
+      {"insert", TokenKind::kInsert},
+      {"into", TokenKind::kInto},
+      {"values", TokenKind::kValues},
+      {"define", TokenKind::kDefine},
+      {"sort", TokenKind::kSort},
+      {"as", TokenKind::kAs},
+      {"explain", TokenKind::kExplain},
+  };
+  return table;
+}
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentCont(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+std::string TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kEof:
+      return "end of input";
+    case TokenKind::kIdent:
+      return "identifier";
+    case TokenKind::kIntLit:
+      return "integer literal";
+    case TokenKind::kRealLit:
+      return "real literal";
+    case TokenKind::kStringLit:
+      return "string literal";
+    case TokenKind::kSelect:
+      return "SELECT";
+    case TokenKind::kFrom:
+      return "FROM";
+    case TokenKind::kWhere:
+      return "WHERE";
+    case TokenKind::kWith:
+      return "WITH";
+    case TokenKind::kIn:
+      return "IN";
+    case TokenKind::kNot:
+      return "NOT";
+    case TokenKind::kAnd:
+      return "AND";
+    case TokenKind::kOr:
+      return "OR";
+    case TokenKind::kExists:
+      return "EXISTS";
+    case TokenKind::kForAll:
+      return "FORALL";
+    case TokenKind::kTrue:
+      return "TRUE";
+    case TokenKind::kFalse:
+      return "FALSE";
+    case TokenKind::kUnion:
+      return "UNION";
+    case TokenKind::kIntersect:
+      return "INTERSECT";
+    case TokenKind::kDiff:
+      return "DIFF";
+    case TokenKind::kSubsetEq:
+      return "SUBSETEQ";
+    case TokenKind::kSubset:
+      return "SUBSET";
+    case TokenKind::kSupsetEq:
+      return "SUPSETEQ";
+    case TokenKind::kSupset:
+      return "SUPSET";
+    case TokenKind::kCount:
+      return "COUNT";
+    case TokenKind::kSum:
+      return "SUM";
+    case TokenKind::kAvg:
+      return "AVG";
+    case TokenKind::kMin:
+      return "MIN";
+    case TokenKind::kMax:
+      return "MAX";
+    case TokenKind::kUnnest:
+      return "UNNEST";
+    case TokenKind::kCreate:
+      return "CREATE";
+    case TokenKind::kTable:
+      return "TABLE";
+    case TokenKind::kInsert:
+      return "INSERT";
+    case TokenKind::kInto:
+      return "INTO";
+    case TokenKind::kValues:
+      return "VALUES";
+    case TokenKind::kDefine:
+      return "DEFINE";
+    case TokenKind::kSort:
+      return "SORT";
+    case TokenKind::kAs:
+      return "AS";
+    case TokenKind::kExplain:
+      return "EXPLAIN";
+    case TokenKind::kColon:
+      return "':'";
+    case TokenKind::kSemicolon:
+      return "';'";
+    case TokenKind::kLParen:
+      return "'('";
+    case TokenKind::kRParen:
+      return "')'";
+    case TokenKind::kLBrace:
+      return "'{'";
+    case TokenKind::kRBrace:
+      return "'}'";
+    case TokenKind::kComma:
+      return "','";
+    case TokenKind::kDot:
+      return "'.'";
+    case TokenKind::kEq:
+      return "'='";
+    case TokenKind::kNe:
+      return "'<>'";
+    case TokenKind::kLt:
+      return "'<'";
+    case TokenKind::kLe:
+      return "'<='";
+    case TokenKind::kGt:
+      return "'>'";
+    case TokenKind::kGe:
+      return "'>='";
+    case TokenKind::kPlus:
+      return "'+'";
+    case TokenKind::kMinus:
+      return "'-'";
+    case TokenKind::kStar:
+      return "'*'";
+    case TokenKind::kSlash:
+      return "'/'";
+  }
+  return "?";
+}
+
+Result<std::vector<Token>> Tokenize(std::string_view source) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  int line = 1;
+  int column = 1;
+
+  auto advance = [&](size_t n) {
+    for (size_t k = 0; k < n; ++k) {
+      if (i < source.size() && source[i] == '\n') {
+        ++line;
+        column = 1;
+      } else {
+        ++column;
+      }
+      ++i;
+    }
+  };
+
+  while (i < source.size()) {
+    const char c = source[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      advance(1);
+      continue;
+    }
+    // Comment to end of line.
+    if (c == '-' && i + 1 < source.size() && source[i + 1] == '-') {
+      while (i < source.size() && source[i] != '\n') advance(1);
+      continue;
+    }
+
+    Token tok;
+    tok.line = line;
+    tok.column = column;
+
+    if (IsIdentStart(c)) {
+      size_t start = i;
+      while (i < source.size() && IsIdentCont(source[i])) advance(1);
+      tok.text = std::string(source.substr(start, i - start));
+      auto it = KeywordTable().find(ToLower(tok.text));
+      tok.kind = it == KeywordTable().end() ? TokenKind::kIdent : it->second;
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = i;
+      while (i < source.size() &&
+             std::isdigit(static_cast<unsigned char>(source[i]))) {
+        advance(1);
+      }
+      bool is_real = false;
+      if (i + 1 < source.size() && source[i] == '.' &&
+          std::isdigit(static_cast<unsigned char>(source[i + 1]))) {
+        is_real = true;
+        advance(1);
+        while (i < source.size() &&
+               std::isdigit(static_cast<unsigned char>(source[i]))) {
+          advance(1);
+        }
+      }
+      tok.text = std::string(source.substr(start, i - start));
+      if (is_real) {
+        tok.kind = TokenKind::kRealLit;
+        tok.real_value = std::stod(tok.text);
+      } else {
+        tok.kind = TokenKind::kIntLit;
+        tok.int_value = std::stoll(tok.text);
+      }
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+
+    if (c == '"') {
+      advance(1);
+      std::string text;
+      bool closed = false;
+      while (i < source.size()) {
+        const char d = source[i];
+        if (d == '"') {
+          advance(1);
+          closed = true;
+          break;
+        }
+        if (d == '\\' && i + 1 < source.size()) {
+          const char e = source[i + 1];
+          advance(2);
+          switch (e) {
+            case 'n':
+              text += '\n';
+              break;
+            case 't':
+              text += '\t';
+              break;
+            default:
+              text += e;
+          }
+          continue;
+        }
+        text += d;
+        advance(1);
+      }
+      if (!closed) {
+        return Status::ParseError(
+            StrCat("unterminated string literal at line ", tok.line));
+      }
+      tok.kind = TokenKind::kStringLit;
+      tok.text = std::move(text);
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+
+    auto single = [&](TokenKind kind) {
+      tok.kind = kind;
+      tok.text = std::string(1, c);
+      advance(1);
+      tokens.push_back(std::move(tok));
+    };
+
+    switch (c) {
+      case '(':
+        single(TokenKind::kLParen);
+        continue;
+      case ')':
+        single(TokenKind::kRParen);
+        continue;
+      case '{':
+        single(TokenKind::kLBrace);
+        continue;
+      case '}':
+        single(TokenKind::kRBrace);
+        continue;
+      case ',':
+        single(TokenKind::kComma);
+        continue;
+      case ':':
+        single(TokenKind::kColon);
+        continue;
+      case ';':
+        single(TokenKind::kSemicolon);
+        continue;
+      case '.':
+        single(TokenKind::kDot);
+        continue;
+      case '=':
+        single(TokenKind::kEq);
+        continue;
+      case '+':
+        single(TokenKind::kPlus);
+        continue;
+      case '-':
+        single(TokenKind::kMinus);
+        continue;
+      case '*':
+        single(TokenKind::kStar);
+        continue;
+      case '/':
+        single(TokenKind::kSlash);
+        continue;
+      case '<':
+        if (i + 1 < source.size() && source[i + 1] == '>') {
+          tok.kind = TokenKind::kNe;
+          tok.text = "<>";
+          advance(2);
+        } else if (i + 1 < source.size() && source[i + 1] == '=') {
+          tok.kind = TokenKind::kLe;
+          tok.text = "<=";
+          advance(2);
+        } else {
+          tok.kind = TokenKind::kLt;
+          tok.text = "<";
+          advance(1);
+        }
+        tokens.push_back(std::move(tok));
+        continue;
+      case '>':
+        if (i + 1 < source.size() && source[i + 1] == '=') {
+          tok.kind = TokenKind::kGe;
+          tok.text = ">=";
+          advance(2);
+        } else {
+          tok.kind = TokenKind::kGt;
+          tok.text = ">";
+          advance(1);
+        }
+        tokens.push_back(std::move(tok));
+        continue;
+      default:
+        return Status::ParseError(StrCat("unexpected character '", c,
+                                         "' at line ", line, ", column ",
+                                         column));
+    }
+  }
+
+  Token eof;
+  eof.kind = TokenKind::kEof;
+  eof.line = line;
+  eof.column = column;
+  tokens.push_back(std::move(eof));
+  return tokens;
+}
+
+}  // namespace tmdb

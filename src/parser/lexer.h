@@ -1,0 +1,93 @@
+#ifndef TMDB_PARSER_LEXER_H_
+#define TMDB_PARSER_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/result.h"
+
+namespace tmdb {
+
+enum class TokenKind {
+  kEof,
+  kIdent,
+  kIntLit,
+  kRealLit,
+  kStringLit,
+  // keywords (case-insensitive in source)
+  kSelect,
+  kFrom,
+  kWhere,
+  kWith,
+  kIn,
+  kNot,
+  kAnd,
+  kOr,
+  kExists,
+  kForAll,
+  kTrue,
+  kFalse,
+  kUnion,
+  kIntersect,
+  kDiff,
+  kSubsetEq,
+  kSubset,
+  kSupsetEq,
+  kSupset,
+  kCount,
+  kSum,
+  kAvg,
+  kMin,
+  kMax,
+  kUnnest,
+  // statement keywords
+  kCreate,
+  kTable,
+  kInsert,
+  kInto,
+  kValues,
+  kDefine,
+  kSort,
+  kAs,
+  kExplain,
+  // punctuation / operators
+  kColon,
+  kSemicolon,
+  kLParen,
+  kRParen,
+  kLBrace,
+  kRBrace,
+  kComma,
+  kDot,
+  kEq,      // =
+  kNe,      // <>
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;       // identifier / literal spelling
+  int64_t int_value = 0;  // kIntLit
+  double real_value = 0;  // kRealLit
+  int line = 1;
+  int column = 1;
+};
+
+/// Returns a printable name for a token kind ("SELECT", "','", ...).
+std::string TokenKindName(TokenKind kind);
+
+/// Tokenises `source`; keywords are case-insensitive, identifiers keep their
+/// spelling. `--` starts a comment to end of line. The final token is kEof.
+Result<std::vector<Token>> Tokenize(std::string_view source);
+
+}  // namespace tmdb
+
+#endif  // TMDB_PARSER_LEXER_H_

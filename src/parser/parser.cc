@@ -1,0 +1,676 @@
+#include "parser/parser.h"
+
+#include <utility>
+#include <vector>
+
+#include "base/string_util.h"
+#include "parser/lexer.h"
+#include "parser/statement.h"
+
+namespace tmdb {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<AstPtr> ParseAll() {
+    TMDB_ASSIGN_OR_RETURN(AstPtr expr, ParseExpr());
+    if (Peek().kind != TokenKind::kEof) {
+      return Unexpected("end of input");
+    }
+    return expr;
+  }
+
+  Result<StatementPtr> ParseStatementAll() {
+    TMDB_ASSIGN_OR_RETURN(StatementPtr statement, ParseOneStatement());
+    Match(TokenKind::kSemicolon);
+    if (Peek().kind != TokenKind::kEof) {
+      return Unexpected("end of statement").status();
+    }
+    return statement;
+  }
+
+  Result<std::vector<StatementPtr>> ParseScriptAll() {
+    std::vector<StatementPtr> statements;
+    while (true) {
+      while (Match(TokenKind::kSemicolon)) {
+      }
+      if (Peek().kind == TokenKind::kEof) return statements;
+      TMDB_ASSIGN_OR_RETURN(StatementPtr statement, ParseOneStatement());
+      statements.push_back(std::move(statement));
+      if (Peek().kind != TokenKind::kEof) {
+        TMDB_RETURN_IF_ERROR(Expect(TokenKind::kSemicolon));
+      }
+    }
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    const size_t idx = pos_ + ahead;
+    return idx < tokens_.size() ? tokens_[idx] : tokens_.back();
+  }
+
+  const Token& Advance() { return tokens_[pos_++]; }
+
+  bool Match(TokenKind kind) {
+    if (Peek().kind != kind) return false;
+    ++pos_;
+    return true;
+  }
+
+  Status Expect(TokenKind kind) {
+    if (Match(kind)) return Status::OK();
+    return Unexpected(TokenKindName(kind)).status();
+  }
+
+  Result<AstPtr> Unexpected(const std::string& wanted) const {
+    const Token& t = Peek();
+    return Status::ParseError(StrCat("expected ", wanted, " but found ",
+                                     TokenKindName(t.kind),
+                                     t.text.empty() ? "" : " '" + t.text + "'",
+                                     " at line ", t.line, ", column ",
+                                     t.column));
+  }
+
+  AstPtr MakeNode(AstKind kind) const {
+    auto node = std::make_unique<AstNode>(kind);
+    node->line = Peek().line;
+    node->column = Peek().column;
+    return node;
+  }
+
+  Result<AstPtr> ParseExpr() {
+    // Recursive descent: bound the nesting depth so pathological inputs
+    // (thousands of parentheses) fail cleanly instead of overflowing the
+    // stack, and bound total work so tuple-vs-expression backtracking
+    // cannot go exponential on adversarial input.
+    if (++work_ > kMaxWork) {
+      return Status::ParseError("expression nesting too deep");
+    }
+    if (++depth_ > kMaxDepth) {
+      --depth_;
+      return Status::ParseError("expression nesting too deep");
+    }
+    auto result = ParseOr();
+    --depth_;
+    return result;
+  }
+
+  Result<AstPtr> ParseOr() {
+    TMDB_ASSIGN_OR_RETURN(AstPtr lhs, ParseAnd());
+    while (Peek().kind == TokenKind::kOr) {
+      Advance();
+      TMDB_ASSIGN_OR_RETURN(AstPtr rhs, ParseAnd());
+      AstPtr node = std::make_unique<AstNode>(AstKind::kBinary);
+      node->binary_op = AstBinaryOp::kOr;
+      node->line = lhs->line;
+      node->column = lhs->column;
+      node->children.push_back(std::move(lhs));
+      node->children.push_back(std::move(rhs));
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  Result<AstPtr> ParseAnd() {
+    TMDB_ASSIGN_OR_RETURN(AstPtr lhs, ParseNot());
+    while (Peek().kind == TokenKind::kAnd) {
+      Advance();
+      TMDB_ASSIGN_OR_RETURN(AstPtr rhs, ParseNot());
+      AstPtr node = std::make_unique<AstNode>(AstKind::kBinary);
+      node->binary_op = AstBinaryOp::kAnd;
+      node->line = lhs->line;
+      node->column = lhs->column;
+      node->children.push_back(std::move(lhs));
+      node->children.push_back(std::move(rhs));
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  Result<AstPtr> ParseNot() {
+    if (Peek().kind == TokenKind::kNot &&
+        Peek(1).kind != TokenKind::kIn) {  // `NOT IN` is handled in cmp
+      AstPtr node = MakeNode(AstKind::kUnary);
+      Advance();
+      node->unary_op = AstUnaryOp::kNot;
+      TMDB_ASSIGN_OR_RETURN(AstPtr operand, ParseNot());
+      node->children.push_back(std::move(operand));
+      return node;
+    }
+    return ParseCmp();
+  }
+
+  Result<AstPtr> ParseCmp() {
+    TMDB_ASSIGN_OR_RETURN(AstPtr lhs, ParseAdd());
+    AstBinaryOp op;
+    switch (Peek().kind) {
+      case TokenKind::kEq:
+        op = AstBinaryOp::kEq;
+        break;
+      case TokenKind::kNe:
+        op = AstBinaryOp::kNe;
+        break;
+      case TokenKind::kLt:
+        op = AstBinaryOp::kLt;
+        break;
+      case TokenKind::kLe:
+        op = AstBinaryOp::kLe;
+        break;
+      case TokenKind::kGt:
+        op = AstBinaryOp::kGt;
+        break;
+      case TokenKind::kGe:
+        op = AstBinaryOp::kGe;
+        break;
+      case TokenKind::kIn:
+        op = AstBinaryOp::kIn;
+        break;
+      case TokenKind::kSubsetEq:
+        op = AstBinaryOp::kSubsetEq;
+        break;
+      case TokenKind::kSubset:
+        op = AstBinaryOp::kSubset;
+        break;
+      case TokenKind::kSupsetEq:
+        op = AstBinaryOp::kSupersetEq;
+        break;
+      case TokenKind::kSupset:
+        op = AstBinaryOp::kSuperset;
+        break;
+      case TokenKind::kNot:
+        if (Peek(1).kind == TokenKind::kIn) {
+          Advance();  // NOT
+          op = AstBinaryOp::kNotIn;
+          break;
+        }
+        return lhs;
+      default:
+        return lhs;
+    }
+    Advance();
+    TMDB_ASSIGN_OR_RETURN(AstPtr rhs, ParseAdd());
+    AstPtr node = std::make_unique<AstNode>(AstKind::kBinary);
+    node->binary_op = op;
+    node->line = lhs->line;
+    node->column = lhs->column;
+    node->children.push_back(std::move(lhs));
+    node->children.push_back(std::move(rhs));
+    return node;
+  }
+
+  Result<AstPtr> ParseAdd() {
+    TMDB_ASSIGN_OR_RETURN(AstPtr lhs, ParseMul());
+    while (true) {
+      AstBinaryOp op;
+      switch (Peek().kind) {
+        case TokenKind::kPlus:
+          op = AstBinaryOp::kAdd;
+          break;
+        case TokenKind::kMinus:
+          op = AstBinaryOp::kSub;
+          break;
+        case TokenKind::kUnion:
+          op = AstBinaryOp::kUnion;
+          break;
+        case TokenKind::kDiff:
+          op = AstBinaryOp::kDifference;
+          break;
+        default:
+          return lhs;
+      }
+      Advance();
+      TMDB_ASSIGN_OR_RETURN(AstPtr rhs, ParseMul());
+      AstPtr node = std::make_unique<AstNode>(AstKind::kBinary);
+      node->binary_op = op;
+      node->line = lhs->line;
+      node->column = lhs->column;
+      node->children.push_back(std::move(lhs));
+      node->children.push_back(std::move(rhs));
+      lhs = std::move(node);
+    }
+  }
+
+  Result<AstPtr> ParseMul() {
+    TMDB_ASSIGN_OR_RETURN(AstPtr lhs, ParseUnary());
+    while (true) {
+      AstBinaryOp op;
+      switch (Peek().kind) {
+        case TokenKind::kStar:
+          op = AstBinaryOp::kMul;
+          break;
+        case TokenKind::kSlash:
+          op = AstBinaryOp::kDiv;
+          break;
+        case TokenKind::kIntersect:
+          op = AstBinaryOp::kIntersect;
+          break;
+        default:
+          return lhs;
+      }
+      Advance();
+      TMDB_ASSIGN_OR_RETURN(AstPtr rhs, ParseUnary());
+      AstPtr node = std::make_unique<AstNode>(AstKind::kBinary);
+      node->binary_op = op;
+      node->line = lhs->line;
+      node->column = lhs->column;
+      node->children.push_back(std::move(lhs));
+      node->children.push_back(std::move(rhs));
+      lhs = std::move(node);
+    }
+  }
+
+  Result<AstPtr> ParseUnary() {
+    if (Peek().kind == TokenKind::kMinus) {
+      AstPtr node = MakeNode(AstKind::kUnary);
+      Advance();
+      node->unary_op = AstUnaryOp::kNeg;
+      TMDB_ASSIGN_OR_RETURN(AstPtr operand, ParseUnary());
+      node->children.push_back(std::move(operand));
+      return node;
+    }
+    return ParsePostfix();
+  }
+
+  Result<AstPtr> ParsePostfix() {
+    TMDB_ASSIGN_OR_RETURN(AstPtr expr, ParsePrimary());
+    while (Match(TokenKind::kDot)) {
+      if (Peek().kind != TokenKind::kIdent) {
+        return Unexpected("attribute name after '.'");
+      }
+      AstPtr node = std::make_unique<AstNode>(AstKind::kFieldAccess);
+      node->line = expr->line;
+      node->column = expr->column;
+      node->name = Advance().text;
+      node->children.push_back(std::move(expr));
+      expr = std::move(node);
+    }
+    return expr;
+  }
+
+  Result<AstPtr> ParsePrimary() {
+    const Token& t = Peek();
+    switch (t.kind) {
+      case TokenKind::kIntLit: {
+        AstPtr node = MakeNode(AstKind::kLiteral);
+        node->literal = Value::Int(Advance().int_value);
+        return node;
+      }
+      case TokenKind::kRealLit: {
+        AstPtr node = MakeNode(AstKind::kLiteral);
+        node->literal = Value::Real(Advance().real_value);
+        return node;
+      }
+      case TokenKind::kStringLit: {
+        AstPtr node = MakeNode(AstKind::kLiteral);
+        node->literal = Value::String(Advance().text);
+        return node;
+      }
+      case TokenKind::kTrue: {
+        AstPtr node = MakeNode(AstKind::kLiteral);
+        Advance();
+        node->literal = Value::Bool(true);
+        return node;
+      }
+      case TokenKind::kFalse: {
+        AstPtr node = MakeNode(AstKind::kLiteral);
+        Advance();
+        node->literal = Value::Bool(false);
+        return node;
+      }
+      case TokenKind::kIdent: {
+        AstPtr node = MakeNode(AstKind::kIdent);
+        node->name = Advance().text;
+        return node;
+      }
+      case TokenKind::kSelect:
+        return ParseSfw();
+      case TokenKind::kExists:
+      case TokenKind::kForAll:
+        return ParseQuantifier();
+      case TokenKind::kCount:
+      case TokenKind::kSum:
+      case TokenKind::kAvg:
+      case TokenKind::kMin:
+      case TokenKind::kMax:
+        return ParseAggregate();
+      case TokenKind::kUnnest: {
+        AstPtr node = MakeNode(AstKind::kUnnestCall);
+        Advance();
+        TMDB_RETURN_IF_ERROR(Expect(TokenKind::kLParen));
+        TMDB_ASSIGN_OR_RETURN(AstPtr arg, ParseExpr());
+        TMDB_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+        node->children.push_back(std::move(arg));
+        return node;
+      }
+      case TokenKind::kLBrace: {
+        AstPtr node = MakeNode(AstKind::kSetCtor);
+        Advance();
+        if (!Match(TokenKind::kRBrace)) {
+          while (true) {
+            TMDB_ASSIGN_OR_RETURN(AstPtr elem, ParseExpr());
+            node->children.push_back(std::move(elem));
+            if (Match(TokenKind::kRBrace)) break;
+            TMDB_RETURN_IF_ERROR(Expect(TokenKind::kComma));
+          }
+        }
+        return node;
+      }
+      case TokenKind::kLParen: {
+        // `( ident = ...` is ambiguous between a parenthesised comparison
+        // (v = x.c) and a tuple constructor (a = e1, b = e2). Only that
+        // form backtracks: try the expression reading first and fall back
+        // to the tuple constructor when it fails — e.g. at the ','
+        // separating tuple fields. A single-field tuple therefore needs a
+        // data context (VALUES, tuple field) to parse as a tuple; the
+        // paper's tuple examples always have ≥ 2 fields.
+        if (Peek(1).kind == TokenKind::kIdent &&
+            Peek(2).kind == TokenKind::kEq) {
+          const size_t saved = pos_;
+          Advance();
+          {
+            auto inner = ParseExpr();
+            if (inner.ok() && Match(TokenKind::kRParen)) {
+              return std::move(inner).value();
+            }
+          }
+          pos_ = saved;
+          return ParseTupleCtor();
+        }
+        Advance();
+        TMDB_ASSIGN_OR_RETURN(AstPtr inner, ParseExpr());
+        TMDB_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+        return inner;
+      }
+      default:
+        return Unexpected("an expression");
+    }
+  }
+
+  Result<AstPtr> ParseTupleCtor() {
+    AstPtr node = MakeNode(AstKind::kTupleCtor);
+    TMDB_RETURN_IF_ERROR(Expect(TokenKind::kLParen));
+    while (true) {
+      if (Peek().kind != TokenKind::kIdent) {
+        return Unexpected("attribute name");
+      }
+      node->ctor_names.push_back(Advance().text);
+      TMDB_RETURN_IF_ERROR(Expect(TokenKind::kEq));
+      // Inside a tuple constructor, value position is data-like: a
+      // parenthesised `( ident = ... )` reads as a nested (possibly
+      // single-field) tuple, not a comparison.
+      TMDB_ASSIGN_OR_RETURN(AstPtr value, ParseTupleFirstExpr());
+      node->children.push_back(std::move(value));
+      if (Match(TokenKind::kRParen)) break;
+      TMDB_RETURN_IF_ERROR(Expect(TokenKind::kComma));
+    }
+    return node;
+  }
+
+  /// Parses an expression, preferring the tuple-constructor reading of a
+  /// leading `( ident = ...` (used in data positions: VALUES rows and
+  /// tuple-constructor field values).
+  Result<AstPtr> ParseTupleFirstExpr() {
+    if (Peek().kind == TokenKind::kLParen &&
+        Peek(1).kind == TokenKind::kIdent && Peek(2).kind == TokenKind::kEq) {
+      const size_t saved = pos_;
+      auto tuple = ParseTupleCtor();
+      // The tuple may continue as a larger expression (e.g. a comparison
+      // of two tuples); only accept it where an expression could end.
+      if (tuple.ok()) return tuple;
+      pos_ = saved;
+    }
+    return ParseExpr();
+  }
+
+  Result<AstPtr> ParseQuantifier() {
+    AstPtr node = MakeNode(AstKind::kQuantifier);
+    node->quant_kind = Advance().kind == TokenKind::kExists
+                           ? AstQuantKind::kExists
+                           : AstQuantKind::kForAll;
+    if (Peek().kind != TokenKind::kIdent) {
+      return Unexpected("quantifier variable");
+    }
+    node->name = Advance().text;
+    TMDB_RETURN_IF_ERROR(Expect(TokenKind::kIn));
+    TMDB_ASSIGN_OR_RETURN(AstPtr coll, ParseAdd());
+    TMDB_RETURN_IF_ERROR(Expect(TokenKind::kLParen));
+    TMDB_ASSIGN_OR_RETURN(AstPtr pred, ParseExpr());
+    TMDB_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+    node->children.push_back(std::move(coll));
+    node->children.push_back(std::move(pred));
+    return node;
+  }
+
+  Result<AstPtr> ParseAggregate() {
+    AstPtr node = MakeNode(AstKind::kAggregate);
+    switch (Advance().kind) {
+      case TokenKind::kCount:
+        node->agg_func = AstAggFunc::kCount;
+        break;
+      case TokenKind::kSum:
+        node->agg_func = AstAggFunc::kSum;
+        break;
+      case TokenKind::kAvg:
+        node->agg_func = AstAggFunc::kAvg;
+        break;
+      case TokenKind::kMin:
+        node->agg_func = AstAggFunc::kMin;
+        break;
+      default:
+        node->agg_func = AstAggFunc::kMax;
+        break;
+    }
+    TMDB_RETURN_IF_ERROR(Expect(TokenKind::kLParen));
+    TMDB_ASSIGN_OR_RETURN(AstPtr arg, ParseExpr());
+    TMDB_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+    node->children.push_back(std::move(arg));
+    return node;
+  }
+
+  /// Zero or more `WITH name = expr` clauses (one definition per WITH).
+  Result<std::vector<AstWithDef>> ParseWithDefs() {
+    std::vector<AstWithDef> defs;
+    while (Match(TokenKind::kWith)) {
+      if (Peek().kind != TokenKind::kIdent) {
+        return Unexpected("WITH definition name").status();
+      }
+      AstWithDef def;
+      def.name = Advance().text;
+      TMDB_RETURN_IF_ERROR(Expect(TokenKind::kEq));
+      TMDB_ASSIGN_OR_RETURN(def.expr, ParseExpr());
+      defs.push_back(std::move(def));
+    }
+    return defs;
+  }
+
+  Result<StatementPtr> ParseOneStatement() {
+    auto statement = std::make_unique<Statement>();
+    switch (Peek().kind) {
+      case TokenKind::kCreate: {
+        Advance();
+        TMDB_RETURN_IF_ERROR(Expect(TokenKind::kTable));
+        if (Peek().kind != TokenKind::kIdent) {
+          return Unexpected("table name").status();
+        }
+        statement->kind = Statement::Kind::kCreateTable;
+        statement->target = Advance().text;
+        TMDB_ASSIGN_OR_RETURN(statement->schema, ParseTupleTypeAst());
+        return statement;
+      }
+      case TokenKind::kDefine: {
+        Advance();
+        TMDB_RETURN_IF_ERROR(Expect(TokenKind::kSort));
+        if (Peek().kind != TokenKind::kIdent) {
+          return Unexpected("sort name").status();
+        }
+        statement->kind = Statement::Kind::kDefineSort;
+        statement->target = Advance().text;
+        TMDB_RETURN_IF_ERROR(Expect(TokenKind::kAs));
+        TMDB_ASSIGN_OR_RETURN(statement->schema, ParseTupleTypeAst());
+        return statement;
+      }
+      case TokenKind::kInsert: {
+        Advance();
+        TMDB_RETURN_IF_ERROR(Expect(TokenKind::kInto));
+        if (Peek().kind != TokenKind::kIdent) {
+          return Unexpected("table name").status();
+        }
+        statement->kind = Statement::Kind::kInsert;
+        statement->target = Advance().text;
+        TMDB_RETURN_IF_ERROR(Expect(TokenKind::kValues));
+        while (true) {
+          // VALUES rows are tuple constructors in the common case, so —
+          // unlike in expression position — `(a = 1)` reads as a
+          // single-field tuple here, not a comparison.
+          TMDB_ASSIGN_OR_RETURN(AstPtr value, ParseTupleFirstExpr());
+          statement->values.push_back(std::move(value));
+          if (!Match(TokenKind::kComma)) break;
+        }
+        return statement;
+      }
+      case TokenKind::kExplain: {
+        Advance();
+        statement->kind = Statement::Kind::kExplain;
+        TMDB_ASSIGN_OR_RETURN(statement->query, ParseExpr());
+        return statement;
+      }
+      default: {
+        statement->kind = Statement::Kind::kQuery;
+        TMDB_ASSIGN_OR_RETURN(statement->query, ParseExpr());
+        return statement;
+      }
+    }
+  }
+
+  /// `( name : type, ... )` — CREATE TABLE / DEFINE SORT schemas.
+  Result<TypeAstPtr> ParseTupleTypeAst() {
+    auto tuple = std::make_unique<TypeAst>();
+    tuple->kind = TypeAst::Kind::kTuple;
+    TMDB_RETURN_IF_ERROR(Expect(TokenKind::kLParen));
+    while (true) {
+      if (Peek().kind != TokenKind::kIdent) {
+        return Unexpected("attribute name").status();
+      }
+      tuple->field_names.push_back(Advance().text);
+      TMDB_RETURN_IF_ERROR(Expect(TokenKind::kColon));
+      TMDB_ASSIGN_OR_RETURN(TypeAstPtr field_type, ParseTypeAst());
+      tuple->field_types.push_back(std::move(field_type));
+      if (Match(TokenKind::kRParen)) break;
+      TMDB_RETURN_IF_ERROR(Expect(TokenKind::kComma));
+    }
+    return tuple;
+  }
+
+  Result<TypeAstPtr> ParseTypeAst() {
+    if (Peek().kind == TokenKind::kLParen) return ParseTupleTypeAst();
+    if (Peek().kind != TokenKind::kIdent) {
+      return Unexpected("a type").status();
+    }
+    const std::string name = Advance().text;
+    const std::string lower = ToLower(name);
+    auto node = std::make_unique<TypeAst>();
+    if (lower == "int") {
+      node->kind = TypeAst::Kind::kInt;
+    } else if (lower == "real") {
+      node->kind = TypeAst::Kind::kReal;
+    } else if (lower == "string") {
+      node->kind = TypeAst::Kind::kString;
+    } else if (lower == "bool") {
+      node->kind = TypeAst::Kind::kBool;
+    } else if ((lower == "p" || lower == "l") &&
+               Peek().kind == TokenKind::kLParen) {
+      node->kind = lower == "p" ? TypeAst::Kind::kSet : TypeAst::Kind::kList;
+      Advance();  // (
+      TMDB_ASSIGN_OR_RETURN(node->element, ParseTypeAst());
+      TMDB_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+    } else {
+      node->kind = TypeAst::Kind::kNamed;  // sort reference
+      node->name = name;
+    }
+    return node;
+  }
+
+  Result<AstPtr> ParseSfw() {
+    AstPtr node = MakeNode(AstKind::kSfw);
+    TMDB_RETURN_IF_ERROR(Expect(TokenKind::kSelect));
+    TMDB_ASSIGN_OR_RETURN(node->select_expr, ParseExpr());
+    TMDB_ASSIGN_OR_RETURN(node->select_with, ParseWithDefs());
+    TMDB_RETURN_IF_ERROR(Expect(TokenKind::kFrom));
+    while (true) {
+      AstFromBinding binding;
+      TMDB_ASSIGN_OR_RETURN(binding.operand, ParseAdd());
+      if (Peek().kind != TokenKind::kIdent) {
+        return Unexpected("iteration variable in FROM clause");
+      }
+      binding.var = Advance().text;
+      node->from.push_back(std::move(binding));
+      if (!Match(TokenKind::kComma)) break;
+    }
+    if (Match(TokenKind::kWhere)) {
+      TMDB_ASSIGN_OR_RETURN(node->where_expr, ParseExpr());
+      TMDB_ASSIGN_OR_RETURN(node->where_with, ParseWithDefs());
+    }
+    return node;
+  }
+
+  static constexpr int kMaxDepth = 200;
+  static constexpr size_t kMaxWork = 100000;  // total ParseExpr entries
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  int depth_ = 0;
+  size_t work_ = 0;  // never reset by backtracking
+};
+
+}  // namespace
+
+Result<AstPtr> ParseQuery(std::string_view source) {
+  TMDB_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(source));
+  Parser parser(std::move(tokens));
+  return parser.ParseAll();
+}
+
+Result<StatementPtr> ParseStatement(std::string_view source) {
+  TMDB_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(source));
+  Parser parser(std::move(tokens));
+  return parser.ParseStatementAll();
+}
+
+Result<std::vector<StatementPtr>> ParseScript(std::string_view source) {
+  TMDB_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(source));
+  Parser parser(std::move(tokens));
+  return parser.ParseScriptAll();
+}
+
+std::string TypeAst::ToString() const {
+  switch (kind) {
+    case Kind::kInt:
+      return "INT";
+    case Kind::kReal:
+      return "REAL";
+    case Kind::kString:
+      return "STRING";
+    case Kind::kBool:
+      return "BOOL";
+    case Kind::kSet:
+      return "P(" + element->ToString() + ")";
+    case Kind::kList:
+      return "L(" + element->ToString() + ")";
+    case Kind::kNamed:
+      return name;
+    case Kind::kTuple: {
+      std::vector<std::string> parts;
+      parts.reserve(field_names.size());
+      for (size_t i = 0; i < field_names.size(); ++i) {
+        parts.push_back(field_names[i] + " : " + field_types[i]->ToString());
+      }
+      return "(" + Join(parts, ", ") + ")";
+    }
+  }
+  return "?";
+}
+
+}  // namespace tmdb

@@ -1,0 +1,42 @@
+#ifndef TMDB_PARSER_PARSER_H_
+#define TMDB_PARSER_PARSER_H_
+
+#include <string_view>
+
+#include "base/result.h"
+#include "parser/ast.h"
+
+namespace tmdb {
+
+/// Parses one expression of the TM SFW language into an untyped AST.
+///
+/// Grammar (precedence low → high):
+///
+///   expr        := or
+///   or          := and (OR and)*
+///   and         := not (AND not)*
+///   not         := NOT not | cmp
+///   cmp         := add [(= | <> | < | <= | > | >= | IN | NOT IN |
+///                        SUBSETEQ | SUBSET | SUPSETEQ | SUPSET) add]
+///   add         := mul ((+ | - | UNION | DIFF) mul)*
+///   mul         := unary ((* | / | INTERSECT) unary)*
+///   unary       := - unary | postfix
+///   postfix     := primary (. ident)*
+///   primary     := literal | ident | sfw | quantifier | aggregate
+///                | UNNEST ( expr ) | { [expr (, expr)*] }
+///                | ( ident = expr (, ident = expr)* )     -- tuple
+///                | ( expr )
+///   sfw         := SELECT expr (WITH ident = expr)*
+///                  FROM add ident (, add ident)*
+///                  [WHERE expr (WITH ident = expr)*]
+///   quantifier  := (EXISTS | FORALL) ident IN add ( expr )
+///   aggregate   := (COUNT|SUM|AVG|MIN|MAX) ( expr )
+///
+/// The WITH clause introduces one local definition per WITH keyword (chain
+/// several WITHs for several definitions), matching how the paper writes
+/// `WHERE P(x, z) WITH z = SELECT ...`.
+Result<AstPtr> ParseQuery(std::string_view source);
+
+}  // namespace tmdb
+
+#endif  // TMDB_PARSER_PARSER_H_

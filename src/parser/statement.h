@@ -1,0 +1,62 @@
+#ifndef TMDB_PARSER_STATEMENT_H_
+#define TMDB_PARSER_STATEMENT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "parser/ast.h"
+
+namespace tmdb {
+
+struct TypeAst;
+using TypeAstPtr = std::unique_ptr<TypeAst>;
+
+/// Unresolved type syntax. Named references (sorts) are resolved against
+/// the catalog by the statement executor.
+///
+///   type := INT | REAL | STRING | BOOL
+///         | P ( type ) | L ( type )
+///         | ( name : type, ... )
+///         | SortName
+struct TypeAst {
+  enum class Kind { kInt, kReal, kString, kBool, kSet, kList, kTuple, kNamed };
+  Kind kind = Kind::kInt;
+  std::string name;                 // kNamed
+  TypeAstPtr element;               // kSet / kList
+  std::vector<std::string> field_names;  // kTuple
+  std::vector<TypeAstPtr> field_types;   // kTuple
+
+  std::string ToString() const;
+};
+
+/// One statement of the data language:
+///
+///   CREATE TABLE name (attr : type, ...)
+///   DEFINE SORT Name AS (attr : type, ...)
+///   INSERT INTO name VALUES expr, expr, ...
+///   EXPLAIN <query expression>
+///   <query expression>
+struct Statement {
+  enum class Kind { kQuery, kCreateTable, kDefineSort, kInsert, kExplain };
+  Kind kind = Kind::kQuery;
+
+  AstPtr query;                 // kQuery / kExplain
+  std::string target;           // table / sort name
+  TypeAstPtr schema;            // kCreateTable / kDefineSort
+  std::vector<AstPtr> values;   // kInsert: constant row expressions
+};
+using StatementPtr = std::unique_ptr<Statement>;
+
+/// Parses a single statement. A leading CREATE/DEFINE/INSERT keyword
+/// selects the DDL/DML form; anything else parses as a query expression.
+Result<StatementPtr> ParseStatement(std::string_view source);
+
+/// Parses a ';'-separated script (a trailing ';' is allowed; empty
+/// statements are skipped).
+Result<std::vector<StatementPtr>> ParseScript(std::string_view source);
+
+}  // namespace tmdb
+
+#endif  // TMDB_PARSER_STATEMENT_H_

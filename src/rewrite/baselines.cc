@@ -1,0 +1,309 @@
+#include "rewrite/baselines.h"
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "algebra/subplan.h"
+#include "base/string_util.h"
+#include "rewrite/expr_rewrite.h"
+#include "types/schema_ops.h"
+
+namespace tmdb {
+
+namespace {
+
+/// The canonical two-block query both baselines operate on.
+struct TwoBlock {
+  LogicalOpPtr x_source;            // X (with subquery-free conjuncts applied)
+  std::string x;                    // outer variable
+  Expr conjunct;                    // the conjunct P(x, z)
+  Expr z;                           // the subplan marker inside `conjunct`
+  Expr result_func;                 // F(x)
+  LogicalOpPtr y_source;            // Y (with local conjuncts applied)
+  std::string y;                    // inner variable
+  std::vector<std::pair<std::string, std::string>> keys;  // (x attr, y attr)
+  Expr g;                           // G(y)
+};
+
+/// Matches `plan` against Map[x:F](Select[x:P](X)) with exactly one
+/// subquery conjunct whose correlation predicate is an attribute equijoin.
+Result<TwoBlock> MatchTwoBlock(const LogicalOpPtr& plan) {
+  if (plan->op_kind() != OpKind::kMap ||
+      plan->input()->op_kind() != OpKind::kSelect) {
+    return Status::Unsupported(
+        "baseline rewrites expect Map over Select (two-block query)");
+  }
+  const LogicalOp& select = *plan->input();
+  TwoBlock out;
+  out.x = select.var();
+  out.result_func = plan->func();
+  if (plan->var() != out.x) {
+    return Status::Unsupported("outer Map/Select variables differ");
+  }
+
+  std::vector<Expr> plain;
+  std::optional<Expr> subq_conjunct;
+  for (Expr& c : SplitConjuncts(select.pred())) {
+    std::vector<Expr> subplans = CollectSubplans(c);
+    if (subplans.empty()) {
+      plain.push_back(std::move(c));
+      continue;
+    }
+    if (subplans.size() > 1 || subq_conjunct.has_value()) {
+      return Status::Unsupported(
+          "baseline rewrites support exactly one subquery conjunct");
+    }
+    out.z = subplans[0];
+    subq_conjunct = std::move(c);
+  }
+  if (!subq_conjunct.has_value()) {
+    return Status::Unsupported("no subquery conjunct found");
+  }
+  out.conjunct = std::move(*subq_conjunct);
+
+  out.x_source = select.input();
+  if (!plain.empty()) {
+    TMDB_ASSIGN_OR_RETURN(
+        out.x_source,
+        LogicalOp::Select(out.x_source, out.x, Expr::AndAll(plain)));
+  }
+
+  // Inner block: Map[y:G](Select[y:Q](Y)).
+  const auto& subplan = static_cast<const PlanSubplan&>(out.z.subplan());
+  if (subplan.free_vars() != std::set<std::string>{out.x}) {
+    return Status::Unsupported("subquery is not neighbour-correlated");
+  }
+  const LogicalOpPtr& inner = subplan.plan();
+  if (inner->op_kind() != OpKind::kMap) {
+    return Status::Unsupported("inner block shape not Map[...]");
+  }
+  out.y = inner->var();
+  out.g = inner->func();
+  if (out.g.References(out.x)) {
+    return Status::Unsupported(
+        "baseline rewrites require G to reference the inner variable only");
+  }
+
+  LogicalOpPtr y_base = inner->input();
+  std::vector<Expr> local;
+  std::vector<Expr> corr;
+  if (y_base->op_kind() == OpKind::kSelect && y_base->var() == out.y) {
+    for (Expr& c : SplitConjuncts(y_base->pred())) {
+      (c.References(out.x) ? corr : local).push_back(std::move(c));
+    }
+    y_base = y_base->input();
+  }
+  if (PlanFreeVars(*y_base).count(out.x) > 0) {
+    return Status::Unsupported("inner operand depends on the outer variable");
+  }
+  if (!local.empty()) {
+    TMDB_ASSIGN_OR_RETURN(
+        y_base, LogicalOp::Select(y_base, out.y, Expr::AndAll(local)));
+  }
+  out.y_source = std::move(y_base);
+
+  // Correlation must be attribute equijoins x.a = y.b.
+  auto top_attr = [](const Expr& e,
+                     const std::string& var) -> std::optional<std::string> {
+    if (e.is_field_access() && e.field_base().is_var() &&
+        e.field_base().var_name() == var) {
+      return e.field_name();
+    }
+    return std::nullopt;
+  };
+  for (const Expr& c : corr) {
+    if (!c.is_binary() || c.binary_op() != BinaryOp::kEq) {
+      return Status::Unsupported(
+          StrCat("correlation predicate is not an equijoin: ", c.ToString()));
+    }
+    auto xa = top_attr(c.lhs(), out.x);
+    auto yb = top_attr(c.rhs(), out.y);
+    if (!xa || !yb) {
+      xa = top_attr(c.rhs(), out.x);
+      yb = top_attr(c.lhs(), out.y);
+    }
+    if (!xa || !yb) {
+      return Status::Unsupported(
+          StrCat("correlation predicate is not attribute = attribute: ",
+                 c.ToString()));
+    }
+    out.keys.emplace_back(*xa, *yb);
+  }
+  if (out.keys.empty()) {
+    return Status::Unsupported("no correlation keys (constant subquery)");
+  }
+  return out;
+}
+
+/// Map that projects rows of `input` (x attrs + extras) back onto
+/// `original` — shared with the unnester conceptually, local copy here.
+Result<LogicalOpPtr> StripToType(LogicalOpPtr input, const std::string& var,
+                                 const Type& original) {
+  if (input->output_type().Equals(original)) return input;
+  Expr row = Expr::Var(var, input->output_type());
+  std::vector<std::string> names;
+  std::vector<Expr> fields;
+  for (const Field& f : original.fields()) {
+    names.push_back(f.name);
+    TMDB_ASSIGN_OR_RETURN(Expr field, Expr::Field(row, f.name));
+    fields.push_back(std::move(field));
+  }
+  TMDB_ASSIGN_OR_RETURN(Expr tuple,
+                        Expr::MakeTuple(std::move(names), std::move(fields)));
+  return LogicalOp::Map(std::move(input), var, std::move(tuple));
+}
+
+}  // namespace
+
+Result<LogicalOpPtr> KimRewrite(const LogicalOpPtr& plan) {
+  TMDB_ASSIGN_OR_RETURN(TwoBlock q, MatchTwoBlock(plan));
+  const Type x_type = q.x_source->output_type();
+
+  // (1) Group the inner operand by its join attributes, collecting the
+  // G-images: T(_kim_<b1>, ..., _kim_grp).
+  std::vector<std::string> y_keys;
+  y_keys.reserve(q.keys.size());
+  for (const auto& [xa, yb] : q.keys) y_keys.push_back(yb);
+  TMDB_ASSIGN_OR_RETURN(
+      LogicalOpPtr nested,
+      LogicalOp::Nest(q.y_source, y_keys, q.y, q.g, "_kim_grp",
+                      /*null_group_to_empty=*/false));
+  // Rename group attributes so the join schema stays collision-free.
+  Expr t_row = Expr::Var("_t", nested->output_type());
+  std::vector<std::string> t_names;
+  std::vector<Expr> t_fields;
+  for (const std::string& yb : y_keys) {
+    t_names.push_back("_kim_" + yb);
+    TMDB_ASSIGN_OR_RETURN(Expr field, Expr::Field(t_row, yb));
+    t_fields.push_back(std::move(field));
+  }
+  t_names.push_back("_kim_grp");
+  TMDB_ASSIGN_OR_RETURN(Expr grp_field, Expr::Field(t_row, "_kim_grp"));
+  t_fields.push_back(std::move(grp_field));
+  TMDB_ASSIGN_OR_RETURN(
+      Expr t_tuple, Expr::MakeTuple(std::move(t_names), std::move(t_fields)));
+  TMDB_ASSIGN_OR_RETURN(LogicalOpPtr t_plan,
+                        LogicalOp::Map(std::move(nested), "_t",
+                                       std::move(t_tuple)));
+
+  // (2) Regular join X ⋈ T on the key equalities. Dangling x tuples are
+  // lost here — the bug.
+  Expr x_var = Expr::Var(q.x, x_type);
+  Expr t_var = Expr::Var("_t", t_plan->output_type());
+  std::vector<Expr> key_preds;
+  for (const auto& [xa, yb] : q.keys) {
+    TMDB_ASSIGN_OR_RETURN(Expr lhs, Expr::Field(x_var, xa));
+    TMDB_ASSIGN_OR_RETURN(Expr rhs, Expr::Field(t_var, "_kim_" + yb));
+    TMDB_ASSIGN_OR_RETURN(Expr eq,
+                          Expr::Binary(BinaryOp::kEq, std::move(lhs),
+                                       std::move(rhs)));
+    key_preds.push_back(std::move(eq));
+  }
+  TMDB_ASSIGN_OR_RETURN(
+      LogicalOpPtr joined,
+      LogicalOp::Join(q.x_source, t_plan, q.x, "_t",
+                      Expr::AndAll(std::move(key_preds))));
+
+  // (3) Evaluate P against the grouped attribute, strip, project.
+  const Type joined_type = joined->output_type();
+  TMDB_ASSIGN_OR_RETURN(Expr grp_access,
+                        Expr::Field(Expr::Var(q.x, joined_type), "_kim_grp"));
+  ExprRebindings rebindings;
+  rebindings.subplan_replacements.emplace(&q.z.subplan(),
+                                          std::move(grp_access));
+  rebindings.var_types.emplace(q.x, joined_type);
+  TMDB_ASSIGN_OR_RETURN(Expr pred, RebuildExpr(q.conjunct, rebindings));
+  TMDB_ASSIGN_OR_RETURN(LogicalOpPtr selected,
+                        LogicalOp::Select(std::move(joined), q.x,
+                                          std::move(pred)));
+  TMDB_ASSIGN_OR_RETURN(LogicalOpPtr stripped,
+                        StripToType(std::move(selected), q.x, x_type));
+  return LogicalOp::Map(std::move(stripped), q.x, q.result_func);
+}
+
+Result<LogicalOpPtr> GanskiWongRewrite(const LogicalOpPtr& plan) {
+  TMDB_ASSIGN_OR_RETURN(TwoBlock q, MatchTwoBlock(plan));
+  const Type x_type = q.x_source->output_type();
+  const Type y_type = q.y_source->output_type();
+
+  // (0) Rename the inner operand's attributes (_gw_<name>) so the outerjoin
+  // schema cannot collide with X — the paper's own example joins R.C = S.C.
+  Expr y_orig_var = Expr::Var(q.y, y_type);
+  std::vector<std::string> renamed_names;
+  std::vector<Expr> renamed_fields;
+  for (const Field& f : y_type.fields()) {
+    renamed_names.push_back("_gw_" + f.name);
+    TMDB_ASSIGN_OR_RETURN(Expr field, Expr::Field(y_orig_var, f.name));
+    renamed_fields.push_back(std::move(field));
+  }
+  TMDB_ASSIGN_OR_RETURN(Expr renamed_tuple,
+                        Expr::MakeTuple(std::move(renamed_names),
+                                        std::move(renamed_fields)));
+  TMDB_ASSIGN_OR_RETURN(
+      LogicalOpPtr y_renamed,
+      LogicalOp::Map(q.y_source, q.y, std::move(renamed_tuple)));
+  const Type y_renamed_type = y_renamed->output_type();
+
+  // (1) Left outerjoin X ⟖ Y on Q — dangling x rows survive, padded with
+  // NULLs in the y attribute positions.
+  Expr x_var = Expr::Var(q.x, x_type);
+  Expr y_var = Expr::Var(q.y, y_renamed_type);
+  std::vector<Expr> key_preds;
+  for (const auto& [xa, yb] : q.keys) {
+    TMDB_ASSIGN_OR_RETURN(Expr lhs, Expr::Field(x_var, xa));
+    TMDB_ASSIGN_OR_RETURN(Expr rhs, Expr::Field(y_var, "_gw_" + yb));
+    TMDB_ASSIGN_OR_RETURN(Expr eq,
+                          Expr::Binary(BinaryOp::kEq, std::move(lhs),
+                                       std::move(rhs)));
+    key_preds.push_back(std::move(eq));
+  }
+  TMDB_ASSIGN_OR_RETURN(
+      LogicalOpPtr joined,
+      LogicalOp::OuterJoin(q.x_source, y_renamed, q.x, q.y,
+                           Expr::AndAll(std::move(key_preds))));
+
+  // (2) ν*: group by the x attributes, collect G over the joined row; the
+  // all-NULL image of a padded row is dropped, so dangling groups become ∅.
+  std::vector<std::string> x_attrs;
+  for (const Field& f : x_type.fields()) x_attrs.push_back(f.name);
+  // Rebind G(y) to the flat joined row: y.b ↦ j._gw_b.
+  const std::string j = "_j";
+  Expr j_var = Expr::Var(j, joined->output_type());
+  std::vector<std::string> y_names;
+  std::vector<Expr> y_fields;
+  for (const Field& f : y_type.fields()) {
+    y_names.push_back(f.name);
+    TMDB_ASSIGN_OR_RETURN(Expr field, Expr::Field(j_var, "_gw_" + f.name));
+    y_fields.push_back(std::move(field));
+  }
+  TMDB_ASSIGN_OR_RETURN(
+      Expr y_accessor,
+      Expr::MakeTuple(std::move(y_names), std::move(y_fields)));
+  ExprRebindings g_rebind;
+  g_rebind.var_replacements.emplace(q.y, std::move(y_accessor));
+  TMDB_ASSIGN_OR_RETURN(Expr g_over_row, RebuildExpr(q.g, g_rebind));
+  TMDB_ASSIGN_OR_RETURN(
+      LogicalOpPtr grouped,
+      LogicalOp::Nest(std::move(joined), x_attrs, j, std::move(g_over_row),
+                      "_gw_grp", /*null_group_to_empty=*/true));
+
+  // (3) Evaluate P against the grouped attribute, strip, project.
+  const Type grouped_type = grouped->output_type();
+  TMDB_ASSIGN_OR_RETURN(
+      Expr grp_access,
+      Expr::Field(Expr::Var(q.x, grouped_type), "_gw_grp"));
+  ExprRebindings rebindings;
+  rebindings.subplan_replacements.emplace(&q.z.subplan(),
+                                          std::move(grp_access));
+  rebindings.var_types.emplace(q.x, grouped_type);
+  TMDB_ASSIGN_OR_RETURN(Expr pred, RebuildExpr(q.conjunct, rebindings));
+  TMDB_ASSIGN_OR_RETURN(LogicalOpPtr selected,
+                        LogicalOp::Select(std::move(grouped), q.x,
+                                          std::move(pred)));
+  TMDB_ASSIGN_OR_RETURN(LogicalOpPtr stripped,
+                        StripToType(std::move(selected), q.x, x_type));
+  return LogicalOp::Map(std::move(stripped), q.x, q.result_func);
+}
+
+}  // namespace tmdb

@@ -1,0 +1,38 @@
+#ifndef TMDB_REWRITE_BASELINES_H_
+#define TMDB_REWRITE_BASELINES_H_
+
+#include "algebra/logical_op.h"
+#include "base/result.h"
+
+namespace tmdb {
+
+/// The two relational-literature baselines the paper discusses in
+/// Section 2, implemented as plan rewrites over the canonical two-block
+/// WHERE-nested query
+///
+///   SELECT F(x) FROM X x WHERE P(x, z) ∧ rest(x)
+///     WITH z = SELECT G(y) FROM Y y WHERE Q(x, y)
+///
+/// (naive plan shape: Map[x:F](Select[x:P∧rest](X)) with the subquery as a
+/// correlated subplan). Both require Q to be a conjunction of equality
+/// predicates between a top-level attribute of x and one of y, and G to
+/// reference y only.
+
+/// Kim's algorithm (ACM TODS 1982): group the inner operand by its join
+/// attributes *before* the join, then join and evaluate P against the
+/// group. Faithful to the paper's transformation (1) — including its flaw:
+/// dangling x tuples are lost in the regular join, so predicates that hold
+/// on the empty subquery result (COUNT = 0, ⊆, ...) produce wrong answers.
+/// This is the COUNT bug / SUBSETEQ bug, kept as a baseline on purpose.
+Result<LogicalOpPtr> KimRewrite(const LogicalOpPtr& plan);
+
+/// Ganski–Wong (SIGMOD 1987): replace the join by a left outerjoin and the
+/// grouping by ν* (NULL groups → ∅), repairing the COUNT bug with NULLs.
+/// Correct, but drags NULL handling into a model that — as the paper
+/// argues — does not need it: the nest join subsumes this plan without
+/// ever materialising a NULL.
+Result<LogicalOpPtr> GanskiWongRewrite(const LogicalOpPtr& plan);
+
+}  // namespace tmdb
+
+#endif  // TMDB_REWRITE_BASELINES_H_

@@ -1,0 +1,323 @@
+#include "rewrite/classifier.h"
+
+#include <utility>
+
+#include "base/string_util.h"
+#include "rewrite/expr_rewrite.h"
+
+namespace tmdb {
+
+std::string RewriteFormName(RewriteForm form) {
+  switch (form) {
+    case RewriteForm::kExists:
+      return "∃v∈z (semijoin)";
+    case RewriteForm::kNotExists:
+      return "¬∃v∈z (antijoin)";
+    case RewriteForm::kGrouping:
+      return "grouping (nest join)";
+  }
+  return "?";
+}
+
+namespace {
+
+bool ContainsZ(const Expr& e, const Expr& z) {
+  for (const Expr& s : CollectSubplans(e)) {
+    if (IsSameSubplan(s, z)) return true;
+  }
+  return false;
+}
+
+bool IsEmptySetLiteral(const Expr& e) {
+  if (e.is_set_ctor() && e.ctor_elements().empty()) return true;
+  return e.is_literal() && e.literal_value().is_set() &&
+         e.literal_value().NumElements() == 0;
+}
+
+bool IsIntLiteral(const Expr& e, int64_t v) {
+  return e.is_literal() && e.literal_value().is_int() &&
+         e.literal_value().AsInt() == v;
+}
+
+bool IsCountOfZ(const Expr& e, const Expr& z) {
+  return e.is_aggregate() && e.agg_func() == AggFunc::kCount &&
+         IsSameSubplan(e.agg_arg(), z);
+}
+
+PredicateClass Make(RewriteForm form, std::string rule, std::string var,
+                    std::optional<Expr> inner) {
+  PredicateClass out;
+  out.form = form;
+  out.rule = std::move(rule);
+  out.var = std::move(var);
+  out.inner = std::move(inner);
+  return out;
+}
+
+PredicateClass Flip(PredicateClass c) {
+  switch (c.form) {
+    case RewriteForm::kExists:
+      c.form = RewriteForm::kNotExists;
+      break;
+    case RewriteForm::kNotExists:
+      c.form = RewriteForm::kExists;
+      break;
+    case RewriteForm::kGrouping:
+      break;
+  }
+  if (c.form != RewriteForm::kGrouping) {
+    c.rule = "NOT(" + c.rule + ")";
+  }
+  return c;
+}
+
+/// Classification of a positive-polarity boolean expression `e` containing
+/// z exactly once. `v` is the fresh element variable; `elem` its type.
+Result<PredicateClass> ClassifyPositive(const Expr& e, const Expr& z,
+                                        const std::string& v,
+                                        const Type& elem) {
+  const Expr var = Expr::Var(v, elem);
+
+  // Double negation / NOT: flip the classification of the operand.
+  if (e.is_unary() && e.unary_op() == UnaryOp::kNot) {
+    TMDB_ASSIGN_OR_RETURN(PredicateClass inner,
+                          ClassifyPositive(e.operand(), z, v, elem));
+    return Flip(std::move(inner));
+  }
+
+  // Direct quantifier over z: ∃v∈z (p) and ∀v∈z (p) ≡ ¬∃v∈z (¬p).
+  if (e.is_quantifier() && IsSameSubplan(e.quant_collection(), z)) {
+    if (ContainsZ(e.quant_pred(), z)) {
+      return Make(RewriteForm::kGrouping,
+                  "z occurs again inside the quantifier body", "", {});
+    }
+    // Reuse the query's own variable name — it is already bound in the body.
+    if (e.quant_kind() == QuantKind::kExists) {
+      return Make(RewriteForm::kExists, "∃v∈z (P')  [written directly]",
+                  e.quant_var(), e.quant_pred());
+    }
+    TMDB_ASSIGN_OR_RETURN(Expr negated,
+                          Expr::Unary(UnaryOp::kNot, e.quant_pred()));
+    return Make(RewriteForm::kNotExists,
+                "∀v∈z (P)  ==>  ¬∃v∈z (¬P)", e.quant_var(),
+                std::move(negated));
+  }
+
+  // Quantifier over another collection with a membership test against z:
+  //   ∀w∈a (w ∉ z)  ≡  a ∩ z = ∅   ==>  ¬∃v∈z (v ∈ a)
+  //   ∃w∈a (w ∈ z)  ≡  a ∩ z ≠ ∅  ==>   ∃v∈z (v ∈ a)
+  // (∀w∈a (w ∈ z) ≡ a ⊆ z and ∃w∈a (w ∉ z) ≡ ¬(a ⊆ z) need grouping.)
+  if (e.is_quantifier() && !ContainsZ(e.quant_collection(), z)) {
+    const Expr& body = e.quant_pred();
+    const bool body_in =
+        body.is_binary() && body.binary_op() == BinaryOp::kIn &&
+        body.lhs().is_var() && body.lhs().var_name() == e.quant_var() &&
+        IsSameSubplan(body.rhs(), z);
+    const bool body_not_in =
+        body.is_binary() && body.binary_op() == BinaryOp::kNotIn &&
+        body.lhs().is_var() && body.lhs().var_name() == e.quant_var() &&
+        IsSameSubplan(body.rhs(), z);
+    if (e.quant_kind() == QuantKind::kForAll && body_not_in) {
+      TMDB_ASSIGN_OR_RETURN(
+          Expr inner, Expr::Binary(BinaryOp::kIn, var, e.quant_collection()));
+      return Make(RewriteForm::kNotExists,
+                  "∀w∈a (w ∉ z)  ==>  ¬∃v∈z (v ∈ a)", v, std::move(inner));
+    }
+    if (e.quant_kind() == QuantKind::kExists && body_in) {
+      TMDB_ASSIGN_OR_RETURN(
+          Expr inner, Expr::Binary(BinaryOp::kIn, var, e.quant_collection()));
+      return Make(RewriteForm::kExists,
+                  "∃w∈a (w ∈ z)  ==>  ∃v∈z (v ∈ a)", v, std::move(inner));
+    }
+    if (e.quant_kind() == QuantKind::kForAll && body_in) {
+      return Make(RewriteForm::kGrouping, "∀w∈a (w ∈ z)  ≡  a ⊆ z", "", {});
+    }
+    if (e.quant_kind() == QuantKind::kExists && body_not_in) {
+      return Make(RewriteForm::kGrouping, "∃w∈a (w ∉ z)  ≡  ¬(a ⊆ z)", "",
+                  {});
+    }
+    return Make(RewriteForm::kGrouping,
+                "quantifier body not a membership test against z", "", {});
+  }
+
+  if (!e.is_binary()) {
+    return Make(RewriteForm::kGrouping, "unrecognised predicate form", "",
+                {});
+  }
+
+  const BinaryOp op = e.binary_op();
+  const Expr& l = e.lhs();
+  const Expr& r = e.rhs();
+
+  // z = ∅ family.
+  if (op == BinaryOp::kEq || op == BinaryOp::kNe) {
+    const bool l_is_z = IsSameSubplan(l, z);
+    const bool r_is_z = IsSameSubplan(r, z);
+    if ((l_is_z && IsEmptySetLiteral(r)) || (r_is_z && IsEmptySetLiteral(l))) {
+      if (op == BinaryOp::kEq) {
+        return Make(RewriteForm::kNotExists, "z = ∅  ==>  ¬∃v∈z (true)", v,
+                    Expr::True());
+      }
+      return Make(RewriteForm::kExists, "z ≠ ∅  ==>  ∃v∈z (true)", v,
+                  Expr::True());
+    }
+    // x.a = z / x.a ≠ z (set equality against z) requires the whole set.
+    if (l_is_z || r_is_z) {
+      const Expr& other = l_is_z ? r : l;
+      if (other.type().is_set()) {
+        return Make(RewriteForm::kGrouping,
+                    op == BinaryOp::kEq ? "x.a = z  [set equality]"
+                                        : "x.a ≠ z  [set inequality]",
+                    "", {});
+      }
+    }
+  }
+
+  // count(z) comparisons against constants.
+  {
+    const bool l_cnt = IsCountOfZ(l, z);
+    const bool r_cnt = IsCountOfZ(r, z);
+    if (l_cnt || r_cnt) {
+      const Expr& other = l_cnt ? r : l;
+      // Normalise to count(z) OP const.
+      BinaryOp norm = op;
+      if (r_cnt) {
+        switch (op) {  // mirror the comparison
+          case BinaryOp::kLt:
+            norm = BinaryOp::kGt;
+            break;
+          case BinaryOp::kLe:
+            norm = BinaryOp::kGe;
+            break;
+          case BinaryOp::kGt:
+            norm = BinaryOp::kLt;
+            break;
+          case BinaryOp::kGe:
+            norm = BinaryOp::kLe;
+            break;
+          default:
+            break;
+        }
+      }
+      if (!ContainsZ(other, z)) {
+        if ((norm == BinaryOp::kEq && IsIntLiteral(other, 0)) ||
+            (norm == BinaryOp::kLe && IsIntLiteral(other, 0)) ||
+            (norm == BinaryOp::kLt && IsIntLiteral(other, 1))) {
+          return Make(RewriteForm::kNotExists,
+                      "count(z) = 0  ==>  ¬∃v∈z (true)", v, Expr::True());
+        }
+        if ((norm == BinaryOp::kNe && IsIntLiteral(other, 0)) ||
+            (norm == BinaryOp::kGt && IsIntLiteral(other, 0)) ||
+            (norm == BinaryOp::kGe && IsIntLiteral(other, 1))) {
+          return Make(RewriteForm::kExists,
+                      "count(z) > 0  ==>  ∃v∈z (true)", v, Expr::True());
+        }
+        // x.a = count(z) and friends: the COUNT-bug case — grouping.
+        return Make(RewriteForm::kGrouping,
+                    "x.a OP count(z)  [aggregate between blocks]", "", {});
+      }
+    }
+    // Any other aggregate over z needs the whole subquery result.
+    auto is_agg_of_z = [&z](const Expr& side) {
+      return side.is_aggregate() && IsSameSubplan(side.agg_arg(), z);
+    };
+    if (is_agg_of_z(l) || is_agg_of_z(r)) {
+      return Make(RewriteForm::kGrouping,
+                  "x.a OP agg(z)  [aggregate between blocks]", "", {});
+    }
+  }
+
+  // Membership: e' IN z / e' NOT IN z.
+  if ((op == BinaryOp::kIn || op == BinaryOp::kNotIn) &&
+      IsSameSubplan(r, z) && !ContainsZ(l, z)) {
+    TMDB_ASSIGN_OR_RETURN(Expr inner, Expr::Binary(BinaryOp::kEq, var, l));
+    if (op == BinaryOp::kIn) {
+      return Make(RewriteForm::kExists, "x.a IN z  ==>  ∃v∈z (v = x.a)", v,
+                  std::move(inner));
+    }
+    return Make(RewriteForm::kNotExists,
+                "x.a NOT IN z  ==>  ¬∃v∈z (v = x.a)", v, std::move(inner));
+  }
+
+  // Set containment. x.a ⊇ z (≡ z ⊆ x.a) rewrites; x.a ⊆ z does not.
+  {
+    const Expr* other = nullptr;
+    bool z_below = false;  // true iff the predicate says "z ⊆ other"
+    if (op == BinaryOp::kSubsetEq && IsSameSubplan(l, z)) {
+      other = &r;
+      z_below = true;
+    } else if (op == BinaryOp::kSupersetEq && IsSameSubplan(r, z)) {
+      other = &l;
+      z_below = true;
+    }
+    if (z_below && !ContainsZ(*other, z)) {
+      TMDB_ASSIGN_OR_RETURN(Expr inner,
+                            Expr::Binary(BinaryOp::kNotIn, var, *other));
+      return Make(RewriteForm::kNotExists,
+                  "x.a ⊇ z  ==>  ¬∃v∈z (v ∉ x.a)", v, std::move(inner));
+    }
+    if ((op == BinaryOp::kSubsetEq && IsSameSubplan(r, z)) ||
+        (op == BinaryOp::kSupersetEq && IsSameSubplan(l, z))) {
+      return Make(RewriteForm::kGrouping, "x.a ⊆ z  [whole z needed]", "",
+                  {});
+    }
+    if ((op == BinaryOp::kSubset || op == BinaryOp::kSuperset) &&
+        (IsSameSubplan(l, z) || IsSameSubplan(r, z))) {
+      return Make(RewriteForm::kGrouping,
+                  "proper subset/superset against z  [cardinality needed]",
+                  "", {});
+    }
+  }
+
+  // Intersection emptiness: (a ∩ z) = ∅ and its mirror images.
+  if ((op == BinaryOp::kEq || op == BinaryOp::kNe)) {
+    const Expr* intersect = nullptr;
+    const Expr* empty = nullptr;
+    if (l.is_binary() && l.binary_op() == BinaryOp::kIntersect &&
+        IsEmptySetLiteral(r)) {
+      intersect = &l;
+      empty = &r;
+    } else if (r.is_binary() && r.binary_op() == BinaryOp::kIntersect &&
+               IsEmptySetLiteral(l)) {
+      intersect = &r;
+      empty = &l;
+    }
+    if (intersect != nullptr && empty != nullptr) {
+      const Expr* other = nullptr;
+      if (IsSameSubplan(intersect->lhs(), z) &&
+          !ContainsZ(intersect->rhs(), z)) {
+        other = &intersect->rhs();
+      } else if (IsSameSubplan(intersect->rhs(), z) &&
+                 !ContainsZ(intersect->lhs(), z)) {
+        other = &intersect->lhs();
+      }
+      if (other != nullptr) {
+        TMDB_ASSIGN_OR_RETURN(Expr inner,
+                              Expr::Binary(BinaryOp::kIn, var, *other));
+        if (op == BinaryOp::kEq) {
+          return Make(RewriteForm::kNotExists,
+                      "x.a ∩ z = ∅  ==>  ¬∃v∈z (v ∈ x.a)", v,
+                      std::move(inner));
+        }
+        return Make(RewriteForm::kExists,
+                    "x.a ∩ z ≠ ∅  ==>  ∃v∈z (v ∈ x.a)", v, std::move(inner));
+      }
+    }
+  }
+
+  return Make(RewriteForm::kGrouping, "no Table 2 rule matched", "", {});
+}
+
+}  // namespace
+
+Result<PredicateClass> ClassifyConjunct(const Expr& conjunct, const Expr& z,
+                                        const std::string& fresh_var) {
+  if (!z.is_subplan()) {
+    return Status::InvalidArgument("z marker must be a subplan expression");
+  }
+  const Type& z_type = z.type();
+  Type elem = z_type.is_collection() ? z_type.element() : Type::Any();
+  return ClassifyPositive(conjunct, z, fresh_var, elem);
+}
+
+}  // namespace tmdb

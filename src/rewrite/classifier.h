@@ -1,0 +1,52 @@
+#ifndef TMDB_REWRITE_CLASSIFIER_H_
+#define TMDB_REWRITE_CLASSIFIER_H_
+
+#include <optional>
+#include <string>
+
+#include "base/result.h"
+#include "expr/expr.h"
+
+namespace tmdb {
+
+/// The three outcomes of Theorem 1: a predicate P(x, z) between query
+/// blocks either rewrites to ∃v ∈ z (P'(x, v)), rewrites to
+/// ¬∃v ∈ z (P'(x, v)), or — as far as the rule set can tell — requires the
+/// subquery result z *as a whole* (grouping).
+enum class RewriteForm {
+  kExists,     // → semijoin
+  kNotExists,  // → antijoin
+  kGrouping,   // → nest join
+};
+
+std::string RewriteFormName(RewriteForm form);
+
+/// Result of classifying one conjunct containing the subquery marker z.
+struct PredicateClass {
+  RewriteForm form = RewriteForm::kGrouping;
+  /// The Table 2 row that fired, e.g. "x.a IN z  ==>  ∃v∈z (v = x.a)".
+  std::string rule;
+  /// For kExists/kNotExists: the element variable v and P'(x, v).
+  std::string var;
+  std::optional<Expr> inner;
+};
+
+/// Classifies `conjunct` with respect to the subquery expression `z` (a
+/// kSubplan node appearing exactly once in the conjunct). `fresh_var` names
+/// the element variable v in the produced P'.
+///
+/// Implements the paper's Table 2 as a syntactic rule set, extended with
+/// the closure rules that follow from Theorem 1:
+///  - negation flips ∃ ↔ ¬∃;
+///  - FORALL v IN z (p) ≡ ¬∃v ∈ z (¬p);
+///  - quantifiers over *other* collections whose body is a membership test
+///    against z reduce to intersection emptiness.
+///
+/// Returns kGrouping when no rule applies — by Theorem 1's open question
+/// this is conservative: such predicates are handled by the nest join.
+Result<PredicateClass> ClassifyConjunct(const Expr& conjunct, const Expr& z,
+                                        const std::string& fresh_var);
+
+}  // namespace tmdb
+
+#endif  // TMDB_REWRITE_CLASSIFIER_H_

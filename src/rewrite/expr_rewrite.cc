@@ -1,0 +1,156 @@
+#include "rewrite/expr_rewrite.h"
+
+#include <set>
+#include <utility>
+
+namespace tmdb {
+
+namespace {
+
+void CollectConjuncts(const Expr& e, std::vector<Expr>* out) {
+  if (e.is_binary() && e.binary_op() == BinaryOp::kAnd) {
+    CollectConjuncts(e.lhs(), out);
+    CollectConjuncts(e.rhs(), out);
+    return;
+  }
+  if (IsTrueLiteral(e)) return;
+  out->push_back(e);
+}
+
+void CollectSubplansImpl(const Expr& e, std::set<const SubplanBase*>* seen,
+                         std::vector<Expr>* out) {
+  switch (e.expr_kind()) {
+    case ExprKind::kSubplan:
+      if (seen->insert(&e.subplan()).second) out->push_back(e);
+      return;
+    case ExprKind::kLiteral:
+    case ExprKind::kVarRef:
+      return;
+    case ExprKind::kFieldAccess:
+      CollectSubplansImpl(e.field_base(), seen, out);
+      return;
+    case ExprKind::kBinary:
+      CollectSubplansImpl(e.lhs(), seen, out);
+      CollectSubplansImpl(e.rhs(), seen, out);
+      return;
+    case ExprKind::kUnary:
+      CollectSubplansImpl(e.operand(), seen, out);
+      return;
+    case ExprKind::kQuantifier:
+      CollectSubplansImpl(e.quant_collection(), seen, out);
+      CollectSubplansImpl(e.quant_pred(), seen, out);
+      return;
+    case ExprKind::kAggregate:
+      CollectSubplansImpl(e.agg_arg(), seen, out);
+      return;
+    case ExprKind::kTupleCtor:
+    case ExprKind::kSetCtor:
+      for (const Expr& c : e.ctor_elements()) {
+        CollectSubplansImpl(c, seen, out);
+      }
+      return;
+  }
+}
+
+}  // namespace
+
+std::vector<Expr> SplitConjuncts(const Expr& pred) {
+  std::vector<Expr> out;
+  CollectConjuncts(pred, &out);
+  return out;
+}
+
+bool IsTrueLiteral(const Expr& e) {
+  return e.is_literal() && e.literal_value().is_bool() &&
+         e.literal_value().AsBool();
+}
+
+std::vector<Expr> CollectSubplans(const Expr& e) {
+  std::set<const SubplanBase*> seen;
+  std::vector<Expr> out;
+  CollectSubplansImpl(e, &seen, &out);
+  return out;
+}
+
+bool IsSameSubplan(const Expr& e, const Expr& z) {
+  return e.is_subplan() && z.is_subplan() && &e.subplan() == &z.subplan();
+}
+
+Result<Expr> RebuildExpr(const Expr& e, const ExprRebindings& r) {
+  switch (e.expr_kind()) {
+    case ExprKind::kLiteral:
+      return e;
+    case ExprKind::kVarRef: {
+      auto rep = r.var_replacements.find(e.var_name());
+      if (rep != r.var_replacements.end()) return rep->second;
+      auto ty = r.var_types.find(e.var_name());
+      if (ty != r.var_types.end()) return Expr::Var(e.var_name(), ty->second);
+      return e;
+    }
+    case ExprKind::kFieldAccess: {
+      TMDB_ASSIGN_OR_RETURN(Expr base, RebuildExpr(e.field_base(), r));
+      return Expr::Field(std::move(base), e.field_name());
+    }
+    case ExprKind::kBinary: {
+      TMDB_ASSIGN_OR_RETURN(Expr lhs, RebuildExpr(e.lhs(), r));
+      TMDB_ASSIGN_OR_RETURN(Expr rhs, RebuildExpr(e.rhs(), r));
+      return Expr::Binary(e.binary_op(), std::move(lhs), std::move(rhs));
+    }
+    case ExprKind::kUnary: {
+      TMDB_ASSIGN_OR_RETURN(Expr operand, RebuildExpr(e.operand(), r));
+      return Expr::Unary(e.unary_op(), std::move(operand));
+    }
+    case ExprKind::kQuantifier: {
+      TMDB_ASSIGN_OR_RETURN(Expr coll, RebuildExpr(e.quant_collection(), r));
+      // The quantifier variable shadows any outer rebinding of the same
+      // name inside the body.
+      ExprRebindings inner = r;
+      inner.var_replacements.erase(e.quant_var());
+      inner.var_types.erase(e.quant_var());
+      TMDB_ASSIGN_OR_RETURN(Expr pred, RebuildExpr(e.quant_pred(), inner));
+      return Expr::Quantifier(e.quant_kind(), e.quant_var(), std::move(coll),
+                              std::move(pred));
+    }
+    case ExprKind::kAggregate: {
+      TMDB_ASSIGN_OR_RETURN(Expr arg, RebuildExpr(e.agg_arg(), r));
+      return Expr::Aggregate(e.agg_func(), std::move(arg));
+    }
+    case ExprKind::kTupleCtor: {
+      std::vector<Expr> elems;
+      elems.reserve(e.ctor_elements().size());
+      for (const Expr& c : e.ctor_elements()) {
+        TMDB_ASSIGN_OR_RETURN(Expr rebuilt, RebuildExpr(c, r));
+        elems.push_back(std::move(rebuilt));
+      }
+      return Expr::MakeTuple(e.ctor_names(), std::move(elems));
+    }
+    case ExprKind::kSetCtor: {
+      std::vector<Expr> elems;
+      elems.reserve(e.ctor_elements().size());
+      for (const Expr& c : e.ctor_elements()) {
+        TMDB_ASSIGN_OR_RETURN(Expr rebuilt, RebuildExpr(c, r));
+        elems.push_back(std::move(rebuilt));
+      }
+      // Preserve the declared element type for empty constructors.
+      Type elem_type = e.type().element();
+      return Expr::MakeSet(std::move(elems), std::move(elem_type));
+    }
+    case ExprKind::kSubplan: {
+      auto rep = r.subplan_replacements.find(&e.subplan());
+      if (rep != r.subplan_replacements.end()) return rep->second;
+      // A surviving subplan must not reference rebound/retyped variables:
+      // rebuilding cannot descend into it.
+      for (const std::string& v : e.subplan().free_vars()) {
+        if (r.var_replacements.count(v) > 0 || r.var_types.count(v) > 0) {
+          return Status::Unsupported(
+              "cannot rebind variable '" + v +
+              "' referenced inside an unreplaced subplan");
+        }
+      }
+      return e;
+    }
+  }
+  return Status::Internal("unhandled expression kind in RebuildExpr");
+}
+
+}  // namespace tmdb

@@ -1,0 +1,47 @@
+#ifndef TMDB_REWRITE_EXPR_REWRITE_H_
+#define TMDB_REWRITE_EXPR_REWRITE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "expr/expr.h"
+#include "types/type.h"
+
+namespace tmdb {
+
+/// Splits a predicate into its top-level conjuncts (flattening nested ANDs).
+/// A literal `true` yields no conjuncts.
+std::vector<Expr> SplitConjuncts(const Expr& pred);
+
+/// True iff `e` is the literal boolean `true`.
+bool IsTrueLiteral(const Expr& e);
+
+/// Collects every kSubplan node occurring in `e` (in evaluation order,
+/// duplicates by identity removed).
+std::vector<Expr> CollectSubplans(const Expr& e);
+
+/// True iff `e` is a kSubplan node wrapping the same subplan object as `z`.
+bool IsSameSubplan(const Expr& e, const Expr& z);
+
+/// Instructions for RebuildExpr. The three maps are applied while the
+/// expression tree is reconstructed bottom-up:
+///   - subplan nodes listed in `subplan_replacements` are replaced;
+///   - free variables listed in `var_replacements` are replaced wholesale
+///     (capture-avoiding);
+///   - free variables listed in `var_types` are re-typed (their referencing
+///     field accesses re-typecheck against the new tuple type).
+/// Rebuilding re-runs the checked Expr factories, so a replacement that
+/// breaks typing surfaces as a TypeError instead of a malformed tree.
+struct ExprRebindings {
+  std::map<const SubplanBase*, Expr> subplan_replacements;
+  std::map<std::string, Expr> var_replacements;
+  std::map<std::string, Type> var_types;
+};
+
+Result<Expr> RebuildExpr(const Expr& e, const ExprRebindings& rebindings);
+
+}  // namespace tmdb
+
+#endif  // TMDB_REWRITE_EXPR_REWRITE_H_

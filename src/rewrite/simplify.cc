@@ -1,0 +1,215 @@
+#include "rewrite/simplify.h"
+
+#include <utility>
+#include <vector>
+
+#include "rewrite/expr_rewrite.h"
+
+namespace tmdb {
+
+bool IsIdentityMap(const LogicalOp& op) {
+  return op.op_kind() == OpKind::kMap && op.func().is_var() &&
+         op.func().var_name() == op.var();
+}
+
+bool IsStripProjection(const LogicalOp& op, const Type& schema) {
+  if (op.op_kind() != OpKind::kMap || !schema.is_tuple()) return false;
+  const Expr& func = op.func();
+  if (!func.is_tuple_ctor()) return false;
+  const auto& fields = schema.fields();
+  if (func.ctor_names().size() != fields.size()) return false;
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (func.ctor_names()[i] != fields[i].name) return false;
+    const Expr& elem = func.ctor_elements()[i];
+    if (!elem.is_field_access() || elem.field_name() != fields[i].name ||
+        !elem.field_base().is_var() ||
+        elem.field_base().var_name() != op.var()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+/// True when the operator's output provably contains no duplicate rows.
+/// Map/Nest/Union/Difference deduplicate; Unnest (μ) can emit duplicates
+/// (two distinct rows may agree once the set attribute is dropped), so
+/// dedup-eliding rules must not fire above it. ExprSource over a list may
+/// also repeat elements.
+bool RowsAreSet(const LogicalOp& op) {
+  switch (op.op_kind()) {
+    case OpKind::kScan:
+    case OpKind::kMap:
+    case OpKind::kNest:
+    case OpKind::kUnion:
+    case OpKind::kDifference:
+      return true;
+    case OpKind::kExprSource:
+      return op.func().type().is_set();
+    case OpKind::kSelect:
+      return RowsAreSet(*op.input());
+    case OpKind::kSemiJoin:
+    case OpKind::kAntiJoin:
+    case OpKind::kNestJoin:
+      return RowsAreSet(*op.left());
+    case OpKind::kJoin:
+    case OpKind::kOuterJoin:
+      return RowsAreSet(*op.left()) && RowsAreSet(*op.right());
+    case OpKind::kUnnest:
+      return false;
+  }
+  return false;
+}
+
+/// Applies the local rules at `op` after children have been simplified.
+Result<LogicalOpPtr> SimplifyNode(LogicalOpPtr op) {
+  switch (op->op_kind()) {
+    case OpKind::kSelect: {
+      // Rule 1: trivial predicate.
+      if (IsTrueLiteral(op->pred())) return op->input();
+      // Rule 3: merge adjacent selects over the same variable.
+      const LogicalOpPtr& child = op->input();
+      if (child->op_kind() == OpKind::kSelect && child->var() == op->var()) {
+        return LogicalOp::Select(child->input(), op->var(),
+                                 Expr::And(child->pred(), op->pred()));
+      }
+      return op;
+    }
+    case OpKind::kMap: {
+      // Rule 2: identity projection (only when it does not change the row
+      // type and the input is already duplicate-free — the Map's implicit
+      // deduplication must be a no-op).
+      if (IsIdentityMap(*op) &&
+          op->output_type().Equals(op->input()->output_type()) &&
+          RowsAreSet(*op->input())) {
+        return op->input();
+      }
+      const LogicalOpPtr& child = op->input();
+      // Rule 5: π_X(X ▵ Y) = X — a strip projection onto the nest join's
+      // left schema undoes the nest join (Section 6).
+      if (child->op_kind() == OpKind::kNestJoin &&
+          IsStripProjection(*op, child->left()->output_type()) &&
+          RowsAreSet(*child->left())) {
+        return child->left();
+      }
+      // Rule 4: compose adjacent projections.
+      if (child->op_kind() == OpKind::kMap && child->var() == op->var() &&
+          CollectSubplans(child->func()).empty()) {
+        auto composed = op->func().Substitute(op->var(), child->func());
+        if (composed.ok()) {
+          // Composition drops Map-level deduplication of the inner
+          // projection; that is sound because the outer Map deduplicates
+          // its own output and set semantics are idempotent.
+          return LogicalOp::Map(child->input(), child->var(),
+                                std::move(composed).value());
+        }
+      }
+      return op;
+    }
+    default:
+      return op;
+  }
+}
+
+}  // namespace
+
+Result<LogicalOpPtr> SimplifyPlan(const LogicalOpPtr& plan) {
+  // Simplify children first, rebuilding this node if any changed, then
+  // apply local rules until they stop firing.
+  std::vector<LogicalOpPtr> children;
+  children.reserve(plan->inputs().size());
+  bool changed = false;
+  for (const LogicalOpPtr& child : plan->inputs()) {
+    TMDB_ASSIGN_OR_RETURN(LogicalOpPtr simplified, SimplifyPlan(child));
+    changed = changed || simplified != child;
+    children.push_back(std::move(simplified));
+  }
+
+  LogicalOpPtr current = plan;
+  if (changed) {
+    switch (plan->op_kind()) {
+      case OpKind::kSelect: {
+        TMDB_ASSIGN_OR_RETURN(
+            current, LogicalOp::Select(children[0], plan->var(), plan->pred()));
+        break;
+      }
+      case OpKind::kMap: {
+        TMDB_ASSIGN_OR_RETURN(
+            current, LogicalOp::Map(children[0], plan->var(), plan->func()));
+        break;
+      }
+      case OpKind::kJoin: {
+        TMDB_ASSIGN_OR_RETURN(
+            current, LogicalOp::Join(children[0], children[1],
+                                     plan->left_var(), plan->right_var(),
+                                     plan->pred()));
+        break;
+      }
+      case OpKind::kSemiJoin: {
+        TMDB_ASSIGN_OR_RETURN(
+            current, LogicalOp::SemiJoin(children[0], children[1],
+                                         plan->left_var(), plan->right_var(),
+                                         plan->pred()));
+        break;
+      }
+      case OpKind::kAntiJoin: {
+        TMDB_ASSIGN_OR_RETURN(
+            current, LogicalOp::AntiJoin(children[0], children[1],
+                                         plan->left_var(), plan->right_var(),
+                                         plan->pred()));
+        break;
+      }
+      case OpKind::kOuterJoin: {
+        TMDB_ASSIGN_OR_RETURN(
+            current, LogicalOp::OuterJoin(children[0], children[1],
+                                          plan->left_var(), plan->right_var(),
+                                          plan->pred()));
+        break;
+      }
+      case OpKind::kNestJoin: {
+        TMDB_ASSIGN_OR_RETURN(
+            current,
+            LogicalOp::NestJoin(children[0], children[1], plan->left_var(),
+                                plan->right_var(), plan->pred(), plan->func(),
+                                plan->label()));
+        break;
+      }
+      case OpKind::kNest: {
+        TMDB_ASSIGN_OR_RETURN(
+            current, LogicalOp::Nest(children[0], plan->group_attrs(),
+                                     plan->var(), plan->func(), plan->label(),
+                                     plan->null_group_to_empty()));
+        break;
+      }
+      case OpKind::kUnnest: {
+        TMDB_ASSIGN_OR_RETURN(current,
+                              LogicalOp::Unnest(children[0],
+                                                plan->unnest_attr()));
+        break;
+      }
+      case OpKind::kUnion: {
+        TMDB_ASSIGN_OR_RETURN(current,
+                              LogicalOp::Union(children[0], children[1]));
+        break;
+      }
+      case OpKind::kDifference: {
+        TMDB_ASSIGN_OR_RETURN(current,
+                              LogicalOp::Difference(children[0], children[1]));
+        break;
+      }
+      case OpKind::kScan:
+      case OpKind::kExprSource:
+        break;  // leaves: nothing to rebuild
+    }
+  }
+
+  // Fixed point of local rules at this node.
+  while (true) {
+    TMDB_ASSIGN_OR_RETURN(LogicalOpPtr next, SimplifyNode(current));
+    if (next == current) return current;
+    current = std::move(next);
+  }
+}
+
+}  // namespace tmdb

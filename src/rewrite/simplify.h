@@ -1,0 +1,37 @@
+#ifndef TMDB_REWRITE_SIMPLIFY_H_
+#define TMDB_REWRITE_SIMPLIFY_H_
+
+#include "algebra/logical_op.h"
+#include "base/result.h"
+
+namespace tmdb {
+
+/// Algebraic clean-up rules applied after strategy rewriting. Each rule is
+/// semantics-preserving; together they remove the administrative operators
+/// the unnester introduces:
+///
+///   1. Select[x : true](P)                      ⇒ P
+///   2. Map[x : x](P)  (identity projection)     ⇒ P
+///   3. Select[x : p](Select[x : q](P))          ⇒ Select[x : q ∧ p](P)
+///   4. Map[x : f](Map[x : g](P))                ⇒ Map[x : f[x := g]](P)
+///      (projection composition by substitution; skipped when g contains a
+///      correlated subplan, which Substitute cannot move)
+///   5. Map[strip to X's type](NestJoin(X, Y))   ⇒ X
+///      — the paper's π_X(X ▵ Y) = X (Section 6): a projection that drops
+///      the grouped attribute and keeps exactly the left schema undoes the
+///      nest join entirely.
+///
+/// Rule 5 also fires for SemiJoin-free plans produced by hand; it requires
+/// the stripped schema to equal the nest join's left schema exactly.
+Result<LogicalOpPtr> SimplifyPlan(const LogicalOpPtr& plan);
+
+/// True if `op` is Map[x : x] over its input (identity projection).
+bool IsIdentityMap(const LogicalOp& op);
+
+/// True if `op` is a Map that projects its input rows onto exactly
+/// `schema` by top-level field accesses (the unnester's strip maps).
+bool IsStripProjection(const LogicalOp& op, const Type& schema);
+
+}  // namespace tmdb
+
+#endif  // TMDB_REWRITE_SIMPLIFY_H_

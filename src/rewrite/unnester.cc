@@ -1,0 +1,544 @@
+#include "rewrite/unnester.h"
+
+#include <utility>
+
+#include "base/string_util.h"
+#include "rewrite/expr_rewrite.h"
+#include "types/schema_ops.h"
+
+namespace tmdb {
+
+std::string UnnestReport::ToString() const {
+  std::string out;
+  for (const UnnestEvent& e : events) {
+    out += StrCat("  ", e.conjunct, "\n    rule:   ", e.rule,
+                  "\n    form:   ", RewriteFormName(e.form),
+                  "\n    target: ", e.target, "\n");
+  }
+  return out;
+}
+
+std::string Unnester::FreshLabel() { return StrCat("_grp", counter_++); }
+std::string Unnester::FreshVar() { return StrCat("_v", counter_++); }
+
+Result<std::optional<Unnester::Decomposed>> Unnester::Decompose(
+    const PlanSubplan& subplan, const std::string& outer_var) {
+  const LogicalOpPtr& plan = subplan.plan();
+  // Canonical binder shape: Map[y : G] over (Select[y : Q] over base | base).
+  if (plan->op_kind() != OpKind::kMap) return std::optional<Decomposed>();
+  const std::string& y = plan->var();
+  if (y == outer_var) return std::optional<Decomposed>();  // name collision
+  const Expr& func = plan->func();
+
+  LogicalOpPtr base = plan->input();
+  std::vector<Expr> corr;
+  std::vector<Expr> local;
+  if (base->op_kind() == OpKind::kSelect && base->var() == y) {
+    for (Expr& c : SplitConjuncts(base->pred())) {
+      if (c.References(outer_var)) {
+        corr.push_back(std::move(c));
+      } else {
+        local.push_back(std::move(c));
+      }
+    }
+    base = base->input();
+  }
+
+  // Correlation conjuncts must reference only the outer variable and y
+  // (neighbour correlation, the paper's Section 8 assumption).
+  for (const Expr& c : corr) {
+    for (const std::string& v : c.FreeVars()) {
+      if (v != outer_var && v != y) return std::optional<Decomposed>();
+    }
+  }
+
+  if (!local.empty()) {
+    TMDB_ASSIGN_OR_RETURN(base,
+                          LogicalOp::Select(base, y, Expr::AndAll(local)));
+  }
+  // Recursively unnest the inner source (multi-level linear queries).
+  TMDB_ASSIGN_OR_RETURN(base, Rewrite(base));
+
+  // If the source still depends on the outer variable (e.g. a set-valued
+  // FROM operand like x.emps), the block cannot be flattened.
+  if (PlanFreeVars(*base).count(outer_var) > 0) {
+    return std::optional<Decomposed>();
+  }
+
+  Decomposed out;
+  out.source = std::move(base);
+  out.var = y;
+  out.corr_pred = Expr::AndAll(std::move(corr));
+  out.func = func;
+  return std::optional<Decomposed>(std::move(out));
+}
+
+namespace {
+
+/// One join the unnester decided to perform, in application order.
+struct JoinAction {
+  enum class Kind { kSemi, kAnti, kNest };
+  Kind kind;
+  LogicalOpPtr source;
+  std::string var;
+  Expr pred;  // flat: Q ∧ P'[v := G]; nest: Q
+  // Nest join only:
+  Expr func;
+  std::string label;
+};
+
+/// A conjunct evaluated after the nest joins, with every subquery marker
+/// replaced by its grouped-attribute access. Conjuncts may reference
+/// several subqueries (an extension beyond the paper's single-z setting):
+/// each contributes one nest join and one entry here.
+struct GroupingConjunct {
+  Expr conjunct;
+  std::vector<std::pair<std::shared_ptr<const SubplanBase>, std::string>>
+      labels;  // (subplan, nest join label)
+};
+
+/// Builds a Map projecting the (label-extended) row back onto
+/// `original_type`, dropping nest join labels.
+Result<LogicalOpPtr> StripToType(LogicalOpPtr input, const std::string& var,
+                                 const Type& original_type) {
+  if (input->output_type().Equals(original_type)) return input;
+  if (!original_type.is_tuple()) {
+    return Status::Internal("StripToType requires a tuple row type");
+  }
+  Expr row = Expr::Var(var, input->output_type());
+  std::vector<std::string> names;
+  std::vector<Expr> fields;
+  for (const Field& f : original_type.fields()) {
+    names.push_back(f.name);
+    TMDB_ASSIGN_OR_RETURN(Expr field, Expr::Field(row, f.name));
+    fields.push_back(std::move(field));
+  }
+  TMDB_ASSIGN_OR_RETURN(Expr tuple,
+                        Expr::MakeTuple(std::move(names), std::move(fields)));
+  return LogicalOp::Map(std::move(input), var, std::move(tuple));
+}
+
+}  // namespace
+
+Result<LogicalOpPtr> Unnester::RewriteSelect(const LogicalOp& op) {
+  TMDB_ASSIGN_OR_RETURN(LogicalOpPtr input, Rewrite(op.input()));
+  const std::string& x = op.var();
+  const Type original_type = input->output_type();
+
+  std::vector<Expr> plain;   // conjuncts without subqueries
+  std::vector<Expr> naive;   // subquery conjuncts kept in naive form
+  std::vector<JoinAction> actions;
+  std::vector<GroupingConjunct> grouping;
+
+  for (Expr& c : SplitConjuncts(op.pred())) {
+    std::vector<Expr> subplans = CollectSubplans(c);
+    if (subplans.empty()) {
+      plain.push_back(std::move(c));
+      continue;
+    }
+    UnnestEvent event;
+    event.conjunct = c.ToString();
+
+    auto keep_naive = [&](std::string why) {
+      event.rule = std::move(why);
+      event.target = "naive";
+      report_.events.push_back(event);
+      naive.push_back(c);
+    };
+
+    // Check every subquery of the conjunct is a flattenable neighbour
+    // correlation; a single failure keeps the whole conjunct naive.
+    std::vector<Decomposed> decomposed_all;
+    bool flattenable = true;
+    std::string why;
+    for (const Expr& z : subplans) {
+      const auto& plan_subplan = static_cast<const PlanSubplan&>(z.subplan());
+      const std::set<std::string>& free = plan_subplan.free_vars();
+      if (free.empty()) {
+        flattenable = false;
+        why = "uncorrelated (constant) subquery";
+        break;
+      }
+      if (free.size() > 1 || free.count(x) == 0) {
+        flattenable = false;
+        why = "non-neighbour correlation";
+        break;
+      }
+      TMDB_ASSIGN_OR_RETURN(std::optional<Decomposed> decomposed,
+                            Decompose(plan_subplan, x));
+      if (!decomposed.has_value()) {
+        flattenable = false;
+        why = "subquery not flattenable (set-valued operand or shape)";
+        break;
+      }
+      decomposed_all.push_back(std::move(*decomposed));
+    }
+    if (!flattenable) {
+      keep_naive(std::move(why));
+      continue;
+    }
+
+    if (subplans.size() == 1) {
+      // The paper's setting: one occurrence of z — Table 2 decides.
+      TMDB_ASSIGN_OR_RETURN(PredicateClass cls,
+                            ClassifyConjunct(c, subplans[0], FreshVar()));
+      event.rule = cls.rule;
+      event.form = cls.form;
+      if (cls.form != RewriteForm::kGrouping && options_.use_flat_joins) {
+        // Section 7: join predicate is Q(x, y) ∧ P'(x, G(x, y)).
+        Decomposed& d = decomposed_all[0];
+        TMDB_ASSIGN_OR_RETURN(Expr applied,
+                              cls.inner->Substitute(cls.var, d.func));
+        JoinAction action;
+        action.kind = cls.form == RewriteForm::kExists
+                          ? JoinAction::Kind::kSemi
+                          : JoinAction::Kind::kAnti;
+        action.source = std::move(d.source);
+        action.var = d.var;
+        action.pred = Expr::And(d.corr_pred, std::move(applied));
+        actions.push_back(std::move(action));
+        event.target =
+            cls.form == RewriteForm::kExists ? "SemiJoin" : "AntiJoin";
+        report_.events.push_back(std::move(event));
+        continue;
+      }
+    } else {
+      // Extension beyond the paper: several subqueries in one conjunct,
+      // e.g. count(z1) = count(z2). Each becomes a nest join; the
+      // conjunct is evaluated against the grouped attributes.
+      event.rule = "multiple subqueries in one conjunct (grouping each)";
+      event.form = RewriteForm::kGrouping;
+    }
+
+    // Section 6: nest join(s); the conjunct is evaluated afterwards
+    // against the grouped attribute(s).
+    GroupingConjunct rewrite;
+    rewrite.conjunct = std::move(c);
+    for (size_t i = 0; i < subplans.size(); ++i) {
+      Decomposed& d = decomposed_all[i];
+      JoinAction action;
+      action.kind = JoinAction::Kind::kNest;
+      action.source = std::move(d.source);
+      action.var = d.var;
+      action.pred = std::move(d.corr_pred);
+      action.func = std::move(d.func);
+      action.label = FreshLabel();
+      rewrite.labels.emplace_back(subplans[i].subplan_ptr(), action.label);
+      actions.push_back(std::move(action));
+    }
+    grouping.push_back(std::move(rewrite));
+    event.target = "NestJoin";
+    report_.events.push_back(std::move(event));
+  }
+
+  // Assemble. Selective single-table predicates go first (pushdown), then
+  // naive residual conjuncts on the original schema, then the joins.
+  LogicalOpPtr current = input;
+  if (!plain.empty()) {
+    TMDB_ASSIGN_OR_RETURN(current,
+                          LogicalOp::Select(current, x, Expr::AndAll(plain)));
+  }
+  if (!naive.empty()) {
+    TMDB_ASSIGN_OR_RETURN(current,
+                          LogicalOp::Select(current, x, Expr::AndAll(naive)));
+  }
+
+  bool any_nest = false;
+  for (JoinAction& action : actions) {
+    switch (action.kind) {
+      case JoinAction::Kind::kSemi: {
+        TMDB_ASSIGN_OR_RETURN(
+            current, LogicalOp::SemiJoin(current, action.source, x,
+                                         action.var, action.pred));
+        break;
+      }
+      case JoinAction::Kind::kAnti: {
+        TMDB_ASSIGN_OR_RETURN(
+            current, LogicalOp::AntiJoin(current, action.source, x,
+                                         action.var, action.pred));
+        break;
+      }
+      case JoinAction::Kind::kNest: {
+        any_nest = true;
+        TMDB_ASSIGN_OR_RETURN(
+            current,
+            LogicalOp::NestJoin(current, action.source, x, action.var,
+                                action.pred, action.func, action.label));
+        break;
+      }
+    }
+  }
+
+  if (any_nest) {
+    // Rewrite the grouping conjuncts against the final (label-extended)
+    // row type: each subquery marker z becomes the field access x.label.
+    const Type extended = current->output_type();
+    Expr row = Expr::Var(x, extended);
+    std::vector<Expr> rewritten;
+    for (const GroupingConjunct& g : grouping) {
+      ExprRebindings rebindings;
+      rebindings.var_types.emplace(x, extended);
+      for (const auto& [subplan, label] : g.labels) {
+        TMDB_ASSIGN_OR_RETURN(Expr field, Expr::Field(row, label));
+        rebindings.subplan_replacements.emplace(subplan.get(),
+                                                std::move(field));
+      }
+      TMDB_ASSIGN_OR_RETURN(Expr conjunct,
+                            RebuildExpr(g.conjunct, rebindings));
+      rewritten.push_back(std::move(conjunct));
+    }
+    TMDB_ASSIGN_OR_RETURN(
+        current, LogicalOp::Select(current, x, Expr::AndAll(rewritten)));
+    TMDB_ASSIGN_OR_RETURN(current, StripToType(current, x, original_type));
+  }
+  return current;
+}
+
+Result<LogicalOpPtr> Unnester::RewriteMap(const LogicalOp& op) {
+  TMDB_ASSIGN_OR_RETURN(LogicalOpPtr input, Rewrite(op.input()));
+  const std::string& x = op.var();
+  Expr func = op.func();
+
+  // SELECT-clause nesting (Section 5): every flattenable correlated
+  // subquery in the projection becomes a nest join; the projection then
+  // reads the grouped attribute. Grouping is unavoidable here — the result
+  // structure demands it.
+  LogicalOpPtr current = input;
+  ExprRebindings rebindings;
+  for (const Expr& z : CollectSubplans(func)) {
+    const auto& plan_subplan = static_cast<const PlanSubplan&>(z.subplan());
+    const std::set<std::string>& free = plan_subplan.free_vars();
+    UnnestEvent event;
+    event.conjunct = z.ToString();
+    if (free.size() != 1 || free.count(x) == 0) {
+      event.rule = free.empty() ? "uncorrelated (constant) subquery"
+                                : "non-neighbour correlation";
+      event.target = "naive";
+      report_.events.push_back(std::move(event));
+      continue;
+    }
+    TMDB_ASSIGN_OR_RETURN(std::optional<Decomposed> decomposed,
+                          Decompose(plan_subplan, x));
+    if (!decomposed.has_value()) {
+      event.rule = "subquery not flattenable (set-valued operand or shape)";
+      event.target = "naive";
+      report_.events.push_back(std::move(event));
+      continue;
+    }
+    const std::string label = FreshLabel();
+    TMDB_ASSIGN_OR_RETURN(
+        current,
+        LogicalOp::NestJoin(current, decomposed->source, x, decomposed->var,
+                            decomposed->corr_pred, decomposed->func, label));
+    TMDB_ASSIGN_OR_RETURN(
+        Expr field,
+        Expr::Field(Expr::Var(x, current->output_type()), label));
+    rebindings.subplan_replacements.emplace(z.subplan_ptr().get(),
+                                            std::move(field));
+    event.rule = "nesting in the SELECT clause requires grouping";
+    event.form = RewriteForm::kGrouping;
+    event.target = "NestJoin";
+    report_.events.push_back(std::move(event));
+  }
+
+  if (!rebindings.subplan_replacements.empty()) {
+    // Field accesses into already-placed labels must see the final type.
+    rebindings.var_types.emplace(x, current->output_type());
+    // Re-point intermediate label accesses at the final row type by
+    // rebuilding them: Field exprs stored above were typed against the
+    // plan state at their creation; rebuilding the whole projection with
+    // the final var type fixes them up.
+    TMDB_ASSIGN_OR_RETURN(func, RebuildExpr(func, rebindings));
+  }
+  return LogicalOp::Map(std::move(current), x, std::move(func));
+}
+
+Result<LogicalOpPtr> Unnester::FlattenUnnestCase(
+    const LogicalOpPtr& x_plan, const Decomposed& decomposed,
+    const std::string& x, const std::string& description) {
+  // Rename the inner operand's attributes (_u_<name>) so the flat join
+  // schema cannot collide with X.
+  const Type y_type = decomposed.source->output_type();
+  const std::string& y = decomposed.var;
+  Expr y_orig = Expr::Var(y, y_type);
+  std::vector<std::string> renamed_names;
+  std::vector<Expr> renamed_fields;
+  for (const Field& f : y_type.fields()) {
+    renamed_names.push_back("_u_" + f.name);
+    TMDB_ASSIGN_OR_RETURN(Expr field, Expr::Field(y_orig, f.name));
+    renamed_fields.push_back(std::move(field));
+  }
+  TMDB_ASSIGN_OR_RETURN(Expr renamed_tuple,
+                        Expr::MakeTuple(std::move(renamed_names),
+                                        std::move(renamed_fields)));
+  TMDB_ASSIGN_OR_RETURN(
+      LogicalOpPtr y_renamed,
+      LogicalOp::Map(decomposed.source, y, std::move(renamed_tuple)));
+
+  // Rebind the correlation predicate's y to a projection of the renamed
+  // row back onto the original attribute names.
+  Expr y_new = Expr::Var(y, y_renamed->output_type());
+  std::vector<std::string> back_names;
+  std::vector<Expr> back_fields;
+  for (const Field& f : y_type.fields()) {
+    back_names.push_back(f.name);
+    TMDB_ASSIGN_OR_RETURN(Expr field, Expr::Field(y_new, "_u_" + f.name));
+    back_fields.push_back(std::move(field));
+  }
+  TMDB_ASSIGN_OR_RETURN(
+      Expr y_accessor,
+      Expr::MakeTuple(std::move(back_names), std::move(back_fields)));
+  ExprRebindings pred_rebind;
+  pred_rebind.var_replacements.emplace(y, y_accessor);
+  auto pred = RebuildExpr(decomposed.corr_pred, pred_rebind);
+  if (!pred.ok()) return LogicalOpPtr();  // fall back to naive
+
+  auto joined = LogicalOp::Join(x_plan, std::move(y_renamed), x, y,
+                                std::move(pred).value());
+  if (!joined.ok()) return LogicalOpPtr();
+  LogicalOpPtr join = std::move(joined).value();
+
+  // Rebind G(x, y) to the flat joined row.
+  const std::string j = FreshVar();
+  Expr row = Expr::Var(j, join->output_type());
+  std::vector<std::string> x_names;
+  std::vector<Expr> x_fields;
+  for (const Field& f : x_plan->output_type().fields()) {
+    x_names.push_back(f.name);
+    TMDB_ASSIGN_OR_RETURN(Expr field, Expr::Field(row, f.name));
+    x_fields.push_back(std::move(field));
+  }
+  TMDB_ASSIGN_OR_RETURN(Expr x_tuple, Expr::MakeTuple(std::move(x_names),
+                                                      std::move(x_fields)));
+  std::vector<std::string> yj_names;
+  std::vector<Expr> yj_fields;
+  for (const Field& f : y_type.fields()) {
+    yj_names.push_back(f.name);
+    TMDB_ASSIGN_OR_RETURN(Expr field, Expr::Field(row, "_u_" + f.name));
+    yj_fields.push_back(std::move(field));
+  }
+  TMDB_ASSIGN_OR_RETURN(Expr y_tuple, Expr::MakeTuple(std::move(yj_names),
+                                                      std::move(yj_fields)));
+  ExprRebindings g_rebind;
+  g_rebind.var_replacements.emplace(x, std::move(x_tuple));
+  g_rebind.var_replacements.emplace(y, std::move(y_tuple));
+  auto g = RebuildExpr(decomposed.func, g_rebind);
+  if (!g.ok()) return LogicalOpPtr();
+
+  UnnestEvent event;
+  event.conjunct = description;
+  event.rule = "UNNEST(SELECT (SELECT ...))  ==>  flat join (Section 5)";
+  event.form = RewriteForm::kExists;
+  event.target = "Join";
+  report_.events.push_back(std::move(event));
+  return LogicalOp::Map(std::move(join), j, std::move(g).value());
+}
+
+Result<LogicalOpPtr> Unnester::Rewrite(const LogicalOpPtr& plan) {
+  switch (plan->op_kind()) {
+    case OpKind::kSelect:
+      return RewriteSelect(*plan);
+    case OpKind::kMap:
+      return RewriteMap(*plan);
+    case OpKind::kExprSource: {
+      const Expr& expr = plan->func();
+      // A subquery used as a FROM operand (SELECT ... FROM (SELECT ...) v)
+      // "can be rewritten easily" (Section 3.2): when uncorrelated, iterate
+      // the inner plan directly instead of materialising its value.
+      if (expr.is_subplan() && expr.subplan().free_vars().empty()) {
+        const auto& subplan = static_cast<const PlanSubplan&>(expr.subplan());
+        UnnestEvent event;
+        event.conjunct = expr.ToString();
+        event.rule = "subquery in FROM  ==>  inlined operand (Section 3.2)";
+        event.form = RewriteForm::kExists;
+        event.target = "inline";
+        report_.events.push_back(std::move(event));
+        return Rewrite(subplan.plan());
+      }
+      // UNNEST(SELECT (SELECT ...)) — try the flat-join rewrite; fall back
+      // to the naive ExprSource.
+      if (expr.is_unary() && expr.unary_op() == UnaryOp::kUnnest &&
+          expr.operand().is_subplan()) {
+        const auto& outer =
+            static_cast<const PlanSubplan&>(expr.operand().subplan());
+        if (outer.free_vars().empty() &&
+            outer.plan()->op_kind() == OpKind::kMap &&
+            outer.plan()->func().is_subplan()) {
+          const std::string& x = outer.plan()->var();
+          const auto& inner = static_cast<const PlanSubplan&>(
+              outer.plan()->func().subplan());
+          if (inner.free_vars() == std::set<std::string>{x}) {
+            TMDB_ASSIGN_OR_RETURN(std::optional<Decomposed> decomposed,
+                                  Decompose(inner, x));
+            LogicalOpPtr x_source = outer.plan()->input();
+            // Only the canonical shape (X source without its own WHERE) is
+            // handled; anything else falls back to naive.
+            if (decomposed.has_value() &&
+                x_source->output_type().is_tuple() &&
+                decomposed->source->output_type().is_tuple()) {
+              TMDB_ASSIGN_OR_RETURN(LogicalOpPtr x_plan, Rewrite(x_source));
+              TMDB_ASSIGN_OR_RETURN(
+                  LogicalOpPtr rewritten,
+                  FlattenUnnestCase(x_plan, *decomposed, x, expr.ToString()));
+              if (rewritten != nullptr) return rewritten;
+            }
+          }
+        }
+      }
+      return plan;
+    }
+    case OpKind::kScan:
+      return plan;
+    default: {
+      // Rebuild other operators over rewritten children. Their embedded
+      // expressions are preserved as-is (subqueries inside join predicates
+      // etc. stay naive).
+      if (plan->inputs().empty()) return plan;
+      std::vector<LogicalOpPtr> children;
+      children.reserve(plan->inputs().size());
+      bool changed = false;
+      for (const LogicalOpPtr& child : plan->inputs()) {
+        TMDB_ASSIGN_OR_RETURN(LogicalOpPtr rewritten, Rewrite(child));
+        changed = changed || rewritten != child;
+        children.push_back(std::move(rewritten));
+      }
+      if (!changed) return plan;
+      switch (plan->op_kind()) {
+        case OpKind::kJoin:
+          return LogicalOp::Join(children[0], children[1], plan->left_var(),
+                                 plan->right_var(), plan->pred());
+        case OpKind::kSemiJoin:
+          return LogicalOp::SemiJoin(children[0], children[1],
+                                     plan->left_var(), plan->right_var(),
+                                     plan->pred());
+        case OpKind::kAntiJoin:
+          return LogicalOp::AntiJoin(children[0], children[1],
+                                     plan->left_var(), plan->right_var(),
+                                     plan->pred());
+        case OpKind::kOuterJoin:
+          return LogicalOp::OuterJoin(children[0], children[1],
+                                      plan->left_var(), plan->right_var(),
+                                      plan->pred());
+        case OpKind::kNestJoin:
+          return LogicalOp::NestJoin(children[0], children[1],
+                                     plan->left_var(), plan->right_var(),
+                                     plan->pred(), plan->func(),
+                                     plan->label());
+        case OpKind::kNest:
+          return LogicalOp::Nest(children[0], plan->group_attrs(),
+                                 plan->var(), plan->func(), plan->label(),
+                                 plan->null_group_to_empty());
+        case OpKind::kUnnest:
+          return LogicalOp::Unnest(children[0], plan->unnest_attr());
+        case OpKind::kUnion:
+          return LogicalOp::Union(children[0], children[1]);
+        case OpKind::kDifference:
+          return LogicalOp::Difference(children[0], children[1]);
+        default:
+          return Status::Internal("unhandled operator in Unnester::Rewrite");
+      }
+    }
+  }
+}
+
+}  // namespace tmdb

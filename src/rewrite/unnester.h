@@ -1,0 +1,98 @@
+#ifndef TMDB_REWRITE_UNNESTER_H_
+#define TMDB_REWRITE_UNNESTER_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "algebra/logical_op.h"
+#include "algebra/subplan.h"
+#include "base/result.h"
+#include "rewrite/classifier.h"
+
+namespace tmdb {
+
+/// One transformation the unnester performed (or declined), for EXPLAIN
+/// output and the Table 2 reproduction.
+struct UnnestEvent {
+  std::string conjunct;  // source rendering of the predicate
+  std::string rule;      // Table 2 rule that fired
+  RewriteForm form = RewriteForm::kGrouping;
+  std::string target;    // "SemiJoin" / "AntiJoin" / "NestJoin" / "naive"
+};
+
+struct UnnestReport {
+  std::vector<UnnestEvent> events;
+  std::string ToString() const;
+};
+
+struct UnnestOptions {
+  /// Replace nest joins by semijoin/antijoin when Theorem 1 allows
+  /// (Section 7). Disabled = always use the nest join (ablation: measures
+  /// what the flat-join specialisation buys).
+  bool use_flat_joins = true;
+};
+
+/// Rewrites a naive plan (correlated subplans embedded in predicates and
+/// projections) into join form, implementing the paper's strategy:
+///
+///  - WHERE-clause nesting (Section 4): each conjunct containing a
+///    subquery is classified per Table 2 and becomes a semijoin, an
+///    antijoin (Section 7), or a nest join + residual selection
+///    (Section 6). Multi-level linear queries unnest recursively,
+///    reproducing the Section 8 pipeline.
+///  - SELECT-clause nesting (Section 5): always a nest join.
+///  - UNNEST(SELECT (SELECT ...)) (Section 5): the one SELECT-nesting that
+///    flattens to a regular join.
+///
+/// Set-valued FROM operands, uncorrelated (constant) subqueries, and
+/// non-neighbour correlations are left in naive form, as the paper
+/// prescribes or leaves open.
+class Unnester {
+ public:
+  explicit Unnester(UnnestOptions options = UnnestOptions())
+      : options_(options) {}
+
+  Result<LogicalOpPtr> Rewrite(const LogicalOpPtr& plan);
+
+  const UnnestReport& report() const { return report_; }
+
+ private:
+  /// Canonical two-block decomposition of an inner query (paper Section 4):
+  /// SELECT G(x, y) FROM Y y WHERE Q(x, y): source Y (already recursively
+  /// unnested, with the x-free conjuncts pushed into it), the iteration
+  /// variable y, the correlation predicate Q restricted to the conjuncts
+  /// that mention x, and the result function G.
+  struct Decomposed {
+    LogicalOpPtr source;
+    std::string var;
+    Expr corr_pred;
+    Expr func;
+  };
+
+  /// Attempts the decomposition; nullopt = the subquery is not flattenable
+  /// (set-valued operand, shape mismatch, variable collision, ...).
+  Result<std::optional<Decomposed>> Decompose(const PlanSubplan& subplan,
+                                              const std::string& outer_var);
+
+  Result<LogicalOpPtr> RewriteSelect(const LogicalOp& op);
+  Result<LogicalOpPtr> RewriteMap(const LogicalOp& op);
+  /// Section 5 special case: builds the flat-join plan for
+  /// UNNEST(SELECT (SELECT ...)). Returns nullptr (OK) when the pattern
+  /// cannot be flattened — the caller keeps the naive form.
+  Result<LogicalOpPtr> FlattenUnnestCase(const LogicalOpPtr& x_plan,
+                                         const Decomposed& decomposed,
+                                         const std::string& x,
+                                         const std::string& description);
+
+  std::string FreshLabel();
+  std::string FreshVar();
+
+  UnnestOptions options_;
+  UnnestReport report_;
+  int counter_ = 0;
+};
+
+}  // namespace tmdb
+
+#endif  // TMDB_REWRITE_UNNESTER_H_

@@ -1,0 +1,423 @@
+#include "sema/binder.h"
+
+#include <utility>
+
+#include "algebra/subplan.h"
+#include "base/logging.h"
+#include "base/string_util.h"
+#include "types/schema_ops.h"
+
+namespace tmdb {
+
+namespace {
+
+Status AtNode(Status s, const AstNode& node) {
+  if (s.ok()) return s;
+  return Status(s.code(), StrCat(s.message(), " (at line ", node.line,
+                                 ", column ", node.column, ")"));
+}
+
+BinaryOp ToBinaryOp(AstBinaryOp op) {
+  switch (op) {
+    case AstBinaryOp::kAdd:
+      return BinaryOp::kAdd;
+    case AstBinaryOp::kSub:
+      return BinaryOp::kSub;
+    case AstBinaryOp::kMul:
+      return BinaryOp::kMul;
+    case AstBinaryOp::kDiv:
+      return BinaryOp::kDiv;
+    case AstBinaryOp::kEq:
+      return BinaryOp::kEq;
+    case AstBinaryOp::kNe:
+      return BinaryOp::kNe;
+    case AstBinaryOp::kLt:
+      return BinaryOp::kLt;
+    case AstBinaryOp::kLe:
+      return BinaryOp::kLe;
+    case AstBinaryOp::kGt:
+      return BinaryOp::kGt;
+    case AstBinaryOp::kGe:
+      return BinaryOp::kGe;
+    case AstBinaryOp::kAnd:
+      return BinaryOp::kAnd;
+    case AstBinaryOp::kOr:
+      return BinaryOp::kOr;
+    case AstBinaryOp::kIn:
+      return BinaryOp::kIn;
+    case AstBinaryOp::kNotIn:
+      return BinaryOp::kNotIn;
+    case AstBinaryOp::kUnion:
+      return BinaryOp::kUnion;
+    case AstBinaryOp::kIntersect:
+      return BinaryOp::kIntersect;
+    case AstBinaryOp::kDifference:
+      return BinaryOp::kDifference;
+    case AstBinaryOp::kSubsetEq:
+      return BinaryOp::kSubsetEq;
+    case AstBinaryOp::kSubset:
+      return BinaryOp::kSubset;
+    case AstBinaryOp::kSupersetEq:
+      return BinaryOp::kSupersetEq;
+    case AstBinaryOp::kSuperset:
+      return BinaryOp::kSuperset;
+  }
+  return BinaryOp::kEq;
+}
+
+AggFunc ToAggFunc(AstAggFunc func) {
+  switch (func) {
+    case AstAggFunc::kCount:
+      return AggFunc::kCount;
+    case AstAggFunc::kSum:
+      return AggFunc::kSum;
+    case AstAggFunc::kAvg:
+      return AggFunc::kAvg;
+    case AstAggFunc::kMin:
+      return AggFunc::kMin;
+    case AstAggFunc::kMax:
+      return AggFunc::kMax;
+  }
+  return AggFunc::kCount;
+}
+
+/// Applies WITH definitions to a clause expression by textual inlining
+/// (later definitions first, so chains like WITH a = ... WITH b = f(a)
+/// resolve if written in dependency order).
+void InlineWithDefs(AstNode* clause, const std::vector<AstWithDef>& defs) {
+  for (auto it = defs.rbegin(); it != defs.rend(); ++it) {
+    SubstituteIdent(clause, it->name, *it->expr);
+  }
+}
+
+}  // namespace
+
+void SubstituteIdent(AstNode* node, const std::string& name,
+                     const AstNode& replacement) {
+  switch (node->kind) {
+    case AstKind::kLiteral:
+      return;
+    case AstKind::kIdent:
+      if (node->name == name) {
+        AstPtr copy = CloneAst(replacement);
+        *node = std::move(*copy);
+      }
+      return;
+    case AstKind::kQuantifier: {
+      SubstituteIdent(node->children[0].get(), name, replacement);
+      if (node->name != name) {  // quantifier variable shadows
+        SubstituteIdent(node->children[1].get(), name, replacement);
+      }
+      return;
+    }
+    case AstKind::kSfw: {
+      bool shadowed = false;
+      for (AstFromBinding& binding : node->from) {
+        SubstituteIdent(binding.operand.get(), name, replacement);
+        if (binding.var == name) shadowed = true;
+      }
+      // WITH definitions with the same name also shadow within the block.
+      for (AstWithDef& def : node->select_with) {
+        SubstituteIdent(def.expr.get(), name, replacement);
+        if (def.name == name) shadowed = true;
+      }
+      for (AstWithDef& def : node->where_with) {
+        SubstituteIdent(def.expr.get(), name, replacement);
+        if (def.name == name) shadowed = true;
+      }
+      if (!shadowed) {
+        if (node->select_expr != nullptr) {
+          SubstituteIdent(node->select_expr.get(), name, replacement);
+        }
+        if (node->where_expr != nullptr) {
+          SubstituteIdent(node->where_expr.get(), name, replacement);
+        }
+      }
+      return;
+    }
+    default:
+      for (AstPtr& child : node->children) {
+        SubstituteIdent(child.get(), name, replacement);
+      }
+      return;
+  }
+}
+
+const Expr* Binder::Scope::Lookup(const std::string& name) const {
+  for (const Scope* s = this; s != nullptr; s = s->parent) {
+    for (const auto& [n, e] : s->vars) {
+      if (n == name) return &e;
+    }
+  }
+  return nullptr;
+}
+
+std::string Binder::FreshName(const std::string& base) {
+  return StrCat("_", base, fresh_counter_++);
+}
+
+Result<LogicalOpPtr> Binder::BindQuery(const AstNode& ast) {
+  Scope empty;
+  if (ast.kind == AstKind::kSfw) {
+    return BindSfw(ast, empty);
+  }
+  TMDB_ASSIGN_OR_RETURN(Expr expr, BindExpr(ast, empty));
+  if (!expr.type().is_collection()) {
+    return AtNode(Status::TypeError(StrCat(
+                      "top-level query must produce a set, got ",
+                      expr.type().ToString())),
+                  ast);
+  }
+  return LogicalOp::ExprSource(std::move(expr));
+}
+
+Result<Expr> Binder::BindExpression(const AstNode& ast) {
+  Scope empty;
+  return BindExpr(ast, empty);
+}
+
+Result<LogicalOpPtr> Binder::BindFromOperand(const AstNode& operand,
+                                             const Scope& scope) {
+  // A bare identifier resolves to an in-scope variable first, then a table.
+  if (operand.kind == AstKind::kIdent && scope.Lookup(operand.name) == nullptr &&
+      catalog_ != nullptr && catalog_->HasTable(operand.name)) {
+    TMDB_ASSIGN_OR_RETURN(std::shared_ptr<Table> table,
+                          catalog_->GetTable(operand.name));
+    return LogicalOp::Scan(std::move(table));
+  }
+  TMDB_ASSIGN_OR_RETURN(Expr expr, BindExpr(operand, scope));
+  if (!expr.type().is_collection()) {
+    return AtNode(Status::TypeError(
+                      StrCat("FROM operand must be a set or list, got ",
+                             expr.type().ToString())),
+                  operand);
+  }
+  return LogicalOp::ExprSource(std::move(expr));
+}
+
+Result<LogicalOpPtr> Binder::BindSfw(const AstNode& sfw, const Scope& scope) {
+  TMDB_CHECK(sfw.kind == AstKind::kSfw);
+  if (sfw.from.empty()) {
+    return AtNode(Status::ParseError("SFW block without FROM bindings"), sfw);
+  }
+
+  // Bind the FROM sources. Each operand may reference enclosing-block
+  // variables (correlation) but not earlier variables of the same block —
+  // dependent FROM lists would require an apply operator the paper does
+  // not use.
+  std::vector<LogicalOpPtr> sources;
+  sources.reserve(sfw.from.size());
+  for (const AstFromBinding& binding : sfw.from) {
+    TMDB_ASSIGN_OR_RETURN(LogicalOpPtr source,
+                          BindFromOperand(*binding.operand, scope));
+    sources.push_back(std::move(source));
+  }
+
+  LogicalOpPtr plan;
+  Scope block_scope;
+  block_scope.parent = &scope;
+  std::string row_var;
+
+  if (sfw.from.size() == 1) {
+    plan = sources[0];
+    row_var = sfw.from[0].var;
+    block_scope.vars.emplace_back(
+        row_var, Expr::Var(row_var, plan->output_type()));
+  } else {
+    // Multi-operand FROM: cross-join the sources into one combined row.
+    // Each source is first wrapped in a renaming Map that qualifies its
+    // attributes with the iteration variable ("x.b", "y.b"), so same-named
+    // attributes across operands cannot collide; each variable then becomes
+    // a projection of the combined row back onto its operand's attributes.
+    for (size_t i = 0; i < sfw.from.size(); ++i) {
+      for (size_t j = 0; j < i; ++j) {
+        if (sfw.from[i].var == sfw.from[j].var) {
+          return AtNode(Status::InvalidArgument(
+                            StrCat("duplicate FROM variable '",
+                                   sfw.from[i].var, "'")),
+                        sfw);
+        }
+      }
+    }
+    std::vector<LogicalOpPtr> renamed;
+    renamed.reserve(sources.size());
+    for (size_t i = 0; i < sources.size(); ++i) {
+      const Type& source_type = sources[i]->output_type();
+      if (!source_type.is_tuple()) {
+        return AtNode(
+            Status::Unsupported(
+                "multi-operand FROM requires tuple-shaped operands"),
+            sfw);
+      }
+      const std::string& v = sfw.from[i].var;
+      Expr var_expr = Expr::Var(v, source_type);
+      std::vector<std::string> names;
+      std::vector<Expr> fields;
+      for (const Field& f : source_type.fields()) {
+        names.push_back(v + "." + f.name);
+        TMDB_ASSIGN_OR_RETURN(Expr field, Expr::Field(var_expr, f.name));
+        fields.push_back(std::move(field));
+      }
+      TMDB_ASSIGN_OR_RETURN(
+          Expr tuple, Expr::MakeTuple(std::move(names), std::move(fields)));
+      auto mapped = LogicalOp::Map(sources[i], v, std::move(tuple));
+      if (!mapped.ok()) return AtNode(mapped.status(), sfw);
+      renamed.push_back(std::move(mapped).value());
+    }
+    plan = renamed[0];
+    for (size_t i = 1; i < renamed.size(); ++i) {
+      auto joined = LogicalOp::Join(plan, renamed[i], FreshName("l"),
+                                    FreshName("r"), Expr::True());
+      if (!joined.ok()) return AtNode(joined.status(), sfw);
+      plan = std::move(joined).value();
+    }
+    row_var = FreshName("row");
+    Expr row = Expr::Var(row_var, plan->output_type());
+    for (size_t i = 0; i < sfw.from.size(); ++i) {
+      const Type& source_type = sources[i]->output_type();
+      const std::string& v = sfw.from[i].var;
+      std::vector<std::string> names;
+      std::vector<Expr> accessors;
+      for (const Field& f : source_type.fields()) {
+        names.push_back(f.name);
+        TMDB_ASSIGN_OR_RETURN(Expr field, Expr::Field(row, v + "." + f.name));
+        accessors.push_back(std::move(field));
+      }
+      TMDB_ASSIGN_OR_RETURN(
+          Expr tuple, Expr::MakeTuple(std::move(names), std::move(accessors)));
+      block_scope.vars.emplace_back(v, std::move(tuple));
+    }
+  }
+
+  // WHERE clause (with WITH definitions inlined).
+  if (sfw.where_expr != nullptr) {
+    AstPtr where = CloneAst(*sfw.where_expr);
+    InlineWithDefs(where.get(), sfw.where_with);
+    TMDB_ASSIGN_OR_RETURN(Expr pred, BindExpr(*where, block_scope));
+    if (!pred.type().is_bool()) {
+      return AtNode(Status::TypeError(StrCat(
+                        "WHERE clause must be boolean, got ",
+                        pred.type().ToString())),
+                    *sfw.where_expr);
+    }
+    auto selected = LogicalOp::Select(plan, row_var, std::move(pred));
+    if (!selected.ok()) return AtNode(selected.status(), sfw);
+    plan = std::move(selected).value();
+  }
+
+  // SELECT clause.
+  AstPtr select = CloneAst(*sfw.select_expr);
+  InlineWithDefs(select.get(), sfw.select_with);
+  TMDB_ASSIGN_OR_RETURN(Expr result, BindExpr(*select, block_scope));
+  auto mapped = LogicalOp::Map(plan, row_var, std::move(result));
+  if (!mapped.ok()) return AtNode(mapped.status(), sfw);
+  return std::move(mapped).value();
+}
+
+Result<Expr> Binder::BindExpr(const AstNode& ast, const Scope& scope) {
+  switch (ast.kind) {
+    case AstKind::kLiteral:
+      return Expr::Literal(ast.literal);
+    case AstKind::kIdent: {
+      if (const Expr* accessor = scope.Lookup(ast.name)) {
+        return *accessor;
+      }
+      if (catalog_ != nullptr && catalog_->HasTable(ast.name)) {
+        // A table used as a set value (e.g. `x IN EMP`).
+        TMDB_ASSIGN_OR_RETURN(std::shared_ptr<Table> table,
+                              catalog_->GetTable(ast.name));
+        TMDB_ASSIGN_OR_RETURN(LogicalOpPtr scan,
+                              LogicalOp::Scan(std::move(table)));
+        return PlanSubplan::MakeExpr(std::move(scan), {});
+      }
+      return AtNode(
+          Status::NotFound(StrCat("unbound identifier '", ast.name, "'")),
+          ast);
+    }
+    case AstKind::kFieldAccess: {
+      TMDB_ASSIGN_OR_RETURN(Expr base, BindExpr(*ast.children[0], scope));
+      auto field = Expr::Field(std::move(base), ast.name);
+      if (!field.ok()) return AtNode(field.status(), ast);
+      return std::move(field).value();
+    }
+    case AstKind::kBinary: {
+      TMDB_ASSIGN_OR_RETURN(Expr lhs, BindExpr(*ast.children[0], scope));
+      TMDB_ASSIGN_OR_RETURN(Expr rhs, BindExpr(*ast.children[1], scope));
+      auto bin = Expr::Binary(ToBinaryOp(ast.binary_op), std::move(lhs),
+                              std::move(rhs));
+      if (!bin.ok()) return AtNode(bin.status(), ast);
+      return std::move(bin).value();
+    }
+    case AstKind::kUnary: {
+      TMDB_ASSIGN_OR_RETURN(Expr operand, BindExpr(*ast.children[0], scope));
+      const UnaryOp op = ast.unary_op == AstUnaryOp::kNot ? UnaryOp::kNot
+                                                          : UnaryOp::kNeg;
+      auto un = Expr::Unary(op, std::move(operand));
+      if (!un.ok()) return AtNode(un.status(), ast);
+      return std::move(un).value();
+    }
+    case AstKind::kQuantifier: {
+      TMDB_ASSIGN_OR_RETURN(Expr coll, BindExpr(*ast.children[0], scope));
+      if (!coll.type().is_collection()) {
+        return AtNode(Status::TypeError(StrCat(
+                          "quantifier range must be a set or list, got ",
+                          coll.type().ToString())),
+                      ast);
+      }
+      Scope inner;
+      inner.parent = &scope;
+      inner.vars.emplace_back(ast.name,
+                              Expr::Var(ast.name, coll.type().element()));
+      TMDB_ASSIGN_OR_RETURN(Expr pred, BindExpr(*ast.children[1], inner));
+      const QuantKind kind = ast.quant_kind == AstQuantKind::kExists
+                                 ? QuantKind::kExists
+                                 : QuantKind::kForAll;
+      auto quant = Expr::Quantifier(kind, ast.name, std::move(coll),
+                                    std::move(pred));
+      if (!quant.ok()) return AtNode(quant.status(), ast);
+      return std::move(quant).value();
+    }
+    case AstKind::kAggregate: {
+      TMDB_ASSIGN_OR_RETURN(Expr arg, BindExpr(*ast.children[0], scope));
+      auto agg = Expr::Aggregate(ToAggFunc(ast.agg_func), std::move(arg));
+      if (!agg.ok()) return AtNode(agg.status(), ast);
+      return std::move(agg).value();
+    }
+    case AstKind::kTupleCtor: {
+      std::vector<Expr> elems;
+      elems.reserve(ast.children.size());
+      for (const AstPtr& child : ast.children) {
+        TMDB_ASSIGN_OR_RETURN(Expr e, BindExpr(*child, scope));
+        elems.push_back(std::move(e));
+      }
+      auto tuple = Expr::MakeTuple(ast.ctor_names, std::move(elems));
+      if (!tuple.ok()) return AtNode(tuple.status(), ast);
+      return std::move(tuple).value();
+    }
+    case AstKind::kSetCtor: {
+      std::vector<Expr> elems;
+      elems.reserve(ast.children.size());
+      for (const AstPtr& child : ast.children) {
+        TMDB_ASSIGN_OR_RETURN(Expr e, BindExpr(*child, scope));
+        elems.push_back(std::move(e));
+      }
+      auto set = Expr::MakeSet(std::move(elems));
+      if (!set.ok()) return AtNode(set.status(), ast);
+      return std::move(set).value();
+    }
+    case AstKind::kUnnestCall: {
+      TMDB_ASSIGN_OR_RETURN(Expr arg, BindExpr(*ast.children[0], scope));
+      auto unnest = Expr::Unary(UnaryOp::kUnnest, std::move(arg));
+      if (!unnest.ok()) return AtNode(unnest.status(), ast);
+      return std::move(unnest).value();
+    }
+    case AstKind::kSfw: {
+      TMDB_ASSIGN_OR_RETURN(LogicalOpPtr plan, BindSfw(ast, scope));
+      std::set<std::string> free = PlanFreeVars(*plan);
+      return PlanSubplan::MakeExpr(std::move(plan), std::move(free));
+    }
+  }
+  return Status::Internal("unhandled AST kind in BindExpr");
+}
+
+}  // namespace tmdb

@@ -1,0 +1,77 @@
+#ifndef TMDB_SEMA_BINDER_H_
+#define TMDB_SEMA_BINDER_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "algebra/logical_op.h"
+#include "base/result.h"
+#include "catalog/catalog.h"
+#include "expr/expr.h"
+#include "parser/ast.h"
+
+namespace tmdb {
+
+/// Name resolution + type checking + lowering: turns an untyped AST into a
+/// *naive* logical plan, the ground-truth form every rewrite strategy is
+/// checked against.
+///
+/// In the naive plan, nested SFW blocks in the SELECT or WHERE clause stay
+/// embedded as correlated subplan expressions (executed once per outer row,
+/// the paper's nested-loop semantics). The rewrite module then transforms
+/// this plan into semijoin / antijoin / nest-join form.
+///
+/// Scoping rules implemented here:
+///  - FROM binds an iteration variable per operand; inner blocks see outer
+///    variables (correlation); same-named inner variables shadow outer ones.
+///  - A FROM operand that is a bare identifier resolves to an in-scope
+///    variable first, then to a catalog table.
+///  - WITH introduces local definitions that are inlined (the paper uses
+///    them as naming devices only).
+///  - Quantifiers (EXISTS/FORALL v IN e) bind v in their body.
+class Binder {
+ public:
+  explicit Binder(const Catalog* catalog) : catalog_(catalog) {}
+
+  /// Binds a top-level query. The AST must be an SFW block or a
+  /// collection-valued expression (e.g. UNNEST(SELECT ...)).
+  Result<LogicalOpPtr> BindQuery(const AstNode& ast);
+
+  /// Binds a standalone expression under an empty scope (tables are still
+  /// visible and become uncorrelated subplans). Mostly for tests.
+  Result<Expr> BindExpression(const AstNode& ast);
+
+ private:
+  /// Lexical scope: variable name → accessor expression. The accessor is
+  /// usually Var(name, type); for multi-operand FROM clauses it projects
+  /// the combined join row onto one operand's attributes.
+  struct Scope {
+    const Scope* parent = nullptr;
+    std::vector<std::pair<std::string, Expr>> vars;
+
+    const Expr* Lookup(const std::string& name) const;
+  };
+
+  Result<Expr> BindExpr(const AstNode& ast, const Scope& scope);
+  Result<LogicalOpPtr> BindSfw(const AstNode& sfw, const Scope& scope);
+  /// Binds one FROM operand into a plan (table scan or ExprSource).
+  Result<LogicalOpPtr> BindFromOperand(const AstNode& operand,
+                                       const Scope& scope);
+
+  std::string FreshName(const std::string& base);
+
+  const Catalog* catalog_;
+  int fresh_counter_ = 0;
+};
+
+/// Replaces free occurrences of identifier `name` in `node` with copies of
+/// `replacement`, respecting shadowing by quantifier variables, FROM
+/// variables, and WITH definitions. Used to inline WITH clauses before
+/// binding.
+void SubstituteIdent(AstNode* node, const std::string& name,
+                     const AstNode& replacement);
+
+}  // namespace tmdb
+
+#endif  // TMDB_SEMA_BINDER_H_

@@ -1,0 +1,42 @@
+#include "sema/type_resolver.h"
+
+#include <utility>
+#include <vector>
+
+namespace tmdb {
+
+Result<Type> ResolveTypeAst(const TypeAst& ast, const Catalog& catalog) {
+  switch (ast.kind) {
+    case TypeAst::Kind::kInt:
+      return Type::Int();
+    case TypeAst::Kind::kReal:
+      return Type::Real();
+    case TypeAst::Kind::kString:
+      return Type::String();
+    case TypeAst::Kind::kBool:
+      return Type::Bool();
+    case TypeAst::Kind::kSet: {
+      TMDB_ASSIGN_OR_RETURN(Type elem, ResolveTypeAst(*ast.element, catalog));
+      return Type::Set(std::move(elem));
+    }
+    case TypeAst::Kind::kList: {
+      TMDB_ASSIGN_OR_RETURN(Type elem, ResolveTypeAst(*ast.element, catalog));
+      return Type::List(std::move(elem));
+    }
+    case TypeAst::Kind::kTuple: {
+      std::vector<Field> fields;
+      fields.reserve(ast.field_names.size());
+      for (size_t i = 0; i < ast.field_names.size(); ++i) {
+        TMDB_ASSIGN_OR_RETURN(Type t,
+                              ResolveTypeAst(*ast.field_types[i], catalog));
+        fields.push_back({ast.field_names[i], std::move(t)});
+      }
+      return Type::Tuple(std::move(fields));
+    }
+    case TypeAst::Kind::kNamed:
+      return catalog.GetSort(ast.name);
+  }
+  return Status::Internal("unhandled type syntax kind");
+}
+
+}  // namespace tmdb

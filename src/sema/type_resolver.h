@@ -1,0 +1,17 @@
+#ifndef TMDB_SEMA_TYPE_RESOLVER_H_
+#define TMDB_SEMA_TYPE_RESOLVER_H_
+
+#include "base/result.h"
+#include "catalog/catalog.h"
+#include "parser/statement.h"
+#include "types/type.h"
+
+namespace tmdb {
+
+/// Resolves type syntax to a Type, looking named references up as sorts in
+/// the catalog (e.g. `address : Address` after DEFINE SORT Address AS ...).
+Result<Type> ResolveTypeAst(const TypeAst& ast, const Catalog& catalog);
+
+}  // namespace tmdb
+
+#endif  // TMDB_SEMA_TYPE_RESOLVER_H_

@@ -1,0 +1,56 @@
+#include "translate/strategies.h"
+
+#include <utility>
+
+#include "rewrite/baselines.h"
+#include "rewrite/simplify.h"
+
+namespace tmdb {
+
+std::string StrategyName(Strategy strategy) {
+  switch (strategy) {
+    case Strategy::kNaive:
+      return "naive";
+    case Strategy::kKim:
+      return "kim";
+    case Strategy::kOuterJoin:
+      return "outerjoin";
+    case Strategy::kNestJoin:
+      return "nestjoin";
+    case Strategy::kNestJoinOnly:
+      return "nestjoin-only";
+  }
+  return "?";
+}
+
+Result<LogicalOpPtr> PlanForStrategy(const LogicalOpPtr& naive_plan,
+                                     Strategy strategy,
+                                     UnnestReport* report) {
+  switch (strategy) {
+    case Strategy::kNaive:
+      return naive_plan;
+    case Strategy::kKim:
+      return KimRewrite(naive_plan);
+    case Strategy::kOuterJoin:
+      return GanskiWongRewrite(naive_plan);
+    case Strategy::kNestJoin:
+    case Strategy::kNestJoinOnly: {
+      UnnestOptions options;
+      options.use_flat_joins = strategy == Strategy::kNestJoin;
+      Unnester unnester(options);
+      TMDB_ASSIGN_OR_RETURN(LogicalOpPtr plan,
+                            unnester.Rewrite(naive_plan));
+      if (report != nullptr) {
+        report->events.insert(report->events.end(),
+                              unnester.report().events.begin(),
+                              unnester.report().events.end());
+      }
+      // Clean up the administrative projections the unnester introduces
+      // (strip maps, identity maps, adjacent selects).
+      return SimplifyPlan(plan);
+    }
+  }
+  return Status::Internal("unhandled strategy");
+}
+
+}  // namespace tmdb

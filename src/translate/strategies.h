@@ -1,0 +1,41 @@
+#ifndef TMDB_TRANSLATE_STRATEGIES_H_
+#define TMDB_TRANSLATE_STRATEGIES_H_
+
+#include <string>
+
+#include "algebra/logical_op.h"
+#include "base/result.h"
+#include "rewrite/unnester.h"
+
+namespace tmdb {
+
+/// The query-processing strategies the paper compares.
+enum class Strategy {
+  /// Correlated subqueries execute per outer row — the nested-loop
+  /// semantics every other strategy is validated against.
+  kNaive,
+  /// Kim's algorithm (group-then-join). Deliberately reproduces the
+  /// COUNT/SUBSETEQ bug: wrong on dangling outer tuples.
+  kKim,
+  /// Ganski–Wong: outerjoin + ν*. Correct, via NULLs.
+  kOuterJoin,
+  /// The paper's strategy: semijoin/antijoin where Theorem 1 allows, nest
+  /// join otherwise.
+  kNestJoin,
+  /// Ablation: the paper's strategy with flat joins disabled — every
+  /// subquery becomes a nest join even when a semijoin would do.
+  kNestJoinOnly,
+};
+
+std::string StrategyName(Strategy strategy);
+
+/// Rewrites the naive plan according to `strategy`. For kNestJoin /
+/// kNestJoinOnly the unnest report (which Table 2 rules fired) is appended
+/// to `*report` when non-null.
+Result<LogicalOpPtr> PlanForStrategy(const LogicalOpPtr& naive_plan,
+                                     Strategy strategy,
+                                     UnnestReport* report = nullptr);
+
+}  // namespace tmdb
+
+#endif  // TMDB_TRANSLATE_STRATEGIES_H_

@@ -1,0 +1,92 @@
+#include "types/schema_ops.h"
+
+#include <utility>
+
+#include "base/string_util.h"
+
+namespace tmdb {
+
+Result<Type> ConcatTupleTypes(const Type& a, const Type& b) {
+  if (!a.is_tuple() || !b.is_tuple()) {
+    return Status::TypeError(StrCat("ConcatTupleTypes requires tuple types, got ",
+                                    a.ToString(), " and ", b.ToString()));
+  }
+  std::vector<Field> out = a.fields();
+  for (const Field& f : b.fields()) {
+    if (a.FieldIndex(f.name) >= 0) {
+      return Status::TypeError(
+          StrCat("duplicate attribute '", f.name, "' in join schema"));
+    }
+    out.push_back(f);
+  }
+  return Type::Tuple(std::move(out));
+}
+
+Result<Type> AddField(const Type& tuple, const std::string& name,
+                      const Type& type) {
+  if (!tuple.is_tuple()) {
+    return Status::TypeError(
+        StrCat("AddField requires a tuple type, got ", tuple.ToString()));
+  }
+  if (tuple.FieldIndex(name) >= 0) {
+    return Status::TypeError(
+        StrCat("attribute '", name, "' already exists in ", tuple.ToString()));
+  }
+  std::vector<Field> out = tuple.fields();
+  out.push_back({name, type});
+  return Type::Tuple(std::move(out));
+}
+
+Result<Type> RemoveField(const Type& tuple, const std::string& name) {
+  if (!tuple.is_tuple()) {
+    return Status::TypeError(
+        StrCat("RemoveField requires a tuple type, got ", tuple.ToString()));
+  }
+  int idx = tuple.FieldIndex(name);
+  if (idx < 0) {
+    return Status::NotFound(
+        StrCat("no attribute '", name, "' in ", tuple.ToString()));
+  }
+  std::vector<Field> out;
+  out.reserve(tuple.fields().size() - 1);
+  for (int i = 0; i < static_cast<int>(tuple.fields().size()); ++i) {
+    if (i != idx) out.push_back(tuple.fields()[static_cast<size_t>(i)]);
+  }
+  return Type::Tuple(std::move(out));
+}
+
+Result<Type> ProjectFields(const Type& tuple,
+                           const std::vector<std::string>& names) {
+  if (!tuple.is_tuple()) {
+    return Status::TypeError(
+        StrCat("ProjectFields requires a tuple type, got ", tuple.ToString()));
+  }
+  std::vector<Field> out;
+  out.reserve(names.size());
+  for (const std::string& name : names) {
+    TMDB_ASSIGN_OR_RETURN(Type t, tuple.FieldType(name));
+    out.push_back({name, std::move(t)});
+  }
+  return Type::Tuple(std::move(out));
+}
+
+bool HasField(const Type& tuple, const std::string& name) {
+  return tuple.is_tuple() && tuple.FieldIndex(name) >= 0;
+}
+
+std::string FreshFieldName(const std::string& base,
+                           const std::vector<Type>& taken) {
+  auto in_use = [&taken](const std::string& candidate) {
+    for (const Type& t : taken) {
+      if (t.is_tuple() && t.FieldIndex(candidate) >= 0) return true;
+    }
+    return false;
+  };
+  if (!in_use(base)) return base;
+  for (int i = 1;; ++i) {
+    std::string candidate = StrCat(base, i);
+    if (!in_use(candidate)) return candidate;
+  }
+}
+
+}  // namespace tmdb

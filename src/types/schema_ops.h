@@ -1,0 +1,43 @@
+#ifndef TMDB_TYPES_SCHEMA_OPS_H_
+#define TMDB_TYPES_SCHEMA_OPS_H_
+
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "types/type.h"
+
+namespace tmdb {
+
+/// Helpers for deriving operator output schemas. In this engine a "schema"
+/// is simply a tuple Type; rows are tuple Values conforming to it.
+
+/// Concatenates the fields of two tuple types (join output schema).
+/// Fails on duplicate attribute names — the algebra requires operands of a
+/// join to have disjoint top-level attributes, as in the paper.
+Result<Type> ConcatTupleTypes(const Type& a, const Type& b);
+
+/// Returns `tuple` extended with a trailing field `name : type` (the nest
+/// join's grouped attribute). Fails if `name` already exists.
+Result<Type> AddField(const Type& tuple, const std::string& name,
+                      const Type& type);
+
+/// Returns `tuple` without the field `name`. Fails if absent.
+Result<Type> RemoveField(const Type& tuple, const std::string& name);
+
+/// Returns a tuple type containing exactly `names`, in the given order.
+Result<Type> ProjectFields(const Type& tuple, const std::vector<std::string>& names);
+
+/// True if the tuple type has a top-level field `name`.
+bool HasField(const Type& tuple, const std::string& name);
+
+/// Returns a fresh attribute name not present in any of `taken`, derived
+/// from `base` ("ys", "ys1", "ys2", ...). The paper calls nest-join labels
+/// "arbitrary labels not occurring on the top level" — this manufactures
+/// them.
+std::string FreshFieldName(const std::string& base,
+                           const std::vector<Type>& taken);
+
+}  // namespace tmdb
+
+#endif  // TMDB_TYPES_SCHEMA_OPS_H_

@@ -1,0 +1,240 @@
+#include "types/type.h"
+
+#include <utility>
+
+#include "base/logging.h"
+#include "base/string_util.h"
+
+namespace tmdb {
+
+namespace internal_types {
+struct TypeRep {
+  TypeKind kind;
+  std::vector<Field> fields;               // kTuple only
+  std::shared_ptr<const TypeRep> element;  // kSet/kList only
+
+  explicit TypeRep(TypeKind k) : kind(k) {}
+};
+}  // namespace internal_types
+
+namespace {
+
+using internal_types::TypeRep;
+
+// Basic types are singletons: sharing one Rep makes Equals fast and keeps
+// allocation out of the common path.
+const std::shared_ptr<const TypeRep>& BasicRep(TypeKind kind) {
+  static const auto& kBool =
+      *new std::shared_ptr<const TypeRep>(new TypeRep(TypeKind::kBool));
+  static const auto& kInt =
+      *new std::shared_ptr<const TypeRep>(new TypeRep(TypeKind::kInt));
+  static const auto& kReal =
+      *new std::shared_ptr<const TypeRep>(new TypeRep(TypeKind::kReal));
+  static const auto& kString =
+      *new std::shared_ptr<const TypeRep>(new TypeRep(TypeKind::kString));
+  static const auto& kAny =
+      *new std::shared_ptr<const TypeRep>(new TypeRep(TypeKind::kAny));
+  switch (kind) {
+    case TypeKind::kBool:
+      return kBool;
+    case TypeKind::kInt:
+      return kInt;
+    case TypeKind::kReal:
+      return kReal;
+    case TypeKind::kString:
+      return kString;
+    case TypeKind::kAny:
+      return kAny;
+    default:
+      TMDB_UNREACHABLE("BasicRep on constructed type");
+  }
+}
+
+}  // namespace
+
+Type::Type() : rep_(BasicRep(TypeKind::kAny)) {}
+
+Type Type::Bool() { return Type(BasicRep(TypeKind::kBool)); }
+Type Type::Int() { return Type(BasicRep(TypeKind::kInt)); }
+Type Type::Real() { return Type(BasicRep(TypeKind::kReal)); }
+Type Type::String() { return Type(BasicRep(TypeKind::kString)); }
+Type Type::Any() { return Type(BasicRep(TypeKind::kAny)); }
+
+Type Type::Tuple(std::vector<Field> fields) {
+  auto rep = std::make_shared<TypeRep>(TypeKind::kTuple);
+  rep->fields = std::move(fields);
+  return Type(std::move(rep));
+}
+
+Type Type::Set(Type element) {
+  auto rep = std::make_shared<TypeRep>(TypeKind::kSet);
+  rep->element = element.rep_;
+  return Type(std::move(rep));
+}
+
+Type Type::List(Type element) {
+  auto rep = std::make_shared<TypeRep>(TypeKind::kList);
+  rep->element = element.rep_;
+  return Type(std::move(rep));
+}
+
+TypeKind Type::kind() const { return rep_->kind; }
+
+const std::vector<Field>& Type::fields() const {
+  TMDB_CHECK(is_tuple());
+  return rep_->fields;
+}
+
+int Type::FieldIndex(const std::string& name) const {
+  TMDB_CHECK(is_tuple());
+  for (size_t i = 0; i < rep_->fields.size(); ++i) {
+    if (rep_->fields[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Result<Type> Type::FieldType(const std::string& name) const {
+  if (!is_tuple()) {
+    return Status::TypeError(
+        StrCat("attribute access '.", name, "' on non-tuple type ",
+               ToString()));
+  }
+  int idx = FieldIndex(name);
+  if (idx < 0) {
+    return Status::NotFound(
+        StrCat("no attribute '", name, "' in ", ToString()));
+  }
+  return rep_->fields[static_cast<size_t>(idx)].type;
+}
+
+Type Type::element() const {
+  TMDB_CHECK(is_collection());
+  // Rebuilding a Type handle from the shared element rep is free.
+  return Type(rep_->element);
+}
+
+bool Type::Equals(const Type& other) const {
+  if (rep_ == other.rep_) return true;
+  if (kind() != other.kind()) return false;
+  switch (kind()) {
+    case TypeKind::kBool:
+    case TypeKind::kInt:
+    case TypeKind::kReal:
+    case TypeKind::kString:
+    case TypeKind::kAny:
+      return true;
+    case TypeKind::kTuple: {
+      const auto& a = rep_->fields;
+      const auto& b = other.rep_->fields;
+      if (a.size() != b.size()) return false;
+      for (size_t i = 0; i < a.size(); ++i) {
+        if (a[i].name != b[i].name || !a[i].type.Equals(b[i].type)) {
+          return false;
+        }
+      }
+      return true;
+    }
+    case TypeKind::kSet:
+    case TypeKind::kList:
+      return Type(rep_->element).Equals(Type(other.rep_->element));
+  }
+  return false;
+}
+
+bool Type::CoercesTo(const Type& other) const {
+  if (is_any() || other.is_any()) return true;
+  if (is_int() && other.is_real()) return true;
+  if (kind() != other.kind()) return false;
+  switch (kind()) {
+    case TypeKind::kTuple: {
+      const auto& a = fields();
+      const auto& b = other.fields();
+      if (a.size() != b.size()) return false;
+      for (size_t i = 0; i < a.size(); ++i) {
+        if (a[i].name != b[i].name || !a[i].type.CoercesTo(b[i].type)) {
+          return false;
+        }
+      }
+      return true;
+    }
+    case TypeKind::kSet:
+    case TypeKind::kList:
+      return element().CoercesTo(other.element());
+    default:
+      return true;  // same basic kind
+  }
+}
+
+std::string Type::ToString() const {
+  switch (kind()) {
+    case TypeKind::kBool:
+      return "BOOL";
+    case TypeKind::kInt:
+      return "INT";
+    case TypeKind::kReal:
+      return "REAL";
+    case TypeKind::kString:
+      return "STRING";
+    case TypeKind::kAny:
+      return "ANY";
+    case TypeKind::kSet:
+      return "P(" + element().ToString() + ")";
+    case TypeKind::kList:
+      return "L(" + element().ToString() + ")";
+    case TypeKind::kTuple: {
+      std::vector<std::string> parts;
+      parts.reserve(fields().size());
+      for (const Field& f : fields()) {
+        parts.push_back(f.name + " : " + f.type.ToString());
+      }
+      return "<" + Join(parts, ", ") + ">";
+    }
+  }
+  return "?";
+}
+
+Result<Type> UnifyTypes(const Type& a, const Type& b) {
+  if (a.is_any()) return b;
+  if (b.is_any()) return a;
+  if (a.is_numeric() && b.is_numeric()) {
+    return (a.is_real() || b.is_real()) ? Type::Real() : Type::Int();
+  }
+  if (a.kind() != b.kind()) {
+    return Status::TypeError(
+        StrCat("cannot unify ", a.ToString(), " with ", b.ToString()));
+  }
+  switch (a.kind()) {
+    case TypeKind::kTuple: {
+      const auto& fa = a.fields();
+      const auto& fb = b.fields();
+      if (fa.size() != fb.size()) {
+        return Status::TypeError(
+            StrCat("cannot unify ", a.ToString(), " with ", b.ToString()));
+      }
+      std::vector<Field> out;
+      out.reserve(fa.size());
+      for (size_t i = 0; i < fa.size(); ++i) {
+        if (fa[i].name != fb[i].name) {
+          return Status::TypeError(StrCat("cannot unify ", a.ToString(),
+                                          " with ", b.ToString(),
+                                          ": field name mismatch"));
+        }
+        TMDB_ASSIGN_OR_RETURN(Type t, UnifyTypes(fa[i].type, fb[i].type));
+        out.push_back({fa[i].name, std::move(t)});
+      }
+      return Type::Tuple(std::move(out));
+    }
+    case TypeKind::kSet: {
+      TMDB_ASSIGN_OR_RETURN(Type t, UnifyTypes(a.element(), b.element()));
+      return Type::Set(std::move(t));
+    }
+    case TypeKind::kList: {
+      TMDB_ASSIGN_OR_RETURN(Type t, UnifyTypes(a.element(), b.element()));
+      return Type::List(std::move(t));
+    }
+    default:
+      return a;  // equal basic kinds
+  }
+}
+
+}  // namespace tmdb

@@ -1,0 +1,115 @@
+#ifndef TMDB_TYPES_TYPE_H_
+#define TMDB_TYPES_TYPE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "base/status.h"
+
+namespace tmdb {
+
+class Type;
+
+namespace internal_types {
+struct TypeRep;
+}  // namespace internal_types
+
+/// One named attribute of a tuple type, e.g. `name : STRING`.
+struct Field;
+
+/// Kinds of TM types. The paper's model has basic types plus the tuple,
+/// set, and list type constructors, arbitrarily nested (the variant
+/// constructor is unused by the paper's examples and is out of scope).
+enum class TypeKind {
+  kBool,
+  kInt,
+  kReal,
+  kString,
+  kTuple,  // ⟨a1 : T1, ..., an : Tn⟩, brackets ⟨⟩ in the paper
+  kSet,    // P(T): finite duplicate-free set
+  kList,   // L(T): finite sequence
+  kAny,    // bottom placeholder: type of NULL and of the empty-set element
+};
+
+/// An immutable, structurally-compared TM type. Cheap to copy (shared
+/// representation). Constructed via the static factories:
+///
+///   Type emp = Type::Tuple({{"name", Type::String()},
+///                           {"sal", Type::Int()},
+///                           {"children", Type::Set(child)}});
+class Type {
+ public:
+  /// Constructs the kAny placeholder type; prefer the named factories.
+  Type();
+
+  static Type Bool();
+  static Type Int();
+  static Type Real();
+  static Type String();
+  static Type Any();
+  static Type Tuple(std::vector<Field> fields);
+  static Type Set(Type element);
+  static Type List(Type element);
+
+  TypeKind kind() const;
+
+  bool is_bool() const { return kind() == TypeKind::kBool; }
+  bool is_int() const { return kind() == TypeKind::kInt; }
+  bool is_real() const { return kind() == TypeKind::kReal; }
+  bool is_string() const { return kind() == TypeKind::kString; }
+  bool is_tuple() const { return kind() == TypeKind::kTuple; }
+  bool is_set() const { return kind() == TypeKind::kSet; }
+  bool is_list() const { return kind() == TypeKind::kList; }
+  bool is_any() const { return kind() == TypeKind::kAny; }
+  bool is_numeric() const { return is_int() || is_real(); }
+  /// Sets and lists are the collection types a variable can iterate over.
+  bool is_collection() const { return is_set() || is_list(); }
+
+  /// Tuple accessors. Require is_tuple().
+  const std::vector<Field>& fields() const;
+  /// Index of the field named `name`, or -1.
+  int FieldIndex(const std::string& name) const;
+  /// Type of the field named `name`; NotFound if absent.
+  Result<Type> FieldType(const std::string& name) const;
+
+  /// Set/list element type. Requires is_collection().
+  Type element() const;
+
+  /// Structural equality; kAny compares equal only to kAny.
+  bool Equals(const Type& other) const;
+
+  /// True if a value of this type may be used where `other` is expected:
+  /// structural equality, except kAny coerces to anything (in either
+  /// direction) and Int coerces to Real.
+  bool CoercesTo(const Type& other) const;
+
+  /// TM-style rendering: INT, P(⟨a : INT⟩), etc.
+  std::string ToString() const;
+
+ private:
+  using Rep = internal_types::TypeRep;
+  explicit Type(std::shared_ptr<const Rep> rep) : rep_(std::move(rep)) {}
+
+  friend Result<Type> UnifyTypes(const Type& a, const Type& b);
+
+  std::shared_ptr<const Rep> rep_;
+};
+
+struct Field {
+  std::string name;
+  Type type;
+};
+
+inline bool operator==(const Type& a, const Type& b) { return a.Equals(b); }
+inline bool operator!=(const Type& a, const Type& b) { return !a.Equals(b); }
+
+/// Least upper bound of two types if one exists: equal types unify to
+/// themselves, kAny unifies with anything, Int/Real unify to Real, and
+/// collections/tuples unify structurally. TypeError otherwise.
+Result<Type> UnifyTypes(const Type& a, const Type& b);
+
+}  // namespace tmdb
+
+#endif  // TMDB_TYPES_TYPE_H_

@@ -1,0 +1,233 @@
+#include "workload/generators.h"
+
+#include <utility>
+#include <vector>
+
+#include "base/random.h"
+#include "base/string_util.h"
+
+namespace tmdb {
+
+namespace {
+
+Value IntTuple(const std::vector<std::string>& names,
+               const std::vector<int64_t>& values) {
+  std::vector<Value> fields;
+  fields.reserve(values.size());
+  for (int64_t v : values) fields.push_back(Value::Int(v));
+  return Value::Tuple(names, std::move(fields));
+}
+
+Value RandomIntSet(Random* rng, size_t max_size, int64_t domain) {
+  const size_t n = rng->Uniform(max_size + 1);
+  std::vector<Value> elems;
+  elems.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    elems.push_back(Value::Int(rng->UniformInt(0, domain - 1)));
+  }
+  return Value::Set(std::move(elems));
+}
+
+// Inserts ignoring AlreadyExists (generators may draw duplicate rows; the
+// extensions are sets, so dropping duplicates is the correct semantics).
+Status InsertRow(Table* table, Value row) {
+  Status s = table->Insert(std::move(row));
+  if (s.code() == StatusCode::kAlreadyExists) return Status::OK();
+  return s;
+}
+
+}  // namespace
+
+Status LoadCountBugTables(Database* db, const CountBugConfig& config) {
+  Random rng(config.seed);
+  TMDB_ASSIGN_OR_RETURN(
+      auto r, db->CreateTable("R", Type::Tuple({{"a", Type::Int()},
+                                                {"b", Type::Int()},
+                                                {"c", Type::Int()}})));
+  TMDB_ASSIGN_OR_RETURN(
+      auto s, db->CreateTable("S", Type::Tuple({{"c", Type::Int()},
+                                                {"d", Type::Int()}})));
+  // c values [0, matched_domain) appear in S; R rows draw c from the full
+  // domain, so roughly (1 - match_fraction) of them dangle.
+  const int64_t full_domain =
+      static_cast<int64_t>(config.num_r) + 1;
+  const int64_t matched_domain = static_cast<int64_t>(
+      static_cast<double>(full_domain) * config.match_fraction);
+  for (size_t i = 0; i < config.num_r; ++i) {
+    TMDB_RETURN_IF_ERROR(InsertRow(
+        r.get(),
+        IntTuple({"a", "b", "c"},
+                 {static_cast<int64_t>(i), rng.UniformInt(0, config.max_b),
+                  rng.UniformInt(0, full_domain - 1)})));
+  }
+  for (size_t i = 0; i < config.num_s; ++i) {
+    const int64_t c = matched_domain > 0
+                          ? rng.UniformInt(0, matched_domain - 1)
+                          : 0;
+    TMDB_RETURN_IF_ERROR(InsertRow(
+        s.get(), IntTuple({"c", "d"}, {c, static_cast<int64_t>(i)})));
+  }
+  return Status::OK();
+}
+
+Status LoadSubsetBugTables(Database* db, const SubsetBugConfig& config) {
+  Random rng(config.seed);
+  TMDB_ASSIGN_OR_RETURN(
+      auto x,
+      db->CreateTable("X", Type::Tuple({{"a", Type::Set(Type::Int())},
+                                        {"b", Type::Int()}})));
+  TMDB_ASSIGN_OR_RETURN(
+      auto y, db->CreateTable("Y", Type::Tuple({{"a", Type::Int()},
+                                                {"b", Type::Int()}})));
+  const int64_t full_domain = static_cast<int64_t>(config.num_x) + 1;
+  const int64_t matched_domain = static_cast<int64_t>(
+      static_cast<double>(full_domain) * config.match_fraction);
+  for (size_t i = 0; i < config.num_x; ++i) {
+    Value a = rng.Bernoulli(config.empty_a_fraction)
+                  ? Value::EmptySet()
+                  : RandomIntSet(&rng, config.max_set_size,
+                                 config.value_domain);
+    TMDB_RETURN_IF_ERROR(InsertRow(
+        x.get(), Value::Tuple({"a", "b"},
+                              {std::move(a),
+                               Value::Int(rng.UniformInt(
+                                   0, full_domain - 1))})));
+  }
+  for (size_t i = 0; i < config.num_y; ++i) {
+    const int64_t b = matched_domain > 0
+                          ? rng.UniformInt(0, matched_domain - 1)
+                          : 0;
+    TMDB_RETURN_IF_ERROR(InsertRow(
+        y.get(),
+        IntTuple({"a", "b"}, {rng.UniformInt(0, config.value_domain - 1), b})));
+  }
+  return Status::OK();
+}
+
+Status LoadSection8Tables(Database* db, const Section8Config& config) {
+  Random rng(config.seed);
+  TMDB_ASSIGN_OR_RETURN(
+      auto x,
+      db->CreateTable("X", Type::Tuple({{"a", Type::Set(Type::Int())},
+                                        {"b", Type::Int()}})));
+  TMDB_ASSIGN_OR_RETURN(
+      auto y,
+      db->CreateTable("Y", Type::Tuple({{"a", Type::Int()},
+                                        {"b", Type::Int()},
+                                        {"c", Type::Set(Type::Int())},
+                                        {"d", Type::Int()}})));
+  TMDB_ASSIGN_OR_RETURN(
+      auto z, db->CreateTable("Z", Type::Tuple({{"c", Type::Int()},
+                                                {"d", Type::Int()}})));
+  for (size_t i = 0; i < config.num_x; ++i) {
+    TMDB_RETURN_IF_ERROR(InsertRow(
+        x.get(),
+        Value::Tuple({"a", "b"},
+                     {RandomIntSet(&rng, config.max_set_size,
+                                   config.value_domain),
+                      Value::Int(rng.UniformInt(0, config.b_domain - 1))})));
+  }
+  for (size_t i = 0; i < config.num_y; ++i) {
+    TMDB_RETURN_IF_ERROR(InsertRow(
+        y.get(),
+        Value::Tuple(
+            {"a", "b", "c", "d"},
+            {Value::Int(rng.UniformInt(0, config.value_domain - 1)),
+             Value::Int(rng.UniformInt(0, config.b_domain - 1)),
+             RandomIntSet(&rng, config.max_set_size, config.value_domain),
+             Value::Int(rng.UniformInt(0, config.d_domain - 1))})));
+  }
+  for (size_t i = 0; i < config.num_z; ++i) {
+    TMDB_RETURN_IF_ERROR(InsertRow(
+        z.get(),
+        IntTuple({"c", "d"}, {rng.UniformInt(0, config.value_domain - 1),
+                              rng.UniformInt(0, config.d_domain - 1)})));
+  }
+  return Status::OK();
+}
+
+Status LoadCompanyTables(Database* db, const CompanyConfig& config) {
+  Random rng(config.seed);
+  const Type address = Type::Tuple({{"street", Type::String()},
+                                    {"nr", Type::String()},
+                                    {"city", Type::String()}});
+  const Type child =
+      Type::Tuple({{"name", Type::String()}, {"age", Type::Int()}});
+  const Type emp_schema = Type::Tuple({{"name", Type::String()},
+                                       {"address", address},
+                                       {"sal", Type::Int()},
+                                       {"children", Type::Set(child)}});
+  // DEPT stores its employees' names as a set-valued attribute (the
+  // materialized-join representation the paper describes); EMP is the
+  // class extension holding the employee objects.
+  const Type dept_schema =
+      Type::Tuple({{"dname", Type::String()},
+                   {"address", address},
+                   {"emps", Type::Set(Type::String())}});
+  TMDB_RETURN_IF_ERROR(db->catalog()->DefineSort("Address", address));
+  TMDB_ASSIGN_OR_RETURN(auto emp, db->CreateTable("EMP", emp_schema));
+  TMDB_ASSIGN_OR_RETURN(auto dept, db->CreateTable("DEPT", dept_schema));
+
+  auto make_address = [&](Random* r) {
+    return Value::Tuple(
+        {"street", "nr", "city"},
+        {Value::String(StrCat("street", r->Uniform(config.num_streets))),
+         Value::String(StrCat(1 + r->Uniform(99))),
+         Value::String(StrCat("city", r->Uniform(config.num_cities)))});
+  };
+
+  std::vector<std::vector<Value>> dept_members(config.num_depts);
+  for (size_t i = 0; i < config.num_emps; ++i) {
+    std::vector<Value> children;
+    const size_t n_children = rng.Uniform(config.max_children + 1);
+    for (size_t k = 0; k < n_children; ++k) {
+      children.push_back(
+          Value::Tuple({"name", "age"},
+                       {Value::String(StrCat("child", i, "_", k)),
+                        Value::Int(rng.UniformInt(0, 17))}));
+    }
+    Value name = Value::String(StrCat("emp", i));
+    TMDB_RETURN_IF_ERROR(InsertRow(
+        emp.get(),
+        Value::Tuple({"name", "address", "sal", "children"},
+                     {name, make_address(&rng),
+                      Value::Int(rng.UniformInt(20000, 90000)),
+                      Value::Set(std::move(children))})));
+    if (config.num_depts > 0) {
+      dept_members[rng.Uniform(config.num_depts)].push_back(std::move(name));
+    }
+  }
+  for (size_t i = 0; i < config.num_depts; ++i) {
+    TMDB_RETURN_IF_ERROR(InsertRow(
+        dept.get(),
+        Value::Tuple({"dname", "address", "emps"},
+                     {Value::String(StrCat("dept", i)), make_address(&rng),
+                      Value::Set(std::move(dept_members[i]))})));
+  }
+  return Status::OK();
+}
+
+Status LoadScaleTables(Database* db, const ScaleConfig& config) {
+  Random rng(config.seed);
+  TMDB_ASSIGN_OR_RETURN(
+      auto x, db->CreateTable("X", Type::Tuple({{"a", Type::Int()},
+                                                {"b", Type::Int()}})));
+  TMDB_ASSIGN_OR_RETURN(
+      auto y, db->CreateTable("Y", Type::Tuple({{"b", Type::Int()},
+                                                {"c", Type::Int()}})));
+  for (size_t i = 0; i < config.num_x; ++i) {
+    TMDB_RETURN_IF_ERROR(InsertRow(
+        x.get(),
+        IntTuple({"a", "b"}, {rng.UniformInt(0, config.a_domain - 1),
+                              rng.UniformInt(0, config.b_domain - 1)})));
+  }
+  for (size_t i = 0; i < config.num_y; ++i) {
+    TMDB_RETURN_IF_ERROR(InsertRow(
+        y.get(),
+        IntTuple({"b", "c"}, {rng.UniformInt(0, config.b_domain - 1),
+                              rng.UniformInt(0, config.a_domain - 1)})));
+  }
+  return Status::OK();
+}
+
+}  // namespace tmdb

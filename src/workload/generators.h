@@ -1,0 +1,84 @@
+#ifndef TMDB_WORKLOAD_GENERATORS_H_
+#define TMDB_WORKLOAD_GENERATORS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "base/result.h"
+#include "core/database.h"
+
+namespace tmdb {
+
+/// Deterministic data generators for the paper's schemas. All take a seed;
+/// the same (config, seed) produces identical databases on any platform.
+
+/// Section 2 schemas: R(a, b, c) and S(c, d), used by the COUNT bug demo.
+/// `match_fraction` controls how many R rows have at least one S partner on
+/// c — the rest are dangling, which is where Kim's algorithm goes wrong.
+/// R.b is drawn from [0, max_b]; b = 0 rows are exactly the ones the COUNT
+/// bug loses when the subquery result is empty.
+struct CountBugConfig {
+  size_t num_r = 100;
+  size_t num_s = 200;
+  double match_fraction = 0.7;
+  int64_t max_b = 4;
+  uint64_t seed = 42;
+};
+Status LoadCountBugTables(Database* db, const CountBugConfig& config);
+
+/// Section 4 schemas: X(a : P(INT), b) and Y(a, b), used by the SUBSETEQ
+/// bug demo (predicate x.a ⊆ z). `empty_a_fraction` X rows have a = ∅ —
+/// those satisfy ⊆ trivially and are the rows Kim-style grouping loses
+/// when they dangle.
+struct SubsetBugConfig {
+  size_t num_x = 100;
+  size_t num_y = 200;
+  double match_fraction = 0.7;
+  double empty_a_fraction = 0.2;
+  size_t max_set_size = 3;
+  int64_t value_domain = 8;
+  uint64_t seed = 43;
+};
+Status LoadSubsetBugTables(Database* db, const SubsetBugConfig& config);
+
+/// Section 8 schemas: X(a : P(INT), b), Y(a, b, c : P(INT), d), Z(c, d) —
+/// the three-block linear query workload.
+struct Section8Config {
+  size_t num_x = 50;
+  size_t num_y = 100;
+  size_t num_z = 200;
+  int64_t b_domain = 20;   // X–Y correlation attribute domain
+  int64_t d_domain = 30;   // Y–Z correlation attribute domain
+  int64_t value_domain = 6;
+  size_t max_set_size = 3;
+  uint64_t seed = 44;
+};
+Status LoadSection8Tables(Database* db, const Section8Config& config);
+
+/// Section 3 company schema: DEPT and EMP extensions with complex-object
+/// attributes (nested address tuples, set-valued children, set-valued
+/// emps), backing queries Q1 and Q2.
+struct CompanyConfig {
+  size_t num_depts = 10;
+  size_t num_emps = 100;
+  size_t num_cities = 5;
+  size_t num_streets = 12;
+  size_t max_children = 3;
+  uint64_t seed = 45;
+};
+Status LoadCompanyTables(Database* db, const CompanyConfig& config);
+
+/// Generic two-table workload for the flatten-vs-nested scaling benches:
+/// X(a, b) and Y(b, c) with |Y| rows over a b-domain of `b_domain` values.
+struct ScaleConfig {
+  size_t num_x = 1000;
+  size_t num_y = 1000;
+  int64_t b_domain = 100;
+  int64_t a_domain = 50;
+  uint64_t seed = 46;
+};
+Status LoadScaleTables(Database* db, const ScaleConfig& config);
+
+}  // namespace tmdb
+
+#endif  // TMDB_WORKLOAD_GENERATORS_H_

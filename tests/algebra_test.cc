@@ -1,0 +1,173 @@
+#include "algebra/logical_op.h"
+
+#include <gtest/gtest.h>
+
+#include "algebra/subplan.h"
+#include "tests/test_util.h"
+
+namespace tmdb {
+namespace {
+
+class AlgebraTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TMDB_ASSERT_OK_AND_ASSIGN(
+        x_table_, Table::Create("X", Type::Tuple({{"a", Type::Int()},
+                                                  {"b", Type::Int()}})));
+    TMDB_ASSERT_OK_AND_ASSIGN(
+        y_table_, Table::Create("Y", Type::Tuple({{"c", Type::Int()},
+                                                  {"d", Type::Int()}})));
+    TMDB_ASSERT_OK_AND_ASSIGN(x_, LogicalOp::Scan(x_table_));
+    TMDB_ASSERT_OK_AND_ASSIGN(y_, LogicalOp::Scan(y_table_));
+  }
+
+  Expr XField(const char* f) {
+    return Expr::Must(Expr::Field(Expr::Var("x", x_table_->schema()), f));
+  }
+  Expr YField(const char* f) {
+    return Expr::Must(Expr::Field(Expr::Var("y", y_table_->schema()), f));
+  }
+  Expr EqPred() {
+    return Expr::Must(Expr::Binary(BinaryOp::kEq, XField("b"), YField("c")));
+  }
+
+  std::shared_ptr<Table> x_table_;
+  std::shared_ptr<Table> y_table_;
+  LogicalOpPtr x_;
+  LogicalOpPtr y_;
+};
+
+TEST_F(AlgebraTest, ScanSchema) {
+  EXPECT_EQ(x_->op_kind(), OpKind::kScan);
+  EXPECT_TRUE(x_->output_type().Equals(x_table_->schema()));
+  EXPECT_FALSE(LogicalOp::Scan(nullptr).ok());
+}
+
+TEST_F(AlgebraTest, SelectKeepsSchemaAndChecksPredType) {
+  TMDB_ASSERT_OK_AND_ASSIGN(
+      LogicalOpPtr sel,
+      LogicalOp::Select(x_, "x", Expr::Must(Expr::Binary(
+                                     BinaryOp::kGt, XField("a"),
+                                     Expr::Literal(Value::Int(0))))));
+  EXPECT_TRUE(sel->output_type().Equals(x_->output_type()));
+  EXPECT_FALSE(
+      LogicalOp::Select(x_, "x", Expr::Literal(Value::Int(1))).ok());
+}
+
+TEST_F(AlgebraTest, MapOutputType) {
+  TMDB_ASSERT_OK_AND_ASSIGN(LogicalOpPtr mapped,
+                            LogicalOp::Map(x_, "x", XField("a")));
+  EXPECT_TRUE(mapped->output_type().is_int());
+}
+
+TEST_F(AlgebraTest, JoinSchemaIsConcat) {
+  TMDB_ASSERT_OK_AND_ASSIGN(LogicalOpPtr join,
+                            LogicalOp::Join(x_, y_, "x", "y", EqPred()));
+  EXPECT_EQ(join->output_type().fields().size(), 4u);
+  // Colliding attribute names are rejected.
+  EXPECT_FALSE(LogicalOp::Join(x_, x_, "x", "y", Expr::True()).ok());
+  // Same variable on both sides is rejected.
+  EXPECT_FALSE(LogicalOp::Join(x_, y_, "x", "x", EqPred()).ok());
+}
+
+TEST_F(AlgebraTest, SemiAntiKeepLeftSchema) {
+  TMDB_ASSERT_OK_AND_ASSIGN(LogicalOpPtr semi,
+                            LogicalOp::SemiJoin(x_, y_, "x", "y", EqPred()));
+  EXPECT_TRUE(semi->output_type().Equals(x_->output_type()));
+  TMDB_ASSERT_OK_AND_ASSIGN(LogicalOpPtr anti,
+                            LogicalOp::AntiJoin(x_, y_, "x", "y", EqPred()));
+  EXPECT_TRUE(anti->output_type().Equals(x_->output_type()));
+}
+
+TEST_F(AlgebraTest, NestJoinSchemaAddsLabel) {
+  TMDB_ASSERT_OK_AND_ASSIGN(
+      LogicalOpPtr nj,
+      LogicalOp::NestJoin(x_, y_, "x", "y", EqPred(), YField("d"), "zs"));
+  const Type& t = nj->output_type();
+  ASSERT_EQ(t.fields().size(), 3u);
+  EXPECT_EQ(t.fields()[2].name, "zs");
+  EXPECT_TRUE(t.fields()[2].type.Equals(Type::Set(Type::Int())));
+  // Label colliding with a left attribute violates the paper's side
+  // condition and is rejected.
+  EXPECT_FALSE(
+      LogicalOp::NestJoin(x_, y_, "x", "y", EqPred(), YField("d"), "a").ok());
+}
+
+TEST_F(AlgebraTest, NestSchema) {
+  TMDB_ASSERT_OK_AND_ASSIGN(
+      LogicalOpPtr nest,
+      LogicalOp::Nest(y_, {"c"}, "y", YField("d"), "ds", false));
+  const Type& t = nest->output_type();
+  ASSERT_EQ(t.fields().size(), 2u);
+  EXPECT_EQ(t.fields()[0].name, "c");
+  EXPECT_EQ(t.fields()[1].name, "ds");
+  EXPECT_FALSE(
+      LogicalOp::Nest(y_, {"nope"}, "y", YField("d"), "ds", false).ok());
+}
+
+TEST_F(AlgebraTest, UnnestSchema) {
+  // Build a plan with a set-of-tuples attribute via NestJoin, then Unnest.
+  TMDB_ASSERT_OK_AND_ASSIGN(
+      LogicalOpPtr nj,
+      LogicalOp::NestJoin(x_, y_, "x", "y", EqPred(),
+                          Expr::Var("y", y_table_->schema()), "ys"));
+  TMDB_ASSERT_OK_AND_ASSIGN(LogicalOpPtr unnest, LogicalOp::Unnest(nj, "ys"));
+  EXPECT_EQ(unnest->output_type().fields().size(), 4u);  // a, b, c, d
+  // Unnesting a non-set attribute fails.
+  EXPECT_FALSE(LogicalOp::Unnest(x_, "a").ok());
+}
+
+TEST_F(AlgebraTest, UnionDifferenceTypeChecking) {
+  TMDB_ASSERT_OK_AND_ASSIGN(LogicalOpPtr u, LogicalOp::Union(x_, x_));
+  EXPECT_TRUE(u->output_type().Equals(x_->output_type()));
+  EXPECT_FALSE(LogicalOp::Union(x_, y_).ok());  // incompatible schemas
+  TMDB_ASSERT_OK_AND_ASSIGN(LogicalOpPtr d, LogicalOp::Difference(x_, x_));
+  EXPECT_TRUE(d->output_type().Equals(x_->output_type()));
+}
+
+TEST_F(AlgebraTest, ExprSource) {
+  Expr set = Expr::Literal(Value::Set({Value::Int(1), Value::Int(2)}));
+  TMDB_ASSERT_OK_AND_ASSIGN(LogicalOpPtr src, LogicalOp::ExprSource(set));
+  EXPECT_TRUE(src->output_type().is_int());
+  EXPECT_FALSE(LogicalOp::ExprSource(Expr::Literal(Value::Int(1))).ok());
+}
+
+TEST_F(AlgebraTest, PlanFreeVars) {
+  // Select over X referencing an outer variable "o".
+  Expr outer = Expr::Var("o", Type::Tuple({{"k", Type::Int()}}));
+  Expr pred = Expr::Must(Expr::Binary(
+      BinaryOp::kEq, XField("b"), Expr::Must(Expr::Field(outer, "k"))));
+  TMDB_ASSERT_OK_AND_ASSIGN(LogicalOpPtr sel, LogicalOp::Select(x_, "x", pred));
+  EXPECT_EQ(PlanFreeVars(*sel), (std::set<std::string>{"o"}));
+  // The plan's own iteration variable is not free.
+  TMDB_ASSERT_OK_AND_ASSIGN(
+      LogicalOpPtr own,
+      LogicalOp::Select(x_, "x",
+                        Expr::Must(Expr::Binary(BinaryOp::kGt, XField("a"),
+                                                Expr::Literal(Value::Int(0))))));
+  EXPECT_TRUE(PlanFreeVars(*own).empty());
+}
+
+TEST_F(AlgebraTest, ToStringShowsTree) {
+  TMDB_ASSERT_OK_AND_ASSIGN(LogicalOpPtr join,
+                            LogicalOp::Join(x_, y_, "x", "y", EqPred()));
+  TMDB_ASSERT_OK_AND_ASSIGN(LogicalOpPtr mapped,
+                            LogicalOp::Map(join, "j",
+                                           Expr::Var("j", join->output_type())));
+  const std::string rendered = mapped->ToString();
+  EXPECT_NE(rendered.find("Map"), std::string::npos);
+  EXPECT_NE(rendered.find("Join"), std::string::npos);
+  EXPECT_NE(rendered.find("Scan(X)"), std::string::npos);
+  EXPECT_NE(rendered.find("Scan(Y)"), std::string::npos);
+}
+
+TEST_F(AlgebraTest, SubplanExprToString) {
+  Expr subplan = PlanSubplan::MakeExpr(x_, {"o"});
+  EXPECT_TRUE(subplan.is_subplan());
+  EXPECT_NE(subplan.ToString().find("SUBQUERY"), std::string::npos);
+  EXPECT_EQ(subplan.subplan().free_vars(), (std::set<std::string>{"o"}));
+  EXPECT_TRUE(subplan.type().Equals(Type::Set(x_->output_type())));
+}
+
+}  // namespace
+}  // namespace tmdb

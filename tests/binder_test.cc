@@ -1,0 +1,178 @@
+// Binder (sema) tests: scoping, correlation detection, typing, WITH
+// inlining, and error reporting.
+
+#include "sema/binder.h"
+
+#include <gtest/gtest.h>
+
+#include "parser/parser.h"
+#include "tests/test_util.h"
+
+namespace tmdb {
+namespace {
+
+class BinderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TMDB_ASSERT_OK_AND_ASSIGN(
+        auto r, catalog_.CreateTable(
+                    "R", Type::Tuple({{"a", Type::Int()},
+                                      {"s", Type::Set(Type::Int())}})));
+    TMDB_ASSERT_OK_AND_ASSIGN(
+        auto s, catalog_.CreateTable("S", Type::Tuple({{"b", Type::Int()}})));
+    (void)r;
+    (void)s;
+  }
+
+  Result<LogicalOpPtr> Bind(const std::string& query) {
+    TMDB_ASSIGN_OR_RETURN(AstPtr ast, ParseQuery(query));
+    Binder binder(&catalog_);
+    return binder.BindQuery(*ast);
+  }
+
+  Catalog catalog_;
+};
+
+TEST_F(BinderTest, ShapeOfSimpleQuery) {
+  TMDB_ASSERT_OK_AND_ASSIGN(LogicalOpPtr plan,
+                            Bind("SELECT x.a FROM R x WHERE x.a > 0"));
+  ASSERT_EQ(plan->op_kind(), OpKind::kMap);
+  ASSERT_EQ(plan->input()->op_kind(), OpKind::kSelect);
+  ASSERT_EQ(plan->input()->input()->op_kind(), OpKind::kScan);
+  EXPECT_TRUE(plan->output_type().is_int());
+}
+
+TEST_F(BinderTest, NoWhereMeansNoSelect) {
+  TMDB_ASSERT_OK_AND_ASSIGN(LogicalOpPtr plan, Bind("SELECT x FROM R x"));
+  ASSERT_EQ(plan->op_kind(), OpKind::kMap);
+  EXPECT_EQ(plan->input()->op_kind(), OpKind::kScan);
+}
+
+TEST_F(BinderTest, CorrelatedSubqueryBecomesSubplanWithFreeVars) {
+  TMDB_ASSERT_OK_AND_ASSIGN(
+      LogicalOpPtr plan,
+      Bind("SELECT x FROM R x WHERE x.a IN (SELECT y.b FROM S y "
+           "WHERE y.b = x.a)"));
+  const Expr& pred = plan->input()->pred();
+  ASSERT_TRUE(pred.is_binary());
+  const Expr& sub = pred.rhs();
+  ASSERT_TRUE(sub.is_subplan());
+  EXPECT_EQ(sub.subplan().free_vars(), (std::set<std::string>{"x"}));
+}
+
+TEST_F(BinderTest, UncorrelatedSubqueryHasNoFreeVars) {
+  TMDB_ASSERT_OK_AND_ASSIGN(
+      LogicalOpPtr plan,
+      Bind("SELECT x FROM R x WHERE x.a IN (SELECT y.b FROM S y)"));
+  const Expr& sub = plan->input()->pred().rhs();
+  ASSERT_TRUE(sub.is_subplan());
+  EXPECT_TRUE(sub.subplan().free_vars().empty());
+}
+
+TEST_F(BinderTest, InnerVariableShadowsOuter) {
+  // The inner block reuses variable name x; its x refers to S rows, so the
+  // subquery is NOT correlated.
+  TMDB_ASSERT_OK_AND_ASSIGN(
+      LogicalOpPtr plan,
+      Bind("SELECT x FROM R x WHERE x.a IN (SELECT x.b FROM S x)"));
+  const Expr& sub = plan->input()->pred().rhs();
+  ASSERT_TRUE(sub.is_subplan());
+  EXPECT_TRUE(sub.subplan().free_vars().empty());
+}
+
+TEST_F(BinderTest, SetValuedAttributeAsFromOperand) {
+  TMDB_ASSERT_OK_AND_ASSIGN(
+      LogicalOpPtr plan,
+      Bind("SELECT x.a FROM R x WHERE 1 IN (SELECT e FROM x.s e)"));
+  const Expr& sub = plan->input()->pred().rhs();
+  ASSERT_TRUE(sub.is_subplan());
+  EXPECT_EQ(sub.subplan().free_vars(), (std::set<std::string>{"x"}));
+}
+
+TEST_F(BinderTest, TableNameShadowedByVariable) {
+  // FROM R S: variable S shadows table S inside the block.
+  TMDB_ASSERT_OK_AND_ASSIGN(LogicalOpPtr plan,
+                            Bind("SELECT S.a FROM R S"));
+  EXPECT_TRUE(plan->output_type().is_int());
+}
+
+TEST_F(BinderTest, TableAsSetExpression) {
+  TMDB_ASSERT_OK_AND_ASSIGN(
+      LogicalOpPtr plan, Bind("SELECT x FROM R x WHERE count(S) = 0"));
+  EXPECT_EQ(plan->op_kind(), OpKind::kMap);
+}
+
+TEST_F(BinderTest, WithInliningRespectsScope) {
+  TMDB_ASSERT_OK_AND_ASSIGN(
+      LogicalOpPtr with_plan,
+      Bind("SELECT x FROM R x WHERE count(z) = 0 "
+           "WITH z = (SELECT y FROM S y WHERE y.b = x.a)"));
+  TMDB_ASSERT_OK_AND_ASSIGN(
+      LogicalOpPtr direct_plan,
+      Bind("SELECT x FROM R x WHERE count(SELECT y FROM S y "
+           "WHERE y.b = x.a) = 0"));
+  EXPECT_EQ(with_plan->ToString(), direct_plan->ToString());
+}
+
+TEST_F(BinderTest, MultiFromBuildsJoinWithQualifiedNames) {
+  TMDB_ASSERT_OK_AND_ASSIGN(
+      LogicalOpPtr plan,
+      Bind("SELECT (a = x.a, b = y.b) FROM R x, S y WHERE x.a = y.b"));
+  const std::string rendered = plan->ToString();
+  EXPECT_NE(rendered.find("Join"), std::string::npos) << rendered;
+  // Qualified combined-row attributes avoid collisions.
+  EXPECT_NE(rendered.find("x.a"), std::string::npos) << rendered;
+}
+
+TEST_F(BinderTest, DuplicateFromVariableRejected) {
+  EXPECT_FALSE(Bind("SELECT x FROM R x, S x").ok());
+}
+
+TEST_F(BinderTest, Errors) {
+  EXPECT_FALSE(Bind("SELECT x FROM NoTable x").ok());
+  EXPECT_FALSE(Bind("SELECT x.nope FROM R x").ok());
+  EXPECT_FALSE(Bind("SELECT y FROM R x").ok());            // unbound var
+  EXPECT_FALSE(Bind("SELECT x FROM R x WHERE x.a").ok());  // non-bool WHERE
+  EXPECT_FALSE(Bind("SELECT x FROM R x WHERE x.a + true = 1").ok());
+  EXPECT_FALSE(Bind("SELECT x FROM x.s e").ok());          // unbound x
+  // Errors carry source positions.
+  auto bad = Bind("SELECT x.nope FROM R x");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("line"), std::string::npos)
+      << bad.status().ToString();
+}
+
+TEST_F(BinderTest, TopLevelNonSetExpressionRejected) {
+  EXPECT_FALSE(Bind("1 + 2").ok());
+}
+
+TEST_F(BinderTest, TopLevelSetExpressionBecomesExprSource) {
+  TMDB_ASSERT_OK_AND_ASSIGN(LogicalOpPtr plan, Bind("{1, 2, 3}"));
+  EXPECT_EQ(plan->op_kind(), OpKind::kExprSource);
+  EXPECT_TRUE(plan->output_type().is_int());
+}
+
+TEST_F(BinderTest, QuantifierBindsItsVariable) {
+  TMDB_ASSERT_OK_AND_ASSIGN(
+      LogicalOpPtr plan,
+      Bind("SELECT x FROM R x WHERE EXISTS v IN x.s (v = x.a)"));
+  const Expr& pred = plan->input()->pred();
+  ASSERT_TRUE(pred.is_quantifier());
+  EXPECT_EQ(pred.quant_var(), "v");
+  EXPECT_TRUE(pred.quant_pred().References("x"));
+}
+
+TEST_F(BinderTest, SubstituteIdentShadowing) {
+  // Substitution must not descend into a quantifier binding the same name.
+  TMDB_ASSERT_OK_AND_ASSIGN(AstPtr target, ParseQuery("EXISTS z IN s (z = 1)"));
+  TMDB_ASSERT_OK_AND_ASSIGN(AstPtr replacement, ParseQuery("{9}"));
+  SubstituteIdent(target.get(), "z", *replacement);
+  EXPECT_EQ(target->ToString(), "EXISTS z IN s ((z = 1))");
+  // And collection position IS substituted.
+  TMDB_ASSERT_OK_AND_ASSIGN(AstPtr target2, ParseQuery("EXISTS v IN z (v = 1)"));
+  SubstituteIdent(target2.get(), "z", *replacement);
+  EXPECT_EQ(target2->ToString(), "EXISTS v IN {9} ((v = 1))");
+}
+
+}  // namespace
+}  // namespace tmdb

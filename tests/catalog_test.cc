@@ -1,0 +1,98 @@
+#include "catalog/catalog.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace tmdb {
+namespace {
+
+using testutil::IntRow;
+
+TEST(TableTest, CreateValidation) {
+  EXPECT_FALSE(Table::Create("", Type::Tuple({})).ok());
+  EXPECT_FALSE(Table::Create("T", Type::Int()).ok());
+  TMDB_ASSERT_OK_AND_ASSIGN(
+      auto t, Table::Create("T", Type::Tuple({{"a", Type::Int()}})));
+  EXPECT_EQ(t->name(), "T");
+  EXPECT_EQ(t->NumRows(), 0u);
+}
+
+TEST(TableTest, InsertValidatesSchema) {
+  TMDB_ASSERT_OK_AND_ASSIGN(
+      auto t, Table::Create("T", Type::Tuple({{"a", Type::Int()},
+                                              {"b", Type::String()}})));
+  TMDB_ASSERT_OK(t->Insert(
+      Value::Tuple({"a", "b"}, {Value::Int(1), Value::String("x")})));
+  // Wrong field type.
+  EXPECT_FALSE(
+      t->Insert(Value::Tuple({"a", "b"}, {Value::String("no"),
+                                          Value::String("x")}))
+          .ok());
+  // Wrong shape.
+  EXPECT_FALSE(t->Insert(Value::Int(1)).ok());
+  EXPECT_EQ(t->NumRows(), 1u);
+}
+
+TEST(TableTest, ExtensionsAreSets) {
+  TMDB_ASSERT_OK_AND_ASSIGN(
+      auto t, Table::Create("T", Type::Tuple({{"a", Type::Int()}})));
+  TMDB_ASSERT_OK(t->Insert(IntRow({"a"}, {1})));
+  Status dup = t->Insert(IntRow({"a"}, {1}));
+  EXPECT_EQ(dup.code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(t->NumRows(), 1u);
+}
+
+TEST(TableTest, NestedAttributeValidation) {
+  const Type schema = Type::Tuple(
+      {{"name", Type::String()},
+       {"kids", Type::Set(Type::Tuple({{"age", Type::Int()}}))}});
+  TMDB_ASSERT_OK_AND_ASSIGN(auto t, Table::Create("E", schema));
+  TMDB_ASSERT_OK(t->Insert(Value::Tuple(
+      {"name", "kids"},
+      {Value::String("e1"),
+       Value::Set({Value::Tuple({"age"}, {Value::Int(4)})})})));
+  // Element of the set has wrong shape.
+  EXPECT_FALSE(t->Insert(Value::Tuple(
+                             {"name", "kids"},
+                             {Value::String("e2"),
+                              Value::Set({Value::Int(4)})}))
+                   .ok());
+}
+
+TEST(CatalogTest, CreateAndLookup) {
+  Catalog catalog;
+  TMDB_ASSERT_OK_AND_ASSIGN(
+      auto t, catalog.CreateTable("R", Type::Tuple({{"a", Type::Int()}})));
+  EXPECT_TRUE(catalog.HasTable("R"));
+  EXPECT_FALSE(catalog.HasTable("S"));
+  TMDB_ASSERT_OK_AND_ASSIGN(auto got, catalog.GetTable("R"));
+  EXPECT_EQ(got.get(), t.get());
+  EXPECT_FALSE(catalog.GetTable("S").ok());
+  EXPECT_FALSE(
+      catalog.CreateTable("R", Type::Tuple({{"a", Type::Int()}})).ok());
+  EXPECT_EQ(catalog.TableNames(), std::vector<std::string>{"R"});
+}
+
+TEST(CatalogTest, RegisterTable) {
+  Catalog catalog;
+  TMDB_ASSERT_OK_AND_ASSIGN(
+      auto t, Table::Create("X", Type::Tuple({{"a", Type::Int()}})));
+  TMDB_ASSERT_OK(catalog.RegisterTable(t));
+  EXPECT_FALSE(catalog.RegisterTable(t).ok());  // duplicate
+  EXPECT_FALSE(catalog.RegisterTable(nullptr).ok());
+}
+
+TEST(CatalogTest, Sorts) {
+  Catalog catalog;
+  const Type address = Type::Tuple({{"city", Type::String()}});
+  TMDB_ASSERT_OK(catalog.DefineSort("Address", address));
+  EXPECT_FALSE(catalog.DefineSort("Address", address).ok());
+  EXPECT_FALSE(catalog.DefineSort("Bad", Type::Int()).ok());
+  TMDB_ASSERT_OK_AND_ASSIGN(Type got, catalog.GetSort("Address"));
+  EXPECT_TRUE(got.Equals(address));
+  EXPECT_FALSE(catalog.GetSort("Nope").ok());
+}
+
+}  // namespace
+}  // namespace tmdb

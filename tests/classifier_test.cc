@@ -1,0 +1,215 @@
+// Unit tests for the Table 2 predicate classifier (Theorem 1): every row
+// of the paper's table, plus the closure rules (negation, FORALL↔¬∃).
+
+#include "rewrite/classifier.h"
+
+#include <gtest/gtest.h>
+
+#include "algebra/subplan.h"
+#include "catalog/table.h"
+#include "tests/test_util.h"
+
+namespace tmdb {
+namespace {
+
+class ClassifierTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // x : ⟨a : P(INT), b : INT⟩ — covers both scalar and set-valued x.a.
+    x_type_ = Type::Tuple({{"a", Type::Set(Type::Int())}, {"b", Type::Int()}});
+    x_ = Expr::Var("x", x_type_);
+    xa_ = Expr::Must(Expr::Field(x_, "a"));
+    xb_ = Expr::Must(Expr::Field(x_, "b"));
+    // z = subquery producing a set of INT.
+    TMDB_ASSERT_OK_AND_ASSIGN(
+        auto table, Table::Create("Y", Type::Tuple({{"a", Type::Int()}})));
+    TMDB_ASSERT_OK_AND_ASSIGN(LogicalOpPtr scan, LogicalOp::Scan(table));
+    Expr row = Expr::Var("y", table->schema());
+    TMDB_ASSERT_OK_AND_ASSIGN(LogicalOpPtr mapped,
+                              LogicalOp::Map(scan, "y",
+                                             Expr::Must(Expr::Field(row, "a"))));
+    z_ = PlanSubplan::MakeExpr(mapped, {"x"});
+  }
+
+  RewriteForm Classify(const Expr& pred) {
+    auto result = ClassifyConjunct(pred, z_, "v");
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    if (!result.ok()) return RewriteForm::kGrouping;
+    last_ = std::move(result).value();
+    return last_.form;
+  }
+
+  Expr Bin(BinaryOp op, Expr l, Expr r) {
+    return Expr::Must(Expr::Binary(op, std::move(l), std::move(r)));
+  }
+  Expr CountZ() { return Expr::Must(Expr::Aggregate(AggFunc::kCount, z_)); }
+  Expr EmptySet() { return Expr::Literal(Value::EmptySet()); }
+  Expr Int(int64_t v) { return Expr::Literal(Value::Int(v)); }
+
+  Type x_type_;
+  Expr x_, xa_, xb_, z_;
+  PredicateClass last_;
+};
+
+// -------- rows of Table 2 that rewrite (→ semijoin / antijoin) -----------
+
+TEST_F(ClassifierTest, ZEqualsEmpty) {
+  EXPECT_EQ(Classify(Bin(BinaryOp::kEq, z_, EmptySet())),
+            RewriteForm::kNotExists);
+  EXPECT_EQ(Classify(Bin(BinaryOp::kEq, EmptySet(), z_)),
+            RewriteForm::kNotExists);
+  EXPECT_EQ(Classify(Bin(BinaryOp::kNe, z_, EmptySet())),
+            RewriteForm::kExists);
+}
+
+TEST_F(ClassifierTest, CountZero) {
+  EXPECT_EQ(Classify(Bin(BinaryOp::kEq, CountZ(), Int(0))),
+            RewriteForm::kNotExists);
+  EXPECT_EQ(Classify(Bin(BinaryOp::kEq, Int(0), CountZ())),
+            RewriteForm::kNotExists);
+  EXPECT_EQ(Classify(Bin(BinaryOp::kNe, CountZ(), Int(0))),
+            RewriteForm::kExists);
+  EXPECT_EQ(Classify(Bin(BinaryOp::kGt, CountZ(), Int(0))),
+            RewriteForm::kExists);
+  EXPECT_EQ(Classify(Bin(BinaryOp::kGe, CountZ(), Int(1))),
+            RewriteForm::kExists);
+  EXPECT_EQ(Classify(Bin(BinaryOp::kLt, CountZ(), Int(1))),
+            RewriteForm::kNotExists);
+  EXPECT_EQ(Classify(Bin(BinaryOp::kLe, CountZ(), Int(0))),
+            RewriteForm::kNotExists);
+  // Mirrored: 0 < count(z) ≡ count(z) > 0.
+  EXPECT_EQ(Classify(Bin(BinaryOp::kLt, Int(0), CountZ())),
+            RewriteForm::kExists);
+}
+
+TEST_F(ClassifierTest, Membership) {
+  EXPECT_EQ(Classify(Bin(BinaryOp::kIn, xb_, z_)), RewriteForm::kExists);
+  EXPECT_EQ(last_.var, "v");
+  ASSERT_TRUE(last_.inner.has_value());
+  EXPECT_EQ(last_.inner->ToString(), "(v = x.b)");
+  EXPECT_EQ(Classify(Bin(BinaryOp::kNotIn, xb_, z_)),
+            RewriteForm::kNotExists);
+}
+
+TEST_F(ClassifierTest, SupersetRewrites) {
+  // x.a ⊇ z  ==>  ¬∃v∈z (v ∉ x.a); also written z ⊆ x.a.
+  EXPECT_EQ(Classify(Bin(BinaryOp::kSupersetEq, xa_, z_)),
+            RewriteForm::kNotExists);
+  EXPECT_EQ(last_.inner->ToString(), "(v NOT IN x.a)");
+  EXPECT_EQ(Classify(Bin(BinaryOp::kSubsetEq, z_, xa_)),
+            RewriteForm::kNotExists);
+}
+
+TEST_F(ClassifierTest, IntersectionEmptiness) {
+  Expr inter = Bin(BinaryOp::kIntersect, xa_, z_);
+  EXPECT_EQ(Classify(Bin(BinaryOp::kEq, inter, EmptySet())),
+            RewriteForm::kNotExists);
+  EXPECT_EQ(last_.inner->ToString(), "(v IN x.a)");
+  EXPECT_EQ(Classify(Bin(BinaryOp::kNe, inter, EmptySet())),
+            RewriteForm::kExists);
+  // Mirrored operand order: (z ∩ x.a) = ∅ and ∅ = (x.a ∩ z).
+  EXPECT_EQ(Classify(Bin(BinaryOp::kEq, Bin(BinaryOp::kIntersect, z_, xa_),
+                         EmptySet())),
+            RewriteForm::kNotExists);
+  EXPECT_EQ(Classify(Bin(BinaryOp::kEq, EmptySet(), inter)),
+            RewriteForm::kNotExists);
+}
+
+TEST_F(ClassifierTest, DirectQuantifiers) {
+  Expr v = Expr::Var("w", Type::Int());
+  Expr body = Bin(BinaryOp::kGt, v, Int(3));
+  EXPECT_EQ(Classify(Expr::Must(
+                Expr::Quantifier(QuantKind::kExists, "w", z_, body))),
+            RewriteForm::kExists);
+  EXPECT_EQ(last_.var, "w");
+  EXPECT_EQ(Classify(Expr::Must(
+                Expr::Quantifier(QuantKind::kForAll, "w", z_, body))),
+            RewriteForm::kNotExists);
+  EXPECT_EQ(last_.inner->ToString(), "NOT (w > 3)");
+}
+
+TEST_F(ClassifierTest, QuantifierOverOtherCollection) {
+  // ∀w ∈ x.a (w ∉ z) ≡ x.a ∩ z = ∅  ==>  ¬∃v∈z (v ∈ x.a).
+  Expr w = Expr::Var("w", Type::Int());
+  EXPECT_EQ(Classify(Expr::Must(Expr::Quantifier(
+                QuantKind::kForAll, "w", xa_,
+                Bin(BinaryOp::kNotIn, w, z_)))),
+            RewriteForm::kNotExists);
+  // ∃w ∈ x.a (w ∈ z)  ==>  ∃v∈z (v ∈ x.a).
+  EXPECT_EQ(Classify(Expr::Must(Expr::Quantifier(
+                QuantKind::kExists, "w", xa_, Bin(BinaryOp::kIn, w, z_)))),
+            RewriteForm::kExists);
+  // ∀w ∈ x.a (w ∈ z) ≡ x.a ⊆ z — grouping.
+  EXPECT_EQ(Classify(Expr::Must(Expr::Quantifier(
+                QuantKind::kForAll, "w", xa_, Bin(BinaryOp::kIn, w, z_)))),
+            RewriteForm::kGrouping);
+  // ∃w ∈ x.a (w ∉ z) ≡ ¬(x.a ⊆ z) — grouping.
+  EXPECT_EQ(Classify(Expr::Must(Expr::Quantifier(
+                QuantKind::kExists, "w", xa_,
+                Bin(BinaryOp::kNotIn, w, z_)))),
+            RewriteForm::kGrouping);
+}
+
+TEST_F(ClassifierTest, NegationFlips) {
+  Expr in = Bin(BinaryOp::kIn, xb_, z_);
+  EXPECT_EQ(Classify(Expr::Not(in)), RewriteForm::kNotExists);
+  EXPECT_EQ(Classify(Expr::Not(Expr::Not(in))), RewriteForm::kExists);
+  // Negation of a grouping predicate stays grouping.
+  Expr subset = Bin(BinaryOp::kSubsetEq, xa_, z_);
+  EXPECT_EQ(Classify(Expr::Not(subset)), RewriteForm::kGrouping);
+}
+
+// -------- rows of Table 2 that need grouping ------------------------------
+
+TEST_F(ClassifierTest, AggregateComparisons) {
+  EXPECT_EQ(Classify(Bin(BinaryOp::kEq, xb_, CountZ())),
+            RewriteForm::kGrouping);
+  EXPECT_EQ(Classify(Bin(BinaryOp::kLt, xb_, CountZ())),
+            RewriteForm::kGrouping);
+  EXPECT_EQ(Classify(Bin(BinaryOp::kEq, xb_,
+                         Expr::Must(Expr::Aggregate(AggFunc::kSum, z_)))),
+            RewriteForm::kGrouping);
+  EXPECT_EQ(Classify(Bin(BinaryOp::kEq, CountZ(), Int(2))),
+            RewriteForm::kGrouping);  // count(z) = 2 needs the whole set
+}
+
+TEST_F(ClassifierTest, SubsetFamilyGrouping) {
+  EXPECT_EQ(Classify(Bin(BinaryOp::kSubsetEq, xa_, z_)),
+            RewriteForm::kGrouping);
+  EXPECT_EQ(Classify(Bin(BinaryOp::kSubset, xa_, z_)),
+            RewriteForm::kGrouping);
+  EXPECT_EQ(Classify(Bin(BinaryOp::kSuperset, xa_, z_)),
+            RewriteForm::kGrouping);  // proper ⊃ needs cardinality
+  EXPECT_EQ(Classify(Bin(BinaryOp::kSubset, z_, xa_)),
+            RewriteForm::kGrouping);  // z ⊂ x.a proper
+}
+
+TEST_F(ClassifierTest, SetEqualityGrouping) {
+  EXPECT_EQ(Classify(Bin(BinaryOp::kEq, xa_, z_)), RewriteForm::kGrouping);
+  EXPECT_EQ(Classify(Bin(BinaryOp::kNe, xa_, z_)), RewriteForm::kGrouping);
+}
+
+TEST_F(ClassifierTest, UnrecognisedFormsAreConservative) {
+  // z used in arithmetic-ish or doubly-occurring positions → grouping.
+  EXPECT_EQ(Classify(Bin(BinaryOp::kEq, Bin(BinaryOp::kUnion, z_, xa_),
+                         EmptySet())),
+            RewriteForm::kGrouping);
+  Expr w = Expr::Var("w", Type::Int());
+  EXPECT_EQ(Classify(Expr::Must(Expr::Quantifier(
+                QuantKind::kExists, "w", z_, Bin(BinaryOp::kIn, w, z_)))),
+            RewriteForm::kGrouping);  // z occurs again inside the body
+}
+
+TEST_F(ClassifierTest, RuleStringsArePopulated) {
+  Classify(Bin(BinaryOp::kIn, xb_, z_));
+  EXPECT_NE(last_.rule.find("IN z"), std::string::npos) << last_.rule;
+  Classify(Bin(BinaryOp::kEq, xb_, CountZ()));
+  EXPECT_NE(last_.rule.find("count"), std::string::npos) << last_.rule;
+}
+
+TEST_F(ClassifierTest, RejectsNonSubplanMarker) {
+  EXPECT_FALSE(ClassifyConjunct(Expr::True(), Expr::True(), "v").ok());
+}
+
+}  // namespace
+}  // namespace tmdb

@@ -1,0 +1,150 @@
+// Database facade tests: Run/Plan/Explain/Execute options, the EXPLAIN
+// statement, and the dump → replay round trip.
+
+#include "core/database.h"
+
+#include <gtest/gtest.h>
+
+#include "core/dump.h"
+#include "parser/parser.h"
+#include "tests/test_util.h"
+#include "workload/generators.h"
+
+namespace tmdb {
+namespace {
+
+using testutil::RowsEqual;
+
+class DatabaseTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TMDB_ASSERT_OK(db_.ExecuteScript(
+                       "CREATE TABLE R (a : INT, b : INT);"
+                       "CREATE TABLE S (b : INT, c : INT);"
+                       "INSERT INTO R VALUES (a = 1, b = 5), (a = 2, b = 6),"
+                       "                     (a = 3, b = 7);"
+                       "INSERT INTO S VALUES (b = 5, c = 50), (b = 7, c = 70)")
+                     .status());
+  }
+  Database db_;
+};
+
+TEST_F(DatabaseTest, RunDefaultStrategy) {
+  TMDB_ASSERT_OK_AND_ASSIGN(
+      auto result,
+      db_.Run("SELECT x.a FROM R x WHERE x.b IN (SELECT y.b FROM S y)"));
+  EXPECT_EQ(result.strategy, Strategy::kNestJoin);
+  EXPECT_TRUE(RowsEqual(result.rows, {Value::Int(1), Value::Int(3)}));
+  EXPECT_GT(result.stats.rows_emitted, 0u);
+}
+
+TEST_F(DatabaseTest, QueryResultToString) {
+  TMDB_ASSERT_OK_AND_ASSIGN(auto result, db_.Run("SELECT x FROM R x"));
+  const std::string rendered = result.ToString(2);
+  EXPECT_NE(rendered.find("3 row(s)"), std::string::npos);
+  EXPECT_NE(rendered.find("1 more"), std::string::npos);  // truncation note
+}
+
+TEST_F(DatabaseTest, ExplainMentionsAllSections) {
+  TMDB_ASSERT_OK_AND_ASSIGN(
+      std::string explained,
+      db_.Explain("SELECT x FROM R x WHERE x.b IN "
+                  "(SELECT y.b FROM S y WHERE y.c > x.a)"));
+  EXPECT_NE(explained.find("naive logical plan"), std::string::npos);
+  EXPECT_NE(explained.find("rewritten"), std::string::npos);
+  EXPECT_NE(explained.find("Table 2"), std::string::npos);
+  EXPECT_NE(explained.find("physical plan"), std::string::npos);
+  EXPECT_NE(explained.find("SemiJoin"), std::string::npos);
+}
+
+TEST_F(DatabaseTest, ExplainStatement) {
+  TMDB_ASSERT_OK_AND_ASSIGN(
+      auto result,
+      db_.Execute("EXPLAIN SELECT x FROM R x WHERE x.b IN "
+                  "(SELECT y.b FROM S y)"));
+  EXPECT_FALSE(result.is_query);
+  EXPECT_NE(result.message.find("physical plan"), std::string::npos);
+}
+
+TEST_F(DatabaseTest, RunErrorsPropagate) {
+  EXPECT_FALSE(db_.Run("SELECT nope FROM R x").ok());
+  EXPECT_FALSE(db_.Run("not a query at all ((").ok());
+  EXPECT_FALSE(db_.Explain("SELECT x FROM NoTable x").ok());
+}
+
+TEST_F(DatabaseTest, InsertViaApi) {
+  TMDB_ASSERT_OK(db_.Insert(
+      "R", Value::Tuple({"a", "b"}, {Value::Int(9), Value::Int(9)})));
+  EXPECT_FALSE(db_.Insert("R", Value::Int(1)).ok());
+  EXPECT_FALSE(db_.Insert("NoTable", Value::Int(1)).ok());
+}
+
+TEST(DumpTest, ValueLiterals) {
+  TMDB_ASSERT_OK_AND_ASSIGN(std::string b, ValueToLiteral(Value::Bool(true)));
+  EXPECT_EQ(b, "true");
+  TMDB_ASSERT_OK_AND_ASSIGN(std::string r, ValueToLiteral(Value::Real(2.0)));
+  EXPECT_EQ(r, "2.0");
+  TMDB_ASSERT_OK_AND_ASSIGN(
+      std::string s, ValueToLiteral(Value::String("a\"b")));
+  EXPECT_EQ(s, "\"a\\\"b\"");
+  TMDB_ASSERT_OK_AND_ASSIGN(
+      std::string t,
+      ValueToLiteral(Value::Tuple({"x"}, {Value::EmptySet()})));
+  EXPECT_EQ(t, "(x = {})");
+  EXPECT_FALSE(ValueToLiteral(Value::Null()).ok());
+  EXPECT_FALSE(ValueToLiteral(Value::List({Value::Int(1)})).ok());
+}
+
+TEST(DumpTest, TypeDdl) {
+  TMDB_ASSERT_OK_AND_ASSIGN(
+      std::string ddl,
+      TypeToDdl(Type::Tuple({{"a", Type::Set(Type::Int())},
+                             {"b", Type::Tuple({{"c", Type::String()}})}})));
+  EXPECT_EQ(ddl, "(a : P(INT), b : (c : STRING))");
+  EXPECT_FALSE(TypeToDdl(Type::Any()).ok());
+}
+
+TEST(DumpTest, RoundTripThroughScript) {
+  Database original;
+  CompanyConfig config;
+  config.num_depts = 3;
+  config.num_emps = 12;
+  TMDB_ASSERT_OK(LoadCompanyTables(&original, config));
+
+  TMDB_ASSERT_OK_AND_ASSIGN(std::string script, DumpScript(original));
+  Database replayed;
+  TMDB_ASSERT_OK(replayed.ExecuteScript(script).status());
+
+  for (const std::string& name : original.catalog()->TableNames()) {
+    TMDB_ASSERT_OK_AND_ASSIGN(auto before, original.catalog()->GetTable(name));
+    TMDB_ASSERT_OK_AND_ASSIGN(auto after, replayed.catalog()->GetTable(name));
+    EXPECT_TRUE(after->schema().Equals(before->schema())) << name;
+    EXPECT_TRUE(RowsEqual(after->rows(), before->rows())) << name;
+  }
+
+  // And the replayed database answers queries identically.
+  const std::string query =
+      "SELECT (dname = d.dname, n = count(SELECT e FROM EMP e "
+      "WHERE e.address.city = d.address.city)) FROM DEPT d";
+  TMDB_ASSERT_OK_AND_ASSIGN(auto a, original.Run(query));
+  TMDB_ASSERT_OK_AND_ASSIGN(auto b, replayed.Run(query));
+  EXPECT_TRUE(RowsEqual(a.rows, b.rows));
+}
+
+TEST(ParserDepthTest, DeepNestingFailsCleanly) {
+  std::string deep(500, '(');
+  deep += "1";
+  deep += std::string(500, ')');
+  auto result = ParseQuery(deep);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("nesting too deep"),
+            std::string::npos);
+  // Moderate nesting still parses.
+  std::string ok(50, '(');
+  ok += "1";
+  ok += std::string(50, ')');
+  EXPECT_TRUE(ParseQuery(ok).ok());
+}
+
+}  // namespace
+}  // namespace tmdb

@@ -1,0 +1,145 @@
+// Robustness fuzzing (deterministic, seed-parameterised):
+//  - random byte strings and random token soups must never crash the
+//    lexer/parser — every input either parses or returns ParseError;
+//  - mutations of valid queries (token deletion/duplication/swap) must
+//    never crash the whole pipeline (parse → bind → rewrite → plan);
+//  - parse → print → reparse is a fixed point for valid queries.
+
+#include <gtest/gtest.h>
+
+#include "base/random.h"
+#include "core/database.h"
+#include "parser/lexer.h"
+#include "parser/parser.h"
+#include "parser/statement.h"
+#include "tests/test_util.h"
+
+namespace tmdb {
+namespace {
+
+const char* kSeedQueries[] = {
+    "SELECT x FROM R x WHERE x.b = count(SELECT y.d FROM S y "
+    "WHERE x.c = y.c)",
+    "SELECT (a = x.a, zs = SELECT y.d FROM S y WHERE x.c = y.c) FROM R x",
+    "SELECT x.a FROM R x WHERE x.a IN (SELECT y.d FROM S y) AND x.b > 0 "
+    "OR NOT EXISTS v IN {1, 2} (v = x.a)",
+    "UNNEST(SELECT (SELECT (a = x.a, d = y.d) FROM S y WHERE x.c = y.c) "
+    "FROM R x)",
+    "SELECT x FROM R x WHERE count(z) = 0 WITH z = (SELECT y FROM S y "
+    "WHERE x.c = y.c)",
+};
+
+const char* kTokens[] = {
+    "SELECT", "FROM",  "WHERE", "WITH",  "IN",    "NOT",   "AND",  "OR",
+    "EXISTS", "FORALL", "count", "sum",  "UNNEST", "UNION", "DIFF",
+    "SUBSETEQ", "(",   ")",     "{",     "}",     ",",     ".",    "=",
+    "<>",     "<",     "<=",    ">",     ">=",    "+",     "-",    "*",
+    "/",      "x",     "y",     "R",     "S",     "1",     "2.5",  "\"s\"",
+    "true",   "false", ":",     ";",     "CREATE", "TABLE", "INSERT",
+    "INTO",   "VALUES",
+};
+
+class FuzzTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  void SetUp() override {
+    TMDB_ASSERT_OK(db_.ExecuteScript(
+                       "CREATE TABLE R (a : INT, b : INT, c : INT);"
+                       "CREATE TABLE S (c : INT, d : INT);"
+                       "INSERT INTO R VALUES (a = 1, b = 0, c = 7);"
+                       "INSERT INTO S VALUES (c = 7, d = 3)")
+                     .status());
+  }
+
+  /// Drives the full pipeline; only *whether it crashes* matters.
+  void Pipeline(const std::string& text) {
+    auto result = db_.Run(text);
+    (void)result.ok();
+    auto statement = db_.Execute(text);
+    (void)statement.ok();
+  }
+
+  Database db_;
+};
+
+TEST_P(FuzzTest, RandomBytesNeverCrash) {
+  Random rng(GetParam() * 7919 + 1);
+  for (int iter = 0; iter < 200; ++iter) {
+    std::string input;
+    const size_t len = rng.Uniform(120);
+    for (size_t i = 0; i < len; ++i) {
+      input += static_cast<char>(32 + rng.Uniform(95));  // printable ASCII
+    }
+    Pipeline(input);
+  }
+}
+
+TEST_P(FuzzTest, TokenSoupNeverCrashes) {
+  Random rng(GetParam() * 104729 + 2);
+  for (int iter = 0; iter < 300; ++iter) {
+    std::string input;
+    const size_t len = 1 + rng.Uniform(40);
+    for (size_t i = 0; i < len; ++i) {
+      input += kTokens[rng.Uniform(std::size(kTokens))];
+      input += ' ';
+    }
+    Pipeline(input);
+  }
+}
+
+TEST_P(FuzzTest, MutatedQueriesNeverCrash) {
+  Random rng(GetParam() * 1299709 + 3);
+  for (const char* seed_query : kSeedQueries) {
+    TMDB_ASSERT_OK_AND_ASSIGN(auto tokens, Tokenize(seed_query));
+    for (int iter = 0; iter < 60; ++iter) {
+      // Re-render the token list with one random mutation.
+      std::vector<std::string> words;
+      for (const Token& t : tokens) {
+        if (t.kind == TokenKind::kEof) break;
+        if (t.kind == TokenKind::kStringLit) {
+          words.push_back("\"" + t.text + "\"");
+        } else {
+          words.push_back(t.text);
+        }
+      }
+      if (words.empty()) continue;
+      switch (rng.Uniform(3)) {
+        case 0:  // delete a token
+          words.erase(words.begin() +
+                      static_cast<long>(rng.Uniform(words.size())));
+          break;
+        case 1: {  // duplicate a token
+          const size_t i = rng.Uniform(words.size());
+          words.insert(words.begin() + static_cast<long>(i), words[i]);
+          break;
+        }
+        default: {  // swap two tokens
+          const size_t i = rng.Uniform(words.size());
+          const size_t j = rng.Uniform(words.size());
+          std::swap(words[i], words[j]);
+          break;
+        }
+      }
+      std::string input;
+      for (const std::string& w : words) {
+        input += w;
+        input += ' ';
+      }
+      Pipeline(input);
+    }
+  }
+}
+
+TEST_P(FuzzTest, ParsePrintReparseIsStable) {
+  for (const char* seed_query : kSeedQueries) {
+    TMDB_ASSERT_OK_AND_ASSIGN(AstPtr once, ParseQuery(seed_query));
+    const std::string printed = once->ToString();
+    TMDB_ASSERT_OK_AND_ASSIGN(AstPtr twice, ParseQuery(printed));
+    EXPECT_EQ(printed, twice->ToString()) << "not a fixed point: "
+                                          << seed_query;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest, ::testing::Values(1u, 2u, 3u));
+
+}  // namespace
+}  // namespace tmdb

@@ -1,0 +1,139 @@
+// Cross-cutting coverage: language-level arithmetic/comparison semantics,
+// runtime error propagation, environment rebinding, numeric hashing edge
+// cases, and baseline-rewrite error surfaces.
+
+#include <gtest/gtest.h>
+
+#include "core/database.h"
+#include "expr/eval.h"
+#include "rewrite/baselines.h"
+#include "tests/test_util.h"
+
+namespace tmdb {
+namespace {
+
+using testutil::RowsEqual;
+
+class LanguageSemanticsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TMDB_ASSERT_OK(db_.ExecuteScript(
+                       "CREATE TABLE T (s : STRING, i : INT, r : REAL);"
+                       "INSERT INTO T VALUES (s = \"apple\", i = 4, r = 0.5),"
+                       "  (s = \"banana\", i = 0, r = 2.5)")
+                     .status());
+  }
+  Database db_;
+};
+
+TEST_F(LanguageSemanticsTest, StringOrderingInPredicates) {
+  TMDB_ASSERT_OK_AND_ASSIGN(
+      auto result, db_.Run("SELECT t.s FROM T t WHERE t.s < \"b\""));
+  EXPECT_TRUE(RowsEqual(result.rows, {Value::String("apple")}));
+}
+
+TEST_F(LanguageSemanticsTest, MixedNumericArithmetic) {
+  // INT * REAL promotes to REAL; comparison is numeric across kinds.
+  TMDB_ASSERT_OK_AND_ASSIGN(
+      auto result,
+      db_.Run("SELECT t.s FROM T t WHERE t.i * t.r = 2"));
+  EXPECT_TRUE(RowsEqual(result.rows, {Value::String("apple")}));
+}
+
+TEST_F(LanguageSemanticsTest, DivisionByZeroSurfacesAsError) {
+  auto result = db_.Run("SELECT 10 / t.i FROM T t");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("zero"), std::string::npos);
+}
+
+TEST_F(LanguageSemanticsTest, ShortCircuitGuardsRuntimeErrors) {
+  // The i = 0 row would divide by zero, but the guard evaluates first;
+  // the i = 4 row passes (integer division: 10 / 4 = 2).
+  TMDB_ASSERT_OK_AND_ASSIGN(
+      auto result,
+      db_.Run("SELECT t.s FROM T t WHERE t.i > 0 AND 10 / t.i = 2"));
+  EXPECT_TRUE(RowsEqual(result.rows, {Value::String("apple")}));
+  TMDB_ASSERT_OK_AND_ASSIGN(
+      auto result2,
+      db_.Run("SELECT t.s FROM T t WHERE NOT (t.i > 0) OR 10 / t.i > 1"));
+  EXPECT_EQ(result2.rows.size(), 2u);
+}
+
+TEST_F(LanguageSemanticsTest, SetExpressionsInSelectClause) {
+  TMDB_ASSERT_OK_AND_ASSIGN(
+      auto result,
+      db_.Run("SELECT ({t.i} UNION {7}) INTERSECT {0, 7} FROM T t "
+              "WHERE t.i = 0"));
+  ASSERT_EQ(result.rows.size(), 1u);
+  EXPECT_TRUE(result.rows[0].Equals(
+      Value::Set({Value::Int(0), Value::Int(7)})));
+}
+
+TEST(EnvironmentTest, RebindWithinFrameOverwrites) {
+  Environment env;
+  env.Bind("x", Value::Int(1));
+  env.Bind("x", Value::Int(2));
+  ASSERT_NE(env.Lookup("x"), nullptr);
+  EXPECT_EQ(env.Lookup("x")->AsInt(), 2);
+  EXPECT_EQ(env.Lookup("y"), nullptr);
+}
+
+TEST(ValueHashEdgeTest, SignedZeroAndNumericKinds) {
+  EXPECT_TRUE(Value::Real(0.0).Equals(Value::Real(-0.0)));
+  EXPECT_EQ(Value::Real(0.0).Hash(), Value::Real(-0.0).Hash());
+  EXPECT_TRUE(Value::Int(0).Equals(Value::Real(-0.0)));
+  EXPECT_EQ(Value::Int(0).Hash(), Value::Real(-0.0).Hash());
+}
+
+class BaselineErrorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TMDB_ASSERT_OK(db_.ExecuteScript(
+                       "CREATE TABLE X (a : P(INT), b : INT);"
+                       "CREATE TABLE Y (a : INT, b : INT)")
+                     .status());
+  }
+
+  Status KimStatus(const std::string& query) {
+    auto plan = db_.Plan(query, Strategy::kKim);
+    return plan.ok() ? Status::OK() : plan.status();
+  }
+
+  Database db_;
+};
+
+TEST_F(BaselineErrorTest, KimRejectsNonEquiCorrelation) {
+  Status s = KimStatus(
+      "SELECT x FROM X x WHERE x.a SUBSETEQ (SELECT y.a FROM Y y "
+      "WHERE x.b < y.b)");
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kUnsupported);
+}
+
+TEST_F(BaselineErrorTest, KimRejectsUncorrelatedSubquery) {
+  EXPECT_FALSE(
+      KimStatus("SELECT x FROM X x WHERE x.a SUBSETEQ (SELECT y.a FROM Y y)")
+          .ok());
+}
+
+TEST_F(BaselineErrorTest, KimRejectsQueryWithoutSubquery) {
+  EXPECT_FALSE(KimStatus("SELECT x FROM X x WHERE x.b > 0").ok());
+}
+
+TEST_F(BaselineErrorTest, KimRejectsGReferencingOuter) {
+  EXPECT_FALSE(KimStatus("SELECT x FROM X x WHERE x.a SUBSETEQ "
+                         "(SELECT y.a + x.b FROM Y y WHERE x.b = y.b)")
+                   .ok());
+}
+
+TEST_F(BaselineErrorTest, MultipleSubqueryConjunctsUnsupportedByBaselines) {
+  EXPECT_FALSE(KimStatus(
+                   "SELECT x FROM X x WHERE "
+                   "count(SELECT y.a FROM Y y WHERE x.b = y.b) = "
+                   "count(SELECT y2.b FROM Y y2 WHERE x.b = y2.b)")
+                   .ok());
+}
+
+}  // namespace
+}  // namespace tmdb

@@ -1,0 +1,304 @@
+// Empirical validation of the nest join's algebraic properties from
+// Section 6 of the paper, on randomly generated data:
+//
+//   (1) π_X(X ▵ Y) = X
+//   (2) (X ⋈_{r(x,y)} Y) ▵_{r(x,z)} Z ≡ (X ▵_{r(x,z)} Z) ⋈_{r(x,y)} Y
+//   (3) (X ⋈_{r(x,y)} Y) ▵_{r(y,z)} Z ≡ X ⋈_{r(x,y)} (Y ▵_{r(y,z)} Z)
+//   (4) X ▵ Y = ν*(X ⟖ Y)   (nest join = outerjoin followed by nest-star)
+//
+// plus the negative results the paper points out: the nest join is not
+// commutative, and X ▵ (Y ⋈ Z) is not equivalent to (X ▵ Y) ⋈ Z (they are
+// typed differently).
+//
+// Tuple attribute order differs between the two sides of (2) (the grouped
+// attribute lands in a different position), so comparison is modulo
+// attribute reordering.
+
+#include <algorithm>
+#include <gtest/gtest.h>
+
+#include "base/random.h"
+#include "exec/executor.h"
+#include "rewrite/simplify.h"
+#include "tests/test_util.h"
+
+namespace tmdb {
+namespace {
+
+using testutil::IntRow;
+using testutil::RowsEqual;
+
+/// Reorders every tuple's attributes alphabetically, recursively, so
+/// attribute order does not affect comparison.
+Value NormalizeAttrOrder(const Value& v) {
+  switch (v.kind()) {
+    case ValueKind::kTuple: {
+      std::vector<std::pair<std::string, Value>> fields;
+      for (size_t i = 0; i < v.TupleSize(); ++i) {
+        fields.emplace_back(v.FieldName(i),
+                            NormalizeAttrOrder(v.FieldValue(i)));
+      }
+      std::sort(fields.begin(), fields.end(),
+                [](const auto& a, const auto& b) { return a.first < b.first; });
+      std::vector<std::string> names;
+      std::vector<Value> values;
+      for (auto& [n, val] : fields) {
+        names.push_back(n);
+        values.push_back(std::move(val));
+      }
+      return Value::Tuple(std::move(names), std::move(values));
+    }
+    case ValueKind::kSet:
+    case ValueKind::kList: {
+      std::vector<Value> elems;
+      elems.reserve(v.NumElements());
+      for (const Value& e : v.Elements()) {
+        elems.push_back(NormalizeAttrOrder(e));
+      }
+      return v.is_set() ? Value::Set(std::move(elems))
+                        : Value::List(std::move(elems));
+    }
+    default:
+      return v;
+  }
+}
+
+class NestJoinAlgebraTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // X(xa, xb), Y(ya, yb), Z(za, zb) with overlapping small domains.
+    Random rng(17);
+    TMDB_ASSERT_OK_AND_ASSIGN(
+        x_, Table::Create("X", Type::Tuple({{"xa", Type::Int()},
+                                            {"xb", Type::Int()}})));
+    TMDB_ASSERT_OK_AND_ASSIGN(
+        y_, Table::Create("Y", Type::Tuple({{"ya", Type::Int()},
+                                            {"yb", Type::Int()}})));
+    TMDB_ASSERT_OK_AND_ASSIGN(
+        z_, Table::Create("Z", Type::Tuple({{"za", Type::Int()},
+                                            {"zb", Type::Int()}})));
+    for (int i = 0; i < 40; ++i) {
+      TMDB_ASSERT_OK(x_->Insert(
+          IntRow({"xa", "xb"}, {i, rng.UniformInt(0, 8)})));
+    }
+    for (int i = 0; i < 60; ++i) {
+      // Draws from the small domain collide; duplicates are simply dropped
+      // (extensions are sets).
+      Status s = y_->Insert(
+          IntRow({"ya", "yb"}, {rng.UniformInt(0, 8), rng.UniformInt(0, 8)}));
+      if (s.code() != StatusCode::kAlreadyExists) TMDB_ASSERT_OK(s);
+    }
+    for (int i = 0; i < 50; ++i) {
+      TMDB_ASSERT_OK(z_->Insert(
+          IntRow({"za", "zb"}, {rng.UniformInt(0, 8), i})));
+    }
+  }
+
+  Expr FieldOf(const char* var, const Type& t, const char* field) {
+    return Expr::Must(Expr::Field(Expr::Var(var, t), field));
+  }
+
+  std::vector<Value> Run(const LogicalOpPtr& plan) {
+    Executor executor;
+    auto rows = executor.Run(plan);
+    EXPECT_TRUE(rows.ok()) << rows.status().ToString();
+    std::vector<Value> out;
+    for (const Value& row : rows.ok() ? *rows : std::vector<Value>()) {
+      out.push_back(NormalizeAttrOrder(row));
+    }
+    return out;
+  }
+
+  std::shared_ptr<Table> x_, y_, z_;
+};
+
+TEST_F(NestJoinAlgebraTest, Identity1ProjectionUndoesNestJoin) {
+  // π_X(X ▵ Y) = X, as a SimplifyPlan rule and as an executed identity.
+  TMDB_ASSERT_OK_AND_ASSIGN(LogicalOpPtr scan_x, LogicalOp::Scan(x_));
+  TMDB_ASSERT_OK_AND_ASSIGN(LogicalOpPtr scan_y, LogicalOp::Scan(y_));
+  Expr pred = Expr::Must(Expr::Binary(
+      BinaryOp::kEq, FieldOf("x", x_->schema(), "xb"),
+      FieldOf("y", y_->schema(), "yb")));
+  TMDB_ASSERT_OK_AND_ASSIGN(
+      LogicalOpPtr nj,
+      LogicalOp::NestJoin(scan_x, scan_y, "x", "y", pred,
+                          Expr::Var("y", y_->schema()), "grp"));
+  // Build the strip projection π_X.
+  Expr row = Expr::Var("x", nj->output_type());
+  TMDB_ASSERT_OK_AND_ASSIGN(
+      Expr strip,
+      Expr::MakeTuple({"xa", "xb"},
+                      {Expr::Must(Expr::Field(row, "xa")),
+                       Expr::Must(Expr::Field(row, "xb"))}));
+  TMDB_ASSERT_OK_AND_ASSIGN(LogicalOpPtr projected,
+                            LogicalOp::Map(nj, "x", strip));
+  // SimplifyPlan collapses the whole thing back to Scan(X).
+  TMDB_ASSERT_OK_AND_ASSIGN(LogicalOpPtr simplified,
+                            SimplifyPlan(projected));
+  EXPECT_EQ(simplified->op_kind(), OpKind::kScan);
+  // And the results agree with X itself.
+  EXPECT_TRUE(RowsEqual(Run(projected), Run(scan_x)));
+}
+
+TEST_F(NestJoinAlgebraTest, Identity2NestJoinCommutesWithIndependentJoin) {
+  // r(x, y): xb = yb; r(x, z): xa = za. Both sides evaluated and compared
+  // modulo attribute order.
+  TMDB_ASSERT_OK_AND_ASSIGN(LogicalOpPtr scan_x, LogicalOp::Scan(x_));
+  TMDB_ASSERT_OK_AND_ASSIGN(LogicalOpPtr scan_y, LogicalOp::Scan(y_));
+  TMDB_ASSERT_OK_AND_ASSIGN(LogicalOpPtr scan_z, LogicalOp::Scan(z_));
+  Expr g = Expr::Var("z", z_->schema());
+
+  // LHS: (X ⋈ Y) ▵ Z — the join row j carries X and Y attributes.
+  Expr join_pred = Expr::Must(Expr::Binary(
+      BinaryOp::kEq, FieldOf("x", x_->schema(), "xb"),
+      FieldOf("y", y_->schema(), "yb")));
+  TMDB_ASSERT_OK_AND_ASSIGN(
+      LogicalOpPtr xy, LogicalOp::Join(scan_x, scan_y, "x", "y", join_pred));
+  Expr nest_pred_lhs = Expr::Must(Expr::Binary(
+      BinaryOp::kEq, FieldOf("j", xy->output_type(), "xa"),
+      FieldOf("z", z_->schema(), "za")));
+  TMDB_ASSERT_OK_AND_ASSIGN(
+      LogicalOpPtr lhs,
+      LogicalOp::NestJoin(xy, scan_z, "j", "z", nest_pred_lhs, g, "grp"));
+
+  // RHS: (X ▵ Z) ⋈ Y.
+  Expr nest_pred_rhs = Expr::Must(Expr::Binary(
+      BinaryOp::kEq, FieldOf("x", x_->schema(), "xa"),
+      FieldOf("z", z_->schema(), "za")));
+  TMDB_ASSERT_OK_AND_ASSIGN(
+      LogicalOpPtr xz,
+      LogicalOp::NestJoin(scan_x, scan_z, "x", "z", nest_pred_rhs, g, "grp"));
+  Expr join_pred_rhs = Expr::Must(Expr::Binary(
+      BinaryOp::kEq, FieldOf("x", xz->output_type(), "xb"),
+      FieldOf("y", y_->schema(), "yb")));
+  TMDB_ASSERT_OK_AND_ASSIGN(
+      LogicalOpPtr rhs,
+      LogicalOp::Join(xz, scan_y, "x", "y", join_pred_rhs));
+
+  EXPECT_TRUE(RowsEqual(Run(lhs), Run(rhs)));
+}
+
+TEST_F(NestJoinAlgebraTest, Identity3NestJoinAssociatesIntoRightOperand) {
+  // (X ⋈_{xb=yb} Y) ▵_{ya=za} Z ≡ X ⋈_{xb=yb} (Y ▵_{ya=za} Z).
+  TMDB_ASSERT_OK_AND_ASSIGN(LogicalOpPtr scan_x, LogicalOp::Scan(x_));
+  TMDB_ASSERT_OK_AND_ASSIGN(LogicalOpPtr scan_y, LogicalOp::Scan(y_));
+  TMDB_ASSERT_OK_AND_ASSIGN(LogicalOpPtr scan_z, LogicalOp::Scan(z_));
+  Expr g = Expr::Var("z", z_->schema());
+
+  Expr join_pred = Expr::Must(Expr::Binary(
+      BinaryOp::kEq, FieldOf("x", x_->schema(), "xb"),
+      FieldOf("y", y_->schema(), "yb")));
+  TMDB_ASSERT_OK_AND_ASSIGN(
+      LogicalOpPtr xy, LogicalOp::Join(scan_x, scan_y, "x", "y", join_pred));
+  Expr nest_pred_lhs = Expr::Must(Expr::Binary(
+      BinaryOp::kEq, FieldOf("j", xy->output_type(), "ya"),
+      FieldOf("z", z_->schema(), "za")));
+  TMDB_ASSERT_OK_AND_ASSIGN(
+      LogicalOpPtr lhs,
+      LogicalOp::NestJoin(xy, scan_z, "j", "z", nest_pred_lhs, g, "grp"));
+
+  Expr nest_pred_rhs = Expr::Must(Expr::Binary(
+      BinaryOp::kEq, FieldOf("y", y_->schema(), "ya"),
+      FieldOf("z", z_->schema(), "za")));
+  TMDB_ASSERT_OK_AND_ASSIGN(
+      LogicalOpPtr yz,
+      LogicalOp::NestJoin(scan_y, scan_z, "y", "z", nest_pred_rhs, g, "grp"));
+  Expr join_pred_rhs = Expr::Must(Expr::Binary(
+      BinaryOp::kEq, FieldOf("x", x_->schema(), "xb"),
+      FieldOf("y", yz->output_type(), "yb")));
+  TMDB_ASSERT_OK_AND_ASSIGN(
+      LogicalOpPtr rhs,
+      LogicalOp::Join(scan_x, yz, "x", "y", join_pred_rhs));
+
+  EXPECT_TRUE(RowsEqual(Run(lhs), Run(rhs)));
+}
+
+TEST_F(NestJoinAlgebraTest, Identity4NestJoinEqualsOuterJoinThenNestStar) {
+  // X ▵ Y = ν*(X ⟖ Y) with the identity function (Section 6).
+  TMDB_ASSERT_OK_AND_ASSIGN(LogicalOpPtr scan_x, LogicalOp::Scan(x_));
+  TMDB_ASSERT_OK_AND_ASSIGN(LogicalOpPtr scan_y, LogicalOp::Scan(y_));
+  Expr pred = Expr::Must(Expr::Binary(
+      BinaryOp::kEq, FieldOf("x", x_->schema(), "xb"),
+      FieldOf("y", y_->schema(), "yb")));
+  TMDB_ASSERT_OK_AND_ASSIGN(
+      LogicalOpPtr nj,
+      LogicalOp::NestJoin(scan_x, scan_y, "x", "y", pred,
+                          Expr::Var("y", y_->schema()), "grp"));
+
+  TMDB_ASSERT_OK_AND_ASSIGN(
+      LogicalOpPtr oj,
+      LogicalOp::OuterJoin(scan_x, scan_y, "x", "y", pred));
+  Expr j = Expr::Var("j", oj->output_type());
+  TMDB_ASSERT_OK_AND_ASSIGN(
+      Expr elem, Expr::MakeTuple({"ya", "yb"},
+                                 {Expr::Must(Expr::Field(j, "ya")),
+                                  Expr::Must(Expr::Field(j, "yb"))}));
+  TMDB_ASSERT_OK_AND_ASSIGN(
+      LogicalOpPtr nested,
+      LogicalOp::Nest(oj, {"xa", "xb"}, "j", elem, "grp",
+                      /*null_group_to_empty=*/true));
+
+  EXPECT_TRUE(RowsEqual(Run(nj), Run(nested)));
+}
+
+TEST_F(NestJoinAlgebraTest, NestJoinIsNotCommutative) {
+  // X ▵ Y and Y ▵ X have different types and different cardinalities in
+  // general — the paper's "less pleasant algebraic properties".
+  TMDB_ASSERT_OK_AND_ASSIGN(LogicalOpPtr scan_x, LogicalOp::Scan(x_));
+  TMDB_ASSERT_OK_AND_ASSIGN(LogicalOpPtr scan_y, LogicalOp::Scan(y_));
+  Expr pred = Expr::Must(Expr::Binary(
+      BinaryOp::kEq, FieldOf("x", x_->schema(), "xb"),
+      FieldOf("y", y_->schema(), "yb")));
+  Expr pred_flipped = Expr::Must(Expr::Binary(
+      BinaryOp::kEq, FieldOf("y", y_->schema(), "yb"),
+      FieldOf("x", x_->schema(), "xb")));
+  TMDB_ASSERT_OK_AND_ASSIGN(
+      LogicalOpPtr xy,
+      LogicalOp::NestJoin(scan_x, scan_y, "x", "y", pred,
+                          Expr::Var("y", y_->schema()), "grp"));
+  TMDB_ASSERT_OK_AND_ASSIGN(
+      LogicalOpPtr yx,
+      LogicalOp::NestJoin(scan_y, scan_x, "y", "x", pred_flipped,
+                          Expr::Var("x", x_->schema()), "grp"));
+  EXPECT_FALSE(xy->output_type().Equals(yx->output_type()));
+  EXPECT_EQ(Run(xy).size(), x_->NumRows());
+  EXPECT_EQ(Run(yx).size(), y_->NumRows());
+}
+
+TEST_F(NestJoinAlgebraTest, NestJoinDoesNotAssociateWithJoinOnTheLeft) {
+  // X ▵ (Y ⋈ Z) vs (X ▵ Y) ⋈ Z: "the two expressions already being typed
+  // differently" — the grouped attribute holds joined pairs on one side
+  // and Y rows on the other.
+  TMDB_ASSERT_OK_AND_ASSIGN(LogicalOpPtr scan_x, LogicalOp::Scan(x_));
+  TMDB_ASSERT_OK_AND_ASSIGN(LogicalOpPtr scan_y, LogicalOp::Scan(y_));
+  TMDB_ASSERT_OK_AND_ASSIGN(LogicalOpPtr scan_z, LogicalOp::Scan(z_));
+  Expr yz_pred = Expr::Must(Expr::Binary(
+      BinaryOp::kEq, FieldOf("y", y_->schema(), "ya"),
+      FieldOf("z", z_->schema(), "za")));
+  TMDB_ASSERT_OK_AND_ASSIGN(
+      LogicalOpPtr yz, LogicalOp::Join(scan_y, scan_z, "y", "z", yz_pred));
+  Expr x_pred = Expr::Must(Expr::Binary(
+      BinaryOp::kEq, FieldOf("x", x_->schema(), "xb"),
+      FieldOf("j", yz->output_type(), "yb")));
+  TMDB_ASSERT_OK_AND_ASSIGN(
+      LogicalOpPtr lhs,
+      LogicalOp::NestJoin(scan_x, yz, "x", "j", x_pred,
+                          Expr::Var("j", yz->output_type()), "grp"));
+
+  Expr xy_pred = Expr::Must(Expr::Binary(
+      BinaryOp::kEq, FieldOf("x", x_->schema(), "xb"),
+      FieldOf("y", y_->schema(), "yb")));
+  TMDB_ASSERT_OK_AND_ASSIGN(
+      LogicalOpPtr xj,
+      LogicalOp::NestJoin(scan_x, scan_y, "x", "y", xy_pred,
+                          Expr::Var("y", y_->schema()), "grp"));
+  // (X ▵ Y) ⋈ Z is typed differently: grp holds Y rows, and z attributes
+  // sit at the top level.
+  Expr out_pred = Expr::True();
+  TMDB_ASSERT_OK_AND_ASSIGN(
+      LogicalOpPtr rhs, LogicalOp::Join(xj, scan_z, "x", "z", out_pred));
+  EXPECT_FALSE(lhs->output_type().Equals(rhs->output_type()));
+}
+
+}  // namespace
+}  // namespace tmdb

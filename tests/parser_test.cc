@@ -1,0 +1,214 @@
+#include "parser/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "parser/lexer.h"
+#include "tests/test_util.h"
+
+namespace tmdb {
+namespace {
+
+AstPtr MustParse(const std::string& text) {
+  auto result = ParseQuery(text);
+  EXPECT_TRUE(result.ok()) << result.status().ToString() << "\n  in: " << text;
+  return result.ok() ? std::move(result).value() : nullptr;
+}
+
+TEST(LexerTest, TokenKinds) {
+  TMDB_ASSERT_OK_AND_ASSIGN(auto tokens,
+                            Tokenize("SELECT x.a <> 1.5 \"str\" <= {"));
+  ASSERT_GE(tokens.size(), 9u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kSelect);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kIdent);
+  EXPECT_EQ(tokens[2].kind, TokenKind::kDot);
+  EXPECT_EQ(tokens[3].kind, TokenKind::kIdent);
+  EXPECT_EQ(tokens[4].kind, TokenKind::kNe);
+  EXPECT_EQ(tokens[5].kind, TokenKind::kRealLit);
+  EXPECT_DOUBLE_EQ(tokens[5].real_value, 1.5);
+  EXPECT_EQ(tokens[6].kind, TokenKind::kStringLit);
+  EXPECT_EQ(tokens[6].text, "str");
+  EXPECT_EQ(tokens[7].kind, TokenKind::kLe);
+  EXPECT_EQ(tokens[8].kind, TokenKind::kLBrace);
+}
+
+TEST(LexerTest, KeywordsAreCaseInsensitive) {
+  TMDB_ASSERT_OK_AND_ASSIGN(auto tokens, Tokenize("select SeLeCt SELECT"));
+  EXPECT_EQ(tokens[0].kind, TokenKind::kSelect);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kSelect);
+  EXPECT_EQ(tokens[2].kind, TokenKind::kSelect);
+}
+
+TEST(LexerTest, CommentsAndPositions) {
+  TMDB_ASSERT_OK_AND_ASSIGN(auto tokens, Tokenize("a -- comment\n  b"));
+  ASSERT_EQ(tokens.size(), 3u);  // a, b, EOF
+  EXPECT_EQ(tokens[1].text, "b");
+  EXPECT_EQ(tokens[1].line, 2);
+  EXPECT_EQ(tokens[1].column, 3);
+}
+
+TEST(LexerTest, Errors) {
+  EXPECT_FALSE(Tokenize("\"unterminated").ok());
+  EXPECT_FALSE(Tokenize("a ? b").ok());
+}
+
+TEST(ParserTest, PrecedenceArithmeticOverComparison) {
+  AstPtr ast = MustParse("1 + 2 * 3 = 7");
+  ASSERT_NE(ast, nullptr);
+  EXPECT_EQ(ast->ToString(), "((1 + (2 * 3)) = 7)");
+}
+
+TEST(ParserTest, BooleanPrecedence) {
+  AstPtr ast = MustParse("a = 1 AND b = 2 OR NOT c = 3");
+  EXPECT_EQ(ast->ToString(), "(((a = 1) AND (b = 2)) OR NOT (c = 3))");
+}
+
+TEST(ParserTest, SetOperators) {
+  AstPtr ast = MustParse("a UNION b INTERSECT c DIFF d");
+  // INTERSECT binds tighter than UNION/DIFF.
+  EXPECT_EQ(ast->ToString(), "((a UNION (b INTERSECT c)) DIFF d)");
+  AstPtr cmp = MustParse("a SUBSETEQ b");
+  EXPECT_EQ(cmp->kind, AstKind::kBinary);
+  EXPECT_EQ(cmp->binary_op, AstBinaryOp::kSubsetEq);
+}
+
+TEST(ParserTest, NotIn) {
+  AstPtr ast = MustParse("x NOT IN s");
+  EXPECT_EQ(ast->kind, AstKind::kBinary);
+  EXPECT_EQ(ast->binary_op, AstBinaryOp::kNotIn);
+  // NOT (x IN s) parses as unary NOT.
+  AstPtr ast2 = MustParse("NOT (x IN s)");
+  EXPECT_EQ(ast2->kind, AstKind::kUnary);
+}
+
+TEST(ParserTest, TupleCtorVsParenExpr) {
+  AstPtr tuple = MustParse("(a = 1, b = 2)");
+  EXPECT_EQ(tuple->kind, AstKind::kTupleCtor);
+  ASSERT_EQ(tuple->ctor_names.size(), 2u);
+  EXPECT_EQ(tuple->ctor_names[0], "a");
+
+  AstPtr paren = MustParse("(1 + 2)");
+  EXPECT_EQ(paren->kind, AstKind::kBinary);
+}
+
+TEST(ParserTest, SetCtor) {
+  AstPtr set = MustParse("{1, 2, 3}");
+  EXPECT_EQ(set->kind, AstKind::kSetCtor);
+  EXPECT_EQ(set->children.size(), 3u);
+  AstPtr empty = MustParse("{}");
+  EXPECT_EQ(empty->children.size(), 0u);
+}
+
+TEST(ParserTest, FieldAccessChains) {
+  AstPtr ast = MustParse("d.address.city");
+  EXPECT_EQ(ast->kind, AstKind::kFieldAccess);
+  EXPECT_EQ(ast->name, "city");
+  EXPECT_EQ(ast->children[0]->kind, AstKind::kFieldAccess);
+  EXPECT_EQ(ast->children[0]->name, "address");
+}
+
+TEST(ParserTest, SfwBasic) {
+  AstPtr ast = MustParse("SELECT x.a FROM R x WHERE x.b = 1");
+  ASSERT_EQ(ast->kind, AstKind::kSfw);
+  ASSERT_EQ(ast->from.size(), 1u);
+  EXPECT_EQ(ast->from[0].var, "x");
+  EXPECT_NE(ast->where_expr, nullptr);
+  EXPECT_EQ(ast->select_expr->kind, AstKind::kFieldAccess);
+}
+
+TEST(ParserTest, SfwWithoutWhere) {
+  AstPtr ast = MustParse("SELECT d FROM DEPT d");
+  ASSERT_EQ(ast->kind, AstKind::kSfw);
+  EXPECT_EQ(ast->where_expr, nullptr);
+}
+
+TEST(ParserTest, SfwMultipleFrom) {
+  AstPtr ast = MustParse("SELECT x FROM R x, S y, T z");
+  ASSERT_EQ(ast->kind, AstKind::kSfw);
+  EXPECT_EQ(ast->from.size(), 3u);
+  EXPECT_EQ(ast->from[2].var, "z");
+}
+
+TEST(ParserTest, NestedSfwInWhere) {
+  AstPtr ast = MustParse(
+      "SELECT x FROM R x WHERE x.b IN (SELECT y.d FROM S y WHERE x.c = y.c)");
+  ASSERT_EQ(ast->kind, AstKind::kSfw);
+  const AstNode& where = *ast->where_expr;
+  EXPECT_EQ(where.kind, AstKind::kBinary);
+  EXPECT_EQ(where.binary_op, AstBinaryOp::kIn);
+  EXPECT_EQ(where.children[1]->kind, AstKind::kSfw);
+}
+
+TEST(ParserTest, WithClauseAfterWhere) {
+  AstPtr ast = MustParse(
+      "SELECT x FROM R x WHERE x.a SUBSETEQ z "
+      "WITH z = (SELECT y.a FROM S y WHERE x.b = y.b)");
+  ASSERT_EQ(ast->kind, AstKind::kSfw);
+  ASSERT_EQ(ast->where_with.size(), 1u);
+  EXPECT_EQ(ast->where_with[0].name, "z");
+  EXPECT_EQ(ast->where_with[0].expr->kind, AstKind::kSfw);
+}
+
+TEST(ParserTest, ChainedWithDefs) {
+  AstPtr ast = MustParse(
+      "SELECT x FROM R x WHERE a = b WITH a = x.p WITH b = x.q");
+  ASSERT_EQ(ast->where_with.size(), 2u);
+  EXPECT_EQ(ast->where_with[0].name, "a");
+  EXPECT_EQ(ast->where_with[1].name, "b");
+}
+
+TEST(ParserTest, QuantifiersAndAggregates) {
+  AstPtr q = MustParse("EXISTS v IN s (v = 1)");
+  EXPECT_EQ(q->kind, AstKind::kQuantifier);
+  EXPECT_EQ(q->quant_kind, AstQuantKind::kExists);
+  AstPtr f = MustParse("FORALL w IN x.a (w IN z)");
+  EXPECT_EQ(f->quant_kind, AstQuantKind::kForAll);
+  AstPtr c = MustParse("count(s) = 0");
+  EXPECT_EQ(c->children[0]->kind, AstKind::kAggregate);
+  EXPECT_EQ(c->children[0]->agg_func, AstAggFunc::kCount);
+  MustParse("sum(s) + avg(s) + min(s) + max(s)");
+}
+
+TEST(ParserTest, UnnestCall) {
+  AstPtr ast = MustParse("UNNEST(SELECT x.s FROM R x)");
+  EXPECT_EQ(ast->kind, AstKind::kUnnestCall);
+  EXPECT_EQ(ast->children[0]->kind, AstKind::kSfw);
+}
+
+TEST(ParserTest, RoundTripToString) {
+  // ToString output re-parses to the same rendering (idempotence).
+  const std::string query =
+      "SELECT (a = x.a, n = count(SELECT y FROM S y WHERE (x.b = y.b))) "
+      "FROM R x WHERE (x.c > 0)";
+  AstPtr once = MustParse(query);
+  AstPtr twice = MustParse(once->ToString());
+  EXPECT_EQ(once->ToString(), twice->ToString());
+}
+
+TEST(ParserTest, Errors) {
+  EXPECT_FALSE(ParseQuery("SELECT").ok());
+  EXPECT_FALSE(ParseQuery("SELECT x FROM").ok());
+  EXPECT_FALSE(ParseQuery("SELECT x FROM R").ok());        // missing var
+  EXPECT_FALSE(ParseQuery("SELECT x FROM R x WHERE").ok());
+  EXPECT_FALSE(ParseQuery("1 +").ok());
+  EXPECT_FALSE(ParseQuery("(a = 1").ok());
+  EXPECT_FALSE(ParseQuery("SELECT x FROM R x extra").ok());  // trailing junk
+  EXPECT_FALSE(ParseQuery("EXISTS IN s (true)").ok());
+}
+
+TEST(ParserTest, ErrorsCarryPosition) {
+  auto result = ParseQuery("SELECT x FROM R x WHERE +");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("line 1"), std::string::npos)
+      << result.status().ToString();
+}
+
+TEST(CloneAstTest, DeepCopyIsIndependent) {
+  AstPtr ast = MustParse("SELECT x.a FROM R x WHERE x.b = 1");
+  AstPtr copy = CloneAst(*ast);
+  EXPECT_EQ(ast->ToString(), copy->ToString());
+  copy->from[0].var = "y";
+  EXPECT_NE(ast->ToString(), copy->ToString());
+}
+
+}  // namespace
+}  // namespace tmdb

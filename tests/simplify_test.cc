@@ -1,0 +1,146 @@
+// Plan-simplification rules (rewrite/simplify): trivial selects, identity
+// and strip projections, select merging, projection composition — and the
+// duplicate-safety guards around Unnest.
+
+#include "rewrite/simplify.h"
+
+#include <gtest/gtest.h>
+
+#include "core/database.h"
+#include "exec/executor.h"
+#include "tests/test_util.h"
+
+namespace tmdb {
+namespace {
+
+using testutil::IntRow;
+using testutil::RowsEqual;
+
+class SimplifyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TMDB_ASSERT_OK_AND_ASSIGN(
+        x_, Table::Create("X", Type::Tuple({{"a", Type::Int()},
+                                            {"b", Type::Int()}})));
+    TMDB_ASSERT_OK(x_->InsertAll({IntRow({"a", "b"}, {1, 10}),
+                                  IntRow({"a", "b"}, {2, 20})}));
+    TMDB_ASSERT_OK_AND_ASSIGN(scan_, LogicalOp::Scan(x_));
+  }
+
+  Expr FieldOf(const char* f) {
+    return Expr::Must(Expr::Field(Expr::Var("x", x_->schema()), f));
+  }
+  Expr GtZero(Expr e) {
+    return Expr::Must(Expr::Binary(BinaryOp::kGt, std::move(e),
+                                   Expr::Literal(Value::Int(0))));
+  }
+
+  /// Asserts `plan` and its simplification produce the same rows.
+  void ExpectSameRows(const LogicalOpPtr& plan) {
+    TMDB_ASSERT_OK_AND_ASSIGN(LogicalOpPtr simplified, SimplifyPlan(plan));
+    Executor executor;
+    TMDB_ASSERT_OK_AND_ASSIGN(auto before, executor.Run(plan));
+    TMDB_ASSERT_OK_AND_ASSIGN(auto after, executor.Run(simplified));
+    EXPECT_TRUE(RowsEqual(before, after));
+  }
+
+  std::shared_ptr<Table> x_;
+  LogicalOpPtr scan_;
+};
+
+TEST_F(SimplifyTest, TrueSelectRemoved) {
+  TMDB_ASSERT_OK_AND_ASSIGN(LogicalOpPtr plan,
+                            LogicalOp::Select(scan_, "x", Expr::True()));
+  TMDB_ASSERT_OK_AND_ASSIGN(LogicalOpPtr simplified, SimplifyPlan(plan));
+  EXPECT_EQ(simplified->op_kind(), OpKind::kScan);
+}
+
+TEST_F(SimplifyTest, IdentityMapRemoved) {
+  TMDB_ASSERT_OK_AND_ASSIGN(
+      LogicalOpPtr plan,
+      LogicalOp::Map(scan_, "x", Expr::Var("x", x_->schema())));
+  TMDB_ASSERT_OK_AND_ASSIGN(LogicalOpPtr simplified, SimplifyPlan(plan));
+  EXPECT_EQ(simplified->op_kind(), OpKind::kScan);
+  ExpectSameRows(plan);
+}
+
+TEST_F(SimplifyTest, AdjacentSelectsMerge) {
+  TMDB_ASSERT_OK_AND_ASSIGN(
+      LogicalOpPtr inner, LogicalOp::Select(scan_, "x", GtZero(FieldOf("a"))));
+  TMDB_ASSERT_OK_AND_ASSIGN(
+      LogicalOpPtr outer, LogicalOp::Select(inner, "x", GtZero(FieldOf("b"))));
+  TMDB_ASSERT_OK_AND_ASSIGN(LogicalOpPtr simplified, SimplifyPlan(outer));
+  ASSERT_EQ(simplified->op_kind(), OpKind::kSelect);
+  EXPECT_EQ(simplified->input()->op_kind(), OpKind::kScan);
+  ExpectSameRows(outer);
+}
+
+TEST_F(SimplifyTest, AdjacentMapsCompose) {
+  TMDB_ASSERT_OK_AND_ASSIGN(
+      Expr pair, Expr::MakeTuple({"s"}, {Expr::Must(Expr::Binary(
+                                            BinaryOp::kAdd, FieldOf("a"),
+                                            FieldOf("b")))}));
+  TMDB_ASSERT_OK_AND_ASSIGN(LogicalOpPtr inner,
+                            LogicalOp::Map(scan_, "x", pair));
+  Expr outer_expr = Expr::Must(
+      Expr::Field(Expr::Var("x", inner->output_type()), "s"));
+  TMDB_ASSERT_OK_AND_ASSIGN(LogicalOpPtr outer,
+                            LogicalOp::Map(inner, "x", outer_expr));
+  TMDB_ASSERT_OK_AND_ASSIGN(LogicalOpPtr simplified, SimplifyPlan(outer));
+  ASSERT_EQ(simplified->op_kind(), OpKind::kMap);
+  EXPECT_EQ(simplified->input()->op_kind(), OpKind::kScan);
+  ExpectSameRows(outer);
+}
+
+TEST_F(SimplifyTest, IdentityMapAboveUnnestStays) {
+  // μ can emit duplicate rows; the identity Map deduplicates, so it must
+  // NOT be removed above an Unnest.
+  TMDB_ASSERT_OK_AND_ASSIGN(
+      auto nested,
+      Table::Create("N", Type::Tuple(
+                             {{"k", Type::Int()},
+                              {"s", Type::Set(Type::Tuple(
+                                        {{"e", Type::Int()}}))}})));
+  auto elem = [](int64_t e) { return Value::Tuple({"e"}, {Value::Int(e)}); };
+  // Two rows that collapse to the same (k, e) pairs after unnesting.
+  TMDB_ASSERT_OK(nested->Insert(Value::Tuple(
+      {"k", "s"}, {Value::Int(1), Value::Set({elem(7)})})));
+  TMDB_ASSERT_OK(nested->Insert(Value::Tuple(
+      {"k", "s"}, {Value::Int(1), Value::Set({elem(7), elem(8)})})));
+  TMDB_ASSERT_OK_AND_ASSIGN(LogicalOpPtr scan, LogicalOp::Scan(nested));
+  TMDB_ASSERT_OK_AND_ASSIGN(LogicalOpPtr unnest, LogicalOp::Unnest(scan, "s"));
+  TMDB_ASSERT_OK_AND_ASSIGN(
+      LogicalOpPtr dedup,
+      LogicalOp::Map(unnest, "x", Expr::Var("x", unnest->output_type())));
+  TMDB_ASSERT_OK_AND_ASSIGN(LogicalOpPtr simplified, SimplifyPlan(dedup));
+  EXPECT_EQ(simplified->op_kind(), OpKind::kMap);  // kept
+
+  Executor executor;
+  TMDB_ASSERT_OK_AND_ASSIGN(auto raw, executor.Run(unnest));
+  TMDB_ASSERT_OK_AND_ASSIGN(auto deduped, executor.Run(simplified));
+  EXPECT_EQ(raw.size(), 3u);     // duplicate (1, 7) emitted twice
+  EXPECT_EQ(deduped.size(), 2u);  // Map collapses it
+}
+
+TEST_F(SimplifyTest, EndToEndPlansAreClean) {
+  // Through the Database facade, the nestjoin strategy's plans contain no
+  // leftover identity/strip chains: at most one Map above the Select.
+  Database db;
+  TMDB_ASSERT_OK(db.ExecuteScript(
+                       "CREATE TABLE R (a : P(INT), b : INT);"
+                       "CREATE TABLE S (a : INT, b : INT)")
+                     .status());
+  TMDB_ASSERT_OK_AND_ASSIGN(
+      LogicalOpPtr plan,
+      db.Plan("SELECT x FROM R x WHERE x.a SUBSETEQ "
+              "(SELECT y.a FROM S y WHERE x.b = y.b)",
+              Strategy::kNestJoin));
+  // Shape: Map(strip∘F) over Select over NestJoin — the two maps the
+  // unnester builds have been composed into one.
+  ASSERT_EQ(plan->op_kind(), OpKind::kMap);
+  EXPECT_EQ(plan->input()->op_kind(), OpKind::kSelect);
+  EXPECT_EQ(plan->input()->input()->op_kind(), OpKind::kNestJoin);
+}
+
+}  // namespace
+}  // namespace tmdb

@@ -1,0 +1,169 @@
+// Statement layer: DDL/DML parsing and execution through the Database
+// facade — CREATE TABLE, DEFINE SORT, INSERT INTO ... VALUES, scripts.
+
+#include <gtest/gtest.h>
+
+#include "core/database.h"
+#include "parser/statement.h"
+#include "tests/test_util.h"
+
+namespace tmdb {
+namespace {
+
+TEST(StatementParseTest, CreateTable) {
+  TMDB_ASSERT_OK_AND_ASSIGN(
+      StatementPtr s,
+      ParseStatement("CREATE TABLE Emp (name : STRING, sal : INT, "
+                     "kids : P((age : INT)))"));
+  EXPECT_EQ(s->kind, Statement::Kind::kCreateTable);
+  EXPECT_EQ(s->target, "Emp");
+  EXPECT_EQ(s->schema->ToString(),
+            "(name : STRING, sal : INT, kids : P((age : INT)))");
+}
+
+TEST(StatementParseTest, DefineSort) {
+  TMDB_ASSERT_OK_AND_ASSIGN(
+      StatementPtr s,
+      ParseStatement("DEFINE SORT Address AS (street : STRING, "
+                     "city : STRING)"));
+  EXPECT_EQ(s->kind, Statement::Kind::kDefineSort);
+  EXPECT_EQ(s->target, "Address");
+}
+
+TEST(StatementParseTest, NamedSortReference) {
+  TMDB_ASSERT_OK_AND_ASSIGN(
+      StatementPtr s,
+      ParseStatement("CREATE TABLE D (addr : Address, tags : P(STRING))"));
+  EXPECT_EQ(s->schema->field_types[0]->kind, TypeAst::Kind::kNamed);
+  EXPECT_EQ(s->schema->field_types[0]->name, "Address");
+}
+
+TEST(StatementParseTest, Insert) {
+  TMDB_ASSERT_OK_AND_ASSIGN(
+      StatementPtr s,
+      ParseStatement("INSERT INTO R VALUES (a = 1, b = {1, 2}), "
+                     "(a = 2, b = {})"));
+  EXPECT_EQ(s->kind, Statement::Kind::kInsert);
+  EXPECT_EQ(s->target, "R");
+  EXPECT_EQ(s->values.size(), 2u);
+}
+
+TEST(StatementParseTest, PlainQueryFallsThrough) {
+  TMDB_ASSERT_OK_AND_ASSIGN(StatementPtr s,
+                            ParseStatement("SELECT x FROM R x;"));
+  EXPECT_EQ(s->kind, Statement::Kind::kQuery);
+}
+
+TEST(StatementParseTest, Script) {
+  TMDB_ASSERT_OK_AND_ASSIGN(
+      auto script,
+      ParseScript("CREATE TABLE R (a : INT); "
+                  "INSERT INTO R VALUES (a = 1);; "
+                  "SELECT x FROM R x;"));
+  ASSERT_EQ(script.size(), 3u);
+  EXPECT_EQ(script[0]->kind, Statement::Kind::kCreateTable);
+  EXPECT_EQ(script[1]->kind, Statement::Kind::kInsert);
+  EXPECT_EQ(script[2]->kind, Statement::Kind::kQuery);
+}
+
+TEST(StatementParseTest, Errors) {
+  EXPECT_FALSE(ParseStatement("CREATE R (a : INT)").ok());
+  EXPECT_FALSE(ParseStatement("CREATE TABLE R a : INT").ok());
+  EXPECT_FALSE(ParseStatement("CREATE TABLE R (a INT)").ok());
+  EXPECT_FALSE(ParseStatement("INSERT R VALUES (a = 1)").ok());
+  EXPECT_FALSE(ParseStatement("SELECT x FROM R x SELECT").ok());
+  EXPECT_FALSE(ParseScript("CREATE TABLE R (a : INT) SELECT x FROM R x").ok());
+}
+
+TEST(StatementExecuteTest, EndToEndScript) {
+  Database db;
+  TMDB_ASSERT_OK_AND_ASSIGN(
+      auto results,
+      db.ExecuteScript(
+          "DEFINE SORT Address AS (city : STRING);"
+          "CREATE TABLE EMP (name : STRING, addr : Address, sal : INT);"
+          "INSERT INTO EMP VALUES"
+          "  (name = \"ann\", addr = (city = \"ams\"), sal = 100),"
+          "  (name = \"bob\", addr = (city = \"utr\"), sal = 200),"
+          "  (name = \"cee\", addr = (city = \"ams\"), sal = 300);"
+          "SELECT e.name FROM EMP e WHERE e.addr.city = \"ams\";"));
+  ASSERT_EQ(results.size(), 4u);
+  EXPECT_FALSE(results[0].is_query);
+  EXPECT_NE(results[2].message.find("3 row(s)"), std::string::npos);
+  ASSERT_TRUE(results[3].is_query);
+  EXPECT_EQ(results[3].query.rows.size(), 2u);
+}
+
+TEST(StatementExecuteTest, InsertValidatesSchema) {
+  Database db;
+  TMDB_ASSERT_OK(db.Execute("CREATE TABLE R (a : INT)").status());
+  EXPECT_FALSE(db.Execute("INSERT INTO R VALUES (a = \"str\")").ok());
+  EXPECT_FALSE(db.Execute("INSERT INTO R VALUES (b = 1)").ok());
+  EXPECT_FALSE(db.Execute("INSERT INTO NoTable VALUES (a = 1)").ok());
+  // Duplicate rows rejected (extensions are sets).
+  TMDB_ASSERT_OK(db.Execute("INSERT INTO R VALUES (a = 1)").status());
+  EXPECT_FALSE(db.Execute("INSERT INTO R VALUES (a = 1)").ok());
+}
+
+TEST(StatementExecuteTest, InsertMayUseSubqueries) {
+  Database db;
+  TMDB_ASSERT_OK(db.Execute("CREATE TABLE R (a : INT)").status());
+  TMDB_ASSERT_OK(
+      db.Execute("INSERT INTO R VALUES (a = 1), (a = 2)").status());
+  TMDB_ASSERT_OK(
+      db.Execute("CREATE TABLE T (n : INT, all : P(INT))").status());
+  // The VALUES expression may itself contain a query.
+  TMDB_ASSERT_OK(db.Execute("INSERT INTO T VALUES "
+                            "(n = count(SELECT x FROM R x), "
+                            " all = SELECT x.a FROM R x)")
+                     .status());
+  TMDB_ASSERT_OK_AND_ASSIGN(auto result, db.Execute("SELECT t FROM T t"));
+  ASSERT_EQ(result.query.rows.size(), 1u);
+  EXPECT_EQ(result.query.rows[0].ToString(), "<n = 2, all = {1, 2}>");
+}
+
+TEST(StatementExecuteTest, CreateDuplicateTableFails) {
+  Database db;
+  TMDB_ASSERT_OK(db.Execute("CREATE TABLE R (a : INT)").status());
+  EXPECT_FALSE(db.Execute("CREATE TABLE R (a : INT)").ok());
+}
+
+TEST(StatementExecuteTest, UnknownSortFails) {
+  Database db;
+  EXPECT_FALSE(db.Execute("CREATE TABLE R (a : NoSuchSort)").ok());
+}
+
+TEST(StatementExecuteTest, ScriptStopsAtFirstError) {
+  Database db;
+  auto result = db.ExecuteScript(
+      "CREATE TABLE R (a : INT);"
+      "INSERT INTO R VALUES (a = \"wrong\");"
+      "CREATE TABLE S (b : INT)");
+  EXPECT_FALSE(result.ok());
+  // R was created before the failure; S was not.
+  EXPECT_TRUE(db.catalog()->HasTable("R"));
+  EXPECT_FALSE(db.catalog()->HasTable("S"));
+}
+
+TEST(StatementExecuteTest, QueryThroughExecuteUsesStrategy) {
+  Database db;
+  TMDB_ASSERT_OK(db.ExecuteScript(
+                       "CREATE TABLE R (a : INT, b : INT);"
+                       "CREATE TABLE S (b : INT, c : INT);"
+                       "INSERT INTO R VALUES (a = 1, b = 5), (a = 2, b = 6);"
+                       "INSERT INTO S VALUES (b = 5, c = 9)")
+                     .status());
+  RunOptions options;
+  options.strategy = Strategy::kNestJoin;
+  TMDB_ASSERT_OK_AND_ASSIGN(
+      auto result,
+      db.Execute("SELECT x.a FROM R x WHERE x.b IN "
+                 "(SELECT y.b FROM S y WHERE y.c > 0)",
+                 options));
+  ASSERT_TRUE(result.is_query);
+  ASSERT_EQ(result.query.rows.size(), 1u);
+  EXPECT_EQ(result.query.rows[0].AsInt(), 1);
+}
+
+}  // namespace
+}  // namespace tmdb

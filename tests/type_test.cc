@@ -1,0 +1,107 @@
+#include "types/type.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+#include "types/schema_ops.h"
+
+namespace tmdb {
+namespace {
+
+TEST(TypeTest, BasicKinds) {
+  EXPECT_TRUE(Type::Bool().is_bool());
+  EXPECT_TRUE(Type::Int().is_int());
+  EXPECT_TRUE(Type::Int().is_numeric());
+  EXPECT_TRUE(Type::Real().is_numeric());
+  EXPECT_TRUE(Type::String().is_string());
+  EXPECT_TRUE(Type::Any().is_any());
+  EXPECT_TRUE(Type::Set(Type::Int()).is_collection());
+  EXPECT_TRUE(Type::List(Type::Int()).is_collection());
+}
+
+TEST(TypeTest, StructuralEquality) {
+  Type a = Type::Tuple({{"x", Type::Int()}, {"y", Type::Set(Type::String())}});
+  Type b = Type::Tuple({{"x", Type::Int()}, {"y", Type::Set(Type::String())}});
+  Type c = Type::Tuple({{"y", Type::Set(Type::String())}, {"x", Type::Int()}});
+  EXPECT_TRUE(a.Equals(b));
+  EXPECT_FALSE(a.Equals(c));  // field order matters
+  EXPECT_FALSE(Type::Set(Type::Int()).Equals(Type::List(Type::Int())));
+}
+
+TEST(TypeTest, FieldLookup) {
+  Type t = Type::Tuple({{"a", Type::Int()}, {"b", Type::Bool()}});
+  EXPECT_EQ(t.FieldIndex("b"), 1);
+  EXPECT_EQ(t.FieldIndex("z"), -1);
+  TMDB_ASSERT_OK_AND_ASSIGN(Type b, t.FieldType("b"));
+  EXPECT_TRUE(b.is_bool());
+  EXPECT_FALSE(t.FieldType("z").ok());
+  EXPECT_FALSE(Type::Int().FieldType("a").ok());
+}
+
+TEST(TypeTest, CoercesTo) {
+  EXPECT_TRUE(Type::Int().CoercesTo(Type::Real()));
+  EXPECT_FALSE(Type::Real().CoercesTo(Type::Int()));
+  EXPECT_TRUE(Type::Any().CoercesTo(Type::Int()));
+  EXPECT_TRUE(Type::Int().CoercesTo(Type::Any()));
+  EXPECT_TRUE(Type::Set(Type::Int()).CoercesTo(Type::Set(Type::Real())));
+  EXPECT_TRUE(Type::Set(Type::Any()).CoercesTo(Type::Set(Type::Int())));
+  EXPECT_FALSE(Type::Set(Type::Int()).CoercesTo(Type::Set(Type::String())));
+}
+
+TEST(TypeTest, ToStringRendering) {
+  EXPECT_EQ(Type::Int().ToString(), "INT");
+  EXPECT_EQ(Type::Set(Type::Int()).ToString(), "P(INT)");
+  EXPECT_EQ(Type::List(Type::Real()).ToString(), "L(REAL)");
+  EXPECT_EQ(
+      Type::Tuple({{"a", Type::Int()}, {"b", Type::Set(Type::String())}})
+          .ToString(),
+      "<a : INT, b : P(STRING)>");
+}
+
+TEST(UnifyTest, NumericAndAny) {
+  TMDB_ASSERT_OK_AND_ASSIGN(Type t1, UnifyTypes(Type::Int(), Type::Real()));
+  EXPECT_TRUE(t1.is_real());
+  TMDB_ASSERT_OK_AND_ASSIGN(Type t2, UnifyTypes(Type::Any(), Type::Int()));
+  EXPECT_TRUE(t2.is_int());
+  TMDB_ASSERT_OK_AND_ASSIGN(
+      Type t3, UnifyTypes(Type::Set(Type::Any()), Type::Set(Type::Int())));
+  EXPECT_TRUE(t3.element().is_int());
+  EXPECT_FALSE(UnifyTypes(Type::Int(), Type::String()).ok());
+  EXPECT_FALSE(UnifyTypes(Type::Tuple({{"a", Type::Int()}}),
+                          Type::Tuple({{"b", Type::Int()}}))
+                   .ok());
+}
+
+TEST(SchemaOpsTest, ConcatTupleTypes) {
+  Type a = Type::Tuple({{"x", Type::Int()}});
+  Type b = Type::Tuple({{"y", Type::Bool()}});
+  TMDB_ASSERT_OK_AND_ASSIGN(Type ab, ConcatTupleTypes(a, b));
+  EXPECT_EQ(ab.fields().size(), 2u);
+  EXPECT_FALSE(ConcatTupleTypes(a, a).ok());  // duplicate name
+  EXPECT_FALSE(ConcatTupleTypes(a, Type::Int()).ok());
+}
+
+TEST(SchemaOpsTest, AddRemoveProject) {
+  Type t = Type::Tuple({{"a", Type::Int()}, {"b", Type::Bool()}});
+  TMDB_ASSERT_OK_AND_ASSIGN(Type added, AddField(t, "grp", Type::Set(Type::Int())));
+  EXPECT_EQ(added.fields().size(), 3u);
+  EXPECT_FALSE(AddField(t, "a", Type::Int()).ok());
+
+  TMDB_ASSERT_OK_AND_ASSIGN(Type removed, RemoveField(added, "grp"));
+  EXPECT_TRUE(removed.Equals(t));
+  EXPECT_FALSE(RemoveField(t, "nope").ok());
+
+  TMDB_ASSERT_OK_AND_ASSIGN(Type proj, ProjectFields(t, {"b"}));
+  EXPECT_EQ(proj.fields().size(), 1u);
+  EXPECT_EQ(proj.fields()[0].name, "b");
+  EXPECT_FALSE(ProjectFields(t, {"nope"}).ok());
+}
+
+TEST(SchemaOpsTest, FreshFieldName) {
+  Type t = Type::Tuple({{"ys", Type::Int()}, {"ys1", Type::Int()}});
+  EXPECT_EQ(FreshFieldName("ys", {t}), "ys2");
+  EXPECT_EQ(FreshFieldName("zs", {t}), "zs");
+}
+
+}  // namespace
+}  // namespace tmdb

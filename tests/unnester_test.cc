@@ -1,0 +1,279 @@
+// Unnester tests: plan shapes, the rewrite report, the flat-join ablation
+// switch, naive fallbacks, and expression-rewrite helpers.
+
+#include "rewrite/unnester.h"
+
+#include <gtest/gtest.h>
+
+#include "core/database.h"
+#include "parser/parser.h"
+#include "rewrite/expr_rewrite.h"
+#include "sema/binder.h"
+#include "tests/test_util.h"
+
+namespace tmdb {
+namespace {
+
+class UnnesterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TMDB_ASSERT_OK_AND_ASSIGN(
+        auto x,
+        db_.CreateTable("X", Type::Tuple({{"a", Type::Set(Type::Int())},
+                                          {"b", Type::Int()},
+                                          {"c", Type::Int()}})));
+    TMDB_ASSERT_OK_AND_ASSIGN(
+        auto y, db_.CreateTable("Y", Type::Tuple({{"a", Type::Int()},
+                                                  {"b", Type::Int()}})));
+    (void)x;
+    (void)y;
+  }
+
+  LogicalOpPtr NaivePlan(const std::string& query) {
+    auto ast = ParseQuery(query);
+    EXPECT_TRUE(ast.ok()) << ast.status().ToString();
+    Binder binder(db_.catalog());
+    auto plan = binder.BindQuery(**ast);
+    EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+    return plan.ok() ? std::move(plan).value() : nullptr;
+  }
+
+  Database db_;
+};
+
+TEST_F(UnnesterTest, SemiJoinShape) {
+  Unnester unnester;
+  TMDB_ASSERT_OK_AND_ASSIGN(
+      LogicalOpPtr plan,
+      unnester.Rewrite(NaivePlan(
+          "SELECT x.c FROM X x WHERE x.c IN "
+          "(SELECT y.a FROM Y y WHERE x.b = y.b)")));
+  // Map over SemiJoin over (Scan, Scan): no residual Select, no subplans.
+  ASSERT_EQ(plan->op_kind(), OpKind::kMap);
+  ASSERT_EQ(plan->input()->op_kind(), OpKind::kSemiJoin);
+  EXPECT_EQ(plan->input()->left()->op_kind(), OpKind::kScan);
+  EXPECT_EQ(plan->input()->right()->op_kind(), OpKind::kScan);
+  EXPECT_EQ(plan->ToString().find("SUBQUERY"), std::string::npos)
+      << plan->ToString();
+}
+
+TEST_F(UnnesterTest, NestJoinShapeWithStrip) {
+  Unnester unnester;
+  TMDB_ASSERT_OK_AND_ASSIGN(
+      LogicalOpPtr plan,
+      unnester.Rewrite(NaivePlan(
+          "SELECT x.c FROM X x WHERE x.a SUBSETEQ "
+          "(SELECT y.a FROM Y y WHERE x.b = y.b)")));
+  // Map(F) over Map(strip) over Select(P against label) over NestJoin.
+  ASSERT_EQ(plan->op_kind(), OpKind::kMap);
+  ASSERT_EQ(plan->input()->op_kind(), OpKind::kMap);
+  ASSERT_EQ(plan->input()->input()->op_kind(), OpKind::kSelect);
+  ASSERT_EQ(plan->input()->input()->input()->op_kind(), OpKind::kNestJoin);
+  // The grouped label is gone from the final schema.
+  EXPECT_TRUE(plan->input()->output_type().Equals(
+      db_.catalog()->GetTable("X").value()->schema()));
+}
+
+TEST_F(UnnesterTest, LocalConjunctsPushIntoInnerSource) {
+  Unnester unnester;
+  TMDB_ASSERT_OK_AND_ASSIGN(
+      LogicalOpPtr plan,
+      unnester.Rewrite(NaivePlan(
+          "SELECT x.c FROM X x WHERE x.c IN "
+          "(SELECT y.a FROM Y y WHERE x.b = y.b AND y.a > 2)")));
+  // y.a > 2 is x-free: it must end up in a Select *under* the semijoin.
+  const LogicalOpPtr& semi = plan->input();
+  ASSERT_EQ(semi->op_kind(), OpKind::kSemiJoin);
+  ASSERT_EQ(semi->right()->op_kind(), OpKind::kSelect);
+  EXPECT_NE(semi->right()->pred().ToString().find("y.a > 2"),
+            std::string::npos);
+}
+
+TEST_F(UnnesterTest, PlainConjunctsPushBelowJoins) {
+  Unnester unnester;
+  TMDB_ASSERT_OK_AND_ASSIGN(
+      LogicalOpPtr plan,
+      unnester.Rewrite(NaivePlan(
+          "SELECT x.c FROM X x WHERE x.c > 5 AND x.c IN "
+          "(SELECT y.a FROM Y y WHERE x.b = y.b)")));
+  const LogicalOpPtr& semi = plan->input();
+  ASSERT_EQ(semi->op_kind(), OpKind::kSemiJoin);
+  ASSERT_EQ(semi->left()->op_kind(), OpKind::kSelect);
+  EXPECT_NE(semi->left()->pred().ToString().find("x.c > 5"),
+            std::string::npos);
+}
+
+TEST_F(UnnesterTest, AblationDisablesFlatJoins) {
+  UnnestOptions options;
+  options.use_flat_joins = false;
+  Unnester unnester(options);
+  TMDB_ASSERT_OK_AND_ASSIGN(
+      LogicalOpPtr plan,
+      unnester.Rewrite(NaivePlan(
+          "SELECT x.c FROM X x WHERE x.c IN "
+          "(SELECT y.a FROM Y y WHERE x.b = y.b)")));
+  EXPECT_NE(plan->ToString().find("NestJoin"), std::string::npos)
+      << plan->ToString();
+  EXPECT_EQ(plan->ToString().find("SemiJoin"), std::string::npos);
+}
+
+TEST_F(UnnesterTest, ReportRecordsRuleAndTarget) {
+  Unnester unnester;
+  TMDB_ASSERT_OK(unnester
+                     .Rewrite(NaivePlan(
+                         "SELECT x.c FROM X x WHERE x.c NOT IN "
+                         "(SELECT y.a FROM Y y WHERE x.b = y.b)"))
+                     .status());
+  ASSERT_EQ(unnester.report().events.size(), 1u);
+  const UnnestEvent& event = unnester.report().events[0];
+  EXPECT_EQ(event.form, RewriteForm::kNotExists);
+  EXPECT_EQ(event.target, "AntiJoin");
+  EXPECT_NE(event.rule.find("NOT IN"), std::string::npos);
+  EXPECT_NE(unnester.report().ToString().find("AntiJoin"),
+            std::string::npos);
+}
+
+TEST_F(UnnesterTest, UncorrelatedSubqueryStaysNaive) {
+  Unnester unnester;
+  TMDB_ASSERT_OK_AND_ASSIGN(
+      LogicalOpPtr plan,
+      unnester.Rewrite(NaivePlan(
+          "SELECT x.c FROM X x WHERE x.c IN (SELECT y.a FROM Y y)")));
+  EXPECT_NE(plan->ToString().find("SUBQUERY"), std::string::npos);
+  ASSERT_EQ(unnester.report().events.size(), 1u);
+  EXPECT_EQ(unnester.report().events[0].target, "naive");
+}
+
+TEST_F(UnnesterTest, SetValuedOperandStaysNaive) {
+  Unnester unnester;
+  TMDB_ASSERT_OK_AND_ASSIGN(
+      LogicalOpPtr plan,
+      unnester.Rewrite(NaivePlan(
+          "SELECT x.c FROM X x WHERE x.c IN (SELECT e FROM x.a e)")));
+  EXPECT_NE(plan->ToString().find("SUBQUERY"), std::string::npos);
+  ASSERT_EQ(unnester.report().events.size(), 1u);
+  EXPECT_EQ(unnester.report().events[0].target, "naive");
+}
+
+TEST_F(UnnesterTest, SelectClauseNestingBecomesNestJoin) {
+  Unnester unnester;
+  TMDB_ASSERT_OK_AND_ASSIGN(
+      LogicalOpPtr plan,
+      unnester.Rewrite(NaivePlan(
+          "SELECT (c = x.c, zs = SELECT y.a FROM Y y WHERE x.b = y.b) "
+          "FROM X x")));
+  ASSERT_EQ(plan->op_kind(), OpKind::kMap);
+  EXPECT_EQ(plan->input()->op_kind(), OpKind::kNestJoin);
+  EXPECT_EQ(plan->ToString().find("SUBQUERY"), std::string::npos);
+}
+
+TEST_F(UnnesterTest, UnnestSpecialCaseBecomesFlatJoin) {
+  Unnester unnester;
+  TMDB_ASSERT_OK_AND_ASSIGN(
+      LogicalOpPtr plan,
+      unnester.Rewrite(NaivePlan(
+          "UNNEST(SELECT (SELECT (c = x.c, a = y.a) FROM Y y "
+          "WHERE x.b = y.b) FROM X x)")));
+  const std::string rendered = plan->ToString();
+  EXPECT_NE(rendered.find("Join"), std::string::npos) << rendered;
+  EXPECT_EQ(rendered.find("NestJoin"), std::string::npos) << rendered;
+  EXPECT_EQ(rendered.find("SUBQUERY"), std::string::npos) << rendered;
+}
+
+TEST_F(UnnesterTest, MultipleSubqueriesInOneConjunctStackNestJoins) {
+  // Beyond the paper: count(z1) = count(z2) gets one nest join per
+  // subquery and a single residual select over both grouped attributes.
+  Unnester unnester;
+  TMDB_ASSERT_OK_AND_ASSIGN(
+      LogicalOpPtr plan,
+      unnester.Rewrite(NaivePlan(
+          "SELECT x.c FROM X x WHERE "
+          "count(SELECT y.a FROM Y y WHERE x.b = y.b) = "
+          "count(SELECT y2.a FROM Y y2 WHERE x.c = y2.a)")));
+  const std::string rendered = plan->ToString();
+  size_t first = rendered.find("NestJoin");
+  ASSERT_NE(first, std::string::npos) << rendered;
+  EXPECT_NE(rendered.find("NestJoin", first + 1), std::string::npos)
+      << rendered;
+  EXPECT_EQ(rendered.find("SUBQUERY"), std::string::npos) << rendered;
+}
+
+TEST_F(UnnesterTest, DisjunctionWithSubqueryGroups) {
+  // An OR containing a subquery cannot flatten to a semijoin, but the
+  // nest join evaluates it exactly (the grouped attribute is available to
+  // the whole conjunct).
+  Unnester unnester;
+  TMDB_ASSERT_OK_AND_ASSIGN(
+      LogicalOpPtr plan,
+      unnester.Rewrite(NaivePlan(
+          "SELECT x.c FROM X x WHERE x.c > 3 OR x.c IN "
+          "(SELECT y.a FROM Y y WHERE x.b = y.b)")));
+  const std::string rendered = plan->ToString();
+  EXPECT_NE(rendered.find("NestJoin"), std::string::npos) << rendered;
+  EXPECT_EQ(rendered.find("SUBQUERY"), std::string::npos) << rendered;
+}
+
+TEST_F(UnnesterTest, MultiLevelProducesStackedJoins) {
+  Unnester unnester;
+  TMDB_ASSERT_OK_AND_ASSIGN(
+      LogicalOpPtr plan,
+      unnester.Rewrite(NaivePlan(
+          "SELECT x.c FROM X x WHERE x.a SUBSETEQ ("
+          "SELECT y.a FROM Y y WHERE x.b = y.b AND y.a IN ("
+          "SELECT y2.a FROM Y y2 WHERE y.b = y2.b))")));
+  const std::string rendered = plan->ToString();
+  EXPECT_NE(rendered.find("NestJoin"), std::string::npos) << rendered;
+  EXPECT_NE(rendered.find("SemiJoin"), std::string::npos) << rendered;
+  EXPECT_EQ(rendered.find("SUBQUERY"), std::string::npos) << rendered;
+}
+
+// ------------------------------------------------------ expr_rewrite
+
+TEST(ExprRewriteTest, SplitConjunctsFlattensAnds) {
+  Expr a = Expr::Must(Expr::Binary(BinaryOp::kGt,
+                                   Expr::Literal(Value::Int(1)),
+                                   Expr::Literal(Value::Int(0))));
+  Expr nested = Expr::And(Expr::And(a, a), a);
+  EXPECT_EQ(SplitConjuncts(nested).size(), 3u);
+  EXPECT_TRUE(SplitConjuncts(Expr::True()).empty());
+}
+
+TEST(ExprRewriteTest, RebuildRetypesVariables) {
+  Type narrow = Type::Tuple({{"a", Type::Int()}});
+  Type wide = Type::Tuple({{"a", Type::Int()}, {"extra", Type::Int()}});
+  Expr e = Expr::Must(Expr::Field(Expr::Var("x", narrow), "a"));
+  ExprRebindings rebindings;
+  rebindings.var_types.emplace("x", wide);
+  TMDB_ASSERT_OK_AND_ASSIGN(Expr rebuilt, RebuildExpr(e, rebindings));
+  EXPECT_TRUE(rebuilt.field_base().type().Equals(wide));
+}
+
+TEST(ExprRewriteTest, RebuildReplacesWholeVariables) {
+  Type row = Type::Tuple({{"a", Type::Int()}});
+  Expr e = Expr::Must(Expr::Field(Expr::Var("x", row), "a"));
+  ExprRebindings rebindings;
+  rebindings.var_replacements.emplace(
+      "x", Expr::Must(Expr::MakeTuple({"a"}, {Expr::Literal(Value::Int(9))})));
+  TMDB_ASSERT_OK_AND_ASSIGN(Expr rebuilt, RebuildExpr(e, rebindings));
+  // Field-of-ctor collapses to the literal.
+  EXPECT_TRUE(rebuilt.is_literal());
+  EXPECT_EQ(rebuilt.literal_value().AsInt(), 9);
+}
+
+TEST(ExprRewriteTest, RebuildQuantifierShadowing) {
+  Type row = Type::Tuple({{"a", Type::Set(Type::Int())}});
+  Expr x = Expr::Var("x", row);
+  Expr body = Expr::Must(Expr::Binary(BinaryOp::kGt,
+                                      Expr::Var("x", Type::Int()),
+                                      Expr::Literal(Value::Int(0))));
+  Expr q = Expr::Must(Expr::Quantifier(QuantKind::kExists, "x",
+                                       Expr::Must(Expr::Field(x, "a")), body));
+  ExprRebindings rebindings;
+  rebindings.var_replacements.emplace("x", x);  // identity, but shadow-safe
+  TMDB_ASSERT_OK_AND_ASSIGN(Expr rebuilt, RebuildExpr(q, rebindings));
+  // The bound body x stays an INT var reference, not the tuple.
+  EXPECT_TRUE(rebuilt.quant_pred().lhs().type().is_int());
+}
+
+}  // namespace
+}  // namespace tmdb

@@ -1,0 +1,123 @@
+// Workload generator tests: determinism across runs, schema conformance,
+// and the structural properties the experiments rely on (dangling rows,
+// empty sets, correlation matches).
+
+#include "workload/generators.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace tmdb {
+namespace {
+
+TEST(GeneratorTest, CountBugDeterministicAndDangling) {
+  CountBugConfig config;
+  config.num_r = 100;
+  config.num_s = 200;
+  config.seed = 5;
+
+  Database a;
+  Database b;
+  TMDB_ASSERT_OK(LoadCountBugTables(&a, config));
+  TMDB_ASSERT_OK(LoadCountBugTables(&b, config));
+  TMDB_ASSERT_OK_AND_ASSIGN(auto ra, a.catalog()->GetTable("R"));
+  TMDB_ASSERT_OK_AND_ASSIGN(auto rb, b.catalog()->GetTable("R"));
+  ASSERT_EQ(ra->NumRows(), rb->NumRows());
+  for (size_t i = 0; i < ra->NumRows(); ++i) {
+    EXPECT_TRUE(ra->rows()[i].Equals(rb->rows()[i]));
+  }
+
+  // The experiment needs both matched and dangling R rows and some b = 0.
+  TMDB_ASSERT_OK_AND_ASSIGN(
+      auto dangling,
+      a.Run("SELECT x FROM R x WHERE count(SELECT y FROM S y "
+            "WHERE x.c = y.c) = 0"));
+  EXPECT_GT(dangling.rows.size(), 0u);
+  EXPECT_LT(dangling.rows.size(), ra->NumRows());
+  TMDB_ASSERT_OK_AND_ASSIGN(auto zero_b,
+                            a.Run("SELECT x FROM R x WHERE x.b = 0"));
+  EXPECT_GT(zero_b.rows.size(), 0u);
+}
+
+TEST(GeneratorTest, SubsetBugHasEmptySets) {
+  SubsetBugConfig config;
+  config.num_x = 100;
+  Database db;
+  TMDB_ASSERT_OK(LoadSubsetBugTables(&db, config));
+  TMDB_ASSERT_OK_AND_ASSIGN(auto empties,
+                            db.Run("SELECT x FROM X x WHERE count(x.a) = 0"));
+  EXPECT_GT(empties.rows.size(), 0u);
+  TMDB_ASSERT_OK_AND_ASSIGN(auto x, db.catalog()->GetTable("X"));
+  EXPECT_LT(empties.rows.size(), x->NumRows());
+}
+
+TEST(GeneratorTest, Section8SchemasAndSizes) {
+  Section8Config config;
+  config.num_x = 20;
+  config.num_y = 40;
+  config.num_z = 80;
+  Database db;
+  TMDB_ASSERT_OK(LoadSection8Tables(&db, config));
+  for (const char* name : {"X", "Y", "Z"}) {
+    TMDB_ASSERT_OK_AND_ASSIGN(auto table, db.catalog()->GetTable(name));
+    EXPECT_GT(table->NumRows(), 0u) << name;
+    for (const Value& row : table->rows()) {
+      EXPECT_TRUE(ConformsTo(row, table->schema())) << row.ToString();
+    }
+  }
+}
+
+TEST(GeneratorTest, CompanyComplexObjects) {
+  CompanyConfig config;
+  config.num_depts = 4;
+  config.num_emps = 20;
+  Database db;
+  TMDB_ASSERT_OK(LoadCompanyTables(&db, config));
+  TMDB_ASSERT_OK_AND_ASSIGN(auto emp, db.catalog()->GetTable("EMP"));
+  EXPECT_EQ(emp->NumRows(), 20u);
+  TMDB_ASSERT_OK_AND_ASSIGN(auto dept, db.catalog()->GetTable("DEPT"));
+  EXPECT_EQ(dept->NumRows(), 4u);
+  // Every department member name references an existing employee.
+  TMDB_ASSERT_OK_AND_ASSIGN(
+      auto orphans,
+      db.Run("SELECT d FROM DEPT d WHERE EXISTS n IN d.emps "
+             "(n NOT IN (SELECT e.name FROM EMP e))"));
+  EXPECT_EQ(orphans.rows.size(), 0u);
+  // The Address sort was registered.
+  TMDB_ASSERT_OK(db.catalog()->GetSort("Address").status());
+}
+
+TEST(GeneratorTest, DifferentSeedsDifferentData) {
+  CountBugConfig a_config;
+  a_config.seed = 1;
+  CountBugConfig b_config;
+  b_config.seed = 2;
+  Database a;
+  Database b;
+  TMDB_ASSERT_OK(LoadCountBugTables(&a, a_config));
+  TMDB_ASSERT_OK(LoadCountBugTables(&b, b_config));
+  TMDB_ASSERT_OK_AND_ASSIGN(auto ra, a.catalog()->GetTable("R"));
+  TMDB_ASSERT_OK_AND_ASSIGN(auto rb, b.catalog()->GetTable("R"));
+  bool any_diff = ra->NumRows() != rb->NumRows();
+  for (size_t i = 0; !any_diff && i < ra->NumRows(); ++i) {
+    any_diff = !ra->rows()[i].Equals(rb->rows()[i]);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(GeneratorTest, ScaleTablesRespectDomains) {
+  ScaleConfig config;
+  config.num_x = 200;
+  config.num_y = 200;
+  config.b_domain = 10;
+  Database db;
+  TMDB_ASSERT_OK(LoadScaleTables(&db, config));
+  TMDB_ASSERT_OK_AND_ASSIGN(
+      auto out_of_domain,
+      db.Run("SELECT x FROM X x WHERE x.b >= 10 OR x.b < 0"));
+  EXPECT_EQ(out_of_domain.rows.size(), 0u);
+}
+
+}  // namespace
+}  // namespace tmdb
