@@ -146,12 +146,13 @@ LogicalOpPtr OuterJoinNestPlan(const Tables& t) {
 }
 
 void RunPlan(benchmark::State& state, const LogicalOpPtr& plan,
-             JoinImpl impl) {
+             JoinImpl impl, int threads = 1) {
   PlannerOptions options;
   options.join_impl = impl;
+  options.num_threads = threads;
   Planner planner(options);
   PhysicalOpPtr physical = CheckOk(planner.Plan(plan), "plan");
-  Executor executor;
+  Executor executor(threads);
   for (auto _ : state) {
     auto rows = CheckOk(executor.RunPhysical(physical.get()), "run");
     benchmark::DoNotOptimize(rows.size());
@@ -177,6 +178,18 @@ void BM_OuterJoinThenNest(benchmark::State& state) {
   const Tables& t = CachedTables(static_cast<size_t>(state.range(0)),
                                  static_cast<size_t>(state.range(1)));
   RunPlan(state, OuterJoinNestPlan(t), JoinImpl::kHash);
+}
+// Threaded variants: same cached tables (keyed by data shape only), so the
+// serial and threaded runs measure the identical instance.
+void BM_NestJoinHashT4(benchmark::State& state) {
+  const Tables& t = CachedTables(static_cast<size_t>(state.range(0)),
+                                 static_cast<size_t>(state.range(1)));
+  RunPlan(state, NestJoinPlan(t), JoinImpl::kHash, /*threads=*/4);
+}
+void BM_OuterJoinThenNestT4(benchmark::State& state) {
+  const Tables& t = CachedTables(static_cast<size_t>(state.range(0)),
+                                 static_cast<size_t>(state.range(1)));
+  RunPlan(state, OuterJoinNestPlan(t), JoinImpl::kHash, /*threads=*/4);
 }
 
 void BM_NestJoinHashSkew(benchmark::State& state) {
@@ -207,8 +220,11 @@ void Sizes(benchmark::internal::Benchmark* b) {
 }
 
 BENCHMARK(BM_NestJoinHash)->Apply(Sizes);
+BENCHMARK(BM_NestJoinHashT4)->Apply(Sizes);
 BENCHMARK(BM_NestJoinMerge)->Apply(Sizes);
 BENCHMARK(BM_OuterJoinThenNest)->Apply(Sizes);
+BENCHMARK(BM_OuterJoinThenNestT4)->Args({8000, 2})->Args({2000, 16})
+    ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_NestJoinNL)->Args({500, 2})->Args({2000, 2})
     ->Unit(benchmark::kMillisecond);
 

@@ -117,8 +117,9 @@ void PrintTable1Reproduction() {
               "empty set is part of the model, no NULL needed.\n\n");
 }
 
-void BM_NestJoin(benchmark::State& state, Impl impl) {
-  const size_t n = static_cast<size_t>(state.range(0));
+/// Tables cached by |X| only — every implementation and thread count at a
+/// given size measures the identical loaded instance (|Y| = 2|X|).
+std::pair<std::shared_ptr<Table>, std::shared_ptr<Table>>& CachedXY(size_t n) {
   static auto& tables =
       *new std::map<size_t,
                     std::pair<std::shared_ptr<Table>, std::shared_ptr<Table>>>();
@@ -126,8 +127,14 @@ void BM_NestJoin(benchmark::State& state, Impl impl) {
   if (it == tables.end()) {
     it = tables.emplace(n, std::make_pair(MakeX(n, 1), MakeY(2 * n, 2))).first;
   }
-  PhysicalOpPtr join = MakeNestJoin(impl, it->second.first, it->second.second);
-  Executor executor;
+  return it->second;
+}
+
+void BM_NestJoin(benchmark::State& state, Impl impl, int threads) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  auto& xy = CachedXY(n);
+  PhysicalOpPtr join = MakeNestJoin(impl, xy.first, xy.second);
+  Executor executor(threads);
   for (auto _ : state) {
     auto rows = CheckOk(executor.RunPhysical(join.get()), "run");
     benchmark::DoNotOptimize(rows.size());
@@ -137,18 +144,29 @@ void BM_NestJoin(benchmark::State& state, Impl impl) {
 }
 
 void BM_NestJoinNL(benchmark::State& state) {
-  BM_NestJoin(state, Impl::kNestedLoop);
+  BM_NestJoin(state, Impl::kNestedLoop, 1);
 }
 void BM_NestJoinHash(benchmark::State& state) {
-  BM_NestJoin(state, Impl::kHash);
+  BM_NestJoin(state, Impl::kHash, 1);
+}
+void BM_NestJoinHashT2(benchmark::State& state) {
+  BM_NestJoin(state, Impl::kHash, 2);
+}
+void BM_NestJoinHashT4(benchmark::State& state) {
+  BM_NestJoin(state, Impl::kHash, 4);
 }
 void BM_NestJoinMerge(benchmark::State& state) {
-  BM_NestJoin(state, Impl::kMerge);
+  BM_NestJoin(state, Impl::kMerge, 1);
 }
 
 BENCHMARK(BM_NestJoinNL)->Arg(3)->Arg(100)->Arg(400)->Arg(1600)
     ->Unit(benchmark::kMillisecond);
+// 51200 gives |Y| = 102400 build rows — the parallel-build stress size.
 BENCHMARK(BM_NestJoinHash)->Arg(3)->Arg(100)->Arg(400)->Arg(1600)->Arg(6400)
+    ->Arg(51200)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_NestJoinHashT2)->Arg(6400)->Arg(51200)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_NestJoinHashT4)->Arg(6400)->Arg(51200)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_NestJoinMerge)->Arg(3)->Arg(100)->Arg(400)->Arg(1600)->Arg(6400)
     ->Unit(benchmark::kMillisecond);

@@ -34,15 +34,20 @@ T CheckOk(Result<T> result, const char* what) {
 /// Runs a query under a strategy/join policy, aborting on error.
 inline QueryResult MustRun(Database* db, const std::string& query,
                            Strategy strategy,
-                           JoinImpl impl = JoinImpl::kAuto) {
+                           JoinImpl impl = JoinImpl::kAuto,
+                           int num_threads = 1) {
   RunOptions options;
   options.strategy = strategy;
   options.join_impl = impl;
+  options.num_threads = num_threads;
   return CheckOk(db->Run(query, options), query.c_str());
 }
 
 /// Cache of databases keyed by a config string, so google-benchmark's
 /// repeated invocations of a benchmark function reuse one loaded database.
+/// Key on the *data* configuration only (scale, seed, domains) — never on
+/// execution knobs like thread count — so serial and threaded variants of
+/// a benchmark run against the same loaded instance.
 class DbCache {
  public:
   /// Returns the database for `key`, building it with `loader` on first use.

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Runs the nest-join benchmark suites and merges their google-benchmark
+# JSON output into BENCH_nestjoin.json at the repo root.
+#
+# Usage: bench/run_benches.sh [build-dir]   (default: build)
+#
+# The table1 suite carries the serial-vs-threaded comparison
+# (BM_NestJoinHash vs BM_NestJoinHashT{2,4}); the impls suite compares the
+# nest join against the outerjoin+nu* composition, serial and threaded.
+# Note: threaded variants only beat serial on multi-core hosts — the
+# "num_cpus" field in the JSON context records what this run had.
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+OUT_DIR="$(mktemp -d)"
+trap 'rm -rf "$OUT_DIR"' EXIT
+
+run() {
+  local name="$1"
+  shift
+  "$BUILD_DIR/bench/$name" \
+    --benchmark_out="$OUT_DIR/$name.json" \
+    --benchmark_out_format=json "$@" >/dev/null
+  echo "ran $name" >&2
+}
+
+run bench_table1_nestjoin --benchmark_filter='BM_NestJoinHash'
+run bench_nestjoin_impls \
+  --benchmark_filter='BM_(NestJoinHash|OuterJoinThenNest)(T4)?/'
+
+python3 - "$OUT_DIR" "$REPO_ROOT/BENCH_nestjoin.json" <<'EOF'
+import json, pathlib, sys
+
+out_dir, dest = pathlib.Path(sys.argv[1]), pathlib.Path(sys.argv[2])
+merged = {"context": None, "suites": {}}
+for path in sorted(out_dir.glob("*.json")):
+    data = json.loads(path.read_text())
+    if merged["context"] is None:
+        merged["context"] = data.get("context", {})
+    merged["suites"][path.stem] = data.get("benchmarks", [])
+dest.write_text(json.dumps(merged, indent=2) + "\n")
+print(f"wrote {dest}", file=sys.stderr)
+EOF

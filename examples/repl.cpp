@@ -6,12 +6,14 @@
 //   SELECT ... / CREATE TABLE ... / DEFINE SORT ... / INSERT INTO ... VALUES
 // Commands:
 //   \strategy <name>       naive | kim | outerjoin | nestjoin | nestjoin-only
+//   \threads <n>           parallelism for hash/nest-join builds (default 1)
 //   \explain <query>       show naive plan, rewrite decisions, final plans
 //   \tables                list tables and schemas
 //   \stats                 show counters of the last query
 //   \quit
 
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 
@@ -60,6 +62,7 @@ int main() {
   CheckSetup(LoadCompanyTables(&db, company));
 
   Strategy strategy = Strategy::kNestJoin;
+  int num_threads = 1;
   tmdb::ExecStats last_stats;
 
   std::printf("tmdb shell — tables R, S, EMP, DEPT loaded. \\quit to exit.\n");
@@ -96,6 +99,18 @@ int main() {
       }
       continue;
     }
+    if (input.rfind("\\threads", 0) == 0) {
+      std::string arg(tmdb::StripWhitespace(input.substr(8)));
+      int n = std::atoi(arg.c_str());
+      if (n < 1) {
+        std::printf("  \\threads needs a positive integer, got '%s'\n",
+                    arg.c_str());
+      } else {
+        num_threads = n;
+        std::printf("  num_threads = %d (results identical to serial)\n", n);
+      }
+      continue;
+    }
     if (input.rfind("\\explain", 0) == 0) {
       std::string query(tmdb::StripWhitespace(input.substr(8)));
       auto explained = db.Explain(query, strategy);
@@ -107,6 +122,7 @@ int main() {
 
     RunOptions options;
     options.strategy = strategy;
+    options.num_threads = num_threads;
     auto result = db.Execute(input, options);
     if (!result.ok()) {
       std::printf("  %s\n", result.status().ToString().c_str());

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Tier-1 verification: normal build + full ctest, then a ThreadSanitizer
+# build of the parallel execution test (the only suite that exercises
+# cross-thread interleavings).
+#
+# Usage: scripts/tier1.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cmake -B build -S .
+cmake --build build -j
+(cd build && ctest --output-on-failure -j)
+
+# TSan pass over the parallel paths. TSan needs its own object files, so it
+# gets a dedicated build tree.
+cmake -B build-tsan -S . -DTMDB_SANITIZE=thread
+cmake --build build-tsan -j --target parallel_exec_test
+./build-tsan/tests/parallel_exec_test
+
+echo "tier1: OK"

@@ -1,0 +1,62 @@
+#ifndef TMDB_BASE_THREAD_POOL_H_
+#define TMDB_BASE_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace tmdb {
+
+/// Fixed-size worker pool used for intra-operator parallelism (partitioned
+/// hash builds, morsel-wise probes). Tasks are submitted as callables and
+/// observed through std::future, so exceptions thrown inside a task
+/// propagate to the caller at future.get() instead of crashing a worker.
+///
+/// Shutdown is deterministic: the destructor lets the workers drain every
+/// task already queued, then joins all of them. No task is dropped, and no
+/// worker outlives the pool object.
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues `fn` for execution on some worker. The returned future holds
+  /// fn's result, or rethrows whatever fn threw.
+  template <typename Fn>
+  auto Submit(Fn fn) -> std::future<std::invoke_result_t<Fn>> {
+    using R = std::invoke_result_t<Fn>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::move(fn));
+    std::future<R> future = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.push([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return future;
+  }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::queue<std::function<void()>> queue_;
+  bool shutting_down_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace tmdb
+
+#endif  // TMDB_BASE_THREAD_POOL_H_

@@ -50,9 +50,10 @@ Result<QueryResult> Database::Run(const std::string& query,
                         Plan(query, options.strategy, nullptr));
   PlannerOptions planner_options;
   planner_options.join_impl = options.join_impl;
+  planner_options.num_threads = options.num_threads;
   Planner planner(planner_options);
   TMDB_ASSIGN_OR_RETURN(PhysicalOpPtr physical, planner.Plan(logical));
-  Executor executor;
+  Executor executor(options.num_threads);
   TMDB_ASSIGN_OR_RETURN(std::vector<Value> rows,
                         executor.RunPhysical(physical.get()));
   QueryResult result;
@@ -99,9 +100,10 @@ Result<StatementResult> Database::ExecuteParsed(const Statement& statement,
                             PlanForStrategy(naive, options.strategy));
       PlannerOptions planner_options;
       planner_options.join_impl = options.join_impl;
+      planner_options.num_threads = options.num_threads;
       Planner planner(planner_options);
       TMDB_ASSIGN_OR_RETURN(PhysicalOpPtr physical, planner.Plan(plan));
-      Executor executor;
+      Executor executor(options.num_threads);
       TMDB_ASSIGN_OR_RETURN(std::vector<Value> rows,
                             executor.RunPhysical(physical.get()));
       result.is_query = true;

@@ -39,6 +39,9 @@ struct RunOptions {
   Strategy strategy = Strategy::kNestJoin;
   /// Join implementation policy for the physical planner.
   JoinImpl join_impl = JoinImpl::kAuto;
+  /// Intra-operator parallelism degree (hash/nest join builds and probes).
+  /// 1 = serial execution; any value produces identical results.
+  int num_threads = 1;
 };
 
 /// The public facade: an in-memory TM-style complex-object database with

@@ -1,5 +1,6 @@
 #include "exec/basic_ops.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "base/string_util.h"
@@ -34,6 +35,16 @@ Result<std::optional<Value>> TableScanOp::Next() {
   return std::optional<Value>(table_->rows()[pos_++]);
 }
 
+Result<size_t> TableScanOp::NextBatch(std::vector<Value>* out, size_t max) {
+  const std::vector<Value>& rows = table_->rows();
+  const size_t take = std::min(max, rows.size() - pos_);
+  out->insert(out->end(), rows.begin() + static_cast<ptrdiff_t>(pos_),
+              rows.begin() + static_cast<ptrdiff_t>(pos_ + take));
+  pos_ += take;
+  ctx_->stats->rows_emitted += take;
+  return take;
+}
+
 void TableScanOp::Close() {}
 
 std::string TableScanOp::Describe() const {
@@ -60,6 +71,15 @@ Result<std::optional<Value>> ExprSourceOp::Next() {
   if (pos_ >= elements_.size()) return std::optional<Value>();
   ctx_->stats->rows_emitted++;
   return std::optional<Value>(elements_[pos_++]);
+}
+
+Result<size_t> ExprSourceOp::NextBatch(std::vector<Value>* out, size_t max) {
+  const size_t take = std::min(max, elements_.size() - pos_);
+  out->insert(out->end(), elements_.begin() + static_cast<ptrdiff_t>(pos_),
+              elements_.begin() + static_cast<ptrdiff_t>(pos_ + take));
+  pos_ += take;
+  ctx_->stats->rows_emitted += take;
+  return take;
 }
 
 void ExprSourceOp::Close() { elements_.clear(); }
@@ -92,7 +112,35 @@ Result<std::optional<Value>> FilterOp::Next() {
   }
 }
 
-void FilterOp::Close() { child_->Close(); }
+Result<size_t> FilterOp::NextBatch(std::vector<Value>* out, size_t max) {
+  // Pull whole input batches until at least one row survives the predicate
+  // (returning 0 would falsely signal end of stream).
+  while (true) {
+    batch_.clear();
+    TMDB_ASSIGN_OR_RETURN(size_t got, child_->NextBatch(&batch_, max));
+    if (got == 0) return 0;
+    size_t appended = 0;
+    for (Value& row : batch_) {
+      ctx_->stats->predicate_evals++;
+      TMDB_ASSIGN_OR_RETURN(Value keep, EvalWithRow(pred_, var_, row, ctx_));
+      if (!keep.is_bool()) {
+        return Status::TypeError(
+            StrCat("filter predicate produced non-boolean ", keep.ToString()));
+      }
+      if (keep.AsBool()) {
+        ctx_->stats->rows_emitted++;
+        out->push_back(std::move(row));
+        ++appended;
+      }
+    }
+    if (appended > 0) return appended;
+  }
+}
+
+void FilterOp::Close() {
+  batch_.clear();
+  child_->Close();
+}
 
 std::string FilterOp::Describe() const {
   return StrCat("Filter[", var_, " : ", pred_.ToString(), "]");
@@ -118,8 +166,27 @@ Result<std::optional<Value>> MapOp::Next() {
   }
 }
 
+Result<size_t> MapOp::NextBatch(std::vector<Value>* out, size_t max) {
+  while (true) {
+    batch_.clear();
+    TMDB_ASSIGN_OR_RETURN(size_t got, child_->NextBatch(&batch_, max));
+    if (got == 0) return 0;
+    size_t appended = 0;
+    for (const Value& row : batch_) {
+      TMDB_ASSIGN_OR_RETURN(Value mapped, EvalWithRow(expr_, var_, row, ctx_));
+      if (seen_.insert(mapped).second) {
+        ctx_->stats->rows_emitted++;
+        out->push_back(std::move(mapped));
+        ++appended;
+      }
+    }
+    if (appended > 0) return appended;
+  }
+}
+
 void MapOp::Close() {
   seen_.clear();
+  batch_.clear();
   child_->Close();
 }
 

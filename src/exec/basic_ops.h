@@ -22,6 +22,7 @@ class TableScanOp final : public PhysicalOp {
 
   Status Open(ExecContext* ctx) override;
   Result<std::optional<Value>> Next() override;
+  Result<size_t> NextBatch(std::vector<Value>* out, size_t max) override;
   void Close() override;
   std::string Describe() const override;
   std::vector<const PhysicalOp*> children() const override { return {}; }
@@ -40,6 +41,7 @@ class ExprSourceOp final : public PhysicalOp {
 
   Status Open(ExecContext* ctx) override;
   Result<std::optional<Value>> Next() override;
+  Result<size_t> NextBatch(std::vector<Value>* out, size_t max) override;
   void Close() override;
   std::string Describe() const override;
   std::vector<const PhysicalOp*> children() const override { return {}; }
@@ -59,6 +61,7 @@ class FilterOp final : public PhysicalOp {
 
   Status Open(ExecContext* ctx) override;
   Result<std::optional<Value>> Next() override;
+  Result<size_t> NextBatch(std::vector<Value>* out, size_t max) override;
   void Close() override;
   std::string Describe() const override;
   std::vector<const PhysicalOp*> children() const override {
@@ -70,6 +73,7 @@ class FilterOp final : public PhysicalOp {
   std::string var_;
   Expr pred_;
   ExecContext* ctx_ = nullptr;
+  std::vector<Value> batch_;  // scratch input batch, reused across calls
 };
 
 /// Function application with set semantics: emits expr(var := row) per child
@@ -81,6 +85,7 @@ class MapOp final : public PhysicalOp {
 
   Status Open(ExecContext* ctx) override;
   Result<std::optional<Value>> Next() override;
+  Result<size_t> NextBatch(std::vector<Value>* out, size_t max) override;
   void Close() override;
   std::string Describe() const override;
   std::vector<const PhysicalOp*> children() const override {
@@ -93,6 +98,7 @@ class MapOp final : public PhysicalOp {
   Expr expr_;
   ExecContext* ctx_ = nullptr;
   std::unordered_set<Value, ValueHash, ValueEq> seen_;
+  std::vector<Value> batch_;  // scratch input batch, reused across calls
 };
 
 /// μ: flattens the set-of-tuples attribute `attr`; each element's fields are

@@ -8,6 +8,8 @@
 
 namespace tmdb {
 
+class ThreadPool;
+
 /// Counters accumulated during one execution. They expose the *work* a
 /// strategy does (the quantity the paper's argument is about), independent
 /// of wall-clock noise: a nested-loop plan shows quadratic predicate_evals
@@ -32,6 +34,15 @@ struct ExecContext {
   SubplanEvaluator* subplans = nullptr;
   /// Work counters; never null during execution.
   ExecStats* stats = nullptr;
+  /// Worker pool for intra-operator parallelism (partitioned hash builds,
+  /// morsel-wise probes). nullptr, or num_threads == 1, means fully serial
+  /// execution — the seed behaviour. Operators submit tasks only from the
+  /// coordinating thread; worker tasks never touch the pool themselves.
+  ThreadPool* pool = nullptr;
+  /// Target degree of parallelism (also the number of build partitions).
+  int num_threads = 1;
+
+  bool parallel_enabled() const { return pool != nullptr && num_threads > 1; }
 };
 
 }  // namespace tmdb

@@ -101,11 +101,24 @@ Result<std::vector<Value>> Executor::Run(const LogicalOpPtr& plan) {
   return RunPhysical(physical.get());
 }
 
+void Executor::set_num_threads(int num_threads) {
+  if (num_threads < 1) num_threads = 1;
+  num_threads_ = num_threads;
+  if (num_threads_ == 1) {
+    pool_.reset();
+  } else if (pool_ == nullptr ||
+             pool_->num_threads() != static_cast<size_t>(num_threads_)) {
+    pool_ = std::make_unique<ThreadPool>(static_cast<size_t>(num_threads_));
+  }
+}
+
 Result<std::vector<Value>> Executor::RunPhysical(PhysicalOp* root) {
   ExecContext ctx;
   ctx.outer_env = nullptr;
   ctx.subplans = this;
   ctx.stats = &stats_;
+  ctx.pool = pool_.get();
+  ctx.num_threads = num_threads_;
   return CollectRows(root, &ctx);
 }
 
@@ -124,6 +137,8 @@ Result<Value> Executor::EvaluateSubplan(const SubplanBase& subplan,
   ctx.outer_env = &env;
   ctx.subplans = this;
   ctx.stats = &stats_;
+  // Subplans stay serial (no pool): they re-open once per outer row, where
+  // per-execution fan-out overhead would swamp any gain.
   TMDB_ASSIGN_OR_RETURN(std::vector<Value> rows,
                         CollectRows(it->second.get(), &ctx));
   return Value::Set(std::move(rows));

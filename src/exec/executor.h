@@ -7,6 +7,7 @@
 
 #include "algebra/logical_op.h"
 #include "base/result.h"
+#include "base/thread_pool.h"
 #include "exec/exec_context.h"
 #include "exec/physical_op.h"
 #include "values/value.h"
@@ -20,7 +21,14 @@ namespace tmdb {
 /// strategies are validated against.
 class Executor final : public SubplanEvaluator {
  public:
-  Executor() = default;
+  /// `num_threads` > 1 enables intra-operator parallelism (a lazily created
+  /// worker pool shared by all executions of this Executor). 1 = serial,
+  /// the default. Results are identical either way.
+  explicit Executor(int num_threads = 1) { set_num_threads(num_threads); }
+
+  /// Changes the parallelism degree for subsequent executions.
+  void set_num_threads(int num_threads);
+  int num_threads() const { return num_threads_; }
 
   /// Direct logical→physical mapping with no optimisation: every join
   /// becomes a nested-loop join, subplans stay correlated. This is the
@@ -44,6 +52,9 @@ class Executor final : public SubplanEvaluator {
 
  private:
   ExecStats stats_;
+  int num_threads_ = 1;
+  // Created on first use when num_threads_ > 1; reused across executions.
+  std::unique_ptr<ThreadPool> pool_;
   // Physical plans for subplans are built once and re-opened per outer row
   // (Open fully resets operator state).
   std::unordered_map<const SubplanBase*, PhysicalOpPtr> subplan_cache_;

@@ -1,32 +1,245 @@
 #include "exec/hash_join.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "base/string_util.h"
+#include "exec/parallel_util.h"
 #include "values/value_ops.h"
 
 namespace tmdb {
 
+namespace {
+
+bool AnyHasSubplan(const std::vector<Expr>& exprs) {
+  for (const Expr& e : exprs) {
+    if (ExprHasSubplan(e)) return true;
+  }
+  return false;
+}
+
+/// Sums worker-local counters into the shared stats, in morsel order.
+void AccumulateStats(const std::vector<ExecStats>& locals, ExecStats* total) {
+  for (const ExecStats& s : locals) {
+    total->rows_emitted += s.rows_emitted;
+    total->predicate_evals += s.predicate_evals;
+    total->subplan_evals += s.subplan_evals;
+    total->hash_probes += s.hash_probes;
+    total->rows_built += s.rows_built;
+  }
+}
+
+}  // namespace
+
 Status HashJoinOp::Open(ExecContext* ctx) {
   ctx_ = ctx;
-  build_.clear();
+  partitions_.clear();
   current_left_.reset();
   current_bucket_ = nullptr;
   bucket_pos_ = 0;
   left_matched_ = false;
+  materialized_ = false;
+  output_.clear();
+  output_pos_ = 0;
 
-  // Build phase: hash the right input on its composite key.
+  TMDB_RETURN_IF_ERROR(BuildTables(ctx));
+  TMDB_RETURN_IF_ERROR(left_->Open(ctx));
+
+  // Morsel-parallel probe requires every probe-side expression to be
+  // subplan-free (subplans need the single-threaded Executor).
+  const bool probe_parallel =
+      ctx->parallel_enabled() && !AnyHasSubplan(left_keys_) &&
+      !ExprHasSubplan(spec_.pred) &&
+      (spec_.mode != JoinMode::kNestJoin || !ExprHasSubplan(spec_.func));
+  if (probe_parallel) {
+    TMDB_RETURN_IF_ERROR(ParallelProbe());
+    materialized_ = true;
+  }
+  return Status::OK();
+}
+
+Status HashJoinOp::BuildTables(ExecContext* ctx) {
+  // Build phase: materialise the right input, hash it on its composite key.
   TMDB_RETURN_IF_ERROR(right_->Open(ctx));
+  std::vector<Value> rows;
   while (true) {
-    TMDB_ASSIGN_OR_RETURN(std::optional<Value> row, right_->Next());
-    if (!row.has_value()) break;
-    TMDB_ASSIGN_OR_RETURN(
-        Value key, EvalCompositeKey(right_keys_, spec_.right_var, *row, ctx_));
-    build_[std::move(key)].push_back(std::move(*row));
-    ctx_->stats->rows_built++;
+    TMDB_ASSIGN_OR_RETURN(size_t got, right_->NextBatch(&rows, kExecBatchSize));
+    if (got == 0) break;
   }
   right_->Close();
-  return left_->Open(ctx);
+  const size_t n = rows.size();
+  ctx->stats->rows_built += n;
+
+  const bool parallel = ctx->parallel_enabled() && !AnyHasSubplan(right_keys_);
+  const size_t num_partitions =
+      parallel ? static_cast<size_t>(ctx->num_threads) : 1;
+  partitions_.assign(num_partitions, BuildMap());
+
+  if (!parallel) {
+    BuildMap& table = partitions_[0];
+    table.reserve(n);
+    for (Value& row : rows) {
+      TMDB_ASSIGN_OR_RETURN(
+          Value key, EvalCompositeKey(right_keys_, spec_.right_var, row, ctx));
+      table[std::move(key)].push_back(std::move(row));
+    }
+    return Status::OK();
+  }
+
+  // Stage 1 (parallel over morsels): evaluate the key expressions once per
+  // build row and pre-compute the key hashes (cached inside the Value rep,
+  // so partitioning and map insertion below re-use them).
+  std::vector<Value> keys(n);
+  std::vector<uint64_t> hashes(n);
+  std::vector<MorselRange> morsels = SplitMorsels(n, ctx->num_threads);
+  std::vector<ExecStats> key_stats(morsels.size());
+  TMDB_RETURN_IF_ERROR(ParallelForMorsels(
+      ctx->pool, morsels, [&](size_t m, MorselRange range) -> Status {
+        ExecContext wctx;
+        wctx.outer_env = ctx->outer_env;
+        wctx.subplans = nullptr;  // guarded: keys are subplan-free
+        wctx.stats = &key_stats[m];
+        for (size_t i = range.begin; i < range.end; ++i) {
+          TMDB_ASSIGN_OR_RETURN(keys[i],
+                                EvalCompositeKey(right_keys_, spec_.right_var,
+                                                 rows[i], &wctx));
+          hashes[i] = keys[i].Hash();
+        }
+        return Status::OK();
+      }));
+  AccumulateStats(key_stats, ctx->stats);
+
+  // Stage 2 (parallel over partitions): each worker owns one disjoint
+  // partition and scans the row sequence in order, so every bucket receives
+  // its rows in build-input order — exactly the serial insertion order.
+  std::vector<MorselRange> one_per_partition;
+  one_per_partition.reserve(num_partitions);
+  for (size_t p = 0; p < num_partitions; ++p) {
+    one_per_partition.push_back({p, p + 1});
+  }
+  TMDB_RETURN_IF_ERROR(ParallelForMorsels(
+      ctx->pool, one_per_partition, [&](size_t, MorselRange range) -> Status {
+        const size_t p = range.begin;
+        BuildMap& table = partitions_[p];
+        table.reserve(n / num_partitions + 1);
+        for (size_t i = 0; i < n; ++i) {
+          if (hashes[i] % num_partitions != p) continue;
+          // Disjoint: row i is moved by exactly one partition task.
+          table[std::move(keys[i])].push_back(std::move(rows[i]));
+        }
+        return Status::OK();
+      }));
+  return Status::OK();
+}
+
+const std::vector<Value>* HashJoinOp::FindBucket(const Value& key) const {
+  const BuildMap& table =
+      partitions_.size() == 1
+          ? partitions_[0]
+          : partitions_[key.Hash() % partitions_.size()];
+  auto it = table.find(key);
+  return it == table.end() ? nullptr : &it->second;
+}
+
+Status HashJoinOp::ProcessLeftRow(const Value& left_row, ExecContext* ctx,
+                                  std::vector<Value>* out) const {
+  TMDB_ASSIGN_OR_RETURN(
+      Value key, EvalCompositeKey(left_keys_, spec_.left_var, left_row, ctx));
+  ctx->stats->hash_probes++;
+  const std::vector<Value>* bucket = FindBucket(key);
+  switch (spec_.mode) {
+    case JoinMode::kInner:
+    case JoinMode::kLeftOuter: {
+      bool matched = false;
+      if (bucket != nullptr) {
+        for (const Value& right_row : *bucket) {
+          TMDB_ASSIGN_OR_RETURN(bool match,
+                                EvalJoinPred(spec_, left_row, right_row, ctx));
+          if (match) {
+            matched = true;
+            TMDB_ASSIGN_OR_RETURN(Value o, ConcatTuples(left_row, right_row));
+            out->push_back(std::move(o));
+          }
+        }
+      }
+      if (spec_.mode == JoinMode::kLeftOuter && !matched) {
+        TMDB_ASSIGN_OR_RETURN(
+            Value o,
+            ConcatTuples(left_row, NullTupleOfType(spec_.right_type)));
+        out->push_back(std::move(o));
+      }
+      return Status::OK();
+    }
+    case JoinMode::kSemi:
+    case JoinMode::kAnti: {
+      const bool want_match = spec_.mode == JoinMode::kSemi;
+      bool matched = false;
+      if (bucket != nullptr) {
+        for (const Value& right_row : *bucket) {
+          TMDB_ASSIGN_OR_RETURN(bool match,
+                                EvalJoinPred(spec_, left_row, right_row, ctx));
+          if (match) {
+            matched = true;
+            break;  // same early exit as the streaming path
+          }
+        }
+      }
+      if (matched == want_match) out->push_back(left_row);
+      return Status::OK();
+    }
+    case JoinMode::kNestJoin: {
+      std::vector<Value> group;
+      if (bucket != nullptr) {
+        for (const Value& right_row : *bucket) {
+          TMDB_ASSIGN_OR_RETURN(bool match,
+                                EvalJoinPred(spec_, left_row, right_row, ctx));
+          if (match) {
+            TMDB_ASSIGN_OR_RETURN(
+                Value g, EvalJoinFunc(spec_, left_row, right_row, ctx));
+            group.push_back(std::move(g));
+          }
+        }
+      }
+      TMDB_ASSIGN_OR_RETURN(Value o, ExtendTuple(left_row, spec_.label,
+                                                 Value::Set(std::move(group))));
+      out->push_back(std::move(o));
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unhandled join mode");
+}
+
+Status HashJoinOp::ParallelProbe() {
+  std::vector<Value> rows;
+  while (true) {
+    TMDB_ASSIGN_OR_RETURN(size_t got, left_->NextBatch(&rows, kExecBatchSize));
+    if (got == 0) break;
+  }
+  std::vector<MorselRange> morsels = SplitMorsels(rows.size(),
+                                                  ctx_->num_threads);
+  std::vector<std::vector<Value>> outputs(morsels.size());
+  std::vector<ExecStats> local_stats(morsels.size());
+  TMDB_RETURN_IF_ERROR(ParallelForMorsels(
+      ctx_->pool, morsels, [&](size_t m, MorselRange range) -> Status {
+        ExecContext wctx;
+        wctx.outer_env = ctx_->outer_env;
+        wctx.subplans = nullptr;  // guarded: probe exprs are subplan-free
+        wctx.stats = &local_stats[m];
+        for (size_t i = range.begin; i < range.end; ++i) {
+          TMDB_RETURN_IF_ERROR(ProcessLeftRow(rows[i], &wctx, &outputs[m]));
+        }
+        return Status::OK();
+      }));
+  // Concatenating in morsel order reproduces the serial emission order;
+  // rows_emitted is counted at serve time, like the streaming path.
+  AccumulateStats(local_stats, ctx_->stats);
+  size_t total = 0;
+  for (const std::vector<Value>& part : outputs) total += part.size();
+  output_.reserve(total);
+  for (std::vector<Value>& part : outputs) {
+    for (Value& row : part) output_.push_back(std::move(row));
+  }
+  return Status::OK();
 }
 
 Result<bool> HashJoinOp::AdvanceLeft() {
@@ -40,14 +253,33 @@ Result<bool> HashJoinOp::AdvanceLeft() {
       Value key,
       EvalCompositeKey(left_keys_, spec_.left_var, *current_left_, ctx_));
   ctx_->stats->hash_probes++;
-  auto it = build_.find(key);
-  current_bucket_ = it == build_.end() ? nullptr : &it->second;
+  current_bucket_ = FindBucket(key);
   bucket_pos_ = 0;
   left_matched_ = false;
   return true;
 }
 
 Result<std::optional<Value>> HashJoinOp::Next() {
+  if (materialized_) {
+    if (output_pos_ >= output_.size()) return std::optional<Value>();
+    ctx_->stats->rows_emitted++;
+    return std::optional<Value>(output_[output_pos_++]);
+  }
+  return NextStreaming();
+}
+
+Result<size_t> HashJoinOp::NextBatch(std::vector<Value>* out, size_t max) {
+  if (!materialized_) return PhysicalOp::NextBatch(out, max);
+  const size_t take = std::min(max, output_.size() - output_pos_);
+  out->insert(out->end(),
+              output_.begin() + static_cast<ptrdiff_t>(output_pos_),
+              output_.begin() + static_cast<ptrdiff_t>(output_pos_ + take));
+  output_pos_ += take;
+  ctx_->stats->rows_emitted += take;
+  return take;
+}
+
+Result<std::optional<Value>> HashJoinOp::NextStreaming() {
   switch (spec_.mode) {
     case JoinMode::kInner:
     case JoinMode::kLeftOuter: {
@@ -137,9 +369,12 @@ Result<std::optional<Value>> HashJoinOp::Next() {
 }
 
 void HashJoinOp::Close() {
-  build_.clear();
+  partitions_.clear();
   current_left_.reset();
   current_bucket_ = nullptr;
+  output_.clear();
+  output_pos_ = 0;
+  materialized_ = false;
   left_->Close();
 }
 

@@ -18,6 +18,14 @@ namespace tmdb {
 /// correctness restriction (Section 6, "Implementation"): output must be
 /// grouped by left tuples, so with a non-key join attribute only the right
 /// operand may be the build table.
+///
+/// With ExecContext::parallel_enabled(), the build side is hash-partitioned
+/// into `num_threads` disjoint partitions whose tables are built
+/// concurrently, and — when the residual predicate and nest-join G function
+/// are subplan-free — the probe side is materialised and probed in parallel
+/// morsels. Both paths are bit-identical to serial execution: partitioning
+/// preserves per-key insertion order, morsel outputs are concatenated in
+/// probe order, and worker-local stats are summed deterministically.
 class HashJoinOp final : public PhysicalOp {
  public:
   /// `left_keys[i] = right_keys[i]` are the extracted equi-conjuncts;
@@ -32,6 +40,7 @@ class HashJoinOp final : public PhysicalOp {
 
   Status Open(ExecContext* ctx) override;
   Result<std::optional<Value>> Next() override;
+  Result<size_t> NextBatch(std::vector<Value>* out, size_t max) override;
   void Close() override;
   std::string Describe() const override;
   std::vector<const PhysicalOp*> children() const override {
@@ -39,7 +48,23 @@ class HashJoinOp final : public PhysicalOp {
   }
 
  private:
+  using BuildMap =
+      std::unordered_map<Value, std::vector<Value>, ValueHash, ValueEq>;
+
+  /// Bucket for `key` in the owning partition, or nullptr.
+  const std::vector<Value>* FindBucket(const Value& key) const;
+
+  Status BuildTables(ExecContext* ctx);
+  /// Materialises the left input and probes it with parallel morsels,
+  /// filling output_. Only called when the probe expressions are
+  /// subplan-free.
+  Status ParallelProbe();
+  /// Appends the join output rows of one left row to `out` (all modes).
+  Status ProcessLeftRow(const Value& left_row, ExecContext* ctx,
+                        std::vector<Value>* out) const;
+
   Result<bool> AdvanceLeft();
+  Result<std::optional<Value>> NextStreaming();
 
   PhysicalOpPtr left_;
   PhysicalOpPtr right_;
@@ -48,11 +73,20 @@ class HashJoinOp final : public PhysicalOp {
   std::vector<Expr> right_keys_;
   ExecContext* ctx_ = nullptr;
 
-  std::unordered_map<Value, std::vector<Value>, ValueHash, ValueEq> build_;
+  // Build side: disjoint hash partitions (one in serial execution). A key's
+  // partition is Hash() % partitions_.size().
+  std::vector<BuildMap> partitions_;
+
+  // Streaming probe state (serial path).
   std::optional<Value> current_left_;
   const std::vector<Value>* current_bucket_ = nullptr;
   size_t bucket_pos_ = 0;
   bool left_matched_ = false;
+
+  // Materialised probe output (parallel path).
+  bool materialized_ = false;
+  std::vector<Value> output_;
+  size_t output_pos_ = 0;
 };
 
 }  // namespace tmdb

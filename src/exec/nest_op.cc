@@ -1,9 +1,11 @@
 #include "exec/nest_op.h"
 
+#include <algorithm>
 #include <unordered_map>
 #include <utility>
 
 #include "base/string_util.h"
+#include "exec/parallel_util.h"
 #include "expr/eval.h"
 #include "values/value_ops.h"
 
@@ -30,28 +32,42 @@ Status NestOp::Open(ExecContext* ctx) {
   output_.clear();
   pos_ = 0;
 
+  std::vector<Value> rows;
+  TMDB_RETURN_IF_ERROR(child_->Open(ctx));
+  while (true) {
+    TMDB_ASSIGN_OR_RETURN(size_t got, child_->NextBatch(&rows, kExecBatchSize));
+    if (got == 0) break;
+  }
+  child_->Close();
+  ctx->stats->rows_built += rows.size();
+
+  if (ctx->parallel_enabled() && !ExprHasSubplan(elem_)) {
+    return OpenParallel(std::move(rows));
+  }
+  return OpenSerial(std::move(rows));
+}
+
+Status NestOp::OpenSerial(std::vector<Value> rows) {
   // Group-by hash: key tuple → collected elements. Insertion order of
   // groups is preserved for deterministic output.
   std::unordered_map<Value, size_t, ValueHash, ValueEq> group_index;
   std::vector<Value> keys;
   std::vector<std::vector<Value>> groups;
+  group_index.reserve(rows.size());
 
-  TMDB_RETURN_IF_ERROR(child_->Open(ctx));
-  while (true) {
-    TMDB_ASSIGN_OR_RETURN(std::optional<Value> row, child_->Next());
-    if (!row.has_value()) break;
+  for (const Value& row : rows) {
     // Key = projection onto the grouping attributes.
     std::vector<Value> key_values;
     key_values.reserve(group_attrs_.size());
     for (const std::string& attr : group_attrs_) {
-      TMDB_ASSIGN_OR_RETURN(Value v, row->Field(attr));
+      TMDB_ASSIGN_OR_RETURN(Value v, row.Field(attr));
       key_values.push_back(std::move(v));
     }
     Value key = Value::Tuple(group_attrs_, std::move(key_values));
 
-    Environment env(ctx->outer_env);
-    env.Bind(var_, *row);
-    TMDB_ASSIGN_OR_RETURN(Value elem, EvalExpr(elem_, env, ctx->subplans));
+    Environment env(ctx_->outer_env);
+    env.Bind(var_, row);
+    TMDB_ASSIGN_OR_RETURN(Value elem, EvalExpr(elem_, env, ctx_->subplans));
 
     auto [it, inserted] = group_index.emplace(key, groups.size());
     if (inserted) {
@@ -61,9 +77,7 @@ Status NestOp::Open(ExecContext* ctx) {
     if (!(null_group_to_empty_ && IsNullPadding(elem))) {
       groups[it->second].push_back(std::move(elem));
     }
-    ctx_->stats->rows_built++;
   }
-  child_->Close();
 
   output_.reserve(keys.size());
   for (size_t i = 0; i < keys.size(); ++i) {
@@ -74,10 +88,105 @@ Status NestOp::Open(ExecContext* ctx) {
   return Status::OK();
 }
 
+Status NestOp::OpenParallel(std::vector<Value> rows) {
+  const size_t n = rows.size();
+  const size_t num_partitions = static_cast<size_t>(ctx_->num_threads);
+
+  // Stage 1 (parallel over morsels): evaluate per-row group key, key hash,
+  // and element image.
+  std::vector<Value> keys(n);
+  std::vector<uint64_t> hashes(n);
+  std::vector<Value> elems(n);
+  std::vector<MorselRange> morsels = SplitMorsels(n, ctx_->num_threads);
+  TMDB_RETURN_IF_ERROR(ParallelForMorsels(
+      ctx_->pool, morsels, [&](size_t, MorselRange range) -> Status {
+        for (size_t i = range.begin; i < range.end; ++i) {
+          std::vector<Value> key_values;
+          key_values.reserve(group_attrs_.size());
+          for (const std::string& attr : group_attrs_) {
+            TMDB_ASSIGN_OR_RETURN(Value v, rows[i].Field(attr));
+            key_values.push_back(std::move(v));
+          }
+          keys[i] = Value::Tuple(group_attrs_, std::move(key_values));
+          hashes[i] = keys[i].Hash();
+          Environment env(ctx_->outer_env);
+          env.Bind(var_, rows[i]);
+          TMDB_ASSIGN_OR_RETURN(elems[i], EvalExpr(elem_, env, nullptr));
+        }
+        return Status::OK();
+      }));
+
+  // Stage 2 (parallel over partitions): each worker groups one disjoint
+  // hash partition, scanning rows in order so element order inside a group
+  // matches the serial path, and records each group's first-occurrence row
+  // index for the merge. The Set canonicalisation (the expensive sort) also
+  // happens here, in parallel.
+  std::vector<std::vector<std::pair<size_t, Value>>> partition_rows(
+      num_partitions);
+  std::vector<MorselRange> one_per_partition;
+  one_per_partition.reserve(num_partitions);
+  for (size_t p = 0; p < num_partitions; ++p) {
+    one_per_partition.push_back({p, p + 1});
+  }
+  TMDB_RETURN_IF_ERROR(ParallelForMorsels(
+      ctx_->pool, one_per_partition, [&](size_t, MorselRange range) -> Status {
+        const size_t p = range.begin;
+        std::unordered_map<Value, size_t, ValueHash, ValueEq> group_index;
+        std::vector<Value> part_keys;
+        std::vector<std::vector<Value>> groups;
+        std::vector<size_t> first_row;
+        for (size_t i = 0; i < n; ++i) {
+          if (hashes[i] % num_partitions != p) continue;
+          auto [it, inserted] = group_index.emplace(keys[i], groups.size());
+          if (inserted) {
+            part_keys.push_back(std::move(keys[i]));
+            groups.emplace_back();
+            first_row.push_back(i);
+          }
+          if (!(null_group_to_empty_ && IsNullPadding(elems[i]))) {
+            groups[it->second].push_back(std::move(elems[i]));
+          }
+        }
+        std::vector<std::pair<size_t, Value>>& out = partition_rows[p];
+        out.reserve(part_keys.size());
+        for (size_t g = 0; g < part_keys.size(); ++g) {
+          TMDB_ASSIGN_OR_RETURN(
+              Value row, ExtendTuple(part_keys[g], label_,
+                                     Value::Set(std::move(groups[g]))));
+          out.emplace_back(first_row[g], std::move(row));
+        }
+        return Status::OK();
+      }));
+
+  // Merge: serial output order is group first-occurrence order, so sort the
+  // partition outputs by first-occurrence row index.
+  std::vector<std::pair<size_t, Value>> merged;
+  size_t total = 0;
+  for (const auto& part : partition_rows) total += part.size();
+  merged.reserve(total);
+  for (auto& part : partition_rows) {
+    for (auto& entry : part) merged.push_back(std::move(entry));
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  output_.reserve(merged.size());
+  for (auto& entry : merged) output_.push_back(std::move(entry.second));
+  return Status::OK();
+}
+
 Result<std::optional<Value>> NestOp::Next() {
   if (pos_ >= output_.size()) return std::optional<Value>();
   ctx_->stats->rows_emitted++;
   return std::optional<Value>(output_[pos_++]);
+}
+
+Result<size_t> NestOp::NextBatch(std::vector<Value>* out, size_t max) {
+  const size_t take = std::min(max, output_.size() - pos_);
+  out->insert(out->end(), output_.begin() + static_cast<ptrdiff_t>(pos_),
+              output_.begin() + static_cast<ptrdiff_t>(pos_ + take));
+  pos_ += take;
+  ctx_->stats->rows_emitted += take;
+  return take;
 }
 
 void NestOp::Close() {

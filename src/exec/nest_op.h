@@ -19,6 +19,12 @@ namespace tmdb {
 /// because of outerjoin padding become the empty set. This is what makes
 /// the Ganski–Wong outerjoin strategy equivalent to the nest join (paper,
 /// Section 6, "Algebraic Properties").
+///
+/// With ExecContext::parallel_enabled() and a subplan-free element
+/// expression, grouping is hash-partitioned: workers evaluate keys/elements
+/// over morsels, then each of `num_threads` workers groups one disjoint
+/// partition; groups are merged by first-occurrence row index, reproducing
+/// the serial output (group insertion order) exactly.
 class NestOp final : public PhysicalOp {
  public:
   NestOp(PhysicalOpPtr child, std::vector<std::string> group_attrs,
@@ -33,6 +39,7 @@ class NestOp final : public PhysicalOp {
 
   Status Open(ExecContext* ctx) override;
   Result<std::optional<Value>> Next() override;
+  Result<size_t> NextBatch(std::vector<Value>* out, size_t max) override;
   void Close() override;
   std::string Describe() const override;
   std::vector<const PhysicalOp*> children() const override {
@@ -40,6 +47,9 @@ class NestOp final : public PhysicalOp {
   }
 
  private:
+  Status OpenSerial(std::vector<Value> rows);
+  Status OpenParallel(std::vector<Value> rows);
+
   PhysicalOpPtr child_;
   std::vector<std::string> group_attrs_;
   std::string var_;

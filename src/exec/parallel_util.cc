@@ -1,0 +1,72 @@
+#include "exec/parallel_util.h"
+
+#include <algorithm>
+#include <future>
+#include <utility>
+
+namespace tmdb {
+
+bool ExprHasSubplan(const Expr& e) {
+  switch (e.expr_kind()) {
+    case ExprKind::kSubplan:
+      return true;
+    case ExprKind::kLiteral:
+    case ExprKind::kVarRef:
+      return false;
+    case ExprKind::kFieldAccess:
+      return ExprHasSubplan(e.field_base());
+    case ExprKind::kBinary:
+      return ExprHasSubplan(e.lhs()) || ExprHasSubplan(e.rhs());
+    case ExprKind::kUnary:
+      return ExprHasSubplan(e.operand());
+    case ExprKind::kQuantifier:
+      return ExprHasSubplan(e.quant_collection()) ||
+             ExprHasSubplan(e.quant_pred());
+    case ExprKind::kAggregate:
+      return ExprHasSubplan(e.agg_arg());
+    case ExprKind::kTupleCtor:
+    case ExprKind::kSetCtor: {
+      for (const Expr& elem : e.ctor_elements()) {
+        if (ExprHasSubplan(elem)) return true;
+      }
+      return false;
+    }
+  }
+  return true;  // unknown kind: be conservative, stay serial
+}
+
+std::vector<MorselRange> SplitMorsels(size_t n, int num_threads) {
+  std::vector<MorselRange> morsels;
+  if (n == 0) return morsels;
+  const size_t max_morsels =
+      std::max<size_t>(1, static_cast<size_t>(num_threads) * 4);
+  const size_t count = std::min(n, max_morsels);
+  const size_t base = n / count;
+  const size_t extra = n % count;
+  size_t begin = 0;
+  for (size_t i = 0; i < count; ++i) {
+    const size_t len = base + (i < extra ? 1 : 0);
+    morsels.push_back({begin, begin + len});
+    begin += len;
+  }
+  return morsels;
+}
+
+Status ParallelForMorsels(
+    ThreadPool* pool, const std::vector<MorselRange>& morsels,
+    const std::function<Status(size_t, MorselRange)>& body) {
+  std::vector<std::future<Status>> futures;
+  futures.reserve(morsels.size());
+  for (size_t i = 0; i < morsels.size(); ++i) {
+    const MorselRange range = morsels[i];
+    futures.push_back(pool->Submit([&body, i, range] { return body(i, range); }));
+  }
+  Status first = Status::OK();
+  for (std::future<Status>& future : futures) {
+    Status status = future.get();
+    if (first.ok() && !status.ok()) first = std::move(status);
+  }
+  return first;
+}
+
+}  // namespace tmdb

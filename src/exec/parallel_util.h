@@ -1,0 +1,41 @@
+#ifndef TMDB_EXEC_PARALLEL_UTIL_H_
+#define TMDB_EXEC_PARALLEL_UTIL_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "base/result.h"
+#include "base/thread_pool.h"
+#include "expr/expr.h"
+
+namespace tmdb {
+
+/// True if `e` contains a kSubplan node anywhere. Correlated subplans must
+/// be evaluated through the (single-threaded, stateful) Executor, so any
+/// expression containing one forces the operator onto its serial path.
+bool ExprHasSubplan(const Expr& e);
+
+/// A contiguous index range [begin, end) — one unit of parallel work.
+struct MorselRange {
+  size_t begin = 0;
+  size_t end = 0;
+  size_t size() const { return end - begin; }
+};
+
+/// Splits [0, n) into at most 4 * num_threads contiguous morsels, so the
+/// pool's shared queue load-balances uneven per-row costs (the essence of
+/// morsel-driven scheduling with static ranges).
+std::vector<MorselRange> SplitMorsels(size_t n, int num_threads);
+
+/// Runs body(morsel_index, range) for every morsel on `pool` and waits for
+/// all of them. Returns the first non-OK status in morsel order, so error
+/// reporting is deterministic regardless of scheduling. Exceptions escaping
+/// a task propagate out of this call via the task's future.
+Status ParallelForMorsels(ThreadPool* pool,
+                          const std::vector<MorselRange>& morsels,
+                          const std::function<Status(size_t, MorselRange)>& body);
+
+}  // namespace tmdb
+
+#endif  // TMDB_EXEC_PARALLEL_UTIL_H_

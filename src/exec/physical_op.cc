@@ -30,13 +30,23 @@ std::string PhysicalOp::ToString() const {
   return out;
 }
 
+Result<size_t> PhysicalOp::NextBatch(std::vector<Value>* out, size_t max) {
+  size_t appended = 0;
+  while (appended < max) {
+    TMDB_ASSIGN_OR_RETURN(std::optional<Value> row, Next());
+    if (!row.has_value()) break;
+    out->push_back(std::move(*row));
+    ++appended;
+  }
+  return appended;
+}
+
 Result<std::vector<Value>> CollectRows(PhysicalOp* op, ExecContext* ctx) {
   TMDB_RETURN_IF_ERROR(op->Open(ctx));
   std::vector<Value> rows;
   while (true) {
-    TMDB_ASSIGN_OR_RETURN(std::optional<Value> row, op->Next());
-    if (!row.has_value()) break;
-    rows.push_back(std::move(*row));
+    TMDB_ASSIGN_OR_RETURN(size_t appended, op->NextBatch(&rows, kExecBatchSize));
+    if (appended == 0) break;
   }
   op->Close();
   return rows;

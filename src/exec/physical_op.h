@@ -15,6 +15,9 @@ namespace tmdb {
 class PhysicalOp;
 using PhysicalOpPtr = std::unique_ptr<PhysicalOp>;
 
+/// Default batch size used by the executor when draining a plan.
+inline constexpr size_t kExecBatchSize = 1024;
+
 /// Volcano-style pull iterator over complex-object rows.
 ///
 /// Protocol: Open(ctx) → Next()* → Close(). Open fully resets operator
@@ -32,6 +35,12 @@ class PhysicalOp {
   virtual Status Open(ExecContext* ctx) = 0;
   /// Returns the next row, or nullopt at end of stream.
   virtual Result<std::optional<Value>> Next() = 0;
+  /// Appends up to `max` rows to `out` and returns the number appended.
+  /// Returns 0 only at end of stream. The default implementation loops over
+  /// Next(); operators with materialised or vectorised state override it to
+  /// amortise the per-row virtual call. Mixing Next() and NextBatch() on the
+  /// same open operator is allowed — both advance the same cursor.
+  virtual Result<size_t> NextBatch(std::vector<Value>* out, size_t max);
   /// Releases per-execution state (materialised inputs, hash tables).
   virtual void Close() = 0;
 

@@ -163,7 +163,8 @@ Result<PhysicalOpPtr> Planner::Plan(const LogicalOpPtr& logical) const {
         const double l = EstimateCardinality(*logical->left());
         const double r = EstimateCardinality(*logical->right());
         const double nl_cost = l * r;
-        const double hash_cost = l + r;
+        const double hash_cost =
+            (l + r) / std::max(1, options_.num_threads);
         const double merge_cost =
             l * std::log2(l + 2.0) + r * std::log2(r + 2.0);
         if (hash_cost <= merge_cost && hash_cost <= nl_cost) {

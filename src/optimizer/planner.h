@@ -25,6 +25,10 @@ std::string JoinImplName(JoinImpl impl);
 
 struct PlannerOptions {
   JoinImpl join_impl = JoinImpl::kAuto;
+  /// Parallelism degree the executor will run with. The cost model divides
+  /// the hash build/probe cost by it, since those phases parallelise; with
+  /// the default of 1 the costs (and all plans) are exactly the serial ones.
+  int num_threads = 1;
 };
 
 /// Cardinality estimate for a logical operator (input sizes from table

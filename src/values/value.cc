@@ -1,6 +1,7 @@
 #include "values/value.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstring>
 #include <utility>
@@ -25,6 +26,12 @@ struct ValueRep {
   std::vector<std::string> names;
   // Tuple attribute values, or set/list elements.
   std::vector<Value> children;
+
+  // Structural hash, computed on first use (join/nest keys are re-hashed
+  // once per probe otherwise). kHashUnset marks "not yet computed"; the
+  // value is deterministic, so racing relaxed stores are benign.
+  static constexpr uint64_t kHashUnset = 0;
+  mutable std::atomic<uint64_t> cached_hash{kHashUnset};
 
   explicit ValueRep(ValueKind k) : kind(k) {}
 };
@@ -301,6 +308,17 @@ int Value::Compare(const Value& other) const {
 }
 
 uint64_t Value::Hash() const {
+  uint64_t h = rep_->cached_hash.load(std::memory_order_relaxed);
+  if (h != Rep::kHashUnset) return h;
+  h = ComputeHash();
+  // The sentinel is a legal hash image; remap it so the cache stays sound
+  // (equal values still agree: they compute the same image).
+  if (h == Rep::kHashUnset) h = 0x9e3779b97f4a7c15ULL;
+  rep_->cached_hash.store(h, std::memory_order_relaxed);
+  return h;
+}
+
+uint64_t Value::ComputeHash() const {
   switch (kind()) {
     case ValueKind::kNull:
       return 0x6e756c6cULL;

@@ -117,6 +117,9 @@ class Value {
   using Rep = internal_values::ValueRep;
   explicit Value(std::shared_ptr<const Rep> rep) : rep_(std::move(rep)) {}
 
+  /// Uncached structural hash; Hash() memoises it in the shared rep.
+  uint64_t ComputeHash() const;
+
   std::shared_ptr<const Rep> rep_;
 };
 

@@ -1,0 +1,332 @@
+// Determinism tests for intra-operator parallelism: any num_threads must
+// produce results *identical* to serial execution — same rows, same order,
+// same ExecStats. Also unit-tests the ThreadPool itself.
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "base/random.h"
+#include "base/thread_pool.h"
+#include "catalog/table.h"
+#include "core/database.h"
+#include "exec/basic_ops.h"
+#include "exec/executor.h"
+#include "exec/hash_join.h"
+#include "exec/parallel_util.h"
+#include "optimizer/planner.h"
+#include "tests/test_util.h"
+#include "workload/generators.h"
+
+namespace tmdb {
+namespace {
+
+using testutil::IntRow;
+
+// ------------------------------------------------------------- ThreadPool
+
+TEST(ThreadPoolTest, StartupAndShutdown) {
+  for (size_t n : {1u, 2u, 8u}) {
+    ThreadPool pool(n);
+    EXPECT_EQ(pool.num_threads(), n);
+  }
+  // Zero threads is clamped to one worker.
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+}
+
+TEST(ThreadPoolTest, RunsManyTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> sum{0};
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.Submit([i, &sum] {
+      sum.fetch_add(1, std::memory_order_relaxed);
+      return i * i;
+    }));
+  }
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(futures[i].get(), i * i);
+  EXPECT_EQ(sum.load(), 100);
+}
+
+TEST(ThreadPoolTest, DrainsQueueOnDestruction) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+    }
+  }  // destructor must complete all 50 before joining
+  EXPECT_EQ(ran.load(), 50);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesThroughFuture) {
+  ThreadPool pool(2);
+  auto bad = pool.Submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(bad.get(), std::runtime_error);
+  // The pool must survive a throwing task and keep serving new ones.
+  auto good = pool.Submit([] { return 7; });
+  EXPECT_EQ(good.get(), 7);
+}
+
+TEST(MorselSplitTest, CoversRangeExactlyOnce) {
+  for (size_t n : {0u, 1u, 7u, 1000u}) {
+    for (int threads : {1, 2, 8}) {
+      std::vector<MorselRange> morsels = SplitMorsels(n, threads);
+      size_t pos = 0;
+      for (const MorselRange& m : morsels) {
+        EXPECT_EQ(m.begin, pos);
+        EXPECT_LT(m.begin, m.end);
+        pos = m.end;
+      }
+      EXPECT_EQ(pos, n);
+    }
+  }
+}
+
+// ------------------------------------- serial vs parallel exact equality
+
+void ExpectIdentical(const std::vector<Value>& actual,
+                     const std::vector<Value>& expected) {
+  ASSERT_EQ(actual.size(), expected.size());
+  for (size_t i = 0; i < actual.size(); ++i) {
+    ASSERT_TRUE(actual[i].Equals(expected[i]))
+        << "row " << i << " differs:\n  parallel = " << actual[i].ToString()
+        << "\n  serial   = " << expected[i].ToString();
+  }
+}
+
+void ExpectSameStats(const ExecStats& a, const ExecStats& b) {
+  EXPECT_EQ(a.rows_emitted, b.rows_emitted);
+  EXPECT_EQ(a.predicate_evals, b.predicate_evals);
+  EXPECT_EQ(a.subplan_evals, b.subplan_evals);
+  EXPECT_EQ(a.hash_probes, b.hash_probes);
+  EXPECT_EQ(a.rows_built, b.rows_built);
+}
+
+struct RunOutcome {
+  std::vector<Value> rows;
+  ExecStats stats;
+};
+
+RunOutcome RunWithThreads(PhysicalOp* op, int threads) {
+  Executor executor(threads);
+  auto rows = executor.RunPhysical(op);
+  EXPECT_TRUE(rows.ok()) << rows.status().ToString();
+  RunOutcome out;
+  if (rows.ok()) out.rows = std::move(rows).value();
+  out.stats = executor.stats();
+  return out;
+}
+
+class ParallelHashJoinTest : public ::testing::TestWithParam<JoinMode> {
+ protected:
+  void SetUp() override {
+    // Table-1-shaped data, scaled up: X(e, d), Y(a, b), equijoin d = b,
+    // with dangling rows on both sides and groups of varying size.
+    Random rng(11);
+    TMDB_ASSERT_OK_AND_ASSIGN(
+        x_, Table::Create("X", Type::Tuple({{"e", Type::Int()},
+                                            {"d", Type::Int()}})));
+    TMDB_ASSERT_OK_AND_ASSIGN(
+        y_, Table::Create("Y", Type::Tuple({{"a", Type::Int()},
+                                            {"b", Type::Int()}})));
+    for (int i = 0; i < 500; ++i) {
+      TMDB_ASSERT_OK(x_->Insert(IntRow({"e", "d"},
+                                       {i, rng.UniformInt(0, 120)})));
+    }
+    for (int i = 0; i < 900; ++i) {
+      TMDB_ASSERT_OK(y_->Insert(IntRow({"a", "b"},
+                                       {i, rng.UniformInt(0, 120)})));
+    }
+  }
+
+  PhysicalOpPtr MakeHashJoin(JoinMode mode) {
+    Expr xv = Expr::Var("x", x_->schema());
+    Expr yv = Expr::Var("y", y_->schema());
+    Expr xd = Expr::Must(Expr::Field(xv, "d"));
+    Expr yb = Expr::Must(Expr::Field(yv, "b"));
+    JoinSpec spec;
+    spec.mode = mode;
+    spec.left_var = "x";
+    spec.right_var = "y";
+    spec.right_type = y_->schema();
+    spec.pred = Expr::True();
+    spec.func = yv;
+    spec.label = "s";
+    return PhysicalOpPtr(new HashJoinOp(
+        PhysicalOpPtr(new TableScanOp(x_)), PhysicalOpPtr(new TableScanOp(y_)),
+        std::move(spec), {xd}, {yb}));
+  }
+
+  std::shared_ptr<Table> x_;
+  std::shared_ptr<Table> y_;
+};
+
+TEST_P(ParallelHashJoinTest, MatchesSerialExactly) {
+  PhysicalOpPtr op = MakeHashJoin(GetParam());
+  RunOutcome serial = RunWithThreads(op.get(), 1);
+  for (int threads : {2, 4, 8}) {
+    RunOutcome parallel = RunWithThreads(op.get(), threads);
+    ExpectIdentical(parallel.rows, serial.rows);
+    ExpectSameStats(parallel.stats, serial.stats);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModes, ParallelHashJoinTest,
+    ::testing::Values(JoinMode::kInner, JoinMode::kSemi, JoinMode::kAnti,
+                      JoinMode::kLeftOuter, JoinMode::kNestJoin),
+    [](const ::testing::TestParamInfo<JoinMode>& info) {
+      return JoinModeName(info.param);
+    });
+
+// ν and ν* grouping: nest over a scan, and the Section 6 outerjoin-then-ν*
+// composition (NULL groups → ∅), both with parallel grouping.
+
+class ParallelNestTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Random rng(13);
+    TMDB_ASSERT_OK_AND_ASSIGN(
+        x_, Table::Create("X", Type::Tuple({{"e", Type::Int()},
+                                            {"d", Type::Int()}})));
+    TMDB_ASSERT_OK_AND_ASSIGN(
+        y_, Table::Create("Y", Type::Tuple({{"a", Type::Int()},
+                                            {"b", Type::Int()}})));
+    for (int i = 0; i < 400; ++i) {
+      TMDB_ASSERT_OK(x_->Insert(IntRow({"e", "d"},
+                                       {i, rng.UniformInt(0, 90)})));
+    }
+    for (int i = 0; i < 800; ++i) {
+      TMDB_ASSERT_OK(y_->Insert(IntRow({"a", "b"},
+                                       {i, rng.UniformInt(0, 90)})));
+    }
+  }
+
+  std::shared_ptr<Table> x_;
+  std::shared_ptr<Table> y_;
+};
+
+TEST_F(ParallelNestTest, PlainNestMatchesSerial) {
+  // ν: group Y by b, collecting the a values.
+  TMDB_ASSERT_OK_AND_ASSIGN(LogicalOpPtr scan, LogicalOp::Scan(y_));
+  Expr yv = Expr::Var("j", y_->schema());
+  Expr elem = Expr::Must(Expr::Field(yv, "a"));
+  TMDB_ASSERT_OK_AND_ASSIGN(
+      LogicalOpPtr nest,
+      LogicalOp::Nest(std::move(scan), {"b"}, "j", elem, "s",
+                      /*null_group_to_empty=*/false));
+  Planner planner;
+  TMDB_ASSERT_OK_AND_ASSIGN(PhysicalOpPtr plan, planner.Plan(nest));
+  RunOutcome serial = RunWithThreads(plan.get(), 1);
+  for (int threads : {2, 4, 8}) {
+    RunOutcome parallel = RunWithThreads(plan.get(), threads);
+    ExpectIdentical(parallel.rows, serial.rows);
+    ExpectSameStats(parallel.stats, serial.stats);
+  }
+}
+
+TEST_F(ParallelNestTest, OuterJoinThenNestStarMatchesSerial) {
+  // ν*(X ⟖ Y): the Section 6 equivalent of the nest join; dangling X rows
+  // must come out with s = ∅, not {NULL}, under every thread count.
+  TMDB_ASSERT_OK_AND_ASSIGN(LogicalOpPtr xs, LogicalOp::Scan(x_));
+  TMDB_ASSERT_OK_AND_ASSIGN(LogicalOpPtr ys, LogicalOp::Scan(y_));
+  Expr xv = Expr::Var("x", x_->schema());
+  Expr yv = Expr::Var("y", y_->schema());
+  Expr pred = Expr::Must(Expr::Binary(BinaryOp::kEq,
+                                      Expr::Must(Expr::Field(xv, "d")),
+                                      Expr::Must(Expr::Field(yv, "b"))));
+  TMDB_ASSERT_OK_AND_ASSIGN(
+      LogicalOpPtr joined,
+      LogicalOp::OuterJoin(std::move(xs), std::move(ys), "x", "y", pred));
+  Expr j = Expr::Var("j", joined->output_type());
+  Expr elem = Expr::Must(Expr::MakeTuple(
+      {"a", "b"}, {Expr::Must(Expr::Field(j, "a")),
+                   Expr::Must(Expr::Field(j, "b"))}));
+  TMDB_ASSERT_OK_AND_ASSIGN(
+      LogicalOpPtr nest,
+      LogicalOp::Nest(std::move(joined), {"e", "d"}, "j", elem, "s",
+                      /*null_group_to_empty=*/true));
+
+  PlannerOptions options;
+  options.join_impl = JoinImpl::kHash;
+  Planner planner(options);
+  TMDB_ASSERT_OK_AND_ASSIGN(PhysicalOpPtr plan, planner.Plan(nest));
+  RunOutcome serial = RunWithThreads(plan.get(), 1);
+  for (int threads : {2, 4, 8}) {
+    RunOutcome parallel = RunWithThreads(plan.get(), threads);
+    ExpectIdentical(parallel.rows, serial.rows);
+    ExpectSameStats(parallel.stats, serial.stats);
+  }
+}
+
+// --------------------------------------- end-to-end: Section 8 pipeline
+
+TEST(ParallelPipelineTest, Section8MatchesSerial) {
+  Database db;
+  Section8Config config;
+  config.num_x = 60;
+  config.num_y = 120;
+  config.num_z = 240;
+  config.b_domain = 31;
+  config.d_domain = 61;
+  config.seed = 44;
+  TMDB_ASSERT_OK(LoadSection8Tables(&db, config));
+
+  const char* kQueries[] = {
+      // Three-block subset pipeline: two nest joins (steps (1)-(4)).
+      "SELECT x FROM X x WHERE x.a SUBSETEQ ("
+      "SELECT y.a FROM Y y WHERE x.b = y.b AND y.c SUBSETEQ ("
+      "SELECT z.c FROM Z z WHERE y.d = z.d))",
+      // Membership variant: semijoin + antijoin.
+      "SELECT x FROM X x WHERE 2 IN ("
+      "SELECT y.a FROM Y y WHERE x.b = y.b AND 3 NOT IN ("
+      "SELECT z.c FROM Z z WHERE y.d = z.d))",
+  };
+  for (const char* query : kQueries) {
+    RunOptions serial_options;
+    serial_options.strategy = Strategy::kNestJoin;
+    TMDB_ASSERT_OK_AND_ASSIGN(QueryResult serial,
+                              db.Run(query, serial_options));
+    for (int threads : {2, 4, 8}) {
+      RunOptions options;
+      options.strategy = Strategy::kNestJoin;
+      options.num_threads = threads;
+      TMDB_ASSERT_OK_AND_ASSIGN(QueryResult parallel, db.Run(query, options));
+      ExpectIdentical(parallel.rows, serial.rows);
+    }
+  }
+}
+
+// Reopening a parallel op must reset all materialised state.
+
+TEST_F(ParallelNestTest, ReopenIsDeterministic) {
+  TMDB_ASSERT_OK_AND_ASSIGN(LogicalOpPtr xs, LogicalOp::Scan(x_));
+  TMDB_ASSERT_OK_AND_ASSIGN(LogicalOpPtr ys, LogicalOp::Scan(y_));
+  Expr xv = Expr::Var("x", x_->schema());
+  Expr yv = Expr::Var("y", y_->schema());
+  Expr pred = Expr::Must(Expr::Binary(BinaryOp::kEq,
+                                      Expr::Must(Expr::Field(xv, "d")),
+                                      Expr::Must(Expr::Field(yv, "b"))));
+  TMDB_ASSERT_OK_AND_ASSIGN(
+      LogicalOpPtr nj,
+      LogicalOp::NestJoin(std::move(xs), std::move(ys), "x", "y", pred, yv,
+                          "s"));
+  PlannerOptions options;
+  options.join_impl = JoinImpl::kHash;
+  Planner planner(options);
+  TMDB_ASSERT_OK_AND_ASSIGN(PhysicalOpPtr plan, planner.Plan(nj));
+
+  Executor executor(4);
+  TMDB_ASSERT_OK_AND_ASSIGN(auto first, executor.RunPhysical(plan.get()));
+  TMDB_ASSERT_OK_AND_ASSIGN(auto second, executor.RunPhysical(plan.get()));
+  ExpectIdentical(second, first);
+  RunOutcome serial = RunWithThreads(plan.get(), 1);
+  ExpectIdentical(first, serial.rows);
+}
+
+}  // namespace
+}  // namespace tmdb
