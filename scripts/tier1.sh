@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Tier-1 verification: normal build + full ctest, then a ThreadSanitizer
-# build of the parallel execution test (the only suite that exercises
-# cross-thread interleavings).
+# Tier-1 verification: normal build + full ctest, then sanitizer builds of
+# the suites that exercise cross-thread interleavings and error-unwind
+# paths — TSan for races, ASan for leaks/overflows on the fault-injection
+# unwinds (a mid-build abort that leaks shows up here, not in ctest).
 #
 # Usage: scripts/tier1.sh
 set -euo pipefail
@@ -12,10 +13,18 @@ cmake -B build -S .
 cmake --build build -j
 (cd build && ctest --output-on-failure -j)
 
-# TSan pass over the parallel paths. TSan needs its own object files, so it
-# gets a dedicated build tree.
+# TSan pass over the parallel + fault-injection paths. Sanitizers need
+# their own object files, so each gets a dedicated build tree.
 cmake -B build-tsan -S . -DTMDB_SANITIZE=thread
-cmake --build build-tsan -j --target parallel_exec_test
+cmake --build build-tsan -j --target parallel_exec_test fault_injection_test
 ./build-tsan/tests/parallel_exec_test
+./build-tsan/tests/fault_injection_test
+
+# ASan pass over the same suites: every injected fault must unwind without
+# leaking operator or pool state.
+cmake -B build-asan -S . -DTMDB_SANITIZE=address
+cmake --build build-asan -j --target parallel_exec_test fault_injection_test
+./build-asan/tests/parallel_exec_test
+./build-asan/tests/fault_injection_test
 
 echo "tier1: OK"

@@ -1,0 +1,55 @@
+#include "base/fault_injector.h"
+
+namespace tmdb {
+
+namespace {
+
+// SplitMix64 finaliser: a cheap, well-distributed 64-bit mixer.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+constexpr double kTwoPow53 = 9007199254740992.0;  // 2^53
+
+}  // namespace
+
+void FaultInjector::ArmNth(uint64_t n) {
+  nth_ = n;
+  counter_.store(0, std::memory_order_relaxed);
+  fired_.store(0, std::memory_order_relaxed);
+  mode_.store(kNth, std::memory_order_relaxed);
+}
+
+void FaultInjector::ArmRate(double p, uint64_t seed) {
+  if (p < 0.0) p = 0.0;
+  if (p > 1.0) p = 1.0;
+  seed_ = seed;
+  rate_threshold_ = static_cast<uint64_t>(p * kTwoPow53);
+  counter_.store(0, std::memory_order_relaxed);
+  fired_.store(0, std::memory_order_relaxed);
+  mode_.store(kRate, std::memory_order_relaxed);
+}
+
+void FaultInjector::Disarm() { mode_.store(kDisabled, std::memory_order_relaxed); }
+
+bool FaultInjector::ShouldFail() {
+  const int mode = mode_.load(std::memory_order_relaxed);
+  if (mode == kDisabled) return false;
+  const uint64_t index = counter_.fetch_add(1, std::memory_order_relaxed) + 1;
+  bool fail;
+  if (mode == kNth) {
+    fail = nth_ != 0 && index == nth_;
+  } else {
+    // Top 53 bits of the mix compared against p * 2^53: each checkpoint
+    // fails independently with probability p, reproducibly under seed_.
+    fail = (Mix64(seed_ ^ (index * 0x9e3779b97f4a7c15ull)) >> 11) <
+           rate_threshold_;
+  }
+  if (fail) fired_.fetch_add(1, std::memory_order_relaxed);
+  return fail;
+}
+
+}  // namespace tmdb

@@ -1,0 +1,80 @@
+#ifndef TMDB_BASE_FAULT_INJECTOR_H_
+#define TMDB_BASE_FAULT_INJECTOR_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace tmdb {
+
+/// Deterministic, seeded fault injection for exercising error-unwind paths.
+///
+/// The executor calls ShouldFail() at every guard checkpoint (batch
+/// boundaries, morsel boundaries, materialisation steps). An armed injector
+/// turns one or more of those checkpoints into a synthetic failure, letting
+/// tests sweep "what if the engine failed *here*" across every operator
+/// without mocking allocators or IO.
+///
+/// Two modes:
+///   - ArmNth(n):      fail exactly the n-th checkpoint (1-based) after
+///                     arming. ArmNth(0) never fails but still counts
+///                     checkpoints, which is how tests size a sweep.
+///   - ArmRate(p, s):  fail each checkpoint independently with probability
+///                     p, derived from a hash of (seed, checkpoint index) —
+///                     fully deterministic for a given seed and call order.
+///
+/// The facility is compiled in always. When no injector is installed the
+/// cost at a checkpoint is a null-pointer test; when installed but
+/// disarmed, one relaxed atomic load. Arm*/Disarm must not race with a
+/// running query: (re)arm between runs only. ShouldFail() itself is
+/// thread-safe and callable from pool workers.
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Fails the n-th checkpoint (1-based) observed after this call.
+  /// n == 0 arms counting only: checkpoints are tallied, none fail.
+  void ArmNth(uint64_t n);
+
+  /// Fails each checkpoint with probability `p` (clamped to [0,1]),
+  /// deterministically under `seed`. Resets the checkpoint counter.
+  void ArmRate(double p, uint64_t seed);
+
+  /// Stops injecting. Counters keep their values for inspection.
+  void Disarm();
+
+  /// True when armed (including count-only ArmNth(0)).
+  bool enabled() const {
+    return mode_.load(std::memory_order_relaxed) != kDisabled;
+  }
+
+  /// Called by the guard at each checkpoint. Returns true when this
+  /// checkpoint should fail.
+  bool ShouldFail();
+
+  /// Checkpoints observed since the last Arm* call.
+  uint64_t checkpoints_seen() const {
+    return counter_.load(std::memory_order_relaxed);
+  }
+
+  /// Faults fired since the last Arm* call.
+  uint64_t faults_fired() const {
+    return fired_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  enum Mode : int { kDisabled = 0, kNth, kRate };
+
+  std::atomic<int> mode_{kDisabled};
+  std::atomic<uint64_t> counter_{0};
+  std::atomic<uint64_t> fired_{0};
+  // Plain fields: written only by Arm* (between runs), read by ShouldFail.
+  uint64_t nth_ = 0;
+  uint64_t seed_ = 0;
+  uint64_t rate_threshold_ = 0;  // fail when hash >> 11 < threshold (53-bit)
+};
+
+}  // namespace tmdb
+
+#endif  // TMDB_BASE_FAULT_INJECTOR_H_

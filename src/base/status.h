@@ -19,6 +19,9 @@ enum class StatusCode {
   kParseError,        // lexer/parser rejected the input
   kUnsupported,       // recognised but not implemented feature
   kInternal,          // invariant violation inside the engine
+  kCancelled,         // query cancelled cooperatively (QueryGuard)
+  kDeadlineExceeded,  // query ran past its deadline (QueryGuard)
+  kResourceExhausted, // row/memory budget tripped (QueryGuard)
 };
 
 /// Returns a stable human-readable name ("TypeError", ...) for a code.
@@ -62,6 +65,15 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

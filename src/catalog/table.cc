@@ -16,6 +16,18 @@ Result<std::shared_ptr<Table>> Table::Create(std::string name, Type schema) {
   if (name.empty()) {
     return Status::InvalidArgument("table name must be non-empty");
   }
+  std::unordered_set<std::string> seen;
+  for (const Field& field : schema.fields()) {
+    if (field.name.empty()) {
+      return Status::InvalidArgument(
+          StrCat("table '", name, "' has an attribute with an empty name"));
+    }
+    if (!seen.insert(field.name).second) {
+      return Status::InvalidArgument(StrCat("table '", name,
+                                            "' has duplicate attribute '",
+                                            field.name, "'"));
+    }
+  }
   return std::shared_ptr<Table>(new Table(std::move(name), std::move(schema)));
 }
 

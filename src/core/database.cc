@@ -10,6 +10,19 @@
 #include "sema/type_resolver.h"
 
 namespace tmdb {
+namespace {
+
+// Applies the RunOptions governance knobs to a freshly built executor.
+void ApplyGovernance(const RunOptions& options, Executor* executor) {
+  GuardLimits limits;
+  limits.timeout_ms = options.timeout_ms;
+  limits.memory_budget_bytes = options.memory_budget_bytes;
+  limits.max_rows = options.max_rows;
+  executor->set_limits(limits);
+  executor->set_fault_injector(options.fault_injector);
+}
+
+}  // namespace
 
 std::string QueryResult::ToString(size_t max_rows) const {
   std::string out = StrCat(rows.size(), " row(s), strategy = ",
@@ -54,6 +67,7 @@ Result<QueryResult> Database::Run(const std::string& query,
   Planner planner(planner_options);
   TMDB_ASSIGN_OR_RETURN(PhysicalOpPtr physical, planner.Plan(logical));
   Executor executor(options.num_threads);
+  ApplyGovernance(options, &executor);
   TMDB_ASSIGN_OR_RETURN(std::vector<Value> rows,
                         executor.RunPhysical(physical.get()));
   QueryResult result;
@@ -104,6 +118,7 @@ Result<StatementResult> Database::ExecuteParsed(const Statement& statement,
       Planner planner(planner_options);
       TMDB_ASSIGN_OR_RETURN(PhysicalOpPtr physical, planner.Plan(plan));
       Executor executor(options.num_threads);
+      ApplyGovernance(options, &executor);
       TMDB_ASSIGN_OR_RETURN(std::vector<Value> rows,
                             executor.RunPhysical(physical.get()));
       result.is_query = true;

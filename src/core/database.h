@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "base/fault_injector.h"
 #include "base/result.h"
 #include "catalog/catalog.h"
 #include "exec/exec_context.h"
@@ -42,6 +43,20 @@ struct RunOptions {
   /// Intra-operator parallelism degree (hash/nest join builds and probes).
   /// 1 = serial execution; any value produces identical results.
   int num_threads = 1;
+
+  // Resource governance (0 = unlimited). A query over a limit unwinds
+  // cleanly with kDeadlineExceeded / kResourceExhausted; the database
+  // stays usable.
+  /// Wall-clock timeout for the execution phase, in milliseconds.
+  int64_t timeout_ms = 0;
+  /// Budget for memory materialised while executing (built values plus
+  /// operator build tables).
+  uint64_t memory_budget_bytes = 0;
+  /// Budget on rows processed (emitted + materialised), bounding work.
+  uint64_t max_rows = 0;
+  /// Deterministic fault injector consulted at every guard checkpoint
+  /// (tests only). Not owned; must outlive the call.
+  FaultInjector* fault_injector = nullptr;
 };
 
 /// The public facade: an in-memory TM-style complex-object database with

@@ -19,6 +19,17 @@ Result<Value> EvalWithRow(const Expr& expr, const std::string& var,
   return EvalExpr(expr, env, ctx->subplans);
 }
 
+static_assert((kExecBatchSize & (kExecBatchSize - 1)) == 0,
+              "periodic guard checks mask against kExecBatchSize");
+
+// Checkpoint for row-at-a-time loops: one guard check per kExecBatchSize
+// rows examined, upholding the one-batch observation bound at negligible
+// per-row cost.
+inline Status PeriodicGuardCheck(ExecContext* ctx, uint64_t* work) {
+  if ((++*work & (kExecBatchSize - 1)) == 0) return CheckGuard(ctx);
+  return Status::OK();
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------- TableScan
@@ -36,6 +47,7 @@ Result<std::optional<Value>> TableScanOp::Next() {
 }
 
 Result<size_t> TableScanOp::NextBatch(std::vector<Value>* out, size_t max) {
+  TMDB_RETURN_IF_ERROR(CheckGuard(ctx_));
   const std::vector<Value>& rows = table_->rows();
   const size_t take = std::min(max, rows.size() - pos_);
   out->insert(out->end(), rows.begin() + static_cast<ptrdiff_t>(pos_),
@@ -74,6 +86,7 @@ Result<std::optional<Value>> ExprSourceOp::Next() {
 }
 
 Result<size_t> ExprSourceOp::NextBatch(std::vector<Value>* out, size_t max) {
+  TMDB_RETURN_IF_ERROR(CheckGuard(ctx_));
   const size_t take = std::min(max, elements_.size() - pos_);
   out->insert(out->end(), elements_.begin() + static_cast<ptrdiff_t>(pos_),
               elements_.begin() + static_cast<ptrdiff_t>(pos_ + take));
@@ -92,11 +105,13 @@ std::string ExprSourceOp::Describe() const {
 
 Status FilterOp::Open(ExecContext* ctx) {
   ctx_ = ctx;
+  work_ = 0;
   return child_->Open(ctx);
 }
 
 Result<std::optional<Value>> FilterOp::Next() {
   while (true) {
+    TMDB_RETURN_IF_ERROR(PeriodicGuardCheck(ctx_, &work_));
     TMDB_ASSIGN_OR_RETURN(std::optional<Value> row, child_->Next());
     if (!row.has_value()) return std::optional<Value>();
     ctx_->stats->predicate_evals++;
@@ -116,6 +131,7 @@ Result<size_t> FilterOp::NextBatch(std::vector<Value>* out, size_t max) {
   // Pull whole input batches until at least one row survives the predicate
   // (returning 0 would falsely signal end of stream).
   while (true) {
+    TMDB_RETURN_IF_ERROR(CheckGuard(ctx_));
     batch_.clear();
     TMDB_ASSIGN_OR_RETURN(size_t got, child_->NextBatch(&batch_, max));
     if (got == 0) return 0;
@@ -151,11 +167,13 @@ std::string FilterOp::Describe() const {
 Status MapOp::Open(ExecContext* ctx) {
   ctx_ = ctx;
   seen_.clear();
+  work_ = 0;
   return child_->Open(ctx);
 }
 
 Result<std::optional<Value>> MapOp::Next() {
   while (true) {
+    TMDB_RETURN_IF_ERROR(PeriodicGuardCheck(ctx_, &work_));
     TMDB_ASSIGN_OR_RETURN(std::optional<Value> row, child_->Next());
     if (!row.has_value()) return std::optional<Value>();
     TMDB_ASSIGN_OR_RETURN(Value out, EvalWithRow(expr_, var_, *row, ctx_));
@@ -168,6 +186,7 @@ Result<std::optional<Value>> MapOp::Next() {
 
 Result<size_t> MapOp::NextBatch(std::vector<Value>* out, size_t max) {
   while (true) {
+    TMDB_RETURN_IF_ERROR(CheckGuard(ctx_));
     batch_.clear();
     TMDB_ASSIGN_OR_RETURN(size_t got, child_->NextBatch(&batch_, max));
     if (got == 0) return 0;
@@ -201,11 +220,13 @@ Status UnnestOp::Open(ExecContext* ctx) {
   current_rest_.reset();
   current_elems_.clear();
   elem_pos_ = 0;
+  work_ = 0;
   return child_->Open(ctx);
 }
 
 Result<std::optional<Value>> UnnestOp::Next() {
   while (true) {
+    TMDB_RETURN_IF_ERROR(PeriodicGuardCheck(ctx_, &work_));
     if (current_rest_.has_value() && elem_pos_ < current_elems_.size()) {
       const Value& elem = current_elems_[elem_pos_++];
       TMDB_ASSIGN_OR_RETURN(Value out, ConcatTuples(*current_rest_, elem));
@@ -251,12 +272,14 @@ Status UnionOp::Open(ExecContext* ctx) {
   ctx_ = ctx;
   on_right_ = false;
   seen_.clear();
+  work_ = 0;
   TMDB_RETURN_IF_ERROR(left_->Open(ctx));
   return right_->Open(ctx);
 }
 
 Result<std::optional<Value>> UnionOp::Next() {
   while (true) {
+    TMDB_RETURN_IF_ERROR(PeriodicGuardCheck(ctx_, &work_));
     PhysicalOp* source = on_right_ ? right_.get() : left_.get();
     TMDB_ASSIGN_OR_RETURN(std::optional<Value> row, source->Next());
     if (!row.has_value()) {
@@ -282,11 +305,17 @@ void UnionOp::Close() {
 Status DifferenceOp::Open(ExecContext* ctx) {
   ctx_ = ctx;
   right_rows_.clear();
+  build_res_.Reset(ctx->guard);
+  work_ = 0;
   TMDB_RETURN_IF_ERROR(right_->Open(ctx));
   while (true) {
     TMDB_ASSIGN_OR_RETURN(std::optional<Value> row, right_->Next());
     if (!row.has_value()) break;
-    right_rows_.insert(std::move(*row));
+    if (right_rows_.insert(std::move(*row)).second) {
+      // Approximate hash-set slot cost per distinct row.
+      TMDB_RETURN_IF_ERROR(
+          build_res_.Add(sizeof(Value) + 2 * sizeof(void*)));
+    }
     ctx_->stats->rows_built++;
   }
   right_->Close();
@@ -295,6 +324,7 @@ Status DifferenceOp::Open(ExecContext* ctx) {
 
 Result<std::optional<Value>> DifferenceOp::Next() {
   while (true) {
+    TMDB_RETURN_IF_ERROR(PeriodicGuardCheck(ctx_, &work_));
     TMDB_ASSIGN_OR_RETURN(std::optional<Value> row, left_->Next());
     if (!row.has_value()) return std::optional<Value>();
     if (right_rows_.count(*row) == 0) {
@@ -306,6 +336,7 @@ Result<std::optional<Value>> DifferenceOp::Next() {
 
 void DifferenceOp::Close() {
   right_rows_.clear();
+  build_res_.Release();
   left_->Close();
 }
 

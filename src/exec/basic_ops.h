@@ -9,6 +9,7 @@
 
 #include "catalog/table.h"
 #include "exec/physical_op.h"
+#include "exec/query_guard.h"
 #include "expr/eval.h"
 #include "expr/expr.h"
 
@@ -74,6 +75,7 @@ class FilterOp final : public PhysicalOp {
   Expr pred_;
   ExecContext* ctx_ = nullptr;
   std::vector<Value> batch_;  // scratch input batch, reused across calls
+  uint64_t work_ = 0;         // rows examined, for periodic guard checks
 };
 
 /// Function application with set semantics: emits expr(var := row) per child
@@ -99,6 +101,7 @@ class MapOp final : public PhysicalOp {
   ExecContext* ctx_ = nullptr;
   std::unordered_set<Value, ValueHash, ValueEq> seen_;
   std::vector<Value> batch_;  // scratch input batch, reused across calls
+  uint64_t work_ = 0;         // rows examined, for periodic guard checks
 };
 
 /// μ: flattens the set-of-tuples attribute `attr`; each element's fields are
@@ -123,6 +126,7 @@ class UnnestOp final : public PhysicalOp {
   std::optional<Value> current_rest_;   // row without attr
   std::vector<Value> current_elems_;    // elements still to emit
   size_t elem_pos_ = 0;
+  uint64_t work_ = 0;  // rows examined, for periodic guard checks
 };
 
 /// Set union: left rows, then right rows not already seen.
@@ -145,6 +149,7 @@ class UnionOp final : public PhysicalOp {
   ExecContext* ctx_ = nullptr;
   bool on_right_ = false;
   std::unordered_set<Value, ValueHash, ValueEq> seen_;
+  uint64_t work_ = 0;  // rows examined, for periodic guard checks
 };
 
 /// Set difference: left rows not occurring in the (materialised) right.
@@ -166,6 +171,8 @@ class DifferenceOp final : public PhysicalOp {
   PhysicalOpPtr right_;
   ExecContext* ctx_ = nullptr;
   std::unordered_set<Value, ValueHash, ValueEq> right_rows_;
+  GuardReservation build_res_;  // bytes charged for right_rows_
+  uint64_t work_ = 0;           // rows examined, for periodic guard checks
 };
 
 }  // namespace tmdb

@@ -8,6 +8,7 @@
 
 namespace tmdb {
 
+class QueryGuard;
 class ThreadPool;
 
 /// Counters accumulated during one execution. They expose the *work* a
@@ -41,6 +42,10 @@ struct ExecContext {
   ThreadPool* pool = nullptr;
   /// Target degree of parallelism (also the number of build partitions).
   int num_threads = 1;
+  /// Resource governor: cancellation flag, deadline, row/memory budgets,
+  /// fault injection. Operators call CheckGuard(ctx) at batch and morsel
+  /// boundaries; nullptr means ungoverned (tests driving ops directly).
+  QueryGuard* guard = nullptr;
 
   bool parallel_enabled() const { return pool != nullptr && num_threads > 1; }
 };

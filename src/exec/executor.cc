@@ -113,12 +113,14 @@ void Executor::set_num_threads(int num_threads) {
 }
 
 Result<std::vector<Value>> Executor::RunPhysical(PhysicalOp* root) {
+  guard_.Reset(limits_, &stats_, fault_injector_);
   ExecContext ctx;
   ctx.outer_env = nullptr;
   ctx.subplans = this;
   ctx.stats = &stats_;
   ctx.pool = pool_.get();
   ctx.num_threads = num_threads_;
+  ctx.guard = &guard_;
   return CollectRows(root, &ctx);
 }
 
@@ -137,6 +139,9 @@ Result<Value> Executor::EvaluateSubplan(const SubplanBase& subplan,
   ctx.outer_env = &env;
   ctx.subplans = this;
   ctx.stats = &stats_;
+  // The enclosing run's guard governs subplans too, so cancellation and
+  // budgets reach the correlated inner blocks of the naive strategy.
+  ctx.guard = &guard_;
   // Subplans stay serial (no pool): they re-open once per outer row, where
   // per-execution fan-out overhead would swamp any gain.
   TMDB_ASSIGN_OR_RETURN(std::vector<Value> rows,

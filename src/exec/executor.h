@@ -6,10 +6,12 @@
 #include <vector>
 
 #include "algebra/logical_op.h"
+#include "base/fault_injector.h"
 #include "base/result.h"
 #include "base/thread_pool.h"
 #include "exec/exec_context.h"
 #include "exec/physical_op.h"
+#include "exec/query_guard.h"
 #include "values/value.h"
 
 namespace tmdb {
@@ -29,6 +31,21 @@ class Executor final : public SubplanEvaluator {
   /// Changes the parallelism degree for subsequent executions.
   void set_num_threads(int num_threads);
   int num_threads() const { return num_threads_; }
+
+  /// Resource limits applied to each subsequent RunPhysical (and to the
+  /// subplans it evaluates). Default: unlimited.
+  void set_limits(const GuardLimits& limits) { limits_ = limits; }
+  const GuardLimits& limits() const { return limits_; }
+
+  /// Installs a fault injector consulted at every guard checkpoint of
+  /// subsequent runs (tests only; nullptr to remove). Not owned.
+  void set_fault_injector(FaultInjector* injector) {
+    fault_injector_ = injector;
+  }
+
+  /// The per-run governor. Valid between runs too; another thread may call
+  /// guard()->Cancel() to stop an in-flight RunPhysical cooperatively.
+  QueryGuard* guard() { return &guard_; }
 
   /// Direct logical→physical mapping with no optimisation: every join
   /// becomes a nested-loop join, subplans stay correlated. This is the
@@ -53,6 +70,11 @@ class Executor final : public SubplanEvaluator {
  private:
   ExecStats stats_;
   int num_threads_ = 1;
+  GuardLimits limits_;
+  FaultInjector* fault_injector_ = nullptr;
+  // Reset at the top of every RunPhysical; shared with subplan contexts so
+  // a budget covers the whole query including correlated inner blocks.
+  QueryGuard guard_;
   // Created on first use when num_threads_ > 1; reused across executions.
   std::unique_ptr<ThreadPool> pool_;
   // Physical plans for subplans are built once and re-opened per outer row

@@ -29,11 +29,18 @@ void AccumulateStats(const std::vector<ExecStats>& locals, ExecStats* total) {
   }
 }
 
+/// Guard check once per kExecBatchSize loop iterations (`i` counts up).
+inline Status PeriodicGuardCheck(const ExecContext* ctx, size_t i) {
+  if ((i & (kExecBatchSize - 1)) == 0) return CheckGuard(ctx);
+  return Status::OK();
+}
+
 }  // namespace
 
 Status HashJoinOp::Open(ExecContext* ctx) {
   ctx_ = ctx;
   partitions_.clear();
+  probe_rows_ = 0;
   current_left_.reset();
   current_bucket_ = nullptr;
   bucket_pos_ = 0;
@@ -41,6 +48,7 @@ Status HashJoinOp::Open(ExecContext* ctx) {
   materialized_ = false;
   output_.clear();
   output_pos_ = 0;
+  build_res_.Reset(ctx->guard);
 
   TMDB_RETURN_IF_ERROR(BuildTables(ctx));
   TMDB_RETURN_IF_ERROR(left_->Open(ctx));
@@ -65,6 +73,9 @@ Status HashJoinOp::BuildTables(ExecContext* ctx) {
   while (true) {
     TMDB_ASSIGN_OR_RETURN(size_t got, right_->NextBatch(&rows, kExecBatchSize));
     if (got == 0) break;
+    // Charge the build-side row slots (and checkpoint) per batch, so a
+    // memory budget trips during materialisation, not after.
+    TMDB_RETURN_IF_ERROR(build_res_.Add(got * sizeof(Value)));
   }
   right_->Close();
   const size_t n = rows.size();
@@ -78,10 +89,12 @@ Status HashJoinOp::BuildTables(ExecContext* ctx) {
   if (!parallel) {
     BuildMap& table = partitions_[0];
     table.reserve(n);
-    for (Value& row : rows) {
-      TMDB_ASSIGN_OR_RETURN(
-          Value key, EvalCompositeKey(right_keys_, spec_.right_var, row, ctx));
-      table[std::move(key)].push_back(std::move(row));
+    for (size_t i = 0; i < n; ++i) {
+      TMDB_RETURN_IF_ERROR(PeriodicGuardCheck(ctx, i));
+      TMDB_ASSIGN_OR_RETURN(Value key, EvalCompositeKey(right_keys_,
+                                                        spec_.right_var,
+                                                        rows[i], ctx));
+      table[std::move(key)].push_back(std::move(rows[i]));
     }
     return Status::OK();
   }
@@ -91,15 +104,20 @@ Status HashJoinOp::BuildTables(ExecContext* ctx) {
   // so partitioning and map insertion below re-use them).
   std::vector<Value> keys(n);
   std::vector<uint64_t> hashes(n);
+  TMDB_RETURN_IF_ERROR(
+      build_res_.Add(n * (sizeof(Value) + sizeof(uint64_t))));
   std::vector<MorselRange> morsels = SplitMorsels(n, ctx->num_threads);
   std::vector<ExecStats> key_stats(morsels.size());
   TMDB_RETURN_IF_ERROR(ParallelForMorsels(
-      ctx->pool, morsels, [&](size_t m, MorselRange range) -> Status {
+      ctx->pool, ctx->guard, morsels,
+      [&](size_t m, MorselRange range) -> Status {
         ExecContext wctx;
         wctx.outer_env = ctx->outer_env;
         wctx.subplans = nullptr;  // guarded: keys are subplan-free
         wctx.stats = &key_stats[m];
+        wctx.guard = ctx->guard;
         for (size_t i = range.begin; i < range.end; ++i) {
+          TMDB_RETURN_IF_ERROR(PeriodicGuardCheck(&wctx, i - range.begin));
           TMDB_ASSIGN_OR_RETURN(keys[i],
                                 EvalCompositeKey(right_keys_, spec_.right_var,
                                                  rows[i], &wctx));
@@ -118,11 +136,13 @@ Status HashJoinOp::BuildTables(ExecContext* ctx) {
     one_per_partition.push_back({p, p + 1});
   }
   TMDB_RETURN_IF_ERROR(ParallelForMorsels(
-      ctx->pool, one_per_partition, [&](size_t, MorselRange range) -> Status {
+      ctx->pool, ctx->guard, one_per_partition,
+      [&](size_t, MorselRange range) -> Status {
         const size_t p = range.begin;
         BuildMap& table = partitions_[p];
         table.reserve(n / num_partitions + 1);
         for (size_t i = 0; i < n; ++i) {
+          TMDB_RETURN_IF_ERROR(PeriodicGuardCheck(ctx, i));
           if (hashes[i] % num_partitions != p) continue;
           // Disjoint: row i is moved by exactly one partition task.
           table[std::move(keys[i])].push_back(std::move(rows[i]));
@@ -214,18 +234,22 @@ Status HashJoinOp::ParallelProbe() {
   while (true) {
     TMDB_ASSIGN_OR_RETURN(size_t got, left_->NextBatch(&rows, kExecBatchSize));
     if (got == 0) break;
+    TMDB_RETURN_IF_ERROR(build_res_.Add(got * sizeof(Value)));
   }
   std::vector<MorselRange> morsels = SplitMorsels(rows.size(),
                                                   ctx_->num_threads);
   std::vector<std::vector<Value>> outputs(morsels.size());
   std::vector<ExecStats> local_stats(morsels.size());
   TMDB_RETURN_IF_ERROR(ParallelForMorsels(
-      ctx_->pool, morsels, [&](size_t m, MorselRange range) -> Status {
+      ctx_->pool, ctx_->guard, morsels,
+      [&](size_t m, MorselRange range) -> Status {
         ExecContext wctx;
         wctx.outer_env = ctx_->outer_env;
         wctx.subplans = nullptr;  // guarded: probe exprs are subplan-free
         wctx.stats = &local_stats[m];
+        wctx.guard = ctx_->guard;
         for (size_t i = range.begin; i < range.end; ++i) {
+          TMDB_RETURN_IF_ERROR(PeriodicGuardCheck(&wctx, i - range.begin));
           TMDB_RETURN_IF_ERROR(ProcessLeftRow(rows[i], &wctx, &outputs[m]));
         }
         return Status::OK();
@@ -235,6 +259,7 @@ Status HashJoinOp::ParallelProbe() {
   AccumulateStats(local_stats, ctx_->stats);
   size_t total = 0;
   for (const std::vector<Value>& part : outputs) total += part.size();
+  TMDB_RETURN_IF_ERROR(build_res_.Add(total * sizeof(Value)));
   output_.reserve(total);
   for (std::vector<Value>& part : outputs) {
     for (Value& row : part) output_.push_back(std::move(row));
@@ -243,6 +268,7 @@ Status HashJoinOp::ParallelProbe() {
 }
 
 Result<bool> HashJoinOp::AdvanceLeft() {
+  TMDB_RETURN_IF_ERROR(PeriodicGuardCheck(ctx_, probe_rows_++));
   TMDB_ASSIGN_OR_RETURN(std::optional<Value> row, left_->Next());
   if (!row.has_value()) {
     current_left_.reset();
@@ -270,6 +296,7 @@ Result<std::optional<Value>> HashJoinOp::Next() {
 
 Result<size_t> HashJoinOp::NextBatch(std::vector<Value>* out, size_t max) {
   if (!materialized_) return PhysicalOp::NextBatch(out, max);
+  TMDB_RETURN_IF_ERROR(CheckGuard(ctx_));
   const size_t take = std::min(max, output_.size() - output_pos_);
   out->insert(out->end(),
               output_.begin() + static_cast<ptrdiff_t>(output_pos_),
@@ -375,7 +402,11 @@ void HashJoinOp::Close() {
   output_.clear();
   output_pos_ = 0;
   materialized_ = false;
+  build_res_.Release();
   left_->Close();
+  // Usually already closed at the end of BuildTables; closing again is a
+  // no-op, but matters when the build unwound mid-drain (guard trip).
+  right_->Close();
 }
 
 std::string HashJoinOp::Describe() const {

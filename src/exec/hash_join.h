@@ -8,6 +8,7 @@
 
 #include "exec/join_common.h"
 #include "exec/physical_op.h"
+#include "exec/query_guard.h"
 
 namespace tmdb {
 
@@ -78,6 +79,7 @@ class HashJoinOp final : public PhysicalOp {
   std::vector<BuildMap> partitions_;
 
   // Streaming probe state (serial path).
+  size_t probe_rows_ = 0;
   std::optional<Value> current_left_;
   const std::vector<Value>* current_bucket_ = nullptr;
   size_t bucket_pos_ = 0;
@@ -87,6 +89,9 @@ class HashJoinOp final : public PhysicalOp {
   bool materialized_ = false;
   std::vector<Value> output_;
   size_t output_pos_ = 0;
+
+  // Bytes charged to the guard for build/probe materialisation.
+  GuardReservation build_res_;
 };
 
 }  // namespace tmdb

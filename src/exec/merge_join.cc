@@ -14,6 +14,9 @@ Status MergeJoinOp::MaterialiseSorted(PhysicalOp* source,
                                       std::vector<Keyed>* out) {
   TMDB_RETURN_IF_ERROR(source->Open(ctx_));
   while (true) {
+    if ((out->size() & (kExecBatchSize - 1)) == 0) {
+      TMDB_RETURN_IF_ERROR(build_res_.Add(kExecBatchSize * sizeof(Keyed)));
+    }
     TMDB_ASSIGN_OR_RETURN(std::optional<Value> row, source->Next());
     if (!row.has_value()) break;
     TMDB_ASSIGN_OR_RETURN(Value key, EvalCompositeKey(keys, var, *row, ctx_));
@@ -37,6 +40,8 @@ Status MergeJoinOp::Open(ExecContext* ctx) {
   run_pos_ = 0;
   left_consumed_ = true;
   left_matched_ = false;
+  work_ = 0;
+  build_res_.Reset(ctx->guard);
   TMDB_RETURN_IF_ERROR(
       MaterialiseSorted(left_.get(), left_keys_, spec_.left_var, &left_rows_));
   return MaterialiseSorted(right_.get(), right_keys_, spec_.right_var,
@@ -68,6 +73,9 @@ void MergeJoinOp::SeekRightRun(const Value& key) {
 
 Result<std::optional<Value>> MergeJoinOp::Next() {
   while (true) {
+    if ((++work_ & (kExecBatchSize - 1)) == 0) {
+      TMDB_RETURN_IF_ERROR(CheckGuard(ctx_));
+    }
     if (left_consumed_) {
       if (left_pos_ >= left_rows_.size()) return std::optional<Value>();
       // Position the right run for the new left key. Equal consecutive left
@@ -160,6 +168,10 @@ Result<std::optional<Value>> MergeJoinOp::Next() {
 void MergeJoinOp::Close() {
   left_rows_.clear();
   right_rows_.clear();
+  build_res_.Release();
+  // Usually closed inside MaterialiseSorted; matters on mid-drain unwind.
+  left_->Close();
+  right_->Close();
 }
 
 std::string MergeJoinOp::Describe() const {

@@ -8,6 +8,7 @@
 
 #include "exec/join_common.h"
 #include "exec/physical_op.h"
+#include "exec/query_guard.h"
 
 namespace tmdb {
 
@@ -66,6 +67,8 @@ class MergeJoinOp final : public PhysicalOp {
   size_t run_pos_ = 0;       // inner-mode cursor within the run
   bool left_consumed_ = true;  // true → advance to next left row
   bool left_matched_ = false;
+  GuardReservation build_res_;  // bytes charged for the sorted inputs
+  uint64_t work_ = 0;           // rows examined, for periodic guard checks
 };
 
 }  // namespace tmdb

@@ -31,12 +31,14 @@ Status NestOp::Open(ExecContext* ctx) {
   ctx_ = ctx;
   output_.clear();
   pos_ = 0;
+  build_res_.Reset(ctx->guard);
 
   std::vector<Value> rows;
   TMDB_RETURN_IF_ERROR(child_->Open(ctx));
   while (true) {
     TMDB_ASSIGN_OR_RETURN(size_t got, child_->NextBatch(&rows, kExecBatchSize));
     if (got == 0) break;
+    TMDB_RETURN_IF_ERROR(build_res_.Add(got * sizeof(Value)));
   }
   child_->Close();
   ctx->stats->rows_built += rows.size();
@@ -55,7 +57,11 @@ Status NestOp::OpenSerial(std::vector<Value> rows) {
   std::vector<std::vector<Value>> groups;
   group_index.reserve(rows.size());
 
-  for (const Value& row : rows) {
+  for (size_t r = 0; r < rows.size(); ++r) {
+    if ((r & (kExecBatchSize - 1)) == 0) {
+      TMDB_RETURN_IF_ERROR(CheckGuard(ctx_));
+    }
+    const Value& row = rows[r];
     // Key = projection onto the grouping attributes.
     std::vector<Value> key_values;
     key_values.reserve(group_attrs_.size());
@@ -97,10 +103,16 @@ Status NestOp::OpenParallel(std::vector<Value> rows) {
   std::vector<Value> keys(n);
   std::vector<uint64_t> hashes(n);
   std::vector<Value> elems(n);
+  TMDB_RETURN_IF_ERROR(
+      build_res_.Add(n * (2 * sizeof(Value) + sizeof(uint64_t))));
   std::vector<MorselRange> morsels = SplitMorsels(n, ctx_->num_threads);
   TMDB_RETURN_IF_ERROR(ParallelForMorsels(
-      ctx_->pool, morsels, [&](size_t, MorselRange range) -> Status {
+      ctx_->pool, ctx_->guard, morsels,
+      [&](size_t, MorselRange range) -> Status {
         for (size_t i = range.begin; i < range.end; ++i) {
+          if (((i - range.begin) & (kExecBatchSize - 1)) == 0) {
+            TMDB_RETURN_IF_ERROR(CheckGuard(ctx_));
+          }
           std::vector<Value> key_values;
           key_values.reserve(group_attrs_.size());
           for (const std::string& attr : group_attrs_) {
@@ -129,13 +141,17 @@ Status NestOp::OpenParallel(std::vector<Value> rows) {
     one_per_partition.push_back({p, p + 1});
   }
   TMDB_RETURN_IF_ERROR(ParallelForMorsels(
-      ctx_->pool, one_per_partition, [&](size_t, MorselRange range) -> Status {
+      ctx_->pool, ctx_->guard, one_per_partition,
+      [&](size_t, MorselRange range) -> Status {
         const size_t p = range.begin;
         std::unordered_map<Value, size_t, ValueHash, ValueEq> group_index;
         std::vector<Value> part_keys;
         std::vector<std::vector<Value>> groups;
         std::vector<size_t> first_row;
         for (size_t i = 0; i < n; ++i) {
+          if ((i & (kExecBatchSize - 1)) == 0) {
+            TMDB_RETURN_IF_ERROR(CheckGuard(ctx_));
+          }
           if (hashes[i] % num_partitions != p) continue;
           auto [it, inserted] = group_index.emplace(keys[i], groups.size());
           if (inserted) {
@@ -181,6 +197,7 @@ Result<std::optional<Value>> NestOp::Next() {
 }
 
 Result<size_t> NestOp::NextBatch(std::vector<Value>* out, size_t max) {
+  TMDB_RETURN_IF_ERROR(CheckGuard(ctx_));
   const size_t take = std::min(max, output_.size() - pos_);
   out->insert(out->end(), output_.begin() + static_cast<ptrdiff_t>(pos_),
               output_.begin() + static_cast<ptrdiff_t>(pos_ + take));
@@ -191,6 +208,9 @@ Result<size_t> NestOp::NextBatch(std::vector<Value>* out, size_t max) {
 
 void NestOp::Close() {
   output_.clear();
+  build_res_.Release();
+  // Usually closed at the end of Open's drain; matters on mid-drain unwind.
+  child_->Close();
 }
 
 std::string NestOp::Describe() const {

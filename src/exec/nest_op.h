@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "exec/physical_op.h"
+#include "exec/query_guard.h"
 #include "expr/expr.h"
 
 namespace tmdb {
@@ -60,6 +61,7 @@ class NestOp final : public PhysicalOp {
   ExecContext* ctx_ = nullptr;
   std::vector<Value> output_;  // materialised at Open
   size_t pos_ = 0;
+  GuardReservation build_res_;  // bytes charged for materialised input/output
 };
 
 }  // namespace tmdb

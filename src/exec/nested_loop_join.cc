@@ -7,25 +7,41 @@
 
 namespace tmdb {
 
+namespace {
+
+// The inner scans are the quadratic hot path a guard must bound without
+// slowing: checkpoint once per kExecBatchSize predicate evaluations.
+inline Status InnerLoopGuardCheck(ExecContext* ctx) {
+  if ((ctx->stats->predicate_evals & (kExecBatchSize - 1)) == 0) {
+    return CheckGuard(ctx);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
 Status NestedLoopJoinOp::Open(ExecContext* ctx) {
   ctx_ = ctx;
   right_rows_.clear();
   current_left_.reset();
   right_pos_ = 0;
   left_matched_ = false;
+  build_res_.Reset(ctx->guard);
 
   TMDB_RETURN_IF_ERROR(right_->Open(ctx));
   while (true) {
-    TMDB_ASSIGN_OR_RETURN(std::optional<Value> row, right_->Next());
-    if (!row.has_value()) break;
-    right_rows_.push_back(std::move(*row));
-    ctx_->stats->rows_built++;
+    TMDB_ASSIGN_OR_RETURN(size_t got,
+                          right_->NextBatch(&right_rows_, kExecBatchSize));
+    if (got == 0) break;
+    TMDB_RETURN_IF_ERROR(build_res_.Add(got * sizeof(Value)));
+    ctx_->stats->rows_built += got;
   }
   right_->Close();
   return left_->Open(ctx);
 }
 
 Result<bool> NestedLoopJoinOp::AdvanceLeft() {
+  TMDB_RETURN_IF_ERROR(CheckGuard(ctx_));
   TMDB_ASSIGN_OR_RETURN(std::optional<Value> row, left_->Next());
   if (!row.has_value()) {
     current_left_.reset();
@@ -47,6 +63,7 @@ Result<std::optional<Value>> NestedLoopJoinOp::Next() {
           if (!more) return std::optional<Value>();
         }
         while (right_pos_ < right_rows_.size()) {
+          TMDB_RETURN_IF_ERROR(InnerLoopGuardCheck(ctx_));
           const Value& right_row = right_rows_[right_pos_++];
           TMDB_ASSIGN_OR_RETURN(
               bool match, EvalJoinPred(spec_, *current_left_, right_row, ctx_));
@@ -81,6 +98,7 @@ Result<std::optional<Value>> NestedLoopJoinOp::Next() {
         if (!more) return std::optional<Value>();
         bool matched = false;
         for (const Value& right_row : right_rows_) {
+          TMDB_RETURN_IF_ERROR(InnerLoopGuardCheck(ctx_));
           TMDB_ASSIGN_OR_RETURN(
               bool match, EvalJoinPred(spec_, *current_left_, right_row, ctx_));
           if (match) {
@@ -104,6 +122,7 @@ Result<std::optional<Value>> NestedLoopJoinOp::Next() {
       // only once the entire match set is known (paper, Section 6).
       std::vector<Value> group;
       for (const Value& right_row : right_rows_) {
+        TMDB_RETURN_IF_ERROR(InnerLoopGuardCheck(ctx_));
         TMDB_ASSIGN_OR_RETURN(
             bool match, EvalJoinPred(spec_, *current_left_, right_row, ctx_));
         if (match) {
@@ -126,7 +145,10 @@ Result<std::optional<Value>> NestedLoopJoinOp::Next() {
 void NestedLoopJoinOp::Close() {
   right_rows_.clear();
   current_left_.reset();
+  build_res_.Release();
   left_->Close();
+  // Usually closed at the end of Open's drain; matters on mid-drain unwind.
+  right_->Close();
 }
 
 std::string NestedLoopJoinOp::Describe() const {

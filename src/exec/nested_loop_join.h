@@ -7,6 +7,7 @@
 
 #include "exec/join_common.h"
 #include "exec/physical_op.h"
+#include "exec/query_guard.h"
 
 namespace tmdb {
 
@@ -40,6 +41,7 @@ class NestedLoopJoinOp final : public PhysicalOp {
   std::optional<Value> current_left_;
   size_t right_pos_ = 0;                // inner cursor (kInner/kLeftOuter)
   bool left_matched_ = false;           // kLeftOuter bookkeeping
+  GuardReservation build_res_;          // bytes charged for right_rows_
 };
 
 }  // namespace tmdb

@@ -1,8 +1,12 @@
 #include "exec/parallel_util.h"
 
 #include <algorithm>
+#include <exception>
 #include <future>
 #include <utility>
+
+#include "base/string_util.h"
+#include "exec/query_guard.h"
 
 namespace tmdb {
 
@@ -52,18 +56,51 @@ std::vector<MorselRange> SplitMorsels(size_t n, int num_threads) {
   return morsels;
 }
 
+namespace {
+
+// Task boundary: checkpoint first (a tripped guard skips the work), then
+// run the body with exceptions converted to Status so nothing escapes into
+// the exception-free engine or wedges the pool.
+Status RunMorselTask(QueryGuard* guard,
+                     const std::function<Status(size_t, MorselRange)>& body,
+                     size_t index, MorselRange range) {
+  if (guard != nullptr) {
+    Status status = guard->Check();
+    if (!status.ok()) return status;
+  }
+  try {
+    return body(index, range);
+  } catch (const std::exception& e) {
+    return Status::Internal(StrCat("parallel task threw: ", e.what()));
+  } catch (...) {
+    return Status::Internal("parallel task threw a non-standard exception");
+  }
+}
+
+}  // namespace
+
 Status ParallelForMorsels(
-    ThreadPool* pool, const std::vector<MorselRange>& morsels,
+    ThreadPool* pool, QueryGuard* guard,
+    const std::vector<MorselRange>& morsels,
     const std::function<Status(size_t, MorselRange)>& body) {
   std::vector<std::future<Status>> futures;
   futures.reserve(morsels.size());
   for (size_t i = 0; i < morsels.size(); ++i) {
     const MorselRange range = morsels[i];
-    futures.push_back(pool->Submit([&body, i, range] { return body(i, range); }));
+    futures.push_back(pool->Submit([&body, guard, i, range] {
+      return RunMorselTask(guard, body, i, range);
+    }));
   }
   Status first = Status::OK();
   for (std::future<Status>& future : futures) {
-    Status status = future.get();
+    Status status;
+    try {
+      status = future.get();
+    } catch (const std::exception& e) {
+      status = Status::Internal(StrCat("parallel task threw: ", e.what()));
+    } catch (...) {
+      status = Status::Internal("parallel task threw a non-standard exception");
+    }
     if (first.ok() && !status.ok()) first = std::move(status);
   }
   return first;

@@ -28,11 +28,17 @@ struct MorselRange {
 /// morsel-driven scheduling with static ranges).
 std::vector<MorselRange> SplitMorsels(size_t n, int num_threads);
 
+class QueryGuard;
+
 /// Runs body(morsel_index, range) for every morsel on `pool` and waits for
 /// all of them. Returns the first non-OK status in morsel order, so error
-/// reporting is deterministic regardless of scheduling. Exceptions escaping
-/// a task propagate out of this call via the task's future.
-Status ParallelForMorsels(ThreadPool* pool,
+/// reporting is deterministic regardless of scheduling. Each task runs a
+/// guard checkpoint before its body (when `guard` is non-null), so a
+/// tripped guard drains the remaining morsels cheaply instead of doing
+/// their work. A task that throws is caught at the task boundary and
+/// converted to kInternal — the engine is exception-free and the pool must
+/// never be poisoned by a rogue expression.
+Status ParallelForMorsels(ThreadPool* pool, QueryGuard* guard,
                           const std::vector<MorselRange>& morsels,
                           const std::function<Status(size_t, MorselRange)>& body);
 

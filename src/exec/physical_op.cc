@@ -1,6 +1,7 @@
 #include "exec/physical_op.h"
 
 #include "base/string_util.h"
+#include "exec/query_guard.h"
 
 namespace tmdb {
 
@@ -42,13 +43,26 @@ Result<size_t> PhysicalOp::NextBatch(std::vector<Value>* out, size_t max) {
 }
 
 Result<std::vector<Value>> CollectRows(PhysicalOp* op, ExecContext* ctx) {
-  TMDB_RETURN_IF_ERROR(op->Open(ctx));
+  Status status = op->Open(ctx);
+  if (!status.ok()) {
+    // Close even though Open failed: a composite operator may have
+    // materialised part of its input (or opened children) before tripping.
+    op->Close();
+    return status;
+  }
   std::vector<Value> rows;
   while (true) {
-    TMDB_ASSIGN_OR_RETURN(size_t appended, op->NextBatch(&rows, kExecBatchSize));
-    if (appended == 0) break;
+    status = CheckGuard(ctx);
+    if (!status.ok()) break;
+    auto appended = op->NextBatch(&rows, kExecBatchSize);
+    if (!appended.ok()) {
+      status = appended.status();
+      break;
+    }
+    if (*appended == 0) break;
   }
   op->Close();
+  if (!status.ok()) return status;
   return rows;
 }
 

@@ -1,0 +1,84 @@
+#include "exec/query_guard.h"
+
+#include "base/string_util.h"
+#include "values/value_mem.h"
+
+namespace tmdb {
+
+QueryGuard::~QueryGuard() {
+  if (tracking_values_) ValueMemory::DisableTracking();
+}
+
+void QueryGuard::Reset(const GuardLimits& limits, const ExecStats* stats,
+                       FaultInjector* injector) {
+  limits_ = limits;
+  stats_ = stats;
+  injector_ = injector;
+  cancelled_.store(false, std::memory_order_relaxed);
+  checkpoints_.store(0, std::memory_order_relaxed);
+  materialized_.store(0, std::memory_order_relaxed);
+
+  rows_baseline_ =
+      stats == nullptr ? 0 : stats->rows_emitted + stats->rows_built;
+
+  has_deadline_ = limits_.timeout_ms > 0;
+  if (has_deadline_) {
+    deadline_ = std::chrono::steady_clock::now() +
+                std::chrono::milliseconds(limits_.timeout_ms);
+  }
+
+  const bool want_tracking = limits_.memory_budget_bytes > 0;
+  if (want_tracking && !tracking_values_) {
+    ValueMemory::EnableTracking();
+    tracking_values_ = true;
+  } else if (!want_tracking && tracking_values_) {
+    ValueMemory::DisableTracking();
+    tracking_values_ = false;
+  }
+  value_baseline_ = want_tracking ? ValueMemory::LiveBytes() : 0;
+}
+
+int64_t QueryGuard::memory_used() const {
+  const int64_t values = ValueMemory::LiveBytes() - value_baseline_;
+  return values + materialized_.load(std::memory_order_relaxed);
+}
+
+Status QueryGuard::Check() {
+  const uint64_t checkpoint =
+      checkpoints_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (injector_ != nullptr && injector_->enabled() && injector_->ShouldFail()) {
+    return Status::Internal("injected fault at guard checkpoint");
+  }
+  if (cancelled_.load(std::memory_order_relaxed)) {
+    return Status::Cancelled("query cancelled");
+  }
+  // Reading the monotonic clock can be a syscall; sampling every 64th
+  // checkpoint keeps an armed deadline near-free while still bounding the
+  // overrun to ~64 batches of work.
+  if (has_deadline_ && (checkpoint & 63) == 0 &&
+      std::chrono::steady_clock::now() >= deadline_) {
+    return Status::DeadlineExceeded(
+        StrCat("query exceeded timeout of ", limits_.timeout_ms, " ms"));
+  }
+  if (limits_.max_rows > 0 && stats_ != nullptr) {
+    const uint64_t rows =
+        stats_->rows_emitted + stats_->rows_built - rows_baseline_;
+    if (rows > limits_.max_rows) {
+      return Status::ResourceExhausted(
+          StrCat("query processed ", rows, " rows, over the max_rows budget of ",
+                 limits_.max_rows));
+    }
+  }
+  if (limits_.memory_budget_bytes > 0) {
+    const int64_t used = memory_used();
+    if (used > static_cast<int64_t>(limits_.memory_budget_bytes)) {
+      return Status::ResourceExhausted(
+          StrCat("query materialised ", used,
+                 " bytes, over the memory budget of ",
+                 limits_.memory_budget_bytes, " bytes"));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace tmdb

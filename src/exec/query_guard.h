@@ -1,0 +1,149 @@
+#ifndef TMDB_EXEC_QUERY_GUARD_H_
+#define TMDB_EXEC_QUERY_GUARD_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+#include "base/fault_injector.h"
+#include "base/status.h"
+#include "exec/exec_context.h"
+
+namespace tmdb {
+
+/// Per-query resource limits. Zero means "unlimited" for every field, so a
+/// default-constructed GuardLimits imposes nothing.
+struct GuardLimits {
+  /// Wall-clock deadline, measured from QueryGuard::Reset.
+  int64_t timeout_ms = 0;
+  /// Budget for memory materialised during the query: newly built Values
+  /// (tracked by ValueMemory) plus operator-side container reservations.
+  uint64_t memory_budget_bytes = 0;
+  /// Budget on total rows processed (emitted by operators + materialised
+  /// into build tables), bounding work rather than result size.
+  uint64_t max_rows = 0;
+
+  bool any_set() const {
+    return timeout_ms > 0 || memory_budget_bytes > 0 || max_rows > 0;
+  }
+};
+
+/// Cooperative resource governor for one query execution.
+///
+/// The executor owns one QueryGuard, resets it per run, and hands a pointer
+/// to every ExecContext (workers included). Operators call Check() at batch
+/// boundaries and morsel tasks call it per morsel — the guard-checkpoint
+/// invariant: no execution loop runs more than one batch (kExecBatchSize
+/// rows) of work between checkpoints. A non-OK Check unwinds the plan into
+/// a clean Status:
+///   kCancelled          Cancel() was called (any thread),
+///   kDeadlineExceeded   the deadline passed,
+///   kResourceExhausted  the row or memory budget tripped,
+///   kInternal           an armed FaultInjector fired (tests only).
+///
+/// Check() is thread-safe. With no limits set it costs one atomic
+/// increment and a few relaxed loads; the clock is read only when a
+/// timeout is armed.
+class QueryGuard {
+ public:
+  QueryGuard() = default;
+  ~QueryGuard();
+  QueryGuard(const QueryGuard&) = delete;
+  QueryGuard& operator=(const QueryGuard&) = delete;
+
+  /// Rearms for a new run: clears cancellation, starts the deadline clock,
+  /// snapshots the ValueMemory baseline (enabling tracking while a memory
+  /// budget is set), and installs the stats/injector to consult. `stats`
+  /// is the coordinator's counter block; `injector` may be null.
+  void Reset(const GuardLimits& limits, const ExecStats* stats,
+             FaultInjector* injector);
+
+  /// The checkpoint. Returns OK to keep running.
+  Status Check();
+
+  /// Requests cooperative cancellation; callable from any thread while the
+  /// query runs. Observed at the next checkpoint.
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  /// Adds operator-side materialised bytes (container slots the Value
+  /// tracker cannot see). Negative deltas release.
+  void AddMaterialized(int64_t delta) {
+    materialized_.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  /// Checkpoints passed since Reset (sweep sizing for fault injection).
+  uint64_t checkpoints() const {
+    return checkpoints_.load(std::memory_order_relaxed);
+  }
+
+  /// Memory charged against the budget right now: tracked Value bytes
+  /// allocated since Reset plus operator reservations.
+  int64_t memory_used() const;
+
+  const GuardLimits& limits() const { return limits_; }
+
+ private:
+  GuardLimits limits_;
+  const ExecStats* stats_ = nullptr;
+  FaultInjector* injector_ = nullptr;
+
+  std::atomic<bool> cancelled_{false};
+  std::atomic<uint64_t> checkpoints_{0};
+  std::atomic<int64_t> materialized_{0};
+
+  bool has_deadline_ = false;
+  std::chrono::steady_clock::time_point deadline_{};
+
+  uint64_t rows_baseline_ = 0;  // stats snapshot at Reset (stats accumulate
+                                // across runs; the budget is per run)
+
+  bool tracking_values_ = false;  // we hold a ValueMemory enable refcount
+  int64_t value_baseline_ = 0;    // LiveBytes() snapshot at Reset
+};
+
+/// Returns OK when `ctx` carries no guard — operators stay drivable in
+/// isolation — otherwise runs a checkpoint.
+inline Status CheckGuard(const ExecContext* ctx) {
+  if (ctx == nullptr || ctx->guard == nullptr) return Status::OK();
+  return ctx->guard->Check();
+}
+
+/// Tracks the bytes one operator has charged to a guard for materialised
+/// containers (build tables, sorted runs, grouped output). Charge with
+/// Add() as batches land; Release() in Close() and at re-Open. Deliberately
+/// no destructor release: plans can outlive the executor that ran them, so
+/// an unreleased balance must not chase a dangling guard. Releasing twice
+/// is a no-op.
+class GuardReservation {
+ public:
+  /// Rebinds to `guard` (possibly null), releasing any held balance first.
+  void Reset(QueryGuard* guard) {
+    Release();
+    guard_ = guard;
+  }
+
+  /// Charges `bytes` more and runs a checkpoint so a blown budget trips at
+  /// the materialisation site. OK (and uncounted) when unbound.
+  Status Add(uint64_t bytes) {
+    if (guard_ == nullptr) return Status::OK();
+    guard_->AddMaterialized(static_cast<int64_t>(bytes));
+    bytes_ += bytes;
+    return guard_->Check();
+  }
+
+  /// Returns the full balance to the guard.
+  void Release() {
+    if (guard_ != nullptr && bytes_ != 0) {
+      guard_->AddMaterialized(-static_cast<int64_t>(bytes_));
+    }
+    bytes_ = 0;
+  }
+
+ private:
+  QueryGuard* guard_ = nullptr;
+  uint64_t bytes_ = 0;
+};
+
+}  // namespace tmdb
+
+#endif  // TMDB_EXEC_QUERY_GUARD_H_

@@ -3,12 +3,14 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <cstdint>
 #include <cstring>
 #include <utility>
 
 #include "base/hash.h"
 #include "base/logging.h"
 #include "base/string_util.h"
+#include "values/value_mem.h"
 
 namespace tmdb {
 
@@ -33,7 +35,17 @@ struct ValueRep {
   static constexpr uint64_t kHashUnset = 0;
   mutable std::atomic<uint64_t> cached_hash{kHashUnset};
 
+  // Shallow bytes registered with ValueMemory at construction time. Zero
+  // for reps built while tracking was off (and for the singletons), so the
+  // destructor always subtracts exactly what was added.
+  uint32_t tracked_bytes = 0;
+
   explicit ValueRep(ValueKind k) : kind(k) {}
+  ~ValueRep() {
+    if (tracked_bytes != 0) {
+      ValueMemory::Add(-static_cast<int64_t>(tracked_bytes));
+    }
+  }
 };
 }  // namespace internal_values
 
@@ -51,6 +63,23 @@ const std::shared_ptr<const ValueRep>& NullRep() {
 const std::shared_ptr<const ValueRep>& EmptySetRep() {
   static const auto& rep =
       *new std::shared_ptr<const ValueRep>(new ValueRep(ValueKind::kSet));
+  return rep;
+}
+
+// Registers a freshly built rep's shallow footprint with ValueMemory (a
+// no-op unless a memory budget enabled tracking). Child values are counted
+// by their own reps; only the handle slots count here, so shared structure
+// is never double-counted.
+std::shared_ptr<ValueRep> Track(std::shared_ptr<ValueRep> rep) {
+  if (ValueMemory::tracking_enabled()) {
+    size_t bytes = sizeof(ValueRep) + rep->string_value.capacity() +
+                   rep->names.capacity() * sizeof(std::string) +
+                   rep->children.capacity() * sizeof(Value);
+    for (const std::string& name : rep->names) bytes += name.capacity();
+    if (bytes > UINT32_MAX) bytes = UINT32_MAX;
+    rep->tracked_bytes = static_cast<uint32_t>(bytes);
+    ValueMemory::Add(static_cast<int64_t>(rep->tracked_bytes));
+  }
   return rep;
 }
 
@@ -92,25 +121,25 @@ Value Value::Null() { return Value(NullRep()); }
 Value Value::Bool(bool v) {
   auto rep = std::make_shared<ValueRep>(ValueKind::kBool);
   rep->bool_value = v;
-  return Value(std::move(rep));
+  return Value(Track(std::move(rep)));
 }
 
 Value Value::Int(int64_t v) {
   auto rep = std::make_shared<ValueRep>(ValueKind::kInt);
   rep->int_value = v;
-  return Value(std::move(rep));
+  return Value(Track(std::move(rep)));
 }
 
 Value Value::Real(double v) {
   auto rep = std::make_shared<ValueRep>(ValueKind::kReal);
   rep->real_value = v;
-  return Value(std::move(rep));
+  return Value(Track(std::move(rep)));
 }
 
 Value Value::String(std::string v) {
   auto rep = std::make_shared<ValueRep>(ValueKind::kString);
   rep->string_value = std::move(v);
-  return Value(std::move(rep));
+  return Value(Track(std::move(rep)));
 }
 
 Value Value::Tuple(std::vector<std::string> names, std::vector<Value> values) {
@@ -126,7 +155,7 @@ Value Value::Tuple(std::vector<std::string> names, std::vector<Value> values) {
   auto rep = std::make_shared<ValueRep>(ValueKind::kTuple);
   rep->names = std::move(names);
   rep->children = std::move(values);
-  return Value(std::move(rep));
+  return Value(Track(std::move(rep)));
 }
 
 Value Value::Set(std::vector<Value> elements) {
@@ -140,7 +169,7 @@ Value Value::Set(std::vector<Value> elements) {
                  elements.end());
   auto rep = std::make_shared<ValueRep>(ValueKind::kSet);
   rep->children = std::move(elements);
-  return Value(std::move(rep));
+  return Value(Track(std::move(rep)));
 }
 
 Value Value::EmptySet() { return Value(EmptySetRep()); }
@@ -148,7 +177,7 @@ Value Value::EmptySet() { return Value(EmptySetRep()); }
 Value Value::List(std::vector<Value> elements) {
   auto rep = std::make_shared<ValueRep>(ValueKind::kList);
   rep->children = std::move(elements);
-  return Value(std::move(rep));
+  return Value(Track(std::move(rep)));
 }
 
 ValueKind Value::kind() const { return rep_->kind; }

@@ -1,0 +1,32 @@
+#include "values/value_mem.h"
+
+#include <atomic>
+
+namespace tmdb {
+
+namespace {
+std::atomic<int32_t> g_trackers{0};
+std::atomic<int64_t> g_live_bytes{0};
+}  // namespace
+
+void ValueMemory::EnableTracking() {
+  g_trackers.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ValueMemory::DisableTracking() {
+  g_trackers.fetch_sub(1, std::memory_order_relaxed);
+}
+
+bool ValueMemory::tracking_enabled() {
+  return g_trackers.load(std::memory_order_relaxed) > 0;
+}
+
+int64_t ValueMemory::LiveBytes() {
+  return g_live_bytes.load(std::memory_order_relaxed);
+}
+
+void ValueMemory::Add(int64_t delta) {
+  g_live_bytes.fetch_add(delta, std::memory_order_relaxed);
+}
+
+}  // namespace tmdb

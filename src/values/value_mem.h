@@ -1,0 +1,41 @@
+#ifndef TMDB_VALUES_VALUE_MEM_H_
+#define TMDB_VALUES_VALUE_MEM_H_
+
+#include <cstdint>
+
+namespace tmdb {
+
+/// Process-wide accounting of live Value heap bytes, feeding the executor's
+/// memory budget (QueryGuard) so a budget trips before the allocator does.
+///
+/// Tracking is off by default: a Value construction then costs one relaxed
+/// atomic load. While at least one EnableTracking() call is outstanding,
+/// each newly built ValueRep records its shallow footprint (struct, string
+/// payloads, attribute names, child slots) and adds it to a global relaxed
+/// counter; the destructor subtracts exactly what was added. Reps built
+/// while tracking was off carry a zero footprint, so toggling mid-stream
+/// never drives the counter negative — the counter measures "bytes of
+/// tracked values still live", a sound lower bound on live Value memory.
+///
+/// Shared reps are counted once no matter how many Value handles alias
+/// them, matching what the allocator sees.
+class ValueMemory {
+ public:
+  /// Nestable (refcounted) enable/disable. Typically driven by
+  /// QueryGuard::Reset when a memory budget is set.
+  static void EnableTracking();
+  static void DisableTracking();
+
+  /// True while any EnableTracking() is outstanding.
+  static bool tracking_enabled();
+
+  /// Live tracked bytes. Relaxed read; exact once all writers quiesce.
+  static int64_t LiveBytes();
+
+  /// Internal: called by Value factories / ValueRep destructor.
+  static void Add(int64_t delta);
+};
+
+}  // namespace tmdb
+
+#endif  // TMDB_VALUES_VALUE_MEM_H_

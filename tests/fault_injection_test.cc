@@ -1,0 +1,622 @@
+// Robustness of the executor under resource governance and injected faults:
+//  - sweeping a deterministic fault across every guard checkpoint of every
+//    operator family must unwind into a clean Status, after which the same
+//    executor (and its thread pool) runs the same plan to the correct result;
+//  - random (seeded) fault rates must behave the same way;
+//  - cancellation is observed within one batch (kExecBatchSize rows) of the
+//    flag being set, for every materialising operator family;
+//  - RunOptions limits surface end-to-end as kDeadlineExceeded /
+//    kResourceExhausted without killing the process or the database.
+
+#include <algorithm>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "base/fault_injector.h"
+#include "base/random.h"
+#include "catalog/table.h"
+#include "core/database.h"
+#include "exec/basic_ops.h"
+#include "exec/executor.h"
+#include "exec/hash_join.h"
+#include "exec/merge_join.h"
+#include "exec/nest_op.h"
+#include "exec/nested_loop_join.h"
+#include "exec/query_guard.h"
+#include "optimizer/planner.h"
+#include "tests/test_util.h"
+
+namespace tmdb {
+namespace {
+
+using testutil::IntRow;
+
+// ------------------------------------------------------------ test sources
+
+/// Endless stream of fresh ⟨a, b⟩ tuples. Optionally cancels the query's
+/// guard after `cancel_after` rows, from inside the stream — the tightest
+/// possible race against the consuming operator's checkpoints.
+class EndlessSource final : public PhysicalOp {
+ public:
+  explicit EndlessSource(uint64_t cancel_after = 0)
+      : cancel_after_(cancel_after) {}
+
+  Status Open(ExecContext* ctx) override {
+    ctx_ = ctx;
+    emitted_ = 0;
+    return Status::OK();
+  }
+
+  Result<std::optional<Value>> Next() override {
+    ++emitted_;
+    if (emitted_ == cancel_after_ && ctx_ != nullptr &&
+        ctx_->guard != nullptr) {
+      ctx_->guard->Cancel();
+    }
+    return std::optional<Value>(
+        IntRow({"a", "b"}, {static_cast<int64_t>(emitted_),
+                            static_cast<int64_t>(emitted_ % 37)}));
+  }
+
+  void Close() override {}
+  std::string Describe() const override { return "EndlessSource"; }
+  std::vector<const PhysicalOp*> children() const override { return {}; }
+
+  uint64_t emitted() const { return emitted_; }
+
+  static Type RowType() {
+    return Type::Tuple({{"a", Type::Int()}, {"b", Type::Int()}});
+  }
+
+ private:
+  uint64_t cancel_after_;
+  ExecContext* ctx_ = nullptr;
+  uint64_t emitted_ = 0;
+};
+
+// --------------------------------------------- plans over every op family
+
+/// Builds X(e, d) and Y(a, b) with skewed join keys, plus plan factories
+/// for each operator family. Sizes are chosen so every plan passes through
+/// at least a handful of guard checkpoints without making sweeps slow.
+class FaultSweepTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Random rng(23);
+    TMDB_ASSERT_OK_AND_ASSIGN(
+        x_, Table::Create("X", Type::Tuple({{"e", Type::Int()},
+                                            {"d", Type::Int()}})));
+    TMDB_ASSERT_OK_AND_ASSIGN(
+        y_, Table::Create("Y", Type::Tuple({{"a", Type::Int()},
+                                            {"b", Type::Int()}})));
+    for (int i = 0; i < 300; ++i) {
+      TMDB_ASSERT_OK(x_->Insert(IntRow({"e", "d"},
+                                       {i, rng.UniformInt(0, 60)})));
+    }
+    for (int i = 0; i < 600; ++i) {
+      TMDB_ASSERT_OK(y_->Insert(IntRow({"a", "b"},
+                                       {i, rng.UniformInt(0, 60)})));
+    }
+  }
+
+  JoinSpec MakeSpec(JoinMode mode, bool with_pred) const {
+    Expr xv = Expr::Var("x", x_->schema());
+    Expr yv = Expr::Var("y", y_->schema());
+    JoinSpec spec;
+    spec.mode = mode;
+    spec.left_var = "x";
+    spec.right_var = "y";
+    spec.right_type = y_->schema();
+    spec.pred = with_pred
+                    ? Expr::Must(Expr::Binary(
+                          BinaryOp::kEq, Expr::Must(Expr::Field(xv, "d")),
+                          Expr::Must(Expr::Field(yv, "b"))))
+                    : Expr::True();
+    spec.func = yv;
+    spec.label = "s";
+    return spec;
+  }
+
+  PhysicalOpPtr MakeHashJoin(JoinMode mode) const {
+    Expr xv = Expr::Var("x", x_->schema());
+    Expr yv = Expr::Var("y", y_->schema());
+    return PhysicalOpPtr(new HashJoinOp(
+        PhysicalOpPtr(new TableScanOp(x_)), PhysicalOpPtr(new TableScanOp(y_)),
+        MakeSpec(mode, /*with_pred=*/false),
+        {Expr::Must(Expr::Field(xv, "d"))},
+        {Expr::Must(Expr::Field(yv, "b"))}));
+  }
+
+  PhysicalOpPtr MakeMergeJoin(JoinMode mode) const {
+    Expr xv = Expr::Var("x", x_->schema());
+    Expr yv = Expr::Var("y", y_->schema());
+    return PhysicalOpPtr(new MergeJoinOp(
+        PhysicalOpPtr(new TableScanOp(x_)), PhysicalOpPtr(new TableScanOp(y_)),
+        MakeSpec(mode, /*with_pred=*/false),
+        {Expr::Must(Expr::Field(xv, "d"))},
+        {Expr::Must(Expr::Field(yv, "b"))}));
+  }
+
+  PhysicalOpPtr MakeNestedLoopJoin(JoinMode mode) const {
+    return PhysicalOpPtr(new NestedLoopJoinOp(
+        PhysicalOpPtr(new TableScanOp(x_)), PhysicalOpPtr(new TableScanOp(y_)),
+        MakeSpec(mode, /*with_pred=*/true)));
+  }
+
+  /// ν over Y grouped by b, then μ back — covers Nest and Unnest together.
+  PhysicalOpPtr MakeNestUnnest() const {
+    Expr j = Expr::Var("j", y_->schema());
+    Expr elem = Expr::Must(Expr::MakeTuple(
+        {"a"}, {Expr::Must(Expr::Field(j, "a"))}));
+    PhysicalOpPtr nest(new NestOp(PhysicalOpPtr(new TableScanOp(y_)), {"b"},
+                                  "j", elem, "s",
+                                  /*null_group_to_empty=*/false));
+    return PhysicalOpPtr(new UnnestOp(std::move(nest), "s"));
+  }
+
+  /// σ over map over union, minus a filtered copy — Filter, Map, Union and
+  /// Difference in one plan.
+  PhysicalOpPtr MakeBasicsPipeline() const {
+    Expr yv = Expr::Var("y", y_->schema());
+    Expr keep = Expr::Must(Expr::Binary(BinaryOp::kLt,
+                                        Expr::Must(Expr::Field(yv, "b")),
+                                        Expr::Literal(Value::Int(45))));
+    PhysicalOpPtr both(new UnionOp(PhysicalOpPtr(new TableScanOp(y_)),
+                                   PhysicalOpPtr(new TableScanOp(y_))));
+    PhysicalOpPtr filtered(new FilterOp(std::move(both), "y", keep));
+    PhysicalOpPtr mapped(new MapOp(std::move(filtered), "y", yv));
+    PhysicalOpPtr drop(new FilterOp(
+        PhysicalOpPtr(new TableScanOp(y_)), "y",
+        Expr::Must(Expr::Binary(BinaryOp::kLt,
+                                Expr::Must(Expr::Field(yv, "b")),
+                                Expr::Literal(Value::Int(10))))));
+    return PhysicalOpPtr(
+        new DifferenceOp(std::move(mapped), std::move(drop)));
+  }
+
+  std::shared_ptr<Table> x_;
+  std::shared_ptr<Table> y_;
+};
+
+/// Sweeps ArmNth across (a stride of) every guard checkpoint the plan
+/// passes: each armed run must fail with the injected kInternal, and an
+/// immediately following disarmed run on the SAME executor must reproduce
+/// the baseline — proving the unwind left no partial operator state and the
+/// pool is reusable.
+void SweepInjectionPoints(PhysicalOp* plan, int threads) {
+  FaultInjector injector;
+  Executor executor(threads);
+  executor.set_fault_injector(&injector);
+
+  injector.ArmNth(0);  // count-only baseline
+  auto baseline = executor.RunPhysical(plan);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+  const uint64_t total = injector.checkpoints_seen();
+  ASSERT_GT(total, 0u) << "plan passed no guard checkpoints";
+
+  const uint64_t stride = std::max<uint64_t>(1, total / 12);
+  for (uint64_t n = 1; n <= total; n += stride) {
+    injector.ArmNth(n);
+    auto poisoned = executor.RunPhysical(plan);
+    ASSERT_FALSE(poisoned.ok())
+        << "checkpoint " << n << "/" << total << " did not fire";
+    EXPECT_EQ(poisoned.status().code(), StatusCode::kInternal)
+        << poisoned.status().ToString();
+    EXPECT_NE(poisoned.status().ToString().find("injected fault"),
+              std::string::npos)
+        << poisoned.status().ToString();
+    EXPECT_EQ(injector.faults_fired(), 1u);
+
+    injector.Disarm();
+    auto recovered = executor.RunPhysical(plan);
+    ASSERT_TRUE(recovered.ok())
+        << "run after fault at checkpoint " << n
+        << " failed: " << recovered.status().ToString();
+    ASSERT_EQ(recovered->size(), baseline->size())
+        << "partial state leaked across fault at checkpoint " << n;
+    for (size_t i = 0; i < recovered->size(); ++i) {
+      ASSERT_TRUE((*recovered)[i].Equals((*baseline)[i]))
+          << "row " << i << " diverges after fault at checkpoint " << n;
+    }
+  }
+}
+
+TEST_F(FaultSweepTest, HashJoinAllModesAllThreadCounts) {
+  for (JoinMode mode : {JoinMode::kInner, JoinMode::kSemi, JoinMode::kAnti,
+                        JoinMode::kLeftOuter, JoinMode::kNestJoin}) {
+    PhysicalOpPtr plan = MakeHashJoin(mode);
+    for (int threads : {1, 2, 4, 8}) {
+      SCOPED_TRACE(JoinModeName(mode) + "/threads=" +
+                   std::to_string(threads));
+      SweepInjectionPoints(plan.get(), threads);
+    }
+  }
+}
+
+TEST_F(FaultSweepTest, NestedLoopJoin) {
+  // The NL join is serial; inner/nestjoin cover both emission shapes.
+  for (JoinMode mode : {JoinMode::kInner, JoinMode::kNestJoin}) {
+    PhysicalOpPtr plan = MakeNestedLoopJoin(mode);
+    SCOPED_TRACE(JoinModeName(mode));
+    SweepInjectionPoints(plan.get(), 1);
+  }
+}
+
+TEST_F(FaultSweepTest, MergeJoin) {
+  for (JoinMode mode : {JoinMode::kInner, JoinMode::kNestJoin}) {
+    PhysicalOpPtr plan = MakeMergeJoin(mode);
+    SCOPED_TRACE(JoinModeName(mode));
+    SweepInjectionPoints(plan.get(), 1);
+  }
+}
+
+TEST_F(FaultSweepTest, NestAndUnnest) {
+  PhysicalOpPtr plan = MakeNestUnnest();
+  for (int threads : {1, 2, 4, 8}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    SweepInjectionPoints(plan.get(), threads);
+  }
+}
+
+TEST_F(FaultSweepTest, FilterMapUnionDifference) {
+  PhysicalOpPtr plan = MakeBasicsPipeline();
+  SweepInjectionPoints(plan.get(), 1);
+}
+
+/// Random fault rates under several seeds: every failing run fails with the
+/// injected kInternal (never a crash, never a mangled code), and a disarmed
+/// rerun on the same executor matches the clean baseline.
+TEST_F(FaultSweepTest, RandomRatesUnwindCleanly) {
+  PhysicalOpPtr plan = MakeHashJoin(JoinMode::kNestJoin);
+  for (int threads : {1, 4}) {
+    FaultInjector injector;
+    Executor executor(threads);
+    executor.set_fault_injector(&injector);
+    auto baseline = executor.RunPhysical(plan.get());
+    ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+
+    uint64_t total_fired = 0;
+    for (uint64_t seed : {3u, 17u, 99u, 1234u}) {
+      for (double rate : {0.02, 0.10}) {
+        injector.ArmRate(rate, seed);
+        auto run = executor.RunPhysical(plan.get());
+        if (!run.ok()) {
+          EXPECT_EQ(run.status().code(), StatusCode::kInternal)
+              << run.status().ToString();
+        }
+        total_fired += injector.faults_fired();
+
+        injector.Disarm();
+        auto recovered = executor.RunPhysical(plan.get());
+        ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+        ASSERT_EQ(recovered->size(), baseline->size());
+      }
+    }
+    // At 10% over hundreds of checkpoints at least one fault must fire.
+    EXPECT_GT(total_fired, 0u);
+  }
+}
+
+// ------------------------------------------------------ guard trip timing
+
+/// The guard-checkpoint invariant, observed externally: once Cancel() is
+/// set, no operator family pulls more than one batch of further rows from
+/// its input before the trip surfaces.
+void ExpectPromptCancellation(EndlessSource* source, PhysicalOpPtr plan,
+                              uint64_t cancel_after) {
+  Executor executor(1);
+  auto run = executor.RunPhysical(plan.get());
+  ASSERT_FALSE(run.ok()) << "endless plan completed?";
+  EXPECT_EQ(run.status().code(), StatusCode::kCancelled)
+      << run.status().ToString();
+  EXPECT_LE(source->emitted(), cancel_after + kExecBatchSize)
+      << "operator ran more than one batch past the cancellation flag";
+}
+
+TEST(GuardTripTimingTest, FilterPullPath) {
+  const uint64_t kCancelAfter = 2500;
+  auto* source = new EndlessSource(kCancelAfter);
+  PhysicalOpPtr plan(new FilterOp(PhysicalOpPtr(source), "y", Expr::True()));
+  ExpectPromptCancellation(source, std::move(plan), kCancelAfter);
+}
+
+TEST(GuardTripTimingTest, HashJoinBuildPhase) {
+  const uint64_t kCancelAfter = 2500;
+  auto* source = new EndlessSource(kCancelAfter);
+  TMDB_ASSERT_OK_AND_ASSIGN(
+      auto left, Table::Create("L", Type::Tuple({{"e", Type::Int()},
+                                                 {"d", Type::Int()}})));
+  TMDB_ASSERT_OK(left->Insert(IntRow({"e", "d"}, {1, 2})));
+  Expr xv = Expr::Var("x", left->schema());
+  Expr yv = Expr::Var("y", EndlessSource::RowType());
+  JoinSpec spec;
+  spec.mode = JoinMode::kInner;
+  spec.left_var = "x";
+  spec.right_var = "y";
+  spec.right_type = EndlessSource::RowType();
+  spec.pred = Expr::True();
+  PhysicalOpPtr plan(new HashJoinOp(
+      PhysicalOpPtr(new TableScanOp(left)), PhysicalOpPtr(source),
+      std::move(spec), {Expr::Must(Expr::Field(xv, "d"))},
+      {Expr::Must(Expr::Field(yv, "b"))}));
+  ExpectPromptCancellation(source, std::move(plan), kCancelAfter);
+}
+
+TEST(GuardTripTimingTest, NestedLoopJoinBuildPhase) {
+  const uint64_t kCancelAfter = 2500;
+  auto* source = new EndlessSource(kCancelAfter);
+  TMDB_ASSERT_OK_AND_ASSIGN(
+      auto left, Table::Create("L", Type::Tuple({{"e", Type::Int()},
+                                                 {"d", Type::Int()}})));
+  TMDB_ASSERT_OK(left->Insert(IntRow({"e", "d"}, {1, 2})));
+  JoinSpec spec;
+  spec.mode = JoinMode::kInner;
+  spec.left_var = "x";
+  spec.right_var = "y";
+  spec.right_type = EndlessSource::RowType();
+  spec.pred = Expr::True();
+  PhysicalOpPtr plan(new NestedLoopJoinOp(
+      PhysicalOpPtr(new TableScanOp(left)), PhysicalOpPtr(source),
+      std::move(spec)));
+  ExpectPromptCancellation(source, std::move(plan), kCancelAfter);
+}
+
+TEST(GuardTripTimingTest, MergeJoinSortPhase) {
+  const uint64_t kCancelAfter = 2500;
+  auto* source = new EndlessSource(kCancelAfter);
+  TMDB_ASSERT_OK_AND_ASSIGN(
+      auto left, Table::Create("L", Type::Tuple({{"e", Type::Int()},
+                                                 {"d", Type::Int()}})));
+  TMDB_ASSERT_OK(left->Insert(IntRow({"e", "d"}, {1, 2})));
+  Expr xv = Expr::Var("x", left->schema());
+  Expr yv = Expr::Var("y", EndlessSource::RowType());
+  JoinSpec spec;
+  spec.mode = JoinMode::kInner;
+  spec.left_var = "x";
+  spec.right_var = "y";
+  spec.right_type = EndlessSource::RowType();
+  spec.pred = Expr::True();
+  PhysicalOpPtr plan(new MergeJoinOp(
+      PhysicalOpPtr(new TableScanOp(left)), PhysicalOpPtr(source),
+      std::move(spec), {Expr::Must(Expr::Field(xv, "d"))},
+      {Expr::Must(Expr::Field(yv, "b"))}));
+  ExpectPromptCancellation(source, std::move(plan), kCancelAfter);
+}
+
+TEST(GuardTripTimingTest, NestBuildPhase) {
+  const uint64_t kCancelAfter = 2500;
+  auto* source = new EndlessSource(kCancelAfter);
+  Expr j = Expr::Var("j", EndlessSource::RowType());
+  Expr elem = Expr::Must(Expr::Field(j, "a"));
+  PhysicalOpPtr plan(new NestOp(PhysicalOpPtr(source), {"b"}, "j", elem, "s",
+                                /*null_group_to_empty=*/false));
+  ExpectPromptCancellation(source, std::move(plan), kCancelAfter);
+}
+
+TEST(GuardTripTimingTest, CancelFromAnotherThread) {
+  auto* source = new EndlessSource(/*cancel_after=*/0);  // never self-cancels
+  PhysicalOpPtr plan(
+      new FilterOp(PhysicalOpPtr(source), "y", Expr::True()));
+  Executor executor(1);
+  GuardLimits backstop;  // keeps the test finite even if the cancel is lost
+  backstop.timeout_ms = 10000;
+  executor.set_limits(backstop);
+  std::thread canceller([&executor] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    executor.guard()->Cancel();
+  });
+  auto run = executor.RunPhysical(plan.get());
+  canceller.join();
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kCancelled)
+      << run.status().ToString();
+}
+
+// ------------------------------------------------------- executor limits
+
+TEST(ExecutorLimitsTest, DeadlineExceededOnEndlessPlan) {
+  auto* source = new EndlessSource();
+  PhysicalOpPtr plan(
+      new FilterOp(PhysicalOpPtr(source), "y", Expr::True()));
+  Executor executor(1);
+  GuardLimits limits;
+  limits.timeout_ms = 50;
+  executor.set_limits(limits);
+  auto run = executor.RunPhysical(plan.get());
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kDeadlineExceeded)
+      << run.status().ToString();
+}
+
+TEST(ExecutorLimitsTest, MaxRowsTripsDeterministically) {
+  auto* source = new EndlessSource();
+  PhysicalOpPtr plan(
+      new FilterOp(PhysicalOpPtr(source), "y", Expr::True()));
+  Executor executor(1);
+  GuardLimits limits;
+  limits.max_rows = 5000;
+  executor.set_limits(limits);
+  auto run = executor.RunPhysical(plan.get());
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kResourceExhausted)
+      << run.status().ToString();
+  // Processed-row budgets observe the same one-batch bound as cancellation.
+  EXPECT_LE(source->emitted(), limits.max_rows + 2 * kExecBatchSize);
+}
+
+TEST(ExecutorLimitsTest, MemoryBudgetTripsBeforeTheAllocator) {
+  auto* source = new EndlessSource();
+  PhysicalOpPtr plan(
+      new FilterOp(PhysicalOpPtr(source), "y", Expr::True()));
+  Executor executor(1);
+  GuardLimits limits;
+  limits.memory_budget_bytes = 1 << 20;  // 1 MiB of fresh tuples
+  executor.set_limits(limits);
+  auto run = executor.RunPhysical(plan.get());
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kResourceExhausted)
+      << run.status().ToString();
+  // A later unlimited run on the same executor is unaffected (tracking
+  // baselines reset per run).
+  TMDB_ASSERT_OK_AND_ASSIGN(
+      auto table, Table::Create("T", Type::Tuple({{"a", Type::Int()}})));
+  TMDB_ASSERT_OK(table->Insert(IntRow({"a"}, {1})));
+  executor.set_limits(GuardLimits());
+  PhysicalOpPtr scan(new TableScanOp(table));
+  auto ok_run = executor.RunPhysical(scan.get());
+  ASSERT_TRUE(ok_run.ok()) << ok_run.status().ToString();
+  EXPECT_EQ(ok_run->size(), 1u);
+}
+
+// ------------------------------------------------- end-to-end RunOptions
+
+class DatabaseLimitsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TMDB_ASSERT_OK(db_.ExecuteScript(
+                       "CREATE TABLE X (e : INT, d : INT);"
+                       "CREATE TABLE Y (a : INT, b : INT)")
+                       .status());
+    Random rng(31);
+    for (int i = 0; i < 60; ++i) {
+      TMDB_ASSERT_OK(db_.Insert("X", IntRow({"e", "d"},
+                                            {i, rng.UniformInt(0, 12)})));
+    }
+    for (int i = 0; i < 120; ++i) {
+      TMDB_ASSERT_OK(db_.Insert("Y", IntRow({"a", "b"},
+                                            {i, rng.UniformInt(0, 12)})));
+    }
+  }
+
+  static constexpr const char* kQuery =
+      "SELECT x.e FROM X x WHERE 1 IN (SELECT y.a FROM Y y WHERE x.d = y.b)";
+
+  Database db_;
+};
+
+TEST_F(DatabaseLimitsTest, MaxRowsSurfacesAsResourceExhausted) {
+  RunOptions limited;
+  limited.max_rows = 10;
+  auto run = db_.Run(kQuery, limited);
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kResourceExhausted)
+      << run.status().ToString();
+
+  // The database (catalog included) stays fully usable after the trip.
+  TMDB_ASSERT_OK_AND_ASSIGN(QueryResult full, db_.Run(kQuery));
+  RunOptions generous;
+  generous.max_rows = 1000000;
+  TMDB_ASSERT_OK_AND_ASSIGN(QueryResult under_budget,
+                            db_.Run(kQuery, generous));
+  EXPECT_TRUE(testutil::RowsEqual(under_budget.rows, full.rows));
+}
+
+TEST_F(DatabaseLimitsTest, MemoryBudgetSurfacesAsResourceExhausted) {
+  RunOptions limited;
+  limited.memory_budget_bytes = 2048;  // far below the build tables
+  auto run = db_.Run(kQuery, limited);
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kResourceExhausted)
+      << run.status().ToString();
+
+  TMDB_ASSERT_OK_AND_ASSIGN(QueryResult full, db_.Run(kQuery));
+  RunOptions generous;
+  generous.memory_budget_bytes = 256ull << 20;
+  TMDB_ASSERT_OK_AND_ASSIGN(QueryResult under_budget,
+                            db_.Run(kQuery, generous));
+  EXPECT_TRUE(testutil::RowsEqual(under_budget.rows, full.rows));
+}
+
+TEST_F(DatabaseLimitsTest, TimeoutSurfacesAsDeadlineExceeded) {
+  // Grow Y until the naive (correlated re-execution) strategy overruns a
+  // small timeout; each doubling multiplies the subplan work.
+  RunOptions naive;
+  naive.strategy = Strategy::kNaive;
+  naive.timeout_ms = 5;
+  bool tripped = false;
+  int next_id = 1000;
+  for (int round = 0; round < 8 && !tripped; ++round) {
+    auto run = db_.Run(kQuery, naive);
+    if (!run.ok()) {
+      ASSERT_EQ(run.status().code(), StatusCode::kDeadlineExceeded)
+          << run.status().ToString();
+      tripped = true;
+      break;
+    }
+    const int grow = 2000 * (1 << round);
+    for (int i = 0; i < grow; ++i, ++next_id) {
+      TMDB_ASSERT_OK(db_.Insert("Y", IntRow({"a", "b"},
+                                            {next_id, next_id % 13})));
+    }
+  }
+  EXPECT_TRUE(tripped) << "timeout never fired despite growing inputs";
+  // And the database still answers once the pressure is off.
+  TMDB_ASSERT_OK(db_.Run(kQuery).status());
+}
+
+TEST_F(DatabaseLimitsTest, FaultInjectorThreadsThroughRunOptions) {
+  TMDB_ASSERT_OK_AND_ASSIGN(QueryResult baseline, db_.Run(kQuery));
+
+  FaultInjector injector;
+  injector.ArmNth(5);
+  RunOptions options;
+  options.fault_injector = &injector;
+  auto poisoned = db_.Run(kQuery, options);
+  ASSERT_FALSE(poisoned.ok());
+  EXPECT_EQ(poisoned.status().code(), StatusCode::kInternal)
+      << poisoned.status().ToString();
+
+  injector.Disarm();
+  TMDB_ASSERT_OK_AND_ASSIGN(QueryResult recovered, db_.Run(kQuery, options));
+  EXPECT_TRUE(testutil::RowsEqual(recovered.rows, baseline.rows));
+}
+
+// ------------------------------------------------- fault injector itself
+
+TEST(FaultInjectorTest, NthModeFiresExactlyOnce) {
+  FaultInjector injector;
+  injector.ArmNth(3);
+  EXPECT_TRUE(injector.enabled());
+  EXPECT_FALSE(injector.ShouldFail());
+  EXPECT_FALSE(injector.ShouldFail());
+  EXPECT_TRUE(injector.ShouldFail());
+  EXPECT_FALSE(injector.ShouldFail());
+  EXPECT_EQ(injector.checkpoints_seen(), 4u);
+  EXPECT_EQ(injector.faults_fired(), 1u);
+}
+
+TEST(FaultInjectorTest, CountOnlyModeNeverFires) {
+  FaultInjector injector;
+  injector.ArmNth(0);
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(injector.ShouldFail());
+  EXPECT_EQ(injector.checkpoints_seen(), 100u);
+  EXPECT_EQ(injector.faults_fired(), 0u);
+}
+
+TEST(FaultInjectorTest, RateModeIsDeterministicPerSeed) {
+  auto fire_pattern = [](uint64_t seed) {
+    FaultInjector injector;
+    injector.ArmRate(0.25, seed);
+    std::vector<bool> fired;
+    for (int i = 0; i < 200; ++i) fired.push_back(injector.ShouldFail());
+    return fired;
+  };
+  EXPECT_EQ(fire_pattern(7), fire_pattern(7));
+  EXPECT_NE(fire_pattern(7), fire_pattern(8));
+
+  FaultInjector injector;
+  injector.ArmRate(0.25, 7);
+  for (int i = 0; i < 2000; ++i) injector.ShouldFail();
+  // ~500 expected; the hash would have to be badly broken to leave [350,650].
+  EXPECT_GT(injector.faults_fired(), 350u);
+  EXPECT_LT(injector.faults_fired(), 650u);
+
+  injector.Disarm();
+  EXPECT_FALSE(injector.enabled());
+}
+
+}  // namespace
+}  // namespace tmdb

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "base/fault_injector.h"
 #include "base/random.h"
 #include "core/database.h"
 #include "parser/lexer.h"
@@ -125,6 +126,30 @@ TEST_P(FuzzTest, MutatedQueriesNeverCrash) {
         input += ' ';
       }
       Pipeline(input);
+    }
+  }
+}
+
+TEST_P(FuzzTest, CorpusUnderFaultInjectionNeverCrashes) {
+  // The whole seed corpus, executed while a rate-armed injector poisons a
+  // slice of the guard checkpoints: every run either succeeds or returns a
+  // clean Status, and a disarmed rerun always succeeds afterwards.
+  FaultInjector injector;
+  RunOptions poisoned;
+  poisoned.fault_injector = &injector;
+  for (double rate : {0.01, 0.25, 1.0}) {
+    for (const char* seed_query : kSeedQueries) {
+      const Status baseline = db_.Run(seed_query).status();
+      injector.ArmRate(rate, GetParam() * 31 + static_cast<uint64_t>(
+                                                   rate * 100));
+      auto run = db_.Run(seed_query, poisoned);
+      if (!run.ok() && baseline.ok()) {
+        // A clean query may only fail with the injected fault itself.
+        EXPECT_EQ(run.status().code(), StatusCode::kInternal)
+            << run.status().ToString();
+      }
+      injector.Disarm();
+      EXPECT_EQ(db_.Run(seed_query).status().code(), baseline.code());
     }
   }
 }

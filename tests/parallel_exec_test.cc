@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include "base/fault_injector.h"
 #include "base/random.h"
 #include "base/thread_pool.h"
 #include "catalog/table.h"
@@ -69,6 +70,42 @@ TEST(ThreadPoolTest, ExceptionPropagatesThroughFuture) {
   // The pool must survive a throwing task and keep serving new ones.
   auto good = pool.Submit([] { return 7; });
   EXPECT_EQ(good.get(), 7);
+}
+
+TEST(ParallelForMorselsTest, ThrowingBodyBecomesStatusAndPoolSurvives) {
+  ThreadPool pool(4);
+  std::vector<MorselRange> morsels = SplitMorsels(100, 4);
+  std::atomic<int> calls{0};
+  Status status = ParallelForMorsels(
+      &pool, /*guard=*/nullptr, morsels,
+      [&calls](size_t index, MorselRange) -> Status {
+        calls.fetch_add(1, std::memory_order_relaxed);
+        if (index == 2) throw std::runtime_error("boom in morsel");
+        return Status::OK();
+      });
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInternal) << status.ToString();
+  EXPECT_NE(status.ToString().find("parallel task threw"), std::string::npos)
+      << status.ToString();
+  // The pool must keep serving work after the contained exception.
+  auto after = pool.Submit([] { return 41 + 1; });
+  EXPECT_EQ(after.get(), 42);
+}
+
+TEST(ParallelForMorselsTest, FirstErrorInMorselOrderWins) {
+  ThreadPool pool(4);
+  std::vector<MorselRange> morsels = SplitMorsels(64, 4);
+  Status status = ParallelForMorsels(
+      &pool, /*guard=*/nullptr, morsels,
+      [](size_t index, MorselRange) -> Status {
+        if (index >= 1) {
+          return Status::Internal("morsel " + std::to_string(index));
+        }
+        return Status::OK();
+      });
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.ToString().find("morsel 1"), std::string::npos)
+      << status.ToString();
 }
 
 TEST(MorselSplitTest, CoversRangeExactlyOnce) {
@@ -173,6 +210,33 @@ TEST_P(ParallelHashJoinTest, MatchesSerialExactly) {
     ExpectIdentical(parallel.rows, serial.rows);
     ExpectSameStats(parallel.stats, serial.stats);
   }
+}
+
+TEST_P(ParallelHashJoinTest, PoolReusableAfterFailedParallelBuild) {
+  // Kill the build mid-flight with an injected fault, then reuse the SAME
+  // executor (and pool): the rerun must match a clean serial run exactly.
+  PhysicalOpPtr op = MakeHashJoin(GetParam());
+  RunOutcome serial = RunWithThreads(op.get(), 1);
+
+  FaultInjector injector;
+  Executor executor(4);
+  executor.set_fault_injector(&injector);
+  injector.ArmNth(0);
+  auto sized = executor.RunPhysical(op.get());
+  ASSERT_TRUE(sized.ok()) << sized.status().ToString();
+  const uint64_t total = injector.checkpoints_seen();
+  ASSERT_GT(total, 1u);
+
+  injector.ArmNth(total / 2);
+  auto poisoned = executor.RunPhysical(op.get());
+  ASSERT_FALSE(poisoned.ok());
+  EXPECT_EQ(poisoned.status().code(), StatusCode::kInternal)
+      << poisoned.status().ToString();
+
+  injector.Disarm();
+  auto recovered = executor.RunPhysical(op.get());
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  ExpectIdentical(*recovered, serial.rows);
 }
 
 INSTANTIATE_TEST_SUITE_P(
