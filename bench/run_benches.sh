@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Runs the nest-join benchmark suites and merges their google-benchmark
-# JSON output into BENCH_nestjoin.json at the repo root.
+# JSON output into BENCH_nestjoin.json at the repo root, then the spill
+# suite (in-memory vs budget-forced spilling) into BENCH_spill.json.
 #
 # Usage: bench/run_benches.sh [build-dir]   (default: build)
 #
@@ -38,7 +39,8 @@ run bench_table1_nestjoin --benchmark_filter='BM_NestJoinHash' \
 run bench_nestjoin_impls \
   --benchmark_filter='BM_(NestJoinHash|OuterJoinThenNest)(T4)?/'
 
-python3 - "$OUT_DIR" "$REPO_ROOT/BENCH_nestjoin.json" <<'EOF'
+merge() {
+python3 - "$1" "$2" <<'EOF'
 import json, pathlib, sys
 
 out_dir, dest = pathlib.Path(sys.argv[1]), pathlib.Path(sys.argv[2])
@@ -51,3 +53,16 @@ for path in sorted(out_dir.glob("*.json")):
 dest.write_text(json.dumps(merged, indent=2) + "\n")
 print(f"wrote {dest}", file=sys.stderr)
 EOF
+}
+
+merge "$OUT_DIR" "$REPO_ROOT/BENCH_nestjoin.json"
+
+# Spill suite in its own JSON: in-memory baseline vs budget-forced Grace
+# partitioning (192 KiB = deep recursion, 512 KiB = shallow).
+SPILL_OUT_DIR="$(mktemp -d)"
+trap 'rm -rf "$OUT_DIR" "$SPILL_OUT_DIR"' EXIT
+(
+  OUT_DIR="$SPILL_OUT_DIR"
+  run bench_spill
+)
+merge "$SPILL_OUT_DIR" "$REPO_ROOT/BENCH_spill.json"

@@ -10,6 +10,7 @@
 //   \timeout <ms>          per-query wall-clock limit, 0 = unlimited
 //   \memlimit <bytes>      per-query materialisation budget, 0 = unlimited
 //   \maxrows <n>           per-query processed-row budget, 0 = unlimited
+//   \spill on|off [dir]    spill joins to disk when the budget trips
 //   \explain <query>       show naive plan, rewrite decisions, final plans
 //   \tables                list tables and schemas
 //   \stats                 show counters of the last query
@@ -69,6 +70,8 @@ int main() {
   long long timeout_ms = 0;
   unsigned long long memory_budget_bytes = 0;
   unsigned long long max_rows = 0;
+  bool enable_spill = false;
+  std::string spill_dir;
   tmdb::ExecStats last_stats;
 
   std::printf("tmdb shell — tables R, S, EMP, DEPT loaded. \\quit to exit.\n");
@@ -156,6 +159,28 @@ int main() {
       }
       continue;
     }
+    if (input.rfind("\\spill", 0) == 0) {
+      std::string arg(tmdb::StripWhitespace(input.substr(6)));
+      std::string mode = arg;
+      std::string dir;
+      size_t space = arg.find(' ');
+      if (space != std::string::npos) {
+        mode = arg.substr(0, space);
+        dir = std::string(tmdb::StripWhitespace(arg.substr(space + 1)));
+      }
+      if (mode == "on") {
+        enable_spill = true;
+        spill_dir = dir;
+        std::printf("  spill = on (dir: %s)\n",
+                    spill_dir.empty() ? "<system temp>" : spill_dir.c_str());
+      } else if (mode == "off") {
+        enable_spill = false;
+        std::printf("  spill = off (memory trips fail fast)\n");
+      } else {
+        std::printf("  \\spill needs on|off [dir], got '%s'\n", arg.c_str());
+      }
+      continue;
+    }
     if (input.rfind("\\explain", 0) == 0) {
       std::string query(tmdb::StripWhitespace(input.substr(8)));
       auto explained = db.Explain(query, strategy);
@@ -171,6 +196,8 @@ int main() {
     options.timeout_ms = timeout_ms;
     options.memory_budget_bytes = memory_budget_bytes;
     options.max_rows = max_rows;
+    options.enable_spill = enable_spill;
+    options.spill_dir = spill_dir;
     auto result = db.Execute(input, options);
     if (!result.ok()) {
       std::printf("  %s\n", result.status().ToString().c_str());

@@ -13,18 +13,28 @@ cmake -B build -S .
 cmake --build build -j
 (cd build && ctest --output-on-failure -j)
 
-# TSan pass over the parallel + fault-injection paths. Sanitizers need
-# their own object files, so each gets a dedicated build tree.
+# TSan pass over the parallel + fault-injection + spill paths. The spill
+# suites bake in tiny (tens-of-KiB) memory budgets, so every run here
+# partitions to disk — races between morsel workers and the spill
+# write-out, and leaks on I/O-fault unwinds, surface in these trees and
+# not in plain ctest. Sanitizers need their own object files, so each
+# gets a dedicated build tree.
 cmake -B build-tsan -S . -DTMDB_SANITIZE=thread
-cmake --build build-tsan -j --target parallel_exec_test fault_injection_test
+cmake --build build-tsan -j --target parallel_exec_test fault_injection_test \
+  spill_codec_test spill_exec_test
 ./build-tsan/tests/parallel_exec_test
 ./build-tsan/tests/fault_injection_test
+./build-tsan/tests/spill_codec_test
+./build-tsan/tests/spill_exec_test
 
 # ASan pass over the same suites: every injected fault must unwind without
-# leaking operator or pool state.
+# leaking operator, pool, or spill-file state.
 cmake -B build-asan -S . -DTMDB_SANITIZE=address
-cmake --build build-asan -j --target parallel_exec_test fault_injection_test
+cmake --build build-asan -j --target parallel_exec_test fault_injection_test \
+  spill_codec_test spill_exec_test
 ./build-asan/tests/parallel_exec_test
 ./build-asan/tests/fault_injection_test
+./build-asan/tests/spill_codec_test
+./build-asan/tests/spill_exec_test
 
 echo "tier1: OK"

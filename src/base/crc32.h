@@ -1,0 +1,45 @@
+#ifndef TMDB_BASE_CRC32_H_
+#define TMDB_BASE_CRC32_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace tmdb {
+
+namespace internal_crc32 {
+
+/// Byte-wise lookup table for the reflected CRC-32 polynomial 0xEDB88320
+/// (the zlib/PNG polynomial), generated at compile time.
+constexpr std::array<uint32_t, 256> MakeTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+inline constexpr std::array<uint32_t, 256> kTable = MakeTable();
+
+}  // namespace internal_crc32
+
+/// CRC-32 (reflected, polynomial 0xEDB88320) over `len` bytes. Pass the
+/// previous return value as `seed` to checksum data in chunks; the default
+/// seed checksums a single buffer. Deterministic across platforms — spill
+/// files written by one build verify under any other.
+inline uint32_t Crc32(const void* data, size_t len, uint32_t seed = 0) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (size_t i = 0; i < len; ++i) {
+    c = internal_crc32::kTable[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace tmdb
+
+#endif  // TMDB_BASE_CRC32_H_

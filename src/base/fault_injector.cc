@@ -52,4 +52,45 @@ bool FaultInjector::ShouldFail() {
   return fail;
 }
 
+void FaultInjector::ArmIo(IoFaultKind kind, uint64_t n) {
+  io_kind_ = kind;
+  io_nth_ = n;
+  io_writes_.store(0, std::memory_order_relaxed);
+  io_reads_.store(0, std::memory_order_relaxed);
+  io_unlinks_.store(0, std::memory_order_relaxed);
+  io_fired_.store(0, std::memory_order_relaxed);
+}
+
+void FaultInjector::DisarmIo() { io_kind_ = IoFaultKind::kNone; }
+
+bool FaultInjector::IoOp(IoFaultKind channel_kind,
+                         std::atomic<uint64_t>* channel) {
+  const uint64_t index = channel->fetch_add(1, std::memory_order_relaxed) + 1;
+  if (channel_kind == IoFaultKind::kNone || io_kind_ != channel_kind ||
+      io_nth_ == 0 || index != io_nth_) {
+    return false;
+  }
+  io_fired_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+IoFaultKind FaultInjector::ShouldFailWrite() {
+  // Both write-shaped faults share the channel counter: the n-th write fails
+  // in whichever way was armed.
+  const IoFaultKind kind = io_kind_;
+  const bool write_fault =
+      kind == IoFaultKind::kShortWrite || kind == IoFaultKind::kEnospc;
+  return IoOp(write_fault ? kind : IoFaultKind::kNone, &io_writes_)
+             ? kind
+             : IoFaultKind::kNone;
+}
+
+bool FaultInjector::ShouldFailRead() {
+  return IoOp(IoFaultKind::kCorruptRead, &io_reads_);
+}
+
+bool FaultInjector::ShouldFailUnlink() {
+  return IoOp(IoFaultKind::kUnlinkFail, &io_unlinks_);
+}
+
 }  // namespace tmdb

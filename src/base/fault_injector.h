@@ -6,6 +6,17 @@
 
 namespace tmdb {
 
+/// Synthetic I/O failure modes for the spill subsystem. Writes can come up
+/// short or hit a full disk; reads can hand back corrupted bytes (caught by
+/// the block checksum); unlinks can fail transiently during cleanup.
+enum class IoFaultKind {
+  kNone = 0,
+  kShortWrite,   // write channel: only part of the block reaches the file
+  kEnospc,       // write channel: no space left on device
+  kCorruptRead,  // read channel: one payload byte is flipped after the read
+  kUnlinkFail,   // unlink channel: removing a spill file fails once
+};
+
 /// Deterministic, seeded fault injection for exercising error-unwind paths.
 ///
 /// The executor calls ShouldFail() at every guard checkpoint (batch
@@ -63,8 +74,49 @@ class FaultInjector {
     return fired_.load(std::memory_order_relaxed);
   }
 
+  // ------------------------------------------------------- I/O injection
+  //
+  // The spill subsystem consults a separate set of channels, one per I/O
+  // shape: block writes, block reads, and file unlinks. Every consultation
+  // is counted (armed or not), so a clean run with an installed injector
+  // sizes a sweep; ArmIo picks the channel from the fault kind and fires on
+  // that channel's n-th operation after arming. The checkpoint channel
+  // above is unaffected — checkpoint sweeps and I/O sweeps compose.
+
+  /// Fails the n-th operation (1-based) on `kind`'s channel observed after
+  /// this call. n == 0 re-arms counting only. Resets all I/O counters.
+  void ArmIo(IoFaultKind kind, uint64_t n);
+
+  /// Stops injecting I/O faults; counters keep their values.
+  void DisarmIo();
+
+  /// Write-channel consultation: returns kShortWrite/kEnospc when this
+  /// block write should fail, kNone otherwise.
+  IoFaultKind ShouldFailWrite();
+  /// Read-channel consultation: true when this block read should hand back
+  /// corrupted bytes.
+  bool ShouldFailRead();
+  /// Unlink-channel consultation: true when this unlink should fail.
+  bool ShouldFailUnlink();
+
+  uint64_t io_writes_seen() const {
+    return io_writes_.load(std::memory_order_relaxed);
+  }
+  uint64_t io_reads_seen() const {
+    return io_reads_.load(std::memory_order_relaxed);
+  }
+  uint64_t io_unlinks_seen() const {
+    return io_unlinks_.load(std::memory_order_relaxed);
+  }
+  uint64_t io_faults_fired() const {
+    return io_fired_.load(std::memory_order_relaxed);
+  }
+
  private:
   enum Mode : int { kDisabled = 0, kNth, kRate };
+
+  /// Counts an op on `channel`; true when the armed I/O fault fires here.
+  bool IoOp(IoFaultKind channel_kind, std::atomic<uint64_t>* channel);
 
   std::atomic<int> mode_{kDisabled};
   std::atomic<uint64_t> counter_{0};
@@ -73,6 +125,15 @@ class FaultInjector {
   uint64_t nth_ = 0;
   uint64_t seed_ = 0;
   uint64_t rate_threshold_ = 0;  // fail when hash >> 11 < threshold (53-bit)
+
+  // I/O channels. io_kind_ is plain for the same reason as nth_: armed only
+  // between runs, read by the (coordinator-only) spill I/O sites.
+  IoFaultKind io_kind_ = IoFaultKind::kNone;
+  uint64_t io_nth_ = 0;
+  std::atomic<uint64_t> io_writes_{0};
+  std::atomic<uint64_t> io_reads_{0};
+  std::atomic<uint64_t> io_unlinks_{0};
+  std::atomic<uint64_t> io_fired_{0};
 };
 
 }  // namespace tmdb

@@ -26,6 +26,8 @@ const char* StatusCodeName(StatusCode code) {
       return "DeadlineExceeded";
     case StatusCode::kResourceExhausted:
       return "ResourceExhausted";
+    case StatusCode::kIoError:
+      return "IoError";
   }
   return "Unknown";
 }

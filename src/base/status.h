@@ -22,6 +22,7 @@ enum class StatusCode {
   kCancelled,         // query cancelled cooperatively (QueryGuard)
   kDeadlineExceeded,  // query ran past its deadline (QueryGuard)
   kResourceExhausted, // row/memory budget tripped (QueryGuard)
+  kIoError,           // spill/storage I/O failed or data failed its checksum
 };
 
 /// Returns a stable human-readable name ("TypeError", ...) for a code.
@@ -74,6 +75,9 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

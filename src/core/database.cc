@@ -20,6 +20,8 @@ void ApplyGovernance(const RunOptions& options, Executor* executor) {
   limits.max_rows = options.max_rows;
   executor->set_limits(limits);
   executor->set_fault_injector(options.fault_injector);
+  executor->set_spill_options(options.enable_spill, options.spill_dir,
+                              options.spill_block_bytes);
 }
 
 }  // namespace
@@ -64,6 +66,7 @@ Result<QueryResult> Database::Run(const std::string& query,
   PlannerOptions planner_options;
   planner_options.join_impl = options.join_impl;
   planner_options.num_threads = options.num_threads;
+  planner_options.spill_available = options.enable_spill;
   Planner planner(planner_options);
   TMDB_ASSIGN_OR_RETURN(PhysicalOpPtr physical, planner.Plan(logical));
   Executor executor(options.num_threads);
@@ -115,6 +118,7 @@ Result<StatementResult> Database::ExecuteParsed(const Statement& statement,
       PlannerOptions planner_options;
       planner_options.join_impl = options.join_impl;
       planner_options.num_threads = options.num_threads;
+      planner_options.spill_available = options.enable_spill;
       Planner planner(planner_options);
       TMDB_ASSIGN_OR_RETURN(PhysicalOpPtr physical, planner.Plan(plan));
       Executor executor(options.num_threads);

@@ -54,8 +54,23 @@ struct RunOptions {
   uint64_t memory_budget_bytes = 0;
   /// Budget on rows processed (emitted + materialised), bounding work.
   uint64_t max_rows = 0;
-  /// Deterministic fault injector consulted at every guard checkpoint
-  /// (tests only). Not owned; must outlive the call.
+
+  // Spill-to-disk (graceful degradation under memory pressure). With
+  // enable_spill, a hash/nest-join build that trips memory_budget_bytes
+  // partitions to disk Grace-style and completes with results bit-identical
+  // to the unbudgeted run; with it off the query fails fast with
+  // kResourceExhausted. Spill files live in a unique per-query directory
+  // removed on every outcome.
+  /// Off by default.
+  bool enable_spill = false;
+  /// Directory for spill files; empty = the system temp directory.
+  std::string spill_dir;
+  /// Spill block size (the unit of I/O, checksumming and checkpointing);
+  /// 0 = 64 KiB.
+  size_t spill_block_bytes = 0;
+
+  /// Deterministic fault injector consulted at every guard checkpoint and
+  /// every spill I/O (tests only). Not owned; must outlive the call.
   FaultInjector* fault_injector = nullptr;
 };
 

@@ -9,6 +9,7 @@
 namespace tmdb {
 
 class QueryGuard;
+class SpillManager;
 class ThreadPool;
 
 /// Counters accumulated during one execution. They expose the *work* a
@@ -21,6 +22,10 @@ struct ExecStats {
   uint64_t subplan_evals = 0;    // correlated subquery executions (naive)
   uint64_t hash_probes = 0;      // hash table lookups in hash joins
   uint64_t rows_built = 0;       // rows materialised into build tables
+  uint64_t spill_partitions = 0;    // partition files written by spilling joins
+  uint64_t spill_bytes_written = 0; // bytes through spill writers
+  uint64_t spill_bytes_read = 0;    // bytes through spill readers
+  uint64_t spill_max_depth = 0;     // deepest recursive partitioning level
 
   void Reset() { *this = ExecStats(); }
   std::string ToString() const;
@@ -46,6 +51,9 @@ struct ExecContext {
   /// fault injection. Operators call CheckGuard(ctx) at batch and morsel
   /// boundaries; nullptr means ungoverned (tests driving ops directly).
   QueryGuard* guard = nullptr;
+  /// Spill-to-disk facility. nullptr disables spilling: a memory trip then
+  /// fails the query with kResourceExhausted exactly as before.
+  SpillManager* spill = nullptr;
 
   bool parallel_enabled() const { return pool != nullptr && num_threads > 1; }
 };

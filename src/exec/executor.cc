@@ -114,6 +114,11 @@ void Executor::set_num_threads(int num_threads) {
 
 Result<std::vector<Value>> Executor::RunPhysical(PhysicalOp* root) {
   guard_.Reset(limits_, &stats_, fault_injector_);
+  spill_.reset();
+  if (spill_enabled_) {
+    spill_ = std::make_unique<SpillManager>(spill_dir_, spill_block_bytes_,
+                                            fault_injector_);
+  }
   ExecContext ctx;
   ctx.outer_env = nullptr;
   ctx.subplans = this;
@@ -121,7 +126,16 @@ Result<std::vector<Value>> Executor::RunPhysical(PhysicalOp* root) {
   ctx.pool = pool_.get();
   ctx.num_threads = num_threads_;
   ctx.guard = &guard_;
-  return CollectRows(root, &ctx);
+  ctx.spill = spill_.get();
+  Result<std::vector<Value>> rows = CollectRows(root, &ctx);
+  // Unconditional teardown — success, error, cancellation, guard trip: the
+  // spill dir and every remaining file are gone before this returns, and
+  // the executor is immediately reusable.
+  if (spill_ != nullptr) {
+    spill_->CleanupAll();
+    spill_.reset();
+  }
+  return rows;
 }
 
 Result<Value> Executor::EvaluateSubplan(const SubplanBase& subplan,
@@ -140,8 +154,10 @@ Result<Value> Executor::EvaluateSubplan(const SubplanBase& subplan,
   ctx.subplans = this;
   ctx.stats = &stats_;
   // The enclosing run's guard governs subplans too, so cancellation and
-  // budgets reach the correlated inner blocks of the naive strategy.
+  // budgets reach the correlated inner blocks of the naive strategy; the
+  // run's spill manager is shared for the same reason.
   ctx.guard = &guard_;
+  ctx.spill = spill_.get();
   // Subplans stay serial (no pool): they re-open once per outer row, where
   // per-execution fan-out overhead would swamp any gain.
   TMDB_ASSIGN_OR_RETURN(std::vector<Value> rows,

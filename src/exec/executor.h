@@ -2,7 +2,9 @@
 #define TMDB_EXEC_EXECUTOR_H_
 
 #include <memory>
+#include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "algebra/logical_op.h"
@@ -12,6 +14,7 @@
 #include "exec/exec_context.h"
 #include "exec/physical_op.h"
 #include "exec/query_guard.h"
+#include "spill/spill_manager.h"
 #include "values/value.h"
 
 namespace tmdb {
@@ -37,10 +40,23 @@ class Executor final : public SubplanEvaluator {
   void set_limits(const GuardLimits& limits) { limits_ = limits; }
   const GuardLimits& limits() const { return limits_; }
 
-  /// Installs a fault injector consulted at every guard checkpoint of
-  /// subsequent runs (tests only; nullptr to remove). Not owned.
+  /// Installs a fault injector consulted at every guard checkpoint and
+  /// every spill I/O of subsequent runs (tests only; nullptr to remove).
+  /// Not owned.
   void set_fault_injector(FaultInjector* injector) {
     fault_injector_ = injector;
+  }
+
+  /// Enables spill-to-disk for subsequent runs: when the memory budget
+  /// trips during a hash/nest-join build, the join degrades to Grace-style
+  /// partitioned execution instead of failing. `dir` empty = system temp
+  /// dir; `block_bytes` 0 = 64 KiB. Off by default — with spilling off a
+  /// memory trip still fails fast with kResourceExhausted.
+  void set_spill_options(bool enable, std::string dir = std::string(),
+                         size_t block_bytes = 0) {
+    spill_enabled_ = enable;
+    spill_dir_ = std::move(dir);
+    spill_block_bytes_ = block_bytes;
   }
 
   /// The per-run governor. Valid between runs too; another thread may call
@@ -77,6 +93,14 @@ class Executor final : public SubplanEvaluator {
   QueryGuard guard_;
   // Created on first use when num_threads_ > 1; reused across executions.
   std::unique_ptr<ThreadPool> pool_;
+  // Spill-to-disk configuration and the per-run manager. The manager is a
+  // member (not a RunPhysical local) because EvaluateSubplan's contexts
+  // must share it; it is torn down — temp dir included — on every exit
+  // path of RunPhysical, so no outcome leaks spill files.
+  bool spill_enabled_ = false;
+  std::string spill_dir_;
+  size_t spill_block_bytes_ = 0;
+  std::unique_ptr<SpillManager> spill_;
   // Physical plans for subplans are built once and re-opened per outer row
   // (Open fully resets operator state).
   std::unordered_map<const SubplanBase*, PhysicalOpPtr> subplan_cache_;

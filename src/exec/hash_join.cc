@@ -48,9 +48,14 @@ Status HashJoinOp::Open(ExecContext* ctx) {
   materialized_ = false;
   output_.clear();
   output_pos_ = 0;
+  spilled_ = false;
   build_res_.Reset(ctx->guard);
 
   TMDB_RETURN_IF_ERROR(BuildTables(ctx));
+  if (spilled_) {
+    // The spill path consumed both inputs and filled output_ already.
+    return Status::OK();
+  }
   TMDB_RETURN_IF_ERROR(left_->Open(ctx));
 
   // Morsel-parallel probe requires every probe-side expression to be
@@ -60,8 +65,24 @@ Status HashJoinOp::Open(ExecContext* ctx) {
       !ExprHasSubplan(spec_.pred) &&
       (spec_.mode != JoinMode::kNestJoin || !ExprHasSubplan(spec_.func));
   if (probe_parallel) {
-    TMDB_RETURN_IF_ERROR(ParallelProbe());
-    materialized_ = true;
+    const uint64_t held_before = build_res_.held();
+    Status probed = ParallelProbe();
+    if (probed.ok()) {
+      materialized_ = true;
+    } else if (SpillEligible(ctx, probed)) {
+      // The build table fits but materialising the probe side blew the
+      // budget. Fall back to the streaming probe, which holds one left row
+      // at a time: refund the probe scratch (its values freed on unwind)
+      // and restart the left input.
+      build_res_.Shrink(build_res_.held() - held_before);
+      output_.clear();
+      output_.shrink_to_fit();
+      output_pos_ = 0;
+      left_->Close();
+      TMDB_RETURN_IF_ERROR(left_->Open(ctx));
+    } else {
+      return probed;
+    }
   }
   return Status::OK();
 }
@@ -70,85 +91,137 @@ Status HashJoinOp::BuildTables(ExecContext* ctx) {
   // Build phase: materialise the right input, hash it on its composite key.
   TMDB_RETURN_IF_ERROR(right_->Open(ctx));
   std::vector<Value> rows;
+  Status drained = Status::OK();
   while (true) {
-    TMDB_ASSIGN_OR_RETURN(size_t got, right_->NextBatch(&rows, kExecBatchSize));
-    if (got == 0) break;
+    Result<size_t> got = right_->NextBatch(&rows, kExecBatchSize);
+    if (!got.ok()) {
+      drained = got.status();
+      break;
+    }
+    if (*got == 0) break;
+    ctx->stats->rows_built += *got;
     // Charge the build-side row slots (and checkpoint) per batch, so a
     // memory budget trips during materialisation, not after.
-    TMDB_RETURN_IF_ERROR(build_res_.Add(got * sizeof(Value)));
+    if (Status s = build_res_.Add(*got * sizeof(Value)); !s.ok()) {
+      drained = s;
+      break;
+    }
+  }
+  if (!drained.ok()) {
+    if (!SpillEligible(ctx, drained)) {
+      right_->Close();
+      return drained;
+    }
+    // The rows drained so far are intact; divert to disk and keep draining.
+    return SpillBuildAndProbe(ctx, std::move(rows), /*right_open=*/true);
   }
   right_->Close();
-  const size_t n = rows.size();
-  ctx->stats->rows_built += n;
 
+  Status built = BuildInMemory(ctx, &rows);
+  if (!built.ok()) {
+    partitions_.clear();
+    if (!SpillEligible(ctx, built)) return built;
+    // Key evaluation never disturbs `rows` (see BuildInMemory), so they are
+    // salvageable here even though the build tripped mid-way.
+    return SpillBuildAndProbe(ctx, std::move(rows), /*right_open=*/false);
+  }
+  return Status::OK();
+}
+
+Status HashJoinOp::BuildInMemory(ExecContext* ctx, std::vector<Value>* rows_in) {
+  std::vector<Value>& rows = *rows_in;
+  const size_t n = rows.size();
   const bool parallel = ctx->parallel_enabled() && !AnyHasSubplan(right_keys_);
   const size_t num_partitions =
       parallel ? static_cast<size_t>(ctx->num_threads) : 1;
   partitions_.assign(num_partitions, BuildMap());
 
+  // Pass A: evaluate every composite key up front, leaving `rows` untouched
+  // — a memory trip in this pass is salvageable by the spill path. The
+  // scratch slots are charged now and refunded when the scratch dies below.
+  const uint64_t scratch_bytes =
+      n * sizeof(Value) + (parallel ? n * sizeof(uint64_t) : 0);
+  TMDB_RETURN_IF_ERROR(build_res_.Add(scratch_bytes));
+  std::vector<Value> keys(n);
+  std::vector<uint64_t> hashes(parallel ? n : 0);
+  if (!parallel) {
+    for (size_t i = 0; i < n; ++i) {
+      TMDB_RETURN_IF_ERROR(PeriodicGuardCheck(ctx, i));
+      TMDB_ASSIGN_OR_RETURN(keys[i], EvalCompositeKey(right_keys_,
+                                                      spec_.right_var,
+                                                      rows[i], ctx));
+    }
+  } else {
+    // Parallel stage 1 (morsels): evaluate the key expressions once per
+    // build row and pre-compute the key hashes (cached inside the Value
+    // rep, so partitioning and map insertion below re-use them).
+    std::vector<MorselRange> morsels = SplitMorsels(n, ctx->num_threads);
+    std::vector<ExecStats> key_stats(morsels.size());
+    TMDB_RETURN_IF_ERROR(ParallelForMorsels(
+        ctx->pool, ctx->guard, morsels,
+        [&](size_t m, MorselRange range) -> Status {
+          ExecContext wctx;
+          wctx.outer_env = ctx->outer_env;
+          wctx.subplans = nullptr;  // guarded: keys are subplan-free
+          wctx.stats = &key_stats[m];
+          wctx.guard = ctx->guard;
+          for (size_t i = range.begin; i < range.end; ++i) {
+            TMDB_RETURN_IF_ERROR(PeriodicGuardCheck(&wctx, i - range.begin));
+            TMDB_ASSIGN_OR_RETURN(keys[i],
+                                  EvalCompositeKey(right_keys_, spec_.right_var,
+                                                   rows[i], &wctx));
+            hashes[i] = keys[i].Hash();
+          }
+          return Status::OK();
+        }));
+    AccumulateStats(key_stats, ctx->stats);
+  }
+
+  // Pass B: move keys and rows into the hash maps. No fresh tracked values
+  // are created here, so this pass cannot trip the memory budget and strand
+  // half-moved rows.
   if (!parallel) {
     BuildMap& table = partitions_[0];
     table.reserve(n);
     for (size_t i = 0; i < n; ++i) {
       TMDB_RETURN_IF_ERROR(PeriodicGuardCheck(ctx, i));
-      TMDB_ASSIGN_OR_RETURN(Value key, EvalCompositeKey(right_keys_,
-                                                        spec_.right_var,
-                                                        rows[i], ctx));
-      table[std::move(key)].push_back(std::move(rows[i]));
+      table[std::move(keys[i])].push_back(std::move(rows[i]));
     }
-    return Status::OK();
+  } else {
+    // Parallel stage 2 (one task per partition): each worker owns one
+    // disjoint partition and scans the row sequence in order, so every
+    // bucket receives its rows in build-input order — exactly the serial
+    // insertion order.
+    std::vector<MorselRange> one_per_partition;
+    one_per_partition.reserve(num_partitions);
+    for (size_t p = 0; p < num_partitions; ++p) {
+      one_per_partition.push_back({p, p + 1});
+    }
+    TMDB_RETURN_IF_ERROR(ParallelForMorsels(
+        ctx->pool, ctx->guard, one_per_partition,
+        [&](size_t, MorselRange range) -> Status {
+          const size_t p = range.begin;
+          BuildMap& table = partitions_[p];
+          table.reserve(n / num_partitions + 1);
+          for (size_t i = 0; i < n; ++i) {
+            TMDB_RETURN_IF_ERROR(PeriodicGuardCheck(ctx, i));
+            if (hashes[i] % num_partitions != p) continue;
+            // Disjoint: row i is moved by exactly one partition task.
+            table[std::move(keys[i])].push_back(std::move(rows[i]));
+          }
+          return Status::OK();
+        }));
   }
 
-  // Stage 1 (parallel over morsels): evaluate the key expressions once per
-  // build row and pre-compute the key hashes (cached inside the Value rep,
-  // so partitioning and map insertion below re-use them).
-  std::vector<Value> keys(n);
-  std::vector<uint64_t> hashes(n);
-  TMDB_RETURN_IF_ERROR(
-      build_res_.Add(n * (sizeof(Value) + sizeof(uint64_t))));
-  std::vector<MorselRange> morsels = SplitMorsels(n, ctx->num_threads);
-  std::vector<ExecStats> key_stats(morsels.size());
-  TMDB_RETURN_IF_ERROR(ParallelForMorsels(
-      ctx->pool, ctx->guard, morsels,
-      [&](size_t m, MorselRange range) -> Status {
-        ExecContext wctx;
-        wctx.outer_env = ctx->outer_env;
-        wctx.subplans = nullptr;  // guarded: keys are subplan-free
-        wctx.stats = &key_stats[m];
-        wctx.guard = ctx->guard;
-        for (size_t i = range.begin; i < range.end; ++i) {
-          TMDB_RETURN_IF_ERROR(PeriodicGuardCheck(&wctx, i - range.begin));
-          TMDB_ASSIGN_OR_RETURN(keys[i],
-                                EvalCompositeKey(right_keys_, spec_.right_var,
-                                                 rows[i], &wctx));
-          hashes[i] = keys[i].Hash();
-        }
-        return Status::OK();
-      }));
-  AccumulateStats(key_stats, ctx->stats);
-
-  // Stage 2 (parallel over partitions): each worker owns one disjoint
-  // partition and scans the row sequence in order, so every bucket receives
-  // its rows in build-input order — exactly the serial insertion order.
-  std::vector<MorselRange> one_per_partition;
-  one_per_partition.reserve(num_partitions);
-  for (size_t p = 0; p < num_partitions; ++p) {
-    one_per_partition.push_back({p, p + 1});
-  }
-  TMDB_RETURN_IF_ERROR(ParallelForMorsels(
-      ctx->pool, ctx->guard, one_per_partition,
-      [&](size_t, MorselRange range) -> Status {
-        const size_t p = range.begin;
-        BuildMap& table = partitions_[p];
-        table.reserve(n / num_partitions + 1);
-        for (size_t i = 0; i < n; ++i) {
-          TMDB_RETURN_IF_ERROR(PeriodicGuardCheck(ctx, i));
-          if (hashes[i] % num_partitions != p) continue;
-          // Disjoint: row i is moved by exactly one partition task.
-          table[std::move(keys[i])].push_back(std::move(rows[i]));
-        }
-        return Status::OK();
-      }));
+  // The scratch vectors die now; refund their slots so the charge does not
+  // linger as phantom memory for the rest of the query.
+  keys.clear();
+  keys.shrink_to_fit();
+  hashes.clear();
+  hashes.shrink_to_fit();
+  build_res_.Shrink(scratch_bytes);
+  rows.clear();
+  rows.shrink_to_fit();
   return Status::OK();
 }
 
@@ -166,7 +239,13 @@ Status HashJoinOp::ProcessLeftRow(const Value& left_row, ExecContext* ctx,
   TMDB_ASSIGN_OR_RETURN(
       Value key, EvalCompositeKey(left_keys_, spec_.left_var, left_row, ctx));
   ctx->stats->hash_probes++;
-  const std::vector<Value>* bucket = FindBucket(key);
+  return ProcessMatch(left_row, FindBucket(key), ctx, out);
+}
+
+Status HashJoinOp::ProcessMatch(const Value& left_row,
+                                const std::vector<Value>* bucket,
+                                ExecContext* ctx,
+                                std::vector<Value>* out) const {
   switch (spec_.mode) {
     case JoinMode::kInner:
     case JoinMode::kLeftOuter: {
@@ -402,6 +481,7 @@ void HashJoinOp::Close() {
   output_.clear();
   output_pos_ = 0;
   materialized_ = false;
+  spilled_ = false;
   build_res_.Release();
   left_->Close();
   // Usually already closed at the end of BuildTables; closing again is a

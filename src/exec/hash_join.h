@@ -1,9 +1,11 @@
 #ifndef TMDB_EXEC_HASH_JOIN_H_
 #define TMDB_EXEC_HASH_JOIN_H_
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "exec/join_common.h"
@@ -27,6 +29,17 @@ namespace tmdb {
 /// morsels. Both paths are bit-identical to serial execution: partitioning
 /// preserves per-key insertion order, morsel outputs are concatenated in
 /// probe order, and worker-local stats are summed deterministically.
+///
+/// When ExecContext::spill is set and the memory budget trips while the
+/// build side materialises, the operator degrades to Grace-style
+/// partitioned execution instead of failing (hash_join_spill.cc): build and
+/// probe sides partition to disk on the composite key's hash, partitions
+/// are processed one at a time (recursing on partitions that still exceed
+/// the budget, to a bounded depth), and spilled bytes are refunded to the
+/// guard. Rows that share a key always land in the same partition, so every
+/// join mode — nest join grouping and dangling-row semantics included —
+/// behaves exactly as in memory, and a per-left-row tag restores the
+/// original output order bit for bit.
 class HashJoinOp final : public PhysicalOp {
  public:
   /// `left_keys[i] = right_keys[i]` are the extracted equi-conjuncts;
@@ -56,6 +69,10 @@ class HashJoinOp final : public PhysicalOp {
   const std::vector<Value>* FindBucket(const Value& key) const;
 
   Status BuildTables(ExecContext* ctx);
+  /// In-memory build from fully drained rows (serial two-pass or
+  /// morsel-parallel). A memory trip during key evaluation leaves `rows`
+  /// intact so the caller can divert to the spill path.
+  Status BuildInMemory(ExecContext* ctx, std::vector<Value>* rows);
   /// Materialises the left input and probes it with parallel morsels,
   /// filling output_. Only called when the probe expressions are
   /// subplan-free.
@@ -63,6 +80,36 @@ class HashJoinOp final : public PhysicalOp {
   /// Appends the join output rows of one left row to `out` (all modes).
   Status ProcessLeftRow(const Value& left_row, ExecContext* ctx,
                         std::vector<Value>* out) const;
+  /// Mode dispatch for one left row against its (possibly null) bucket.
+  Status ProcessMatch(const Value& left_row, const std::vector<Value>* bucket,
+                      ExecContext* ctx, std::vector<Value>* out) const;
+
+  // --- Grace spill path (hash_join_spill.cc) ---
+
+  /// One partition's pair of files on disk.
+  struct SpillPart {
+    std::string build_path;
+    std::string probe_path;
+  };
+
+  /// True when `s` is a memory-budget trip that spilling can relieve.
+  bool SpillEligible(const ExecContext* ctx, const Status& s) const;
+  /// Diverts the build to disk: partitions the salvaged (and any remaining)
+  /// build rows plus the whole probe side, then processes partitions one at
+  /// a time into output_. `right_open` says the build input still has rows.
+  Status SpillBuildAndProbe(ExecContext* ctx, std::vector<Value> build_rows,
+                            bool right_open);
+  /// Loads one partition's build file and probes its probe file, appending
+  /// (left-row tag, output row) pairs. Recurses via Repartition when the
+  /// partition alone exceeds the budget.
+  Status ProcessSpillPartition(ExecContext* ctx, const SpillPart& part,
+                               int depth,
+                               std::vector<std::pair<uint64_t, Value>>* out);
+  /// Splits both files of `part` into kSpillFanout sub-partitions at
+  /// depth+1 without decoding rows (keys only), then recurses on each.
+  Status RepartitionAndRecurse(ExecContext* ctx, const SpillPart& part,
+                               int depth,
+                               std::vector<std::pair<uint64_t, Value>>* out);
 
   Result<bool> AdvanceLeft();
   Result<std::optional<Value>> NextStreaming();
@@ -85,10 +132,13 @@ class HashJoinOp final : public PhysicalOp {
   size_t bucket_pos_ = 0;
   bool left_matched_ = false;
 
-  // Materialised probe output (parallel path).
+  // Materialised probe output (parallel and spill paths).
   bool materialized_ = false;
   std::vector<Value> output_;
   size_t output_pos_ = 0;
+
+  // True once this Open diverted to the Grace spill path.
+  bool spilled_ = false;
 
   // Bytes charged to the guard for build/probe materialisation.
   GuardReservation build_res_;

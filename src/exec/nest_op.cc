@@ -91,6 +91,12 @@ Status NestOp::OpenSerial(std::vector<Value> rows) {
         Value out, ExtendTuple(keys[i], label_, Value::Set(std::move(groups[i]))));
     output_.push_back(std::move(out));
   }
+  // The input batch is dead (its images live on in output_); refund its
+  // shell charge rather than carrying it until Close as phantom pressure.
+  const uint64_t rows_bytes = rows.size() * sizeof(Value);
+  rows.clear();
+  rows.shrink_to_fit();
+  build_res_.Shrink(rows_bytes);
   return Status::OK();
 }
 
@@ -103,8 +109,8 @@ Status NestOp::OpenParallel(std::vector<Value> rows) {
   std::vector<Value> keys(n);
   std::vector<uint64_t> hashes(n);
   std::vector<Value> elems(n);
-  TMDB_RETURN_IF_ERROR(
-      build_res_.Add(n * (2 * sizeof(Value) + sizeof(uint64_t))));
+  const uint64_t scratch_bytes = n * (2 * sizeof(Value) + sizeof(uint64_t));
+  TMDB_RETURN_IF_ERROR(build_res_.Add(scratch_bytes));
   std::vector<MorselRange> morsels = SplitMorsels(n, ctx_->num_threads);
   TMDB_RETURN_IF_ERROR(ParallelForMorsels(
       ctx_->pool, ctx_->guard, morsels,
@@ -173,6 +179,19 @@ Status NestOp::OpenParallel(std::vector<Value> rows) {
         }
         return Status::OK();
       }));
+
+  // The stage-1 scratch is dead (keys/elems moved into the partition
+  // outputs); refund its charge so it doesn't linger as phantom budget
+  // pressure for downstream operators.
+  keys.clear();
+  keys.shrink_to_fit();
+  hashes.clear();
+  hashes.shrink_to_fit();
+  elems.clear();
+  elems.shrink_to_fit();
+  rows.clear();
+  rows.shrink_to_fit();
+  build_res_.Shrink(scratch_bytes + n * sizeof(Value));
 
   // Merge: serial output order is group first-occurrence order, so sort the
   // partition outputs by first-occurrence row index.

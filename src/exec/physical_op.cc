@@ -6,10 +6,18 @@
 namespace tmdb {
 
 std::string ExecStats::ToString() const {
-  return StrCat("rows_emitted=", rows_emitted,
-                " predicate_evals=", predicate_evals,
-                " subplan_evals=", subplan_evals, " hash_probes=", hash_probes,
-                " rows_built=", rows_built);
+  std::string out =
+      StrCat("rows_emitted=", rows_emitted,
+             " predicate_evals=", predicate_evals,
+             " subplan_evals=", subplan_evals, " hash_probes=", hash_probes,
+             " rows_built=", rows_built);
+  if (spill_partitions > 0) {
+    out += StrCat(" spill_partitions=", spill_partitions,
+                  " spill_bytes_written=", spill_bytes_written,
+                  " spill_bytes_read=", spill_bytes_read,
+                  " spill_max_depth=", spill_max_depth);
+  }
+  return out;
 }
 
 namespace {

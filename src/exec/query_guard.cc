@@ -15,8 +15,10 @@ void QueryGuard::Reset(const GuardLimits& limits, const ExecStats* stats,
   stats_ = stats;
   injector_ = injector;
   cancelled_.store(false, std::memory_order_relaxed);
+  last_trip_was_memory_.store(false, std::memory_order_relaxed);
   checkpoints_.store(0, std::memory_order_relaxed);
   materialized_.store(0, std::memory_order_relaxed);
+  memory_suspended_.store(0, std::memory_order_relaxed);
 
   rows_baseline_ =
       stats == nullptr ? 0 : stats->rows_emitted + stats->rows_built;
@@ -64,14 +66,17 @@ Status QueryGuard::Check() {
     const uint64_t rows =
         stats_->rows_emitted + stats_->rows_built - rows_baseline_;
     if (rows > limits_.max_rows) {
+      last_trip_was_memory_.store(false, std::memory_order_relaxed);
       return Status::ResourceExhausted(
           StrCat("query processed ", rows, " rows, over the max_rows budget of ",
                  limits_.max_rows));
     }
   }
-  if (limits_.memory_budget_bytes > 0) {
+  if (limits_.memory_budget_bytes > 0 &&
+      memory_suspended_.load(std::memory_order_relaxed) == 0) {
     const int64_t used = memory_used();
     if (used > static_cast<int64_t>(limits_.memory_budget_bytes)) {
+      last_trip_was_memory_.store(true, std::memory_order_relaxed);
       return Status::ResourceExhausted(
           StrCat("query materialised ", used,
                  " bytes, over the memory budget of ",

@@ -80,6 +80,41 @@ class QueryGuard {
   /// allocated since Reset plus operator reservations.
   int64_t memory_used() const;
 
+  /// True when a memory budget is set and current usage exceeds it. A live
+  /// reading — it can flip back to false as soon as the tripping allocation
+  /// is freed, so spill-eligibility decisions use last_trip_was_memory()
+  /// instead.
+  bool memory_over_budget() const {
+    return limits_.memory_budget_bytes > 0 &&
+           memory_used() >
+               static_cast<int64_t>(limits_.memory_budget_bytes);
+  }
+
+  /// True when the most recent kResourceExhausted from this guard was a
+  /// *memory* trip (spillable) rather than a max_rows trip (not helped by
+  /// disk) — both surface as the same status code. Recorded at trip time,
+  /// so it stays valid after the caller frees the tripping allocation on
+  /// its way to the spill path.
+  bool last_trip_was_memory() const {
+    return last_trip_was_memory_.load(std::memory_order_relaxed);
+  }
+
+  /// The injector installed at Reset (null when none) — spill I/O sites
+  /// consult its I/O channels.
+  FaultInjector* injector() const { return injector_; }
+
+  /// Spill write-out loops run with the memory-budget comparison suspended:
+  /// they exist to shed memory and would otherwise trip the very check that
+  /// engaged them. Every other check — cancellation, deadline, max_rows,
+  /// injected faults — stays live, so a cancel fires promptly even
+  /// mid-spill. Nestable; use MemoryCheckSuspension, not these directly.
+  void SuspendMemoryCheck() {
+    memory_suspended_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void ResumeMemoryCheck() {
+    memory_suspended_.fetch_sub(1, std::memory_order_relaxed);
+  }
+
   const GuardLimits& limits() const { return limits_; }
 
  private:
@@ -88,8 +123,10 @@ class QueryGuard {
   FaultInjector* injector_ = nullptr;
 
   std::atomic<bool> cancelled_{false};
+  std::atomic<bool> last_trip_was_memory_{false};
   std::atomic<uint64_t> checkpoints_{0};
   std::atomic<int64_t> materialized_{0};
+  std::atomic<int> memory_suspended_{0};
 
   bool has_deadline_ = false;
   std::chrono::steady_clock::time_point deadline_{};
@@ -99,6 +136,23 @@ class QueryGuard {
 
   bool tracking_values_ = false;  // we hold a ValueMemory enable refcount
   int64_t value_baseline_ = 0;    // LiveBytes() snapshot at Reset
+};
+
+/// RAII scope for QueryGuard::SuspendMemoryCheck. Null guard is a no-op, so
+/// ungoverned executions need no special-casing at spill sites.
+class MemoryCheckSuspension {
+ public:
+  explicit MemoryCheckSuspension(QueryGuard* guard) : guard_(guard) {
+    if (guard_ != nullptr) guard_->SuspendMemoryCheck();
+  }
+  ~MemoryCheckSuspension() {
+    if (guard_ != nullptr) guard_->ResumeMemoryCheck();
+  }
+  MemoryCheckSuspension(const MemoryCheckSuspension&) = delete;
+  MemoryCheckSuspension& operator=(const MemoryCheckSuspension&) = delete;
+
+ private:
+  QueryGuard* guard_;
 };
 
 /// Returns OK when `ctx` carries no guard — operators stay drivable in
@@ -131,6 +185,17 @@ class GuardReservation {
     return guard_->Check();
   }
 
+  /// Refunds `bytes` of the held balance without unbinding — used when data
+  /// the reservation covered moves to disk (spill) or a scratch container
+  /// is dropped between pipeline stages. Clamped to the balance so a
+  /// generous estimate can never drive the guard's accounting negative.
+  void Shrink(uint64_t bytes) {
+    if (guard_ == nullptr || bytes_ == 0) return;
+    if (bytes > bytes_) bytes = bytes_;
+    guard_->AddMaterialized(-static_cast<int64_t>(bytes));
+    bytes_ -= bytes;
+  }
+
   /// Returns the full balance to the guard.
   void Release() {
     if (guard_ != nullptr && bytes_ != 0) {
@@ -138,6 +203,9 @@ class GuardReservation {
     }
     bytes_ = 0;
   }
+
+  /// Balance currently charged through this reservation.
+  uint64_t held() const { return bytes_; }
 
  private:
   QueryGuard* guard_ = nullptr;

@@ -29,6 +29,14 @@ struct PlannerOptions {
   /// the hash build/probe cost by it, since those phases parallelise; with
   /// the default of 1 the costs (and all plans) are exactly the serial ones.
   int num_threads = 1;
+  /// Whether the executor will run with spill-to-disk available
+  /// (RunOptions::enable_spill). Hash joins then degrade gracefully under a
+  /// memory budget instead of failing, so under pressure a hash plan is
+  /// strictly safer than the nested-loop fallback. The cost model is not
+  /// adjusted — spilling changes failure behaviour, not the expected cost
+  /// of the in-memory path — but the flag is threaded through so a future
+  /// cost model can prefer spillable operators when budgets are tight.
+  bool spill_available = false;
 };
 
 /// Cardinality estimate for a logical operator (input sizes from table

@@ -1,0 +1,220 @@
+#include "spill/spill_file.h"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "base/crc32.h"
+#include "spill/value_codec.h"
+
+namespace tmdb {
+
+namespace {
+
+constexpr uint32_t kBlockMagic = 0x544D5350u;  // "TMSP"
+constexpr size_t kHeaderBytes = 16;
+// Upper bound on a single block's payload: the writer never produces more
+// than block_bytes + one record, and records are join rows, not gigabytes.
+// A corrupt header length past this cap is rejected instead of allocated.
+constexpr uint32_t kMaxPayloadBytes = 1u << 30;
+
+void PutU32(uint32_t v, unsigned char* out) {
+  out[0] = static_cast<unsigned char>(v & 0xFFu);
+  out[1] = static_cast<unsigned char>((v >> 8) & 0xFFu);
+  out[2] = static_cast<unsigned char>((v >> 16) & 0xFFu);
+  out[3] = static_cast<unsigned char>((v >> 24) & 0xFFu);
+}
+
+uint32_t GetU32(const unsigned char* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+Status ErrnoError(const char* what, const std::string& path) {
+  return Status::IoError(std::string(what) + " " + path + ": " +
+                         std::strerror(errno));
+}
+
+}  // namespace
+
+// --------------------------------------------------------------- SpillWriter
+
+SpillWriter::SpillWriter(std::string path, size_t block_bytes,
+                         FaultInjector* injector)
+    : path_(std::move(path)),
+      block_bytes_(block_bytes < 64 ? 64 : block_bytes),
+      injector_(injector) {}
+
+SpillWriter::~SpillWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status SpillWriter::Open() {
+  file_ = std::fopen(path_.c_str(), "wb");
+  if (file_ == nullptr) return ErrnoError("cannot create spill file", path_);
+  return Status::OK();
+}
+
+Status SpillWriter::Append(std::string_view record) {
+  PutVarint(record.size(), &payload_);
+  payload_.append(record.data(), record.size());
+  ++pending_records_;
+  ++stats_.records;
+  if (payload_.size() >= block_bytes_) {
+    TMDB_RETURN_IF_ERROR(FlushBlock());
+    boundary_ = true;
+  }
+  return Status::OK();
+}
+
+Status SpillWriter::FlushBlock() {
+  if (pending_records_ == 0) return Status::OK();
+  unsigned char header[kHeaderBytes];
+  PutU32(kBlockMagic, header);
+  PutU32(static_cast<uint32_t>(payload_.size()), header + 4);
+  PutU32(pending_records_, header + 8);
+  // The CRC covers the length and record-count fields as well as the
+  // payload: a flipped bit anywhere but the magic (checked separately) or
+  // the CRC itself (self-detecting) must fail verification — a corrupt
+  // record count would otherwise silently drop records.
+  const uint32_t crc =
+      Crc32(payload_.data(), payload_.size(), Crc32(header + 4, 8));
+  PutU32(crc, header + 12);
+
+  if (injector_ != nullptr) {
+    switch (injector_->ShouldFailWrite()) {
+      case IoFaultKind::kShortWrite:
+        // Model a torn write: part of the block reaches the file, then the
+        // device gives up. The caller unwinds; cleanup removes the file.
+        std::fwrite(header, 1, kHeaderBytes, file_);
+        std::fwrite(payload_.data(), 1, payload_.size() / 2, file_);
+        return Status::IoError("injected short write on " + path_);
+      case IoFaultKind::kEnospc:
+        return Status::IoError("injected ENOSPC writing " + path_);
+      default:
+        break;
+    }
+  }
+
+  if (std::fwrite(header, 1, kHeaderBytes, file_) != kHeaderBytes ||
+      std::fwrite(payload_.data(), 1, payload_.size(), file_) !=
+          payload_.size()) {
+    return ErrnoError("short write to spill file", path_);
+  }
+  stats_.bytes += kHeaderBytes + payload_.size();
+  ++stats_.blocks;
+  payload_.clear();
+  pending_records_ = 0;
+  return Status::OK();
+}
+
+Status SpillWriter::Finish() {
+  if (file_ == nullptr) return Status::OK();
+  Status s = FlushBlock();
+  if (s.ok() && std::fflush(file_) != 0) {
+    s = ErrnoError("cannot flush spill file", path_);
+  }
+  if (std::fclose(file_) != 0 && s.ok()) {
+    s = ErrnoError("cannot close spill file", path_);
+  }
+  file_ = nullptr;
+  return s;
+}
+
+bool SpillWriter::TookBlockBoundary() {
+  const bool b = boundary_;
+  boundary_ = false;
+  return b;
+}
+
+// --------------------------------------------------------------- SpillReader
+
+SpillReader::SpillReader(std::string path, FaultInjector* injector)
+    : path_(std::move(path)), injector_(injector) {}
+
+SpillReader::~SpillReader() { Close(); }
+
+Status SpillReader::Open() {
+  file_ = std::fopen(path_.c_str(), "rb");
+  if (file_ == nullptr) return ErrnoError("cannot open spill file", path_);
+  return Status::OK();
+}
+
+Status SpillReader::LoadBlock(bool* eof) {
+  unsigned char header[kHeaderBytes];
+  const size_t got = std::fread(header, 1, kHeaderBytes, file_);
+  if (got == 0 && std::feof(file_)) {
+    *eof = true;
+    return Status::OK();
+  }
+  if (got != kHeaderBytes) {
+    return Status::IoError("truncated spill block header in " + path_);
+  }
+  if (GetU32(header) != kBlockMagic) {
+    return Status::IoError("bad spill block magic in " + path_);
+  }
+  const uint32_t payload_len = GetU32(header + 4);
+  const uint32_t record_count = GetU32(header + 8);
+  const uint32_t crc = GetU32(header + 12);
+  if (payload_len == 0 || payload_len > kMaxPayloadBytes) {
+    return Status::IoError("implausible spill block length in " + path_);
+  }
+  payload_.resize(payload_len);
+  if (std::fread(payload_.data(), 1, payload_len, file_) != payload_len) {
+    return Status::IoError("truncated spill block payload in " + path_);
+  }
+  if (injector_ != nullptr && injector_->ShouldFailRead()) {
+    // Flip one checksummed byte: the CRC below must catch it, so injected
+    // corruption can never surface as a wrong answer.
+    payload_[payload_.size() / 2] =
+        static_cast<char>(payload_[payload_.size() / 2] ^ 0xFF);
+  }
+  if (Crc32(payload_.data(), payload_.size(), Crc32(header + 4, 8)) != crc) {
+    return Status::IoError("spill block checksum mismatch in " + path_);
+  }
+  pos_ = 0;
+  block_records_left_ = record_count;
+  boundary_ = true;
+  stats_.bytes += kHeaderBytes + payload_len;
+  ++stats_.blocks;
+  *eof = false;
+  return Status::OK();
+}
+
+Status SpillReader::Next(std::string_view* record, bool* eof) {
+  *eof = false;
+  while (block_records_left_ == 0) {
+    bool file_done = false;
+    TMDB_RETURN_IF_ERROR(LoadBlock(&file_done));
+    if (file_done) {
+      *eof = true;
+      return Status::OK();
+    }
+  }
+  uint64_t len = 0;
+  TMDB_RETURN_IF_ERROR(GetVarint(payload_, &pos_, &len));
+  if (len > payload_.size() - pos_) {
+    return Status::IoError("record overruns spill block in " + path_);
+  }
+  *record = std::string_view(payload_.data() + pos_, static_cast<size_t>(len));
+  pos_ += static_cast<size_t>(len);
+  --block_records_left_;
+  ++stats_.records;
+  return Status::OK();
+}
+
+bool SpillReader::TookBlockBoundary() {
+  const bool b = boundary_;
+  boundary_ = false;
+  return b;
+}
+
+void SpillReader::Close() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+}  // namespace tmdb

@@ -1,0 +1,114 @@
+#ifndef TMDB_SPILL_SPILL_FILE_H_
+#define TMDB_SPILL_SPILL_FILE_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+#include "base/fault_injector.h"
+#include "base/status.h"
+
+namespace tmdb {
+
+/// A spill file is a sequence of self-contained blocks:
+///
+///   [magic u32][payload_len u32][record_count u32][crc32 u32][payload...]
+///
+/// Fixed-width header fields are little-endian; the CRC-32 covers the
+/// payload length, the record count, and the payload — every header byte
+/// is protected by either the magic check, the CRC, or (for the CRC field
+/// itself) the verification mismatch. The payload is a run of records, each
+/// prefixed with a varint byte length. Blocks are the unit of I/O, checksum
+/// verification, fault injection, and guard checkpointing in the callers'
+/// loops: any single corrupted byte fails validation and surfaces as
+/// kIoError before a record is decoded.
+
+struct SpillFileStats {
+  uint64_t blocks = 0;
+  uint64_t bytes = 0;  // header + payload bytes through the file layer
+  uint64_t records = 0;
+};
+
+/// Buffered block writer. Not thread-safe; spill I/O runs on the
+/// coordinator thread.
+class SpillWriter {
+ public:
+  /// Writes to `path` (created/truncated on Open). `injector` may be null.
+  /// A block is flushed when the buffered payload reaches `block_bytes`,
+  /// and on Finish.
+  SpillWriter(std::string path, size_t block_bytes, FaultInjector* injector);
+  ~SpillWriter();
+  SpillWriter(const SpillWriter&) = delete;
+  SpillWriter& operator=(const SpillWriter&) = delete;
+
+  Status Open();
+
+  /// Appends one record. May flush a block; kIoError on a short write or
+  /// (injected) ENOSPC.
+  Status Append(std::string_view record);
+
+  /// Flushes buffered records and closes the file. Idempotent.
+  Status Finish();
+
+  /// True right after Append flushed a block — callers checkpoint the
+  /// guard here, keeping the block-granularity invariant. Reading resets
+  /// the flag.
+  bool TookBlockBoundary();
+
+  const std::string& path() const { return path_; }
+  const SpillFileStats& stats() const { return stats_; }
+
+ private:
+  Status FlushBlock();
+
+  std::string path_;
+  size_t block_bytes_;
+  FaultInjector* injector_;
+  std::FILE* file_ = nullptr;
+  std::string payload_;
+  uint32_t pending_records_ = 0;
+  bool boundary_ = false;
+  SpillFileStats stats_;
+};
+
+/// Block reader; verifies each block's checksum before yielding records.
+/// Not thread-safe.
+class SpillReader {
+ public:
+  SpillReader(std::string path, FaultInjector* injector);
+  ~SpillReader();
+  SpillReader(const SpillReader&) = delete;
+  SpillReader& operator=(const SpillReader&) = delete;
+
+  Status Open();
+
+  /// Yields the next record, or sets *eof. The view aliases the current
+  /// block buffer and stays valid until the next call.
+  Status Next(std::string_view* record, bool* eof);
+
+  /// True right after Next loaded a fresh block from disk — callers
+  /// checkpoint the guard here. Reading resets the flag.
+  bool TookBlockBoundary();
+
+  void Close();
+
+  const std::string& path() const { return path_; }
+  const SpillFileStats& stats() const { return stats_; }
+
+ private:
+  Status LoadBlock(bool* eof);
+
+  std::string path_;
+  FaultInjector* injector_;
+  std::FILE* file_ = nullptr;
+  std::string payload_;
+  size_t pos_ = 0;
+  uint32_t block_records_left_ = 0;
+  bool boundary_ = false;
+  SpillFileStats stats_;
+};
+
+}  // namespace tmdb
+
+#endif  // TMDB_SPILL_SPILL_FILE_H_

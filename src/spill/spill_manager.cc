@@ -1,0 +1,99 @@
+#include "spill/spill_manager.h"
+
+#include <algorithm>
+#include <atomic>
+#include <filesystem>
+#include <system_error>
+#include <utility>
+
+#ifdef _WIN32
+#include <process.h>
+#else
+#include <unistd.h>
+#endif
+
+namespace tmdb {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// Distinguishes per-query directories across SpillManager instances within
+// one process; the pid distinguishes across processes sharing a temp dir.
+std::atomic<uint64_t> g_dir_seq{0};
+
+uint64_t Pid() {
+#ifdef _WIN32
+  return static_cast<uint64_t>(_getpid());
+#else
+  return static_cast<uint64_t>(::getpid());
+#endif
+}
+
+}  // namespace
+
+SpillManager::SpillManager(std::string base_dir, size_t block_bytes,
+                           FaultInjector* injector)
+    : base_dir_(std::move(base_dir)),
+      block_bytes_(block_bytes == 0 ? (64u << 10) : block_bytes),
+      injector_(injector) {}
+
+SpillManager::~SpillManager() { CleanupAll(); }
+
+Result<std::string> SpillManager::NewFilePath(const std::string& label) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (dir_.empty()) {
+    std::error_code ec;
+    fs::path base = base_dir_.empty() ? fs::temp_directory_path(ec)
+                                      : fs::path(base_dir_);
+    if (ec) {
+      return Status::IoError("no usable temp directory for spilling: " +
+                             ec.message());
+    }
+    fs::path dir = base / ("tmdb-spill-" + std::to_string(Pid()) + "-" +
+                           std::to_string(g_dir_seq.fetch_add(1)));
+    fs::create_directories(dir, ec);
+    if (ec) {
+      return Status::IoError("cannot create spill directory " +
+                             dir.string() + ": " + ec.message());
+    }
+    dir_ = dir.string();
+  }
+  std::string path =
+      dir_ + "/" + label + "-" + std::to_string(counter_++) + ".spill";
+  live_files_.push_back(path);
+  ++files_created_;
+  return path;
+}
+
+void SpillManager::RemoveFile(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (injector_ != nullptr && injector_->ShouldFailUnlink()) {
+    return;  // stays in live_files_; CleanupAll sweeps it
+  }
+  std::error_code ec;
+  if (fs::remove(path, ec) && !ec) {
+    live_files_.erase(std::remove(live_files_.begin(), live_files_.end(), path),
+                      live_files_.end());
+  }
+}
+
+void SpillManager::CleanupAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (dir_.empty()) return;
+  // remove_all retries everything still on disk, including files whose
+  // unlink was failed by injection; errors are deliberately swallowed —
+  // cleanup runs on every unwind path and must not mask the query's status.
+  std::error_code ec;
+  fs::remove_all(dir_, ec);
+  dir_.clear();
+  live_files_.clear();
+  counter_ = 0;
+}
+
+std::string SpillManager::dir() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dir_;
+}
+
+}  // namespace tmdb

@@ -1,0 +1,71 @@
+#ifndef TMDB_SPILL_SPILL_MANAGER_H_
+#define TMDB_SPILL_SPILL_MANAGER_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "base/fault_injector.h"
+#include "base/result.h"
+#include "base/status.h"
+
+namespace tmdb {
+
+/// Owns the temp-directory lifecycle for one query run. The per-query
+/// directory (`<base>/tmdb-spill-<pid>-<seq>`) is created lazily on the
+/// first file request and removed unconditionally by CleanupAll — which the
+/// executor invokes on success, error, cancellation, and guard trip alike,
+/// so no outcome leaks temp files.
+///
+/// Operators remove each spill file as soon as its partition is consumed
+/// (RemoveFile); an injected or real unlink failure merely defers that file
+/// to CleanupAll's sweep — the query itself is unaffected. NewFilePath and
+/// RemoveFile are mutex-protected because subplan evaluation can share one
+/// manager across contexts.
+class SpillManager {
+ public:
+  /// `base_dir` empty means the system temp directory. `injector` may be
+  /// null.
+  SpillManager(std::string base_dir, size_t block_bytes,
+               FaultInjector* injector);
+  ~SpillManager();
+  SpillManager(const SpillManager&) = delete;
+  SpillManager& operator=(const SpillManager&) = delete;
+
+  /// Returns a fresh path inside the per-query directory, creating the
+  /// directory on first use. `label` tags the filename for debuggability
+  /// ("hj-build-p3-d1"); it must be filesystem-safe.
+  Result<std::string> NewFilePath(const std::string& label);
+
+  /// Best-effort unlink of one spill file. Consults the injector's unlink
+  /// channel; on (injected or real) failure the file stays registered and
+  /// CleanupAll retries it.
+  void RemoveFile(const std::string& path);
+
+  /// Removes every remaining spill file and the per-query directory.
+  /// Idempotent; a later NewFilePath starts a fresh directory.
+  void CleanupAll();
+
+  size_t block_bytes() const { return block_bytes_; }
+  FaultInjector* injector() const { return injector_; }
+  uint64_t files_created() const { return files_created_; }
+
+  /// The per-query directory path; empty until the first NewFilePath.
+  std::string dir() const;
+
+ private:
+  const std::string base_dir_;
+  const size_t block_bytes_;
+  FaultInjector* const injector_;
+
+  mutable std::mutex mu_;
+  std::string dir_;
+  uint64_t counter_ = 0;
+  uint64_t files_created_ = 0;
+  std::vector<std::string> live_files_;
+};
+
+}  // namespace tmdb
+
+#endif  // TMDB_SPILL_SPILL_MANAGER_H_

@@ -50,7 +50,8 @@ Status LoadCountBugTables(Database* db, const CountBugConfig& config) {
   // c values [0, matched_domain) appear in S; R rows draw c from the full
   // domain, so roughly (1 - match_fraction) of them dangle.
   const int64_t full_domain =
-      static_cast<int64_t>(config.num_r) + 1;
+      (static_cast<int64_t>(config.num_r) + 1) *
+      (config.domain_scale < 1 ? 1 : config.domain_scale);
   const int64_t matched_domain = static_cast<int64_t>(
       static_cast<double>(full_domain) * config.match_fraction);
   for (size_t i = 0; i < config.num_r; ++i) {
@@ -79,7 +80,9 @@ Status LoadSubsetBugTables(Database* db, const SubsetBugConfig& config) {
   TMDB_ASSIGN_OR_RETURN(
       auto y, db->CreateTable("Y", Type::Tuple({{"a", Type::Int()},
                                                 {"b", Type::Int()}})));
-  const int64_t full_domain = static_cast<int64_t>(config.num_x) + 1;
+  const int64_t full_domain =
+      (static_cast<int64_t>(config.num_x) + 1) *
+      (config.domain_scale < 1 ? 1 : config.domain_scale);
   const int64_t matched_domain = static_cast<int64_t>(
       static_cast<double>(full_domain) * config.match_fraction);
   for (size_t i = 0; i < config.num_x; ++i) {

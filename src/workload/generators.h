@@ -23,6 +23,11 @@ struct CountBugConfig {
   double match_fraction = 0.7;
   int64_t max_b = 4;
   uint64_t seed = 42;
+  /// Multiplies the c-value domain (default 1 = the historical behaviour,
+  /// where the domain tracks num_r). Values > 1 spread the join keys and
+  /// leave most S rows matching no R row, so the nested outputs stay small
+  /// relative to the build side — the shape spill tests need.
+  int64_t domain_scale = 1;
 };
 Status LoadCountBugTables(Database* db, const CountBugConfig& config);
 
@@ -38,6 +43,8 @@ struct SubsetBugConfig {
   size_t max_set_size = 3;
   int64_t value_domain = 8;
   uint64_t seed = 43;
+  /// Multiplies the b-value domain; see CountBugConfig::domain_scale.
+  int64_t domain_scale = 1;
 };
 Status LoadSubsetBugTables(Database* db, const SubsetBugConfig& config);
 

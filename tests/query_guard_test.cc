@@ -1,0 +1,175 @@
+// GuardReservation accounting: Add charges and checkpoints, Shrink refunds
+// without unbinding (clamped so estimates can never drive the guard
+// negative), Release returns everything exactly once. The spill path leans
+// on this arithmetic — a build that partitions to disk refunds its charge
+// via Shrink, and a phantom (unrefunded) charge would shrink every
+// downstream operator's headroom.
+
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "exec/exec_context.h"
+#include "exec/query_guard.h"
+#include "tests/test_util.h"
+
+namespace tmdb {
+namespace {
+
+class GuardReservationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    GuardLimits limits;
+    limits.memory_budget_bytes = 1 << 20;  // 1 MiB
+    guard_.Reset(limits, &stats_, nullptr);
+    baseline_ = guard_.memory_used();
+  }
+
+  /// Bytes charged to the guard beyond the post-Reset baseline.
+  int64_t charged() const { return guard_.memory_used() - baseline_; }
+
+  ExecStats stats_;
+  QueryGuard guard_;
+  int64_t baseline_ = 0;
+};
+
+TEST_F(GuardReservationTest, AddChargesAndHeldTracks) {
+  GuardReservation res;
+  res.Reset(&guard_);
+  EXPECT_EQ(res.held(), 0u);
+
+  TMDB_ASSERT_OK(res.Add(1000));
+  EXPECT_EQ(res.held(), 1000u);
+  EXPECT_EQ(charged(), 1000);
+
+  TMDB_ASSERT_OK(res.Add(234));
+  EXPECT_EQ(res.held(), 1234u);
+  EXPECT_EQ(charged(), 1234);
+
+  res.Release();
+  EXPECT_EQ(res.held(), 0u);
+  EXPECT_EQ(charged(), 0);
+}
+
+TEST_F(GuardReservationTest, ShrinkRefundsWithoutUnbinding) {
+  GuardReservation res;
+  res.Reset(&guard_);
+  TMDB_ASSERT_OK(res.Add(4096));
+
+  res.Shrink(1096);
+  EXPECT_EQ(res.held(), 3000u);
+  EXPECT_EQ(charged(), 3000);
+
+  // Still bound: further Adds charge the same guard.
+  TMDB_ASSERT_OK(res.Add(500));
+  EXPECT_EQ(res.held(), 3500u);
+  EXPECT_EQ(charged(), 3500);
+
+  res.Release();
+  EXPECT_EQ(charged(), 0);
+}
+
+TEST_F(GuardReservationTest, ShrinkClampsToBalance) {
+  GuardReservation res;
+  res.Reset(&guard_);
+  TMDB_ASSERT_OK(res.Add(100));
+
+  // A generous refund estimate must not push the guard below zero.
+  res.Shrink(250);
+  EXPECT_EQ(res.held(), 0u);
+  EXPECT_EQ(charged(), 0);
+
+  // And shrinking an empty reservation stays a no-op.
+  res.Shrink(50);
+  EXPECT_EQ(res.held(), 0u);
+  EXPECT_EQ(charged(), 0);
+}
+
+TEST_F(GuardReservationTest, DoubleReleaseIsANoOp) {
+  GuardReservation res;
+  res.Reset(&guard_);
+  TMDB_ASSERT_OK(res.Add(2048));
+  res.Release();
+  res.Release();
+  EXPECT_EQ(charged(), 0);
+}
+
+TEST_F(GuardReservationTest, ResetReleasesHeldBalance) {
+  GuardReservation res;
+  res.Reset(&guard_);
+  TMDB_ASSERT_OK(res.Add(512));
+  EXPECT_EQ(charged(), 512);
+  // Rebinding (re-Open) returns the old balance first.
+  res.Reset(&guard_);
+  EXPECT_EQ(res.held(), 0u);
+  EXPECT_EQ(charged(), 0);
+}
+
+TEST_F(GuardReservationTest, AddTripsTheBudgetAtTheMaterialisationSite) {
+  GuardReservation res;
+  res.Reset(&guard_);
+  Status s = res.Add(2u << 20);  // double the budget
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted) << s.ToString();
+  EXPECT_TRUE(guard_.memory_over_budget());
+  EXPECT_TRUE(guard_.last_trip_was_memory());
+
+  // Shrinking the charge back below the budget clears the live condition —
+  // the exact arithmetic the spill refund depends on — but the recorded
+  // trip kind survives, so a spill decision made *after* the unwinding
+  // freed the tripping allocation still classifies correctly.
+  res.Shrink(2u << 20);
+  EXPECT_FALSE(guard_.memory_over_budget());
+  EXPECT_TRUE(guard_.last_trip_was_memory());
+  TMDB_EXPECT_OK(guard_.Check());
+}
+
+TEST_F(GuardReservationTest, UnboundReservationIsInert) {
+  GuardReservation res;  // never Reset to a guard
+  TMDB_ASSERT_OK(res.Add(1u << 30));
+  EXPECT_EQ(res.held(), 0u);
+  res.Shrink(123);
+  res.Release();
+  EXPECT_EQ(charged(), 0);
+}
+
+TEST_F(GuardReservationTest, MemoryOverBudgetDistinguishesMaxRowsTrips) {
+  // A guard with only a row budget reports kResourceExhausted without
+  // memory_over_budget() — the signal spill eligibility keys on.
+  GuardLimits limits;
+  limits.max_rows = 1;
+  ExecStats stats;
+  QueryGuard guard;
+  guard.Reset(limits, &stats, nullptr);
+  stats.rows_emitted = 100;  // blow the row budget after the Reset snapshot
+  Status s = guard.Check();
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted) << s.ToString();
+  EXPECT_FALSE(guard.memory_over_budget());
+  EXPECT_FALSE(guard.last_trip_was_memory());
+}
+
+TEST_F(GuardReservationTest, MemoryCheckSuspensionOnlySilencesMemory) {
+  GuardReservation res;
+  res.Reset(&guard_);
+  Status over = res.Add(2u << 20);
+  ASSERT_EQ(over.code(), StatusCode::kResourceExhausted);
+
+  {
+    MemoryCheckSuspension suspend(&guard_);
+    // Over budget, but the comparison is suspended: the write-out loop can
+    // make progress.
+    TMDB_EXPECT_OK(guard_.Check());
+    // Cancellation still fires mid-spill.
+    guard_.Cancel();
+    Status s = guard_.Check();
+    EXPECT_EQ(s.code(), StatusCode::kCancelled) << s.ToString();
+  }
+}
+
+TEST_F(GuardReservationTest, SuspensionOnNullGuardIsANoOp) {
+  MemoryCheckSuspension suspend(nullptr);  // must not crash
+}
+
+}  // namespace
+}  // namespace tmdb
