@@ -66,3 +66,18 @@ trap 'rm -rf "$OUT_DIR" "$SPILL_OUT_DIR"' EXIT
   run bench_spill
 )
 merge "$SPILL_OUT_DIR" "$REPO_ROOT/BENCH_spill.json"
+
+# Subplan memoization suite: cached vs uncached correlated subqueries under
+# the naive strategy, across hit ratios (~99.9% down to ~0%).
+SUBPLAN_OUT_DIR="$(mktemp -d)"
+trap 'rm -rf "$OUT_DIR" "$SPILL_OUT_DIR" "$SUBPLAN_OUT_DIR"' EXIT
+(
+  OUT_DIR="$SUBPLAN_OUT_DIR"
+  run bench_subplan
+)
+merge "$SUBPLAN_OUT_DIR" "$REPO_ROOT/BENCH_subplan.json"
+
+# Compare the fresh numbers against the committed baselines; warns on >15%
+# real_time regressions (pass --strict via BENCH_DIFF_ARGS to make that
+# fatal in CI).
+python3 "$REPO_ROOT/scripts/bench_diff.py" ${BENCH_DIFF_ARGS:-} || exit 1

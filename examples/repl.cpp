@@ -11,9 +11,12 @@
 //   \memlimit <bytes>      per-query materialisation budget, 0 = unlimited
 //   \maxrows <n>           per-query processed-row budget, 0 = unlimited
 //   \spill on|off [dir]    spill joins to disk when the budget trips
+//   \subcache <bytes>      correlated-subplan memo budget, 0 = off
 //   \explain <query>       show naive plan, rewrite decisions, final plans
 //   \tables                list tables and schemas
-//   \stats                 show counters of the last query
+//   \stats on|off|<empty>  per-query counters: toggle auto-print, or show
+//                          the last query's (subplan cache hits/misses/
+//                          evictions, spill partitions, guard checkpoints)
 //   \quit
 
 #include <cstdio>
@@ -72,6 +75,8 @@ int main() {
   unsigned long long max_rows = 0;
   bool enable_spill = false;
   std::string spill_dir;
+  unsigned long long subplan_cache_bytes = RunOptions().subplan_cache_bytes;
+  bool auto_stats = true;
   tmdb::ExecStats last_stats;
 
   std::printf("tmdb shell — tables R, S, EMP, DEPT loaded. \\quit to exit.\n");
@@ -95,8 +100,27 @@ int main() {
       }
       continue;
     }
-    if (input == "\\stats") {
-      std::printf("  %s\n", last_stats.ToString().c_str());
+    if (input.rfind("\\stats", 0) == 0) {
+      std::string arg(tmdb::StripWhitespace(input.substr(6)));
+      if (arg == "on" || arg == "off") {
+        auto_stats = arg == "on";
+        std::printf("  stats auto-print = %s\n", arg.c_str());
+      } else {
+        std::printf("  %s\n", last_stats.ToString().c_str());
+      }
+      continue;
+    }
+    if (input.rfind("\\subcache", 0) == 0) {
+      std::string arg(tmdb::StripWhitespace(input.substr(9)));
+      long long bytes = std::atoll(arg.c_str());
+      if (arg.empty() || bytes < 0) {
+        std::printf("  \\subcache needs a byte count >= 0, got '%s'\n",
+                    arg.c_str());
+      } else {
+        subplan_cache_bytes = static_cast<unsigned long long>(bytes);
+        std::printf("  subplan cache = %lld bytes%s\n", bytes,
+                    bytes == 0 ? " (memoization off)" : "");
+      }
       continue;
     }
     if (input.rfind("\\strategy", 0) == 0) {
@@ -198,13 +222,17 @@ int main() {
     options.max_rows = max_rows;
     options.enable_spill = enable_spill;
     options.spill_dir = spill_dir;
+    options.subplan_cache_bytes = subplan_cache_bytes;
     auto result = db.Execute(input, options);
     if (!result.ok()) {
       std::printf("  %s\n", result.status().ToString().c_str());
       continue;
     }
     std::printf("%s", result->ToString(20).c_str());
-    if (result->is_query) last_stats = result->query.stats;
+    if (result->is_query) {
+      last_stats = result->query.stats;
+      if (auto_stats) std::printf("  %s\n", last_stats.ToString().c_str());
+    }
   }
   return 0;
 }

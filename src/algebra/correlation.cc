@@ -1,0 +1,208 @@
+#include "algebra/correlation.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "algebra/subplan.h"
+#include "base/string_util.h"
+
+namespace tmdb {
+
+namespace {
+
+using AccessPath = CorrelationSignature::AccessPath;
+
+/// Records every access the expression can make to a variable not bound
+/// inside the subplan. `bound` holds the names bound by enclosing plan
+/// operators and quantifiers; anything else must come from the outer
+/// environment, so it is part of the correlation signature whether or not
+/// the subplan's recorded free-variable set mentions it — over-coverage is
+/// harmless, under-coverage would make memoization unsound.
+void AnalyzeExpr(const Expr& e, std::set<std::string>* bound,
+                 std::set<AccessPath>* out) {
+  switch (e.expr_kind()) {
+    case ExprKind::kLiteral:
+      return;
+    case ExprKind::kVarRef:
+      if (bound->count(e.var_name()) == 0) {
+        out->insert({e.var_name(), {}});
+      }
+      return;
+    case ExprKind::kFieldAccess: {
+      // Peel the field chain down to its root. A chain rooted at an
+      // unbound variable is the narrowable case: only those attributes of
+      // the outer row are read.
+      std::vector<std::string> path;
+      const Expr* cur = &e;
+      while (cur->is_field_access()) {
+        path.push_back(cur->field_name());
+        cur = &cur->field_base();
+      }
+      if (cur->is_var() && bound->count(cur->var_name()) == 0) {
+        std::reverse(path.begin(), path.end());
+        out->insert({cur->var_name(), std::move(path)});
+      } else {
+        AnalyzeExpr(*cur, bound, out);
+      }
+      return;
+    }
+    case ExprKind::kBinary:
+      AnalyzeExpr(e.lhs(), bound, out);
+      AnalyzeExpr(e.rhs(), bound, out);
+      return;
+    case ExprKind::kUnary:
+      AnalyzeExpr(e.operand(), bound, out);
+      return;
+    case ExprKind::kQuantifier: {
+      AnalyzeExpr(e.quant_collection(), bound, out);
+      const bool inserted = bound->insert(e.quant_var()).second;
+      AnalyzeExpr(e.quant_pred(), bound, out);
+      if (inserted) bound->erase(e.quant_var());
+      return;
+    }
+    case ExprKind::kAggregate:
+      AnalyzeExpr(e.agg_arg(), bound, out);
+      return;
+    case ExprKind::kTupleCtor:
+    case ExprKind::kSetCtor:
+      for (const Expr& elem : e.ctor_elements()) {
+        AnalyzeExpr(elem, bound, out);
+      }
+      return;
+    case ExprKind::kSubplan: {
+      // A nested subplan has its own (already computed, bottom-up)
+      // signature; splice in the paths that are still unbound here. If the
+      // implementation is not a PlanSubplan, fall back to whole-variable
+      // coverage of its recorded free variables.
+      const auto* nested = dynamic_cast<const PlanSubplan*>(&e.subplan());
+      if (nested != nullptr) {
+        for (const AccessPath& ap : nested->signature().paths) {
+          if (bound->count(ap.var) == 0) out->insert(ap);
+        }
+      } else {
+        for (const std::string& v : e.subplan().free_vars()) {
+          if (bound->count(v) == 0) out->insert({v, {}});
+        }
+      }
+      return;
+    }
+  }
+}
+
+/// Mirrors the CollectPlanFreeVars traversal (logical_op.cc): each
+/// operator's own expressions see `bound` plus the variables the operator
+/// itself binds; children are recursed with the original `bound`.
+void AnalyzePlan(const LogicalOp& op, const std::set<std::string>& bound,
+                 std::set<AccessPath>* out) {
+  std::set<std::string> here = bound;
+  std::vector<const Expr*> exprs;
+  switch (op.op_kind()) {
+    case OpKind::kScan:
+      break;
+    case OpKind::kExprSource:
+      exprs.push_back(&op.func());
+      break;
+    case OpKind::kSelect:
+      here.insert(op.var());
+      exprs.push_back(&op.pred());
+      break;
+    case OpKind::kMap:
+      here.insert(op.var());
+      exprs.push_back(&op.func());
+      break;
+    case OpKind::kJoin:
+    case OpKind::kSemiJoin:
+    case OpKind::kAntiJoin:
+    case OpKind::kOuterJoin:
+      here.insert(op.left_var());
+      here.insert(op.right_var());
+      exprs.push_back(&op.pred());
+      break;
+    case OpKind::kNestJoin:
+      here.insert(op.left_var());
+      here.insert(op.right_var());
+      exprs.push_back(&op.pred());
+      exprs.push_back(&op.func());
+      break;
+    case OpKind::kNest:
+      here.insert(op.var());
+      exprs.push_back(&op.func());
+      break;
+    case OpKind::kUnnest:
+    case OpKind::kUnion:
+    case OpKind::kDifference:
+      break;
+  }
+  for (const Expr* e : exprs) {
+    AnalyzeExpr(*e, &here, out);
+  }
+  for (const LogicalOpPtr& child : op.inputs()) {
+    AnalyzePlan(*child, bound, out);
+  }
+}
+
+/// True when `a` subsumes `b`: same variable and a's path is a (possibly
+/// empty) proper prefix of b's — reading through `a` determines everything
+/// `b` can read.
+bool Subsumes(const AccessPath& a, const AccessPath& b) {
+  if (a.var != b.var || a.path.size() >= b.path.size()) return false;
+  return std::equal(a.path.begin(), a.path.end(), b.path.begin());
+}
+
+}  // namespace
+
+std::string CorrelationSignature::ToString() const {
+  std::vector<std::string> rendered;
+  rendered.reserve(paths.size());
+  for (const AccessPath& ap : paths) {
+    std::string s = ap.var;
+    for (const std::string& field : ap.path) s += "." + field;
+    rendered.push_back(std::move(s));
+  }
+  return StrCat("[", Join(rendered, ", "), "]");
+}
+
+CorrelationSignature ComputeCorrelationSignature(
+    const LogicalOp& plan, const std::set<std::string>& free_vars) {
+  (void)free_vars;  // coverage is derived from unbound uses; see AnalyzeExpr
+  std::set<AccessPath> accesses;
+  AnalyzePlan(plan, {}, &accesses);
+
+  CorrelationSignature signature;
+  for (const AccessPath& ap : accesses) {
+    bool subsumed = false;
+    for (const AccessPath& other : accesses) {
+      if (Subsumes(other, ap)) {
+        subsumed = true;
+        break;
+      }
+    }
+    if (!subsumed) signature.paths.push_back(ap);
+  }
+  // std::set iteration is already sorted; the pruning kept that order.
+  return signature;
+}
+
+Result<Value> EvalCorrelationKey(const CorrelationSignature& signature,
+                                 const Environment& env) {
+  std::vector<Value> items;
+  items.reserve(signature.paths.size());
+  for (const CorrelationSignature::AccessPath& ap : signature.paths) {
+    const Value* bound = env.Lookup(ap.var);
+    if (bound == nullptr) {
+      return Status::Internal(
+          StrCat("correlation variable '", ap.var, "' is not bound"));
+    }
+    Value cur = *bound;
+    for (const std::string& field : ap.path) {
+      if (!cur.is_tuple()) break;
+      const Value* next = cur.FindField(field);
+      if (next == nullptr) break;
+      cur = *next;
+    }
+    items.push_back(std::move(cur));
+  }
+  return Value::List(std::move(items));
+}
+
+}  // namespace tmdb

@@ -1,0 +1,73 @@
+#ifndef TMDB_ALGEBRA_CORRELATION_H_
+#define TMDB_ALGEBRA_CORRELATION_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "algebra/logical_op.h"
+#include "base/result.h"
+#include "expr/eval.h"
+#include "values/value.h"
+
+namespace tmdb {
+
+/// The correlation signature of a subplan: the exact set of outer-variable
+/// access paths its expressions can read. Two outer bindings that agree on
+/// every path are indistinguishable to the subplan, so its result can be
+/// memoized on the tuple of path values. An empty signature means the
+/// subplan is uncorrelated — it reads only its own tables and bound
+/// variables — and therefore evaluates to the same result for every outer
+/// row of a query.
+struct CorrelationSignature {
+  /// One access into an outer variable. `path` is the chain of field names
+  /// applied to the variable (root first); an empty path means the whole
+  /// variable is read (e.g. a bare `x` reference, or a use the analysis
+  /// cannot narrow further).
+  struct AccessPath {
+    std::string var;
+    std::vector<std::string> path;
+
+    bool operator<(const AccessPath& other) const {
+      if (var != other.var) return var < other.var;
+      return path < other.path;
+    }
+    bool operator==(const AccessPath& other) const {
+      return var == other.var && path == other.path;
+    }
+  };
+
+  /// Sorted, deduplicated, subsumption-pruned: a whole-variable entry
+  /// absorbs every field path of that variable, and a path absorbs its own
+  /// extensions (`x.a` absorbs `x.a.b`).
+  std::vector<AccessPath> paths;
+
+  bool uncorrelated() const { return paths.empty(); }
+
+  /// e.g. "[x.b, y]" — for EXPLAIN output and tests.
+  std::string ToString() const;
+};
+
+/// Computes the correlation signature of `plan` with respect to the outer
+/// variables `free_vars`. Mirrors the PlanFreeVars traversal: each
+/// operator's own expressions are analysed under the variables that
+/// operator binds; accesses to anything in `free_vars` that is not locally
+/// bound are recorded. Field-access chains rooted at a free variable are
+/// kept as paths; any use that escapes the chain analysis (a bare
+/// reference, a quantifier iterating the variable itself) degrades to the
+/// whole variable, never to an under-approximation — correctness of
+/// memoization only needs the signature to cover every read.
+CorrelationSignature ComputeCorrelationSignature(
+    const LogicalOp& plan, const std::set<std::string>& free_vars);
+
+/// Builds the memoization key for one outer binding: the signature's path
+/// values looked up in `env`, in signature order, packed into a list value.
+/// Walking a path stops early when the current value is not a tuple with
+/// the next field (e.g. outer-join NULL padding) and uses the value reached
+/// so far — equal keys still imply identical reads inside the subplan.
+Result<Value> EvalCorrelationKey(const CorrelationSignature& signature,
+                                 const Environment& env);
+
+}  // namespace tmdb
+
+#endif  // TMDB_ALGEBRA_CORRELATION_H_

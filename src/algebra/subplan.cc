@@ -10,7 +10,10 @@ std::string PlanSubplan::ToString() const {
   for (char& c : tree) {
     if (c == '\n') c = ' ';
   }
-  return StrCat("SUBQUERY{ ", StripWhitespace(tree), " }");
+  // The correlation signature tells an EXPLAIN reader what the memo cache
+  // will key on ("corr=[]" = uncorrelated, evaluated once per query).
+  return StrCat("SUBQUERY{ ", StripWhitespace(tree),
+                " } corr=", signature_.ToString());
 }
 
 Expr PlanSubplan::MakeExpr(LogicalOpPtr plan,

@@ -6,6 +6,7 @@
 #include <string>
 #include <utility>
 
+#include "algebra/correlation.h"
 #include "algebra/logical_op.h"
 #include "expr/expr.h"
 
@@ -18,12 +19,19 @@ namespace tmdb {
 class PlanSubplan final : public SubplanBase {
  public:
   PlanSubplan(LogicalOpPtr plan, std::set<std::string> free_vars)
-      : plan_(std::move(plan)), free_vars_(std::move(free_vars)) {}
+      : plan_(std::move(plan)),
+        free_vars_(std::move(free_vars)),
+        signature_(ComputeCorrelationSignature(*plan_, free_vars_)) {}
 
   const LogicalOpPtr& plan() const { return plan_; }
   const std::set<std::string>& free_vars() const override {
     return free_vars_;
   }
+
+  /// The outer access paths this subplan can read, computed once at
+  /// translation time. Empty signature ⇒ uncorrelated ⇒ the executor
+  /// evaluates the plan at most once per query.
+  const CorrelationSignature& signature() const { return signature_; }
 
   std::string ToString() const override;
 
@@ -33,6 +41,7 @@ class PlanSubplan final : public SubplanBase {
  private:
   LogicalOpPtr plan_;
   std::set<std::string> free_vars_;
+  CorrelationSignature signature_;
 };
 
 }  // namespace tmdb

@@ -22,6 +22,7 @@ void ApplyGovernance(const RunOptions& options, Executor* executor) {
   executor->set_fault_injector(options.fault_injector);
   executor->set_spill_options(options.enable_spill, options.spill_dir,
                               options.spill_block_bytes);
+  executor->set_subplan_cache_bytes(options.subplan_cache_bytes);
 }
 
 }  // namespace

@@ -55,6 +55,13 @@ struct RunOptions {
   /// Budget on rows processed (emitted + materialised), bounding work.
   uint64_t max_rows = 0;
 
+  /// Budget for the per-query correlated-subplan memo (REPL `\subcache`).
+  /// Results of nested subqueries are cached per distinct correlation
+  /// value, charged against memory_budget_bytes, and LRU-evicted under
+  /// pressure. 0 disables memoization (every outer row re-evaluates its
+  /// subplan); the default is 16 MiB.
+  uint64_t subplan_cache_bytes = 16ull << 20;
+
   // Spill-to-disk (graceful degradation under memory pressure). With
   // enable_spill, a hash/nest-join build that trips memory_budget_bytes
   // partitions to disk Grace-style and completes with results bit-identical

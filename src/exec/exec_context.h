@@ -19,13 +19,17 @@ class ThreadPool;
 struct ExecStats {
   uint64_t rows_emitted = 0;     // rows leaving any operator
   uint64_t predicate_evals = 0;  // join/select predicate evaluations
-  uint64_t subplan_evals = 0;    // correlated subquery executions (naive)
+  uint64_t subplan_evals = 0;    // subplan executions (cache hits excluded)
   uint64_t hash_probes = 0;      // hash table lookups in hash joins
   uint64_t rows_built = 0;       // rows materialised into build tables
   uint64_t spill_partitions = 0;    // partition files written by spilling joins
   uint64_t spill_bytes_written = 0; // bytes through spill writers
   uint64_t spill_bytes_read = 0;    // bytes through spill readers
   uint64_t spill_max_depth = 0;     // deepest recursive partitioning level
+  uint64_t subplan_cache_hits = 0;      // memoized subplan results served
+  uint64_t subplan_cache_misses = 0;    // distinct correlation keys computed
+  uint64_t subplan_cache_evictions = 0; // entries dropped under memory pressure
+  uint64_t guard_checkpoints = 0;       // QueryGuard::Check calls this run
 
   void Reset() { *this = ExecStats(); }
   std::string ToString() const;

@@ -2,7 +2,6 @@
 
 #include <utility>
 
-#include "algebra/subplan.h"
 #include "base/string_util.h"
 #include "exec/basic_ops.h"
 #include "exec/nest_op.h"
@@ -113,12 +112,19 @@ void Executor::set_num_threads(int num_threads) {
 }
 
 Result<std::vector<Value>> Executor::RunPhysical(PhysicalOp* root) {
+  // Cache before guard: clearing the memo refunds its balance to the guard
+  // in its *old* state; Reset below then re-baselines cleanly.
+  cache_.Reset(subplan_cache_bytes_ > 0 ? &guard_ : nullptr,
+               subplan_cache_bytes_);
   guard_.Reset(limits_, &stats_, fault_injector_);
   spill_.reset();
   if (spill_enabled_) {
     spill_ = std::make_unique<SpillManager>(spill_dir_, spill_block_bytes_,
                                             fault_injector_);
   }
+  runner_ = std::make_unique<SubplanRunner>(
+      subplan_cache_bytes_ > 0 ? &cache_ : nullptr, &guard_, spill_.get(),
+      &stats_);
   ExecContext ctx;
   ctx.outer_env = nullptr;
   ctx.subplans = this;
@@ -129,8 +135,16 @@ Result<std::vector<Value>> Executor::RunPhysical(PhysicalOp* root) {
   ctx.spill = spill_.get();
   Result<std::vector<Value>> rows = CollectRows(root, &ctx);
   // Unconditional teardown — success, error, cancellation, guard trip: the
-  // spill dir and every remaining file are gone before this returns, and
-  // the executor is immediately reusable.
+  // spill dir and every remaining file are gone before this returns, the
+  // memoized results are dropped (the cache is per-query), and the executor
+  // is immediately reusable. Counters fold into stats_ first so \stats and
+  // tests see them on every exit path.
+  stats_.subplan_cache_hits += cache_.hits();
+  stats_.subplan_cache_misses += cache_.misses();
+  stats_.subplan_cache_evictions += cache_.evictions();
+  stats_.guard_checkpoints += guard_.checkpoints();
+  runner_.reset();
+  cache_.Reset(nullptr, subplan_cache_bytes_);
   if (spill_ != nullptr) {
     spill_->CleanupAll();
     spill_.reset();
@@ -140,29 +154,20 @@ Result<std::vector<Value>> Executor::RunPhysical(PhysicalOp* root) {
 
 Result<Value> Executor::EvaluateSubplan(const SubplanBase& subplan,
                                         const Environment& env) {
-  // Only PlanSubplan implements SubplanBase in this engine.
-  const auto& plan_subplan = static_cast<const PlanSubplan&>(subplan);
-  auto it = subplan_cache_.find(&subplan);
-  if (it == subplan_cache_.end()) {
-    TMDB_ASSIGN_OR_RETURN(PhysicalOpPtr physical,
-                          BuildNaivePlan(plan_subplan.plan()));
-    it = subplan_cache_.emplace(&subplan, std::move(physical)).first;
+  if (runner_ == nullptr) {
+    // Reached outside RunPhysical — the INSERT expression path evaluates
+    // through the executor without a run. Ungoverned and uncached: these
+    // are one-shot expressions.
+    runner_ = std::make_unique<SubplanRunner>(nullptr, nullptr, nullptr,
+                                              &stats_);
   }
-  stats_.subplan_evals++;
-  ExecContext ctx;
-  ctx.outer_env = &env;
-  ctx.subplans = this;
-  ctx.stats = &stats_;
-  // The enclosing run's guard governs subplans too, so cancellation and
-  // budgets reach the correlated inner blocks of the naive strategy; the
-  // run's spill manager is shared for the same reason.
-  ctx.guard = &guard_;
-  ctx.spill = spill_.get();
-  // Subplans stay serial (no pool): they re-open once per outer row, where
-  // per-execution fan-out overhead would swamp any gain.
-  TMDB_ASSIGN_OR_RETURN(std::vector<Value> rows,
-                        CollectRows(it->second.get(), &ctx));
-  return Value::Set(std::move(rows));
+  return runner_->EvaluateSubplan(subplan, env);
+}
+
+std::unique_ptr<SubplanEvaluator> Executor::Fork(ExecStats* stats) {
+  return std::make_unique<SubplanRunner>(
+      subplan_cache_bytes_ > 0 ? &cache_ : nullptr, &guard_, spill_.get(),
+      stats);
 }
 
 }  // namespace tmdb

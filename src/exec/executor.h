@@ -14,6 +14,7 @@
 #include "exec/exec_context.h"
 #include "exec/physical_op.h"
 #include "exec/query_guard.h"
+#include "exec/subplan_cache.h"
 #include "spill/spill_manager.h"
 #include "values/value.h"
 
@@ -47,6 +48,12 @@ class Executor final : public SubplanEvaluator {
     fault_injector_ = injector;
   }
 
+  /// Budget for the per-run correlated-subplan memo (default 16 MiB).
+  /// 0 disables memoization entirely: every outer row re-evaluates its
+  /// subplan, the seed behaviour.
+  void set_subplan_cache_bytes(uint64_t bytes) { subplan_cache_bytes_ = bytes; }
+  uint64_t subplan_cache_bytes() const { return subplan_cache_bytes_; }
+
   /// Enables spill-to-disk for subsequent runs: when the memory budget
   /// trips during a hash/nest-join build, the join degrades to Grace-style
   /// partitioned execution instead of failing. `dir` empty = system temp
@@ -79,9 +86,15 @@ class Executor final : public SubplanEvaluator {
   const ExecStats& stats() const { return stats_; }
 
   /// SubplanEvaluator: runs the correlated inner block under `env` and
-  /// returns its rows as a set value.
+  /// returns its rows as a set value (memoized on the correlation key
+  /// while a run is active and the cache is enabled).
   Result<Value> EvaluateSubplan(const SubplanBase& subplan,
                                 const Environment& env) override;
+
+  /// Forks a per-worker subplan evaluator sharing this run's cache, guard,
+  /// and spill manager; morsel workers evaluate subplans through it so the
+  /// parallel paths need no serial fallback.
+  std::unique_ptr<SubplanEvaluator> Fork(ExecStats* stats) override;
 
  private:
   ExecStats stats_;
@@ -101,9 +114,14 @@ class Executor final : public SubplanEvaluator {
   std::string spill_dir_;
   size_t spill_block_bytes_ = 0;
   std::unique_ptr<SpillManager> spill_;
-  // Physical plans for subplans are built once and re-opened per outer row
-  // (Open fully resets operator state).
-  std::unordered_map<const SubplanBase*, PhysicalOpPtr> subplan_cache_;
+  // Correlated-subplan memo, reset per run; its counters fold into stats_
+  // at the end of each RunPhysical.
+  uint64_t subplan_cache_bytes_ = kDefaultSubplanCacheBytes;
+  SubplanCache cache_;
+  // The coordinator's subplan runner for the active run. Also created on
+  // demand (ungoverned, uncached) when EvaluateSubplan is reached outside a
+  // run — the INSERT expression path.
+  std::unique_ptr<SubplanRunner> runner_;
 };
 
 }  // namespace tmdb

@@ -11,24 +11,6 @@ namespace tmdb {
 
 namespace {
 
-bool AnyHasSubplan(const std::vector<Expr>& exprs) {
-  for (const Expr& e : exprs) {
-    if (ExprHasSubplan(e)) return true;
-  }
-  return false;
-}
-
-/// Sums worker-local counters into the shared stats, in morsel order.
-void AccumulateStats(const std::vector<ExecStats>& locals, ExecStats* total) {
-  for (const ExecStats& s : locals) {
-    total->rows_emitted += s.rows_emitted;
-    total->predicate_evals += s.predicate_evals;
-    total->subplan_evals += s.subplan_evals;
-    total->hash_probes += s.hash_probes;
-    total->rows_built += s.rows_built;
-  }
-}
-
 /// Guard check once per kExecBatchSize loop iterations (`i` counts up).
 inline Status PeriodicGuardCheck(const ExecContext* ctx, size_t i) {
   if ((i & (kExecBatchSize - 1)) == 0) return CheckGuard(ctx);
@@ -58,13 +40,10 @@ Status HashJoinOp::Open(ExecContext* ctx) {
   }
   TMDB_RETURN_IF_ERROR(left_->Open(ctx));
 
-  // Morsel-parallel probe requires every probe-side expression to be
-  // subplan-free (subplans need the single-threaded Executor).
-  const bool probe_parallel =
-      ctx->parallel_enabled() && !AnyHasSubplan(left_keys_) &&
-      !ExprHasSubplan(spec_.pred) &&
-      (spec_.mode != JoinMode::kNestJoin || !ExprHasSubplan(spec_.func));
-  if (probe_parallel) {
+  // Morsel-parallel probe: subplan-bearing probe expressions are handled
+  // too — each worker gets its own forked subplan evaluator, all sharing
+  // the run's memo cache.
+  if (ctx->parallel_enabled()) {
     const uint64_t held_before = build_res_.held();
     Status probed = ParallelProbe();
     if (probed.ok()) {
@@ -131,7 +110,7 @@ Status HashJoinOp::BuildTables(ExecContext* ctx) {
 Status HashJoinOp::BuildInMemory(ExecContext* ctx, std::vector<Value>* rows_in) {
   std::vector<Value>& rows = *rows_in;
   const size_t n = rows.size();
-  const bool parallel = ctx->parallel_enabled() && !AnyHasSubplan(right_keys_);
+  const bool parallel = ctx->parallel_enabled();
   const size_t num_partitions =
       parallel ? static_cast<size_t>(ctx->num_threads) : 1;
   partitions_.assign(num_partitions, BuildMap());
@@ -157,12 +136,15 @@ Status HashJoinOp::BuildInMemory(ExecContext* ctx, std::vector<Value>* rows_in) 
     // rep, so partitioning and map insertion below re-use them).
     std::vector<MorselRange> morsels = SplitMorsels(n, ctx->num_threads);
     std::vector<ExecStats> key_stats(morsels.size());
+    std::vector<std::unique_ptr<SubplanEvaluator>> key_evals =
+        ForkSubplanEvaluators(ctx->subplans, &key_stats);
     TMDB_RETURN_IF_ERROR(ParallelForMorsels(
         ctx->pool, ctx->guard, morsels,
         [&](size_t m, MorselRange range) -> Status {
           ExecContext wctx;
           wctx.outer_env = ctx->outer_env;
-          wctx.subplans = nullptr;  // guarded: keys are subplan-free
+          wctx.subplans =
+              key_evals[m] != nullptr ? key_evals[m].get() : ctx->subplans;
           wctx.stats = &key_stats[m];
           wctx.guard = ctx->guard;
           for (size_t i = range.begin; i < range.end; ++i) {
@@ -319,12 +301,15 @@ Status HashJoinOp::ParallelProbe() {
                                                   ctx_->num_threads);
   std::vector<std::vector<Value>> outputs(morsels.size());
   std::vector<ExecStats> local_stats(morsels.size());
+  std::vector<std::unique_ptr<SubplanEvaluator>> probe_evals =
+      ForkSubplanEvaluators(ctx_->subplans, &local_stats);
   TMDB_RETURN_IF_ERROR(ParallelForMorsels(
       ctx_->pool, ctx_->guard, morsels,
       [&](size_t m, MorselRange range) -> Status {
         ExecContext wctx;
         wctx.outer_env = ctx_->outer_env;
-        wctx.subplans = nullptr;  // guarded: probe exprs are subplan-free
+        wctx.subplans =
+            probe_evals[m] != nullptr ? probe_evals[m].get() : ctx_->subplans;
         wctx.stats = &local_stats[m];
         wctx.guard = ctx_->guard;
         for (size_t i = range.begin; i < range.end; ++i) {

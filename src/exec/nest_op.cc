@@ -43,7 +43,7 @@ Status NestOp::Open(ExecContext* ctx) {
   child_->Close();
   ctx->stats->rows_built += rows.size();
 
-  if (ctx->parallel_enabled() && !ExprHasSubplan(elem_)) {
+  if (ctx->parallel_enabled()) {
     return OpenParallel(std::move(rows));
   }
   return OpenSerial(std::move(rows));
@@ -112,9 +112,17 @@ Status NestOp::OpenParallel(std::vector<Value> rows) {
   const uint64_t scratch_bytes = n * (2 * sizeof(Value) + sizeof(uint64_t));
   TMDB_RETURN_IF_ERROR(build_res_.Add(scratch_bytes));
   std::vector<MorselRange> morsels = SplitMorsels(n, ctx_->num_threads);
+  // Per-morsel forked subplan evaluators (sharing the run's memo cache) and
+  // local stats blocks let ν handle subplan-bearing element functions on
+  // the parallel path; the counters sum back in morsel order below.
+  std::vector<ExecStats> local_stats(morsels.size());
+  std::vector<std::unique_ptr<SubplanEvaluator>> elem_evals =
+      ForkSubplanEvaluators(ctx_->subplans, &local_stats);
   TMDB_RETURN_IF_ERROR(ParallelForMorsels(
       ctx_->pool, ctx_->guard, morsels,
-      [&](size_t, MorselRange range) -> Status {
+      [&](size_t m, MorselRange range) -> Status {
+        SubplanEvaluator* subplans =
+            elem_evals[m] != nullptr ? elem_evals[m].get() : ctx_->subplans;
         for (size_t i = range.begin; i < range.end; ++i) {
           if (((i - range.begin) & (kExecBatchSize - 1)) == 0) {
             TMDB_RETURN_IF_ERROR(CheckGuard(ctx_));
@@ -129,10 +137,11 @@ Status NestOp::OpenParallel(std::vector<Value> rows) {
           hashes[i] = keys[i].Hash();
           Environment env(ctx_->outer_env);
           env.Bind(var_, rows[i]);
-          TMDB_ASSIGN_OR_RETURN(elems[i], EvalExpr(elem_, env, nullptr));
+          TMDB_ASSIGN_OR_RETURN(elems[i], EvalExpr(elem_, env, subplans));
         }
         return Status::OK();
       }));
+  AccumulateStats(local_stats, ctx_->stats);
 
   // Stage 2 (parallel over partitions): each worker groups one disjoint
   // hash partition, scanning rows in order so element order inside a group

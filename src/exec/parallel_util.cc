@@ -10,33 +10,34 @@
 
 namespace tmdb {
 
-bool ExprHasSubplan(const Expr& e) {
-  switch (e.expr_kind()) {
-    case ExprKind::kSubplan:
-      return true;
-    case ExprKind::kLiteral:
-    case ExprKind::kVarRef:
-      return false;
-    case ExprKind::kFieldAccess:
-      return ExprHasSubplan(e.field_base());
-    case ExprKind::kBinary:
-      return ExprHasSubplan(e.lhs()) || ExprHasSubplan(e.rhs());
-    case ExprKind::kUnary:
-      return ExprHasSubplan(e.operand());
-    case ExprKind::kQuantifier:
-      return ExprHasSubplan(e.quant_collection()) ||
-             ExprHasSubplan(e.quant_pred());
-    case ExprKind::kAggregate:
-      return ExprHasSubplan(e.agg_arg());
-    case ExprKind::kTupleCtor:
-    case ExprKind::kSetCtor: {
-      for (const Expr& elem : e.ctor_elements()) {
-        if (ExprHasSubplan(elem)) return true;
-      }
-      return false;
+void AccumulateStats(const std::vector<ExecStats>& locals, ExecStats* total) {
+  for (const ExecStats& s : locals) {
+    total->rows_emitted += s.rows_emitted;
+    total->predicate_evals += s.predicate_evals;
+    total->subplan_evals += s.subplan_evals;
+    total->hash_probes += s.hash_probes;
+    total->rows_built += s.rows_built;
+    total->spill_partitions += s.spill_partitions;
+    total->spill_bytes_written += s.spill_bytes_written;
+    total->spill_bytes_read += s.spill_bytes_read;
+    total->spill_max_depth = std::max(total->spill_max_depth,
+                                      s.spill_max_depth);
+    total->subplan_cache_hits += s.subplan_cache_hits;
+    total->subplan_cache_misses += s.subplan_cache_misses;
+    total->subplan_cache_evictions += s.subplan_cache_evictions;
+    total->guard_checkpoints += s.guard_checkpoints;
+  }
+}
+
+std::vector<std::unique_ptr<SubplanEvaluator>> ForkSubplanEvaluators(
+    SubplanEvaluator* subplans, std::vector<ExecStats>* local_stats) {
+  std::vector<std::unique_ptr<SubplanEvaluator>> forked(local_stats->size());
+  if (subplans != nullptr) {
+    for (size_t m = 0; m < forked.size(); ++m) {
+      forked[m] = subplans->Fork(&(*local_stats)[m]);
     }
   }
-  return true;  // unknown kind: be conservative, stay serial
+  return forked;
 }
 
 std::vector<MorselRange> SplitMorsels(size_t n, int num_threads) {

@@ -3,18 +3,30 @@
 
 #include <cstddef>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "base/result.h"
 #include "base/thread_pool.h"
-#include "expr/expr.h"
+#include "exec/exec_context.h"
+#include "expr/eval.h"
 
 namespace tmdb {
 
-/// True if `e` contains a kSubplan node anywhere. Correlated subplans must
-/// be evaluated through the (single-threaded, stateful) Executor, so any
-/// expression containing one forces the operator onto its serial path.
-bool ExprHasSubplan(const Expr& e);
+/// Sums worker-local counters into the shared stats, in morsel order, so a
+/// parallel run reports exactly the counters of its serial equivalent.
+/// spill_max_depth is a high-water mark and is maxed rather than summed.
+void AccumulateStats(const std::vector<ExecStats>& locals, ExecStats* total);
+
+/// One forked subplan evaluator per morsel, each writing to that morsel's
+/// entry in `local_stats`, so subplan-bearing expressions run safely inside
+/// worker tasks and their counters sum back deterministically (this is what
+/// lets the morsel paths handle correlated subqueries with no serial
+/// fallback). A slot is nullptr when `subplans` is null or cannot fork;
+/// workers then fall back to sharing `subplans` itself, which the Fork
+/// contract requires to be thread-safe in that case.
+std::vector<std::unique_ptr<SubplanEvaluator>> ForkSubplanEvaluators(
+    SubplanEvaluator* subplans, std::vector<ExecStats>* local_stats);
 
 /// A contiguous index range [begin, end) — one unit of parallel work.
 struct MorselRange {

@@ -17,6 +17,15 @@ std::string ExecStats::ToString() const {
                   " spill_bytes_read=", spill_bytes_read,
                   " spill_max_depth=", spill_max_depth);
   }
+  if (subplan_cache_hits > 0 || subplan_cache_misses > 0 ||
+      subplan_cache_evictions > 0) {
+    out += StrCat(" subplan_cache_hits=", subplan_cache_hits,
+                  " subplan_cache_misses=", subplan_cache_misses,
+                  " subplan_cache_evictions=", subplan_cache_evictions);
+  }
+  if (guard_checkpoints > 0) {
+    out += StrCat(" guard_checkpoints=", guard_checkpoints);
+  }
   return out;
 }
 

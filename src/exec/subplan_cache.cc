@@ -1,0 +1,247 @@
+#include "exec/subplan_cache.h"
+
+#include <utility>
+#include <vector>
+
+#include "algebra/correlation.h"
+#include "algebra/subplan.h"
+#include "exec/executor.h"
+
+namespace tmdb {
+
+uint64_t ApproxValueBytes(const Value& v) {
+  // Per-node overhead: the shared rep header (kind, hash memo, control
+  // block). Atoms carry little beyond it.
+  constexpr uint64_t kRepOverhead = 32;
+  switch (v.kind()) {
+    case ValueKind::kNull:
+    case ValueKind::kBool:
+    case ValueKind::kInt:
+    case ValueKind::kReal:
+      return kRepOverhead;
+    case ValueKind::kString:
+      return kRepOverhead + v.AsString().size();
+    case ValueKind::kTuple: {
+      uint64_t total = kRepOverhead;
+      for (size_t i = 0; i < v.TupleSize(); ++i) {
+        total += v.FieldName(i).size() + sizeof(Value) +
+                 ApproxValueBytes(v.FieldValue(i));
+      }
+      return total;
+    }
+    case ValueKind::kSet:
+    case ValueKind::kList: {
+      uint64_t total = kRepOverhead;
+      for (const Value& elem : v.Elements()) {
+        total += sizeof(Value) + ApproxValueBytes(elem);
+      }
+      return total;
+    }
+  }
+  return kRepOverhead;
+}
+
+struct SubplanCache::Entry {
+  enum class State { kComputing, kDone, kFailed };
+  State state = State::kComputing;
+  Value value;
+  Status error;
+  uint64_t bytes = 0;
+  std::list<LruKey>::iterator lru_pos;
+  bool in_lru = false;
+};
+
+void SubplanCache::Reset(QueryGuard* guard, uint64_t capacity_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  lru_.clear();
+  res_.Reset(guard);  // releases any stale balance to the previous guard
+  guard_ = guard;
+  capacity_bytes_ = capacity_bytes;
+  hits_ = 0;
+  misses_ = 0;
+  evictions_ = 0;
+}
+
+Result<std::optional<Value>> SubplanCache::Acquire(const SubplanBase* subplan,
+                                                  const Value& key) {
+  std::unique_lock<std::mutex> lock(mu_);
+  EntryMap& per_subplan = entries_[subplan];
+  auto it = per_subplan.find(key);
+  if (it == per_subplan.end()) {
+    per_subplan.emplace(key, std::make_shared<Entry>());
+    misses_++;
+    return std::optional<Value>();  // caller computes, then Fulfill/Abandon
+  }
+  std::shared_ptr<Entry> entry = it->second;
+  if (entry->state == Entry::State::kComputing) {
+    // Wait for the computing thread. No guard checkpoint here: checkpoint
+    // totals must not depend on scheduling, and the computer's own
+    // checkpoints already guarantee the wait ends (Fulfill or Abandon runs
+    // on every path out of the computation).
+    cv_.wait(lock, [&] { return entry->state != Entry::State::kComputing; });
+  }
+  if (entry->state == Entry::State::kFailed) return entry->error;
+  hits_++;
+  if (entry->in_lru) {
+    lru_.splice(lru_.begin(), lru_, entry->lru_pos);
+  }
+  return std::optional<Value>(entry->value);
+}
+
+Status SubplanCache::Fulfill(const SubplanBase* subplan, const Value& key,
+                             const Value& result) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto sub_it = entries_.find(subplan);
+  if (sub_it == entries_.end()) return Status::Internal("Fulfill without Acquire");
+  auto it = sub_it->second.find(key);
+  if (it == sub_it->second.end()) {
+    return Status::Internal("Fulfill without Acquire");
+  }
+  std::shared_ptr<Entry> entry = it->second;
+
+  const uint64_t bytes =
+      2 * sizeof(Value) + 64 + ApproxValueBytes(key) + ApproxValueBytes(result);
+  // The cache-insertion checkpoint: charging runs QueryGuard::Check, so the
+  // fault injector and cancellation reach this site.
+  Status st = res_.Add(bytes);
+  const auto memory_trip = [&](const Status& s) {
+    return s.code() == StatusCode::kResourceExhausted && guard_ != nullptr &&
+           guard_->last_trip_was_memory();
+  };
+  while (!st.ok() && memory_trip(st) && !lru_.empty()) {
+    EvictOldestLocked();
+    st = guard_->Check();
+  }
+  if (!st.ok() && !memory_trip(st)) {
+    // Cancel, deadline, max_rows, or an injected fault: fail the insertion
+    // (and with it the query) — never memoize a failure.
+    res_.Shrink(bytes);
+    entry->state = Entry::State::kFailed;
+    entry->error = st;
+    sub_it->second.erase(it);
+    cv_.notify_all();
+    return st;
+  }
+  if (!st.ok()) {
+    // Still over the memory budget with nothing left to evict: hand the
+    // result to the caller and the waiters uncached. The query itself is
+    // not failed here — if memory is genuinely over budget the next
+    // operator checkpoint trips exactly as it would without a cache.
+    res_.Shrink(bytes);
+    entry->state = Entry::State::kDone;
+    entry->value = result;
+    sub_it->second.erase(it);
+    cv_.notify_all();
+    return Status::OK();
+  }
+  entry->state = Entry::State::kDone;
+  entry->value = result;
+  entry->bytes = bytes;
+  lru_.push_front({subplan, key});
+  entry->lru_pos = lru_.begin();
+  entry->in_lru = true;
+  // Soft capacity cap, independent of the guard budget. Never evicts the
+  // entry just inserted.
+  while (res_.held() > capacity_bytes_ && lru_.size() > 1) {
+    EvictOldestLocked();
+  }
+  cv_.notify_all();
+  return Status::OK();
+}
+
+void SubplanCache::Abandon(const SubplanBase* subplan, const Value& key,
+                           const Status& error) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto sub_it = entries_.find(subplan);
+  if (sub_it == entries_.end()) return;
+  auto it = sub_it->second.find(key);
+  if (it == sub_it->second.end()) return;
+  it->second->state = Entry::State::kFailed;
+  it->second->error = error;
+  sub_it->second.erase(it);
+  cv_.notify_all();
+}
+
+void SubplanCache::EvictOldestLocked() {
+  const LruKey& victim = lru_.back();
+  auto sub_it = entries_.find(victim.first);
+  auto it = sub_it->second.find(victim.second);
+  res_.Shrink(it->second->bytes);
+  sub_it->second.erase(it);
+  lru_.pop_back();
+  evictions_++;
+}
+
+uint64_t SubplanCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+uint64_t SubplanCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+uint64_t SubplanCache::evictions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evictions_;
+}
+
+uint64_t SubplanCache::resident_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return res_.held();
+}
+
+Result<Value> SubplanRunner::EvaluateSubplan(const SubplanBase& subplan,
+                                             const Environment& env) {
+  // Subplan-entry checkpoint: keeps the guard invariant alive even when
+  // every evaluation is a cache hit.
+  if (guard_ != nullptr) TMDB_RETURN_IF_ERROR(guard_->Check());
+  const auto* plan_subplan = dynamic_cast<const PlanSubplan*>(&subplan);
+  if (cache_ == nullptr || plan_subplan == nullptr) {
+    stats_->subplan_evals++;
+    return Compute(subplan, env);
+  }
+  TMDB_ASSIGN_OR_RETURN(Value key,
+                        EvalCorrelationKey(plan_subplan->signature(), env));
+  TMDB_ASSIGN_OR_RETURN(std::optional<Value> cached,
+                        cache_->Acquire(&subplan, key));
+  if (cached.has_value()) return std::move(*cached);
+  stats_->subplan_evals++;
+  Result<Value> computed = Compute(subplan, env);
+  if (!computed.ok()) {
+    cache_->Abandon(&subplan, key, computed.status());
+    return computed;
+  }
+  TMDB_RETURN_IF_ERROR(cache_->Fulfill(&subplan, key, *computed));
+  return computed;
+}
+
+Result<Value> SubplanRunner::Compute(const SubplanBase& subplan,
+                                     const Environment& env) {
+  // Only PlanSubplan implements SubplanBase in this engine.
+  const auto& plan_subplan = static_cast<const PlanSubplan&>(subplan);
+  auto it = plans_.find(&subplan);
+  if (it == plans_.end()) {
+    TMDB_ASSIGN_OR_RETURN(PhysicalOpPtr physical,
+                          Executor::BuildNaivePlan(plan_subplan.plan()));
+    it = plans_.emplace(&subplan, std::move(physical)).first;
+  }
+  ExecContext ctx;
+  ctx.outer_env = &env;
+  // Re-entrant: nested subplans evaluate through this same runner, so they
+  // share the cache, guard, and spill manager of the run.
+  ctx.subplans = this;
+  ctx.stats = stats_;
+  ctx.guard = guard_;
+  ctx.spill = spill_;
+  // Subplans stay serial inside (no pool): each distinct correlation value
+  // runs the plan once, where per-execution fan-out overhead would swamp
+  // any gain. Parallelism comes from forking runners across morsels.
+  TMDB_ASSIGN_OR_RETURN(std::vector<Value> rows,
+                        CollectRows(it->second.get(), &ctx));
+  return Value::Set(std::move(rows));
+}
+
+}  // namespace tmdb

@@ -1,0 +1,159 @@
+#ifndef TMDB_EXEC_SUBPLAN_CACHE_H_
+#define TMDB_EXEC_SUBPLAN_CACHE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+#include "base/result.h"
+#include "exec/exec_context.h"
+#include "exec/physical_op.h"
+#include "exec/query_guard.h"
+#include "expr/eval.h"
+#include "values/value.h"
+
+namespace tmdb {
+
+class SpillManager;
+
+/// Default budget for memoized subplan results (RunOptions::subplan_cache_bytes).
+inline constexpr uint64_t kDefaultSubplanCacheBytes = 16ull << 20;
+
+/// Deep structural size estimate of a Value: the bytes its representation
+/// holds across all nesting levels. Used to charge cached results against
+/// the query's memory budget. Shared reps are counted once per reachable
+/// occurrence, so a result that aliases table data is over- rather than
+/// under-charged — the safe direction for a budget.
+uint64_t ApproxValueBytes(const Value& v);
+
+/// Per-query memo of correlated-subplan results, shared by every worker
+/// thread of a run.
+///
+/// Keyed by (subplan identity, correlation-key value): outer bindings that
+/// agree on the subplan's correlation signature map to the same entry, so
+/// each distinct correlation value is computed exactly once per query — an
+/// uncorrelated subplan (empty signature, one key) exactly once overall.
+///
+/// Concurrency: a miss installs a *computing* entry and returns control to
+/// the caller, who evaluates the subplan outside the lock and then either
+/// Fulfill()s or Abandon()s it. Other threads that hit a computing entry
+/// block on a condition variable — deliberately without running guard
+/// checkpoints, so checkpoint totals stay deterministic across thread
+/// counts (the computing thread's own checkpoints guarantee cancellation
+/// and deadlines still unwind the query). Failures are never memoized:
+/// Abandon removes the entry and hands its error to the threads already
+/// waiting, while later calls recompute — essential for spill-retry, where
+/// a memory trip inside a subplan must not poison the retry.
+///
+/// Memory: every resident entry is charged through a GuardReservation, so
+/// cached results count against the run's memory budget. A budget trip at
+/// insertion evicts least-recently-used entries before failing; a non-
+/// memory trip (cancel, deadline, injected fault — the "cache insertion
+/// checkpoint") fails the insertion. When eviction cannot satisfy the
+/// budget the result is returned uncached instead of failing the query:
+/// the next operator checkpoint reports genuine over-budget exactly as it
+/// would have without a cache. `capacity_bytes` additionally soft-caps the
+/// resident set independent of the guard budget.
+class SubplanCache {
+ public:
+  SubplanCache() = default;
+  SubplanCache(const SubplanCache&) = delete;
+  SubplanCache& operator=(const SubplanCache&) = delete;
+
+  /// Rearms for a new run: drops all entries (refunding their charge to the
+  /// previously bound guard), rebinds to `guard` (may be null = ungoverned),
+  /// and zeroes the counters.
+  void Reset(QueryGuard* guard, uint64_t capacity_bytes);
+
+  /// Looks up (subplan, key). A hit returns the memoized result; a miss
+  /// installs a computing entry and returns nullopt — the caller MUST then
+  /// call Fulfill or Abandon with the same (subplan, key). Blocks while
+  /// another thread computes the same entry; if that computation fails its
+  /// error is returned.
+  Result<std::optional<Value>> Acquire(const SubplanBase* subplan,
+                                       const Value& key);
+
+  /// Completes the computing entry with `result`, charging its bytes and
+  /// waking waiters. Returns non-OK only when the insertion checkpoint
+  /// trips for a non-memory reason (the entry is then abandoned with that
+  /// error); memory pressure degrades to eviction or an uncached result.
+  Status Fulfill(const SubplanBase* subplan, const Value& key,
+                 const Value& result);
+
+  /// Fails the computing entry: removes it and delivers `error` to the
+  /// threads currently waiting on it. Later Acquires recompute.
+  void Abandon(const SubplanBase* subplan, const Value& key,
+               const Status& error);
+
+  uint64_t hits() const;
+  uint64_t misses() const;
+  uint64_t evictions() const;
+  /// Bytes currently charged for resident entries.
+  uint64_t resident_bytes() const;
+
+ private:
+  struct Entry;
+  using LruKey = std::pair<const SubplanBase*, Value>;
+  using EntryMap =
+      std::unordered_map<Value, std::shared_ptr<Entry>, ValueHash, ValueEq>;
+
+  void EvictOldestLocked();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  QueryGuard* guard_ = nullptr;
+  uint64_t capacity_bytes_ = kDefaultSubplanCacheBytes;
+  GuardReservation res_;
+  std::unordered_map<const SubplanBase*, EntryMap> entries_;
+  // Completed entries, most recently used first. Computing entries are not
+  // in the list (they cannot be evicted out from under their waiters).
+  std::list<LruKey> lru_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+/// A re-entrant subplan evaluator: one per thread that can reach a kSubplan
+/// expression. Runners forked from the same run share the SubplanCache,
+/// QueryGuard, and SpillManager but own their physical plan instances
+/// (operators are stateful) and write work counters to their own ExecStats
+/// block, which the forking operator sums back in morsel order — keeping
+/// parallel stats bit-identical to serial.
+class SubplanRunner final : public SubplanEvaluator {
+ public:
+  /// `cache` null disables memoization (every call evaluates); `guard` and
+  /// `spill` may be null. `stats` must outlive the runner.
+  SubplanRunner(SubplanCache* cache, QueryGuard* guard, SpillManager* spill,
+                ExecStats* stats)
+      : cache_(cache), guard_(guard), spill_(spill), stats_(stats) {}
+
+  Result<Value> EvaluateSubplan(const SubplanBase& subplan,
+                                const Environment& env) override;
+
+  std::unique_ptr<SubplanEvaluator> Fork(ExecStats* stats) override {
+    return std::make_unique<SubplanRunner>(cache_, guard_, spill_, stats);
+  }
+
+ private:
+  /// Runs the subplan's physical plan (built lazily, reused across outer
+  /// rows of this runner) under `env` and collects its rows into a set.
+  Result<Value> Compute(const SubplanBase& subplan, const Environment& env);
+
+  SubplanCache* cache_;
+  QueryGuard* guard_;
+  SpillManager* spill_;
+  ExecStats* stats_;
+  // This runner's plan instances: built once per subplan, re-opened per
+  // evaluation (Open fully resets operator state). Never shared — each
+  // forked runner builds its own.
+  std::unordered_map<const SubplanBase*, PhysicalOpPtr> plans_;
+};
+
+}  // namespace tmdb
+
+#endif  // TMDB_EXEC_SUBPLAN_CACHE_H_

@@ -1,6 +1,7 @@
 #ifndef TMDB_EXPR_EVAL_H_
 #define TMDB_EXPR_EVAL_H_
 
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -38,6 +39,8 @@ class Environment {
   std::vector<std::pair<std::string, Value>> bindings_;
 };
 
+struct ExecStats;
+
 /// Callback used to evaluate kSubplan expressions — the naive nested-loop
 /// path. Implemented by the executor; pure-expression users pass nullptr
 /// and get an Unsupported error if a subplan is reached.
@@ -46,6 +49,16 @@ class SubplanEvaluator {
   virtual ~SubplanEvaluator() = default;
   virtual Result<Value> EvaluateSubplan(const SubplanBase& subplan,
                                         const Environment& env) = 0;
+
+  /// Creates an evaluator another thread may use concurrently with this
+  /// one, writing its work counters to `stats` (owned by the caller, summed
+  /// back deterministically). Returns nullptr when the implementation
+  /// cannot fork — callers then share `this`, which is only safe when it is
+  /// thread-safe or the execution is serial.
+  virtual std::unique_ptr<SubplanEvaluator> Fork(ExecStats* stats) {
+    (void)stats;
+    return nullptr;
+  }
 };
 
 /// Evaluates a typed expression under `env`. AND/OR short-circuit;

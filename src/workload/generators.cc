@@ -210,6 +210,39 @@ Status LoadCompanyTables(Database* db, const CompanyConfig& config) {
   return Status::OK();
 }
 
+Status LoadCorrelatedTables(Database* db, const CorrelatedConfig& config) {
+  Random rng(config.seed);
+  TMDB_ASSIGN_OR_RETURN(
+      auto o, db->CreateTable("O", Type::Tuple({{"a", Type::Int()},
+                                                {"k", Type::Int()},
+                                                {"v", Type::Int()}})));
+  TMDB_ASSIGN_OR_RETURN(
+      auto inner, db->CreateTable("I", Type::Tuple({{"k", Type::Int()},
+                                                    {"v", Type::Int()}})));
+  int64_t scale = config.correlation_scale;
+  if (scale < 1) scale = 1;
+  if (scale > static_cast<int64_t>(config.num_outer) &&
+      config.num_outer > 0) {
+    scale = static_cast<int64_t>(config.num_outer);
+  }
+  // Round-robin k: every correlation value appears, so a memoizing run
+  // computes exactly `scale` subplans and hits on the rest.
+  for (size_t i = 0; i < config.num_outer; ++i) {
+    TMDB_RETURN_IF_ERROR(InsertRow(
+        o.get(),
+        IntTuple({"a", "k", "v"},
+                 {static_cast<int64_t>(i), static_cast<int64_t>(i) % scale,
+                  rng.UniformInt(0, config.value_domain - 1)})));
+  }
+  for (size_t i = 0; i < config.num_inner; ++i) {
+    TMDB_RETURN_IF_ERROR(InsertRow(
+        inner.get(),
+        IntTuple({"k", "v"}, {rng.UniformInt(0, scale - 1),
+                              rng.UniformInt(0, config.value_domain - 1)})));
+  }
+  return Status::OK();
+}
+
 Status LoadScaleTables(Database* db, const ScaleConfig& config) {
   Random rng(config.seed);
   TMDB_ASSIGN_OR_RETURN(

@@ -75,6 +75,24 @@ struct CompanyConfig {
 };
 Status LoadCompanyTables(Database* db, const CompanyConfig& config);
 
+/// Correlated nested-query workload for the subplan memoization cache:
+/// O(a, k, v) outer rows whose k (the correlation attribute) takes exactly
+/// min(correlation_scale, num_outer) distinct values, and I(k, v) inner
+/// rows to aggregate per k. A query correlated on o.k therefore computes
+/// `correlation_scale` distinct subplan results over `num_outer` outer
+/// rows: scale == num_outer gives a ~0% cache hit ratio, scale = 10 over
+/// 10k rows ~99.9%.
+struct CorrelatedConfig {
+  size_t num_outer = 10000;
+  size_t num_inner = 1000;
+  /// Number of distinct correlation values (clamped to [1, num_outer]).
+  /// Outer rows cycle through them round-robin, so every value appears.
+  int64_t correlation_scale = 10;
+  int64_t value_domain = 100;
+  uint64_t seed = 47;
+};
+Status LoadCorrelatedTables(Database* db, const CorrelatedConfig& config);
+
 /// Generic two-table workload for the flatten-vs-nested scaling benches:
 /// X(a, b) and Y(b, c) with |Y| rows over a b-domain of `b_domain` values.
 struct ScaleConfig {

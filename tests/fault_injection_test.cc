@@ -15,6 +15,7 @@
 
 #include <gtest/gtest.h>
 
+#include "algebra/subplan.h"
 #include "base/fault_injector.h"
 #include "base/random.h"
 #include "catalog/table.h"
@@ -264,6 +265,135 @@ TEST_F(FaultSweepTest, NestAndUnnest) {
 TEST_F(FaultSweepTest, FilterMapUnionDifference) {
   PhysicalOpPtr plan = MakeBasicsPipeline();
   SweepInjectionPoints(plan.get(), 1);
+}
+
+// ------------------------------------ subplan and cache checkpoints
+
+/// Plans whose expressions embed correlated subplans: every evaluation
+/// passes the subplan-entry checkpoint, every memoized insertion passes the
+/// cache-insertion checkpoint (the GuardReservation charge), and the inner
+/// plan adds its own per-batch checkpoints. The sweep must reach all of
+/// them: an injected fault mid-eviction or mid-subplan unwinds into the
+/// same clean kInternal, and the executor (cache included) is reusable.
+class SubplanFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Random rng(29);
+    TMDB_ASSERT_OK_AND_ASSIGN(
+        x_, Table::Create("X", Type::Tuple({{"e", Type::Int()},
+                                            {"d", Type::Int()}})));
+    TMDB_ASSERT_OK_AND_ASSIGN(
+        z_, Table::Create("Z", Type::Tuple({{"k", Type::Int()},
+                                            {"v", Type::Int()}})));
+    for (int i = 0; i < 120; ++i) {
+      TMDB_ASSERT_OK(x_->Insert(IntRow({"e", "d"},
+                                       {i, rng.UniformInt(0, 20)})));
+    }
+    for (int i = 0; i < 60; ++i) {
+      TMDB_ASSERT_OK(z_->Insert(IntRow({"k", "v"}, {i % 21, i})));
+    }
+  }
+
+  /// SELECT z.v FROM Z z WHERE z.k = `outer_field`, correlated on
+  /// `outer_var`.
+  Expr MakeSubplan(const std::string& outer_var, const Expr& outer_field) {
+    auto scan = LogicalOp::Scan(z_);
+    EXPECT_TRUE(scan.ok());
+    Expr zv = Expr::Var("z", z_->schema());
+    Expr pred = Expr::Must(Expr::Binary(BinaryOp::kEq,
+                                        Expr::Must(Expr::Field(zv, "k")),
+                                        outer_field));
+    auto select = LogicalOp::Select(std::move(*scan), "z", pred);
+    EXPECT_TRUE(select.ok());
+    Expr mv = Expr::Var("m", (*select)->output_type());
+    auto map = LogicalOp::Map(std::move(*select), "m",
+                              Expr::Must(Expr::Field(mv, "v")));
+    EXPECT_TRUE(map.ok());
+    return PlanSubplan::MakeExpr(std::move(*map), {outer_var});
+  }
+
+  /// σ_{x.d ∈ subplan(x)}(X): one subplan evaluation per row, serial.
+  PhysicalOpPtr MakeSubplanFilter() {
+    Expr xv = Expr::Var("x", x_->schema());
+    Expr pred = Expr::Must(Expr::Binary(
+        BinaryOp::kIn, Expr::Must(Expr::Field(xv, "d")),
+        MakeSubplan("x", Expr::Must(Expr::Field(xv, "d")))));
+    return PhysicalOpPtr(
+        new FilterOp(PhysicalOpPtr(new TableScanOp(x_)), "x", pred));
+  }
+
+  /// Self-join of X with subplan-valued hash keys and a subplan membership
+  /// test in the residual predicate — subplans on the build side, the probe
+  /// side, and inside parallel morsels.
+  PhysicalOpPtr MakeSubplanHashJoin() {
+    Expr xv = Expr::Var("x", x_->schema());
+    Expr yv = Expr::Var("y", x_->schema());
+    Expr left_key = Expr::Must(Expr::Aggregate(
+        AggFunc::kCount, MakeSubplan("x", Expr::Must(Expr::Field(xv, "d")))));
+    Expr right_key = Expr::Must(Expr::Aggregate(
+        AggFunc::kCount, MakeSubplan("y", Expr::Must(Expr::Field(yv, "d")))));
+    JoinSpec spec;
+    spec.mode = JoinMode::kNestJoin;
+    spec.left_var = "x";
+    spec.right_var = "y";
+    spec.right_type = x_->schema();
+    spec.pred = Expr::Must(Expr::Binary(
+        BinaryOp::kIn, Expr::Must(Expr::Field(yv, "d")),
+        MakeSubplan("x", Expr::Must(Expr::Field(xv, "d")))));
+    spec.func = yv;
+    spec.label = "s";
+    return PhysicalOpPtr(new HashJoinOp(
+        PhysicalOpPtr(new TableScanOp(x_)), PhysicalOpPtr(new TableScanOp(x_)),
+        std::move(spec), {left_key}, {right_key}));
+  }
+
+  std::shared_ptr<Table> x_;
+  std::shared_ptr<Table> z_;
+};
+
+TEST_F(SubplanFaultTest, FilterWithSubplanPredicate) {
+  PhysicalOpPtr plan = MakeSubplanFilter();
+  SweepInjectionPoints(plan.get(), 1);
+}
+
+TEST_F(SubplanFaultTest, HashJoinWithSubplansAllThreadCounts) {
+  PhysicalOpPtr plan = MakeSubplanHashJoin();
+  for (int threads : {1, 2, 4}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    SweepInjectionPoints(plan.get(), threads);
+  }
+}
+
+TEST_F(SubplanFaultTest, SweepWithCacheDisabledMatchesEnabledRows) {
+  // The sweep holds with memoization off too (more checkpoints, no cache
+  // insertion sites), and both configurations agree on the result.
+  PhysicalOpPtr plan = MakeSubplanFilter();
+  Executor cached(1);
+  TMDB_ASSERT_OK_AND_ASSIGN(auto cached_rows, cached.RunPhysical(plan.get()));
+  Executor uncached(1);
+  uncached.set_subplan_cache_bytes(0);
+  FaultInjector injector;
+  uncached.set_fault_injector(&injector);
+  injector.ArmNth(0);
+  TMDB_ASSERT_OK_AND_ASSIGN(auto uncached_rows,
+                            uncached.RunPhysical(plan.get()));
+  ASSERT_EQ(uncached_rows.size(), cached_rows.size());
+  for (size_t i = 0; i < cached_rows.size(); ++i) {
+    ASSERT_TRUE(uncached_rows[i].Equals(cached_rows[i]));
+  }
+  const uint64_t total = injector.checkpoints_seen();
+  ASSERT_GT(total, 0u);
+  const uint64_t stride = std::max<uint64_t>(1, total / 6);
+  for (uint64_t n = 1; n <= total; n += stride) {
+    injector.ArmNth(n);
+    auto poisoned = uncached.RunPhysical(plan.get());
+    ASSERT_FALSE(poisoned.ok()) << "checkpoint " << n << " did not fire";
+    EXPECT_EQ(poisoned.status().code(), StatusCode::kInternal);
+    injector.Disarm();
+    auto recovered = uncached.RunPhysical(plan.get());
+    ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+    ASSERT_EQ(recovered->size(), cached_rows.size());
+  }
 }
 
 /// Random fault rates under several seeds: every failing run fails with the

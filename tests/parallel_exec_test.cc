@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include "algebra/subplan.h"
 #include "base/fault_injector.h"
 #include "base/random.h"
 #include "base/thread_pool.h"
@@ -141,6 +142,11 @@ void ExpectSameStats(const ExecStats& a, const ExecStats& b) {
   EXPECT_EQ(a.subplan_evals, b.subplan_evals);
   EXPECT_EQ(a.hash_probes, b.hash_probes);
   EXPECT_EQ(a.rows_built, b.rows_built);
+  // Memoization counters are scheduling-independent: misses = distinct
+  // correlation keys, hits = acquires − misses, both fixed by the data.
+  EXPECT_EQ(a.subplan_cache_hits, b.subplan_cache_hits);
+  EXPECT_EQ(a.subplan_cache_misses, b.subplan_cache_misses);
+  EXPECT_EQ(a.subplan_cache_evictions, b.subplan_cache_evictions);
 }
 
 struct RunOutcome {
@@ -366,6 +372,197 @@ TEST(ParallelPipelineTest, Section8MatchesSerial) {
 }
 
 // Reopening a parallel op must reset all materialised state.
+
+// ----------------------- correlated subplans inside parallel operators
+//
+// These plans embed kSubplan expressions in hash-join keys, probe
+// predicates, and nest element functions — the sites that used to force a
+// serial fallback. Workers now evaluate them through per-morsel forked
+// SubplanRunners sharing one memo cache, so every thread count must still
+// be bit-identical to serial, stats included.
+
+class SubplanParallelTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Random rng(17);
+    TMDB_ASSERT_OK_AND_ASSIGN(
+        x_, Table::Create("X", Type::Tuple({{"e", Type::Int()},
+                                            {"d", Type::Int()}})));
+    TMDB_ASSERT_OK_AND_ASSIGN(
+        y_, Table::Create("Y", Type::Tuple({{"a", Type::Int()},
+                                            {"b", Type::Int()}})));
+    TMDB_ASSERT_OK_AND_ASSIGN(
+        z_, Table::Create("Z", Type::Tuple({{"k", Type::Int()},
+                                            {"v", Type::Int()}})));
+    for (int i = 0; i < 300; ++i) {
+      TMDB_ASSERT_OK(x_->Insert(IntRow({"e", "d"},
+                                       {i, rng.UniformInt(0, 40)})));
+    }
+    for (int i = 0; i < 500; ++i) {
+      TMDB_ASSERT_OK(y_->Insert(IntRow({"a", "b"},
+                                       {i, rng.UniformInt(0, 40)})));
+    }
+    for (int i = 0; i < 150; ++i) {
+      // Unique rows (tables are sets): k cycles the join domain, v tags i.
+      TMDB_ASSERT_OK(z_->Insert(IntRow({"k", "v"}, {i % 41, i})));
+    }
+  }
+
+  /// SELECT z.v FROM Z z WHERE z.k = `outer_field` — a subplan correlated
+  /// on the outer variable `outer_var`, of type P(INT).
+  Expr MakeSubplan(const std::string& outer_var, const Expr& outer_field) {
+    auto scan = LogicalOp::Scan(z_);
+    EXPECT_TRUE(scan.ok());
+    Expr zv = Expr::Var("z", z_->schema());
+    Expr pred = Expr::Must(Expr::Binary(BinaryOp::kEq,
+                                        Expr::Must(Expr::Field(zv, "k")),
+                                        outer_field));
+    auto select = LogicalOp::Select(std::move(*scan), "z", pred);
+    EXPECT_TRUE(select.ok());
+    Expr mv = Expr::Var("m", (*select)->output_type());
+    auto map = LogicalOp::Map(std::move(*select), "m",
+                              Expr::Must(Expr::Field(mv, "v")));
+    EXPECT_TRUE(map.ok());
+    return PlanSubplan::MakeExpr(std::move(*map), {outer_var});
+  }
+
+  /// Hash join whose build/probe keys count a correlated subplan and whose
+  /// residual predicate tests membership in another — the exact shapes the
+  /// old AnyHasSubplan gate forced serial.
+  PhysicalOpPtr MakeSubplanHashJoin(JoinMode mode) {
+    Expr xv = Expr::Var("x", x_->schema());
+    Expr yv = Expr::Var("y", y_->schema());
+    Expr left_key = Expr::Must(Expr::Aggregate(
+        AggFunc::kCount, MakeSubplan("x", Expr::Must(Expr::Field(xv, "d")))));
+    Expr right_key = Expr::Must(Expr::Aggregate(
+        AggFunc::kCount, MakeSubplan("y", Expr::Must(Expr::Field(yv, "b")))));
+    JoinSpec spec;
+    spec.mode = mode;
+    spec.left_var = "x";
+    spec.right_var = "y";
+    spec.right_type = y_->schema();
+    spec.pred = Expr::Must(Expr::Binary(
+        BinaryOp::kIn, Expr::Must(Expr::Field(yv, "b")),
+        MakeSubplan("x", Expr::Must(Expr::Field(xv, "d")))));
+    spec.func = yv;
+    spec.label = "s";
+    return PhysicalOpPtr(new HashJoinOp(
+        PhysicalOpPtr(new TableScanOp(x_)), PhysicalOpPtr(new TableScanOp(y_)),
+        std::move(spec), {left_key}, {right_key}));
+  }
+
+  std::shared_ptr<Table> x_;
+  std::shared_ptr<Table> y_;
+  std::shared_ptr<Table> z_;
+};
+
+TEST_F(SubplanParallelTest, HashJoinWithSubplanKeysAndPredMatchesSerial) {
+  for (JoinMode mode : {JoinMode::kInner, JoinMode::kNestJoin}) {
+    SCOPED_TRACE(JoinModeName(mode));
+    PhysicalOpPtr op = MakeSubplanHashJoin(mode);
+    RunOutcome serial = RunWithThreads(op.get(), 1);
+    EXPECT_GT(serial.stats.subplan_cache_hits, 0u);
+    for (int threads : {2, 4, 8}) {
+      SCOPED_TRACE("threads=" + std::to_string(threads));
+      RunOutcome parallel = RunWithThreads(op.get(), threads);
+      ExpectIdentical(parallel.rows, serial.rows);
+      ExpectSameStats(parallel.stats, serial.stats);
+    }
+  }
+}
+
+TEST_F(SubplanParallelTest, HashJoinWithSubplansAndCacheOffMatchesSerial) {
+  PhysicalOpPtr op = MakeSubplanHashJoin(JoinMode::kNestJoin);
+  auto run = [&](int threads) {
+    Executor executor(threads);
+    executor.set_subplan_cache_bytes(0);
+    auto rows = executor.RunPhysical(op.get());
+    EXPECT_TRUE(rows.ok()) << rows.status().ToString();
+    RunOutcome out;
+    if (rows.ok()) out.rows = std::move(rows).value();
+    out.stats = executor.stats();
+    return out;
+  };
+  RunOutcome serial = run(1);
+  EXPECT_EQ(serial.stats.subplan_cache_hits, 0u);
+  EXPECT_EQ(serial.stats.subplan_cache_misses, 0u);
+  for (int threads : {2, 4}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    RunOutcome parallel = run(threads);
+    ExpectIdentical(parallel.rows, serial.rows);
+    ExpectSameStats(parallel.stats, serial.stats);
+  }
+}
+
+TEST_F(SubplanParallelTest, NestWithSubplanElemMatchesSerial) {
+  // ν grouping Y by b where the collected element is itself a correlated
+  // subquery result — the old ExprHasSubplan gate in NestOp.
+  TMDB_ASSERT_OK_AND_ASSIGN(LogicalOpPtr scan, LogicalOp::Scan(y_));
+  Expr j = Expr::Var("j", y_->schema());
+  Expr elem = MakeSubplan("j", Expr::Must(Expr::Field(j, "b")));
+  TMDB_ASSERT_OK_AND_ASSIGN(
+      LogicalOpPtr nest,
+      LogicalOp::Nest(std::move(scan), {"b"}, "j", elem, "s",
+                      /*null_group_to_empty=*/false));
+  Planner planner;
+  TMDB_ASSERT_OK_AND_ASSIGN(PhysicalOpPtr plan, planner.Plan(nest));
+  RunOutcome serial = RunWithThreads(plan.get(), 1);
+  EXPECT_GT(serial.stats.subplan_cache_hits, 0u);
+  for (int threads : {2, 4, 8}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    RunOutcome parallel = RunWithThreads(plan.get(), threads);
+    ExpectIdentical(parallel.rows, serial.rows);
+    ExpectSameStats(parallel.stats, serial.stats);
+  }
+}
+
+// End to end: the COUNT-bug and SUBSETEQ-bug query shapes through
+// Database::Run, threads {1, 2, 4} × cache on/off × naive and nest-join
+// strategies. Rows must be bit-identical everywhere; stats must not depend
+// on the thread count for a fixed configuration.
+
+TEST(SubplanParallelE2eTest, CorrelatedShapesAcrossThreadsAndCacheModes) {
+  Database db;
+  CountBugConfig rs;
+  rs.num_r = 80;
+  rs.num_s = 160;
+  TMDB_ASSERT_OK(LoadCountBugTables(&db, rs));
+  SubsetBugConfig xy;
+  xy.num_x = 80;
+  xy.num_y = 160;
+  TMDB_ASSERT_OK(LoadSubsetBugTables(&db, xy));
+
+  const char* kQueries[] = {
+      // COUNT-bug shape: aggregate over a correlated subquery.
+      "SELECT (b = r.b, n = count(SELECT s.d FROM S s WHERE r.c = s.c)) "
+      "FROM R r",
+      // SUBSETEQ-bug shape: set comparison against a correlated subquery.
+      "SELECT x FROM X x WHERE x.a SUBSETEQ "
+      "(SELECT y.a FROM Y y WHERE x.b = y.b)",
+  };
+  for (const char* query : kQueries) {
+    SCOPED_TRACE(query);
+    for (Strategy strategy : {Strategy::kNaive, Strategy::kNestJoin}) {
+      for (uint64_t cache_bytes : {uint64_t{0}, uint64_t{16} << 20}) {
+        SCOPED_TRACE(StrategyName(strategy) + "/cache=" +
+                     std::to_string(cache_bytes));
+        RunOptions reference_options;
+        reference_options.strategy = strategy;
+        reference_options.subplan_cache_bytes = cache_bytes;
+        TMDB_ASSERT_OK_AND_ASSIGN(QueryResult reference,
+                                  db.Run(query, reference_options));
+        for (int threads : {2, 4}) {
+          RunOptions options = reference_options;
+          options.num_threads = threads;
+          TMDB_ASSERT_OK_AND_ASSIGN(QueryResult parallel,
+                                    db.Run(query, options));
+          ExpectIdentical(parallel.rows, reference.rows);
+          ExpectSameStats(parallel.stats, reference.stats);
+        }
+      }
+    }
+  }
+}
 
 TEST_F(ParallelNestTest, ReopenIsDeterministic) {
   TMDB_ASSERT_OK_AND_ASSIGN(LogicalOpPtr xs, LogicalOp::Scan(x_));

@@ -1,0 +1,424 @@
+// Correlation signatures and the per-query subplan memoization cache:
+//  - signatures record exactly the outer access paths a subplan can read,
+//    with whole-variable and prefix subsumption, and an empty signature
+//    marks an uncorrelated subplan;
+//  - correlation keys pack the signature's values per outer binding, so
+//    bindings that agree on the signature share one cache entry;
+//  - the cache computes each distinct key exactly once, never memoizes
+//    failures, charges resident entries against the query's memory budget,
+//    and evicts LRU entries before failing on a memory trip;
+//  - end to end, Database::Run under Strategy::kNaive shows hit/miss/
+//    eviction counters in ExecStats and identical rows with the cache on,
+//    off, or thrashing.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "algebra/correlation.h"
+#include "algebra/logical_op.h"
+#include "algebra/subplan.h"
+#include "base/random.h"
+#include "catalog/table.h"
+#include "core/database.h"
+#include "exec/executor.h"
+#include "exec/query_guard.h"
+#include "exec/subplan_cache.h"
+#include "tests/test_util.h"
+#include "workload/generators.h"
+
+namespace tmdb {
+namespace {
+
+using testutil::IntRow;
+
+// ------------------------------------------------- correlation signatures
+
+class CorrelationSignatureTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TMDB_ASSERT_OK_AND_ASSIGN(
+        y_, Table::Create("Y", Type::Tuple({{"a", Type::Int()},
+                                            {"b", Type::Int()}})));
+    TMDB_ASSERT_OK(y_->Insert(IntRow({"a", "b"}, {1, 2})));
+  }
+
+  Result<LogicalOpPtr> Scan() { return LogicalOp::Scan(y_); }
+
+  std::shared_ptr<Table> y_;
+};
+
+TEST_F(CorrelationSignatureTest, ScanIsUncorrelated) {
+  TMDB_ASSERT_OK_AND_ASSIGN(LogicalOpPtr scan, Scan());
+  CorrelationSignature sig = ComputeCorrelationSignature(*scan, {"x"});
+  EXPECT_TRUE(sig.uncorrelated());
+  EXPECT_EQ(sig.ToString(), "[]");
+}
+
+TEST_F(CorrelationSignatureTest, OuterFieldAccessBecomesAPath) {
+  // σ_{x.b = y.b}(Y): the subplan reads exactly x.b of the outer row.
+  TMDB_ASSERT_OK_AND_ASSIGN(LogicalOpPtr scan, Scan());
+  Expr x = Expr::Var("x", Type::Tuple({{"b", Type::Int()}}));
+  Expr y = Expr::Var("y", y_->schema());
+  Expr pred = Expr::Must(Expr::Binary(BinaryOp::kEq,
+                                      Expr::Must(Expr::Field(x, "b")),
+                                      Expr::Must(Expr::Field(y, "b"))));
+  TMDB_ASSERT_OK_AND_ASSIGN(LogicalOpPtr select,
+                            LogicalOp::Select(std::move(scan), "y", pred));
+  CorrelationSignature sig = ComputeCorrelationSignature(*select, {"x"});
+  ASSERT_EQ(sig.paths.size(), 1u);
+  EXPECT_EQ(sig.ToString(), "[x.b]");
+  EXPECT_FALSE(sig.uncorrelated());
+}
+
+TEST_F(CorrelationSignatureTest, LocallyBoundVariablesAreNotRecorded) {
+  // The select binds y itself; a pred reading only y is uncorrelated.
+  TMDB_ASSERT_OK_AND_ASSIGN(LogicalOpPtr scan, Scan());
+  Expr y = Expr::Var("y", y_->schema());
+  Expr pred = Expr::Must(Expr::Binary(BinaryOp::kLt,
+                                      Expr::Must(Expr::Field(y, "a")),
+                                      Expr::Must(Expr::Field(y, "b"))));
+  TMDB_ASSERT_OK_AND_ASSIGN(LogicalOpPtr select,
+                            LogicalOp::Select(std::move(scan), "y", pred));
+  CorrelationSignature sig = ComputeCorrelationSignature(*select, {"x"});
+  EXPECT_TRUE(sig.uncorrelated());
+}
+
+TEST_F(CorrelationSignatureTest, WholeVariableAbsorbsItsFieldPaths) {
+  // One op reads x.b, a later op reads all of x: the signature collapses
+  // to the whole variable (its value determines every field).
+  TMDB_ASSERT_OK_AND_ASSIGN(LogicalOpPtr scan, Scan());
+  Type x_type = Type::Tuple({{"b", Type::Int()}});
+  Expr x = Expr::Var("x", x_type);
+  Expr y = Expr::Var("y", y_->schema());
+  Expr pred = Expr::Must(Expr::Binary(BinaryOp::kEq,
+                                      Expr::Must(Expr::Field(x, "b")),
+                                      Expr::Must(Expr::Field(y, "b"))));
+  TMDB_ASSERT_OK_AND_ASSIGN(LogicalOpPtr select,
+                            LogicalOp::Select(std::move(scan), "y", pred));
+  Expr z = Expr::Var("z", select->output_type());
+  Expr func = Expr::Must(Expr::MakeTuple({"outer", "inner"}, {x, z}));
+  TMDB_ASSERT_OK_AND_ASSIGN(LogicalOpPtr map,
+                            LogicalOp::Map(std::move(select), "z", func));
+  CorrelationSignature sig = ComputeCorrelationSignature(*map, {"x"});
+  ASSERT_EQ(sig.paths.size(), 1u);
+  EXPECT_EQ(sig.paths[0].var, "x");
+  EXPECT_TRUE(sig.paths[0].path.empty());
+  EXPECT_EQ(sig.ToString(), "[x]");
+}
+
+TEST_F(CorrelationSignatureTest, PathPrefixAbsorbsExtensions) {
+  // Reads of x.a.b and x.a together prune to x.a.
+  TMDB_ASSERT_OK_AND_ASSIGN(LogicalOpPtr scan, Scan());
+  Type inner = Type::Tuple({{"b", Type::Int()}, {"c", Type::Int()}});
+  Expr x = Expr::Var("x", Type::Tuple({{"a", inner}}));
+  Expr y = Expr::Var("y", y_->schema());
+  Expr xa = Expr::Must(Expr::Field(x, "a"));
+  Expr deep = Expr::Must(Expr::Binary(BinaryOp::kEq,
+                                      Expr::Must(Expr::Field(xa, "b")),
+                                      Expr::Must(Expr::Field(y, "b"))));
+  TMDB_ASSERT_OK_AND_ASSIGN(LogicalOpPtr select,
+                            LogicalOp::Select(std::move(scan), "y", deep));
+  Expr shallow = Expr::Must(Expr::Binary(BinaryOp::kEq, xa, xa));
+  TMDB_ASSERT_OK_AND_ASSIGN(
+      LogicalOpPtr outer_select,
+      LogicalOp::Select(std::move(select), "y2", shallow));
+  CorrelationSignature sig =
+      ComputeCorrelationSignature(*outer_select, {"x"});
+  ASSERT_EQ(sig.paths.size(), 1u);
+  EXPECT_EQ(sig.ToString(), "[x.a]");
+}
+
+TEST_F(CorrelationSignatureTest, QuantifierBindsItsOwnVariable) {
+  // EXISTS e ∈ x.s (e = y.b): e is bound by the quantifier, x.s is the
+  // only outer read.
+  TMDB_ASSERT_OK_AND_ASSIGN(LogicalOpPtr scan, Scan());
+  Expr x = Expr::Var("x", Type::Tuple({{"s", Type::Set(Type::Int())}}));
+  Expr y = Expr::Var("y", y_->schema());
+  Expr e = Expr::Var("e", Type::Int());
+  Expr pred = Expr::Must(Expr::Quantifier(
+      QuantKind::kExists, "e", Expr::Must(Expr::Field(x, "s")),
+      Expr::Must(Expr::Binary(BinaryOp::kEq, e,
+                              Expr::Must(Expr::Field(y, "b"))))));
+  TMDB_ASSERT_OK_AND_ASSIGN(LogicalOpPtr select,
+                            LogicalOp::Select(std::move(scan), "y", pred));
+  CorrelationSignature sig = ComputeCorrelationSignature(*select, {"x"});
+  EXPECT_EQ(sig.ToString(), "[x.s]");
+}
+
+TEST(CorrelationKeyTest, PacksPathValuesInSignatureOrder) {
+  CorrelationSignature sig;
+  sig.paths.push_back({"x", {"a", "b"}});
+  sig.paths.push_back({"x", {"c"}});
+  Environment env;
+  env.Bind("x", Value::Tuple({"a", "c"},
+                             {Value::Tuple({"b"}, {Value::Int(7)}),
+                              Value::Int(9)}));
+  TMDB_ASSERT_OK_AND_ASSIGN(Value key, EvalCorrelationKey(sig, env));
+  EXPECT_TRUE(key.Equals(Value::List({Value::Int(7), Value::Int(9)})));
+}
+
+TEST(CorrelationKeyTest, WalkStopsEarlyOnNonTupleValues) {
+  // Outer-join padding can replace a tuple with NULL; the key then uses
+  // the value reached so far instead of failing.
+  CorrelationSignature sig;
+  sig.paths.push_back({"x", {"a", "b"}});
+  Environment env;
+  env.Bind("x", Value::Tuple({"a"}, {Value::Null()}));
+  TMDB_ASSERT_OK_AND_ASSIGN(Value key, EvalCorrelationKey(sig, env));
+  EXPECT_TRUE(key.Equals(Value::List({Value::Null()})));
+}
+
+TEST(CorrelationKeyTest, UnboundVariableIsAnError) {
+  CorrelationSignature sig;
+  sig.paths.push_back({"x", {}});
+  Environment env;
+  auto key = EvalCorrelationKey(sig, env);
+  ASSERT_FALSE(key.ok());
+}
+
+// --------------------------------------------------------- value sizing
+
+TEST(ApproxValueBytesTest, GrowsWithStructure) {
+  const uint64_t atom = ApproxValueBytes(Value::Int(1));
+  EXPECT_GT(atom, 0u);
+  std::vector<Value> many;
+  for (int i = 0; i < 100; ++i) many.push_back(Value::Int(i));
+  const uint64_t set = ApproxValueBytes(Value::Set(std::move(many)));
+  EXPECT_GT(set, 100 * atom);
+  const uint64_t str = ApproxValueBytes(Value::String(std::string(500, 'x')));
+  EXPECT_GE(str, 500u);
+}
+
+// ------------------------------------------------------ SubplanCache unit
+
+class SubplanCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TMDB_ASSERT_OK_AND_ASSIGN(
+        t_, Table::Create("T", Type::Tuple({{"a", Type::Int()}})));
+    TMDB_ASSERT_OK_AND_ASSIGN(LogicalOpPtr scan, LogicalOp::Scan(t_));
+    subplan_ = std::make_unique<PlanSubplan>(std::move(scan),
+                                             std::set<std::string>{});
+  }
+
+  /// Guard with an optional memory budget; no limits otherwise.
+  void ResetGuard(uint64_t memory_budget) {
+    GuardLimits limits;
+    limits.memory_budget_bytes = memory_budget;
+    guard_.Reset(limits, &stats_, nullptr);
+  }
+
+  std::shared_ptr<Table> t_;
+  std::unique_ptr<PlanSubplan> subplan_;
+  ExecStats stats_;
+  QueryGuard guard_;
+  SubplanCache cache_;
+};
+
+TEST_F(SubplanCacheTest, MissFulfillHit) {
+  ResetGuard(0);
+  cache_.Reset(&guard_, kDefaultSubplanCacheBytes);
+
+  TMDB_ASSERT_OK_AND_ASSIGN(auto first,
+                            cache_.Acquire(subplan_.get(), Value::Int(1)));
+  EXPECT_FALSE(first.has_value());
+  EXPECT_EQ(cache_.misses(), 1u);
+  TMDB_ASSERT_OK(
+      cache_.Fulfill(subplan_.get(), Value::Int(1), testutil::IntSet({4, 5})));
+  EXPECT_GT(cache_.resident_bytes(), 0u);
+
+  TMDB_ASSERT_OK_AND_ASSIGN(auto second,
+                            cache_.Acquire(subplan_.get(), Value::Int(1)));
+  ASSERT_TRUE(second.has_value());
+  EXPECT_TRUE(second->Equals(testutil::IntSet({4, 5})));
+  EXPECT_EQ(cache_.hits(), 1u);
+  EXPECT_EQ(cache_.misses(), 1u);
+
+  // A different key is a fresh miss.
+  TMDB_ASSERT_OK_AND_ASSIGN(auto third,
+                            cache_.Acquire(subplan_.get(), Value::Int(2)));
+  EXPECT_FALSE(third.has_value());
+  EXPECT_EQ(cache_.misses(), 2u);
+  cache_.Abandon(subplan_.get(), Value::Int(2), Status::Internal("unused"));
+  cache_.Reset(nullptr, 0);
+}
+
+TEST_F(SubplanCacheTest, FailuresAreNeverMemoized) {
+  ResetGuard(0);
+  cache_.Reset(&guard_, kDefaultSubplanCacheBytes);
+
+  TMDB_ASSERT_OK_AND_ASSIGN(auto miss,
+                            cache_.Acquire(subplan_.get(), Value::Int(1)));
+  EXPECT_FALSE(miss.has_value());
+  cache_.Abandon(subplan_.get(), Value::Int(1), Status::Internal("boom"));
+
+  // The failure was not cached: the next Acquire recomputes.
+  TMDB_ASSERT_OK_AND_ASSIGN(auto again,
+                            cache_.Acquire(subplan_.get(), Value::Int(1)));
+  EXPECT_FALSE(again.has_value());
+  EXPECT_EQ(cache_.misses(), 2u);
+  TMDB_ASSERT_OK(
+      cache_.Fulfill(subplan_.get(), Value::Int(1), testutil::IntSet({1})));
+  TMDB_ASSERT_OK_AND_ASSIGN(auto hit,
+                            cache_.Acquire(subplan_.get(), Value::Int(1)));
+  EXPECT_TRUE(hit.has_value());
+  cache_.Reset(nullptr, 0);
+}
+
+TEST_F(SubplanCacheTest, SoftCapacityEvictsLeastRecentlyUsed) {
+  ResetGuard(0);
+  // Room for roughly one entry: every insertion pushes the previous one out.
+  cache_.Reset(&guard_, 1);
+
+  for (int k = 0; k < 4; ++k) {
+    TMDB_ASSERT_OK_AND_ASSIGN(auto miss,
+                              cache_.Acquire(subplan_.get(), Value::Int(k)));
+    ASSERT_FALSE(miss.has_value());
+    TMDB_ASSERT_OK(
+        cache_.Fulfill(subplan_.get(), Value::Int(k), testutil::IntSet({k})));
+  }
+  EXPECT_EQ(cache_.evictions(), 3u);
+
+  // The newest entry survives, the oldest is gone.
+  TMDB_ASSERT_OK_AND_ASSIGN(auto newest,
+                            cache_.Acquire(subplan_.get(), Value::Int(3)));
+  EXPECT_TRUE(newest.has_value());
+  TMDB_ASSERT_OK_AND_ASSIGN(auto oldest,
+                            cache_.Acquire(subplan_.get(), Value::Int(0)));
+  EXPECT_FALSE(oldest.has_value());
+  cache_.Abandon(subplan_.get(), Value::Int(0), Status::Internal("unused"));
+  cache_.Reset(nullptr, 0);
+}
+
+TEST_F(SubplanCacheTest, MemoryTripEvictsBeforeFailing) {
+  // Budget sized for a handful of the ~8 KiB results below: insertions keep
+  // succeeding past the trip point by shedding LRU entries, and Fulfill
+  // never surfaces the memory trip to the caller.
+  ResetGuard(64u << 10);
+  cache_.Reset(&guard_, kDefaultSubplanCacheBytes);
+
+  for (int k = 0; k < 32; ++k) {
+    TMDB_ASSERT_OK_AND_ASSIGN(auto miss,
+                              cache_.Acquire(subplan_.get(), Value::Int(k)));
+    ASSERT_FALSE(miss.has_value());
+    Status st = cache_.Fulfill(subplan_.get(), Value::Int(k),
+                               Value::String(std::string(8 << 10, 'v')));
+    TMDB_ASSERT_OK(st);
+  }
+  EXPECT_GT(cache_.evictions(), 0u);
+  EXPECT_LE(cache_.resident_bytes(), 64u << 10);
+  // The guard itself never tripped into a stuck state: a checkpoint passes
+  // once the cache is the only consumer of the budget.
+  cache_.Reset(nullptr, 0);
+}
+
+TEST_F(SubplanCacheTest, ResetRefundsTheGuardCharge) {
+  ResetGuard(0);
+  cache_.Reset(&guard_, kDefaultSubplanCacheBytes);
+  TMDB_ASSERT_OK_AND_ASSIGN(auto miss,
+                            cache_.Acquire(subplan_.get(), Value::Int(1)));
+  ASSERT_FALSE(miss.has_value());
+  TMDB_ASSERT_OK(
+      cache_.Fulfill(subplan_.get(), Value::Int(1), testutil::IntSet({1})));
+  const int64_t charged = guard_.memory_used();
+  cache_.Reset(nullptr, 0);
+  EXPECT_LT(guard_.memory_used(), charged);
+  EXPECT_EQ(cache_.resident_bytes(), 0u);
+}
+
+// --------------------------------------------------- end-to-end behaviour
+
+class SubplanCacheE2eTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    CorrelatedConfig config;
+    config.num_outer = 200;
+    config.num_inner = 60;
+    config.correlation_scale = 10;
+    TMDB_ASSERT_OK(LoadCorrelatedTables(&db_, config));
+  }
+
+  /// Correlated COUNT over I per distinct o.k — 10 distinct keys over 200
+  /// outer rows. The (a = o.a, ...) projection keeps every output row
+  /// distinct, so the result set size equals num_outer.
+  static constexpr const char* kCorrelated =
+      "SELECT (a = o.a, n = count(SELECT i.v FROM I i WHERE o.k = i.k)) "
+      "FROM O o";
+
+  RunOptions Naive(uint64_t cache_bytes) const {
+    RunOptions options;
+    options.strategy = Strategy::kNaive;
+    options.subplan_cache_bytes = cache_bytes;
+    return options;
+  }
+
+  Database db_;
+};
+
+TEST_F(SubplanCacheE2eTest, DistinctKeysComputedExactlyOnce) {
+  TMDB_ASSERT_OK_AND_ASSIGN(QueryResult cached,
+                            db_.Run(kCorrelated, Naive(16ull << 20)));
+  EXPECT_EQ(cached.rows.size(), 200u);
+  EXPECT_EQ(cached.stats.subplan_evals, 10u);
+  EXPECT_EQ(cached.stats.subplan_cache_misses, 10u);
+  EXPECT_EQ(cached.stats.subplan_cache_hits, 190u);
+  EXPECT_EQ(cached.stats.subplan_cache_evictions, 0u);
+  EXPECT_GT(cached.stats.guard_checkpoints, 0u);
+
+  TMDB_ASSERT_OK_AND_ASSIGN(QueryResult uncached,
+                            db_.Run(kCorrelated, Naive(0)));
+  EXPECT_EQ(uncached.stats.subplan_evals, 200u);
+  EXPECT_EQ(uncached.stats.subplan_cache_hits, 0u);
+  EXPECT_EQ(uncached.stats.subplan_cache_misses, 0u);
+  EXPECT_TRUE(testutil::RowsEqual(cached.rows, uncached.rows));
+}
+
+TEST_F(SubplanCacheE2eTest, UncorrelatedSubplanEvaluatedOncePerQuery) {
+  const char* query =
+      "SELECT o.a FROM O o WHERE 0 IN (SELECT i.k FROM I i)";
+  TMDB_ASSERT_OK_AND_ASSIGN(QueryResult result,
+                            db_.Run(query, Naive(16ull << 20)));
+  EXPECT_EQ(result.stats.subplan_evals, 1u);
+  EXPECT_EQ(result.stats.subplan_cache_misses, 1u);
+  EXPECT_EQ(result.stats.subplan_cache_hits, 199u);
+}
+
+TEST_F(SubplanCacheE2eTest, ThrashingCacheStaysCorrect) {
+  // A 1-byte soft cap holds at most one entry while the round-robin keys
+  // cycle through all ten: constant eviction, identical rows.
+  TMDB_ASSERT_OK_AND_ASSIGN(QueryResult reference,
+                            db_.Run(kCorrelated, Naive(0)));
+  TMDB_ASSERT_OK_AND_ASSIGN(QueryResult thrashing,
+                            db_.Run(kCorrelated, Naive(1)));
+  EXPECT_GT(thrashing.stats.subplan_cache_evictions, 0u);
+  EXPECT_TRUE(testutil::RowsEqual(thrashing.rows, reference.rows));
+}
+
+TEST_F(SubplanCacheE2eTest, TightMemoryBudgetEvictsBeforeFailing) {
+  // A budget that fits the working set but not ten resident results: the
+  // run must succeed by evicting, not fail with kResourceExhausted.
+  TMDB_ASSERT_OK_AND_ASSIGN(QueryResult reference,
+                            db_.Run(kCorrelated, Naive(0)));
+  RunOptions tight = Naive(16ull << 20);
+  tight.memory_budget_bytes = 256u << 10;
+  TMDB_ASSERT_OK_AND_ASSIGN(QueryResult budgeted, db_.Run(kCorrelated, tight));
+  EXPECT_TRUE(testutil::RowsEqual(budgeted.rows, reference.rows));
+}
+
+TEST_F(SubplanCacheE2eTest, StatsToStringShowsCacheCounters) {
+  TMDB_ASSERT_OK_AND_ASSIGN(QueryResult result,
+                            db_.Run(kCorrelated, Naive(16ull << 20)));
+  const std::string rendered = result.stats.ToString();
+  EXPECT_NE(rendered.find("subplan_cache_hits=190"), std::string::npos)
+      << rendered;
+  EXPECT_NE(rendered.find("subplan_cache_misses=10"), std::string::npos)
+      << rendered;
+  EXPECT_NE(rendered.find("guard_checkpoints="), std::string::npos)
+      << rendered;
+}
+
+}  // namespace
+}  // namespace tmdb
