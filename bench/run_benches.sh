@@ -24,7 +24,12 @@ BENCH_TIMEOUT="${BENCH_TIMEOUT:-30m}"
 run() {
   local name="$1"
   shift
-  timeout "$BENCH_TIMEOUT" "$BUILD_DIR/bench/$name" \
+  local bin="$BUILD_DIR/bench/$name"
+  if [[ ! -x "$bin" ]]; then
+    echo "error: bench binary missing: $bin (build the '$name' target first)" >&2
+    exit 1
+  fi
+  timeout "$BENCH_TIMEOUT" "$bin" \
     --benchmark_out="$OUT_DIR/$name.json" \
     --benchmark_out_format=json "$@" >/dev/null
   echo "ran $name" >&2
@@ -76,6 +81,17 @@ trap 'rm -rf "$OUT_DIR" "$SPILL_OUT_DIR" "$SUBPLAN_OUT_DIR"' EXIT
   run bench_subplan
 )
 merge "$SUBPLAN_OUT_DIR" "$REPO_ROOT/BENCH_subplan.json"
+
+# Columnar suite: row vs columnar execution of the same plan shapes —
+# scan+filter across selectivities, the Table 1 nest-equijoin shape and
+# the Table 2 semi-join shape, serial and with a 4-thread pool.
+COLUMNAR_OUT_DIR="$(mktemp -d)"
+trap 'rm -rf "$OUT_DIR" "$SPILL_OUT_DIR" "$SUBPLAN_OUT_DIR" "$COLUMNAR_OUT_DIR"' EXIT
+(
+  OUT_DIR="$COLUMNAR_OUT_DIR"
+  run bench_columnar
+)
+merge "$COLUMNAR_OUT_DIR" "$REPO_ROOT/BENCH_columnar.json"
 
 # Compare the fresh numbers against the committed baselines; warns on >15%
 # real_time regressions (pass --strict via BENCH_DIFF_ARGS to make that

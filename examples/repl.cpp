@@ -12,6 +12,7 @@
 //   \maxrows <n>           per-query processed-row budget, 0 = unlimited
 //   \spill on|off [dir]    spill joins to disk when the budget trips
 //   \subcache <bytes>      correlated-subplan memo budget, 0 = off
+//   \columnar on|off       columnar scan/filter/join fast paths (default on)
 //   \explain <query>       show naive plan, rewrite decisions, final plans
 //   \tables                list tables and schemas
 //   \stats on|off|<empty>  per-query counters: toggle auto-print, or show
@@ -75,6 +76,7 @@ int main() {
   unsigned long long max_rows = 0;
   bool enable_spill = false;
   std::string spill_dir;
+  bool enable_columnar = true;
   unsigned long long subplan_cache_bytes = RunOptions().subplan_cache_bytes;
   bool auto_stats = true;
   tmdb::ExecStats last_stats;
@@ -205,6 +207,16 @@ int main() {
       }
       continue;
     }
+    if (input.rfind("\\columnar", 0) == 0) {
+      std::string arg(tmdb::StripWhitespace(input.substr(9)));
+      if (arg == "on" || arg == "off") {
+        enable_columnar = arg == "on";
+        std::printf("  columnar = %s\n", arg.c_str());
+      } else {
+        std::printf("  \\columnar needs on|off, got '%s'\n", arg.c_str());
+      }
+      continue;
+    }
     if (input.rfind("\\explain", 0) == 0) {
       std::string query(tmdb::StripWhitespace(input.substr(8)));
       auto explained = db.Explain(query, strategy);
@@ -223,6 +235,7 @@ int main() {
     options.enable_spill = enable_spill;
     options.spill_dir = spill_dir;
     options.subplan_cache_bytes = subplan_cache_bytes;
+    options.enable_columnar = enable_columnar;
     auto result = db.Execute(input, options);
     if (!result.ok()) {
       std::printf("  %s\n", result.status().ToString().c_str());

@@ -73,4 +73,14 @@ std::string Table::ToString(size_t max_rows) const {
   return out;
 }
 
+std::shared_ptr<const ColumnStore> Table::columnar_store() const {
+  std::lock_guard<std::mutex> lock(columnar_mu_);
+  if (!columnar_attempted_ || columnar_rows_ != rows_.size()) {
+    columnar_ = ColumnStore::Build(schema_, rows_);
+    columnar_rows_ = rows_.size();
+    columnar_attempted_ = true;
+  }
+  return columnar_;
+}
+
 }  // namespace tmdb

@@ -3,12 +3,14 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "base/result.h"
 #include "types/type.h"
+#include "values/column_store.h"
 #include "values/value.h"
 
 namespace tmdb {
@@ -41,6 +43,14 @@ class Table {
   /// Multi-line rendering of schema and rows, used by examples and tests.
   std::string ToString(size_t max_rows = 20) const;
 
+  /// Columnar decomposition of the current rows, built lazily on first
+  /// request and cached until the table grows (inserts invalidate by row
+  /// count). Returns nullptr when the table is not columnar — any
+  /// non-basic attribute or deviating value kind (see ColumnStore::Build) —
+  /// and remembers that verdict so scans don't retry a doomed build per
+  /// query. Thread-safe.
+  std::shared_ptr<const ColumnStore> columnar_store() const;
+
  private:
   Table(std::string name, Type schema)
       : name_(std::move(name)), schema_(std::move(schema)) {}
@@ -50,6 +60,13 @@ class Table {
   std::vector<Value> rows_;
   // row hash → row index, used to enforce set semantics on insert.
   std::unordered_multimap<uint64_t, size_t> hash_index_;
+
+  // Lazy columnar cache: guarded by columnar_mu_; columnar_rows_ records
+  // the row count the cached (or failed) build was taken at.
+  mutable std::mutex columnar_mu_;
+  mutable std::shared_ptr<const ColumnStore> columnar_;
+  mutable size_t columnar_rows_ = 0;
+  mutable bool columnar_attempted_ = false;
 };
 
 }  // namespace tmdb

@@ -68,6 +68,7 @@ Result<QueryResult> Database::Run(const std::string& query,
   planner_options.join_impl = options.join_impl;
   planner_options.num_threads = options.num_threads;
   planner_options.spill_available = options.enable_spill;
+  planner_options.enable_columnar = options.enable_columnar;
   Planner planner(planner_options);
   TMDB_ASSIGN_OR_RETURN(PhysicalOpPtr physical, planner.Plan(logical));
   Executor executor(options.num_threads);
@@ -120,6 +121,7 @@ Result<StatementResult> Database::ExecuteParsed(const Statement& statement,
       planner_options.join_impl = options.join_impl;
       planner_options.num_threads = options.num_threads;
       planner_options.spill_available = options.enable_spill;
+      planner_options.enable_columnar = options.enable_columnar;
       Planner planner(planner_options);
       TMDB_ASSIGN_OR_RETURN(PhysicalOpPtr physical, planner.Plan(plan));
       Executor executor(options.num_threads);

@@ -76,6 +76,13 @@ struct RunOptions {
   /// 0 = 64 KiB.
   size_t spill_block_bytes = 0;
 
+  /// Columnar execution of the hot scan/filter/join loops (scans over flat
+  /// tables expose ColumnBatches, selections run compiled column
+  /// predicates, hash joins probe raw-key tables). Results and stats are
+  /// bit-identical with it off; the switch exists for A/B comparison and
+  /// diagnosis (REPL `\columnar`).
+  bool enable_columnar = true;
+
   /// Deterministic fault injector consulted at every guard checkpoint and
   /// every spill I/O (tests only). Not owned; must outlive the call.
   FaultInjector* fault_injector = nullptr;

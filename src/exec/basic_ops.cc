@@ -37,6 +37,7 @@ inline Status PeriodicGuardCheck(ExecContext* ctx, uint64_t* work) {
 Status TableScanOp::Open(ExecContext* ctx) {
   ctx_ = ctx;
   pos_ = 0;
+  store_ = try_columnar_ ? table_->columnar_store() : nullptr;
   return Status::OK();
 }
 
@@ -57,7 +58,20 @@ Result<size_t> TableScanOp::NextBatch(std::vector<Value>* out, size_t max) {
   return take;
 }
 
-void TableScanOp::Close() {}
+Result<ColumnBatch> TableScanOp::NextColumnBatch() {
+  if (store_ == nullptr) return PhysicalOp::NextColumnBatch();
+  TMDB_RETURN_IF_ERROR(CheckGuard(ctx_));
+  const size_t take = std::min(kExecBatchSize, store_->num_rows() - pos_);
+  ColumnBatch batch;
+  batch.store = store_.get();
+  batch.first = static_cast<uint32_t>(pos_);
+  batch.len = static_cast<uint32_t>(take);
+  pos_ += take;
+  ctx_->stats->rows_emitted += take;
+  return batch;
+}
+
+void TableScanOp::Close() { store_.reset(); }
 
 std::string TableScanOp::Describe() const {
   return StrCat("TableScan(", table_->name(), ")");
@@ -106,10 +120,71 @@ std::string ExprSourceOp::Describe() const {
 Status FilterOp::Open(ExecContext* ctx) {
   ctx_ = ctx;
   work_ = 0;
-  return child_->Open(ctx);
+  columnar_active_ = false;
+  pending_ = ColumnBatch{};
+  pending_pos_ = 0;
+  arena_.Reset();
+  TMDB_RETURN_IF_ERROR(child_->Open(ctx));
+  // Under a memory budget the columnar path stands down: its arena block
+  // would shift the memory profile (and therefore spill points and trip
+  // sites) away from the row path whose degradation behaviour is the
+  // contract. Budgeted runs take the row path; everything else is faster
+  // AND bit-identical.
+  const bool budgeted = ctx->guard != nullptr &&
+                        ctx->guard->limits().memory_budget_bytes != 0;
+  if (!budgeted && cpred_.has_value() && child_->columnar_ready()) {
+    const ColumnStore* store = child_->columnar_source();
+    if (store != nullptr && cpred_->Matches(*store)) {
+      arena_.Bind(ctx->guard);
+      TMDB_ASSIGN_OR_RETURN(uint32_t * sel,
+                            arena_.AllocateArray<uint32_t>(kExecBatchSize));
+      sel_ = sel;
+      TMDB_ASSIGN_OR_RETURN(uint8_t * keep,
+                            arena_.AllocateArray<uint8_t>(kExecBatchSize));
+      keep_ = keep;
+      TMDB_RETURN_IF_ERROR(cpred_->AllocScratch(
+          &arena_, static_cast<uint32_t>(kExecBatchSize), &scratch_));
+      columnar_active_ = true;
+    }
+  }
+  return Status::OK();
+}
+
+Result<ColumnBatch> FilterOp::NextColumnBatch() {
+  if (!columnar_active_) return PhysicalOp::NextColumnBatch();
+  while (true) {
+    TMDB_RETURN_IF_ERROR(CheckGuard(ctx_));
+    TMDB_ASSIGN_OR_RETURN(ColumnBatch in, child_->NextColumnBatch());
+    if (in.len == 0) return in;  // end of stream
+    ctx_->stats->predicate_evals += in.len;
+    TMDB_RETURN_IF_ERROR(cpred_->Eval(in, &scratch_, keep_));
+    uint32_t m = 0;
+    for (uint32_t i = 0; i < in.len; ++i) {
+      sel_[m] = in.RowId(i);
+      m += keep_[i];
+    }
+    if (m > 0) {
+      ctx_->stats->rows_emitted += m;
+      ColumnBatch out;
+      out.store = in.store;
+      out.ids = sel_;
+      out.len = m;
+      return out;
+    }
+  }
 }
 
 Result<std::optional<Value>> FilterOp::Next() {
+  if (columnar_active_) {
+    while (pending_pos_ >= pending_.len) {
+      TMDB_ASSIGN_OR_RETURN(ColumnBatch batch, NextColumnBatch());
+      pending_ = batch;
+      pending_pos_ = 0;
+      if (pending_.len == 0) return std::optional<Value>();
+    }
+    return std::optional<Value>(
+        pending_.store->RowValue(pending_.RowId(pending_pos_++)));
+  }
   while (true) {
     TMDB_RETURN_IF_ERROR(PeriodicGuardCheck(ctx_, &work_));
     TMDB_ASSIGN_OR_RETURN(std::optional<Value> row, child_->Next());
@@ -128,6 +203,20 @@ Result<std::optional<Value>> FilterOp::Next() {
 }
 
 Result<size_t> FilterOp::NextBatch(std::vector<Value>* out, size_t max) {
+  if (columnar_active_) {
+    while (pending_pos_ >= pending_.len) {
+      TMDB_ASSIGN_OR_RETURN(ColumnBatch batch, NextColumnBatch());
+      pending_ = batch;
+      pending_pos_ = 0;
+      if (pending_.len == 0) return 0;
+    }
+    const size_t take =
+        std::min(max, static_cast<size_t>(pending_.len - pending_pos_));
+    for (size_t i = 0; i < take; ++i) {
+      out->push_back(pending_.store->RowValue(pending_.RowId(pending_pos_++)));
+    }
+    return take;
+  }
   // Pull whole input batches until at least one row survives the predicate
   // (returning 0 would falsely signal end of stream).
   while (true) {
@@ -155,6 +244,13 @@ Result<size_t> FilterOp::NextBatch(std::vector<Value>* out, size_t max) {
 
 void FilterOp::Close() {
   batch_.clear();
+  columnar_active_ = false;
+  pending_ = ColumnBatch{};
+  pending_pos_ = 0;
+  sel_ = nullptr;
+  keep_ = nullptr;
+  scratch_ = ColumnPredicate::Scratch{};
+  arena_.Reset();
   child_->Close();
 }
 
@@ -309,12 +405,15 @@ Status DifferenceOp::Open(ExecContext* ctx) {
   work_ = 0;
   TMDB_RETURN_IF_ERROR(right_->Open(ctx));
   while (true) {
+    TMDB_RETURN_IF_ERROR(PeriodicGuardCheck(ctx_, &work_));
     TMDB_ASSIGN_OR_RETURN(std::optional<Value> row, right_->Next());
     if (!row.has_value()) break;
     if (right_rows_.insert(std::move(*row)).second) {
-      // Approximate hash-set slot cost per distinct row.
+      // Approximate hash-set slot cost per distinct row. Charge() accounts
+      // immediately but defers the guard *check* to its granularity; the
+      // periodic check above bounds trip latency to one batch regardless.
       TMDB_RETURN_IF_ERROR(
-          build_res_.Add(sizeof(Value) + 2 * sizeof(void*)));
+          build_res_.Charge(sizeof(Value) + 2 * sizeof(void*)));
     }
     ctx_->stats->rows_built++;
   }

@@ -8,6 +8,8 @@
 #include <vector>
 
 #include "catalog/table.h"
+#include "exec/arena.h"
+#include "exec/columnar.h"
 #include "exec/physical_op.h"
 #include "exec/query_guard.h"
 #include "expr/eval.h"
@@ -15,11 +17,15 @@
 
 namespace tmdb {
 
-/// Scans the rows of a table extension in storage order.
+/// Scans the rows of a table extension in storage order. With
+/// `try_columnar`, a flat table is additionally exposed as dense
+/// ColumnBatches over its cached ColumnStore; non-flat tables silently stay
+/// row-only.
 class TableScanOp final : public PhysicalOp {
  public:
-  explicit TableScanOp(std::shared_ptr<const Table> table)
-      : table_(std::move(table)) {}
+  explicit TableScanOp(std::shared_ptr<const Table> table,
+                       bool try_columnar = false)
+      : table_(std::move(table)), try_columnar_(try_columnar) {}
 
   Status Open(ExecContext* ctx) override;
   Result<std::optional<Value>> Next() override;
@@ -28,8 +34,14 @@ class TableScanOp final : public PhysicalOp {
   std::string Describe() const override;
   std::vector<const PhysicalOp*> children() const override { return {}; }
 
+  bool columnar_ready() const override { return store_ != nullptr; }
+  const ColumnStore* columnar_source() const override { return store_.get(); }
+  Result<ColumnBatch> NextColumnBatch() override;
+
  private:
   std::shared_ptr<const Table> table_;
+  bool try_columnar_ = false;
+  std::shared_ptr<const ColumnStore> store_;  // non-null while columnar
   ExecContext* ctx_ = nullptr;
   size_t pos_ = 0;
 };
@@ -55,10 +67,22 @@ class ExprSourceOp final : public PhysicalOp {
 };
 
 /// σ: emits child rows for which pred(var := row) holds.
+///
+/// When constructed with a compiled ColumnPredicate and the child turns out
+/// columnar at Open (same layout), evaluation runs column-at-a-time: the
+/// predicate fills a byte mask, which is compacted into a selection id
+/// vector. Row-form output is then served via ColumnStore::RowValue —
+/// bit-identical rows and identical rows_emitted / predicate_evals counts.
+/// All transient buffers (mask, selection vector, predicate scratch) come
+/// from a per-operator arena charged to the query's guard.
 class FilterOp final : public PhysicalOp {
  public:
-  FilterOp(PhysicalOpPtr child, std::string var, Expr pred)
-      : child_(std::move(child)), var_(std::move(var)), pred_(std::move(pred)) {}
+  FilterOp(PhysicalOpPtr child, std::string var, Expr pred,
+           std::optional<ColumnPredicate> cpred = std::nullopt)
+      : child_(std::move(child)),
+        var_(std::move(var)),
+        pred_(std::move(pred)),
+        cpred_(std::move(cpred)) {}
 
   Status Open(ExecContext* ctx) override;
   Result<std::optional<Value>> Next() override;
@@ -69,13 +93,29 @@ class FilterOp final : public PhysicalOp {
     return {child_.get()};
   }
 
+  bool columnar_ready() const override { return columnar_active_; }
+  const ColumnStore* columnar_source() const override {
+    return columnar_active_ ? child_->columnar_source() : nullptr;
+  }
+  Result<ColumnBatch> NextColumnBatch() override;
+
  private:
   PhysicalOpPtr child_;
   std::string var_;
   Expr pred_;
+  std::optional<ColumnPredicate> cpred_;
   ExecContext* ctx_ = nullptr;
   std::vector<Value> batch_;  // scratch input batch, reused across calls
   uint64_t work_ = 0;         // rows examined, for periodic guard checks
+
+  // Columnar state, live while columnar_active_.
+  bool columnar_active_ = false;
+  Arena arena_;
+  ColumnPredicate::Scratch scratch_;
+  uint32_t* sel_ = nullptr;  // surviving row ids of the current batch
+  uint8_t* keep_ = nullptr;  // predicate output mask
+  ColumnBatch pending_{};    // last produced batch, for row-form serving
+  uint32_t pending_pos_ = 0;
 };
 
 /// Function application with set semantics: emits expr(var := row) per child

@@ -1,0 +1,945 @@
+#include "exec/columnar.h"
+
+#include <cstring>
+#include <unordered_map>
+#include <utility>
+
+namespace tmdb {
+
+namespace {
+
+// Wrapping int64 arithmetic (two's complement, matching what the row path's
+// plain int64 ops do on every supported target, without the formal UB).
+inline int64_t WrapAdd(int64_t a, int64_t b) {
+  return static_cast<int64_t>(static_cast<uint64_t>(a) +
+                              static_cast<uint64_t>(b));
+}
+inline int64_t WrapSub(int64_t a, int64_t b) {
+  return static_cast<int64_t>(static_cast<uint64_t>(a) -
+                              static_cast<uint64_t>(b));
+}
+inline int64_t WrapMul(int64_t a, int64_t b) {
+  return static_cast<int64_t>(static_cast<uint64_t>(a) *
+                              static_cast<uint64_t>(b));
+}
+inline int64_t WrapNeg(int64_t a) {
+  return static_cast<int64_t>(0ull - static_cast<uint64_t>(a));
+}
+
+// CompareDoubles' tri-state: NaN is incomparable, so it lands on 0
+// ("equal") against everything — the compiled path must agree.
+inline int TriState(double x, double y) {
+  if (x < y) return -1;
+  if (x > y) return 1;
+  return 0;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Compiler
+// ---------------------------------------------------------------------------
+
+class ColumnPredicateCompiler {
+ public:
+  using Op = ColumnPredicate::Op;
+  using Cmp = ColumnPredicate::Cmp;
+  using Instr = ColumnPredicate::Instr;
+
+  // A compile-time operand: either a materialised slot or a still-foldable
+  // literal.
+  struct Opnd {
+    enum class K {
+      kSlotI64,
+      kSlotF64,
+      kSlotB,
+      kSlotStr,
+      kLitI64,
+      kLitF64,
+      kLitB,
+      kLitStr,
+    };
+    K k = K::kLitB;
+    int slot = -1;  // slot operands
+    int col = -1;   // kSlotStr: source column
+    int64_t i = 0;  // kLitI64 / kLitB (0 or 1)
+    double d = 0;   // kLitF64
+    Value sv;       // kLitStr
+
+    bool IsInt() const { return k == K::kSlotI64 || k == K::kLitI64; }
+    bool IsF64() const { return k == K::kSlotF64 || k == K::kLitF64; }
+    bool IsNum() const { return IsInt() || IsF64(); }
+    bool IsBool() const { return k == K::kSlotB || k == K::kLitB; }
+    bool IsStr() const { return k == K::kSlotStr || k == K::kLitStr; }
+    bool IsLit() const {
+      return k == K::kLitI64 || k == K::kLitF64 || k == K::kLitB ||
+             k == K::kLitStr;
+    }
+  };
+
+  ColumnPredicateCompiler(ColumnPredicate* p, const std::string& var,
+                          const Type& row_type)
+      : p_(p), var_(var), row_type_(row_type) {}
+
+  bool Run(const Expr& pred) {
+    const std::vector<Field>& fields = row_type_.fields();
+    p_->arity_ = fields.size();
+    p_->col_names_.reserve(fields.size());
+    p_->col_kinds_.reserve(fields.size());
+    for (const Field& f : fields) {
+      ColumnKind ck;
+      switch (f.type.kind()) {
+        case TypeKind::kInt:
+          ck = ColumnKind::kInt64;
+          break;
+        case TypeKind::kReal:
+          ck = ColumnKind::kFloat64;
+          break;
+        case TypeKind::kBool:
+          ck = ColumnKind::kBool;
+          break;
+        case TypeKind::kString:
+          ck = ColumnKind::kString;
+          break;
+        default:
+          // A store with this layout cannot exist; the compiled program
+          // would never be offered a batch. Refuse up front.
+          return false;
+      }
+      p_->col_names_.push_back(f.name);
+      p_->col_kinds_.push_back(ck);
+    }
+
+    auto res = CompileNode(pred);
+    if (!res.has_value() || !res->IsBool()) return false;
+    if (res->IsLit()) {
+      int slot = NewSlot();
+      Instr ins;
+      ins.op = Op::kBroadcastBool;
+      ins.dst = static_cast<int16_t>(slot);
+      ins.lit = static_cast<int16_t>(res->i != 0 ? 1 : 0);
+      p_->instrs_.push_back(ins);
+      p_->result_slot_ = slot;
+    } else {
+      p_->result_slot_ = res->slot;
+    }
+    return true;
+  }
+
+ private:
+  int NewSlot() { return p_->num_slots_++; }
+
+  Instr MakeInstr(Op op, int dst, int a = -1, int b = -1) {
+    Instr ins;
+    ins.op = op;
+    ins.dst = static_cast<int16_t>(dst);
+    ins.a = static_cast<int16_t>(a);
+    ins.b = static_cast<int16_t>(b);
+    return ins;
+  }
+
+  int MaterializeI64(const Opnd& o) {
+    if (o.k == Opnd::K::kSlotI64) return o.slot;
+    // kLitI64
+    int dst = NewSlot();
+    Instr ins = MakeInstr(Op::kBroadcastI64, dst);
+    ins.lit = static_cast<int16_t>(p_->lit_i64_.size());
+    p_->lit_i64_.push_back(o.i);
+    p_->instrs_.push_back(ins);
+    return dst;
+  }
+
+  int MaterializeF64(const Opnd& o) {
+    switch (o.k) {
+      case Opnd::K::kSlotF64:
+        return o.slot;
+      case Opnd::K::kSlotI64: {
+        int dst = NewSlot();
+        p_->instrs_.push_back(MakeInstr(Op::kCastI64F64, dst, o.slot));
+        return dst;
+      }
+      default: {
+        // Literal: promote through the same (double) image AsNumeric uses.
+        double d = o.k == Opnd::K::kLitF64 ? o.d : static_cast<double>(o.i);
+        int dst = NewSlot();
+        Instr ins = MakeInstr(Op::kBroadcastF64, dst);
+        ins.lit = static_cast<int16_t>(p_->lit_f64_.size());
+        p_->lit_f64_.push_back(d);
+        p_->instrs_.push_back(ins);
+        return dst;
+      }
+    }
+  }
+
+  int MaterializeBool(const Opnd& o) {
+    if (o.k == Opnd::K::kSlotB) return o.slot;
+    int dst = NewSlot();
+    Instr ins = MakeInstr(Op::kBroadcastBool, dst);
+    ins.lit = static_cast<int16_t>(o.i != 0 ? 1 : 0);
+    p_->instrs_.push_back(ins);
+    return dst;
+  }
+
+  static Opnd LitBool(bool b) {
+    Opnd o;
+    o.k = Opnd::K::kLitB;
+    o.i = b ? 1 : 0;
+    return o;
+  }
+
+  static Cmp Mirror(Cmp c) {
+    switch (c) {
+      case Cmp::kLt:
+        return Cmp::kGt;
+      case Cmp::kLe:
+        return Cmp::kGe;
+      case Cmp::kGt:
+        return Cmp::kLt;
+      case Cmp::kGe:
+        return Cmp::kLe;
+      default:
+        return c;  // Eq/Ne are symmetric
+    }
+  }
+
+  static bool ApplyCmp(Cmp c, int tri) {
+    switch (c) {
+      case Cmp::kEq:
+        return tri == 0;
+      case Cmp::kNe:
+        return tri != 0;
+      case Cmp::kLt:
+        return tri < 0;
+      case Cmp::kLe:
+        return tri <= 0;
+      case Cmp::kGt:
+        return tri > 0;
+      case Cmp::kGe:
+        return tri >= 0;
+    }
+    return false;
+  }
+
+  std::optional<Opnd> CompileNode(const Expr& e) {
+    switch (e.expr_kind()) {
+      case ExprKind::kLiteral:
+        return CompileLiteral(e);
+      case ExprKind::kFieldAccess:
+        return CompileField(e);
+      case ExprKind::kUnary:
+        return CompileUnary(e);
+      case ExprKind::kBinary:
+        return CompileBinary(e);
+      default:
+        // VarRef (whole-tuple), quantifiers, aggregates, subplans,
+        // constructors: row path.
+        return std::nullopt;
+    }
+  }
+
+  std::optional<Opnd> CompileLiteral(const Expr& e) {
+    const Value& v = e.literal_value();
+    Opnd o;
+    if (v.is_int()) {
+      o.k = Opnd::K::kLitI64;
+      o.i = v.AsInt();
+    } else if (v.is_real()) {
+      o.k = Opnd::K::kLitF64;
+      o.d = v.AsNumeric();
+    } else if (v.is_bool()) {
+      o.k = Opnd::K::kLitB;
+      o.i = v.AsBool() ? 1 : 0;
+    } else if (v.is_string()) {
+      o.k = Opnd::K::kLitStr;
+      o.sv = v;
+    } else {
+      return std::nullopt;  // NULL / sets / tuples: row path
+    }
+    return o;
+  }
+
+  std::optional<Opnd> CompileField(const Expr& e) {
+    const Expr& base = e.field_base();
+    if (!base.is_var() || base.var_name() != var_) return std::nullopt;
+    int idx = row_type_.FieldIndex(e.field_name());
+    if (idx < 0) return std::nullopt;
+    auto cached = load_cache_.find(idx);
+    if (cached != load_cache_.end()) return cached->second;
+
+    Opnd o;
+    Instr ins;
+    ins.col = static_cast<int16_t>(idx);
+    switch (p_->col_kinds_[idx]) {
+      case ColumnKind::kInt64:
+        o.k = Opnd::K::kSlotI64;
+        ins.op = Op::kLoadI64;
+        break;
+      case ColumnKind::kFloat64:
+        o.k = Opnd::K::kSlotF64;
+        ins.op = Op::kLoadF64;
+        break;
+      case ColumnKind::kBool:
+        o.k = Opnd::K::kSlotB;
+        ins.op = Op::kLoadBool;
+        break;
+      case ColumnKind::kString:
+        o.k = Opnd::K::kSlotStr;
+        ins.op = Op::kLoadStr;
+        o.col = idx;
+        break;
+    }
+    o.slot = NewSlot();
+    ins.dst = static_cast<int16_t>(o.slot);
+    p_->instrs_.push_back(ins);
+    load_cache_.emplace(idx, o);
+    return o;
+  }
+
+  std::optional<Opnd> CompileUnary(const Expr& e) {
+    switch (e.unary_op()) {
+      case UnaryOp::kNot: {
+        auto o = CompileNode(e.operand());
+        if (!o.has_value() || !o->IsBool()) return std::nullopt;
+        if (o->IsLit()) return LitBool(o->i == 0);
+        Opnd r;
+        r.k = Opnd::K::kSlotB;
+        r.slot = NewSlot();
+        p_->instrs_.push_back(MakeInstr(Op::kNot, r.slot, o->slot));
+        return r;
+      }
+      case UnaryOp::kNeg: {
+        auto o = CompileNode(e.operand());
+        if (!o.has_value() || !o->IsNum()) return std::nullopt;
+        if (o->k == Opnd::K::kLitI64) {
+          Opnd r = *o;
+          r.i = WrapNeg(o->i);
+          return r;
+        }
+        if (o->k == Opnd::K::kLitF64) {
+          Opnd r = *o;
+          r.d = -o->d;
+          return r;
+        }
+        Opnd r;
+        r.slot = NewSlot();
+        if (o->k == Opnd::K::kSlotI64) {
+          r.k = Opnd::K::kSlotI64;
+          p_->instrs_.push_back(MakeInstr(Op::kNegI64, r.slot, o->slot));
+        } else {
+          r.k = Opnd::K::kSlotF64;
+          p_->instrs_.push_back(MakeInstr(Op::kNegF64, r.slot, o->slot));
+        }
+        return r;
+      }
+      default:
+        return std::nullopt;  // IsNull, Unnest: row path
+    }
+  }
+
+  std::optional<Opnd> CompileBinary(const Expr& e) {
+    const BinaryOp op = e.binary_op();
+    switch (op) {
+      case BinaryOp::kAnd:
+      case BinaryOp::kOr: {
+        auto a = CompileNode(e.lhs());
+        if (!a.has_value() || !a->IsBool()) return std::nullopt;
+        auto b = CompileNode(e.rhs());
+        if (!b.has_value() || !b->IsBool()) return std::nullopt;
+        // Constant folding is sound even though the row path
+        // short-circuits: compilable operands are total.
+        const bool is_and = op == BinaryOp::kAnd;
+        if (a->IsLit()) return (a->i != 0) == is_and ? b : a;
+        if (b->IsLit()) return (b->i != 0) == is_and ? a : b;
+        Opnd r;
+        r.k = Opnd::K::kSlotB;
+        r.slot = NewSlot();
+        p_->instrs_.push_back(
+            MakeInstr(is_and ? Op::kAnd : Op::kOr, r.slot, a->slot, b->slot));
+        return r;
+      }
+      case BinaryOp::kAdd:
+      case BinaryOp::kSub:
+      case BinaryOp::kMul:
+        return CompileArith(op, e);
+      case BinaryOp::kEq:
+      case BinaryOp::kNe:
+        return CompileCompare(op == BinaryOp::kEq ? Cmp::kEq : Cmp::kNe, e);
+      case BinaryOp::kLt:
+        return CompileCompare(Cmp::kLt, e);
+      case BinaryOp::kLe:
+        return CompileCompare(Cmp::kLe, e);
+      case BinaryOp::kGt:
+        return CompileCompare(Cmp::kGt, e);
+      case BinaryOp::kGe:
+        return CompileCompare(Cmp::kGe, e);
+      default:
+        // kDiv (runtime error on zero), membership, set algebra: row path.
+        return std::nullopt;
+    }
+  }
+
+  std::optional<Opnd> CompileArith(BinaryOp op, const Expr& e) {
+    auto a = CompileNode(e.lhs());
+    if (!a.has_value() || !a->IsNum()) return std::nullopt;
+    auto b = CompileNode(e.rhs());
+    if (!b.has_value() || !b->IsNum()) return std::nullopt;
+
+    if (a->IsInt() && b->IsInt()) {
+      if (a->IsLit() && b->IsLit()) {
+        Opnd r;
+        r.k = Opnd::K::kLitI64;
+        switch (op) {
+          case BinaryOp::kAdd:
+            r.i = WrapAdd(a->i, b->i);
+            break;
+          case BinaryOp::kSub:
+            r.i = WrapSub(a->i, b->i);
+            break;
+          default:
+            r.i = WrapMul(a->i, b->i);
+            break;
+        }
+        return r;
+      }
+      int sa = MaterializeI64(*a);
+      int sb = MaterializeI64(*b);
+      Opnd r;
+      r.k = Opnd::K::kSlotI64;
+      r.slot = NewSlot();
+      Op code = op == BinaryOp::kAdd   ? Op::kAddI64
+                : op == BinaryOp::kSub ? Op::kSubI64
+                                       : Op::kMulI64;
+      p_->instrs_.push_back(MakeInstr(code, r.slot, sa, sb));
+      return r;
+    }
+
+    // Mixed or real: the row path promotes both sides via AsNumeric.
+    double da = a->k == Opnd::K::kLitF64   ? a->d
+                : a->k == Opnd::K::kLitI64 ? static_cast<double>(a->i)
+                                           : 0.0;
+    double db = b->k == Opnd::K::kLitF64   ? b->d
+                : b->k == Opnd::K::kLitI64 ? static_cast<double>(b->i)
+                                           : 0.0;
+    if (a->IsLit() && b->IsLit()) {
+      Opnd r;
+      r.k = Opnd::K::kLitF64;
+      switch (op) {
+        case BinaryOp::kAdd:
+          r.d = da + db;
+          break;
+        case BinaryOp::kSub:
+          r.d = da - db;
+          break;
+        default:
+          r.d = da * db;
+          break;
+      }
+      return r;
+    }
+    int sa = MaterializeF64(*a);
+    int sb = MaterializeF64(*b);
+    Opnd r;
+    r.k = Opnd::K::kSlotF64;
+    r.slot = NewSlot();
+    Op code = op == BinaryOp::kAdd   ? Op::kAddF64
+              : op == BinaryOp::kSub ? Op::kSubF64
+                                     : Op::kMulF64;
+    p_->instrs_.push_back(MakeInstr(code, r.slot, sa, sb));
+    return r;
+  }
+
+  std::optional<Opnd> CompileCompare(Cmp cmp, const Expr& e) {
+    auto a = CompileNode(e.lhs());
+    if (!a.has_value()) return std::nullopt;
+    auto b = CompileNode(e.rhs());
+    if (!b.has_value()) return std::nullopt;
+    const bool is_eq = cmp == Cmp::kEq || cmp == Cmp::kNe;
+
+    if (a->IsNum() && b->IsNum()) {
+      if (is_eq && a->IsInt() && b->IsInt()) {
+        // Int = Int is the one exact comparison (Value::Compare).
+        if (a->IsLit() && b->IsLit()) {
+          return LitBool((a->i == b->i) == (cmp == Cmp::kEq));
+        }
+        int sa = MaterializeI64(*a);
+        int sb = MaterializeI64(*b);
+        Opnd r;
+        r.k = Opnd::K::kSlotB;
+        r.slot = NewSlot();
+        p_->instrs_.push_back(MakeInstr(
+            cmp == Cmp::kEq ? Op::kCmpEqI64 : Op::kCmpNeI64, r.slot, sa, sb));
+        return r;
+      }
+      // Everything else — mixed equality AND all orderings, Int/Int
+      // included (OrderedCompare promotes unconditionally) — is the
+      // tri-state double compare.
+      double da = a->k == Opnd::K::kLitF64   ? a->d
+                  : a->k == Opnd::K::kLitI64 ? static_cast<double>(a->i)
+                                             : 0.0;
+      double db = b->k == Opnd::K::kLitF64   ? b->d
+                  : b->k == Opnd::K::kLitI64 ? static_cast<double>(b->i)
+                                             : 0.0;
+      if (a->IsLit() && b->IsLit()) {
+        return LitBool(ApplyCmp(cmp, TriState(da, db)));
+      }
+      int sa = MaterializeF64(*a);
+      int sb = MaterializeF64(*b);
+      Opnd r;
+      r.k = Opnd::K::kSlotB;
+      r.slot = NewSlot();
+      Instr ins = MakeInstr(Op::kCmpF64, r.slot, sa, sb);
+      ins.cmp = cmp;
+      p_->instrs_.push_back(ins);
+      return r;
+    }
+
+    if (a->IsStr() && b->IsStr()) return CompileStrCompare(cmp, *a, *b);
+
+    if (a->IsBool() && b->IsBool()) {
+      if (!is_eq) return std::nullopt;  // ordering bools: row path (error)
+      if (a->IsLit() && b->IsLit()) {
+        return LitBool((a->i == b->i) == (cmp == Cmp::kEq));
+      }
+      int sa = MaterializeBool(*a);
+      int sb = MaterializeBool(*b);
+      Opnd r;
+      r.k = Opnd::K::kSlotB;
+      r.slot = NewSlot();
+      Instr ins = MakeInstr(Op::kCmpBool, r.slot, sa, sb);
+      ins.cmp = cmp;
+      p_->instrs_.push_back(ins);
+      return r;
+    }
+
+    // Mismatched basic kinds. Columns are kind-exact, so at runtime
+    // Value::Compare ranks the kinds and never returns 0: equality is
+    // constantly false, inequality constantly true. Ordering across kinds
+    // is a runtime type error on the row path — don't mask it.
+    if (is_eq) return LitBool(cmp == Cmp::kNe);
+    return std::nullopt;
+  }
+
+  std::optional<Opnd> CompileStrCompare(Cmp cmp, Opnd a, Opnd b) {
+    if (a.IsLit() && b.IsLit()) {
+      int tri = a.sv.AsString().compare(b.sv.AsString());
+      return LitBool(ApplyCmp(cmp, tri));
+    }
+    if (a.IsLit()) {
+      // Normalise to slot-first, mirroring the comparison.
+      std::swap(a, b);
+      cmp = Mirror(cmp);
+    }
+    Opnd r;
+    r.k = Opnd::K::kSlotB;
+    r.slot = NewSlot();
+    Instr ins = MakeInstr(b.IsLit() ? Op::kCmpStrLit : Op::kCmpStrStr, r.slot,
+                          a.slot, b.IsLit() ? -1 : b.slot);
+    ins.cmp = cmp;
+    ins.col = static_cast<int16_t>(a.col);
+    if (b.IsLit()) {
+      ins.lit = static_cast<int16_t>(p_->lit_str_.size());
+      p_->lit_str_.push_back(b.sv);
+    } else {
+      ins.col2 = static_cast<int16_t>(b.col);
+    }
+    p_->instrs_.push_back(ins);
+    return r;
+  }
+
+  ColumnPredicate* p_;
+  const std::string& var_;
+  const Type& row_type_;
+  std::unordered_map<int, Opnd> load_cache_;
+};
+
+std::optional<ColumnPredicate> ColumnPredicate::Compile(
+    const Expr& pred, const std::string& var, const Type& row_type) {
+  if (!row_type.is_tuple()) return std::nullopt;
+  if (row_type.fields().empty()) return std::nullopt;
+  ColumnPredicate p;
+  ColumnPredicateCompiler compiler(&p, var, row_type);
+  if (!compiler.Run(pred)) return std::nullopt;
+  return p;
+}
+
+bool ColumnPredicate::Matches(const ColumnStore& store) const {
+  if (store.num_columns() != arity_) return false;
+  for (size_t i = 0; i < arity_; ++i) {
+    if (store.column(i).kind != col_kinds_[i]) return false;
+    if (store.column_name(i) != col_names_[i]) return false;
+  }
+  return true;
+}
+
+Status ColumnPredicate::AllocScratch(Arena* arena, uint32_t cap,
+                                     Scratch* out) const {
+  out->slots.assign(static_cast<size_t>(num_slots_), nullptr);
+  out->cap = cap;
+  for (int s = 0; s < num_slots_; ++s) {
+    // Every slot is 8 bytes per row regardless of its element type; bool
+    // and code slots simply use a prefix.
+    TMDB_ASSIGN_OR_RETURN(void* buf,
+                          arena->Allocate(static_cast<size_t>(cap) * 8));
+    out->slots[static_cast<size_t>(s)] = static_cast<char*>(buf);
+  }
+  return Status::OK();
+}
+
+Status ColumnPredicate::Eval(const ColumnBatch& batch, Scratch* scratch,
+                             uint8_t* keep) const {
+  if (batch.store == nullptr || batch.len > scratch->cap) {
+    return Status::Internal("ColumnPredicate::Eval: batch exceeds scratch");
+  }
+  const ColumnStore& store = *batch.store;
+  const uint32_t len = batch.len;
+  const uint32_t* ids = batch.ids;
+  const uint32_t first = batch.first;
+
+  auto I64 = [&](int s) {
+    return reinterpret_cast<int64_t*>(scratch->slots[static_cast<size_t>(s)]);
+  };
+  auto F64 = [&](int s) {
+    return reinterpret_cast<double*>(scratch->slots[static_cast<size_t>(s)]);
+  };
+  auto U32 = [&](int s) {
+    return reinterpret_cast<uint32_t*>(scratch->slots[static_cast<size_t>(s)]);
+  };
+  auto B8 = [&](int s) {
+    return reinterpret_cast<uint8_t*>(scratch->slots[static_cast<size_t>(s)]);
+  };
+  auto apply_cmp = [](Cmp c, int tri) -> bool {
+    switch (c) {
+      case Cmp::kEq:
+        return tri == 0;
+      case Cmp::kNe:
+        return tri != 0;
+      case Cmp::kLt:
+        return tri < 0;
+      case Cmp::kLe:
+        return tri <= 0;
+      case Cmp::kGt:
+        return tri > 0;
+      case Cmp::kGe:
+        return tri >= 0;
+    }
+    return false;
+  };
+
+  for (const Instr& ins : instrs_) {
+    switch (ins.op) {
+      case Op::kLoadI64: {
+        const int64_t* src = store.column(ins.col).i64.data();
+        int64_t* dst = I64(ins.dst);
+        if (ids == nullptr) {
+          const int64_t* s = src + first;
+          for (uint32_t i = 0; i < len; ++i) dst[i] = s[i];
+        } else {
+          for (uint32_t i = 0; i < len; ++i) dst[i] = src[ids[i]];
+        }
+        break;
+      }
+      case Op::kLoadF64: {
+        const double* src = store.column(ins.col).f64.data();
+        double* dst = F64(ins.dst);
+        if (ids == nullptr) {
+          const double* s = src + first;
+          for (uint32_t i = 0; i < len; ++i) dst[i] = s[i];
+        } else {
+          for (uint32_t i = 0; i < len; ++i) dst[i] = src[ids[i]];
+        }
+        break;
+      }
+      case Op::kLoadBool: {
+        const uint8_t* src = store.column(ins.col).b8.data();
+        uint8_t* dst = B8(ins.dst);
+        if (ids == nullptr) {
+          const uint8_t* s = src + first;
+          for (uint32_t i = 0; i < len; ++i) dst[i] = s[i];
+        } else {
+          for (uint32_t i = 0; i < len; ++i) dst[i] = src[ids[i]];
+        }
+        break;
+      }
+      case Op::kLoadStr: {
+        const uint32_t* src = store.column(ins.col).codes.data();
+        uint32_t* dst = U32(ins.dst);
+        if (ids == nullptr) {
+          const uint32_t* s = src + first;
+          for (uint32_t i = 0; i < len; ++i) dst[i] = s[i];
+        } else {
+          for (uint32_t i = 0; i < len; ++i) dst[i] = src[ids[i]];
+        }
+        break;
+      }
+      case Op::kBroadcastI64: {
+        const int64_t v = lit_i64_[static_cast<size_t>(ins.lit)];
+        int64_t* dst = I64(ins.dst);
+        for (uint32_t i = 0; i < len; ++i) dst[i] = v;
+        break;
+      }
+      case Op::kBroadcastF64: {
+        const double v = lit_f64_[static_cast<size_t>(ins.lit)];
+        double* dst = F64(ins.dst);
+        for (uint32_t i = 0; i < len; ++i) dst[i] = v;
+        break;
+      }
+      case Op::kBroadcastBool: {
+        const uint8_t v = static_cast<uint8_t>(ins.lit != 0 ? 1 : 0);
+        uint8_t* dst = B8(ins.dst);
+        for (uint32_t i = 0; i < len; ++i) dst[i] = v;
+        break;
+      }
+      case Op::kCastI64F64: {
+        const int64_t* a = I64(ins.a);
+        double* dst = F64(ins.dst);
+        for (uint32_t i = 0; i < len; ++i) dst[i] = static_cast<double>(a[i]);
+        break;
+      }
+      case Op::kNegI64: {
+        const int64_t* a = I64(ins.a);
+        int64_t* dst = I64(ins.dst);
+        for (uint32_t i = 0; i < len; ++i) dst[i] = WrapNeg(a[i]);
+        break;
+      }
+      case Op::kNegF64: {
+        const double* a = F64(ins.a);
+        double* dst = F64(ins.dst);
+        for (uint32_t i = 0; i < len; ++i) dst[i] = -a[i];
+        break;
+      }
+      case Op::kAddI64: {
+        const int64_t* a = I64(ins.a);
+        const int64_t* b = I64(ins.b);
+        int64_t* dst = I64(ins.dst);
+        for (uint32_t i = 0; i < len; ++i) dst[i] = WrapAdd(a[i], b[i]);
+        break;
+      }
+      case Op::kSubI64: {
+        const int64_t* a = I64(ins.a);
+        const int64_t* b = I64(ins.b);
+        int64_t* dst = I64(ins.dst);
+        for (uint32_t i = 0; i < len; ++i) dst[i] = WrapSub(a[i], b[i]);
+        break;
+      }
+      case Op::kMulI64: {
+        const int64_t* a = I64(ins.a);
+        const int64_t* b = I64(ins.b);
+        int64_t* dst = I64(ins.dst);
+        for (uint32_t i = 0; i < len; ++i) dst[i] = WrapMul(a[i], b[i]);
+        break;
+      }
+      case Op::kAddF64: {
+        const double* a = F64(ins.a);
+        const double* b = F64(ins.b);
+        double* dst = F64(ins.dst);
+        for (uint32_t i = 0; i < len; ++i) dst[i] = a[i] + b[i];
+        break;
+      }
+      case Op::kSubF64: {
+        const double* a = F64(ins.a);
+        const double* b = F64(ins.b);
+        double* dst = F64(ins.dst);
+        for (uint32_t i = 0; i < len; ++i) dst[i] = a[i] - b[i];
+        break;
+      }
+      case Op::kMulF64: {
+        const double* a = F64(ins.a);
+        const double* b = F64(ins.b);
+        double* dst = F64(ins.dst);
+        for (uint32_t i = 0; i < len; ++i) dst[i] = a[i] * b[i];
+        break;
+      }
+      case Op::kCmpEqI64: {
+        const int64_t* a = I64(ins.a);
+        const int64_t* b = I64(ins.b);
+        uint8_t* dst = B8(ins.dst);
+        for (uint32_t i = 0; i < len; ++i) {
+          dst[i] = static_cast<uint8_t>(a[i] == b[i]);
+        }
+        break;
+      }
+      case Op::kCmpNeI64: {
+        const int64_t* a = I64(ins.a);
+        const int64_t* b = I64(ins.b);
+        uint8_t* dst = B8(ins.dst);
+        for (uint32_t i = 0; i < len; ++i) {
+          dst[i] = static_cast<uint8_t>(a[i] != b[i]);
+        }
+        break;
+      }
+      case Op::kCmpF64: {
+        const double* a = F64(ins.a);
+        const double* b = F64(ins.b);
+        uint8_t* dst = B8(ins.dst);
+        // Tri-state forms: NaN compares "equal" to everything, exactly as
+        // CompareDoubles ranks it.
+        switch (ins.cmp) {
+          case Cmp::kEq:
+            for (uint32_t i = 0; i < len; ++i) {
+              dst[i] = static_cast<uint8_t>(!(a[i] < b[i]) && !(a[i] > b[i]));
+            }
+            break;
+          case Cmp::kNe:
+            for (uint32_t i = 0; i < len; ++i) {
+              dst[i] = static_cast<uint8_t>((a[i] < b[i]) || (a[i] > b[i]));
+            }
+            break;
+          case Cmp::kLt:
+            for (uint32_t i = 0; i < len; ++i) {
+              dst[i] = static_cast<uint8_t>(a[i] < b[i]);
+            }
+            break;
+          case Cmp::kLe:
+            for (uint32_t i = 0; i < len; ++i) {
+              dst[i] = static_cast<uint8_t>(!(a[i] > b[i]));
+            }
+            break;
+          case Cmp::kGt:
+            for (uint32_t i = 0; i < len; ++i) {
+              dst[i] = static_cast<uint8_t>(a[i] > b[i]);
+            }
+            break;
+          case Cmp::kGe:
+            for (uint32_t i = 0; i < len; ++i) {
+              dst[i] = static_cast<uint8_t>(!(a[i] < b[i]));
+            }
+            break;
+        }
+        break;
+      }
+      case Op::kCmpBool: {
+        const uint8_t* a = B8(ins.a);
+        const uint8_t* b = B8(ins.b);
+        uint8_t* dst = B8(ins.dst);
+        if (ins.cmp == Cmp::kEq) {
+          for (uint32_t i = 0; i < len; ++i) {
+            dst[i] = static_cast<uint8_t>(a[i] == b[i]);
+          }
+        } else {
+          for (uint32_t i = 0; i < len; ++i) {
+            dst[i] = static_cast<uint8_t>(a[i] != b[i]);
+          }
+        }
+        break;
+      }
+      case Op::kCmpStrStr: {
+        const StringDict& da = *store.column(ins.col).dict;
+        const StringDict& db = *store.column(ins.col2).dict;
+        const uint32_t* a = U32(ins.a);
+        const uint32_t* b = U32(ins.b);
+        uint8_t* dst = B8(ins.dst);
+        if (&da == &db && (ins.cmp == Cmp::kEq || ins.cmp == Cmp::kNe)) {
+          const uint8_t ne = ins.cmp == Cmp::kNe ? 1 : 0;
+          for (uint32_t i = 0; i < len; ++i) {
+            dst[i] = static_cast<uint8_t>(a[i] == b[i]) ^ ne;
+          }
+        } else {
+          const Cmp c = ins.cmp;
+          for (uint32_t i = 0; i < len; ++i) {
+            int tri = da.str(a[i]).compare(db.str(b[i]));
+            dst[i] = static_cast<uint8_t>(apply_cmp(c, tri));
+          }
+        }
+        break;
+      }
+      case Op::kCmpStrLit: {
+        const StringDict& dict = *store.column(ins.col).dict;
+        const uint32_t* a = U32(ins.a);
+        uint8_t* dst = B8(ins.dst);
+        const Value& lit = lit_str_[static_cast<size_t>(ins.lit)];
+        if (ins.cmp == Cmp::kEq || ins.cmp == Cmp::kNe) {
+          // Equality by code: a literal the dictionary never saw matches
+          // nothing (kNoCode is never a stored code).
+          const uint32_t code = dict.Lookup(lit);
+          const uint8_t ne = ins.cmp == Cmp::kNe ? 1 : 0;
+          for (uint32_t i = 0; i < len; ++i) {
+            dst[i] = static_cast<uint8_t>(a[i] == code) ^ ne;
+          }
+        } else {
+          const std::string& s = lit.AsString();
+          const Cmp c = ins.cmp;
+          for (uint32_t i = 0; i < len; ++i) {
+            int tri = dict.str(a[i]).compare(s);
+            dst[i] = static_cast<uint8_t>(apply_cmp(c, tri));
+          }
+        }
+        break;
+      }
+      case Op::kAnd: {
+        const uint8_t* a = B8(ins.a);
+        const uint8_t* b = B8(ins.b);
+        uint8_t* dst = B8(ins.dst);
+        for (uint32_t i = 0; i < len; ++i) {
+          dst[i] = static_cast<uint8_t>(a[i] & b[i]);
+        }
+        break;
+      }
+      case Op::kOr: {
+        const uint8_t* a = B8(ins.a);
+        const uint8_t* b = B8(ins.b);
+        uint8_t* dst = B8(ins.dst);
+        for (uint32_t i = 0; i < len; ++i) {
+          dst[i] = static_cast<uint8_t>(a[i] | b[i]);
+        }
+        break;
+      }
+      case Op::kNot: {
+        const uint8_t* a = B8(ins.a);
+        uint8_t* dst = B8(ins.dst);
+        for (uint32_t i = 0; i < len; ++i) {
+          dst[i] = static_cast<uint8_t>(a[i] ^ 1u);
+        }
+        break;
+      }
+    }
+  }
+
+  std::memcpy(keep, scratch->slots[static_cast<size_t>(result_slot_)], len);
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Fast join keys
+// ---------------------------------------------------------------------------
+
+std::optional<FastKeySpec> ResolveFastKeys(const std::vector<Expr>& left_keys,
+                                           const std::vector<Expr>& right_keys,
+                                           const std::string& left_var,
+                                           const std::string& right_var) {
+  if (left_keys.size() != 1 || right_keys.size() != 1) return std::nullopt;
+  auto field_of = [](const Expr& e,
+                     const std::string& var) -> const std::string* {
+    if (!e.is_field_access()) return nullptr;
+    const Expr& base = e.field_base();
+    if (!base.is_var() || base.var_name() != var) return nullptr;
+    return &e.field_name();
+  };
+  const std::string* lf = field_of(left_keys[0], left_var);
+  const std::string* rf = field_of(right_keys[0], right_var);
+  if (lf == nullptr || rf == nullptr) return std::nullopt;
+
+  const TypeKind lt = left_keys[0].type().kind();
+  const TypeKind rt = right_keys[0].type().kind();
+  FastKeySpec spec;
+  if (lt == TypeKind::kInt && rt == TypeKind::kInt) {
+    spec.kind = FastKeySpec::Kind::kI64;
+  } else if (lt == TypeKind::kString && rt == TypeKind::kString) {
+    spec.kind = FastKeySpec::Kind::kStr;
+  } else if ((lt == TypeKind::kInt || lt == TypeKind::kReal) &&
+             (rt == TypeKind::kInt || rt == TypeKind::kReal)) {
+    // Mixed numerics hash the double image. That is only sound when the
+    // build (right) side is *statically* Real: the build verifies every
+    // key is runtime-Real, so each row-path comparison against a build key
+    // is mixed-or-real and goes through CompareDoubles — never the exact
+    // Int/Int route the double image can't reproduce.
+    if (rt != TypeKind::kReal) return std::nullopt;
+    spec.kind = FastKeySpec::Kind::kF64;
+  } else {
+    return std::nullopt;  // bools / mismatched kinds: row path
+  }
+  spec.left_field = *lf;
+  spec.right_field = *rf;
+  return spec;
+}
+
+}  // namespace tmdb

@@ -33,7 +33,37 @@ Status HashJoinOp::Open(ExecContext* ctx) {
   spilled_ = false;
   build_res_.Reset(ctx->guard);
 
+  fast_active_ = false;
+  build_rows_.clear();
+  arena_.Reset();
+  fk_i64_ = nullptr;
+  fk_f64_ = nullptr;
+  fk_codes_ = nullptr;
+  heads_ = nullptr;
+  next_ = nullptr;
+  bucket_mask_ = 0;
+  fast_dict_ = StringDict();
+  probe_batch_.clear();
+  serve_.clear();
+  serve_pos_ = 0;
+  memo_.clear();
+  memo_enabled_ = false;
+  pred_is_true_ = spec_.pred.is_literal() &&
+                  spec_.pred.literal_value().is_bool() &&
+                  spec_.pred.literal_value().AsBool();
+  func_is_right_ident_ =
+      spec_.func.is_var() && spec_.func.var_name() == spec_.right_var;
+
   TMDB_RETURN_IF_ERROR(BuildTables(ctx));
+  // Nest-join group memo: re-probing an already-grouped key hands back the
+  // same set value. Serial only (no shared mutation under morsels) and only
+  // without a memory budget — memoised groups are memory the row path does
+  // not hold, and must not shift when a budget trips.
+  memo_enabled_ = fast_active_ && spec_.mode == JoinMode::kNestJoin &&
+                  pred_is_true_ && func_is_right_ident_ &&
+                  !ctx->parallel_enabled() &&
+                  (ctx->guard == nullptr ||
+                   ctx->guard->limits().memory_budget_bytes == 0);
   if (spilled_) {
     // The spill path consumed both inputs and filled output_ already.
     return Status::OK();
@@ -95,6 +125,32 @@ Status HashJoinOp::BuildTables(ExecContext* ctx) {
     return SpillBuildAndProbe(ctx, std::move(rows), /*right_open=*/true);
   }
   right_->Close();
+
+  // The fast path stands down under a memory budget: its arena block and
+  // retained build_rows_ change the memory profile through the probe, which
+  // would turn budget trips the row path survives (by spilling during the
+  // build) into probe-phase failures. Budgeted runs keep the row build's
+  // proven degradation story.
+  const bool budgeted = ctx->guard != nullptr &&
+                        ctx->guard->limits().memory_budget_bytes != 0;
+  if (fast_spec_.has_value() && !budgeted) {
+    Result<bool> fast = BuildFast(ctx, &rows);
+    if (!fast.ok()) {
+      arena_.Reset();
+      if (!SpillEligible(ctx, fast.status())) return fast.status();
+      // BuildFast never disturbs `rows`; divert them to disk.
+      return SpillBuildAndProbe(ctx, std::move(rows), /*right_open=*/false);
+    }
+    if (*fast) {
+      fast_active_ = true;
+      return Status::OK();
+    }
+    // A build key deviated from the static kind contract (NULL, coerced
+    // Int in a Real field, NaN): release the arena and fall back to the
+    // row build, which handles every kind combination.
+    arena_.Reset();
+    fast_dict_ = StringDict();
+  }
 
   Status built = BuildInMemory(ctx, &rows);
   if (!built.ok()) {
@@ -216,31 +272,82 @@ const std::vector<Value>* HashJoinOp::FindBucket(const Value& key) const {
   return it == table.end() ? nullptr : &it->second;
 }
 
-Status HashJoinOp::ProcessLeftRow(const Value& left_row, ExecContext* ctx,
-                                  std::vector<Value>* out) const {
-  TMDB_ASSIGN_OR_RETURN(
-      Value key, EvalCompositeKey(left_keys_, spec_.left_var, left_row, ctx));
-  ctx->stats->hash_probes++;
-  return ProcessMatch(left_row, FindBucket(key), ctx, out);
-}
+namespace {
 
-Status HashJoinOp::ProcessMatch(const Value& left_row,
-                                const std::vector<Value>* bucket,
-                                ExecContext* ctx,
-                                std::vector<Value>* out) const {
+/// Match iterator over a row-path map bucket (all rows share the probe key).
+struct VecIter {
+  const std::vector<Value>* bucket;  // may be nullptr (no such key)
+  size_t i = 0;
+
+  bool done() const { return bucket == nullptr || i >= bucket->size(); }
+  const Value& row() const { return (*bucket)[i]; }
+  void advance() { ++i; }
+};
+
+}  // namespace
+
+/// Match iterator over a fast-table hash chain: walks `next` links from a
+/// bucket head, skipping entries whose raw key differs from the probe key
+/// (chains mix keys that share a bucket; map buckets do not).
+struct HashJoinOp::FastIter {
+  FastKeySpec::Kind kind = FastKeySpec::Kind::kI64;
+  const std::vector<Value>* rows = nullptr;
+  const uint32_t* next = nullptr;
+  const int64_t* ki = nullptr;
+  const double* kf = nullptr;
+  const uint32_t* kc = nullptr;
+  int64_t pi = 0;  // probe key (kind-specific)
+  double pf = 0;
+  uint32_t pc = 0;
+  uint32_t j = kNil;
+
+  bool KeyEq(uint32_t x) const {
+    switch (kind) {
+      case FastKeySpec::Kind::kI64:
+        return ki[x] == pi;
+      case FastKeySpec::Kind::kF64:
+        return F64KeyEq(kf[x], pf);
+      case FastKeySpec::Kind::kStr:
+        return kc[x] == pc;
+    }
+    return false;
+  }
+  void Skip() {
+    while (j != kNil && !KeyEq(j)) j = next[j];
+  }
+  bool done() const { return j == kNil; }
+  const Value& row() const { return (*rows)[j]; }
+  void advance() {
+    j = next[j];
+    Skip();
+  }
+};
+
+template <typename Iter>
+Status HashJoinOp::ProcessMatchIt(const Value& left_row, Iter it,
+                                  ExecContext* ctx,
+                                  std::vector<Value>* out) const {
+  // A literal-true residual still costs one predicate_eval per pair — the
+  // counter says how many pairs were considered, not how much work the
+  // evaluator did.
+  auto eval_pred = [&](const Value& right_row) -> Result<bool> {
+    if (pred_is_true_) {
+      ctx->stats->predicate_evals++;
+      return true;
+    }
+    return EvalJoinPred(spec_, left_row, right_row, ctx);
+  };
   switch (spec_.mode) {
     case JoinMode::kInner:
     case JoinMode::kLeftOuter: {
       bool matched = false;
-      if (bucket != nullptr) {
-        for (const Value& right_row : *bucket) {
-          TMDB_ASSIGN_OR_RETURN(bool match,
-                                EvalJoinPred(spec_, left_row, right_row, ctx));
-          if (match) {
-            matched = true;
-            TMDB_ASSIGN_OR_RETURN(Value o, ConcatTuples(left_row, right_row));
-            out->push_back(std::move(o));
-          }
+      for (; !it.done(); it.advance()) {
+        const Value& right_row = it.row();
+        TMDB_ASSIGN_OR_RETURN(bool match, eval_pred(right_row));
+        if (match) {
+          matched = true;
+          TMDB_ASSIGN_OR_RETURN(Value o, ConcatTuples(left_row, right_row));
+          out->push_back(std::move(o));
         }
       }
       if (spec_.mode == JoinMode::kLeftOuter && !matched) {
@@ -255,14 +362,11 @@ Status HashJoinOp::ProcessMatch(const Value& left_row,
     case JoinMode::kAnti: {
       const bool want_match = spec_.mode == JoinMode::kSemi;
       bool matched = false;
-      if (bucket != nullptr) {
-        for (const Value& right_row : *bucket) {
-          TMDB_ASSIGN_OR_RETURN(bool match,
-                                EvalJoinPred(spec_, left_row, right_row, ctx));
-          if (match) {
-            matched = true;
-            break;  // same early exit as the streaming path
-          }
+      for (; !it.done(); it.advance()) {
+        TMDB_ASSIGN_OR_RETURN(bool match, eval_pred(it.row()));
+        if (match) {
+          matched = true;
+          break;  // same early exit as the streaming path
         }
       }
       if (matched == want_match) out->push_back(left_row);
@@ -270,11 +374,13 @@ Status HashJoinOp::ProcessMatch(const Value& left_row,
     }
     case JoinMode::kNestJoin: {
       std::vector<Value> group;
-      if (bucket != nullptr) {
-        for (const Value& right_row : *bucket) {
-          TMDB_ASSIGN_OR_RETURN(bool match,
-                                EvalJoinPred(spec_, left_row, right_row, ctx));
-          if (match) {
+      for (; !it.done(); it.advance()) {
+        const Value& right_row = it.row();
+        TMDB_ASSIGN_OR_RETURN(bool match, eval_pred(right_row));
+        if (match) {
+          if (func_is_right_ident_) {
+            group.push_back(right_row);
+          } else {
             TMDB_ASSIGN_OR_RETURN(
                 Value g, EvalJoinFunc(spec_, left_row, right_row, ctx));
             group.push_back(std::move(g));
@@ -288,6 +394,203 @@ Status HashJoinOp::ProcessMatch(const Value& left_row,
     }
   }
   return Status::Internal("unhandled join mode");
+}
+
+Status HashJoinOp::ProcessMatch(const Value& left_row,
+                                const std::vector<Value>* bucket,
+                                ExecContext* ctx,
+                                std::vector<Value>* out) const {
+  return ProcessMatchIt(left_row, VecIter{bucket}, ctx, out);
+}
+
+Status HashJoinOp::ProcessLeftRow(const Value& left_row, ExecContext* ctx,
+                                  std::vector<Value>* out) const {
+  if (fast_active_) return ProcessLeftRowFast(left_row, ctx, out);
+  TMDB_ASSIGN_OR_RETURN(
+      Value key, EvalCompositeKey(left_keys_, spec_.left_var, left_row, ctx));
+  ctx->stats->hash_probes++;
+  return ProcessMatchIt(left_row, VecIter{FindBucket(key)}, ctx, out);
+}
+
+Result<bool> HashJoinOp::BuildFast(ExecContext* ctx,
+                                   std::vector<Value>* rows) {
+  const FastKeySpec& spec = *fast_spec_;
+  const size_t n = rows->size();
+  if (n >= static_cast<size_t>(kNil)) return false;
+  arena_.Bind(ctx->guard);
+  fast_dict_ = StringDict();
+
+  int64_t* ki = nullptr;
+  double* kf = nullptr;
+  uint32_t* kc = nullptr;
+  switch (spec.kind) {
+    case FastKeySpec::Kind::kI64: {
+      TMDB_ASSIGN_OR_RETURN(ki, arena_.AllocateArray<int64_t>(n));
+      break;
+    }
+    case FastKeySpec::Kind::kF64: {
+      TMDB_ASSIGN_OR_RETURN(kf, arena_.AllocateArray<double>(n));
+      break;
+    }
+    case FastKeySpec::Kind::kStr: {
+      TMDB_ASSIGN_OR_RETURN(kc, arena_.AllocateArray<uint32_t>(n));
+      break;
+    }
+  }
+
+  for (size_t i = 0; i < n; ++i) {
+    TMDB_RETURN_IF_ERROR(PeriodicGuardCheck(ctx, i));
+    const Value* v = (*rows)[i].FindField(spec.right_field);
+    if (v == nullptr) return false;
+    switch (spec.kind) {
+      case FastKeySpec::Kind::kI64:
+        if (!v->is_int()) return false;
+        ki[i] = v->AsInt();
+        break;
+      case FastKeySpec::Kind::kF64: {
+        // Strictly Real and NaN-free: ResolveFastKeys's soundness argument
+        // needs runtime-Real build keys, and NaN's tri-state "equal to
+        // everything" cannot live in a hash table.
+        if (!v->is_real()) return false;
+        const double d = v->AsNumeric();
+        if (d != d) return false;
+        kf[i] = d;
+        break;
+      }
+      case FastKeySpec::Kind::kStr:
+        if (!v->is_string()) return false;
+        kc[i] = fast_dict_.Intern(*v);
+        break;
+    }
+  }
+
+  size_t nb = 8;
+  while (nb < 2 * n) nb <<= 1;
+  uint32_t* heads = nullptr;
+  uint32_t* next = nullptr;
+  uint32_t* tails = nullptr;
+  TMDB_ASSIGN_OR_RETURN(heads, arena_.AllocateArray<uint32_t>(nb));
+  TMDB_ASSIGN_OR_RETURN(tails, arena_.AllocateArray<uint32_t>(nb));
+  TMDB_ASSIGN_OR_RETURN(next, arena_.AllocateArray<uint32_t>(n));
+  for (size_t b = 0; b < nb; ++b) heads[b] = kNil;
+  bucket_mask_ = nb - 1;
+  // Ascending-index tail appends keep each chain in build-input order —
+  // the same per-key order the row path's bucket vectors preserve.
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t h = 0;
+    switch (spec.kind) {
+      case FastKeySpec::Kind::kI64:
+        h = HashI64Key(ki[i]);
+        break;
+      case FastKeySpec::Kind::kF64:
+        h = HashF64Key(kf[i]);
+        break;
+      case FastKeySpec::Kind::kStr:
+        h = Mix64(kc[i]);
+        break;
+    }
+    const uint64_t b = h & bucket_mask_;
+    const uint32_t id = static_cast<uint32_t>(i);
+    if (heads[b] == kNil) {
+      heads[b] = id;
+    } else {
+      next[tails[b]] = id;
+    }
+    tails[b] = id;
+    next[id] = kNil;
+  }
+
+  fk_i64_ = ki;
+  fk_f64_ = kf;
+  fk_codes_ = kc;
+  heads_ = heads;
+  next_ = next;
+  build_rows_ = std::move(*rows);
+  return true;
+}
+
+Status HashJoinOp::ProcessLeftRowFast(const Value& left_row, ExecContext* ctx,
+                                      std::vector<Value>* out) const {
+  const FastKeySpec& spec = *fast_spec_;
+  const Value* v = left_row.FindField(spec.left_field);
+  if (v == nullptr) {
+    // A malformed probe row: reproduce the row path exactly — evaluating
+    // the key expression raises the error the row path would raise. (If it
+    // somehow succeeds, no kind-exact build key can match; fall through to
+    // a miss.)
+    TMDB_RETURN_IF_ERROR(
+        EvalCompositeKey(left_keys_, spec_.left_var, left_row, ctx).status());
+  }
+  ctx->stats->hash_probes++;
+
+  FastIter it;
+  it.kind = spec.kind;
+  it.rows = &build_rows_;
+  it.next = next_;
+  it.ki = fk_i64_;
+  it.kf = fk_f64_;
+  it.kc = fk_codes_;
+  it.j = kNil;
+  if (v != nullptr && !build_rows_.empty()) {
+    switch (spec.kind) {
+      case FastKeySpec::Kind::kI64:
+        if (v->is_int()) {
+          it.pi = v->AsInt();
+          it.j = heads_[HashI64Key(it.pi) & bucket_mask_];
+        }
+        break;
+      case FastKeySpec::Kind::kF64:
+        // Non-numeric (or NaN) probe keys miss: the build side is strictly
+        // Real and NaN-free, so the row path's bucket lookup misses too.
+        if (v->is_numeric()) {
+          const double d = v->AsNumeric();
+          if (!(d != d)) {
+            it.pf = d;
+            it.j = heads_[HashF64Key(d) & bucket_mask_];
+          }
+        }
+        break;
+      case FastKeySpec::Kind::kStr:
+        if (v->is_string()) {
+          const uint32_t code = fast_dict_.Lookup(*v);
+          if (code != StringDict::kNoCode) {
+            it.pc = code;
+            it.j = heads_[Mix64(code) & bucket_mask_];
+          }
+        }
+        break;
+    }
+    it.Skip();
+  }
+
+  if (memo_enabled_ && !it.done()) {
+    // `it.j` is the first build row with this exact key — a stable identity
+    // for the whole group.
+    const uint32_t group_id = it.j;
+    auto hit = memo_.find(group_id);
+    if (hit != memo_.end()) {
+      ctx->stats->predicate_evals += hit->second.second;
+      TMDB_ASSIGN_OR_RETURN(
+          Value o, ExtendTuple(left_row, spec_.label, hit->second.first));
+      out->push_back(std::move(o));
+      return Status::OK();
+    }
+    std::vector<Value> group;
+    uint64_t matches = 0;
+    for (FastIter g = it; !g.done(); g.advance()) {
+      ctx->stats->predicate_evals++;
+      ++matches;
+      group.push_back(g.row());
+    }
+    Value set = Value::Set(std::move(group));
+    memo_.emplace(group_id, std::make_pair(set, matches));
+    TMDB_ASSIGN_OR_RETURN(Value o,
+                          ExtendTuple(left_row, spec_.label, std::move(set)));
+    out->push_back(std::move(o));
+    return Status::OK();
+  }
+
+  return ProcessMatchIt(left_row, it, ctx, out);
 }
 
 Status HashJoinOp::ParallelProbe() {
@@ -355,10 +658,59 @@ Result<std::optional<Value>> HashJoinOp::Next() {
     ctx_->stats->rows_emitted++;
     return std::optional<Value>(output_[output_pos_++]);
   }
+  if (fast_active_) return NextFastStreaming();
   return NextStreaming();
 }
 
+Result<std::optional<Value>> HashJoinOp::NextFastStreaming() {
+  while (serve_pos_ >= serve_.size()) {
+    serve_.clear();
+    serve_pos_ = 0;
+    TMDB_RETURN_IF_ERROR(CheckGuard(ctx_));
+    probe_batch_.clear();
+    TMDB_ASSIGN_OR_RETURN(size_t got,
+                          left_->NextBatch(&probe_batch_, kExecBatchSize));
+    if (got == 0) return std::optional<Value>();
+    probe_rows_ += got;
+    for (const Value& left_row : probe_batch_) {
+      TMDB_RETURN_IF_ERROR(ProcessLeftRowFast(left_row, ctx_, &serve_));
+    }
+  }
+  ctx_->stats->rows_emitted++;
+  return std::optional<Value>(std::move(serve_[serve_pos_++]));
+}
+
 Result<size_t> HashJoinOp::NextBatch(std::vector<Value>* out, size_t max) {
+  if (fast_active_ && !materialized_) {
+    size_t produced = 0;
+    while (produced < max) {
+      if (serve_pos_ < serve_.size()) {
+        const size_t take = std::min(max - produced, serve_.size() - serve_pos_);
+        out->insert(
+            out->end(),
+            std::make_move_iterator(serve_.begin() +
+                                    static_cast<ptrdiff_t>(serve_pos_)),
+            std::make_move_iterator(serve_.begin() +
+                                    static_cast<ptrdiff_t>(serve_pos_ + take)));
+        serve_pos_ += take;
+        produced += take;
+        ctx_->stats->rows_emitted += take;
+        continue;
+      }
+      serve_.clear();
+      serve_pos_ = 0;
+      TMDB_RETURN_IF_ERROR(CheckGuard(ctx_));
+      probe_batch_.clear();
+      TMDB_ASSIGN_OR_RETURN(size_t got,
+                            left_->NextBatch(&probe_batch_, kExecBatchSize));
+      if (got == 0) break;
+      probe_rows_ += got;
+      for (const Value& left_row : probe_batch_) {
+        TMDB_RETURN_IF_ERROR(ProcessLeftRowFast(left_row, ctx_, &serve_));
+      }
+    }
+    return produced;
+  }
   if (!materialized_) return PhysicalOp::NextBatch(out, max);
   TMDB_RETURN_IF_ERROR(CheckGuard(ctx_));
   const size_t take = std::min(max, output_.size() - output_pos_);
@@ -467,6 +819,22 @@ void HashJoinOp::Close() {
   output_pos_ = 0;
   materialized_ = false;
   spilled_ = false;
+  fast_active_ = false;
+  build_rows_.clear();
+  build_rows_.shrink_to_fit();
+  arena_.Reset();
+  fk_i64_ = nullptr;
+  fk_f64_ = nullptr;
+  fk_codes_ = nullptr;
+  heads_ = nullptr;
+  next_ = nullptr;
+  bucket_mask_ = 0;
+  fast_dict_ = StringDict();
+  probe_batch_.clear();
+  serve_.clear();
+  serve_pos_ = 0;
+  memo_.clear();
+  memo_enabled_ = false;
   build_res_.Release();
   left_->Close();
   // Usually already closed at the end of BuildTables; closing again is a

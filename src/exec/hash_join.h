@@ -8,9 +8,12 @@
 #include <utility>
 #include <vector>
 
+#include "exec/arena.h"
+#include "exec/columnar.h"
 #include "exec/join_common.h"
 #include "exec/physical_op.h"
 #include "exec/query_guard.h"
+#include "values/column_store.h"
 
 namespace tmdb {
 
@@ -44,13 +47,23 @@ class HashJoinOp final : public PhysicalOp {
  public:
   /// `left_keys[i] = right_keys[i]` are the extracted equi-conjuncts;
   /// `spec.pred` holds only the residual predicate (True if none).
+  ///
+  /// `fast_keys` (from ResolveFastKeys) enables the raw-key fast path: the
+  /// build keys are extracted into flat arena-backed arrays and chained
+  /// into a power-of-two hash table, and each probe hashes its raw key
+  /// instead of materialising a composite key Value. The fast path verifies
+  /// the build keys' runtime kinds (strict Int / strict non-NaN Real /
+  /// strict String per the spec) and silently falls back to the row build
+  /// when any key deviates, so results and stats stay bit-identical.
   HashJoinOp(PhysicalOpPtr left, PhysicalOpPtr right, JoinSpec spec,
-             std::vector<Expr> left_keys, std::vector<Expr> right_keys)
+             std::vector<Expr> left_keys, std::vector<Expr> right_keys,
+             std::optional<FastKeySpec> fast_keys = std::nullopt)
       : left_(std::move(left)),
         right_(std::move(right)),
         spec_(std::move(spec)),
         left_keys_(std::move(left_keys)),
-        right_keys_(std::move(right_keys)) {}
+        right_keys_(std::move(right_keys)),
+        fast_spec_(std::move(fast_keys)) {}
 
   Status Open(ExecContext* ctx) override;
   Result<std::optional<Value>> Next() override;
@@ -77,12 +90,37 @@ class HashJoinOp final : public PhysicalOp {
   /// filling output_. Only called when the probe expressions are
   /// subplan-free.
   Status ParallelProbe();
-  /// Appends the join output rows of one left row to `out` (all modes).
+  /// Appends the join output rows of one left row to `out` (all modes);
+  /// dispatches to the fast probe when the fast table is active.
   Status ProcessLeftRow(const Value& left_row, ExecContext* ctx,
                         std::vector<Value>* out) const;
-  /// Mode dispatch for one left row against its (possibly null) bucket.
+  /// Mode dispatch for one left row against a match iterator — shared by
+  /// the row path (map bucket) and the fast path (hash chain).
+  template <typename Iter>
+  Status ProcessMatchIt(const Value& left_row, Iter it, ExecContext* ctx,
+                        std::vector<Value>* out) const;
+  /// Bucket-shaped entry point for the spill path (hash_join_spill.cc).
   Status ProcessMatch(const Value& left_row, const std::vector<Value>* bucket,
                       ExecContext* ctx, std::vector<Value>* out) const;
+
+  // --- Raw-key fast path ---
+
+  /// Chain sentinel for heads_/next_.
+  static constexpr uint32_t kNil = 0xffffffffu;
+
+  /// Builds the flat chained table from the drained build rows. Returns
+  /// false (with `rows` intact, arena reset by the caller) when a build key
+  /// deviates from the spec's kind contract; errors propagate (a memory
+  /// trip here is spill-eligible, also with `rows` intact).
+  Result<bool> BuildFast(ExecContext* ctx, std::vector<Value>* rows);
+  /// Fast-path analogue of ProcessLeftRow.
+  Status ProcessLeftRowFast(const Value& left_row, ExecContext* ctx,
+                            std::vector<Value>* out) const;
+  /// Match iterator over one fast-table hash chain (defined in the .cc).
+  struct FastIter;
+  /// Serial fast probe: drains left batches through ProcessLeftRowFast into
+  /// serve_ and hands rows out one at a time.
+  Result<std::optional<Value>> NextFastStreaming();
 
   // --- Grace spill path (hash_join_spill.cc) ---
 
@@ -142,6 +180,38 @@ class HashJoinOp final : public PhysicalOp {
 
   // Bytes charged to the guard for build/probe materialisation.
   GuardReservation build_res_;
+
+  // --- Raw-key fast path state (live while fast_active_) ---
+  std::optional<FastKeySpec> fast_spec_;
+  bool fast_active_ = false;
+  std::vector<Value> build_rows_;  // build rows in input order
+  Arena arena_;                    // key arrays + heads/next chains
+  const int64_t* fk_i64_ = nullptr;
+  const double* fk_f64_ = nullptr;
+  const uint32_t* fk_codes_ = nullptr;
+  uint32_t* heads_ = nullptr;
+  uint32_t* next_ = nullptr;
+  uint64_t bucket_mask_ = 0;
+  StringDict fast_dict_;  // build-key strings; probe via Lookup (read-only)
+
+  // Probe shortcuts, decided at Open: a literal-true residual predicate
+  // still counts one predicate_eval per considered pair, and an identity G
+  // (= right_var) hands back the right row — both exactly what the
+  // evaluator would produce.
+  bool pred_is_true_ = false;
+  bool func_is_right_ident_ = false;
+
+  // Serial fast probe: per-batch output buffer served row-by-row.
+  std::vector<Value> probe_batch_;
+  std::vector<Value> serve_;
+  size_t serve_pos_ = 0;
+
+  // Nest-join group memo: first-matching-build-row id → (group set, match
+  // count). Only enabled serial + literal-true pred + identity G + no
+  // memory budget, so it cannot race or shift budget behaviour; hits add
+  // the recorded match count to predicate_evals, mirroring re-evaluation.
+  bool memo_enabled_ = false;
+  mutable std::unordered_map<uint32_t, std::pair<Value, uint64_t>> memo_;
 };
 
 }  // namespace tmdb

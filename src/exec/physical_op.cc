@@ -48,6 +48,11 @@ std::string PhysicalOp::ToString() const {
   return out;
 }
 
+Result<ColumnBatch> PhysicalOp::NextColumnBatch() {
+  return Status::Internal(
+      StrCat("NextColumnBatch on a row-only operator: ", Describe()));
+}
+
 Result<size_t> PhysicalOp::NextBatch(std::vector<Value>* out, size_t max) {
   size_t appended = 0;
   while (appended < max) {

@@ -8,6 +8,7 @@
 
 #include "base/result.h"
 #include "exec/exec_context.h"
+#include "values/column_store.h"
 #include "values/value.h"
 
 namespace tmdb {
@@ -43,6 +44,26 @@ class PhysicalOp {
   virtual Result<size_t> NextBatch(std::vector<Value>* out, size_t max);
   /// Releases per-execution state (materialised inputs, hash tables).
   virtual void Close() = 0;
+
+  // -- Columnar protocol ----------------------------------------------------
+  //
+  // Operators over flat (all-basic-attribute) rows may additionally expose
+  // their output as ColumnBatches. After Open(), a consumer checks
+  // columnar_ready(); only then may it call NextColumnBatch(). The three
+  // cursors are one: Next(), NextBatch() and NextColumnBatch() all advance
+  // the same stream, and the row forms of a columnar operator are served
+  // from ColumnStore::RowValue — bit-identical to what the row path emits.
+
+  /// True when, for the current Open(), this operator produces
+  /// ColumnBatches. False (the permanent default) means row-only.
+  virtual bool columnar_ready() const { return false; }
+  /// The store this operator's batches view, or nullptr when not
+  /// columnar_ready().
+  virtual const ColumnStore* columnar_source() const { return nullptr; }
+  /// Returns the next batch; len == 0 at end of stream. The returned view
+  /// (ids pointer in particular) is valid only until the next call on this
+  /// operator. Batches are at most kExecBatchSize rows.
+  virtual Result<ColumnBatch> NextColumnBatch();
 
   /// One-line description (operator name + parameters).
   virtual std::string Describe() const = 0;

@@ -185,6 +185,30 @@ class GuardReservation {
     return guard_->Check();
   }
 
+  /// Batched variant of Add for hot loops that charge a few bytes per row:
+  /// the bytes are reported to the guard immediately (memory_used stays
+  /// exact), but the checkpoint runs only once `charge_granularity()` bytes
+  /// have accumulated since the last one. A blown budget therefore trips
+  /// within one granule of the limit at this site — and no later than the
+  /// caller's next batch-boundary CheckGuard, which re-reads the same
+  /// counter, so the one-batch guard invariant is untouched.
+  Status Charge(uint64_t bytes) {
+    if (guard_ == nullptr) return Status::OK();
+    guard_->AddMaterialized(static_cast<int64_t>(bytes));
+    bytes_ += bytes;
+    pending_check_ += bytes;
+    if (pending_check_ < granularity_) return Status::OK();
+    pending_check_ = 0;
+    return guard_->Check();
+  }
+
+  /// Bytes between deferred checkpoints for Charge(). The default matches
+  /// the arena block size, so arena-backed scratch checks once per block.
+  void set_charge_granularity(uint64_t bytes) {
+    granularity_ = bytes > 0 ? bytes : 1;
+  }
+  uint64_t charge_granularity() const { return granularity_; }
+
   /// Refunds `bytes` of the held balance without unbinding — used when data
   /// the reservation covered moves to disk (spill) or a scratch container
   /// is dropped between pipeline stages. Clamped to the balance so a
@@ -202,6 +226,7 @@ class GuardReservation {
       guard_->AddMaterialized(-static_cast<int64_t>(bytes_));
     }
     bytes_ = 0;
+    pending_check_ = 0;
   }
 
   /// Balance currently charged through this reservation.
@@ -210,6 +235,8 @@ class GuardReservation {
  private:
   QueryGuard* guard_ = nullptr;
   uint64_t bytes_ = 0;
+  uint64_t granularity_ = 64 * 1024;  // bytes between Charge() checkpoints
+  uint64_t pending_check_ = 0;        // bytes charged since the last one
 };
 
 }  // namespace tmdb

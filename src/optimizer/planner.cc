@@ -1,9 +1,11 @@
 #include "optimizer/planner.h"
 
 #include <cmath>
+#include <optional>
 #include <utility>
 
 #include "exec/basic_ops.h"
+#include "exec/columnar.h"
 #include "exec/hash_join.h"
 #include "exec/merge_join.h"
 #include "exec/nest_op.h"
@@ -123,13 +125,23 @@ JoinMode ToJoinMode(OpKind kind) {
 Result<PhysicalOpPtr> Planner::Plan(const LogicalOpPtr& logical) const {
   switch (logical->op_kind()) {
     case OpKind::kScan:
-      return PhysicalOpPtr(new TableScanOp(logical->table()));
+      return PhysicalOpPtr(
+          new TableScanOp(logical->table(), options_.enable_columnar));
     case OpKind::kExprSource:
       return PhysicalOpPtr(new ExprSourceOp(logical->func()));
     case OpKind::kSelect: {
       TMDB_ASSIGN_OR_RETURN(PhysicalOpPtr child, Plan(logical->input()));
-      return PhysicalOpPtr(
-          new FilterOp(std::move(child), logical->var(), logical->pred()));
+      // Compile the predicate to column form when possible; FilterOp falls
+      // back to row evaluation at Open unless the child is actually
+      // columnar with a matching layout.
+      std::optional<ColumnPredicate> cpred;
+      if (options_.enable_columnar) {
+        Type in = logical->input()->output_type();
+        if (in.is_collection()) in = in.element();
+        cpred = ColumnPredicate::Compile(logical->pred(), logical->var(), in);
+      }
+      return PhysicalOpPtr(new FilterOp(std::move(child), logical->var(),
+                                        logical->pred(), std::move(cpred)));
     }
     case OpKind::kMap: {
       TMDB_ASSIGN_OR_RETURN(PhysicalOpPtr child, Plan(logical->input()));
@@ -184,9 +196,15 @@ Result<PhysicalOpPtr> Planner::Plan(const LogicalOpPtr& logical) const {
         }
         case JoinImpl::kHash: {
           spec.pred = split.residual;
+          std::optional<FastKeySpec> fast;
+          if (options_.enable_columnar) {
+            fast = ResolveFastKeys(split.left_keys, split.right_keys,
+                                   spec.left_var, spec.right_var);
+          }
           return PhysicalOpPtr(new HashJoinOp(
               std::move(left), std::move(right), std::move(spec),
-              std::move(split.left_keys), std::move(split.right_keys)));
+              std::move(split.left_keys), std::move(split.right_keys),
+              std::move(fast)));
         }
         case JoinImpl::kMerge: {
           spec.pred = split.residual;

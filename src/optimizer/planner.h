@@ -37,6 +37,11 @@ struct PlannerOptions {
   /// of the in-memory path — but the flag is threaded through so a future
   /// cost model can prefer spillable operators when budgets are tight.
   bool spill_available = false;
+  /// Let scans expose columnar batches, selections compile column
+  /// predicates, and hash joins resolve raw-key fast paths. Purely a
+  /// physical-execution choice: results and stats are bit-identical either
+  /// way, so this exists for A/B testing and diagnosis.
+  bool enable_columnar = true;
 };
 
 /// Cardinality estimate for a logical operator (input sizes from table

@@ -1,0 +1,107 @@
+#include "values/column_store.h"
+
+namespace tmdb {
+
+namespace {
+
+bool ColumnKindFor(const Type& t, ColumnKind* out) {
+  switch (t.kind()) {
+    case TypeKind::kInt:
+      *out = ColumnKind::kInt64;
+      return true;
+    case TypeKind::kReal:
+      *out = ColumnKind::kFloat64;
+      return true;
+    case TypeKind::kBool:
+      *out = ColumnKind::kBool;
+      return true;
+    case TypeKind::kString:
+      *out = ColumnKind::kString;
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+std::shared_ptr<const ColumnStore> ColumnStore::Build(
+    const Type& schema, const std::vector<Value>& rows) {
+  if (!schema.is_tuple()) return nullptr;
+  const std::vector<Field>& fields = schema.fields();
+  if (fields.empty()) return nullptr;
+  if (rows.size() >= StringDict::kNoCode) return nullptr;
+
+  auto store = std::shared_ptr<ColumnStore>(new ColumnStore());
+  store->names_.reserve(fields.size());
+  store->cols_.resize(fields.size());
+  for (size_t c = 0; c < fields.size(); ++c) {
+    if (!ColumnKindFor(fields[c].type, &store->cols_[c].kind)) return nullptr;
+    store->names_.push_back(fields[c].name);
+  }
+
+  const size_t n = rows.size();
+  for (size_t c = 0; c < fields.size(); ++c) {
+    Column& col = store->cols_[c];
+    switch (col.kind) {
+      case ColumnKind::kInt64:
+        col.i64.reserve(n);
+        break;
+      case ColumnKind::kFloat64:
+        col.f64.reserve(n);
+        break;
+      case ColumnKind::kBool:
+        col.b8.reserve(n);
+        break;
+      case ColumnKind::kString:
+        col.codes.reserve(n);
+        col.dict = std::make_unique<StringDict>();
+        break;
+    }
+  }
+
+  for (const Value& row : rows) {
+    if (!row.is_tuple() || row.TupleSize() != fields.size()) return nullptr;
+    for (size_t c = 0; c < fields.size(); ++c) {
+      // Tuple values keep schema field order, but verify the name so a
+      // permuted tuple never lands in the wrong column.
+      if (row.FieldName(c) != store->names_[c]) return nullptr;
+      const Value& v = row.FieldValue(c);
+      Column& col = store->cols_[c];
+      switch (col.kind) {
+        case ColumnKind::kInt64:
+          if (!v.is_int()) return nullptr;
+          col.i64.push_back(v.AsInt());
+          break;
+        case ColumnKind::kFloat64:
+          // Strictly Real, not merely numeric: ConformsTo admits Int values
+          // into Real fields, but the row path compares Int/Int *exactly*
+          // while a double column would compare images — divergent above
+          // 2^53. Kind-exact columns keep every comparison on the same
+          // route the row path takes.
+          if (!v.is_real()) return nullptr;
+          col.f64.push_back(v.AsNumeric());
+          break;
+        case ColumnKind::kBool:
+          if (!v.is_bool()) return nullptr;
+          col.b8.push_back(v.AsBool() ? 1 : 0);
+          break;
+        case ColumnKind::kString:
+          if (!v.is_string()) return nullptr;
+          col.codes.push_back(col.dict->Intern(v));
+          break;
+      }
+    }
+  }
+  store->rows_ = rows;
+  return store;
+}
+
+int ColumnStore::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace tmdb
