@@ -1,0 +1,119 @@
+// CLI client for the TCP query service.
+//
+//   ./build/examples/query_client [host] [port] ["one-shot query"]
+//
+// With a query argument, runs it and exits (exit code 0 only on success).
+// Without one, drops into a small shell:
+//   \strategy <name>   naive | kim | outerjoin | nestjoin | nestjoin-only
+//   \timeout <ms>      per-query wall-clock limit sent to the server
+//   \maxrows <n>       per-query processed-row budget sent to the server
+//   \retries <n>       attempts when the server answers REJECTED (default 5)
+//   \stats             print the last query's ExecStats
+//   \quit
+//
+// Admission rejections are retried with exponential backoff seeded by the
+// server's retry_after_ms hint; every other failure prints the server's
+// canonical error rendering and keeps the session.
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "net/client.h"
+
+namespace {
+
+using tmdb::ClientResult;
+using tmdb::QueryClient;
+using tmdb::WireRequest;
+
+int RunOne(QueryClient* client, const WireRequest& request, int max_attempts,
+           tmdb::ExecStats* last_stats) {
+  tmdb::Result<ClientResult> result =
+      client->RunWithRetry(request, max_attempts);
+  if (!result.ok()) {
+    if (QueryClient::WasRejected(result.status())) {
+      std::printf("  rejected after %d attempts: %s\n", max_attempts,
+                  result.status().message().c_str());
+    } else {
+      // The message is already FormatStatusForUser output from the server.
+      std::printf("  %s\n", result.status().message().c_str());
+    }
+    return 1;
+  }
+  if (!result->message.empty()) {
+    std::printf("%s\n", result->message.c_str());
+  }
+  for (const tmdb::Value& row : result->rows) {
+    std::printf("%s\n", row.ToString().c_str());
+  }
+  std::printf("  (%zu rows)\n", result->rows.size());
+  *last_stats = result->stats;
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string host = argc > 1 ? argv[1] : "127.0.0.1";
+  const int port = argc > 2 ? std::atoi(argv[2]) : 7744;
+
+  QueryClient client;
+  if (tmdb::Status connected = client.Connect(host, port); !connected.ok()) {
+    std::fprintf(stderr, "connect %s:%d failed: %s\n", host.c_str(), port,
+                 connected.ToString().c_str());
+    return 1;
+  }
+
+  WireRequest request;
+  int max_attempts = 5;
+  tmdb::ExecStats last_stats;
+
+  if (argc > 3) {
+    request.query = argv[3];
+    return RunOne(&client, request, max_attempts, &last_stats);
+  }
+
+  std::printf("connected to %s:%d — \\quit to exit.\n", host.c_str(), port);
+  std::string line;
+  for (;;) {
+    std::printf("tmdb> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    if (line.empty()) continue;
+    if (line == "\\quit" || line == "\\q") break;
+    if (line == "\\stats") {
+      std::printf("  %s\n", last_stats.ToString().c_str());
+      continue;
+    }
+    if (line.rfind("\\strategy ", 0) == 0) {
+      request.strategy = line.substr(10);
+      std::printf("  strategy = %s\n", request.strategy.c_str());
+      continue;
+    }
+    if (line.rfind("\\timeout ", 0) == 0) {
+      request.timeout_ms =
+          static_cast<uint64_t>(std::atoll(line.substr(9).c_str()));
+      continue;
+    }
+    if (line.rfind("\\maxrows ", 0) == 0) {
+      request.max_rows =
+          static_cast<uint64_t>(std::atoll(line.substr(9).c_str()));
+      continue;
+    }
+    if (line.rfind("\\retries ", 0) == 0) {
+      max_attempts = std::atoi(line.substr(9).c_str());
+      if (max_attempts < 1) max_attempts = 1;
+      continue;
+    }
+    request.query = line;
+    RunOne(&client, request, max_attempts, &last_stats);
+    if (!client.connected()) {
+      std::printf("connection lost\n");
+      return 1;
+    }
+  }
+  client.Close();
+  return 0;
+}

@@ -1,0 +1,79 @@
+// TCP query service over the paper's example databases.
+//
+//   ./build/examples/query_service [port] [max_concurrent]
+//
+// Binds 127.0.0.1:<port> (default 7744; 0 picks an ephemeral port and
+// prints it), loads the Section 2 R/S and Section 3 company tables, and
+// serves the framed protocol in src/net/wire.h until SIGINT/SIGTERM.
+// Point ./build/examples/query_client at it.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/database.h"
+#include "net/server.h"
+#include "workload/generators.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void HandleSignal(int) { g_stop = 1; }
+
+void CheckSetup(const tmdb::Status& status) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "setup error: %s\n", status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int port = 7744;
+  if (argc > 1) port = std::atoi(argv[1]);
+
+  tmdb::Database db;
+  tmdb::CountBugConfig rs;
+  rs.num_r = 50;
+  rs.num_s = 100;
+  CheckSetup(LoadCountBugTables(&db, rs));
+  tmdb::CompanyConfig company;
+  company.num_depts = 5;
+  company.num_emps = 30;
+  CheckSetup(LoadCompanyTables(&db, company));
+
+  tmdb::ServerOptions options;
+  options.port = port;
+  if (argc > 2) options.admission.max_concurrent = std::atoi(argv[2]);
+
+  tmdb::QueryServer server(&db, options);
+  CheckSetup(server.Start());
+  std::printf("query service on 127.0.0.1:%d (tables R, S, EMP, DEPT; "
+              "%d concurrent queries, queue depth %d)\n",
+              server.port(), options.admission.max_concurrent,
+              options.admission.max_queue_depth);
+  std::fflush(stdout);
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  while (g_stop == 0) {
+    struct timespec ts = {0, 200 * 1000 * 1000};
+    nanosleep(&ts, nullptr);
+  }
+
+  std::printf("shutting down...\n");
+  server.Shutdown();
+  const tmdb::ServerStatsSnapshot stats = server.stats();
+  std::printf("served %llu queries (%llu ok, %llu error, %llu rejected, "
+              "%llu disconnected) on %llu connections\n",
+              static_cast<unsigned long long>(stats.queries_started),
+              static_cast<unsigned long long>(stats.queries_ok),
+              static_cast<unsigned long long>(stats.queries_error),
+              static_cast<unsigned long long>(stats.queries_rejected),
+              static_cast<unsigned long long>(stats.queries_disconnected),
+              static_cast<unsigned long long>(stats.connections_accepted));
+  return 0;
+}

@@ -238,7 +238,9 @@ int main() {
     options.enable_columnar = enable_columnar;
     auto result = db.Execute(input, options);
     if (!result.ok()) {
-      std::printf("  %s\n", result.status().ToString().c_str());
+      // Same rendering the query server puts in its error frames: guard
+      // trips read identically over the wire and in the shell.
+      std::printf("  %s\n", tmdb::FormatStatusForUser(result.status()).c_str());
       continue;
     }
     std::printf("%s", result->ToString(20).c_str());

@@ -21,24 +21,32 @@ cmake --build build -j
 # gets a dedicated build tree.
 cmake -B build-tsan -S . -DTMDB_SANITIZE=thread
 cmake --build build-tsan -j --target parallel_exec_test fault_injection_test \
-  spill_codec_test spill_exec_test subplan_cache_test columnar_exec_test
+  spill_codec_test spill_exec_test subplan_cache_test columnar_exec_test \
+  net_service_test executor_reuse_soak_test
 ./build-tsan/tests/parallel_exec_test
 ./build-tsan/tests/fault_injection_test
 ./build-tsan/tests/spill_codec_test
 ./build-tsan/tests/spill_exec_test
 ./build-tsan/tests/subplan_cache_test
 ./build-tsan/tests/columnar_exec_test
+# Net suites bind port 0 (ephemeral), so parallel CI jobs never collide;
+# on failure they print the TMDB_NET_SEED that reproduces the schedule.
+./build-tsan/tests/net_service_test
+./build-tsan/tests/executor_reuse_soak_test
 
 # ASan pass over the same suites: every injected fault must unwind without
 # leaking operator, pool, or spill-file state.
 cmake -B build-asan -S . -DTMDB_SANITIZE=address
 cmake --build build-asan -j --target parallel_exec_test fault_injection_test \
-  spill_codec_test spill_exec_test subplan_cache_test columnar_exec_test
+  spill_codec_test spill_exec_test subplan_cache_test columnar_exec_test \
+  net_service_test executor_reuse_soak_test
 ./build-asan/tests/parallel_exec_test
 ./build-asan/tests/fault_injection_test
 ./build-asan/tests/spill_codec_test
 ./build-asan/tests/spill_exec_test
 ./build-asan/tests/subplan_cache_test
 ./build-asan/tests/columnar_exec_test
+./build-asan/tests/net_service_test
+./build-asan/tests/executor_reuse_soak_test
 
 echo "tier1: OK"

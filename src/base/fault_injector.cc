@@ -93,4 +93,45 @@ bool FaultInjector::ShouldFailUnlink() {
   return IoOp(IoFaultKind::kUnlinkFail, &io_unlinks_);
 }
 
+void FaultInjector::ArmWire(WireFaultKind kind, uint64_t n) {
+  wire_kind_.store(kind, std::memory_order_relaxed);
+  wire_nth_.store(n, std::memory_order_relaxed);
+  wire_sends_.store(0, std::memory_order_relaxed);
+  wire_recvs_.store(0, std::memory_order_relaxed);
+  wire_accepts_.store(0, std::memory_order_relaxed);
+  wire_fired_.store(0, std::memory_order_relaxed);
+}
+
+void FaultInjector::DisarmWire() {
+  wire_kind_.store(WireFaultKind::kNone, std::memory_order_relaxed);
+}
+
+bool FaultInjector::WireOp(bool channel_matches_kind,
+                           std::atomic<uint64_t>* channel) {
+  const uint64_t index = channel->fetch_add(1, std::memory_order_relaxed) + 1;
+  const uint64_t nth = wire_nth_.load(std::memory_order_relaxed);
+  if (!channel_matches_kind || nth == 0 || index != nth) return false;
+  wire_fired_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+WireFaultKind FaultInjector::ShouldFailSend() {
+  const WireFaultKind kind = wire_kind_.load(std::memory_order_relaxed);
+  const bool send_fault = kind == WireFaultKind::kShortWrite ||
+                          kind == WireFaultKind::kTornFrame ||
+                          kind == WireFaultKind::kCorruptCrc ||
+                          kind == WireFaultKind::kDisconnect;
+  return WireOp(send_fault, &wire_sends_) ? kind : WireFaultKind::kNone;
+}
+
+bool FaultInjector::ShouldFailRecv() {
+  const WireFaultKind kind = wire_kind_.load(std::memory_order_relaxed);
+  return WireOp(kind == WireFaultKind::kShortRead, &wire_recvs_);
+}
+
+bool FaultInjector::ShouldFailAccept() {
+  const WireFaultKind kind = wire_kind_.load(std::memory_order_relaxed);
+  return WireOp(kind == WireFaultKind::kAcceptFail, &wire_accepts_);
+}
+
 }  // namespace tmdb

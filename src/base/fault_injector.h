@@ -17,6 +17,21 @@ enum class IoFaultKind {
   kUnlinkFail,   // unlink channel: removing a spill file fails once
 };
 
+/// Synthetic wire failure modes for the network front end. Consulted at
+/// every frame boundary by the framed-socket layer: sends can be cut short
+/// (the peer sees a torn frame), frames can go out with a flipped CRC byte
+/// (the peer's checksum rejects them), the connection can drop mid-stream,
+/// reads can end early, and accept() can fail transiently.
+enum class WireFaultKind {
+  kNone = 0,
+  kShortWrite,   // send channel: part of the frame is sent, then kIoError
+  kTornFrame,    // send channel: partial frame sent "successfully", then cut
+  kCorruptCrc,   // send channel: one CRC byte flipped before the send
+  kDisconnect,   // send channel: socket closed instead of sending
+  kShortRead,    // recv channel: frame read ends early (peer appears torn)
+  kAcceptFail,   // accept channel: accepting a connection fails once
+};
+
 /// Deterministic, seeded fault injection for exercising error-unwind paths.
 ///
 /// The executor calls ShouldFail() at every guard checkpoint (batch
@@ -112,6 +127,45 @@ class FaultInjector {
     return io_fired_.load(std::memory_order_relaxed);
   }
 
+  // ------------------------------------------------------ wire injection
+  //
+  // The network layer consults three more channels: frame sends, frame
+  // receives, and listener accepts. Every consultation is counted (armed or
+  // not), so a clean client/server exchange sizes a sweep exactly like the
+  // I/O channels; ArmWire picks the channel from the fault kind and fires
+  // on that channel's n-th operation after arming. Independent of the
+  // checkpoint and I/O channels — all three compose in one run.
+
+  /// Fails the n-th operation (1-based) on `kind`'s channel observed after
+  /// this call. n == 0 re-arms counting only. Resets all wire counters.
+  void ArmWire(WireFaultKind kind, uint64_t n);
+
+  /// Stops injecting wire faults; counters keep their values.
+  void DisarmWire();
+
+  /// Send-channel consultation: returns the armed send-shaped fault
+  /// (kShortWrite/kTornFrame/kCorruptCrc/kDisconnect) when this frame send
+  /// should fail, kNone otherwise.
+  WireFaultKind ShouldFailSend();
+  /// Recv-channel consultation: true when this frame read should come up
+  /// short (the reader behaves as if the peer died mid-frame).
+  bool ShouldFailRecv();
+  /// Accept-channel consultation: true when this accept should fail.
+  bool ShouldFailAccept();
+
+  uint64_t wire_sends_seen() const {
+    return wire_sends_.load(std::memory_order_relaxed);
+  }
+  uint64_t wire_recvs_seen() const {
+    return wire_recvs_.load(std::memory_order_relaxed);
+  }
+  uint64_t wire_accepts_seen() const {
+    return wire_accepts_.load(std::memory_order_relaxed);
+  }
+  uint64_t wire_faults_fired() const {
+    return wire_fired_.load(std::memory_order_relaxed);
+  }
+
  private:
   enum Mode : int { kDisabled = 0, kNth, kRate };
 
@@ -134,6 +188,20 @@ class FaultInjector {
   std::atomic<uint64_t> io_reads_{0};
   std::atomic<uint64_t> io_unlinks_{0};
   std::atomic<uint64_t> io_fired_{0};
+
+  /// Counts an op on a wire `channel`; true when the armed wire fault fires
+  /// here (the armed kind belongs to this channel and the count matches).
+  bool WireOp(bool channel_matches_kind, std::atomic<uint64_t>* channel);
+
+  // Wire channels. Unlike the spill I/O sites, frame I/O runs concurrently
+  // on several session threads, so the armed kind/count are atomics too
+  // (relaxed: tests arm while the wire is quiet, exactly like Arm*/ArmIo).
+  std::atomic<WireFaultKind> wire_kind_{WireFaultKind::kNone};
+  std::atomic<uint64_t> wire_nth_{0};
+  std::atomic<uint64_t> wire_sends_{0};
+  std::atomic<uint64_t> wire_recvs_{0};
+  std::atomic<uint64_t> wire_accepts_{0};
+  std::atomic<uint64_t> wire_fired_{0};
 };
 
 }  // namespace tmdb

@@ -32,6 +32,35 @@ const char* StatusCodeName(StatusCode code) {
   return "Unknown";
 }
 
+const char* GuardTripPhrase(StatusCode code) {
+  switch (code) {
+    case StatusCode::kCancelled:
+      return "query cancelled";
+    case StatusCode::kDeadlineExceeded:
+      return "query deadline exceeded";
+    case StatusCode::kResourceExhausted:
+      return "query resource budget exhausted";
+    default:
+      return nullptr;
+  }
+}
+
+std::string FormatStatusForUser(const Status& status) {
+  if (status.ok()) return "OK";
+  const char* phrase = GuardTripPhrase(status.code());
+  if (phrase == nullptr) return status.ToString();
+  std::string out = StatusCodeName(status.code());
+  out += ": ";
+  out += phrase;
+  const std::string& detail = status.message();
+  if (!detail.empty() && detail != phrase) {
+    out += " (";
+    out += detail;
+    out += ")";
+  }
+  return out;
+}
+
 std::string Status::ToString() const {
   if (ok()) return "OK";
   std::string out = StatusCodeName(code_);

@@ -28,6 +28,13 @@ enum class StatusCode {
 /// Returns a stable human-readable name ("TypeError", ...) for a code.
 const char* StatusCodeName(StatusCode code);
 
+/// Canonical phrase for the guard-trip codes that every front end must
+/// render the same way — kCancelled, kDeadlineExceeded, kResourceExhausted
+/// — and nullptr for every other code. The single source of truth behind
+/// FormatStatusForUser, so the REPL, the server's error frames, and the
+/// client CLI cannot drift apart.
+const char* GuardTripPhrase(StatusCode code);
+
 /// A cheap, copyable success-or-error value (Arrow/Abseil style). The engine
 /// is built without exceptions; every fallible function returns Status or
 /// Result<T>.
@@ -98,6 +105,12 @@ class Status {
 inline std::ostream& operator<<(std::ostream& os, const Status& s) {
   return os << s.ToString();
 }
+
+/// The one user-facing rendering of a Status, shared by every front end.
+/// Guard-trip codes render as "<CodeName>: <canonical phrase> (<detail>)"
+/// — detail being the original message when it adds information — and all
+/// other codes render as ToString(). OK renders as "OK".
+std::string FormatStatusForUser(const Status& status);
 
 /// Propagates a non-OK Status to the caller. Usable in any function that
 /// returns Status (or Result<T>, via the implicit conversion).

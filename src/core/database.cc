@@ -62,6 +62,13 @@ Result<LogicalOpPtr> Database::Plan(const std::string& query,
 
 Result<QueryResult> Database::Run(const std::string& query,
                                   RunOptions options) {
+  Executor executor(options.num_threads);
+  return RunWith(query, options, &executor);
+}
+
+Result<QueryResult> Database::RunWith(const std::string& query,
+                                      const RunOptions& options,
+                                      Executor* executor) {
   TMDB_ASSIGN_OR_RETURN(LogicalOpPtr logical,
                         Plan(query, options.strategy, nullptr));
   PlannerOptions planner_options;
@@ -71,13 +78,14 @@ Result<QueryResult> Database::Run(const std::string& query,
   planner_options.enable_columnar = options.enable_columnar;
   Planner planner(planner_options);
   TMDB_ASSIGN_OR_RETURN(PhysicalOpPtr physical, planner.Plan(logical));
-  Executor executor(options.num_threads);
-  ApplyGovernance(options, &executor);
+  executor->set_num_threads(options.num_threads);
+  ApplyGovernance(options, executor);
+  executor->mutable_stats()->Reset();
   TMDB_ASSIGN_OR_RETURN(std::vector<Value> rows,
-                        executor.RunPhysical(physical.get()));
+                        executor->RunPhysical(physical.get()));
   QueryResult result;
   result.rows = std::move(rows);
-  result.stats = executor.stats();
+  result.stats = executor->stats();
   result.strategy = options.strategy;
   return result;
 }
@@ -91,6 +99,13 @@ Result<StatementResult> Database::Execute(const std::string& statement,
                                           RunOptions options) {
   TMDB_ASSIGN_OR_RETURN(StatementPtr parsed, ParseStatement(statement));
   return ExecuteParsed(*parsed, options);
+}
+
+Result<StatementResult> Database::ExecuteWith(const std::string& statement,
+                                              const RunOptions& options,
+                                              Executor* executor) {
+  TMDB_ASSIGN_OR_RETURN(StatementPtr parsed, ParseStatement(statement));
+  return ExecuteParsed(*parsed, options, executor);
 }
 
 Result<std::vector<StatementResult>> Database::ExecuteScript(
@@ -108,7 +123,8 @@ Result<std::vector<StatementResult>> Database::ExecuteScript(
 }
 
 Result<StatementResult> Database::ExecuteParsed(const Statement& statement,
-                                                const RunOptions& options) {
+                                                const RunOptions& options,
+                                                Executor* executor) {
   StatementResult result;
   switch (statement.kind) {
     case Statement::Kind::kQuery: {
@@ -124,13 +140,19 @@ Result<StatementResult> Database::ExecuteParsed(const Statement& statement,
       planner_options.enable_columnar = options.enable_columnar;
       Planner planner(planner_options);
       TMDB_ASSIGN_OR_RETURN(PhysicalOpPtr physical, planner.Plan(plan));
-      Executor executor(options.num_threads);
-      ApplyGovernance(options, &executor);
+      Executor local(options.num_threads);
+      if (executor == nullptr) {
+        executor = &local;
+      } else {
+        executor->set_num_threads(options.num_threads);
+        executor->mutable_stats()->Reset();
+      }
+      ApplyGovernance(options, executor);
       TMDB_ASSIGN_OR_RETURN(std::vector<Value> rows,
-                            executor.RunPhysical(physical.get()));
+                            executor->RunPhysical(physical.get()));
       result.is_query = true;
       result.query.rows = std::move(rows);
-      result.query.stats = executor.stats();
+      result.query.stats = executor->stats();
       result.query.strategy = options.strategy;
       return result;
     }

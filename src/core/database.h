@@ -16,6 +16,8 @@
 
 namespace tmdb {
 
+class Executor;
+
 /// Rows + execution metadata returned by Database::Run.
 struct QueryResult {
   std::vector<Value> rows;
@@ -120,10 +122,24 @@ class Database {
   Result<QueryResult> Run(const std::string& query,
                           RunOptions options = RunOptions());
 
+  /// As Run, but executes on the caller's executor instead of a throwaway
+  /// one. The governance knobs in `options` are (re)applied to `executor`
+  /// for this call. This is the server path: each connection keeps one
+  /// executor for its whole life, so worker pools are reused across the
+  /// session's queries and another thread can cancel the in-flight query
+  /// via executor->guard()->Cancel().
+  Result<QueryResult> RunWith(const std::string& query,
+                              const RunOptions& options, Executor* executor);
+
   /// Executes one statement of the data language: CREATE TABLE,
   /// DEFINE SORT, INSERT INTO ... VALUES, or a query expression.
   Result<StatementResult> Execute(const std::string& statement,
                                   RunOptions options = RunOptions());
+
+  /// As Execute, on the caller's (reused) executor — see RunWith.
+  Result<StatementResult> ExecuteWith(const std::string& statement,
+                                      const RunOptions& options,
+                                      Executor* executor);
 
   /// Executes a ';'-separated script, stopping at the first error.
   Result<std::vector<StatementResult>> ExecuteScript(
@@ -140,8 +156,10 @@ class Database {
                               Strategy strategy = Strategy::kNestJoin);
 
  private:
+  /// `executor` null = build a throwaway one for this statement.
   Result<StatementResult> ExecuteParsed(const Statement& statement,
-                                        const RunOptions& options);
+                                        const RunOptions& options,
+                                        Executor* executor = nullptr);
   Result<std::string> ExplainAst(const AstNode& ast, Strategy strategy);
 
   Catalog catalog_;

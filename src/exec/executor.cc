@@ -143,6 +143,11 @@ Result<std::vector<Value>> Executor::RunPhysical(PhysicalOp* root) {
   stats_.subplan_cache_misses += cache_.misses();
   stats_.subplan_cache_evictions += cache_.evictions();
   stats_.guard_checkpoints += guard_.checkpoints();
+  // Reused executors must not carry trip state between queries: a stale
+  // memory-trip record would make the next query's first budget failure
+  // look spill-eligible, and a cancel that arrived after the unwind would
+  // kill the next query at its first checkpoint.
+  guard_.ClearTripState();
   runner_.reset();
   cache_.Reset(nullptr, subplan_cache_bytes_);
   if (spill_ != nullptr) {

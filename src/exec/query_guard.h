@@ -99,6 +99,26 @@ class QueryGuard {
     return last_trip_was_memory_.load(std::memory_order_relaxed);
   }
 
+  /// Clears residual trip state — the memory-trip record and any pending
+  /// cancellation — without rearming. The executor calls this when a run
+  /// finishes (every outcome), so a reused executor's guard carries no
+  /// stale state between queries: a memory trip from query N can never
+  /// make query N+1 on the same connection look spill-eligible, and a
+  /// cancel that raced the end of query N is not misread by N+1. Reset
+  /// also clears both, so the two bracket every run.
+  void ClearTripState() {
+    cancelled_.store(false, std::memory_order_relaxed);
+    last_trip_was_memory_.store(false, std::memory_order_relaxed);
+  }
+
+  /// Operator-reservation bytes currently charged (the materialised
+  /// component of memory_used(), excluding tracked Values). Zero between
+  /// runs once every GuardReservation has released — the executor-reuse
+  /// soak asserts exactly that.
+  int64_t materialized_bytes() const {
+    return materialized_.load(std::memory_order_relaxed);
+  }
+
   /// The injector installed at Reset (null when none) — spill I/O sites
   /// consult its I/O channels.
   FaultInjector* injector() const { return injector_; }

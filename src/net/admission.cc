@@ -1,0 +1,98 @@
+#include "net/admission.h"
+
+#include <chrono>
+
+#include "base/string_util.h"
+#include "net/wire.h"
+
+namespace tmdb {
+
+AdmissionController::AdmissionController(const AdmissionConfig& config)
+    : config_(config) {}
+
+Result<AdmissionGrant> AdmissionController::Admit(int64_t queue_wait_ms) {
+  if (queue_wait_ms <= 0) queue_wait_ms = config_.default_queue_wait_ms;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(queue_wait_ms);
+  std::unique_lock<std::mutex> lock(mu_);
+  if (shutdown_) {
+    return Status::Cancelled("server shutting down");
+  }
+  if (active_ >= config_.max_concurrent) {
+    if (queued_ >= config_.max_queue_depth) {
+      ++rejected_queue_full_;
+      return Status::ResourceExhausted(
+          StrCat(kRejectedMessagePrefix, ": admission queue full (",
+                 queued_, " waiting, ", active_, " running)"));
+    }
+    ++queued_;
+    const bool got_slot = slot_free_.wait_until(lock, deadline, [this] {
+      return shutdown_ || active_ < config_.max_concurrent;
+    });
+    --queued_;
+    if (shutdown_) {
+      return Status::Cancelled("server shutting down");
+    }
+    if (!got_slot) {
+      ++rejected_timeout_;
+      return Status::ResourceExhausted(
+          StrCat(kRejectedMessagePrefix, ": no execution slot within ",
+                 queue_wait_ms, " ms"));
+    }
+  }
+  ++active_;
+  ++admitted_total_;
+  AdmissionGrant grant;
+  grant.memory_bytes =
+      config_.total_memory_bytes == 0
+          ? 0
+          : config_.total_memory_bytes /
+                static_cast<uint64_t>(config_.max_concurrent);
+  grant.threads = config_.total_threads / config_.max_concurrent;
+  if (grant.threads < 1) grant.threads = 1;
+  grant.active = active_;
+  return grant;
+}
+
+void AdmissionController::Release() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (active_ > 0) --active_;
+  }
+  slot_free_.notify_one();
+}
+
+void AdmissionController::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  slot_free_.notify_all();
+}
+
+int AdmissionController::active() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return active_;
+}
+
+int AdmissionController::queued() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queued_;
+}
+
+uint64_t AdmissionController::admitted_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return admitted_total_;
+}
+
+uint64_t AdmissionController::rejected_queue_full() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rejected_queue_full_;
+}
+
+uint64_t AdmissionController::rejected_timeout() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rejected_timeout_;
+}
+
+}  // namespace tmdb

@@ -1,0 +1,90 @@
+#ifndef TMDB_NET_ADMISSION_H_
+#define TMDB_NET_ADMISSION_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+#include "base/result.h"
+#include "base/status.h"
+
+namespace tmdb {
+
+/// Global budgets the admission controller divides across active queries.
+struct AdmissionConfig {
+  /// Total memory the server is willing to have materialised at once,
+  /// split into equal per-query slices. 0 = unlimited (every grant is
+  /// unlimited too).
+  uint64_t total_memory_bytes = 256ull << 20;
+  /// Total intra-query worker threads across all running queries. Each
+  /// grant gets an equal slice, never below 1.
+  int total_threads = 8;
+  /// Queries executing at once; arrivals beyond this wait in the queue.
+  int max_concurrent = 8;
+  /// Requests allowed to wait for a slot. An arrival that finds the queue
+  /// full is rejected immediately — the server refuses work it cannot
+  /// start in bounded time rather than accepting it and timing out.
+  int max_queue_depth = 16;
+  /// Queue wait applied when a request does not name its own
+  /// (`WireRequest::queue_wait_ms`).
+  int64_t default_queue_wait_ms = 500;
+  /// Backoff hint attached to REJECTED responses.
+  int64_t retry_after_ms = 50;
+};
+
+/// What one admitted query may use. The slices are fixed at admission
+/// (total/max_concurrent) rather than rebalanced as load changes: a
+/// query's budget never shrinks after it started, so a burst of arrivals
+/// can reject cleanly but can never trip a running query's guard.
+struct AdmissionGrant {
+  uint64_t memory_bytes = 0;  // 0 = unlimited
+  int threads = 1;
+  int active = 0;  // running queries including this one, at grant time
+};
+
+/// Divides the server's global budgets across concurrently running
+/// queries. Admit blocks until a slot frees, the caller's queue deadline
+/// passes, or the controller shuts down; overload answers are typed
+/// kResourceExhausted with a message starting kRejectedMessagePrefix, so
+/// the wire turns them into REJECTED frames and clients can retry with
+/// backoff. Thread-safe.
+class AdmissionController {
+ public:
+  explicit AdmissionController(const AdmissionConfig& config);
+
+  /// Blocks up to `queue_wait_ms` (0 = config default) for an execution
+  /// slot. Returns the grant, or kResourceExhausted when the queue is full
+  /// (immediate) or the wait timed out, or kCancelled when Shutdown ran.
+  Result<AdmissionGrant> Admit(int64_t queue_wait_ms);
+
+  /// Returns one admitted query's slot; wakes a queued waiter.
+  void Release();
+
+  /// Wakes every queued waiter with kCancelled and fails all future
+  /// Admits. Part of server teardown.
+  void Shutdown();
+
+  const AdmissionConfig& config() const { return config_; }
+
+  int active() const;
+  int queued() const;
+  uint64_t admitted_total() const;
+  uint64_t rejected_queue_full() const;
+  uint64_t rejected_timeout() const;
+
+ private:
+  const AdmissionConfig config_;
+
+  mutable std::mutex mu_;
+  std::condition_variable slot_free_;
+  bool shutdown_ = false;
+  int active_ = 0;
+  int queued_ = 0;
+  uint64_t admitted_total_ = 0;
+  uint64_t rejected_queue_full_ = 0;
+  uint64_t rejected_timeout_ = 0;
+};
+
+}  // namespace tmdb
+
+#endif  // TMDB_NET_ADMISSION_H_

@@ -1,0 +1,140 @@
+#include "net/client.h"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "base/string_util.h"
+
+namespace tmdb {
+
+Status QueryClient::Connect(const std::string& host, int port,
+                            int recv_timeout_ms) {
+  Close();
+  TMDB_ASSIGN_OR_RETURN(sock_, Socket::ConnectTcp(host, port));
+  if (recv_timeout_ms > 0) {
+    TMDB_RETURN_IF_ERROR(sock_.SetRecvTimeout(recv_timeout_ms));
+  }
+  return Status::OK();
+}
+
+Result<ClientResult> QueryClient::Run(const std::string& query) {
+  WireRequest request;
+  request.query = query;
+  return Run(request);
+}
+
+Result<ClientResult> QueryClient::Run(const WireRequest& request) {
+  if (!connected()) {
+    return Status::IoError("client not connected");
+  }
+  Frame frame;
+  frame.type = FrameType::kQuery;
+  frame.request_id = next_request_id_++;
+  EncodeRequest(request, &frame.payload);
+  Result<ClientResult> result = [&]() -> Result<ClientResult> {
+    TMDB_RETURN_IF_ERROR(WriteFrame(&sock_, injector_, frame));
+    return ReadResponse(frame.request_id);
+  }();
+  if (!result.ok() && result.status().code() == StatusCode::kIoError) {
+    // The stream cannot resynchronise past a wire error; drop the socket
+    // so connected() reports the truth and the next Run fails fast.
+    sock_.Close();
+  }
+  return result;
+}
+
+Result<ClientResult> QueryClient::RunWithRetry(const WireRequest& request,
+                                               int max_attempts) {
+  Result<ClientResult> result = Status::InvalidArgument("max_attempts < 1");
+  int64_t backoff_ms = 0;
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    if (backoff_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+    }
+    result = Run(request);
+    if (result.ok() || !WasRejected(result.status())) return result;
+    // Exponential backoff seeded by the server's hint.
+    const int64_t hint = static_cast<int64_t>(
+        last_retry_after_ms_ > 0 ? last_retry_after_ms_ : 10);
+    backoff_ms = backoff_ms == 0 ? hint : backoff_ms * 2;
+  }
+  return result;
+}
+
+bool QueryClient::WasRejected(const Status& status) {
+  return status.code() == StatusCode::kResourceExhausted &&
+         status.message().find(kRejectedMessagePrefix) != std::string::npos;
+}
+
+Status QueryClient::SendCancel(uint64_t request_id) {
+  if (!connected()) return Status::IoError("client not connected");
+  Frame frame;
+  frame.type = FrameType::kCancel;
+  frame.request_id = request_id;
+  return WriteFrame(&sock_, injector_, frame);
+}
+
+void QueryClient::Close() {
+  if (connected()) {
+    Frame goodbye;
+    goodbye.type = FrameType::kGoodbye;
+    (void)WriteFrame(&sock_, injector_, goodbye);
+    sock_.Close();
+  }
+}
+
+Result<ClientResult> QueryClient::ReadResponse(uint64_t request_id) {
+  ClientResult result;
+  for (;;) {
+    Frame frame;
+    bool eof = false;
+    TMDB_RETURN_IF_ERROR(ReadFrame(&sock_, injector_, &frame, &eof));
+    if (eof) {
+      return Status::IoError("server closed the connection mid-response");
+    }
+    if (frame.request_id != request_id) {
+      // One request in flight at a time: any other id is a protocol error
+      // and the stream cannot be trusted.
+      return Status::IoError(
+          StrCat("response for unexpected request id ", frame.request_id,
+                 " (expected ", request_id, ")"));
+    }
+    switch (frame.type) {
+      case FrameType::kAccepted: {
+        TMDB_RETURN_IF_ERROR(DecodeAccepted(frame.payload, &result.grant));
+        result.has_grant = true;
+        break;
+      }
+      case FrameType::kRows:
+        TMDB_RETURN_IF_ERROR(DecodeRowsPayload(frame.payload, &result.rows));
+        break;
+      case FrameType::kStats:
+        TMDB_RETURN_IF_ERROR(DecodeStatsPayload(frame.payload,
+                                                &result.stats));
+        break;
+      case FrameType::kDone: {
+        TMDB_RETURN_IF_ERROR(DecodeDonePayload(frame.payload,
+                                               &result.message));
+        return result;
+      }
+      case FrameType::kError: {
+        WireError error;
+        TMDB_RETURN_IF_ERROR(DecodeError(frame.payload, &error));
+        return Status(error.code, error.message);
+      }
+      case FrameType::kRejected: {
+        WireRejected rejected;
+        TMDB_RETURN_IF_ERROR(DecodeRejected(frame.payload, &rejected));
+        last_retry_after_ms_ = rejected.retry_after_ms;
+        return Status(rejected.code, rejected.message);
+      }
+      default:
+        return Status::IoError(
+            StrCat("unexpected frame type ",
+                   static_cast<uint32_t>(frame.type), " in response"));
+    }
+  }
+}
+
+}  // namespace tmdb

@@ -1,0 +1,97 @@
+#ifndef TMDB_NET_CLIENT_H_
+#define TMDB_NET_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/fault_injector.h"
+#include "base/result.h"
+#include "base/status.h"
+#include "exec/exec_context.h"
+#include "net/socket.h"
+#include "net/wire.h"
+#include "values/value.h"
+
+namespace tmdb {
+
+/// One query's decoded response stream.
+struct ClientResult {
+  std::vector<Value> rows;
+  ExecStats stats;
+  /// DDL/DML outcome message ("created table R", ...); empty for queries.
+  std::string message;
+  /// The admission grant the server announced (when it sent kAccepted).
+  WireAccepted grant;
+  bool has_grant = false;
+};
+
+/// Client side of the framed query protocol: one TCP connection, one
+/// request in flight at a time. Not thread-safe; use one client per
+/// thread. A wire error (torn frame, bad CRC, unexpected close) poisons
+/// the connection — by protocol the stream cannot resynchronise — so
+/// every call after a kIoError fails until Connect establishes a fresh
+/// socket.
+class QueryClient {
+ public:
+  QueryClient() = default;
+  ~QueryClient() { Close(); }
+  QueryClient(const QueryClient&) = delete;
+  QueryClient& operator=(const QueryClient&) = delete;
+  QueryClient(QueryClient&&) = default;
+  QueryClient& operator=(QueryClient&&) = default;
+
+  /// Connects (or reconnects) to the server. `recv_timeout_ms` bounds how
+  /// long a response read may block on a torn stream (0 = forever).
+  Status Connect(const std::string& host, int port,
+                 int recv_timeout_ms = 30000);
+
+  bool connected() const { return sock_.valid(); }
+
+  /// Sends one request and reads its full response stream. Failure codes:
+  ///   kResourceExhausted  the server rejected the query at admission
+  ///                       (WasRejected(status) is true; retry with
+  ///                       backoff — see last_retry_after_ms());
+  ///   kIoError            the wire failed; the connection is now dead;
+  ///   anything else       the query itself failed server-side, rendered
+  ///                       exactly as the REPL would print it.
+  Result<ClientResult> Run(const std::string& query);
+  Result<ClientResult> Run(const WireRequest& request);
+
+  /// Run with bounded retry on admission rejection: sleeps the server's
+  /// retry_after_ms hint (exponentially backed off) between attempts.
+  /// Other failures are returned immediately.
+  Result<ClientResult> RunWithRetry(const WireRequest& request,
+                                    int max_attempts);
+
+  /// True when `status` is an admission rejection (a typed
+  /// kResourceExhausted whose message carries kRejectedMessagePrefix) —
+  /// i.e. the query never ran and retrying later is sane.
+  static bool WasRejected(const Status& status);
+
+  /// Sends a CANCEL frame for the request currently in flight on this
+  /// connection. Only useful from a signal-ish context in the CLI; Run is
+  /// synchronous so normal callers never need it.
+  Status SendCancel(uint64_t request_id);
+
+  /// Sends GOODBYE (best effort) and closes the socket.
+  void Close();
+
+  /// The server's backoff hint from the most recent REJECTED response.
+  uint64_t last_retry_after_ms() const { return last_retry_after_ms_; }
+
+  /// Wire-channel fault injection for the client side (tests only).
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+
+ private:
+  Result<ClientResult> ReadResponse(uint64_t request_id);
+
+  Socket sock_;
+  FaultInjector* injector_ = nullptr;
+  uint64_t next_request_id_ = 1;
+  uint64_t last_retry_after_ms_ = 0;
+};
+
+}  // namespace tmdb
+
+#endif  // TMDB_NET_CLIENT_H_

@@ -1,0 +1,218 @@
+// Executor-reuse soak (the server's per-connection discipline, embedded):
+// ~1000 small queries through ONE reused Executor with a seeded mix of
+// clean runs, memory trips (with and without spill), row-budget trips,
+// injected checkpoint faults, deadline trips, and cross-thread cancels.
+// After every run the executor must be indistinguishable from fresh: no
+// residual trip state, no outstanding reservation bytes, no spill files.
+// The deterministic subset of the schedule must produce identical status
+// sequences and checkpoint totals across two runs with the same seed; on
+// any failure the seed is printed (override with TMDB_NET_SEED).
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "base/fault_injector.h"
+#include "core/database.h"
+#include "exec/executor.h"
+#include "workload/generators.h"
+
+namespace tmdb {
+namespace {
+
+const char kNestedQuery[] =
+    "SELECT x FROM R x WHERE x.b = count(SELECT y.d FROM S y "
+    "WHERE x.c = y.c)";
+const char kScanQuery[] = "SELECT x FROM R x WHERE x.b >= 0";
+
+uint64_t TestSeed() {
+  if (const char* env = std::getenv("TMDB_NET_SEED")) {
+    return std::strtoull(env, nullptr, 10);
+  }
+  return 0x5EED50AEull;
+}
+
+/// One deterministic pass of the soak schedule. Returns the per-iteration
+/// status codes and the summed guard checkpoints of the deterministic
+/// iterations (cross-thread cancels race by design and are excluded).
+struct SoakOutcome {
+  std::vector<StatusCode> codes;
+  uint64_t deterministic_checkpoints = 0;
+  int ok_runs = 0;
+  int trips = 0;
+};
+
+class ExecutorReuseSoakTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    CountBugConfig config;
+    config.num_r = 12;
+    config.num_s = 24;
+    ASSERT_TRUE(LoadCountBugTables(&db_, config).ok());
+    spill_dir_ = std::filesystem::temp_directory_path() /
+                 ("tmdb_reuse_soak_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(spill_dir_);
+  }
+
+  void TearDown() override {
+    if (::testing::Test::HasFailure()) {
+      std::fprintf(stderr, "[executor_reuse_soak_test] TMDB_NET_SEED=%llu\n",
+                   static_cast<unsigned long long>(TestSeed()));
+    }
+    std::error_code ec;
+    std::filesystem::remove_all(spill_dir_, ec);
+  }
+
+  size_t SpillLeftovers() {
+    size_t count = 0;
+    for (const auto& entry :
+         std::filesystem::directory_iterator(spill_dir_)) {
+      (void)entry;
+      ++count;
+    }
+    return count;
+  }
+
+  SoakOutcome RunSchedule(uint64_t seed, int iterations) {
+    SoakOutcome outcome;
+    std::mt19937_64 rng(seed);
+    Executor executor(1);
+    FaultInjector injector;
+    for (int i = 0; i < iterations; ++i) {
+      const int mode = static_cast<int>(rng() % 6);
+      RunOptions options;
+      options.spill_dir = spill_dir_.string();
+      const std::string query =
+          (rng() % 2 == 0) ? kNestedQuery : kScanQuery;
+      bool deterministic = true;
+      std::thread canceller;
+      switch (mode) {
+        case 1:  // memory trip, fail-fast
+          options.memory_budget_bytes = 1;
+          break;
+        case 2:  // memory trip, spill completes the query
+          options.memory_budget_bytes = 16u << 10;
+          options.enable_spill = true;
+          break;
+        case 3:  // row-budget trip
+          options.max_rows = 1 + rng() % 4;
+          break;
+        case 4: {  // injected checkpoint fault (1-based nth)
+          options.fault_injector = &injector;
+          injector.ArmNth(1 + rng() % 20);
+          break;
+        }
+        case 5: {  // cross-thread cancel: racy by design
+          deterministic = false;
+          const int delay_us = static_cast<int>(rng() % 500);
+          QueryGuard* guard = executor.guard();
+          canceller = std::thread([guard, delay_us] {
+            std::this_thread::sleep_for(
+                std::chrono::microseconds(delay_us));
+            guard->Cancel();
+          });
+          break;
+        }
+        default:
+          break;
+      }
+
+      Result<QueryResult> result = db_.RunWith(query, options, &executor);
+      if (canceller.joinable()) canceller.join();
+      injector.Disarm();
+
+      // --- clean-outcome contract: every run ends in OK or a typed trip.
+      if (result.ok()) {
+        ++outcome.ok_runs;
+      } else {
+        ++outcome.trips;
+        const StatusCode code = result.status().code();
+        EXPECT_TRUE(code == StatusCode::kResourceExhausted ||
+                    code == StatusCode::kDeadlineExceeded ||
+                    code == StatusCode::kCancelled ||
+                    code == StatusCode::kInternal ||  // injected checkpoint
+                    code == StatusCode::kIoError)
+            << "iteration " << i
+            << " untyped failure: " << result.status().ToString();
+      }
+
+      // --- reuse contract: nothing carries over to the next query.
+      EXPECT_FALSE(executor.guard()->last_trip_was_memory())
+          << "residual memory-trip record after iteration " << i;
+      EXPECT_EQ(executor.guard()->materialized_bytes(), 0)
+          << "outstanding GuardReservation bytes after iteration " << i;
+      EXPECT_EQ(SpillLeftovers(), 0u)
+          << "leaked spill files after iteration " << i;
+
+      if (deterministic) {
+        outcome.codes.push_back(result.ok() ? StatusCode::kOk
+                                            : result.status().code());
+        outcome.deterministic_checkpoints +=
+            executor.guard()->checkpoints();
+      } else {
+        // Keep the schedule aligned across replays: the racy iteration
+        // contributes a placeholder, not its (nondeterministic) outcome.
+        outcome.codes.push_back(StatusCode::kOk);
+      }
+    }
+    return outcome;
+  }
+
+  Database db_;
+  std::filesystem::path spill_dir_;
+};
+
+TEST_F(ExecutorReuseSoakTest, ThousandQueriesOneExecutorNothingLeaks) {
+  constexpr int kIterations = 1000;
+  const uint64_t seed = TestSeed();
+
+  const SoakOutcome first = RunSchedule(seed, kIterations);
+  ASSERT_EQ(first.codes.size(), static_cast<size_t>(kIterations));
+  // The schedule genuinely exercised both outcomes.
+  EXPECT_GT(first.ok_runs, 0);
+  EXPECT_GT(first.trips, 0);
+
+  // Replay: same seed, fresh executor. The deterministic subset must
+  // reproduce exactly — statuses and guard-checkpoint totals.
+  const SoakOutcome second = RunSchedule(seed, kIterations);
+  EXPECT_EQ(first.codes, second.codes);
+  EXPECT_EQ(first.deterministic_checkpoints,
+            second.deterministic_checkpoints);
+  EXPECT_GT(first.deterministic_checkpoints, 0u);
+}
+
+TEST_F(ExecutorReuseSoakTest, SpillTripThenCleanQueryStaysIndependent) {
+  Executor executor(1);
+  // Query 1: memory trip without spill -> kResourceExhausted, trip state
+  // recorded during the run.
+  RunOptions tripped;
+  tripped.memory_budget_bytes = 1;
+  Result<QueryResult> trip = db_.RunWith(kNestedQuery, tripped, &executor);
+  ASSERT_FALSE(trip.ok());
+  EXPECT_EQ(trip.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_FALSE(executor.guard()->last_trip_was_memory())
+      << "trip state must be cleared when the run ends";
+
+  // Query 2 on the same executor: unbudgeted, must be untouched.
+  Result<QueryResult> clean =
+      db_.RunWith(kNestedQuery, RunOptions(), &executor);
+  ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+
+  // And its rows match a fresh executor's.
+  Result<QueryResult> reference = db_.Run(kNestedQuery, RunOptions());
+  ASSERT_TRUE(reference.ok());
+  ASSERT_EQ(clean->rows.size(), reference->rows.size());
+  for (size_t i = 0; i < clean->rows.size(); ++i) {
+    EXPECT_TRUE(clean->rows[i] == reference->rows[i]) << "row " << i;
+  }
+}
+
+}  // namespace
+}  // namespace tmdb

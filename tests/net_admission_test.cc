@@ -1,0 +1,158 @@
+// Admission controller tests: grant slicing, bounded-queue rejection,
+// deadline rejection, release/wake ordering, and shutdown draining.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/admission.h"
+#include "net/wire.h"
+
+namespace tmdb {
+namespace {
+
+TEST(AdmissionTest, GrantsEqualSlicesOfTheGlobalBudgets) {
+  AdmissionConfig config;
+  config.total_memory_bytes = 64ull << 20;
+  config.total_threads = 8;
+  config.max_concurrent = 4;
+  AdmissionController controller(config);
+
+  Result<AdmissionGrant> grant = controller.Admit(0);
+  ASSERT_TRUE(grant.ok());
+  EXPECT_EQ(grant->memory_bytes, (64ull << 20) / 4);
+  EXPECT_EQ(grant->threads, 2);
+  EXPECT_EQ(grant->active, 1);
+  EXPECT_EQ(controller.active(), 1);
+  controller.Release();
+  EXPECT_EQ(controller.active(), 0);
+}
+
+TEST(AdmissionTest, ZeroMemoryBudgetMeansUnlimitedGrants) {
+  AdmissionConfig config;
+  config.total_memory_bytes = 0;
+  config.total_threads = 1;
+  config.max_concurrent = 4;
+  AdmissionController controller(config);
+  Result<AdmissionGrant> grant = controller.Admit(0);
+  ASSERT_TRUE(grant.ok());
+  EXPECT_EQ(grant->memory_bytes, 0u);
+  EXPECT_EQ(grant->threads, 1);  // never below 1
+  controller.Release();
+}
+
+TEST(AdmissionTest, RejectsImmediatelyWhenQueueIsFull) {
+  AdmissionConfig config;
+  config.max_concurrent = 1;
+  config.max_queue_depth = 0;  // no waiting at all
+  AdmissionController controller(config);
+
+  ASSERT_TRUE(controller.Admit(0).ok());
+  Result<AdmissionGrant> second = controller.Admit(1000);
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(second.status().message().find(kRejectedMessagePrefix),
+            std::string::npos);
+  EXPECT_EQ(controller.rejected_queue_full(), 1u);
+  controller.Release();
+}
+
+TEST(AdmissionTest, QueuedRequestTimesOutWithTypedRejection) {
+  AdmissionConfig config;
+  config.max_concurrent = 1;
+  config.max_queue_depth = 4;
+  AdmissionController controller(config);
+
+  ASSERT_TRUE(controller.Admit(0).ok());
+  Result<AdmissionGrant> waited = controller.Admit(20);
+  ASSERT_FALSE(waited.ok());
+  EXPECT_EQ(waited.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(waited.status().message().find(kRejectedMessagePrefix),
+            std::string::npos);
+  EXPECT_EQ(controller.rejected_timeout(), 1u);
+  controller.Release();
+}
+
+TEST(AdmissionTest, ReleaseWakesAQueuedWaiter) {
+  AdmissionConfig config;
+  config.max_concurrent = 1;
+  config.max_queue_depth = 4;
+  AdmissionController controller(config);
+
+  ASSERT_TRUE(controller.Admit(0).ok());
+  std::atomic<bool> admitted{false};
+  std::thread waiter([&] {
+    Result<AdmissionGrant> grant = controller.Admit(10000);
+    admitted.store(grant.ok());
+    if (grant.ok()) controller.Release();
+  });
+  // Give the waiter time to queue, then free the slot.
+  while (controller.queued() == 0) std::this_thread::yield();
+  controller.Release();
+  waiter.join();
+  EXPECT_TRUE(admitted.load());
+  EXPECT_EQ(controller.admitted_total(), 2u);
+  EXPECT_EQ(controller.active(), 0);
+}
+
+TEST(AdmissionTest, ShutdownDrainsQueuedWaitersWithCancelled) {
+  AdmissionConfig config;
+  config.max_concurrent = 1;
+  config.max_queue_depth = 8;
+  AdmissionController controller(config);
+
+  ASSERT_TRUE(controller.Admit(0).ok());
+  std::vector<std::thread> waiters;
+  std::atomic<int> cancelled{0};
+  for (int i = 0; i < 4; ++i) {
+    waiters.emplace_back([&] {
+      Result<AdmissionGrant> grant = controller.Admit(10000);
+      if (!grant.ok() && grant.status().code() == StatusCode::kCancelled) {
+        cancelled.fetch_add(1);
+      }
+    });
+  }
+  while (controller.queued() < 4) std::this_thread::yield();
+  controller.Shutdown();
+  for (std::thread& t : waiters) t.join();
+  EXPECT_EQ(cancelled.load(), 4);
+  // After shutdown every Admit fails fast.
+  EXPECT_EQ(controller.Admit(0).status().code(), StatusCode::kCancelled);
+}
+
+TEST(AdmissionTest, ConcurrencyNeverExceedsTheCap) {
+  AdmissionConfig config;
+  config.max_concurrent = 3;
+  config.max_queue_depth = 64;
+  AdmissionController controller(config);
+
+  std::atomic<int> running{0};
+  std::atomic<int> peak{0};
+  std::atomic<int> served{0};
+  std::vector<std::thread> workers;
+  for (int i = 0; i < 16; ++i) {
+    workers.emplace_back([&] {
+      Result<AdmissionGrant> grant = controller.Admit(10000);
+      if (!grant.ok()) return;
+      const int now = running.fetch_add(1) + 1;
+      int seen = peak.load();
+      while (now > seen && !peak.compare_exchange_weak(seen, now)) {
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      running.fetch_sub(1);
+      served.fetch_add(1);
+      controller.Release();
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  EXPECT_EQ(served.load(), 16);
+  EXPECT_LE(peak.load(), 3);
+  EXPECT_EQ(controller.active(), 0);
+  EXPECT_EQ(controller.queued(), 0);
+}
+
+}  // namespace
+}  // namespace tmdb

@@ -171,5 +171,24 @@ TEST_F(GuardReservationTest, SuspensionOnNullGuardIsANoOp) {
   MemoryCheckSuspension suspend(nullptr);  // must not crash
 }
 
+TEST_F(GuardReservationTest, ClearTripStateDropsResidualsBetweenRuns) {
+  // A reused executor's guard must not carry query N's trip record or a
+  // late cancel into query N+1. Trip the memory budget, then clear.
+  GuardReservation res;
+  res.Reset(&guard_);
+  Status over = res.Add(2u << 20);
+  ASSERT_EQ(over.code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(guard_.last_trip_was_memory());
+  res.Release();
+
+  guard_.Cancel();  // a cancel that raced the end of the run
+  guard_.ClearTripState();
+  EXPECT_FALSE(guard_.last_trip_was_memory());
+
+  // Without rearming, the cleared guard checkpoints clean: no stale
+  // cancellation, no stale memory-trip record.
+  TMDB_EXPECT_OK(guard_.Check());
+}
+
 }  // namespace
 }  // namespace tmdb
