@@ -1,11 +1,13 @@
 // Spill-path cost: the Table-1 nest-join (COUNT-bug shaped) query executed
-// in memory versus under a memory budget small enough to force two levels
-// of Grace partitioning to disk.
+// in memory versus under a memory budget small enough to force the
+// memory-bounded degrade paths to disk — Grace partitioning for the hash
+// join, run-generation + merge for the sort-merge join's external sort,
+// and partitioned ν* regrouping for the Ganski–Wong outerjoin strategy.
 //
-// Shape expected: the spilled run pays codec + checksum + I/O per build and
-// probe row, bounded by a small multiple of the in-memory time for a
-// dataset this size (the spill files live in tmpfs-or-page-cache here, so
-// this measures the software overhead, not disk latency).
+// Shape expected: each spilled run pays codec + checksum + I/O per build
+// and probe row, bounded by a small multiple of its in-memory counterpart
+// for a dataset this size (the spill files live in tmpfs-or-page-cache
+// here, so this measures the software overhead, not disk latency).
 
 #include <cstdio>
 #include <filesystem>
@@ -41,16 +43,34 @@ Database* SpillDb() {
   });
 }
 
-RunOptions SpillOptions(uint64_t budget, const std::string& dir) {
+RunOptions SpillOptions(uint64_t budget, const std::string& dir,
+                        Strategy strategy = Strategy::kNestJoin,
+                        JoinImpl impl = JoinImpl::kHash) {
   RunOptions options;
-  options.strategy = Strategy::kNestJoin;
-  options.join_impl = JoinImpl::kHash;
+  options.strategy = strategy;
+  options.join_impl = impl;
   options.memory_budget_bytes = budget;
   options.enable_spill = budget > 0;
   options.spill_dir = dir;
   options.spill_block_bytes = 64 << 10;
   return options;
 }
+
+/// Scratch directory for one benchmark's spill files; removed on
+/// destruction so repetitions never see a predecessor's artefacts.
+struct ScratchDir {
+  explicit ScratchDir(const char* name)
+      : path(std::filesystem::temp_directory_path() / name) {
+    std::error_code ec;
+    std::filesystem::remove_all(path, ec);
+    std::filesystem::create_directories(path, ec);
+  }
+  ~ScratchDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path, ec);
+  }
+  std::filesystem::path path;
+};
 
 void BM_NestJoinHashInMemory(benchmark::State& state) {
   Database* db = SpillDb();
@@ -100,6 +120,112 @@ void BM_NestJoinHashSpill(benchmark::State& state) {
 BENCHMARK(BM_NestJoinHashSpill)
     ->Arg(192)   // tight: three partitioning levels on this dataset
     ->Arg(512)   // roomier: two levels
+    ->Unit(benchmark::kMillisecond);
+
+// --- external sort: the sort-merge nest join under budget -------------
+
+void BM_NestJoinMergeInMemory(benchmark::State& state) {
+  Database* db = SpillDb();
+  RunOptions options =
+      SpillOptions(0, "", Strategy::kNestJoin, JoinImpl::kMerge);
+  size_t rows = 0;
+  for (auto _ : state) {
+    QueryResult result = CheckOk(db->Run(kQuery, options), kQuery);
+    rows = result.rows.size();
+    benchmark::DoNotOptimize(result.rows);
+  }
+  state.counters["rows"] = static_cast<double>(rows);
+}
+BENCHMARK(BM_NestJoinMergeInMemory)->Unit(benchmark::kMillisecond);
+
+void BM_NestJoinMergeSortSpill(benchmark::State& state) {
+  Database* db = SpillDb();
+  ScratchDir scratch("tmdb_bench_sortspill");
+  const uint64_t budget = static_cast<uint64_t>(state.range(0)) << 10;
+  RunOptions options = SpillOptions(budget, scratch.path.string(),
+                                    Strategy::kNestJoin, JoinImpl::kMerge);
+  size_t rows = 0;
+  uint64_t sort_runs = 0;
+  uint64_t spilled_bytes = 0;
+  for (auto _ : state) {
+    QueryResult result = CheckOk(db->Run(kQuery, options), kQuery);
+    rows = result.rows.size();
+    sort_runs = result.stats.spill_sort_runs;
+    spilled_bytes = result.stats.spill_bytes_written;
+    benchmark::DoNotOptimize(result.rows);
+  }
+  if (sort_runs == 0) {
+    std::fprintf(stderr, "bench_spill: budget %llu never external-sorted\n",
+                 static_cast<unsigned long long>(budget));
+    std::abort();
+  }
+  state.counters["rows"] = static_cast<double>(rows);
+  state.counters["sort_runs"] = static_cast<double>(sort_runs);
+  state.counters["spill_MB"] =
+      static_cast<double>(spilled_bytes) / (1024.0 * 1024.0);
+}
+BENCHMARK(BM_NestJoinMergeSortSpill)
+    ->Arg(256)   // many small sorted runs per input
+    ->Arg(512)   // fewer, larger runs
+    ->Unit(benchmark::kMillisecond);
+
+// --- grouped materialisation: the outerjoin strategy's nu* under budget --
+
+// Extra-sparse key domain (see tests/spill_exec_test.cc): the outerjoin's
+// flat output is resident state no amount of spilling can shed, so the
+// domain keeps it small while the grouping state still dwarfs the budget.
+Database* GroupSpillDb() {
+  return GlobalDbCache().Get("spill_countbug_sparse", [](Database* db) {
+    CountBugConfig config;
+    config.num_r = 100;
+    config.num_s = 24000;
+    config.match_fraction = 0.5;
+    config.domain_scale = 256;
+    return LoadCountBugTables(db, config);
+  });
+}
+
+void BM_OuterJoinNuStarInMemory(benchmark::State& state) {
+  Database* db = GroupSpillDb();
+  RunOptions options = SpillOptions(0, "", Strategy::kOuterJoin);
+  size_t rows = 0;
+  for (auto _ : state) {
+    QueryResult result = CheckOk(db->Run(kQuery, options), kQuery);
+    rows = result.rows.size();
+    benchmark::DoNotOptimize(result.rows);
+  }
+  state.counters["rows"] = static_cast<double>(rows);
+}
+BENCHMARK(BM_OuterJoinNuStarInMemory)->Unit(benchmark::kMillisecond);
+
+void BM_OuterJoinNuStarGroupSpill(benchmark::State& state) {
+  Database* db = GroupSpillDb();
+  ScratchDir scratch("tmdb_bench_groupspill");
+  const uint64_t budget = static_cast<uint64_t>(state.range(0)) << 10;
+  RunOptions options =
+      SpillOptions(budget, scratch.path.string(), Strategy::kOuterJoin);
+  size_t rows = 0;
+  uint64_t partitions = 0;
+  uint64_t spilled_bytes = 0;
+  for (auto _ : state) {
+    QueryResult result = CheckOk(db->Run(kQuery, options), kQuery);
+    rows = result.rows.size();
+    partitions = result.stats.spill_partitions;
+    spilled_bytes = result.stats.spill_bytes_written;
+    benchmark::DoNotOptimize(result.rows);
+  }
+  if (partitions == 0) {
+    std::fprintf(stderr, "bench_spill: budget %llu never group-spilled\n",
+                 static_cast<unsigned long long>(budget));
+    std::abort();
+  }
+  state.counters["rows"] = static_cast<double>(rows);
+  state.counters["spill_MB"] =
+      static_cast<double>(spilled_bytes) / (1024.0 * 1024.0);
+}
+BENCHMARK(BM_OuterJoinNuStarGroupSpill)
+    ->Arg(256)   // the budget tests/spill_exec_test.cc proves exact
+    ->Arg(512)
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

@@ -13,6 +13,17 @@ cmake -B build -S .
 cmake --build build -j
 (cd build && ctest --output-on-failure -j)
 
+# Low-memory-budget sweep: the differential matrix (strategy x spill x
+# threads x join impl, all cells asserted row-identical to naive serial)
+# re-run at budgets from "barely above the hash join's skew bound" to
+# "spills only the big build sides". Each setting moves the trip points —
+# which operator spills first, how deep partitions recurse, whether the
+# external sort needs one merge pass or several — so one green sweep
+# covers many more degrade paths than the single baked-in budget.
+for budget in 131072 262144 524288; do
+  TMDB_DIFF_BUDGET_BYTES=$budget ./build/tests/differential_exec_test
+done
+
 # TSan pass over the parallel + fault-injection + spill paths. The spill
 # suites bake in tiny (tens-of-KiB) memory budgets, so every run here
 # partitions to disk — races between morsel workers and the spill
@@ -22,13 +33,14 @@ cmake --build build -j
 cmake -B build-tsan -S . -DTMDB_SANITIZE=thread
 cmake --build build-tsan -j --target parallel_exec_test fault_injection_test \
   spill_codec_test spill_exec_test subplan_cache_test columnar_exec_test \
-  net_service_test executor_reuse_soak_test
+  differential_exec_test net_service_test executor_reuse_soak_test
 ./build-tsan/tests/parallel_exec_test
 ./build-tsan/tests/fault_injection_test
 ./build-tsan/tests/spill_codec_test
 ./build-tsan/tests/spill_exec_test
 ./build-tsan/tests/subplan_cache_test
 ./build-tsan/tests/columnar_exec_test
+./build-tsan/tests/differential_exec_test
 # Net suites bind port 0 (ephemeral), so parallel CI jobs never collide;
 # on failure they print the TMDB_NET_SEED that reproduces the schedule.
 ./build-tsan/tests/net_service_test
@@ -39,13 +51,14 @@ cmake --build build-tsan -j --target parallel_exec_test fault_injection_test \
 cmake -B build-asan -S . -DTMDB_SANITIZE=address
 cmake --build build-asan -j --target parallel_exec_test fault_injection_test \
   spill_codec_test spill_exec_test subplan_cache_test columnar_exec_test \
-  net_service_test executor_reuse_soak_test
+  differential_exec_test net_service_test executor_reuse_soak_test
 ./build-asan/tests/parallel_exec_test
 ./build-asan/tests/fault_injection_test
 ./build-asan/tests/spill_codec_test
 ./build-asan/tests/spill_exec_test
 ./build-asan/tests/subplan_cache_test
 ./build-asan/tests/columnar_exec_test
+./build-asan/tests/differential_exec_test
 ./build-asan/tests/net_service_test
 ./build-asan/tests/executor_reuse_soak_test
 

@@ -22,13 +22,16 @@ struct ExecStats {
   uint64_t subplan_evals = 0;    // subplan executions (cache hits excluded)
   uint64_t hash_probes = 0;      // hash table lookups in hash joins
   uint64_t rows_built = 0;       // rows materialised into build tables
-  uint64_t spill_partitions = 0;    // partition files written by spilling joins
+  uint64_t spill_partitions = 0;    // partition files written by spilling ops
   uint64_t spill_bytes_written = 0; // bytes through spill writers
   uint64_t spill_bytes_read = 0;    // bytes through spill readers
   uint64_t spill_max_depth = 0;     // deepest recursive partitioning level
+  uint64_t spill_sort_runs = 0;     // sorted runs written by external sorts
   uint64_t subplan_cache_hits = 0;      // memoized subplan results served
   uint64_t subplan_cache_misses = 0;    // distinct correlation keys computed
   uint64_t subplan_cache_evictions = 0; // entries dropped under memory pressure
+  uint64_t subplan_cache_disk_evictions = 0;  // entries evicted to spill blocks
+  uint64_t subplan_cache_disk_faults = 0;     // on-disk entries faulted back in
   uint64_t guard_checkpoints = 0;       // QueryGuard::Check calls this run
 
   void Reset() { *this = ExecStats(); }

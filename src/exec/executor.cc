@@ -112,16 +112,18 @@ void Executor::set_num_threads(int num_threads) {
 }
 
 Result<std::vector<Value>> Executor::RunPhysical(PhysicalOp* root) {
-  // Cache before guard: clearing the memo refunds its balance to the guard
-  // in its *old* state; Reset below then re-baselines cleanly.
-  cache_.Reset(subplan_cache_bytes_ > 0 ? &guard_ : nullptr,
-               subplan_cache_bytes_);
-  guard_.Reset(limits_, &stats_, fault_injector_);
+  // Spill manager first: the cache overflows evicted results to disk
+  // through it, so it must exist when the cache rearms.
   spill_.reset();
   if (spill_enabled_) {
     spill_ = std::make_unique<SpillManager>(spill_dir_, spill_block_bytes_,
                                             fault_injector_);
   }
+  // Cache before guard: clearing the memo refunds its balance to the guard
+  // in its *old* state; Reset below then re-baselines cleanly.
+  cache_.Reset(subplan_cache_bytes_ > 0 ? &guard_ : nullptr,
+               subplan_cache_bytes_, spill_.get());
+  guard_.Reset(limits_, &stats_, fault_injector_);
   runner_ = std::make_unique<SubplanRunner>(
       subplan_cache_bytes_ > 0 ? &cache_ : nullptr, &guard_, spill_.get(),
       &stats_);
@@ -142,6 +144,8 @@ Result<std::vector<Value>> Executor::RunPhysical(PhysicalOp* root) {
   stats_.subplan_cache_hits += cache_.hits();
   stats_.subplan_cache_misses += cache_.misses();
   stats_.subplan_cache_evictions += cache_.evictions();
+  stats_.subplan_cache_disk_evictions += cache_.disk_evictions();
+  stats_.subplan_cache_disk_faults += cache_.disk_faults();
   stats_.guard_checkpoints += guard_.checkpoints();
   // Reused executors must not carry trip state between queries: a stale
   // memory-trip record would make the next query's first budget failure

@@ -11,56 +11,16 @@
 
 #include "base/string_util.h"
 #include "exec/hash_join.h"
+#include "exec/spill_util.h"
+#include "spill/partition.h"
 #include "spill/spill_file.h"
 #include "spill/spill_manager.h"
 #include "spill/value_codec.h"
 
 namespace tmdb {
 
-namespace {
-
-// Partition fan-out per level and the recursion bound. Fanout^depth
-// partitions suffice for any skew a rehash can resolve; a partition that
-// still overflows at the bound (single giant key) fails with
-// kResourceExhausted — bounded degradation, not an unbounded disk walk.
-constexpr size_t kSpillFanout = 8;
-constexpr int kMaxSpillDepth = 6;
-
-// SplitMix64 finaliser. Decorrelates the partition choice across recursion
-// levels so a partition does not map onto itself one level down.
-uint64_t Mix64(uint64_t x) {
-  x += 0x9e3779b97f4a7c15ull;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
-  return x ^ (x >> 31);
-}
-
-size_t SpillPartitionOf(uint64_t key_hash, int level) {
-  return static_cast<size_t>(
-      Mix64(key_hash + 0x9e3779b97f4a7c15ull *
-                           static_cast<uint64_t>(level + 1)) %
-      kSpillFanout);
-}
-
-inline Status PeriodicGuardCheck(const ExecContext* ctx, size_t i) {
-  if ((i & (kExecBatchSize - 1)) == 0) return CheckGuard(ctx);
-  return Status::OK();
-}
-
-FaultInjector* InjectorOf(const ExecContext* ctx) {
-  return ctx->guard == nullptr ? nullptr : ctx->guard->injector();
-}
-
-}  // namespace
-
 bool HashJoinOp::SpillEligible(const ExecContext* ctx, const Status& s) const {
-  // Only a *memory* trip is relieved by disk; max_rows also surfaces as
-  // kResourceExhausted but bounds work, not residency. The guard records
-  // the trip kind at trip time — a live memory_over_budget() reading would
-  // already be stale here, since unwinding to this point frees scratch.
-  return s.code() == StatusCode::kResourceExhausted && ctx != nullptr &&
-         ctx->spill != nullptr && ctx->guard != nullptr &&
-         ctx->guard->last_trip_was_memory();
+  return SpillEligibleTrip(ctx, s);
 }
 
 Status HashJoinOp::SpillBuildAndProbe(ExecContext* ctx,
@@ -69,7 +29,7 @@ Status HashJoinOp::SpillBuildAndProbe(ExecContext* ctx,
   spilled_ = true;
   materialized_ = true;
   SpillManager* mgr = ctx->spill;
-  FaultInjector* inj = InjectorOf(ctx);
+  FaultInjector* inj = SpillInjectorOf(ctx);
 
   // Everything the reservation covered either moves to disk below or is
   // freed as it goes — refund it all so the guard's accounting tracks what
@@ -106,7 +66,7 @@ Status HashJoinOp::SpillBuildAndProbe(ExecContext* ctx,
       return Status::OK();
     };
     for (size_t i = 0; i < build_rows.size(); ++i) {
-      TMDB_RETURN_IF_ERROR(PeriodicGuardCheck(ctx, i));
+      TMDB_RETURN_IF_ERROR(PeriodicSpillGuardCheck(ctx, i));
       Value row = std::move(build_rows[i]);
       build_rows[i] = Value();  // free the rep promptly; memory falls as we go
       TMDB_RETURN_IF_ERROR(spill_build_row(std::move(row)));
@@ -197,7 +157,7 @@ Status HashJoinOp::ProcessSpillPartition(
     ExecContext* ctx, const SpillPart& part, int depth,
     std::vector<std::pair<uint64_t, Value>>* out) {
   SpillManager* mgr = ctx->spill;
-  FaultInjector* inj = InjectorOf(ctx);
+  FaultInjector* inj = SpillInjectorOf(ctx);
   const size_t out_base = out->size();
   ctx->stats->spill_max_depth =
       std::max<uint64_t>(ctx->stats->spill_max_depth,
@@ -221,7 +181,7 @@ Status HashJoinOp::ProcessSpillPartition(
       if (build_reader.TookBlockBoundary()) {
         TMDB_RETURN_IF_ERROR(CheckGuard(ctx));
       }
-      TMDB_RETURN_IF_ERROR(PeriodicGuardCheck(ctx, i++));
+      TMDB_RETURN_IF_ERROR(PeriodicSpillGuardCheck(ctx, i++));
       size_t pos = 0;
       Value key;
       Value row;
@@ -266,7 +226,7 @@ Status HashJoinOp::ProcessSpillPartition(
       if (probe_reader.TookBlockBoundary()) {
         TMDB_RETURN_IF_ERROR(CheckGuard(ctx));
       }
-      TMDB_RETURN_IF_ERROR(PeriodicGuardCheck(ctx, i++));
+      TMDB_RETURN_IF_ERROR(PeriodicSpillGuardCheck(ctx, i++));
       size_t pos = 0;
       uint64_t tag = 0;
       Value key;
@@ -326,7 +286,7 @@ Status HashJoinOp::RepartitionAndRecurse(
     ExecContext* ctx, const SpillPart& part, int depth,
     std::vector<std::pair<uint64_t, Value>>* out) {
   SpillManager* mgr = ctx->spill;
-  FaultInjector* inj = InjectorOf(ctx);
+  FaultInjector* inj = SpillInjectorOf(ctx);
   std::vector<SpillPart> subparts(kSpillFanout);
   {
     MemoryCheckSuspension suspend(ctx->guard);
@@ -354,7 +314,7 @@ Status HashJoinOp::RepartitionAndRecurse(
           TMDB_RETURN_IF_ERROR(reader.Next(&rec, &eof));
           if (eof) break;
           if (reader.TookBlockBoundary()) TMDB_RETURN_IF_ERROR(CheckGuard(ctx));
-          TMDB_RETURN_IF_ERROR(PeriodicGuardCheck(ctx, i++));
+          TMDB_RETURN_IF_ERROR(PeriodicSpillGuardCheck(ctx, i++));
           // Route on the key alone; the record's bytes move verbatim, so a
           // row is never re-encoded on its way down the recursion.
           size_t pos = 0;

@@ -4,71 +4,306 @@
 #include <utility>
 
 #include "base/string_util.h"
+#include "exec/spill_util.h"
+#include "spill/value_codec.h"
 #include "values/value_ops.h"
 
 namespace tmdb {
 
+namespace {
+
+/// Floor on external-sort run size. When residency elsewhere in the plan
+/// keeps the live memory check tripping, chunks still grow to this many
+/// bytes (charged with the memory comparison suspended) before flushing, so
+/// a sort can never degenerate into a run per record.
+constexpr size_t kMinSortRunBytes = 64u << 10;
+
+}  // namespace
+
+void MergeJoinOp::SortedSide::Reset(QueryGuard* guard) {
+  raw.clear();
+  raw.shrink_to_fit();
+  rows.clear();
+  rows.shrink_to_fit();
+  pos = 0;
+  external = false;
+  drained = false;
+  salvageable = false;
+  if (merger != nullptr) {
+    merger->Close();  // removes any remaining run files
+    merger.reset();
+  }
+  if (sorter != nullptr) {
+    sorter->AbandonRuns();
+    sorter.reset();
+  }
+  res.Reset(guard);
+}
+
 Status MergeJoinOp::MaterialiseSorted(PhysicalOp* source,
                                       const std::vector<Expr>& keys,
                                       const std::string& var,
-                                      std::vector<Keyed>* out) {
+                                      SortedSide* side) {
   TMDB_RETURN_IF_ERROR(source->Open(ctx_));
+  // From here on a memory trip leaves `raw` intact and the source usable,
+  // so the spill path can take over. Failures *from the source itself*
+  // clear the flag below: they are the child's problem, and our spilling
+  // would not relieve it.
+  side->salvageable = true;
+
+  std::vector<Value> batch;
+  size_t charged_slots = 0;
   while (true) {
-    if ((out->size() & (kExecBatchSize - 1)) == 0) {
-      TMDB_RETURN_IF_ERROR(build_res_.Add(kExecBatchSize * sizeof(Keyed)));
+    // Charge the next batch's slots *before* fetching it, so a blown budget
+    // trips with every drained row still in `raw` (salvageable).
+    if (side->raw.size() + kExecBatchSize > charged_slots) {
+      TMDB_RETURN_IF_ERROR(side->res.Add(kExecBatchSize * sizeof(Value)));
+      charged_slots += kExecBatchSize;
     }
-    TMDB_ASSIGN_OR_RETURN(std::optional<Value> row, source->Next());
-    if (!row.has_value()) break;
-    TMDB_ASSIGN_OR_RETURN(Value key, EvalCompositeKey(keys, var, *row, ctx_));
-    out->emplace_back(std::move(key), std::move(*row));
-    ctx_->stats->rows_built++;
+    TMDB_RETURN_IF_ERROR(CheckGuard(ctx_));
+    batch.clear();
+    Result<size_t> got = source->NextBatch(&batch, kExecBatchSize);
+    if (!got.ok()) {
+      side->salvageable = false;
+      return got.status();
+    }
+    if (*got == 0) break;
+    ctx_->stats->rows_built += *got;
+    for (Value& row : batch) side->raw.push_back(std::move(row));
+  }
+  side->res.Shrink((charged_slots - side->raw.size()) * sizeof(Value));
+  side->drained = true;
+  source->Close();
+
+  // Key pass: rows in `raw` are copied, never disturbed, so a trip while a
+  // key subplan runs still salvages every row (the spill path recomputes
+  // keys; subplan re-evaluations hit the cache).
+  side->rows.reserve(side->raw.size());
+  for (size_t i = 0; i < side->raw.size(); ++i) {
+    if ((i & (kExecBatchSize - 1)) == 0) {
+      TMDB_RETURN_IF_ERROR(CheckGuard(ctx_));
+      TMDB_RETURN_IF_ERROR(side->res.Add(kExecBatchSize * sizeof(Keyed)));
+    }
+    TMDB_ASSIGN_OR_RETURN(Value key,
+                          EvalCompositeKey(keys, var, side->raw[i], ctx_));
+    side->rows.emplace_back(std::move(key), side->raw[i]);
+  }
+  std::stable_sort(side->rows.begin(), side->rows.end(),
+                   [](const Keyed& a, const Keyed& b) {
+                     return a.first.Compare(b.first) < 0;
+                   });
+  side->res.Shrink(side->raw.size() * sizeof(Value));
+  side->raw.clear();
+  side->raw.shrink_to_fit();
+  return Status::OK();
+}
+
+Status MergeJoinOp::ExternalSortSide(PhysicalOp* source,
+                                     const std::vector<Expr>& keys,
+                                     const std::string& var, SortedSide* side,
+                                     const char* label) {
+  side->external = true;
+
+  // Free the in-memory attempt wholesale: rows live on in `salvaged`
+  // (re-charged below as they are encoded), partial key pairs are dropped.
+  std::vector<Value> salvaged = std::move(side->raw);
+  side->raw.clear();
+  side->rows.clear();
+  side->rows.shrink_to_fit();
+  side->res.Release();
+
+  side->sorter = std::make_unique<ExternalSorter>(
+      ctx_->spill, label, [this] { return CheckGuard(ctx_); },
+      SortStatsSink{&ctx_->stats->spill_sort_runs,
+                    &ctx_->stats->spill_bytes_written,
+                    &ctx_->stats->spill_bytes_read});
+
+  // The whole write-out (and the merge passes after it) runs with the
+  // memory comparison suspended: the trip that engaged this path stands
+  // until the salvaged rows are shed, and any live checkpoint — ours or
+  // the source's own — would re-trip instantly. Cancel, deadline,
+  // max_rows, and injected faults stay armed throughout.
+  MemoryCheckSuspension suspend(ctx_->guard);
+
+  std::vector<SortRecord> chunk;
+  size_t chunk_bytes = 0;
+  auto flush = [&]() -> Status {
+    TMDB_RETURN_IF_ERROR(side->sorter->SpillRun(&chunk));
+    side->res.Shrink(chunk_bytes);
+    chunk_bytes = 0;
+    return Status::OK();
+  };
+  auto add_row = [&](Value row) -> Status {
+    TMDB_ASSIGN_OR_RETURN(Value key, EvalCompositeKey(keys, var, row, ctx_));
+    SortRecord rec;
+    rec.key = std::move(key);
+    EncodeValue(row, &rec.payload);
+    row = Value();  // free the decoded copy; the encoding carries it now
+    const size_t bytes = rec.payload.size() + sizeof(SortRecord);
+    TMDB_RETURN_IF_ERROR(side->res.Add(bytes));
+    chunk_bytes += bytes;
+    chunk.push_back(std::move(rec));
+    // Chunks are sized by the *live* budget reading, not the suspended
+    // check: once the floor is reached, flush whenever memory is over
+    // budget. The floor stops residency held elsewhere in the plan from
+    // degenerating the sort into a run per record; the flush stops chunks
+    // from growing without bound while the comparison is suspended.
+    if (chunk_bytes >= kMinSortRunBytes &&
+        (ctx_->guard == nullptr || ctx_->guard->memory_over_budget())) {
+      return flush();
+    }
+    return Status::OK();
+  };
+
+  for (size_t i = 0; i < salvaged.size(); ++i) {
+    TMDB_RETURN_IF_ERROR(PeriodicSpillGuardCheck(ctx_, i));
+    Value row = std::move(salvaged[i]);
+    salvaged[i] = Value();  // free the rep promptly; memory falls as we go
+    TMDB_RETURN_IF_ERROR(add_row(std::move(row)));
+  }
+  salvaged.clear();
+  salvaged.shrink_to_fit();
+
+  if (!side->drained) {
+    std::vector<Value> batch;
+    while (true) {
+      TMDB_RETURN_IF_ERROR(CheckGuard(ctx_));
+      batch.clear();
+      TMDB_ASSIGN_OR_RETURN(size_t got,
+                            source->NextBatch(&batch, kExecBatchSize));
+      if (got == 0) break;
+      ctx_->stats->rows_built += got;
+      for (Value& row : batch) {
+        TMDB_RETURN_IF_ERROR(add_row(std::move(row)));
+      }
+    }
+    side->drained = true;
   }
   source->Close();
-  std::sort(out->begin(), out->end(), [](const Keyed& a, const Keyed& b) {
-    return a.first.Compare(b.first) < 0;
-  });
+  TMDB_RETURN_IF_ERROR(flush());
+
+  // Merge passes move records between files without growing memory; the
+  // block buffers they hold are transient and bounded.
+  TMDB_ASSIGN_OR_RETURN(side->merger, side->sorter->Merge());
   return Status::OK();
+}
+
+Status MergeJoinOp::OpenSide(PhysicalOp* source, const std::vector<Expr>& keys,
+                             const std::string& var, SortedSide* side,
+                             const char* label) {
+  Status st = MaterialiseSorted(source, keys, var, side);
+  if (st.ok()) return st;
+  if (!side->salvageable || !SpillEligibleTrip(ctx_, st)) return st;
+  return ExternalSortSide(source, keys, var, side, label);
 }
 
 Status MergeJoinOp::Open(ExecContext* ctx) {
   ctx_ = ctx;
-  left_rows_.clear();
-  right_rows_.clear();
-  left_pos_ = 0;
-  right_run_begin_ = 0;
-  right_run_end_ = 0;
+  left_side_.Reset(ctx->guard);
+  right_side_.Reset(ctx->guard);
+  left_cur_ = Keyed();
+  right_pending_ = Keyed();
+  right_pending_valid_ = false;
+  right_eof_ = false;
+  right_run_.clear();
+  right_run_key_ = Value();
+  right_run_valid_ = false;
   run_pos_ = 0;
   left_consumed_ = true;
   left_matched_ = false;
   work_ = 0;
-  build_res_.Reset(ctx->guard);
-  TMDB_RETURN_IF_ERROR(
-      MaterialiseSorted(left_.get(), left_keys_, spec_.left_var, &left_rows_));
-  return MaterialiseSorted(right_.get(), right_keys_, spec_.right_var,
-                           &right_rows_);
+  run_res_.Reset(ctx->guard);
+  TMDB_RETURN_IF_ERROR(OpenSide(left_.get(), left_keys_, spec_.left_var,
+                                &left_side_, "mj-left"));
+  return OpenSide(right_.get(), right_keys_, spec_.right_var, &right_side_,
+                  "mj-right");
 }
 
-void MergeJoinOp::SeekRightRun(const Value& key) {
-  // Equal consecutive left keys reuse the current run.
-  if (right_run_begin_ < right_run_end_ &&
-      right_rows_[right_run_begin_].first.Compare(key) == 0) {
-    run_pos_ = right_run_begin_;
-    return;
+Result<bool> MergeJoinOp::NextFromSide(SortedSide* side, Keyed* out) {
+  if (!side->external) {
+    if (side->pos >= side->rows.size()) return false;
+    *out = std::move(side->rows[side->pos]);
+    side->rows[side->pos] = Keyed();  // single pass; free the slot
+    ++side->pos;
+    return true;
   }
-  // Keys ascend on both sides, so the run pointer only moves forward.
-  size_t begin = right_run_end_;
-  while (begin < right_rows_.size() &&
-         right_rows_[begin].first.Compare(key) < 0) {
-    ++begin;
+  Value key;
+  std::string_view payload;
+  bool eof = false;
+  TMDB_RETURN_IF_ERROR(side->merger->Next(&key, &payload, &eof));
+  if (eof) return false;
+  size_t pos = 0;
+  Value row;
+  TMDB_RETURN_IF_ERROR(DecodeValue(payload, &pos, &row));
+  out->first = std::move(key);
+  out->second = std::move(row);
+  return true;
+}
+
+Status MergeJoinOp::LoadRightRun(const Value& key) {
+  // Equal consecutive left keys reuse the buffered run.
+  if (right_run_valid_ && right_run_key_.Compare(key) == 0) {
+    return Status::OK();
   }
-  size_t end = begin;
-  while (end < right_rows_.size() &&
-         right_rows_[end].first.Compare(key) == 0) {
-    ++end;
+  run_res_.Shrink(right_run_.size() * sizeof(Value));
+  right_run_.clear();
+  right_run_key_ = key;
+  right_run_valid_ = true;
+
+  // Skip right rows below the new left key; keys ascend on both sides, so
+  // the cursor only moves forward.
+  while (!right_eof_) {
+    if (!right_pending_valid_) {
+      TMDB_ASSIGN_OR_RETURN(bool have,
+                            NextFromSide(&right_side_, &right_pending_));
+      if (!have) {
+        right_eof_ = true;
+        break;
+      }
+      right_pending_valid_ = true;
+    }
+    if (right_pending_.first.Compare(key) < 0) {
+      right_pending_ = Keyed();
+      right_pending_valid_ = false;
+      if ((++work_ & (kExecBatchSize - 1)) == 0) {
+        TMDB_RETURN_IF_ERROR(CheckGuard(ctx_));
+      }
+      continue;
+    }
+    break;
   }
-  right_run_begin_ = begin;
-  right_run_end_ = end;
-  run_pos_ = begin;
+
+  // Buffer the equal-key run. The run is resident state during the merge,
+  // so its slots are charged with the memory check live: a single run that
+  // alone exceeds the budget is this operator's bottom-out.
+  while (!right_eof_) {
+    if (!right_pending_valid_) {
+      TMDB_ASSIGN_OR_RETURN(bool have,
+                            NextFromSide(&right_side_, &right_pending_));
+      if (!have) {
+        right_eof_ = true;
+        break;
+      }
+      right_pending_valid_ = true;
+    }
+    if (right_pending_.first.Compare(key) != 0) break;  // > key; stays pending
+    Status slot = run_res_.Add(sizeof(Value));
+    if (!slot.ok()) {
+      if (slot.code() == StatusCode::kResourceExhausted &&
+          ctx_->guard != nullptr && ctx_->guard->last_trip_was_memory()) {
+        return slot.WithContext(
+            "merge join: one equal-key run alone exceeds the memory budget");
+      }
+      return slot;
+    }
+    right_run_.push_back(std::move(right_pending_.second));
+    right_pending_ = Keyed();
+    right_pending_valid_ = false;
+    if ((++work_ & (kExecBatchSize - 1)) == 0) {
+      TMDB_RETURN_IF_ERROR(CheckGuard(ctx_));
+    }
+  }
+  return Status::OK();
 }
 
 Result<std::optional<Value>> MergeJoinOp::Next() {
@@ -77,23 +312,21 @@ Result<std::optional<Value>> MergeJoinOp::Next() {
       TMDB_RETURN_IF_ERROR(CheckGuard(ctx_));
     }
     if (left_consumed_) {
-      if (left_pos_ >= left_rows_.size()) return std::optional<Value>();
-      // Position the right run for the new left key. Equal consecutive left
-      // keys reuse the run (SeekRightRun is monotone and idempotent for
-      // equal keys).
-      SeekRightRun(left_rows_[left_pos_].first);
+      TMDB_ASSIGN_OR_RETURN(bool have, NextFromSide(&left_side_, &left_cur_));
+      if (!have) return std::optional<Value>();
+      TMDB_RETURN_IF_ERROR(LoadRightRun(left_cur_.first));
       left_consumed_ = false;
       left_matched_ = false;
-      run_pos_ = right_run_begin_;
+      run_pos_ = 0;
     }
 
-    const Value& left_row = left_rows_[left_pos_].second;
+    const Value& left_row = left_cur_.second;
 
     switch (spec_.mode) {
       case JoinMode::kInner:
       case JoinMode::kLeftOuter: {
-        while (run_pos_ < right_run_end_) {
-          const Value& right_row = right_rows_[run_pos_++].second;
+        while (run_pos_ < right_run_.size()) {
+          const Value& right_row = right_run_[run_pos_++];
           TMDB_ASSIGN_OR_RETURN(bool match,
                                 EvalJoinPred(spec_, left_row, right_row, ctx_));
           if (match) {
@@ -107,7 +340,6 @@ Result<std::optional<Value>> MergeJoinOp::Next() {
             spec_.mode == JoinMode::kLeftOuter && !left_matched_;
         Value padded_left = left_row;  // copy before advancing
         left_consumed_ = true;
-        ++left_pos_;
         if (emit_padded) {
           TMDB_ASSIGN_OR_RETURN(
               Value out,
@@ -121,10 +353,10 @@ Result<std::optional<Value>> MergeJoinOp::Next() {
       case JoinMode::kSemi:
       case JoinMode::kAnti: {
         bool matched = false;
-        for (size_t i = right_run_begin_; i < right_run_end_; ++i) {
+        for (size_t i = 0; i < right_run_.size(); ++i) {
           TMDB_ASSIGN_OR_RETURN(
               bool match,
-              EvalJoinPred(spec_, left_row, right_rows_[i].second, ctx_));
+              EvalJoinPred(spec_, left_row, right_run_[i], ctx_));
           if (match) {
             matched = true;
             break;
@@ -132,7 +364,6 @@ Result<std::optional<Value>> MergeJoinOp::Next() {
         }
         Value out = left_row;
         left_consumed_ = true;
-        ++left_pos_;
         if (matched == (spec_.mode == JoinMode::kSemi)) {
           ctx_->stats->rows_emitted++;
           return std::optional<Value>(std::move(out));
@@ -142,14 +373,13 @@ Result<std::optional<Value>> MergeJoinOp::Next() {
 
       case JoinMode::kNestJoin: {
         std::vector<Value> group;
-        for (size_t i = right_run_begin_; i < right_run_end_; ++i) {
+        for (size_t i = 0; i < right_run_.size(); ++i) {
           TMDB_ASSIGN_OR_RETURN(
               bool match,
-              EvalJoinPred(spec_, left_row, right_rows_[i].second, ctx_));
+              EvalJoinPred(spec_, left_row, right_run_[i], ctx_));
           if (match) {
             TMDB_ASSIGN_OR_RETURN(
-                Value g,
-                EvalJoinFunc(spec_, left_row, right_rows_[i].second, ctx_));
+                Value g, EvalJoinFunc(spec_, left_row, right_run_[i], ctx_));
             group.push_back(std::move(g));
           }
         }
@@ -157,7 +387,6 @@ Result<std::optional<Value>> MergeJoinOp::Next() {
                               ExtendTuple(left_row, spec_.label,
                                           Value::Set(std::move(group))));
         left_consumed_ = true;
-        ++left_pos_;
         ctx_->stats->rows_emitted++;
         return std::optional<Value>(std::move(out));
       }
@@ -166,10 +395,16 @@ Result<std::optional<Value>> MergeJoinOp::Next() {
 }
 
 void MergeJoinOp::Close() {
-  left_rows_.clear();
-  right_rows_.clear();
-  build_res_.Release();
-  // Usually closed inside MaterialiseSorted; matters on mid-drain unwind.
+  left_side_.Reset(nullptr);
+  right_side_.Reset(nullptr);
+  left_cur_ = Keyed();
+  right_pending_ = Keyed();
+  right_pending_valid_ = false;
+  right_run_.clear();
+  right_run_key_ = Value();
+  right_run_valid_ = false;
+  run_res_.Release();
+  // Usually closed inside the materialise phase; matters on mid-drain unwind.
   left_->Close();
   right_->Close();
 }

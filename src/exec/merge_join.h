@@ -1,6 +1,7 @@
 #ifndef TMDB_EXEC_MERGE_JOIN_H_
 #define TMDB_EXEC_MERGE_JOIN_H_
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <utility>
@@ -9,6 +10,7 @@
 #include "exec/join_common.h"
 #include "exec/physical_op.h"
 #include "exec/query_guard.h"
+#include "spill/external_sort.h"
 
 namespace tmdb {
 
@@ -22,6 +24,18 @@ namespace tmdb {
 /// left row's complete match run consecutively, the grouped output tuple can
 /// be emitted as soon as the run ends, and dangling left rows (no matching
 /// run) emit with the empty set.
+///
+/// Memory-bounded execution: each side degrades independently. When the
+/// materialise/sort at Open trips the memory budget and the trip is
+/// spill-eligible (see SpillEligibleTrip), the rows salvaged so far plus the
+/// rest of that input go through an ExternalSorter — stable-sorted runs on
+/// disk, k-way merged back in key order during the join. The in-memory sort
+/// is std::stable_sort and the external merge breaks key ties by run order,
+/// so both paths yield the same equal-key ordering and the join output is
+/// bit-identical either way. During the merge only the current right-key
+/// run is resident (charged live through a GuardReservation); a single run
+/// that alone exceeds the budget bottoms out with kResourceExhausted, the
+/// same boundary the hash join's skewed-partition recursion has.
 class MergeJoinOp final : public PhysicalOp {
  public:
   MergeJoinOp(PhysicalOpPtr left, PhysicalOpPtr right, JoinSpec spec,
@@ -43,14 +57,48 @@ class MergeJoinOp final : public PhysicalOp {
  private:
   using Keyed = std::pair<Value, Value>;  // (composite key, row)
 
-  /// Loads `source` into `out` with keys computed by `keys` over `var`,
-  /// sorted ascending by key.
-  Status MaterialiseSorted(PhysicalOp* source, const std::vector<Expr>& keys,
-                           const std::string& var, std::vector<Keyed>* out);
+  /// One sorted input: fully in memory, or — after an eligible memory trip
+  /// — sorted runs on disk behind a SortedRunMerger. NextFromSide yields
+  /// rows in ascending key order either way.
+  struct SortedSide {
+    std::vector<Value> raw;    // drained rows in input order (spill salvage)
+    std::vector<Keyed> rows;   // stable-sorted pairs (in-memory path)
+    size_t pos = 0;
+    bool external = false;
+    bool drained = false;      // source fully consumed into raw/runs
+    bool salvageable = false;  // raw is intact and the source is still usable
+    std::unique_ptr<ExternalSorter> sorter;
+    std::unique_ptr<SortedRunMerger> merger;
+    GuardReservation res;      // charges for raw slots, pairs, spill chunks
 
-  /// Positions right_group_{begin,end}_ at the run of right keys equal to
-  /// `key` (empty run if none). Advances monotonically.
-  void SeekRightRun(const Value& key);
+    void Reset(QueryGuard* guard);
+  };
+
+  /// In-memory path: drains `source`, computes keys, stable-sorts. On a
+  /// memory trip, `side->raw` still holds every drained row and
+  /// `side->salvageable` says whether ExternalSortSide may take over.
+  Status MaterialiseSorted(PhysicalOp* source, const std::vector<Expr>& keys,
+                           const std::string& var, SortedSide* side);
+
+  /// Spill path: re-encodes the salvaged rows and the rest of `source` into
+  /// stable-sorted runs sized by the live memory budget, then opens the
+  /// k-way merger.
+  Status ExternalSortSide(PhysicalOp* source, const std::vector<Expr>& keys,
+                          const std::string& var, SortedSide* side,
+                          const char* label);
+
+  Status OpenSide(PhysicalOp* source, const std::vector<Expr>& keys,
+                  const std::string& var, SortedSide* side,
+                  const char* label);
+
+  /// Yields the side's next row in key order; false at end of input.
+  Result<bool> NextFromSide(SortedSide* side, Keyed* out);
+
+  /// Buffers the run of right rows whose key equals `key` into right_run_,
+  /// discarding smaller-keyed right rows (keys ascend on both sides, so the
+  /// right cursor only moves forward). Equal consecutive left keys reuse
+  /// the buffered run.
+  Status LoadRightRun(const Value& key);
 
   PhysicalOpPtr left_;
   PhysicalOpPtr right_;
@@ -59,16 +107,21 @@ class MergeJoinOp final : public PhysicalOp {
   std::vector<Expr> right_keys_;
   ExecContext* ctx_ = nullptr;
 
-  std::vector<Keyed> left_rows_;
-  std::vector<Keyed> right_rows_;
-  size_t left_pos_ = 0;
-  size_t right_run_begin_ = 0;
-  size_t right_run_end_ = 0;
-  size_t run_pos_ = 0;       // inner-mode cursor within the run
+  SortedSide left_side_;
+  SortedSide right_side_;
+
+  Keyed left_cur_;             // valid while !left_consumed_
+  Keyed right_pending_;        // first right row past the current run
+  bool right_pending_valid_ = false;
+  bool right_eof_ = false;
+  std::vector<Value> right_run_;  // rows of the current equal-key run
+  Value right_run_key_;
+  bool right_run_valid_ = false;
+  size_t run_pos_ = 0;         // inner-mode cursor within the run
   bool left_consumed_ = true;  // true → advance to next left row
   bool left_matched_ = false;
-  GuardReservation build_res_;  // bytes charged for the sorted inputs
-  uint64_t work_ = 0;           // rows examined, for periodic guard checks
+  GuardReservation run_res_;   // right-run buffer slots (live-checked)
+  uint64_t work_ = 0;          // rows examined, for periodic guard checks
 };
 
 }  // namespace tmdb

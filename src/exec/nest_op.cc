@@ -6,16 +6,13 @@
 
 #include "base/string_util.h"
 #include "exec/parallel_util.h"
+#include "exec/spill_util.h"
 #include "expr/eval.h"
 #include "values/value_ops.h"
 
 namespace tmdb {
 
-namespace {
-
-/// True for the values ν* discards: NULL itself, or a tuple whose
-/// attributes are all NULL (the image of an outerjoin-padded row).
-bool IsNullPadding(const Value& v) {
+bool NestOp::IsNullPadding(const Value& v) {
   if (v.is_null()) return true;
   if (!v.is_tuple()) return false;
   if (v.TupleSize() == 0) return false;
@@ -25,8 +22,6 @@ bool IsNullPadding(const Value& v) {
   return true;
 }
 
-}  // namespace
-
 Status NestOp::Open(ExecContext* ctx) {
   ctx_ = ctx;
   output_.clear();
@@ -35,21 +30,37 @@ Status NestOp::Open(ExecContext* ctx) {
 
   std::vector<Value> rows;
   TMDB_RETURN_IF_ERROR(child_->Open(ctx));
-  while (true) {
-    TMDB_ASSIGN_OR_RETURN(size_t got, child_->NextBatch(&rows, kExecBatchSize));
-    if (got == 0) break;
-    TMDB_RETURN_IF_ERROR(build_res_.Add(got * sizeof(Value)));
-  }
-  child_->Close();
-  ctx->stats->rows_built += rows.size();
-
-  if (ctx->parallel_enabled()) {
-    return OpenParallel(std::move(rows));
-  }
-  return OpenSerial(std::move(rows));
+  // A memory trip below leaves every drained row in `rows` (NextBatch
+  // appends before the charge, and both grouping paths read rows without
+  // disturbing them), so the spill path can take over. Failures from the
+  // child itself are its own problem and are never diverted.
+  bool salvageable = true;
+  bool drained = false;
+  Status st = [&]() -> Status {
+    while (true) {
+      Result<size_t> got = child_->NextBatch(&rows, kExecBatchSize);
+      if (!got.ok()) {
+        salvageable = false;
+        return got.status();
+      }
+      if (*got == 0) break;
+      ctx->stats->rows_built += *got;
+      TMDB_RETURN_IF_ERROR(build_res_.Add(*got * sizeof(Value)));
+    }
+    drained = true;
+    child_->Close();
+    if (ctx->parallel_enabled()) {
+      return OpenParallel(&rows);
+    }
+    return OpenSerial(&rows);
+  }();
+  if (st.ok()) return st;
+  if (!salvageable || !SpillEligibleTrip(ctx, st)) return st;
+  return SpillGroup(std::move(rows), drained);
 }
 
-Status NestOp::OpenSerial(std::vector<Value> rows) {
+Status NestOp::OpenSerial(std::vector<Value>* rows_ptr) {
+  std::vector<Value>& rows = *rows_ptr;
   // Group-by hash: key tuple → collected elements. Insertion order of
   // groups is preserved for deterministic output.
   std::unordered_map<Value, size_t, ValueHash, ValueEq> group_index;
@@ -100,7 +111,8 @@ Status NestOp::OpenSerial(std::vector<Value> rows) {
   return Status::OK();
 }
 
-Status NestOp::OpenParallel(std::vector<Value> rows) {
+Status NestOp::OpenParallel(std::vector<Value>* rows_ptr) {
+  std::vector<Value>& rows = *rows_ptr;
   const size_t n = rows.size();
   const size_t num_partitions = static_cast<size_t>(ctx_->num_threads);
 

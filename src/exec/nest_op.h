@@ -3,6 +3,7 @@
 
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "exec/physical_op.h"
@@ -26,6 +27,15 @@ namespace tmdb {
 /// over morsels, then each of `num_threads` workers groups one disjoint
 /// partition; groups are merged by first-occurrence row index, reproducing
 /// the serial output (group insertion order) exactly.
+///
+/// Memory-bounded execution: a spill-eligible memory trip during the drain
+/// or the grouping (serial and parallel paths alike) degrades to
+/// Grace-style partitioned grouping on disk — rows are hash-partitioned by
+/// group key into spill files tagged with their input row index, each
+/// partition is grouped in read order (= input order), a partition whose
+/// group state still overflows repartitions recursively, and the collected
+/// group tuples are stable-sorted by first-occurrence tag, reproducing the
+/// serial group insertion order bit for bit.
 class NestOp final : public PhysicalOp {
  public:
   NestOp(PhysicalOpPtr child, std::vector<std::string> group_attrs,
@@ -48,8 +58,22 @@ class NestOp final : public PhysicalOp {
   }
 
  private:
-  Status OpenSerial(std::vector<Value> rows);
-  Status OpenParallel(std::vector<Value> rows);
+  /// Both grouping paths read `*rows` without disturbing it, so a memory
+  /// trip mid-grouping leaves the caller's rows intact for the spill path.
+  Status OpenSerial(std::vector<Value>* rows);
+  Status OpenParallel(std::vector<Value>* rows);
+
+  /// Spill path (nest_op_spill.cc): partitions `rows` plus the rest of the
+  /// child (when !drained) to disk and groups partition by partition.
+  Status SpillGroup(std::vector<Value> rows, bool drained);
+  Status ProcessNestPartition(const std::string& path, int depth,
+                              std::vector<std::pair<uint64_t, Value>>* out);
+  Status RepartitionNest(const std::string& path, int depth,
+                         std::vector<std::pair<uint64_t, Value>>* out);
+
+  /// True for the values ν* discards: NULL itself, or a tuple whose
+  /// attributes are all NULL (the image of an outerjoin-padded row).
+  static bool IsNullPadding(const Value& v);
 
   PhysicalOpPtr child_;
   std::vector<std::string> group_attrs_;

@@ -22,9 +22,12 @@ void AccumulateStats(const std::vector<ExecStats>& locals, ExecStats* total) {
     total->spill_bytes_read += s.spill_bytes_read;
     total->spill_max_depth = std::max(total->spill_max_depth,
                                       s.spill_max_depth);
+    total->spill_sort_runs += s.spill_sort_runs;
     total->subplan_cache_hits += s.subplan_cache_hits;
     total->subplan_cache_misses += s.subplan_cache_misses;
     total->subplan_cache_evictions += s.subplan_cache_evictions;
+    total->subplan_cache_disk_evictions += s.subplan_cache_disk_evictions;
+    total->subplan_cache_disk_faults += s.subplan_cache_disk_faults;
     total->guard_checkpoints += s.guard_checkpoints;
   }
 }

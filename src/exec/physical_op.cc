@@ -11,17 +11,22 @@ std::string ExecStats::ToString() const {
              " predicate_evals=", predicate_evals,
              " subplan_evals=", subplan_evals, " hash_probes=", hash_probes,
              " rows_built=", rows_built);
-  if (spill_partitions > 0) {
+  if (spill_partitions > 0 || spill_sort_runs > 0) {
     out += StrCat(" spill_partitions=", spill_partitions,
                   " spill_bytes_written=", spill_bytes_written,
                   " spill_bytes_read=", spill_bytes_read,
-                  " spill_max_depth=", spill_max_depth);
+                  " spill_max_depth=", spill_max_depth,
+                  " spill_sort_runs=", spill_sort_runs);
   }
   if (subplan_cache_hits > 0 || subplan_cache_misses > 0 ||
       subplan_cache_evictions > 0) {
     out += StrCat(" subplan_cache_hits=", subplan_cache_hits,
                   " subplan_cache_misses=", subplan_cache_misses,
                   " subplan_cache_evictions=", subplan_cache_evictions);
+  }
+  if (subplan_cache_disk_evictions > 0 || subplan_cache_disk_faults > 0) {
+    out += StrCat(" subplan_cache_disk_evictions=", subplan_cache_disk_evictions,
+                  " subplan_cache_disk_faults=", subplan_cache_disk_faults);
   }
   if (guard_checkpoints > 0) {
     out += StrCat(" guard_checkpoints=", guard_checkpoints);

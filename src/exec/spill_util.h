@@ -1,0 +1,41 @@
+#ifndef TMDB_EXEC_SPILL_UTIL_H_
+#define TMDB_EXEC_SPILL_UTIL_H_
+
+#include "base/fault_injector.h"
+#include "base/status.h"
+#include "exec/exec_context.h"
+#include "exec/physical_op.h"
+#include "exec/query_guard.h"
+
+namespace tmdb {
+
+/// True when a failed status is a memory-budget trip that disk can relieve:
+/// spill is configured and the guard recorded the trip kind as memory at
+/// trip time. Only a *memory* trip is relieved by disk; max_rows also
+/// surfaces as kResourceExhausted but bounds work, not residency — and a
+/// live memory_over_budget() reading here would already be stale, since
+/// unwinding to the catch site frees scratch. Shared by every operator that
+/// degrades to disk (hash/nest join, merge join, ν/ν* grouping, the subplan
+/// cache's insertion path).
+inline bool SpillEligibleTrip(const ExecContext* ctx, const Status& s) {
+  return s.code() == StatusCode::kResourceExhausted && ctx != nullptr &&
+         ctx->spill != nullptr && ctx->guard != nullptr &&
+         ctx->guard->last_trip_was_memory();
+}
+
+/// Guard check once per kExecBatchSize loop iterations (`i` counts up) —
+/// the row-granularity half of the checkpoint invariant inside spill loops,
+/// complementing the TookBlockBoundary checks at block granularity.
+inline Status PeriodicSpillGuardCheck(const ExecContext* ctx, size_t i) {
+  if ((i & (kExecBatchSize - 1)) == 0) return CheckGuard(ctx);
+  return Status::OK();
+}
+
+/// The fault injector spill I/O must consult, reached through the guard.
+inline FaultInjector* SpillInjectorOf(const ExecContext* ctx) {
+  return ctx->guard == nullptr ? nullptr : ctx->guard->injector();
+}
+
+}  // namespace tmdb
+
+#endif  // TMDB_EXEC_SPILL_UTIL_H_

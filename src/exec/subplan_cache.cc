@@ -6,8 +6,18 @@
 #include "algebra/correlation.h"
 #include "algebra/subplan.h"
 #include "exec/executor.h"
+#include "spill/spill_file.h"
+#include "spill/spill_manager.h"
+#include "spill/value_codec.h"
 
 namespace tmdb {
+
+namespace {
+bool MemoryTrip(QueryGuard* guard, const Status& s) {
+  return s.code() == StatusCode::kResourceExhausted && guard != nullptr &&
+         guard->last_trip_was_memory();
+}
+}  // namespace
 
 uint64_t ApproxValueBytes(const Value& v) {
   // Per-node overhead: the shared rep header (kind, hash memo, control
@@ -42,25 +52,45 @@ uint64_t ApproxValueBytes(const Value& v) {
 }
 
 struct SubplanCache::Entry {
-  enum class State { kComputing, kDone, kFailed };
+  enum class State { kComputing, kDone, kFailed, kOnDisk };
   State state = State::kComputing;
   Value value;
   Status error;
   uint64_t bytes = 0;
+  // Spill file holding the encoded result while state == kOnDisk. The
+  // entry then charges nothing; `bytes` is retained for the fault-in
+  // re-charge.
+  std::string disk_path;
   std::list<LruKey>::iterator lru_pos;
   bool in_lru = false;
 };
 
-void SubplanCache::Reset(QueryGuard* guard, uint64_t capacity_bytes) {
+void SubplanCache::Reset(QueryGuard* guard, uint64_t capacity_bytes,
+                         SpillManager* spill) {
   std::lock_guard<std::mutex> lock(mu_);
+  // On-disk entries own spill files; drop them through the manager they
+  // were written with before rebinding. Best-effort — the run's CleanupAll
+  // sweeps any straggler when the spill directory is torn down.
+  if (spill_ != nullptr) {
+    for (auto& [subplan, per_subplan] : entries_) {
+      for (auto& [key, entry] : per_subplan) {
+        if (entry->state == Entry::State::kOnDisk) {
+          spill_->RemoveFile(entry->disk_path);
+        }
+      }
+    }
+  }
   entries_.clear();
   lru_.clear();
   res_.Reset(guard);  // releases any stale balance to the previous guard
   guard_ = guard;
+  spill_ = spill;
   capacity_bytes_ = capacity_bytes;
   hits_ = 0;
   misses_ = 0;
   evictions_ = 0;
+  disk_evictions_ = 0;
+  disk_faults_ = 0;
 }
 
 Result<std::optional<Value>> SubplanCache::Acquire(const SubplanBase* subplan,
@@ -82,11 +112,79 @@ Result<std::optional<Value>> SubplanCache::Acquire(const SubplanBase* subplan,
     cv_.wait(lock, [&] { return entry->state != Entry::State::kComputing; });
   }
   if (entry->state == Entry::State::kFailed) return entry->error;
+  if (entry->state == Entry::State::kOnDisk) {
+    return FaultInLocked(subplan, key, entry);
+  }
   hits_++;
   if (entry->in_lru) {
     lru_.splice(lru_.begin(), lru_, entry->lru_pos);
   }
   return std::optional<Value>(entry->value);
+}
+
+Result<std::optional<Value>> SubplanCache::FaultInLocked(
+    const SubplanBase* subplan, const Value& key,
+    const std::shared_ptr<Entry>& entry) {
+  Value value;
+  Status read = [&]() -> Status {
+    SpillReader reader(entry->disk_path, spill_->injector());
+    TMDB_RETURN_IF_ERROR(reader.Open());
+    std::string_view record;
+    bool eof = false;
+    TMDB_RETURN_IF_ERROR(reader.Next(&record, &eof));
+    if (eof) return Status::IoError("subplan cache spill file is empty");
+    size_t pos = 0;
+    TMDB_RETURN_IF_ERROR(DecodeValue(record, &pos, &value));
+    reader.Close();
+    return Status::OK();
+  }();
+  if (!read.ok()) {
+    // Corrupt or unreadable: drop the stub and degrade to a miss — the
+    // caller recomputes, and exactly-once restarts from here.
+    spill_->RemoveFile(entry->disk_path);
+    EntryMap& per_subplan = entries_[subplan];
+    per_subplan.erase(key);
+    per_subplan.emplace(key, std::make_shared<Entry>());
+    misses_++;
+    return std::optional<Value>();
+  }
+  // Re-charge the resident bytes, pushing colder entries to disk first
+  // when the budget is tight. The file stays on disk until the entry is
+  // resident again, so every failure mode below leaves a usable copy.
+  Status st = res_.Add(entry->bytes);
+  while (!st.ok() && MemoryTrip(guard_, st) && !lru_.empty()) {
+    EvictOldestLocked();
+    st = guard_->Check();
+  }
+  if (!st.ok() && !MemoryTrip(guard_, st)) {
+    // Cancel, deadline, or an injected fault at the re-charge checkpoint:
+    // fail the acquire; the stub (and its file) survive for a retry.
+    res_.Shrink(entry->bytes);
+    return st;
+  }
+  hits_++;
+  disk_faults_++;
+  if (!st.ok()) {
+    // Still over the memory budget with nothing left to evict: hand the
+    // result to the caller without making it resident. The stub keeps its
+    // file, so exactly-once still holds for later acquires.
+    res_.Shrink(entry->bytes);
+    return std::optional<Value>(std::move(value));
+  }
+  spill_->RemoveFile(entry->disk_path);
+  entry->disk_path.clear();
+  entry->state = Entry::State::kDone;
+  entry->value = value;
+  lru_.push_front({subplan, key});
+  entry->lru_pos = lru_.begin();
+  entry->in_lru = true;
+  // Same soft cap as Fulfill: a run of fault-ins with no fresh insertions
+  // must not grow residency past the cap. Never evicts the entry just
+  // faulted in.
+  while (res_.held() > capacity_bytes_ && lru_.size() > 1) {
+    EvictOldestLocked();
+  }
+  return std::optional<Value>(std::move(value));
 }
 
 Status SubplanCache::Fulfill(const SubplanBase* subplan, const Value& key,
@@ -105,15 +203,11 @@ Status SubplanCache::Fulfill(const SubplanBase* subplan, const Value& key,
   // The cache-insertion checkpoint: charging runs QueryGuard::Check, so the
   // fault injector and cancellation reach this site.
   Status st = res_.Add(bytes);
-  const auto memory_trip = [&](const Status& s) {
-    return s.code() == StatusCode::kResourceExhausted && guard_ != nullptr &&
-           guard_->last_trip_was_memory();
-  };
-  while (!st.ok() && memory_trip(st) && !lru_.empty()) {
+  while (!st.ok() && MemoryTrip(guard_, st) && !lru_.empty()) {
     EvictOldestLocked();
     st = guard_->Check();
   }
-  if (!st.ok() && !memory_trip(st)) {
+  if (!st.ok() && !MemoryTrip(guard_, st)) {
     // Cancel, deadline, max_rows, or an injected fault: fail the insertion
     // (and with it the query) — never memoize a failure.
     res_.Shrink(bytes);
@@ -124,13 +218,22 @@ Status SubplanCache::Fulfill(const SubplanBase* subplan, const Value& key,
     return st;
   }
   if (!st.ok()) {
-    // Still over the memory budget with nothing left to evict: hand the
-    // result to the caller and the waiters uncached. The query itself is
-    // not failed here — if memory is genuinely over budget the next
-    // operator checkpoint trips exactly as it would without a cache.
+    // Still over the memory budget with nothing left to evict. With a
+    // spill manager, write the new result straight to disk: waiters and
+    // later acquires fault it back in instead of recomputing.
     res_.Shrink(bytes);
-    entry->state = Entry::State::kDone;
     entry->value = result;
+    entry->bytes = bytes;
+    if (spill_ != nullptr && WriteEntryToDiskLocked(entry.get())) {
+      disk_evictions_++;
+      cv_.notify_all();
+      return Status::OK();
+    }
+    // No spill (or the write failed): hand the result to the caller and
+    // the waiters uncached. The query itself is not failed here — if
+    // memory is genuinely over budget the next operator checkpoint trips
+    // exactly as it would without a cache.
+    entry->state = Entry::State::kDone;
     sub_it->second.erase(it);
     cv_.notify_all();
     return Status::OK();
@@ -164,13 +267,47 @@ void SubplanCache::Abandon(const SubplanBase* subplan, const Value& key,
 }
 
 void SubplanCache::EvictOldestLocked() {
-  const LruKey& victim = lru_.back();
+  const LruKey victim = lru_.back();  // copy: pop_back below kills the ref
   auto sub_it = entries_.find(victim.first);
   auto it = sub_it->second.find(victim.second);
-  res_.Shrink(it->second->bytes);
-  sub_it->second.erase(it);
+  std::shared_ptr<Entry> entry = it->second;
   lru_.pop_back();
+  entry->in_lru = false;
+  res_.Shrink(entry->bytes);
+  if (spill_ != nullptr && WriteEntryToDiskLocked(entry.get())) {
+    // The result now lives in a spill file; the entry stays in the map as
+    // a zero-charge stub so a later Acquire faults it back in instead of
+    // recomputing.
+    disk_evictions_++;
+    return;
+  }
+  sub_it->second.erase(it);
   evictions_++;
+}
+
+bool SubplanCache::WriteEntryToDiskLocked(Entry* entry) {
+  Result<std::string> path = spill_->NewFilePath("subcache");
+  if (!path.ok()) return false;
+  // Single-record write: small and bounded, so no guard checkpoints run
+  // inside — but the injector's I/O channels still reach every operation,
+  // and any failure (short write, ENOSPC, unlink refusal) degrades to a
+  // plain drop rather than failing the query.
+  Status st = [&]() -> Status {
+    SpillWriter writer(*path, spill_->block_bytes(), spill_->injector());
+    TMDB_RETURN_IF_ERROR(writer.Open());
+    std::string payload;
+    EncodeValue(entry->value, &payload);
+    TMDB_RETURN_IF_ERROR(writer.Append(payload));
+    return writer.Finish();
+  }();
+  if (!st.ok()) {
+    spill_->RemoveFile(*path);
+    return false;
+  }
+  entry->state = Entry::State::kOnDisk;
+  entry->disk_path = std::move(*path);
+  entry->value = Value();
+  return true;
 }
 
 uint64_t SubplanCache::hits() const {
@@ -186,6 +323,16 @@ uint64_t SubplanCache::misses() const {
 uint64_t SubplanCache::evictions() const {
   std::lock_guard<std::mutex> lock(mu_);
   return evictions_;
+}
+
+uint64_t SubplanCache::disk_evictions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return disk_evictions_;
+}
+
+uint64_t SubplanCache::disk_faults() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return disk_faults_;
 }
 
 uint64_t SubplanCache::resident_bytes() const {

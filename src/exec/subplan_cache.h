@@ -54,11 +54,19 @@ uint64_t ApproxValueBytes(const Value& v);
 /// cached results count against the run's memory budget. A budget trip at
 /// insertion evicts least-recently-used entries before failing; a non-
 /// memory trip (cancel, deadline, injected fault — the "cache insertion
-/// checkpoint") fails the insertion. When eviction cannot satisfy the
-/// budget the result is returned uncached instead of failing the query:
-/// the next operator checkpoint reports genuine over-budget exactly as it
-/// would have without a cache. `capacity_bytes` additionally soft-caps the
-/// resident set independent of the guard budget.
+/// checkpoint") fails the insertion. `capacity_bytes` additionally
+/// soft-caps the resident set independent of the guard budget.
+///
+/// Disk overflow: when a SpillManager is bound, eviction writes the
+/// victim's result to a spill file instead of discarding it — the entry
+/// stays in the map as a zero-charge on-disk stub, and a later Acquire
+/// faults the result back in (re-charging it, evicting colder entries to
+/// disk in turn), preserving exactly-once computation under memory
+/// pressure. A result that cannot be charged even after eviction is
+/// likewise written to disk rather than dropped; only when no spill
+/// manager is bound, or the spill write itself fails, does the cache fall
+/// back to the old behaviour — hand the result to the caller uncached and
+/// let the next operator checkpoint report genuine over-budget.
 class SubplanCache {
  public:
   SubplanCache() = default;
@@ -66,9 +74,12 @@ class SubplanCache {
   SubplanCache& operator=(const SubplanCache&) = delete;
 
   /// Rearms for a new run: drops all entries (refunding their charge to the
-  /// previously bound guard), rebinds to `guard` (may be null = ungoverned),
-  /// and zeroes the counters.
-  void Reset(QueryGuard* guard, uint64_t capacity_bytes);
+  /// previously bound guard, and removing on-disk entries' spill files via
+  /// the previously bound manager), rebinds to `guard` (may be null =
+  /// ungoverned) and `spill` (null = no disk overflow), and zeroes the
+  /// counters.
+  void Reset(QueryGuard* guard, uint64_t capacity_bytes,
+             SpillManager* spill = nullptr);
 
   /// Looks up (subplan, key). A hit returns the memoized result; a miss
   /// installs a computing entry and returns nullopt — the caller MUST then
@@ -93,6 +104,10 @@ class SubplanCache {
   uint64_t hits() const;
   uint64_t misses() const;
   uint64_t evictions() const;
+  /// Entries written to a spill file instead of being dropped.
+  uint64_t disk_evictions() const;
+  /// On-disk entries brought back to memory by a hit.
+  uint64_t disk_faults() const;
   /// Bytes currently charged for resident entries.
   uint64_t resident_bytes() const;
 
@@ -102,20 +117,37 @@ class SubplanCache {
   using EntryMap =
       std::unordered_map<Value, std::shared_ptr<Entry>, ValueHash, ValueEq>;
 
+  /// Evicts the LRU victim's charge: writes the result to a spill file
+  /// (entry becomes an on-disk stub) when a manager is bound and the write
+  /// succeeds, otherwise drops the entry outright.
   void EvictOldestLocked();
+  /// Writes `entry`'s value as one spill record; on success the entry
+  /// becomes State::kOnDisk with its value released. Returns false (and
+  /// leaves the entry untouched apart from its value) on any I/O failure.
+  bool WriteEntryToDiskLocked(Entry* entry);
+  /// Serves an Acquire hit on an on-disk entry: reads the record back,
+  /// re-charges it (spilling colder entries as needed), and re-inserts it
+  /// into the LRU. A corrupt or unreadable file degrades to a miss.
+  Result<std::optional<Value>> FaultInLocked(const SubplanBase* subplan,
+                                             const Value& key,
+                                             const std::shared_ptr<Entry>& entry);
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
   QueryGuard* guard_ = nullptr;
+  SpillManager* spill_ = nullptr;
   uint64_t capacity_bytes_ = kDefaultSubplanCacheBytes;
   GuardReservation res_;
   std::unordered_map<const SubplanBase*, EntryMap> entries_;
-  // Completed entries, most recently used first. Computing entries are not
-  // in the list (they cannot be evicted out from under their waiters).
+  // Completed entries, most recently used first. Computing and on-disk
+  // entries are not in the list (the former cannot be evicted out from
+  // under their waiters; the latter hold no memory to reclaim).
   std::list<LruKey> lru_;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
   uint64_t evictions_ = 0;
+  uint64_t disk_evictions_ = 0;
+  uint64_t disk_faults_ = 0;
 };
 
 /// A re-entrant subplan evaluator: one per thread that can reach a kSubplan

@@ -270,9 +270,12 @@ void EncodeStatsPayload(const ExecStats& stats, std::string* out) {
   PutVarint(stats.spill_bytes_written, out);
   PutVarint(stats.spill_bytes_read, out);
   PutVarint(stats.spill_max_depth, out);
+  PutVarint(stats.spill_sort_runs, out);
   PutVarint(stats.subplan_cache_hits, out);
   PutVarint(stats.subplan_cache_misses, out);
   PutVarint(stats.subplan_cache_evictions, out);
+  PutVarint(stats.subplan_cache_disk_evictions, out);
+  PutVarint(stats.subplan_cache_disk_faults, out);
   PutVarint(stats.guard_checkpoints, out);
 }
 
@@ -283,8 +286,11 @@ Status DecodeStatsPayload(std::string_view payload, ExecStats* stats) {
       &stats->subplan_evals,         &stats->hash_probes,
       &stats->rows_built,            &stats->spill_partitions,
       &stats->spill_bytes_written,   &stats->spill_bytes_read,
-      &stats->spill_max_depth,       &stats->subplan_cache_hits,
-      &stats->subplan_cache_misses,  &stats->subplan_cache_evictions,
+      &stats->spill_max_depth,       &stats->spill_sort_runs,
+      &stats->subplan_cache_hits,    &stats->subplan_cache_misses,
+      &stats->subplan_cache_evictions,
+      &stats->subplan_cache_disk_evictions,
+      &stats->subplan_cache_disk_faults,
       &stats->guard_checkpoints};
   for (uint64_t* field : fields) {
     TMDB_RETURN_IF_ERROR(GetVarint(payload, &pos, field));

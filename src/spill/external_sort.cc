@@ -1,0 +1,278 @@
+#include "spill/external_sort.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "spill/value_codec.h"
+
+namespace tmdb {
+
+namespace {
+
+Status RunCheckpoint(const SortCheckpoint& checkpoint) {
+  return checkpoint ? checkpoint() : Status::OK();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ExternalSorter
+
+ExternalSorter::ExternalSorter(SpillManager* manager, std::string label,
+                               SortCheckpoint checkpoint, SortStatsSink sink)
+    : manager_(manager),
+      label_(std::move(label)),
+      checkpoint_(std::move(checkpoint)),
+      sink_(sink) {}
+
+ExternalSorter::~ExternalSorter() { AbandonRuns(); }
+
+Status ExternalSorter::SpillRun(std::vector<SortRecord>* chunk) {
+  if (chunk->empty()) return Status::OK();
+  std::stable_sort(chunk->begin(), chunk->end(),
+                   [](const SortRecord& a, const SortRecord& b) {
+                     return a.key.Compare(b.key) < 0;
+                   });
+
+  TMDB_ASSIGN_OR_RETURN(
+      std::string path,
+      manager_->NewFilePath(label_ + "-r" + std::to_string(runs_spilled_)));
+  SpillWriter writer(path, manager_->block_bytes(), manager_->injector());
+  Status st = writer.Open();
+  std::string record;
+  for (SortRecord& rec : *chunk) {
+    if (!st.ok()) break;
+    record.clear();
+    EncodeValue(rec.key, &record);
+    record += rec.payload;
+    rec = SortRecord();  // free the in-memory copy as it reaches disk
+    st = writer.Append(record);
+    if (st.ok() && writer.TookBlockBoundary()) st = RunCheckpoint(checkpoint_);
+  }
+  if (st.ok()) st = writer.Finish();
+  if (sink_.bytes_written != nullptr) {
+    *sink_.bytes_written += writer.stats().bytes;
+  }
+  chunk->clear();
+  if (!st.ok()) {
+    manager_->RemoveFile(path);
+    return st;
+  }
+  run_paths_.push_back(std::move(path));
+  ++runs_spilled_;
+  if (sink_.runs != nullptr) ++*sink_.runs;
+  return Status::OK();
+}
+
+Result<std::string> ExternalSorter::MergeGroup(std::vector<std::string> group,
+                                               int pass, size_t index) {
+  TMDB_ASSIGN_OR_RETURN(
+      std::string out_path,
+      manager_->NewFilePath(label_ + "-m" + std::to_string(pass) + "-" +
+                            std::to_string(index)));
+  // The group merger removes its input runs as they are exhausted and on
+  // Close, so a pass's inputs are gone as soon as (or as best-effort as)
+  // they have been folded into the output run.
+  SortedRunMerger merger(manager_, std::move(group), checkpoint_, sink_);
+  SpillWriter writer(out_path, manager_->block_bytes(), manager_->injector());
+  Status st = merger.Open();
+  if (st.ok()) st = writer.Open();
+  Value key;
+  std::string_view payload;
+  bool eof = false;
+  while (st.ok()) {
+    st = merger.Next(&key, &payload, &eof);
+    if (!st.ok() || eof) break;
+    st = writer.Append(merger.current_record());
+    if (st.ok() && writer.TookBlockBoundary()) st = RunCheckpoint(checkpoint_);
+  }
+  if (st.ok()) st = writer.Finish();
+  if (sink_.bytes_written != nullptr) {
+    *sink_.bytes_written += writer.stats().bytes;
+  }
+  merger.Close();
+  if (!st.ok()) {
+    manager_->RemoveFile(out_path);
+    return st;
+  }
+  return out_path;
+}
+
+Result<std::unique_ptr<SortedRunMerger>> ExternalSorter::Merge() {
+  std::vector<std::string> paths = std::move(run_paths_);
+  run_paths_.clear();
+  int pass = 0;
+  while (paths.size() > kSortMergeFanout) {
+    std::vector<std::string> next;
+    Status st;
+    size_t g = 0;
+    for (; g < paths.size() && st.ok(); g += kSortMergeFanout) {
+      const size_t end = std::min(paths.size(), g + kSortMergeFanout);
+      if (end - g == 1) {
+        next.push_back(std::move(paths[g]));
+        continue;
+      }
+      Result<std::string> merged = MergeGroup(
+          std::vector<std::string>(
+              std::make_move_iterator(paths.begin() + static_cast<long>(g)),
+              std::make_move_iterator(paths.begin() + static_cast<long>(end))),
+          pass, next.size());
+      if (!merged.ok()) {
+        st = merged.status();
+        break;
+      }
+      next.push_back(std::move(merged).value());
+    }
+    if (!st.ok()) {
+      // Eagerly drop everything this sort still owns: outputs of this pass
+      // and input runs of untouched groups. (The failed group's inputs were
+      // already removed by its merger's Close.)
+      run_paths_ = std::move(next);
+      for (size_t i = g; i < paths.size(); ++i) {
+        if (!paths[i].empty()) run_paths_.push_back(std::move(paths[i]));
+      }
+      AbandonRuns();
+      return st;
+    }
+    paths = std::move(next);
+    ++pass;
+  }
+  auto merger = std::make_unique<SortedRunMerger>(manager_, std::move(paths),
+                                                  checkpoint_, sink_);
+  Status st = merger->Open();
+  if (!st.ok()) return st;  // merger dtor closes readers and removes runs
+  return merger;
+}
+
+void ExternalSorter::AbandonRuns() {
+  for (const std::string& path : run_paths_) {
+    manager_->RemoveFile(path);
+  }
+  run_paths_.clear();
+}
+
+// ---------------------------------------------------------------------------
+// SortedRunMerger
+
+SortedRunMerger::SortedRunMerger(SpillManager* manager,
+                                 std::vector<std::string> run_paths,
+                                 SortCheckpoint checkpoint, SortStatsSink sink)
+    : manager_(manager),
+      paths_(std::move(run_paths)),
+      checkpoint_(std::move(checkpoint)),
+      sink_(sink) {}
+
+SortedRunMerger::~SortedRunMerger() { Close(); }
+
+Status SortedRunMerger::Open() {
+  heads_.resize(paths_.size());
+  heap_.reserve(paths_.size());
+  for (size_t i = 0; i < paths_.size(); ++i) {
+    heads_[i].reader =
+        std::make_unique<SpillReader>(paths_[i], manager_->injector());
+    TMDB_RETURN_IF_ERROR(heads_[i].reader->Open());
+    TMDB_RETURN_IF_ERROR(Advance(i));
+  }
+  // Build the min-heap over non-empty runs; ties on key go to the lower run
+  // index, i.e. records spilled earlier surface earlier (stability).
+  for (size_t i = 0; i < heads_.size(); ++i) {
+    if (!heads_[i].eof) heap_.push_back(i);
+  }
+  std::make_heap(heap_.begin(), heap_.end(), [this](size_t a, size_t b) {
+    const int c = heads_[a].key.Compare(heads_[b].key);
+    if (c != 0) return c > 0;
+    return a > b;
+  });
+  open_ = true;
+  return Status::OK();
+}
+
+Status SortedRunMerger::Advance(size_t i) {
+  Head& h = heads_[i];
+  std::string_view record;
+  bool eof = false;
+  TMDB_RETURN_IF_ERROR(h.reader->Next(&record, &eof));
+  if (h.reader->TookBlockBoundary()) {
+    TMDB_RETURN_IF_ERROR(RunCheckpoint(checkpoint_));
+  }
+  if (eof) {
+    h.eof = true;
+    RetireHead(i);
+    return Status::OK();
+  }
+  h.eof = false;
+  h.record = record;
+  size_t pos = 0;
+  TMDB_RETURN_IF_ERROR(DecodeValue(record, &pos, &h.key));
+  h.payload_pos = pos;
+  return Status::OK();
+}
+
+void SortedRunMerger::RetireHead(size_t i) {
+  Head& h = heads_[i];
+  if (h.reader != nullptr) {
+    if (sink_.bytes_read != nullptr) {
+      *sink_.bytes_read += h.reader->stats().bytes;
+    }
+    h.reader->Close();
+    h.reader.reset();
+  }
+  if (!paths_[i].empty()) {
+    manager_->RemoveFile(paths_[i]);
+    paths_[i].clear();
+  }
+}
+
+Status SortedRunMerger::Next(Value* key, std::string_view* payload,
+                             bool* eof) {
+  if (!open_ || closed_) {
+    return Status::Internal("SortedRunMerger used before Open/after Close");
+  }
+  const auto greater = [this](size_t a, size_t b) {
+    const int c = heads_[a].key.Compare(heads_[b].key);
+    if (c != 0) return c > 0;
+    return a > b;
+  };
+  if (last_ != static_cast<size_t>(-1)) {
+    const size_t i = last_;
+    last_ = static_cast<size_t>(-1);
+    TMDB_RETURN_IF_ERROR(Advance(i));
+    if (!heads_[i].eof) {
+      heap_.push_back(i);
+      std::push_heap(heap_.begin(), heap_.end(), greater);
+    }
+  }
+  if (heap_.empty()) {
+    *eof = true;
+    return Status::OK();
+  }
+  std::pop_heap(heap_.begin(), heap_.end(), greater);
+  const size_t i = heap_.back();
+  heap_.pop_back();
+  last_ = i;  // its reader advances on the next call, keeping views valid
+  const Head& h = heads_[i];
+  *key = h.key;
+  *payload = h.record.substr(h.payload_pos);
+  cur_record_ = h.record;
+  *eof = false;
+  return Status::OK();
+}
+
+void SortedRunMerger::Close() {
+  if (closed_) return;
+  closed_ = true;
+  for (size_t i = 0; i < heads_.size(); ++i) {
+    RetireHead(i);
+  }
+  // Runs never opened (Open failed early, or Open was never called).
+  for (std::string& path : paths_) {
+    if (!path.empty()) {
+      manager_->RemoveFile(path);
+      path.clear();
+    }
+  }
+  heads_.clear();
+  heap_.clear();
+}
+
+}  // namespace tmdb

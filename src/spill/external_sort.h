@@ -1,0 +1,155 @@
+#ifndef TMDB_SPILL_EXTERNAL_SORT_H_
+#define TMDB_SPILL_EXTERNAL_SORT_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/result.h"
+#include "base/status.h"
+#include "spill/spill_file.h"
+#include "spill/spill_manager.h"
+#include "values/value.h"
+
+namespace tmdb {
+
+/// External sort over spill block files: the caller accumulates
+/// (key, payload) records in memory, flushes each chunk as one stable-sorted
+/// run (SpillRun), then merges the runs back in key order (Merge). The merge
+/// is stable end to end — ties within a run keep insertion order because the
+/// run sort is stable, and ties across runs resolve to the earlier run — so
+/// a spilled sort yields exactly the byte sequence a std::stable_sort over
+/// the whole input would have, which is what the merge join's bit-identical
+/// output guarantee rests on.
+///
+/// This layer is guard-agnostic by design (tmdb_spill cannot depend on
+/// tmdb_exec): callers pass a checkpoint callback that is invoked at every
+/// block boundary, and run SpillRun/Merge under their own
+/// MemoryCheckSuspension so only cancellation/deadline/injected faults fire
+/// while the write-out itself is what relieves memory pressure. All block
+/// I/O goes through SpillWriter/SpillReader and therefore consults the
+/// FaultInjector's I/O channels and the CRC discipline.
+
+/// Invoked at every spill-block boundary; a non-OK return aborts the sort
+/// with that status. May be empty.
+using SortCheckpoint = std::function<Status()>;
+
+/// Caller-owned counters bumped as the sort progresses (typically pointers
+/// into ExecStats so observability is live). Any pointer may be null.
+struct SortStatsSink {
+  uint64_t* runs = nullptr;           // sorted runs written
+  uint64_t* bytes_written = nullptr;  // run + merge-pass bytes through disk
+  uint64_t* bytes_read = nullptr;
+};
+
+/// One record of a sort: the composite sort key plus opaque payload bytes
+/// the merger returns verbatim.
+struct SortRecord {
+  Value key;
+  std::string payload;
+};
+
+/// Merge passes fold this many runs at a time; at most this many run files
+/// are open during the final streaming merge.
+inline constexpr size_t kSortMergeFanout = 16;
+
+class SortedRunMerger;
+
+/// Writes stable-sorted runs and merges them. Not thread-safe. Run files
+/// not yet handed to a merger are removed by AbandonRuns (also from the
+/// destructor), so an unwound query leaks nothing even before the
+/// SpillManager's final sweep.
+class ExternalSorter {
+ public:
+  /// `label` tags run filenames ("mj-left"). `checkpoint` and any sink
+  /// pointer may be null.
+  ExternalSorter(SpillManager* manager, std::string label,
+                 SortCheckpoint checkpoint, SortStatsSink sink);
+  ~ExternalSorter();
+  ExternalSorter(const ExternalSorter&) = delete;
+  ExternalSorter& operator=(const ExternalSorter&) = delete;
+
+  /// Stable-sorts `chunk` by key and writes it as one run, freeing records
+  /// as they are written; `chunk` is cleared on success and failure alike.
+  /// An empty chunk is a no-op.
+  Status SpillRun(std::vector<SortRecord>* chunk);
+
+  /// Merges every run written so far down to at most kSortMergeFanout files
+  /// (removing intermediate inputs as each pass consumes them) and returns
+  /// an opened merger that yields records in global key order. The sorter
+  /// no longer owns the run files afterwards. On failure every remaining
+  /// run file has been removed.
+  Result<std::unique_ptr<SortedRunMerger>> Merge();
+
+  uint64_t runs_spilled() const { return runs_spilled_; }
+
+  /// Removes run files not yet handed to a merger. Idempotent.
+  void AbandonRuns();
+
+ private:
+  Result<std::string> MergeGroup(std::vector<std::string> group, int pass,
+                                 size_t index);
+
+  SpillManager* manager_;
+  std::string label_;
+  SortCheckpoint checkpoint_;
+  SortStatsSink sink_;
+  std::vector<std::string> run_paths_;
+  uint64_t runs_spilled_ = 0;
+};
+
+/// K-way merge over sorted run files. Yields each record's key and payload;
+/// views stay valid until the next call. Each run file is removed the
+/// moment it is exhausted, and Close (idempotent, also from the destructor)
+/// removes whatever remains — so the disk high-water mark shrinks as the
+/// merge drains and an abandoned merge leaks nothing.
+class SortedRunMerger {
+ public:
+  SortedRunMerger(SpillManager* manager, std::vector<std::string> run_paths,
+                  SortCheckpoint checkpoint, SortStatsSink sink);
+  ~SortedRunMerger();
+  SortedRunMerger(const SortedRunMerger&) = delete;
+  SortedRunMerger& operator=(const SortedRunMerger&) = delete;
+
+  Status Open();
+
+  /// Yields the next record in (key, run) order, or sets *eof. `*payload`
+  /// views the record's payload bytes.
+  Status Next(Value* key, std::string_view* payload, bool* eof);
+
+  /// The full encoded record (key + payload) last yielded by Next — what a
+  /// merge pass re-appends verbatim.
+  std::string_view current_record() const { return cur_record_; }
+
+  void Close();
+
+ private:
+  struct Head {
+    std::unique_ptr<SpillReader> reader;
+    Value key;
+    std::string_view record;
+    size_t payload_pos = 0;
+    bool eof = true;
+  };
+
+  Status Advance(size_t i);
+  void RetireHead(size_t i);
+
+  SpillManager* manager_;
+  std::vector<std::string> paths_;  // entry cleared once its file is removed
+  SortCheckpoint checkpoint_;
+  SortStatsSink sink_;
+  std::vector<Head> heads_;
+  std::vector<size_t> heap_;  // min-heap of head indices by (key, run)
+  size_t last_ = static_cast<size_t>(-1);
+  std::string_view cur_record_;
+  bool open_ = false;
+  bool closed_ = false;
+};
+
+}  // namespace tmdb
+
+#endif  // TMDB_SPILL_EXTERNAL_SORT_H_

@@ -167,6 +167,10 @@ Value Value::Set(std::vector<Value> elements) {
                                return a.Equals(b);
                              }),
                  elements.end());
+  // Dedup can strand most of the build vector's capacity, and the rep's
+  // tracked footprint counts capacity — a grouped set built from many
+  // duplicates would otherwise pin its pre-dedup size for its lifetime.
+  elements.shrink_to_fit();
   auto rep = std::make_shared<ValueRep>(ValueKind::kSet);
   rep->children = std::move(elements);
   return Value(Track(std::move(rep)));

@@ -81,9 +81,12 @@ const char* kSeedQueries[] = {
   TMDB_STAT_EQ(spill_bytes_written);
   TMDB_STAT_EQ(spill_bytes_read);
   TMDB_STAT_EQ(spill_max_depth);
+  TMDB_STAT_EQ(spill_sort_runs);
   TMDB_STAT_EQ(subplan_cache_hits);
   TMDB_STAT_EQ(subplan_cache_misses);
   TMDB_STAT_EQ(subplan_cache_evictions);
+  TMDB_STAT_EQ(subplan_cache_disk_evictions);
+  TMDB_STAT_EQ(subplan_cache_disk_faults);
 #undef TMDB_STAT_EQ
   return ::testing::AssertionSuccess();
 }

@@ -1,16 +1,22 @@
 // Executor-reuse soak (the server's per-connection discipline, embedded):
 // ~1000 small queries through ONE reused Executor with a seeded mix of
 // clean runs, memory trips (with and without spill), row-budget trips,
-// injected checkpoint faults, deadline trips, and cross-thread cancels.
-// After every run the executor must be indistinguishable from fresh: no
-// residual trip state, no outstanding reservation bytes, no spill files.
-// The deterministic subset of the schedule must produce identical status
-// sequences and checkpoint totals across two runs with the same seed; on
-// any failure the seed is printed (override with TMDB_NET_SEED).
+// injected checkpoint faults, deadline trips, cross-thread cancels, and
+// subplan-cache disk overflow — swept across strategies (naive, outerjoin,
+// nest join) and join implementations (hash, sort-merge) so every spill
+// path (partition spill, external sort, ν spill, cache overflow) unwinds
+// through the reuse contract. After every run the executor must be
+// indistinguishable from fresh: no residual trip state, no outstanding
+// reservation bytes, no spill files. The deterministic subset of the
+// schedule must produce identical status sequences and checkpoint totals
+// across two runs with the same seed; on any failure the seed is printed
+// (override with TMDB_NET_SEED). A final section drives the same database
+// through the TCP front end and vanishes mid-query while sessions spill.
 
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -22,6 +28,10 @@
 #include "base/fault_injector.h"
 #include "core/database.h"
 #include "exec/executor.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "net/socket.h"
+#include "net/wire.h"
 #include "workload/generators.h"
 
 namespace tmdb {
@@ -53,8 +63,11 @@ class ExecutorReuseSoakTest : public ::testing::Test {
  protected:
   void SetUp() override {
     CountBugConfig config;
-    config.num_r = 12;
-    config.num_s = 24;
+    config.num_r = 24;
+    // Enough S rows that the 16 KiB spill budget below genuinely forces the
+    // hash-partition, external-sort, and ν write-out paths, while the soak
+    // still runs in seconds.
+    config.num_s = 240;
     ASSERT_TRUE(LoadCountBugTables(&db_, config).ok());
     spill_dir_ = std::filesystem::temp_directory_path() /
                  ("tmdb_reuse_soak_" + std::to_string(::getpid()));
@@ -86,11 +99,25 @@ class ExecutorReuseSoakTest : public ::testing::Test {
     Executor executor(1);
     FaultInjector injector;
     for (int i = 0; i < iterations; ++i) {
-      const int mode = static_cast<int>(rng() % 6);
+      const int mode = static_cast<int>(rng() % 7);
       RunOptions options;
       options.spill_dir = spill_dir_.string();
+      // Orthogonal sweep dimensions, drawn every iteration so the replay
+      // stays aligned: which unnesting strategy plans the query and which
+      // join implementation runs it (the merge join brings the external
+      // sort into the budgeted modes, the outerjoin strategy brings ν*).
+      const uint64_t strategy_pick = rng() % 4;
+      options.join_impl =
+          (rng() % 2 == 0) ? JoinImpl::kHash : JoinImpl::kMerge;
       const std::string query =
           (rng() % 2 == 0) ? kNestedQuery : kScanQuery;
+      if (query == kNestedQuery) {
+        // The baseline rewrites reject queries without a subquery conjunct,
+        // so only the nested query sweeps away from the default strategy.
+        options.strategy = strategy_pick == 0   ? Strategy::kNaive
+                           : strategy_pick == 1 ? Strategy::kOuterJoin
+                                                : Strategy::kNestJoin;
+      }
       bool deterministic = true;
       std::thread canceller;
       switch (mode) {
@@ -120,6 +147,11 @@ class ExecutorReuseSoakTest : public ::testing::Test {
           });
           break;
         }
+        case 6:  // subplan-cache thrash through the disk-overflow path
+          options.strategy = Strategy::kNaive;  // correlated eval uses the cache
+          options.subplan_cache_bytes = 1;
+          options.enable_spill = true;
+          break;
         default:
           break;
       }
@@ -212,6 +244,70 @@ TEST_F(ExecutorReuseSoakTest, SpillTripThenCleanQueryStaysIndependent) {
   for (size_t i = 0; i < clean->rows.size(); ++i) {
     EXPECT_TRUE(clean->rows[i] == reference->rows[i]) << "row " << i;
   }
+}
+
+TEST_F(ExecutorReuseSoakTest, TcpDisconnectsMidSpillLeaveNoResidue) {
+  // The same reuse discipline through the TCP front end: clients submit
+  // budgeted spilling queries and vanish — immediately, or a randomised
+  // moment into execution. Every abandoned session must cancel its query,
+  // unwind its (reused, per-session) executor, and remove its spill files;
+  // afterwards a well-behaved client still gets the right answer.
+  ServerOptions options;
+  options.spill_dir = spill_dir_.string();
+  QueryServer server(&db_, std::move(options));
+  ASSERT_TRUE(server.Start().ok());
+
+  auto wait_for = [](auto predicate, int timeout_ms = 5000) {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(timeout_ms);
+    while (!predicate()) {
+      if (std::chrono::steady_clock::now() > deadline) return false;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return true;
+  };
+
+  std::mt19937_64 rng(TestSeed());
+  for (int i = 0; i < 25; ++i) {
+    Result<Socket> sock = Socket::ConnectTcp("127.0.0.1", server.port());
+    ASSERT_TRUE(sock.ok()) << sock.status().ToString();
+    WireRequest request;
+    request.query = kNestedQuery;
+    request.timeout_ms = 30000;
+    request.memory_budget_bytes = 16u << 10;
+    request.enable_spill = true;
+    Frame frame;
+    frame.type = FrameType::kQuery;
+    frame.request_id = static_cast<uint64_t>(i);
+    EncodeRequest(request, &frame.payload);
+    ASSERT_TRUE(WriteFrame(&*sock, nullptr, frame).ok());
+    std::this_thread::sleep_for(std::chrono::microseconds(rng() % 3000));
+    // Socket destructor: the client vanishes, possibly mid-spill.
+  }
+
+  ASSERT_TRUE(wait_for([&] { return server.stats().sessions_active == 0; }))
+      << "abandoned sessions never unwound";
+  ASSERT_TRUE(wait_for([&] { return SpillLeftovers() == 0; }))
+      << "disconnected sessions leaked spill files";
+
+  QueryClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  WireRequest request;
+  request.query = kNestedQuery;
+  // Larger than the vanished clients' budget: tight enough to spill, roomy
+  // enough that the hash join's skew depth-bound cannot trip it.
+  request.memory_budget_bytes = 64u << 10;
+  request.enable_spill = true;
+  Result<ClientResult> wire = client.Run(request);
+  ASSERT_TRUE(wire.ok()) << wire.status().ToString();
+  Result<QueryResult> local = db_.Run(kNestedQuery, RunOptions());
+  ASSERT_TRUE(local.ok());
+  ASSERT_EQ(wire->rows.size(), local->rows.size());
+  for (size_t i = 0; i < wire->rows.size(); ++i) {
+    EXPECT_TRUE(wire->rows[i] == local->rows[i]) << "row " << i;
+  }
+  EXPECT_EQ(SpillLeftovers(), 0u);
+  server.Shutdown();
 }
 
 }  // namespace

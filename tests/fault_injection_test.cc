@@ -10,6 +10,8 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <filesystem>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -33,7 +35,25 @@
 namespace tmdb {
 namespace {
 
+namespace fs = std::filesystem;
+
 using testutil::IntRow;
+
+std::string MakeSpillBase(const std::string& name) {
+  fs::path dir = fs::path(::testing::TempDir()) / ("tmdb-test-" + name);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+::testing::AssertionResult SpillBaseEmpty(const std::string& base) {
+  if (!fs::exists(base)) return ::testing::AssertionSuccess();
+  for (const auto& entry : fs::directory_iterator(base)) {
+    return ::testing::AssertionFailure()
+           << "leaked spill artefact: " << entry.path().string();
+  }
+  return ::testing::AssertionSuccess();
+}
 
 // ------------------------------------------------------------ test sources
 
@@ -186,17 +206,37 @@ class FaultSweepTest : public ::testing::Test {
 /// passes: each armed run must fail with the injected kInternal, and an
 /// immediately following disarmed run on the SAME executor must reproduce
 /// the baseline — proving the unwind left no partial operator state and the
-/// pool is reusable.
-void SweepInjectionPoints(PhysicalOp* plan, int threads) {
+/// pool is reusable. A nonzero `memory_budget` plus a `spill_base` runs the
+/// whole sweep on the spill path instead: the baseline must actually engage
+/// it, and every poisoned unwind must leave the spill directory bare.
+void SweepInjectionPoints(PhysicalOp* plan, int threads,
+                          uint64_t memory_budget = 0,
+                          const std::string& spill_base = "") {
   FaultInjector injector;
   Executor executor(threads);
   executor.set_fault_injector(&injector);
+  if (memory_budget > 0) {
+    GuardLimits limits;
+    limits.memory_budget_bytes = memory_budget;
+    executor.set_limits(limits);
+  }
+  if (!spill_base.empty()) {
+    executor.set_spill_options(true, spill_base, /*block_bytes=*/4096);
+  }
+  executor.mutable_stats()->Reset();
 
   injector.ArmNth(0);  // count-only baseline
   auto baseline = executor.RunPhysical(plan);
   ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
   const uint64_t total = injector.checkpoints_seen();
   ASSERT_GT(total, 0u) << "plan passed no guard checkpoints";
+  if (!spill_base.empty()) {
+    ASSERT_GT(executor.stats().spill_partitions +
+                  executor.stats().spill_sort_runs,
+              0u)
+        << "budget never engaged the spill path; stats: "
+        << executor.stats().ToString();
+  }
 
   const uint64_t stride = std::max<uint64_t>(1, total / 12);
   for (uint64_t n = 1; n <= total; n += stride) {
@@ -210,6 +250,10 @@ void SweepInjectionPoints(PhysicalOp* plan, int threads) {
               std::string::npos)
         << poisoned.status().ToString();
     EXPECT_EQ(injector.faults_fired(), 1u);
+    if (!spill_base.empty()) {
+      EXPECT_TRUE(SpillBaseEmpty(spill_base))
+          << "fault at checkpoint " << n << " leaked spill files";
+    }
 
     injector.Disarm();
     auto recovered = executor.RunPhysical(plan);
@@ -702,6 +746,318 @@ TEST_F(DatabaseLimitsTest, FaultInjectorThreadsThroughRunOptions) {
   injector.Disarm();
   TMDB_ASSERT_OK_AND_ASSIGN(QueryResult recovered, db_.Run(kQuery, options));
   EXPECT_TRUE(testutil::RowsEqual(recovered.rows, baseline.rows));
+}
+
+// ------------------------------ spill write-out paths under injected faults
+
+/// Budgeted plans that engage the spill write-out paths — the merge join's
+/// external sort and ν's grouped-materialisation spill — with the same
+/// shapes as the spill execution tests: inputs that dwarf a 128 KiB budget
+/// while the output stays far below it.
+class SpillPathFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Random rng(101);
+    TMDB_ASSERT_OK_AND_ASSIGN(
+        left_, Table::Create("L", Type::Tuple({{"e", Type::Int()},
+                                               {"d", Type::Int()}})));
+    for (int i = 0; i < 80; ++i) {
+      TMDB_ASSERT_OK(left_->Insert(
+          IntRow({"e", "d"}, {i, rng.UniformInt(0, 100000)})));
+    }
+    TMDB_ASSERT_OK_AND_ASSIGN(
+        right_,
+        Table::Create("R", Type::Tuple({{"a", Type::Int()},
+                                        {"b", Type::Int()},
+                                        {"pad", Type::String()}})));
+    const std::string pad(160, 'p');
+    for (int i = 0; i < 6000; ++i) {
+      TMDB_ASSERT_OK(right_->Insert(Value::Tuple(
+          {"a", "b", "pad"},
+          {Value::Int(i), Value::Int(rng.UniformInt(0, 100000)),
+           Value::String(pad)})));
+    }
+    TMDB_ASSERT_OK_AND_ASSIGN(
+        t_, Table::Create("T", Type::Tuple({{"a", Type::Int()},
+                                            {"b", Type::Int()},
+                                            {"c", Type::Int()}})));
+    for (int i = 0; i < 12000; ++i) {
+      TMDB_ASSERT_OK(t_->Insert(
+          IntRow({"a", "b", "c"}, {i, rng.UniformInt(0, 40), i % 5})));
+    }
+  }
+
+  PhysicalOpPtr MakeMergeJoin() const {
+    Expr xv = Expr::Var("x", left_->schema());
+    Expr yv = Expr::Var("y", right_->schema());
+    JoinSpec spec;
+    spec.mode = JoinMode::kNestJoin;
+    spec.left_var = "x";
+    spec.right_var = "y";
+    spec.right_type = right_->schema();
+    spec.pred = Expr::True();
+    spec.func = Expr::Must(Expr::Field(yv, "a"));
+    spec.label = "s";
+    return PhysicalOpPtr(new MergeJoinOp(
+        PhysicalOpPtr(new TableScanOp(left_)),
+        PhysicalOpPtr(new TableScanOp(right_)), std::move(spec),
+        {Expr::Must(Expr::Field(xv, "d"))},
+        {Expr::Must(Expr::Field(yv, "b"))}));
+  }
+
+  PhysicalOpPtr MakeNest() const {
+    Expr j = Expr::Var("j", t_->schema());
+    return PhysicalOpPtr(new NestOp(PhysicalOpPtr(new TableScanOp(t_)), {"b"},
+                                    "j", Expr::Must(Expr::Field(j, "c")), "s",
+                                    /*null_group_to_empty=*/false));
+  }
+
+  static constexpr uint64_t kBudget = 128 << 10;
+
+  std::shared_ptr<Table> left_;
+  std::shared_ptr<Table> right_;
+  std::shared_ptr<Table> t_;
+};
+
+TEST_F(SpillPathFaultTest, MergeJoinExternalSortCheckpointSweep) {
+  PhysicalOpPtr plan = MakeMergeJoin();
+  const std::string base = MakeSpillBase("fault-sort");
+  SweepInjectionPoints(plan.get(), 1, kBudget, base);
+  fs::remove_all(base);
+}
+
+TEST_F(SpillPathFaultTest, NestSpillCheckpointSweepAllThreadCounts) {
+  PhysicalOpPtr plan = MakeNest();
+  for (int threads : {1, 2, 4}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    const std::string base =
+        MakeSpillBase("fault-nest-t" + std::to_string(threads));
+    SweepInjectionPoints(plan.get(), threads, kBudget, base);
+    fs::remove_all(base);
+  }
+}
+
+/// ArmIo sweep over a budgeted plan: every write/read fault must surface as
+/// kIoError with nothing left on disk, and a disarmed rerun on the same
+/// executor must reproduce the baseline.
+void SweepIoFaults(PhysicalOp* plan, int threads, uint64_t budget,
+                   const std::string& base) {
+  FaultInjector injector;
+  Executor executor(threads);
+  GuardLimits limits;
+  limits.memory_budget_bytes = budget;
+  executor.set_limits(limits);
+  executor.set_fault_injector(&injector);
+  executor.set_spill_options(true, base, 4096);
+
+  injector.ArmIo(IoFaultKind::kShortWrite, 0);  // count only
+  auto baseline = executor.RunPhysical(plan);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+  const uint64_t writes = injector.io_writes_seen();
+  const uint64_t reads = injector.io_reads_seen();
+  ASSERT_GT(writes, 0u) << "budget never engaged the spill path";
+  ASSERT_GT(reads, 0u);
+
+  struct Channel {
+    IoFaultKind kind;
+    uint64_t ops;
+  };
+  const Channel channels[] = {{IoFaultKind::kShortWrite, writes},
+                              {IoFaultKind::kEnospc, writes},
+                              {IoFaultKind::kCorruptRead, reads}};
+  for (const Channel& ch : channels) {
+    const uint64_t stride = std::max<uint64_t>(1, ch.ops / 5);
+    for (uint64_t n = 1; n <= ch.ops; n += stride) {
+      SCOPED_TRACE("kind=" + std::to_string(static_cast<int>(ch.kind)) +
+                   " n=" + std::to_string(n));
+      injector.ArmIo(ch.kind, n);
+      auto poisoned = executor.RunPhysical(plan);
+      ASSERT_FALSE(poisoned.ok()) << "injected I/O fault did not surface";
+      EXPECT_EQ(poisoned.status().code(), StatusCode::kIoError)
+          << poisoned.status().ToString();
+      EXPECT_TRUE(SpillBaseEmpty(base)) << "fault leaked spill files";
+
+      injector.DisarmIo();
+      auto recovered = executor.RunPhysical(plan);
+      ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+      ASSERT_EQ(recovered->size(), baseline->size());
+      for (size_t i = 0; i < recovered->size(); ++i) {
+        ASSERT_TRUE((*recovered)[i].Equals((*baseline)[i]))
+            << "row " << i << " diverges after I/O fault";
+      }
+      EXPECT_TRUE(SpillBaseEmpty(base));
+    }
+  }
+}
+
+TEST_F(SpillPathFaultTest, MergeJoinExternalSortIoFaultSweep) {
+  PhysicalOpPtr plan = MakeMergeJoin();
+  const std::string base = MakeSpillBase("iofault-sort");
+  SweepIoFaults(plan.get(), 1, kBudget, base);
+  fs::remove_all(base);
+}
+
+TEST_F(SpillPathFaultTest, NestSpillIoFaultSweepSerialAndParallel) {
+  PhysicalOpPtr plan = MakeNest();
+  for (int threads : {1, 2, 4}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    const std::string base =
+        MakeSpillBase("iofault-nest-t" + std::to_string(threads));
+    SweepIoFaults(plan.get(), threads, kBudget, base);
+    fs::remove_all(base);
+  }
+}
+
+// --------------------------- guard trips landing mid-spill, new write paths
+
+TEST_F(SpillPathFaultTest, CancelMidExternalSortUnwindsAndCleansUp) {
+  // An endless sort input under a small budget spills runs forever; the
+  // cancel lands thousands of rows in, mid write-out.
+  auto* source = new EndlessSource(/*cancel_after=*/10000);
+  Expr xv = Expr::Var("x", left_->schema());
+  Expr yv = Expr::Var("y", EndlessSource::RowType());
+  JoinSpec spec;
+  spec.mode = JoinMode::kInner;
+  spec.left_var = "x";
+  spec.right_var = "y";
+  spec.right_type = EndlessSource::RowType();
+  spec.pred = Expr::True();
+  PhysicalOpPtr plan(new MergeJoinOp(
+      PhysicalOpPtr(new TableScanOp(left_)), PhysicalOpPtr(source),
+      std::move(spec), {Expr::Must(Expr::Field(xv, "d"))},
+      {Expr::Must(Expr::Field(yv, "b"))}));
+
+  const std::string base = MakeSpillBase("cancel-sort");
+  FaultInjector injector;
+  Executor executor(1);
+  GuardLimits limits;
+  limits.memory_budget_bytes = 64 << 10;
+  executor.set_limits(limits);
+  executor.set_fault_injector(&injector);
+  executor.set_spill_options(true, base, 4096);
+  injector.ArmIo(IoFaultKind::kShortWrite, 0);  // count, never fire
+  auto run = executor.RunPhysical(plan.get());
+  ASSERT_FALSE(run.ok()) << "cancel was lost";
+  EXPECT_EQ(run.status().code(), StatusCode::kCancelled)
+      << run.status().ToString();
+  EXPECT_GT(injector.io_writes_seen(), 0u)
+      << "cancel landed before the sort spilled — tighten the budget";
+  EXPECT_TRUE(SpillBaseEmpty(base)) << "cancellation leaked sort runs";
+  fs::remove_all(base);
+}
+
+TEST_F(SpillPathFaultTest, DeadlineMidExternalSortSurfaces) {
+  auto* source = new EndlessSource();  // never self-cancels
+  Expr xv = Expr::Var("x", left_->schema());
+  Expr yv = Expr::Var("y", EndlessSource::RowType());
+  JoinSpec spec;
+  spec.mode = JoinMode::kInner;
+  spec.left_var = "x";
+  spec.right_var = "y";
+  spec.right_type = EndlessSource::RowType();
+  spec.pred = Expr::True();
+  PhysicalOpPtr plan(new MergeJoinOp(
+      PhysicalOpPtr(new TableScanOp(left_)), PhysicalOpPtr(source),
+      std::move(spec), {Expr::Must(Expr::Field(xv, "d"))},
+      {Expr::Must(Expr::Field(yv, "b"))}));
+
+  const std::string base = MakeSpillBase("deadline-sort");
+  Executor executor(1);
+  GuardLimits limits;
+  limits.memory_budget_bytes = 64 << 10;
+  limits.timeout_ms = 100;
+  executor.set_limits(limits);
+  executor.set_spill_options(true, base, 4096);
+  auto run = executor.RunPhysical(plan.get());
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kDeadlineExceeded)
+      << run.status().ToString();
+  EXPECT_TRUE(SpillBaseEmpty(base)) << "deadline trip leaked sort runs";
+  fs::remove_all(base);
+}
+
+TEST_F(SpillPathFaultTest, CancelMidNestSpillUnwindsAndCleansUp) {
+  // ν over an endless stream grows 37 groups without bound: the budget
+  // engages the grouped-materialisation spill, then the cancel lands.
+  auto* source = new EndlessSource(/*cancel_after=*/10000);
+  Expr j = Expr::Var("j", EndlessSource::RowType());
+  PhysicalOpPtr plan(new NestOp(PhysicalOpPtr(source), {"b"}, "j",
+                                Expr::Must(Expr::Field(j, "a")), "s",
+                                /*null_group_to_empty=*/false));
+
+  const std::string base = MakeSpillBase("cancel-nest");
+  FaultInjector injector;
+  Executor executor(1);
+  GuardLimits limits;
+  limits.memory_budget_bytes = 64 << 10;
+  executor.set_limits(limits);
+  executor.set_fault_injector(&injector);
+  executor.set_spill_options(true, base, 4096);
+  injector.ArmIo(IoFaultKind::kShortWrite, 0);  // count, never fire
+  auto run = executor.RunPhysical(plan.get());
+  ASSERT_FALSE(run.ok()) << "cancel was lost";
+  EXPECT_EQ(run.status().code(), StatusCode::kCancelled)
+      << run.status().ToString();
+  EXPECT_GT(injector.io_writes_seen(), 0u)
+      << "cancel landed before ν spilled — tighten the budget";
+  EXPECT_TRUE(SpillBaseEmpty(base)) << "cancellation leaked ν partitions";
+  fs::remove_all(base);
+}
+
+// ------------------------------- subplan-cache overflow under I/O faults
+
+TEST_F(SubplanFaultTest, CacheOverflowIoFaultsDegradeWithoutFailing) {
+  // A 1-byte soft cap over a thrashing key cycle keeps the disk-overflow
+  // path hot: constant writes (evictions), reads (fault-ins) and unlinks.
+  // Unlike the operator spill paths, every cache I/O failure must DEGRADE —
+  // a failed write drops the entry, a corrupt read recomputes — never fail
+  // the query, and never change its rows.
+  PhysicalOpPtr plan = MakeSubplanFilter();
+  const std::string base = MakeSpillBase("iofault-subcache");
+  FaultInjector injector;
+  Executor executor(1);
+  executor.set_subplan_cache_bytes(1);
+  executor.set_fault_injector(&injector);
+  executor.set_spill_options(true, base, 4096);
+
+  injector.ArmIo(IoFaultKind::kShortWrite, 0);  // count only
+  TMDB_ASSERT_OK_AND_ASSIGN(auto baseline, executor.RunPhysical(plan.get()));
+  const uint64_t writes = injector.io_writes_seen();
+  const uint64_t reads = injector.io_reads_seen();
+  const uint64_t unlinks = injector.io_unlinks_seen();
+  ASSERT_GT(writes, 0u) << "soft cap never overflowed to disk";
+  ASSERT_GT(reads, 0u) << "no overflow entry was ever faulted back in";
+  ASSERT_GT(unlinks, 0u);
+  EXPECT_TRUE(SpillBaseEmpty(base));
+
+  struct Channel {
+    IoFaultKind kind;
+    uint64_t ops;
+  };
+  const Channel channels[] = {{IoFaultKind::kShortWrite, writes},
+                              {IoFaultKind::kEnospc, writes},
+                              {IoFaultKind::kCorruptRead, reads},
+                              {IoFaultKind::kUnlinkFail, unlinks}};
+  for (const Channel& ch : channels) {
+    const uint64_t stride = std::max<uint64_t>(1, ch.ops / 5);
+    for (uint64_t n = 1; n <= ch.ops; n += stride) {
+      SCOPED_TRACE("kind=" + std::to_string(static_cast<int>(ch.kind)) +
+                   " n=" + std::to_string(n));
+      injector.ArmIo(ch.kind, n);
+      auto run = executor.RunPhysical(plan.get());
+      ASSERT_TRUE(run.ok())
+          << "cache overflow I/O fault failed the query: "
+          << run.status().ToString();
+      ASSERT_EQ(run->size(), baseline.size());
+      for (size_t i = 0; i < run->size(); ++i) {
+        ASSERT_TRUE((*run)[i].Equals(baseline[i]))
+            << "row " << i << " diverges under cache I/O fault";
+      }
+      EXPECT_EQ(injector.io_faults_fired(), 1u) << "fault never fired";
+      EXPECT_TRUE(SpillBaseEmpty(base));
+    }
+  }
+  fs::remove_all(base);
 }
 
 // ------------------------------------------------- fault injector itself

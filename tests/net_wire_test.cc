@@ -241,9 +241,12 @@ TEST(WirePayloadTest, StatsRoundtripAllCounters) {
   in.spill_bytes_written = 7;
   in.spill_bytes_read = 8;
   in.spill_max_depth = 9;
+  in.spill_sort_runs = 14;
   in.subplan_cache_hits = 10;
   in.subplan_cache_misses = 11;
   in.subplan_cache_evictions = 12;
+  in.subplan_cache_disk_evictions = 15;
+  in.subplan_cache_disk_faults = 16;
   in.guard_checkpoints = 13;
   std::string payload;
   EncodeStatsPayload(in, &payload);
@@ -258,9 +261,12 @@ TEST(WirePayloadTest, StatsRoundtripAllCounters) {
   EXPECT_EQ(out.spill_bytes_written, in.spill_bytes_written);
   EXPECT_EQ(out.spill_bytes_read, in.spill_bytes_read);
   EXPECT_EQ(out.spill_max_depth, in.spill_max_depth);
+  EXPECT_EQ(out.spill_sort_runs, in.spill_sort_runs);
   EXPECT_EQ(out.subplan_cache_hits, in.subplan_cache_hits);
   EXPECT_EQ(out.subplan_cache_misses, in.subplan_cache_misses);
   EXPECT_EQ(out.subplan_cache_evictions, in.subplan_cache_evictions);
+  EXPECT_EQ(out.subplan_cache_disk_evictions, in.subplan_cache_disk_evictions);
+  EXPECT_EQ(out.subplan_cache_disk_faults, in.subplan_cache_disk_faults);
   EXPECT_EQ(out.guard_checkpoints, in.guard_checkpoints);
 }
 

@@ -25,6 +25,7 @@
 #include "exec/basic_ops.h"
 #include "exec/executor.h"
 #include "exec/hash_join.h"
+#include "exec/merge_join.h"
 #include "exec/nest_op.h"
 #include "exec/query_guard.h"
 #include "tests/test_util.h"
@@ -128,6 +129,24 @@ class SpillJoinTest : public ::testing::Test {
         {Expr::Must(Expr::Field(yv, "b"))}));
   }
 
+  PhysicalOpPtr MakeMergeJoin(JoinMode mode) const {
+    Expr xv = Expr::Var("x", left_->schema());
+    Expr yv = Expr::Var("y", right_->schema());
+    JoinSpec spec;
+    spec.mode = mode;
+    spec.left_var = "x";
+    spec.right_var = "y";
+    spec.right_type = right_->schema();
+    spec.pred = Expr::True();
+    spec.func = Expr::Must(Expr::Field(yv, "a"));
+    spec.label = "s";
+    return PhysicalOpPtr(new MergeJoinOp(
+        PhysicalOpPtr(new TableScanOp(left_)),
+        PhysicalOpPtr(new TableScanOp(right_)), std::move(spec),
+        {Expr::Must(Expr::Field(xv, "d"))},
+        {Expr::Must(Expr::Field(yv, "b"))}));
+  }
+
   static constexpr uint64_t kBudget = 128 << 10;  // build side is ~8-20× this
 
   std::shared_ptr<Table> left_;
@@ -222,6 +241,193 @@ TEST_F(SpillJoinTest, MaxRowsTripIsNeverSpilled) {
   EXPECT_EQ(executor.stats().spill_partitions, 0u);
   EXPECT_TRUE(SpillBaseEmpty(base));
   fs::remove_all(base);
+}
+
+// ---------------------------------------------- merge join external sort
+
+TEST_F(SpillJoinTest, MergeJoinAllModesExternalSortBitIdentical) {
+  for (JoinMode mode : {JoinMode::kInner, JoinMode::kSemi, JoinMode::kAnti,
+                        JoinMode::kLeftOuter, JoinMode::kNestJoin}) {
+    SCOPED_TRACE(JoinModeName(mode));
+    PhysicalOpPtr plan = MakeMergeJoin(mode);
+
+    Executor reference(1);
+    TMDB_ASSERT_OK_AND_ASSIGN(std::vector<Value> baseline,
+                              reference.RunPhysical(plan.get()));
+    EXPECT_EQ(reference.stats().spill_sort_runs, 0u);
+
+    for (int threads : {1, 2}) {
+      SCOPED_TRACE("threads=" + std::to_string(threads));
+      const std::string base =
+          MakeSpillBase("mj-" + JoinModeName(mode) + "-t" +
+                        std::to_string(threads));
+      Executor executor(threads);
+      GuardLimits limits;
+      limits.memory_budget_bytes = kBudget;
+      executor.set_limits(limits);
+      executor.set_spill_options(true, base, /*block_bytes=*/4096);
+      executor.mutable_stats()->Reset();
+
+      TMDB_ASSERT_OK_AND_ASSIGN(std::vector<Value> spilled,
+                                executor.RunPhysical(plan.get()));
+      EXPECT_TRUE(BitIdentical(spilled, baseline));
+      EXPECT_GT(executor.stats().spill_sort_runs, 0u)
+          << "budget never engaged the external sort: "
+          << executor.stats().ToString();
+      EXPECT_GT(executor.stats().spill_bytes_written, 0u);
+      EXPECT_GT(executor.stats().spill_bytes_read, 0u);
+      EXPECT_EQ(executor.stats().rows_emitted, reference.stats().rows_emitted);
+      EXPECT_TRUE(SpillBaseEmpty(base));
+      fs::remove_all(base);
+    }
+  }
+}
+
+TEST_F(SpillJoinTest, MergeJoinSpillDisabledStillFailsFast) {
+  PhysicalOpPtr plan = MakeMergeJoin(JoinMode::kNestJoin);
+  Executor executor(1);
+  GuardLimits limits;
+  limits.memory_budget_bytes = kBudget;
+  executor.set_limits(limits);  // spill NOT enabled
+  auto run = executor.RunPhysical(plan.get());
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kResourceExhausted)
+      << run.status().ToString();
+}
+
+// ----------------------------------------------- ν grouped-materialisation
+
+/// Many input rows in a small group-key domain: the drain's slot charges
+/// dwarf the budget long before grouping starts, while a tiny element
+/// domain (c ∈ [0,5), deduped by set semantics at emit) keeps the grouped
+/// *output* far below it — spilling relieves input residency; it cannot
+/// shrink the result.
+class SpillNestTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Random rng(77);
+    TMDB_ASSERT_OK_AND_ASSIGN(
+        table_, Table::Create("T", Type::Tuple({{"a", Type::Int()},
+                                                {"b", Type::Int()},
+                                                {"c", Type::Int()}})));
+    for (int i = 0; i < 12000; ++i) {
+      TMDB_ASSERT_OK(table_->Insert(IntRow(
+          {"a", "b", "c"}, {i, rng.UniformInt(0, 40), i % 5})));
+    }
+  }
+
+  PhysicalOpPtr MakeNest() const {
+    Expr j = Expr::Var("j", table_->schema());
+    return PhysicalOpPtr(new NestOp(
+        PhysicalOpPtr(new TableScanOp(table_)), {"b"}, "j",
+        Expr::Must(Expr::Field(j, "c")), "s",
+        /*null_group_to_empty=*/false));
+  }
+
+  static constexpr uint64_t kBudget = 128 << 10;
+
+  std::shared_ptr<Table> table_;
+};
+
+TEST_F(SpillNestTest, GroupingSpillsBitIdenticalSerialAndParallel) {
+  PhysicalOpPtr plan = MakeNest();
+  Executor reference(1);
+  TMDB_ASSERT_OK_AND_ASSIGN(std::vector<Value> baseline,
+                            reference.RunPhysical(plan.get()));
+  EXPECT_EQ(reference.stats().spill_partitions, 0u);
+
+  for (int threads : {1, 2, 4}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    const std::string base = MakeSpillBase("nest-t" + std::to_string(threads));
+    Executor executor(threads);
+    GuardLimits limits;
+    limits.memory_budget_bytes = kBudget;
+    executor.set_limits(limits);
+    executor.set_spill_options(true, base, /*block_bytes=*/4096);
+    executor.mutable_stats()->Reset();
+
+    TMDB_ASSERT_OK_AND_ASSIGN(std::vector<Value> spilled,
+                              executor.RunPhysical(plan.get()));
+    EXPECT_TRUE(BitIdentical(spilled, baseline));
+    EXPECT_GT(executor.stats().spill_partitions, 0u)
+        << "budget never engaged the ν spill path: "
+        << executor.stats().ToString();
+    EXPECT_GT(executor.stats().spill_bytes_written, 0u);
+    EXPECT_GT(executor.stats().spill_bytes_read, 0u);
+    EXPECT_EQ(executor.stats().rows_emitted, reference.stats().rows_emitted);
+    EXPECT_TRUE(SpillBaseEmpty(base));
+    fs::remove_all(base);
+  }
+}
+
+TEST_F(SpillNestTest, NuStarNullPaddingDroppedAcrossSpill) {
+  // ν* variant: all-NULL padded elements (outerjoin dangles) must become
+  // empty sets — not lost rows, not sets holding a null — even when the
+  // grouping spills; the padding check runs on decoded spill records too.
+  Random rng(99);
+  TMDB_ASSERT_OK_AND_ASSIGN(
+      auto padded,
+      Table::Create("P",
+                    Type::Tuple({{"id", Type::Int()},
+                                 {"k", Type::Int()},
+                                 {"p", Type::Tuple({{"q", Type::Int()}})}})));
+  for (int i = 0; i < 12000; ++i) {
+    const int k = rng.UniformInt(0, 40);
+    const bool dangle = k >= 30;  // keys 30..39 carry only padding
+    TMDB_ASSERT_OK(padded->Insert(Value::Tuple(
+        {"id", "k", "p"},
+        {Value::Int(i), Value::Int(k),
+         Value::Tuple({"q"},
+                      {dangle ? Value::Null() : Value::Int(i % 5)})})));
+  }
+  Expr row = Expr::Var("t", padded->schema());
+  PhysicalOpPtr plan(new NestOp(
+      PhysicalOpPtr(new TableScanOp(padded)), {"k"}, "t",
+      Expr::Must(Expr::Field(row, "p")), "ps",
+      /*null_group_to_empty=*/true));
+
+  Executor reference(1);
+  TMDB_ASSERT_OK_AND_ASSIGN(std::vector<Value> baseline,
+                            reference.RunPhysical(plan.get()));
+  size_t empty_sets = 0;
+  for (const Value& out_row : baseline) {
+    TMDB_ASSERT_OK_AND_ASSIGN(Value s, out_row.Field("ps"));
+    if (s.Equals(Value::EmptySet())) ++empty_sets;
+  }
+  ASSERT_GT(empty_sets, 0u) << "workload produced no dangling groups";
+
+  for (int threads : {1, 2, 4}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    const std::string base =
+        MakeSpillBase("nustar-t" + std::to_string(threads));
+    Executor executor(threads);
+    GuardLimits limits;
+    limits.memory_budget_bytes = kBudget;
+    executor.set_limits(limits);
+    executor.set_spill_options(true, base, /*block_bytes=*/4096);
+    executor.mutable_stats()->Reset();
+
+    TMDB_ASSERT_OK_AND_ASSIGN(std::vector<Value> spilled,
+                              executor.RunPhysical(plan.get()));
+    EXPECT_TRUE(BitIdentical(spilled, baseline));
+    EXPECT_GT(executor.stats().spill_partitions, 0u)
+        << "budget never engaged the ν* spill path: "
+        << executor.stats().ToString();
+    EXPECT_TRUE(SpillBaseEmpty(base));
+    fs::remove_all(base);
+  }
+}
+
+TEST_F(SpillNestTest, SpillDisabledStillFailsFast) {
+  PhysicalOpPtr plan = MakeNest();
+  Executor executor(1);
+  GuardLimits limits;
+  limits.memory_budget_bytes = kBudget;
+  executor.set_limits(limits);  // spill NOT enabled
+  auto run = executor.RunPhysical(plan.get());
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kResourceExhausted)
+      << run.status().ToString();
 }
 
 // --------------------------------------------------- I/O fault injection
@@ -504,6 +710,92 @@ TEST_F(SpillSemanticsTest, SubsetEqBugQuerySpillsExactly) {
       "SELECT x FROM X x WHERE x.a SUBSETEQ (SELECT y.a FROM Y y "
       "WHERE x.b = y.b)";
   ExpectSpilledRunsMatch(&db, query, /*budget=*/256 << 10);
+}
+
+TEST_F(SpillSemanticsTest, CountBugQueryMergeJoinExternalSortsExactly) {
+  Database db;
+  CountBugConfig config;
+  config.num_r = 100;
+  config.num_s = 24000;
+  config.match_fraction = 0.5;
+  config.domain_scale = 64;
+  TMDB_ASSERT_OK(LoadCountBugTables(&db, config));
+  const std::string query =
+      "SELECT x FROM R x WHERE x.b = count(SELECT y.d FROM S y "
+      "WHERE x.c = y.c)";
+  const std::string base = MakeSpillBase("mj-e2e");
+
+  RunOptions unbudgeted = Opts(0, false, 1, "");
+  unbudgeted.join_impl = JoinImpl::kMerge;
+  TMDB_ASSERT_OK_AND_ASSIGN(QueryResult reference, db.Run(query, unbudgeted));
+
+  // The same budget with spilling off fails fast …
+  RunOptions hard = Opts(256 << 10, false, 1, "");
+  hard.join_impl = JoinImpl::kMerge;
+  auto hard_fail = db.Run(query, hard);
+  ASSERT_FALSE(hard_fail.ok());
+  EXPECT_EQ(hard_fail.status().code(), StatusCode::kResourceExhausted)
+      << hard_fail.status().ToString();
+
+  // … and with spilling on, the merge join degrades to sorted runs on disk
+  // and reproduces the in-memory answer bit for bit.
+  RunOptions opts = Opts(256 << 10, true, 1, base);
+  opts.join_impl = JoinImpl::kMerge;
+  TMDB_ASSERT_OK_AND_ASSIGN(QueryResult spilled, db.Run(query, opts));
+  EXPECT_TRUE(BitIdentical(spilled.rows, reference.rows));
+  EXPECT_GT(spilled.stats.spill_sort_runs, 0u)
+      << "budget never engaged the external sort: "
+      << spilled.stats.ToString();
+  EXPECT_EQ(spilled.stats.rows_emitted, reference.stats.rows_emitted);
+  EXPECT_TRUE(SpillBaseEmpty(base));
+
+  // And the spilled merge-join answer matches the naive reference.
+  RunOptions naive;
+  naive.strategy = Strategy::kNaive;
+  TMDB_ASSERT_OK_AND_ASSIGN(QueryResult truth, db.Run(query, naive));
+  EXPECT_TRUE(RowsEqual(spilled.rows, truth.rows));
+  fs::remove_all(base);
+}
+
+TEST_F(SpillSemanticsTest, OuterJoinNuStarGroupingSpillsExactly) {
+  // Ganski–Wong (outerjoin + ν*): the flat outerjoin and the ν* regrouping
+  // must survive partitioning to disk, null-padding drops included. The
+  // outerjoin's flat output is resident state no amount of spilling can
+  // shed, so the key domain is extra sparse (domain_scale 256) to keep it
+  // small while the build side still dwarfs the budget.
+  Database db;
+  CountBugConfig config;
+  config.num_r = 100;
+  config.num_s = 24000;
+  config.match_fraction = 0.5;
+  config.domain_scale = 256;
+  TMDB_ASSERT_OK(LoadCountBugTables(&db, config));
+  const std::string query =
+      "SELECT x FROM R x WHERE x.b = count(SELECT y.d FROM S y "
+      "WHERE x.c = y.c)";
+  const std::string base = MakeSpillBase("nustar-e2e");
+
+  RunOptions unbudgeted = Opts(0, false, 1, "");
+  unbudgeted.strategy = Strategy::kOuterJoin;
+  TMDB_ASSERT_OK_AND_ASSIGN(QueryResult reference, db.Run(query, unbudgeted));
+
+  for (int threads : {1, 2, 4}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    RunOptions opts = Opts(256 << 10, true, threads, base);
+    opts.strategy = Strategy::kOuterJoin;
+    TMDB_ASSERT_OK_AND_ASSIGN(QueryResult spilled, db.Run(query, opts));
+    EXPECT_TRUE(BitIdentical(spilled.rows, reference.rows));
+    EXPECT_GT(spilled.stats.spill_partitions, 0u)
+        << "budget never engaged the spill path: "
+        << spilled.stats.ToString();
+    EXPECT_TRUE(SpillBaseEmpty(base));
+  }
+
+  RunOptions naive;
+  naive.strategy = Strategy::kNaive;
+  TMDB_ASSERT_OK_AND_ASSIGN(QueryResult truth, db.Run(query, naive));
+  EXPECT_TRUE(RowsEqual(reference.rows, truth.rows));
+  fs::remove_all(base);
 }
 
 TEST_F(SpillSemanticsTest, MultiLevelSpillReachesDepthTwo) {

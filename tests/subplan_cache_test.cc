@@ -12,6 +12,7 @@
 //    off, or thrashing.
 
 #include <cstdint>
+#include <filesystem>
 #include <string>
 #include <vector>
 
@@ -26,13 +27,32 @@
 #include "exec/executor.h"
 #include "exec/query_guard.h"
 #include "exec/subplan_cache.h"
+#include "spill/spill_manager.h"
 #include "tests/test_util.h"
 #include "workload/generators.h"
 
 namespace tmdb {
 namespace {
 
+namespace fs = std::filesystem;
+
 using testutil::IntRow;
+
+std::string MakeSpillBase(const std::string& name) {
+  fs::path dir = fs::path(::testing::TempDir()) / ("tmdb-test-" + name);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+::testing::AssertionResult SpillBaseEmpty(const std::string& base) {
+  if (!fs::exists(base)) return ::testing::AssertionSuccess();
+  for (const auto& entry : fs::directory_iterator(base)) {
+    return ::testing::AssertionFailure()
+           << "leaked spill artefact: " << entry.path().string();
+  }
+  return ::testing::AssertionSuccess();
+}
 
 // ------------------------------------------------- correlation signatures
 
@@ -329,6 +349,105 @@ TEST_F(SubplanCacheTest, ResetRefundsTheGuardCharge) {
   EXPECT_EQ(cache_.resident_bytes(), 0u);
 }
 
+// ----------------------------------------------- disk-backed overflow
+
+TEST_F(SubplanCacheTest, CapacityOverflowSpillsToDiskAndFaultsBackIn) {
+  const std::string base = MakeSpillBase("subcache-overflow");
+  {
+    SpillManager spill(base, /*block_bytes=*/4096, /*injector=*/nullptr);
+    ResetGuard(0);
+    cache_.Reset(&guard_, /*capacity_bytes=*/1, &spill);
+
+    for (int k = 0; k < 4; ++k) {
+      TMDB_ASSERT_OK_AND_ASSIGN(auto miss,
+                                cache_.Acquire(subplan_.get(), Value::Int(k)));
+      ASSERT_FALSE(miss.has_value());
+      TMDB_ASSERT_OK(cache_.Fulfill(subplan_.get(), Value::Int(k),
+                                    testutil::IntSet({k, k + 10})));
+    }
+    // With a spill manager the soft cap overflows to disk instead of
+    // dropping: nothing is evicted outright, so nothing recomputes.
+    EXPECT_EQ(cache_.disk_evictions(), 3u);
+    EXPECT_EQ(cache_.evictions(), 0u);
+
+    // The oldest entry is a hit again — faulted in from its spill file.
+    TMDB_ASSERT_OK_AND_ASSIGN(auto oldest,
+                              cache_.Acquire(subplan_.get(), Value::Int(0)));
+    ASSERT_TRUE(oldest.has_value());
+    EXPECT_TRUE(oldest->Equals(testutil::IntSet({0, 10})));
+    EXPECT_EQ(cache_.disk_faults(), 1u);
+    EXPECT_EQ(cache_.hits(), 1u);
+    EXPECT_EQ(cache_.misses(), 4u);
+    // Fault-in re-applies the soft cap: the displaced entry went to disk.
+    EXPECT_EQ(cache_.disk_evictions(), 4u);
+
+    cache_.Reset(nullptr, 0);
+    spill.CleanupAll();
+  }
+  EXPECT_TRUE(SpillBaseEmpty(base));
+  fs::remove_all(base);
+}
+
+TEST_F(SubplanCacheTest, FaultInOverBudgetServesUncachedAndKeepsTheFile) {
+  const std::string base = MakeSpillBase("subcache-pressure");
+  {
+    SpillManager spill(base, 4096, nullptr);
+    // A 4 KiB budget against ~8 KiB results: Fulfill cannot keep the entry
+    // resident and has nothing older to shed, so it goes straight to disk.
+    ResetGuard(4u << 10);
+    cache_.Reset(&guard_, kDefaultSubplanCacheBytes, &spill);
+
+    TMDB_ASSERT_OK_AND_ASSIGN(auto miss,
+                              cache_.Acquire(subplan_.get(), Value::Int(1)));
+    ASSERT_FALSE(miss.has_value());
+    TMDB_ASSERT_OK(cache_.Fulfill(subplan_.get(), Value::Int(1),
+                                  Value::String(std::string(8 << 10, 'v'))));
+    EXPECT_EQ(cache_.disk_evictions(), 1u);
+    EXPECT_EQ(cache_.resident_bytes(), 0u);
+
+    // Every Acquire faults the value in, finds the budget still blown, and
+    // hands it to the caller uncached — the file survives for the next one.
+    for (uint64_t round = 1; round <= 2; ++round) {
+      TMDB_ASSERT_OK_AND_ASSIGN(auto hit,
+                                cache_.Acquire(subplan_.get(), Value::Int(1)));
+      ASSERT_TRUE(hit.has_value());
+      EXPECT_TRUE(hit->Equals(Value::String(std::string(8 << 10, 'v'))));
+      EXPECT_EQ(cache_.disk_faults(), round);
+      EXPECT_EQ(cache_.hits(), round);
+      EXPECT_EQ(cache_.resident_bytes(), 0u);
+    }
+
+    cache_.Reset(nullptr, 0);
+    spill.CleanupAll();
+  }
+  EXPECT_TRUE(SpillBaseEmpty(base));
+  fs::remove_all(base);
+}
+
+TEST_F(SubplanCacheTest, ResetRemovesOverflowFiles) {
+  const std::string base = MakeSpillBase("subcache-reset");
+  {
+    SpillManager spill(base, 4096, nullptr);
+    ResetGuard(0);
+    cache_.Reset(&guard_, 1, &spill);
+    for (int k = 0; k < 3; ++k) {
+      TMDB_ASSERT_OK_AND_ASSIGN(auto miss,
+                                cache_.Acquire(subplan_.get(), Value::Int(k)));
+      ASSERT_FALSE(miss.has_value());
+      TMDB_ASSERT_OK(
+          cache_.Fulfill(subplan_.get(), Value::Int(k), testutil::IntSet({k})));
+    }
+    EXPECT_EQ(cache_.disk_evictions(), 2u);
+
+    // Reset drops the on-disk stubs through the manager they were written
+    // with; the manager's own teardown then leaves the base directory bare.
+    cache_.Reset(nullptr, 0);
+    spill.CleanupAll();
+  }
+  EXPECT_TRUE(SpillBaseEmpty(base));
+  fs::remove_all(base);
+}
+
 // --------------------------------------------------- end-to-end behaviour
 
 class SubplanCacheE2eTest : public ::testing::Test {
@@ -395,6 +514,30 @@ TEST_F(SubplanCacheE2eTest, ThrashingCacheStaysCorrect) {
                             db_.Run(kCorrelated, Naive(1)));
   EXPECT_GT(thrashing.stats.subplan_cache_evictions, 0u);
   EXPECT_TRUE(testutil::RowsEqual(thrashing.rows, reference.rows));
+}
+
+TEST_F(SubplanCacheE2eTest, ThrashingWithSpillKeepsExactlyOnce) {
+  // Same 1-byte soft cap as ThrashingCacheStaysCorrect, but with spilling
+  // enabled the evicted results overflow to disk and fault back in: the
+  // ten distinct keys are still computed exactly once while residency
+  // stays at a single entry.
+  TMDB_ASSERT_OK_AND_ASSIGN(QueryResult reference,
+                            db_.Run(kCorrelated, Naive(0)));
+  const std::string base = MakeSpillBase("subcache-e2e");
+  RunOptions options = Naive(1);
+  options.enable_spill = true;
+  options.spill_dir = base;
+  options.spill_block_bytes = 4096;
+  TMDB_ASSERT_OK_AND_ASSIGN(QueryResult spilled, db_.Run(kCorrelated, options));
+  EXPECT_EQ(spilled.stats.subplan_evals, 10u);
+  EXPECT_EQ(spilled.stats.subplan_cache_misses, 10u);
+  EXPECT_EQ(spilled.stats.subplan_cache_hits, 190u);
+  EXPECT_EQ(spilled.stats.subplan_cache_evictions, 0u);
+  EXPECT_GT(spilled.stats.subplan_cache_disk_evictions, 0u);
+  EXPECT_GT(spilled.stats.subplan_cache_disk_faults, 0u);
+  EXPECT_TRUE(testutil::RowsEqual(spilled.rows, reference.rows));
+  EXPECT_TRUE(SpillBaseEmpty(base));
+  fs::remove_all(base);
 }
 
 TEST_F(SubplanCacheE2eTest, TightMemoryBudgetEvictsBeforeFailing) {
