@@ -1,0 +1,145 @@
+// Cost-based strategy choice (strategy = auto) against the forced
+// strategies, over the two workload poles the cost model must tell apart:
+//
+//  - high hit ratio: 10 distinct correlation values over 10k outer rows —
+//    memoized naive evaluation does 10 inner evaluations instead of 10k,
+//    and auto must pick it;
+//  - low hit ratio: every outer row has its own correlation value — the
+//    memo never hits, the unnested rewrites win, and auto must pick one.
+//
+// Shape expected: on each workload auto lands within ~10% of the best
+// forced strategy (the delta is its sampling overhead: one reservoir pass
+// per table per run). The strategy_chosen counter records the pick
+// (1 = naive, 4 = nestjoin, 5 = nestjoin-only) and strategy_switches stays
+// 0 — the estimates are accurate here, so the adaptive probe never fires.
+// BM_AutoAdaptiveSwitch bounds the cost of a *wrong* pick: a 1-byte cache
+// thrashes the memo, the controller detects the miss storm at the 64th
+// probe and restarts with the nest join; the re-planned run is bounded by
+// naive-uncached above it.
+
+#include <cstdio>
+#include <string>
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "core/database.h"
+#include "translate/strategies.h"
+#include "workload/generators.h"
+
+namespace tmdb {
+namespace {
+
+using bench::CheckOk;
+using bench::GlobalDbCache;
+
+constexpr char kQuery[] =
+    "SELECT (a = o.a, n = count(SELECT i.v FROM I i WHERE o.k = i.k)) "
+    "FROM O o";
+
+constexpr size_t kNumOuter = 20000;
+constexpr size_t kNumInner = 1000;
+
+Database* CorrelatedDb(int64_t scale) {
+  return GlobalDbCache().Get("strategy_corr_" + std::to_string(scale),
+                             [scale](Database* db) {
+                               CorrelatedConfig config;
+                               config.num_outer = kNumOuter;
+                               config.num_inner = kNumInner;
+                               config.correlation_scale = scale;
+                               return LoadCorrelatedTables(db, config);
+                             });
+}
+
+void RunStrategy(benchmark::State& state, int64_t scale, Strategy strategy,
+                 uint64_t cache_bytes = 16ull << 20) {
+  Database* db = CorrelatedDb(scale);
+  RunOptions options;
+  options.strategy = strategy;
+  options.subplan_cache_bytes = cache_bytes;
+  ExecStats stats;
+  size_t rows = 0;
+  for (auto _ : state) {
+    QueryResult result = CheckOk(db->Run(kQuery, options), kQuery);
+    rows = result.rows.size();
+    stats = result.stats;
+    benchmark::DoNotOptimize(result.rows);
+  }
+  if (rows != kNumOuter) {
+    std::fprintf(stderr, "bench_strategy: expected %zu rows, got %zu\n",
+                 kNumOuter, rows);
+    std::abort();
+  }
+  state.counters["strategy_chosen"] =
+      static_cast<double>(stats.strategy_chosen);
+  state.counters["strategy_switches"] =
+      static_cast<double>(stats.strategy_switches);
+  state.counters["subplan_evals"] = static_cast<double>(stats.subplan_evals);
+}
+
+// ------------------------- high hit ratio: memoized naive should win
+
+void BM_HighHitAuto(benchmark::State& state) {
+  RunStrategy(state, /*scale=*/10, Strategy::kAuto);
+}
+BENCHMARK(BM_HighHitAuto)->Unit(benchmark::kMillisecond);
+
+void BM_HighHitNaiveMemoized(benchmark::State& state) {
+  RunStrategy(state, /*scale=*/10, Strategy::kNaive);
+}
+BENCHMARK(BM_HighHitNaiveMemoized)->Unit(benchmark::kMillisecond);
+
+void BM_HighHitNestJoin(benchmark::State& state) {
+  RunStrategy(state, /*scale=*/10, Strategy::kNestJoin);
+}
+BENCHMARK(BM_HighHitNestJoin)->Unit(benchmark::kMillisecond);
+
+void BM_HighHitNestJoinOnly(benchmark::State& state) {
+  RunStrategy(state, /*scale=*/10, Strategy::kNestJoinOnly);
+}
+BENCHMARK(BM_HighHitNestJoinOnly)->Unit(benchmark::kMillisecond);
+
+// --------------------------- low hit ratio: unnesting should win
+
+void BM_LowHitAuto(benchmark::State& state) {
+  RunStrategy(state, /*scale=*/kNumOuter, Strategy::kAuto);
+}
+BENCHMARK(BM_LowHitAuto)->Unit(benchmark::kMillisecond);
+
+void BM_LowHitNaiveMemoized(benchmark::State& state) {
+  RunStrategy(state, /*scale=*/kNumOuter, Strategy::kNaive);
+}
+BENCHMARK(BM_LowHitNaiveMemoized)->Unit(benchmark::kMillisecond);
+
+void BM_LowHitNestJoin(benchmark::State& state) {
+  RunStrategy(state, /*scale=*/kNumOuter, Strategy::kNestJoin);
+}
+BENCHMARK(BM_LowHitNestJoin)->Unit(benchmark::kMillisecond);
+
+void BM_LowHitNestJoinOnly(benchmark::State& state) {
+  RunStrategy(state, /*scale=*/kNumOuter, Strategy::kNestJoinOnly);
+}
+BENCHMARK(BM_LowHitNestJoinOnly)->Unit(benchmark::kMillisecond);
+
+// -------------------- the adaptive switch: cost of a wrong estimate
+
+// auto picks memoized naive (the estimate is right about the data), but a
+// 1-byte cache cannot hold even one entry, so the observed hit ratio
+// collapses and the run restarts with the nest join mid-query. The total —
+// 64 wasted probes, the unwind, the re-planned full run — bounds the price
+// of a mistaken pick against the forced nest join and the uncached naive
+// it escapes from.
+void BM_AutoAdaptiveSwitch(benchmark::State& state) {
+  RunStrategy(state, /*scale=*/10, Strategy::kAuto, /*cache_bytes=*/1);
+}
+BENCHMARK(BM_AutoAdaptiveSwitch)->Unit(benchmark::kMillisecond);
+
+void BM_NaiveUncached(benchmark::State& state) {
+  RunStrategy(state, /*scale=*/10, Strategy::kNaive, /*cache_bytes=*/0);
+}
+BENCHMARK(BM_NaiveUncached)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace tmdb
+
+BENCHMARK_MAIN();

@@ -93,6 +93,18 @@ trap 'rm -rf "$OUT_DIR" "$SPILL_OUT_DIR" "$SUBPLAN_OUT_DIR" "$COLUMNAR_OUT_DIR"'
 )
 merge "$COLUMNAR_OUT_DIR" "$REPO_ROOT/BENCH_columnar.json"
 
+# Strategy suite: cost-based auto against each forced strategy on the
+# high- and low-hit-ratio correlated workloads, plus the adaptive
+# mid-query switch under a thrashing cache. Auto should sit within ~10%
+# of the best forced bar on both workloads.
+STRATEGY_OUT_DIR="$(mktemp -d)"
+trap 'rm -rf "$OUT_DIR" "$SPILL_OUT_DIR" "$SUBPLAN_OUT_DIR" "$COLUMNAR_OUT_DIR" "$STRATEGY_OUT_DIR"' EXIT
+(
+  OUT_DIR="$STRATEGY_OUT_DIR"
+  run bench_strategy
+)
+merge "$STRATEGY_OUT_DIR" "$REPO_ROOT/BENCH_strategy.json"
+
 # Compare the fresh numbers against the committed baselines; warns on >15%
 # real_time regressions (pass --strict via BENCH_DIFF_ARGS to make that
 # fatal in CI).

@@ -5,7 +5,9 @@
 // Statements:
 //   SELECT ... / CREATE TABLE ... / DEFINE SORT ... / INSERT INTO ... VALUES
 // Commands:
-//   \strategy <name>       naive | kim | outerjoin | nestjoin | nestjoin-only
+//   \strategy <name>       auto | naive | kim | outerjoin | nestjoin |
+//                          nestjoin-only (auto = cost-based choice with the
+//                          mid-query adaptive switch)
 //   \threads <n>           parallelism for hash/nest-join builds (default 1)
 //   \timeout <ms>          per-query wall-clock limit, 0 = unlimited
 //   \memlimit <bytes>      per-query materialisation budget, 0 = unlimited
@@ -42,17 +44,6 @@ void CheckSetup(const Status& status) {
     std::fprintf(stderr, "setup error: %s\n", status.ToString().c_str());
     std::exit(1);
   }
-}
-
-bool ParseStrategy(const std::string& name, Strategy* out) {
-  for (Strategy s : {Strategy::kNaive, Strategy::kKim, Strategy::kOuterJoin,
-                     Strategy::kNestJoin, Strategy::kNestJoinOnly}) {
-    if (name == StrategyName(s)) {
-      *out = s;
-      return true;
-    }
-  }
-  return false;
 }
 
 }  // namespace
@@ -127,8 +118,8 @@ int main() {
     }
     if (input.rfind("\\strategy", 0) == 0) {
       std::string name(tmdb::StripWhitespace(input.substr(9)));
-      if (!ParseStrategy(name, &strategy)) {
-        std::printf("  unknown strategy '%s' (naive, kim, outerjoin, "
+      if (!tmdb::ParseStrategyName(name, &strategy)) {
+        std::printf("  unknown strategy '%s' (auto, naive, kim, outerjoin, "
                     "nestjoin, nestjoin-only)\n",
                     name.c_str());
       }

@@ -33,7 +33,8 @@ done
 cmake -B build-tsan -S . -DTMDB_SANITIZE=thread
 cmake --build build-tsan -j --target parallel_exec_test fault_injection_test \
   spill_codec_test spill_exec_test subplan_cache_test columnar_exec_test \
-  differential_exec_test net_service_test executor_reuse_soak_test
+  differential_exec_test cost_model_test net_service_test \
+  executor_reuse_soak_test
 ./build-tsan/tests/parallel_exec_test
 ./build-tsan/tests/fault_injection_test
 ./build-tsan/tests/spill_codec_test
@@ -41,6 +42,10 @@ cmake --build build-tsan -j --target parallel_exec_test fault_injection_test \
 ./build-tsan/tests/subplan_cache_test
 ./build-tsan/tests/columnar_exec_test
 ./build-tsan/tests/differential_exec_test
+# cost_model_test covers the strategy = auto paths: sampling under the
+# guard, the adaptive controller's cross-thread Observe, and the
+# mid-query kStrategySwitch restart.
+./build-tsan/tests/cost_model_test
 # Net suites bind port 0 (ephemeral), so parallel CI jobs never collide;
 # on failure they print the TMDB_NET_SEED that reproduces the schedule.
 ./build-tsan/tests/net_service_test
@@ -51,7 +56,8 @@ cmake --build build-tsan -j --target parallel_exec_test fault_injection_test \
 cmake -B build-asan -S . -DTMDB_SANITIZE=address
 cmake --build build-asan -j --target parallel_exec_test fault_injection_test \
   spill_codec_test spill_exec_test subplan_cache_test columnar_exec_test \
-  differential_exec_test net_service_test executor_reuse_soak_test
+  differential_exec_test cost_model_test net_service_test \
+  executor_reuse_soak_test
 ./build-asan/tests/parallel_exec_test
 ./build-asan/tests/fault_injection_test
 ./build-asan/tests/spill_codec_test
@@ -59,6 +65,7 @@ cmake --build build-asan -j --target parallel_exec_test fault_injection_test \
 ./build-asan/tests/subplan_cache_test
 ./build-asan/tests/columnar_exec_test
 ./build-asan/tests/differential_exec_test
+./build-asan/tests/cost_model_test
 ./build-asan/tests/net_service_test
 ./build-asan/tests/executor_reuse_soak_test
 

@@ -28,6 +28,8 @@ const char* StatusCodeName(StatusCode code) {
       return "ResourceExhausted";
     case StatusCode::kIoError:
       return "IoError";
+    case StatusCode::kStrategySwitch:
+      return "StrategySwitch";
   }
   return "Unknown";
 }

@@ -23,6 +23,8 @@ enum class StatusCode {
   kDeadlineExceeded,  // query ran past its deadline (QueryGuard)
   kResourceExhausted, // row/memory budget tripped (QueryGuard)
   kIoError,           // spill/storage I/O failed or data failed its checksum
+  kStrategySwitch,    // adaptive re-plan requested mid-query (internal: the
+                      // Database catches it and re-runs; never user-facing)
 };
 
 /// Returns a stable human-readable name ("TypeError", ...) for a code.
@@ -85,6 +87,9 @@ class Status {
   }
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status StrategySwitch(std::string msg) {
+    return Status(StatusCode::kStrategySwitch, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

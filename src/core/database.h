@@ -22,7 +22,12 @@ class Executor;
 struct QueryResult {
   std::vector<Value> rows;
   ExecStats stats;
+  /// The strategy that produced `rows`. Under strategy = auto this is the
+  /// cost model's pick (or the switch target after an adaptive re-plan),
+  /// never kAuto itself.
   Strategy strategy = Strategy::kNestJoin;
+  /// True when the query ran with strategy = auto.
+  bool auto_strategy = false;
 
   /// One row per line.
   std::string ToString(size_t max_rows = 50) const;
@@ -84,6 +89,20 @@ struct RunOptions {
   /// bit-identical with it off; the switch exists for A/B comparison and
   /// diagnosis (REPL `\columnar`).
   bool enable_columnar = true;
+
+  // Cost model + adaptive switch (strategy = auto only).
+  /// Reservoir size for per-table sampling; estimates are deterministic for
+  /// a fixed (rows, seed, data) triple.
+  size_t cost_sample_rows = 256;
+  uint64_t cost_sample_seed = 0x5EEDC0DE;
+  /// When the cost model picks memoized naive, the run observes the actual
+  /// subplan-cache hit ratio and re-plans with the best unnested strategy
+  /// once `predicted − observed ≥ adaptive_switch_threshold` (evaluated
+  /// every `adaptive_probe_acquires` cache probes). At most one switch per
+  /// query; attempt 2 runs against the *remaining* timeout / max_rows
+  /// budgets and the work counters accumulate across both attempts.
+  double adaptive_switch_threshold = 0.4;
+  uint64_t adaptive_probe_acquires = 64;
 
   /// Deterministic fault injector consulted at every guard checkpoint and
   /// every spill I/O (tests only). Not owned; must outlive the call.
@@ -147,6 +166,8 @@ class Database {
 
   /// Produces the logical plan for `query` under `strategy` without
   /// executing. `report` (optional) receives the unnesting decisions.
+  /// kAuto resolves through the cost model (default sampling options) and
+  /// returns the chosen strategy's rewrite.
   Result<LogicalOpPtr> Plan(const std::string& query, Strategy strategy,
                             UnnestReport* report = nullptr);
 
@@ -160,7 +181,20 @@ class Database {
   Result<StatementResult> ExecuteParsed(const Statement& statement,
                                         const RunOptions& options,
                                         Executor* executor = nullptr);
-  Result<std::string> ExplainAst(const AstNode& ast, Strategy strategy);
+  /// The single query path behind Run/RunWith/Execute: binds `ast`,
+  /// resolves strategy = auto through the cost model, rewrites, plans and
+  /// runs on `executor` (never null here).
+  Result<QueryResult> RunQueryAst(const AstNode& ast,
+                                  const RunOptions& options,
+                                  Executor* executor);
+  /// The strategy = auto path: costs the alternatives (sampling under the
+  /// run's guard), executes the winner with the adaptive controller armed,
+  /// and on a kStrategySwitch unwind re-plans once with the best unnested
+  /// alternative against the remaining budgets.
+  Result<QueryResult> RunAuto(const LogicalOpPtr& naive,
+                              const RunOptions& options, Executor* executor);
+  Result<std::string> ExplainAst(const AstNode& ast,
+                                 const RunOptions& options);
 
   Catalog catalog_;
 };

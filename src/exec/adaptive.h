@@ -1,0 +1,112 @@
+#ifndef TMDB_EXEC_ADAPTIVE_H_
+#define TMDB_EXEC_ADAPTIVE_H_
+
+#include <cstdint>
+#include <mutex>
+
+#include "base/status.h"
+#include "base/string_util.h"
+
+namespace tmdb {
+
+/// Parameters of the mid-query adaptive strategy switch (strategy = auto).
+struct AdaptiveConfig {
+  /// The cost model's predicted subplan-cache hit ratio — what the chosen
+  /// memoized-naive plan was costed with.
+  double predicted_hit_ratio = 0.0;
+  /// Shortfall (predicted − observed) that triggers the re-plan. The
+  /// default tolerates a badly wrong distinct estimate before paying for a
+  /// restart; <= 0 would switch on any shortfall and is clamped by Arm.
+  double switch_threshold = 0.4;
+  /// Cache acquires per decision window: the observed ratio is evaluated
+  /// whenever the acquire count reaches a multiple of this, so an estimate
+  /// that only goes wrong late (sorted outer, hot prefix) is still caught.
+  uint64_t probe_acquires = 64;
+};
+
+/// Watches the observed subplan-cache hit ratio of a memoized-naive run and
+/// requests a strategy switch when it contradicts the cost model's estimate
+/// past the threshold. Shared by every SubplanRunner of a run (workers
+/// observe concurrently); the decision is sticky — once requested, every
+/// subsequent observation returns the switch status so all workers unwind.
+///
+/// The switch is delivered as StatusCode::kStrategySwitch, which tears down
+/// the attempt through the normal error path (spill cleanup, cache reset,
+/// guard trip-state clearing) — the Database then re-plans with the best
+/// non-naive alternative and re-runs against the remaining budgets.
+class AdaptiveController {
+ public:
+  /// Arms for the next run, resetting observation state.
+  void Arm(const AdaptiveConfig& config) {
+    std::lock_guard<std::mutex> lock(mu_);
+    config_ = config;
+    if (config_.switch_threshold <= 0) config_.switch_threshold = 1e-9;
+    if (config_.probe_acquires == 0) config_.probe_acquires = 64;
+    armed_ = true;
+    acquires_ = 0;
+    hits_ = 0;
+    switch_requested_ = false;
+  }
+
+  void Disarm() {
+    std::lock_guard<std::mutex> lock(mu_);
+    armed_ = false;
+  }
+
+  /// Records one cache-acquire outcome. Returns kStrategySwitch when the
+  /// acquire count reaches a window boundary and the cumulative observed
+  /// hit ratio falls short of the prediction by >= switch_threshold (and on
+  /// every observation after the decision, so concurrent workers unwind).
+  Status Observe(bool hit) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!armed_) return Status::OK();
+    ++acquires_;
+    if (hit) ++hits_;
+    if (!switch_requested_ && acquires_ % config_.probe_acquires == 0) {
+      const double observed =
+          static_cast<double>(hits_) / static_cast<double>(acquires_);
+      if (config_.predicted_hit_ratio - observed >= config_.switch_threshold) {
+        switch_requested_ = true;
+      }
+    }
+    if (switch_requested_) return SwitchStatusLocked();
+    return Status::OK();
+  }
+
+  bool armed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return armed_;
+  }
+  bool switch_requested() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return switch_requested_;
+  }
+  uint64_t acquires() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return acquires_;
+  }
+  double observed_hit_ratio() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (acquires_ == 0) return 0.0;
+    return static_cast<double>(hits_) / static_cast<double>(acquires_);
+  }
+
+ private:
+  Status SwitchStatusLocked() const {
+    return Status::StrategySwitch(
+        StrCat("observed subplan-cache hit ratio ", hits_, "/", acquires_,
+               " contradicts the cost model's estimate of ",
+               config_.predicted_hit_ratio, "; re-planning"));
+  }
+
+  mutable std::mutex mu_;
+  AdaptiveConfig config_;
+  bool armed_ = false;
+  bool switch_requested_ = false;
+  uint64_t acquires_ = 0;
+  uint64_t hits_ = 0;
+};
+
+}  // namespace tmdb
+
+#endif  // TMDB_EXEC_ADAPTIVE_H_

@@ -33,6 +33,10 @@ struct ExecStats {
   uint64_t subplan_cache_disk_evictions = 0;  // entries evicted to spill blocks
   uint64_t subplan_cache_disk_faults = 0;     // on-disk entries faulted back in
   uint64_t guard_checkpoints = 0;       // QueryGuard::Check calls this run
+  // Strategy-decision telemetry (strategy = auto; see StrategyStatCode).
+  uint64_t strategy_chosen = 0;     // 1 + Strategy enum value; 0 = unrecorded
+  uint64_t strategy_switches = 0;   // mid-query adaptive re-plans taken
+  uint64_t est_distinct_corr = 0;   // cost model's distinct-correlation est.
 
   void Reset() { *this = ExecStats(); }
   std::string ToString() const;

@@ -111,6 +111,21 @@ void Executor::set_num_threads(int num_threads) {
   }
 }
 
+void Executor::ArmPlanningGuard() {
+  guard_.Reset(limits_, &stats_, fault_injector_);
+  planning_armed_ = true;
+}
+
+void Executor::AbortPlanning() {
+  planning_armed_ = false;
+  guard_.ClearTripState();
+}
+
+void Executor::ArmAdaptive(const AdaptiveConfig& config) {
+  adaptive_.Arm(config);
+  adaptive_armed_ = true;
+}
+
 Result<std::vector<Value>> Executor::RunPhysical(PhysicalOp* root) {
   // Spill manager first: the cache overflows evicted results to disk
   // through it, so it must exist when the cache rearms.
@@ -123,10 +138,16 @@ Result<std::vector<Value>> Executor::RunPhysical(PhysicalOp* root) {
   // in its *old* state; Reset below then re-baselines cleanly.
   cache_.Reset(subplan_cache_bytes_ > 0 ? &guard_ : nullptr,
                subplan_cache_bytes_, spill_.get());
-  guard_.Reset(limits_, &stats_, fault_injector_);
+  // When a planning phase armed the guard, its window (deadline start,
+  // checkpoint count, cancellation flag) carries into the run unchanged —
+  // cancellations and deadlines span planning + execution as one query.
+  if (!planning_armed_) {
+    guard_.Reset(limits_, &stats_, fault_injector_);
+  }
+  planning_armed_ = false;
   runner_ = std::make_unique<SubplanRunner>(
       subplan_cache_bytes_ > 0 ? &cache_ : nullptr, &guard_, spill_.get(),
-      &stats_);
+      &stats_, adaptive_armed_ ? &adaptive_ : nullptr);
   ExecContext ctx;
   ctx.outer_env = nullptr;
   ctx.subplans = this;
@@ -136,6 +157,15 @@ Result<std::vector<Value>> Executor::RunPhysical(PhysicalOp* root) {
   ctx.guard = &guard_;
   ctx.spill = spill_.get();
   Result<std::vector<Value>> rows = CollectRows(root, &ctx);
+  // A strategy switch races cooperative cancellation: if a Cancel() arrived
+  // while the adaptive unwind was in flight, the user's intent wins — the
+  // caller must see kCancelled and must NOT re-plan.
+  if (!rows.ok() && rows.status().code() == StatusCode::kStrategySwitch &&
+      guard_.cancel_pending()) {
+    rows = Status::Cancelled("query cancelled");
+  }
+  adaptive_armed_ = false;
+  adaptive_.Disarm();
   // Unconditional teardown — success, error, cancellation, guard trip: the
   // spill dir and every remaining file are gone before this returns, the
   // memoized results are dropped (the cache is per-query), and the executor
@@ -176,7 +206,7 @@ Result<Value> Executor::EvaluateSubplan(const SubplanBase& subplan,
 std::unique_ptr<SubplanEvaluator> Executor::Fork(ExecStats* stats) {
   return std::make_unique<SubplanRunner>(
       subplan_cache_bytes_ > 0 ? &cache_ : nullptr, &guard_, spill_.get(),
-      stats);
+      stats, adaptive_armed_ ? &adaptive_ : nullptr);
 }
 
 }  // namespace tmdb

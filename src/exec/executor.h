@@ -11,6 +11,7 @@
 #include "base/fault_injector.h"
 #include "base/result.h"
 #include "base/thread_pool.h"
+#include "exec/adaptive.h"
 #include "exec/exec_context.h"
 #include "exec/physical_op.h"
 #include "exec/query_guard.h"
@@ -70,6 +71,23 @@ class Executor final : public SubplanEvaluator {
   /// guard()->Cancel() to stop an in-flight RunPhysical cooperatively.
   QueryGuard* guard() { return &guard_; }
 
+  /// Arms the guard for a cost-based planning phase that precedes
+  /// RunPhysical: sampling loops then run checkpoints under the very same
+  /// guard window as the execution that follows (one deadline, one
+  /// cancellation flag, one checkpoint count). The next RunPhysical skips
+  /// its own guard Reset so the window is shared; AbortPlanning() rolls the
+  /// arming back when planning fails and no run follows.
+  void ArmPlanningGuard();
+  void AbortPlanning();
+
+  /// Arms the adaptive controller for the next RunPhysical (strategy =
+  /// auto): every subplan-cache acquire is observed, and when the measured
+  /// hit ratio contradicts `config.predicted_hit_ratio` by more than the
+  /// threshold the run unwinds with kStrategySwitch so the caller can
+  /// re-plan. One-shot: RunPhysical disarms on every exit path.
+  void ArmAdaptive(const AdaptiveConfig& config);
+  const AdaptiveController& adaptive() const { return adaptive_; }
+
   /// Direct logical→physical mapping with no optimisation: every join
   /// becomes a nested-loop join, subplans stay correlated. This is the
   /// ground-truth interpreter.
@@ -118,6 +136,11 @@ class Executor final : public SubplanEvaluator {
   // at the end of each RunPhysical.
   uint64_t subplan_cache_bytes_ = kDefaultSubplanCacheBytes;
   SubplanCache cache_;
+  // Strategy-auto machinery: set by ArmPlanningGuard / ArmAdaptive, both
+  // consumed (and cleared) by the next RunPhysical.
+  bool planning_armed_ = false;
+  bool adaptive_armed_ = false;
+  AdaptiveController adaptive_;
   // The coordinator's subplan runner for the active run. Also created on
   // demand (ungoverned, uncached) when EvaluateSubplan is reached outside a
   // run — the INSERT expression path.

@@ -31,6 +31,11 @@ std::string ExecStats::ToString() const {
   if (guard_checkpoints > 0) {
     out += StrCat(" guard_checkpoints=", guard_checkpoints);
   }
+  if (strategy_chosen > 0) {
+    out += StrCat(" strategy_chosen=", strategy_chosen,
+                  " strategy_switches=", strategy_switches,
+                  " est_distinct_corr=", est_distinct_corr);
+  }
   return out;
 }
 

@@ -65,6 +65,14 @@ class QueryGuard {
   /// query runs. Observed at the next checkpoint.
   void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
 
+  /// True when a Cancel() has been requested but not yet cleared by
+  /// Reset/ClearTripState. Lets teardown code distinguish a cancel racing
+  /// another unwind (e.g. an adaptive strategy switch) without spending a
+  /// checkpoint.
+  bool cancel_pending() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
   /// Adds operator-side materialised bytes (container slots the Value
   /// tracker cannot see). Negative deltas release.
   void AddMaterialized(int64_t delta) {

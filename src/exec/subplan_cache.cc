@@ -354,6 +354,18 @@ Result<Value> SubplanRunner::EvaluateSubplan(const SubplanBase& subplan,
                         EvalCorrelationKey(plan_subplan->signature(), env));
   TMDB_ASSIGN_OR_RETURN(std::optional<Value> cached,
                         cache_->Acquire(&subplan, key));
+  if (adaptive_ != nullptr) {
+    // Observed-hit-ratio feedback for strategy = auto. On a miss the switch
+    // fires *before* computing — the whole point is not paying for another
+    // uncacheable evaluation — so the computing entry this thread holds
+    // must be abandoned to release its waiters (they unwind with the same
+    // switch status).
+    Status adapt = adaptive_->Observe(cached.has_value());
+    if (!adapt.ok()) {
+      if (!cached.has_value()) cache_->Abandon(&subplan, key, adapt);
+      return adapt;
+    }
+  }
   if (cached.has_value()) return std::move(*cached);
   stats_->subplan_evals++;
   Result<Value> computed = Compute(subplan, env);

@@ -11,6 +11,7 @@
 #include <utility>
 
 #include "base/result.h"
+#include "exec/adaptive.h"
 #include "exec/exec_context.h"
 #include "exec/physical_op.h"
 #include "exec/query_guard.h"
@@ -158,17 +159,24 @@ class SubplanCache {
 /// parallel stats bit-identical to serial.
 class SubplanRunner final : public SubplanEvaluator {
  public:
-  /// `cache` null disables memoization (every call evaluates); `guard` and
-  /// `spill` may be null. `stats` must outlive the runner.
+  /// `cache` null disables memoization (every call evaluates); `guard`,
+  /// `spill` and `adaptive` may be null. `stats` must outlive the runner.
+  /// A non-null `adaptive` observes every cache-acquire outcome and may
+  /// return kStrategySwitch to abort the attempt (strategy = auto).
   SubplanRunner(SubplanCache* cache, QueryGuard* guard, SpillManager* spill,
-                ExecStats* stats)
-      : cache_(cache), guard_(guard), spill_(spill), stats_(stats) {}
+                ExecStats* stats, AdaptiveController* adaptive = nullptr)
+      : cache_(cache),
+        guard_(guard),
+        spill_(spill),
+        stats_(stats),
+        adaptive_(adaptive) {}
 
   Result<Value> EvaluateSubplan(const SubplanBase& subplan,
                                 const Environment& env) override;
 
   std::unique_ptr<SubplanEvaluator> Fork(ExecStats* stats) override {
-    return std::make_unique<SubplanRunner>(cache_, guard_, spill_, stats);
+    return std::make_unique<SubplanRunner>(cache_, guard_, spill_, stats,
+                                           adaptive_);
   }
 
  private:
@@ -180,6 +188,7 @@ class SubplanRunner final : public SubplanEvaluator {
   QueryGuard* guard_;
   SpillManager* spill_;
   ExecStats* stats_;
+  AdaptiveController* adaptive_;
   // This runner's plan instances: built once per subplan, re-opened per
   // evaluation (Open fully resets operator state). Never shared — each
   // forked runner builds its own.

@@ -15,17 +15,6 @@ namespace tmdb {
 
 namespace {
 
-bool ParseStrategyName(const std::string& name, Strategy* out) {
-  for (Strategy s : {Strategy::kNaive, Strategy::kKim, Strategy::kOuterJoin,
-                     Strategy::kNestJoin, Strategy::kNestJoinOnly}) {
-    if (name == StrategyName(s)) {
-      *out = s;
-      return true;
-    }
-  }
-  return false;
-}
-
 /// Statements whose leading keyword mutates the catalog or a table take
 /// the server's exclusive lock; everything else (queries, EXPLAIN) shares
 /// it. Classified textually so the lock is held for parse + execution.

@@ -277,6 +277,9 @@ void EncodeStatsPayload(const ExecStats& stats, std::string* out) {
   PutVarint(stats.subplan_cache_disk_evictions, out);
   PutVarint(stats.subplan_cache_disk_faults, out);
   PutVarint(stats.guard_checkpoints, out);
+  PutVarint(stats.strategy_chosen, out);
+  PutVarint(stats.strategy_switches, out);
+  PutVarint(stats.est_distinct_corr, out);
 }
 
 Status DecodeStatsPayload(std::string_view payload, ExecStats* stats) {
@@ -291,7 +294,10 @@ Status DecodeStatsPayload(std::string_view payload, ExecStats* stats) {
       &stats->subplan_cache_evictions,
       &stats->subplan_cache_disk_evictions,
       &stats->subplan_cache_disk_faults,
-      &stats->guard_checkpoints};
+      &stats->guard_checkpoints,
+      &stats->strategy_chosen,
+      &stats->strategy_switches,
+      &stats->est_distinct_corr};
   for (uint64_t* field : fields) {
     TMDB_RETURN_IF_ERROR(GetVarint(payload, &pos, field));
   }

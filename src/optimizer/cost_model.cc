@@ -1,0 +1,407 @@
+#include "optimizer/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "algebra/subplan.h"
+#include "base/random.h"
+#include "base/string_util.h"
+#include "exec/query_guard.h"
+#include "expr/eval.h"
+#include "optimizer/planner.h"
+#include "rewrite/expr_rewrite.h"
+
+namespace tmdb {
+namespace {
+
+// Textbook selectivity/fan-out constants — crude, but the strategy choice
+// only needs the *asymmetry* between "one subplan execution per outer row"
+// and "one per distinct correlation value", which dwarfs these factors.
+constexpr double kSelectSelectivity = 0.25;
+constexpr double kSemiSelectivity = 0.5;
+constexpr double kNestReduction = 0.5;
+constexpr double kExprSourceRows = 4.0;
+constexpr double kUnnestFanout = 4.0;
+
+// Sampling runs under the guard-checkpoint invariant: one check per batch.
+constexpr size_t kSampleCheckpointStride = 1024;
+
+// Deterministic 64-bit FNV-1a, used to decorrelate per-table sample streams
+// without depending on std::hash (implementation-defined).
+uint64_t Fnv1a(const std::string& s) {
+  uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+double Clamp1(double v) { return v < 1.0 ? 1.0 : v; }
+
+}  // namespace
+
+Result<std::vector<const Value*>> CostModel::SampleRows(
+    const Table& table) const {
+  const std::vector<Value>& rows = table.rows();
+  const size_t n = std::min(std::max<size_t>(options_.sample_rows, 1),
+                            rows.size());
+  std::vector<const Value*> sample;
+  sample.reserve(n);
+  Random rng(options_.sample_seed ^ Fnv1a(table.name()));
+  // Partial Fisher–Yates over virtual swaps: a uniform n-subset in O(n)
+  // regardless of table size. Tables are random-access, so paying a full
+  // O(N) reservoir pass per estimate would make sampling itself the
+  // dominant cost of strategy = auto on large tables.
+  std::unordered_map<size_t, size_t> swapped;
+  for (size_t i = 0; i < n; ++i) {
+    if (options_.guard != nullptr && i % kSampleCheckpointStride == 0) {
+      TMDB_RETURN_IF_ERROR(options_.guard->Check());
+    }
+    const size_t j = i + static_cast<size_t>(rng.Uniform(rows.size() - i));
+    auto jt = swapped.find(j);
+    const size_t pick = jt == swapped.end() ? j : jt->second;
+    auto it = swapped.find(i);
+    swapped[j] = it == swapped.end() ? i : it->second;
+    sample.push_back(&rows[pick]);
+  }
+  return sample;
+}
+
+template <typename KeyFn>
+Result<DistinctEstimate> CostModel::EstimateDistinctImpl(
+    const Table& table, const std::string& memo_key, KeyFn eval) const {
+  auto it = distinct_memo_.find(memo_key);
+  if (it != distinct_memo_.end()) return it->second;
+
+  DistinctEstimate est;
+  est.table_rows = table.NumRows();
+  TMDB_ASSIGN_OR_RETURN(std::vector<const Value*> sample, SampleRows(table));
+  est.sampled_rows = sample.size();
+  std::unordered_map<Value, uint64_t, ValueHash, ValueEq> counts;
+  counts.reserve(sample.size());
+  for (const Value* row : sample) {
+    TMDB_ASSIGN_OR_RETURN(Value key, eval(*row));
+    ++counts[std::move(key)];
+  }
+  est.sample_distinct = counts.size();
+  uint64_t singletons = 0;
+  for (const auto& [key, count] : counts) {
+    if (count == 1) ++singletons;
+  }
+  // GEE: unseen distincts extrapolated from the singleton count, scaled by
+  // sqrt(N/n) — the estimator's guaranteed-error sweet spot between the
+  // "every unseen row is a repeat" and "every singleton hides sqrt(N/n)
+  // more" extremes.
+  double estimate = est.sample_distinct;
+  if (est.sampled_rows > 0 && est.table_rows > est.sampled_rows) {
+    const double scale = std::sqrt(static_cast<double>(est.table_rows) /
+                                   static_cast<double>(est.sampled_rows));
+    estimate = scale * static_cast<double>(singletons) +
+               static_cast<double>(est.sample_distinct - singletons);
+  }
+  estimate = std::max(estimate, static_cast<double>(est.sample_distinct));
+  estimate = std::min(estimate, static_cast<double>(est.table_rows));
+  est.estimate = static_cast<uint64_t>(std::llround(estimate));
+  distinct_memo_.emplace(memo_key, est);
+  return est;
+}
+
+Result<DistinctEstimate> CostModel::EstimateSignatureDistinct(
+    const Table& table, const std::string& var,
+    const CorrelationSignature& signature) const {
+  std::string memo_key =
+      StrCat(table.name(), "|sig|", var, "|", signature.ToString());
+  return EstimateDistinctImpl(
+      table, memo_key, [&](const Value& row) -> Result<Value> {
+        Environment env;
+        env.Bind(var, row);
+        return EvalCorrelationKey(signature, env);
+      });
+}
+
+Result<DistinctEstimate> CostModel::EstimateKeyDistinct(
+    const Table& table, const std::string& var,
+    const std::vector<Expr>& keys) const {
+  std::string memo_key = StrCat(table.name(), "|keys|", var);
+  for (const Expr& key : keys) memo_key += StrCat("|", key.ToString());
+  return EstimateDistinctImpl(
+      table, memo_key, [&](const Value& row) -> Result<Value> {
+        Environment env;
+        env.Bind(var, row);
+        if (keys.size() == 1) return EvalExpr(keys[0], env);
+        std::vector<std::string> names;
+        std::vector<Value> values;
+        names.reserve(keys.size());
+        values.reserve(keys.size());
+        for (size_t i = 0; i < keys.size(); ++i) {
+          TMDB_ASSIGN_OR_RETURN(Value v, EvalExpr(keys[i], env));
+          names.push_back(StrCat("k", i));
+          values.push_back(std::move(v));
+        }
+        return Value::Tuple(std::move(names), std::move(values));
+      });
+}
+
+const Table* CostModel::ResolveBaseTable(const LogicalOp& op) {
+  const LogicalOp* cur = &op;
+  // Selections pass rows through unchanged (a subset of the base
+  // extension), so sampling the base table stays sound — it can only
+  // overestimate distincts, which errs toward the unnested strategies.
+  while (cur->op_kind() == OpKind::kSelect) cur = cur->input().get();
+  if (cur->op_kind() == OpKind::kScan) return cur->table().get();
+  return nullptr;
+}
+
+namespace {
+
+// True iff every access path of `signature` is rooted at `var`.
+bool SignatureRootedAt(const CorrelationSignature& signature,
+                       const std::string& var) {
+  for (const auto& path : signature.paths) {
+    if (path.var != var) return false;
+  }
+  return !signature.paths.empty();
+}
+
+}  // namespace
+
+Result<PlanCost> CostModel::CostPlan(const LogicalOp& plan) const {
+  switch (plan.op_kind()) {
+    case OpKind::kScan: {
+      const double rows = static_cast<double>(plan.table()->NumRows());
+      return PlanCost{rows, rows};
+    }
+    case OpKind::kExprSource:
+      return PlanCost{kExprSourceRows, kExprSourceRows};
+    case OpKind::kSelect: {
+      TMDB_ASSIGN_OR_RETURN(PlanCost in, CostPlan(*plan.input()));
+      TMDB_ASSIGN_OR_RETURN(
+          double sub_cost,
+          SubplanEvalCost(plan.pred(), plan.input().get(), plan.var(),
+                          in.rows));
+      return PlanCost{in.rows * kSelectSelectivity,
+                      in.cost + in.rows + sub_cost};
+    }
+    case OpKind::kMap: {
+      TMDB_ASSIGN_OR_RETURN(PlanCost in, CostPlan(*plan.input()));
+      TMDB_ASSIGN_OR_RETURN(
+          double sub_cost,
+          SubplanEvalCost(plan.func(), plan.input().get(), plan.var(),
+                          in.rows));
+      return PlanCost{in.rows, in.cost + in.rows + sub_cost};
+    }
+    case OpKind::kJoin:
+    case OpKind::kSemiJoin:
+    case OpKind::kAntiJoin:
+    case OpKind::kOuterJoin:
+    case OpKind::kNestJoin: {
+      TMDB_ASSIGN_OR_RETURN(PlanCost l, CostPlan(*plan.left()));
+      TMDB_ASSIGN_OR_RETURN(PlanCost r, CostPlan(*plan.right()));
+      TMDB_ASSIGN_OR_RETURN(double matches, EstimateJoinMatches(plan, l, r));
+      const bool keyed = matches >= 0;
+      if (!keyed) matches = l.rows * r.rows * kSelectSelectivity;
+      // Keyed joins hash/sort both sides and touch each match; keyless
+      // joins check every pair.
+      double cost = l.cost + r.cost +
+                    (keyed ? l.rows + r.rows + matches : l.rows * r.rows);
+      TMDB_ASSIGN_OR_RETURN(
+          double sub_cost,
+          SubplanEvalCost(plan.pred(), nullptr, plan.left_var(),
+                          keyed ? matches : l.rows * r.rows));
+      cost += sub_cost;
+      double rows;
+      switch (plan.op_kind()) {
+        case OpKind::kJoin:
+          rows = matches;
+          break;
+        case OpKind::kSemiJoin:
+        case OpKind::kAntiJoin:
+          rows = l.rows * kSemiSelectivity;
+          break;
+        case OpKind::kOuterJoin:
+          rows = std::max(matches, l.rows);
+          break;
+        default:  // kNestJoin: one output row per left row, matches grouped
+          rows = l.rows;
+          break;
+      }
+      return PlanCost{Clamp1(rows), cost};
+    }
+    case OpKind::kNest: {
+      TMDB_ASSIGN_OR_RETURN(PlanCost in, CostPlan(*plan.input()));
+      TMDB_ASSIGN_OR_RETURN(
+          double sub_cost,
+          SubplanEvalCost(plan.func(), plan.input().get(), plan.var(),
+                          in.rows));
+      return PlanCost{Clamp1(in.rows * kNestReduction),
+                      in.cost + in.rows + sub_cost};
+    }
+    case OpKind::kUnnest: {
+      TMDB_ASSIGN_OR_RETURN(PlanCost in, CostPlan(*plan.input()));
+      const double rows = in.rows * kUnnestFanout;
+      return PlanCost{rows, in.cost + rows};
+    }
+    case OpKind::kUnion: {
+      TMDB_ASSIGN_OR_RETURN(PlanCost l, CostPlan(*plan.left()));
+      TMDB_ASSIGN_OR_RETURN(PlanCost r, CostPlan(*plan.right()));
+      return PlanCost{l.rows + r.rows, l.cost + r.cost + l.rows + r.rows};
+    }
+    case OpKind::kDifference: {
+      TMDB_ASSIGN_OR_RETURN(PlanCost l, CostPlan(*plan.left()));
+      TMDB_ASSIGN_OR_RETURN(PlanCost r, CostPlan(*plan.right()));
+      return PlanCost{l.rows, l.cost + r.cost + l.rows + r.rows};
+    }
+  }
+  return Status::Internal("unhandled logical operator kind in cost model");
+}
+
+Result<double> CostModel::SubplanEvalCost(const Expr& expr,
+                                          const LogicalOp* input_op,
+                                          const std::string& var,
+                                          double input_rows) const {
+  double cost = 0;
+  for (const Expr& sub_expr : CollectSubplans(expr)) {
+    const auto* sub = dynamic_cast<const PlanSubplan*>(&sub_expr.subplan());
+    if (sub == nullptr) continue;
+    TMDB_ASSIGN_OR_RETURN(PlanCost inner, CostPlan(*sub->plan()));
+    double evals = input_rows;
+    if (sub->signature().uncorrelated()) {
+      evals = 1;
+    } else if (options_.memo_enabled) {
+      // One evaluation per distinct correlation value — when the binding
+      // shape resolves to a base table the sampled estimate bounds it;
+      // otherwise stay pessimistic (evals = outer rows), which can only
+      // bias *against* memoized naive, never toward it.
+      if (input_op != nullptr && SignatureRootedAt(sub->signature(), var)) {
+        if (const Table* table = ResolveBaseTable(*input_op)) {
+          TMDB_ASSIGN_OR_RETURN(
+              DistinctEstimate distinct,
+              EstimateSignatureDistinct(*table, var, sub->signature()));
+          evals = std::min(static_cast<double>(distinct.estimate),
+                           input_rows);
+        }
+      }
+    }
+    // evals inner executions plus one cache probe / key eval per outer row.
+    cost += evals * inner.cost + input_rows;
+  }
+  return cost;
+}
+
+Result<double> CostModel::EstimateJoinMatches(const LogicalOp& join,
+                                              const PlanCost& l,
+                                              const PlanCost& r) const {
+  EquiKeySplit split =
+      SplitEquiKeys(join.pred(), join.left_var(), join.right_var());
+  if (split.left_keys.empty()) return -1.0;
+  double d_left = l.rows;
+  double d_right = r.rows;
+  if (const Table* table = ResolveBaseTable(*join.left())) {
+    TMDB_ASSIGN_OR_RETURN(
+        DistinctEstimate d,
+        EstimateKeyDistinct(*table, join.left_var(), split.left_keys));
+    d_left = static_cast<double>(d.estimate);
+  }
+  if (const Table* table = ResolveBaseTable(*join.right())) {
+    TMDB_ASSIGN_OR_RETURN(
+        DistinctEstimate d,
+        EstimateKeyDistinct(*table, join.right_var(), split.right_keys));
+    d_right = static_cast<double>(d.estimate);
+  }
+  const double d = std::max(1.0, std::max(d_left, d_right));
+  return l.rows * r.rows / d;
+}
+
+Result<std::optional<CorrelationEstimate>> CostModel::EstimateCorrelation(
+    const LogicalOp& naive_plan) const {
+  // Gather this operator's own expressions.
+  std::vector<const Expr*> exprs;
+  switch (naive_plan.op_kind()) {
+    case OpKind::kSelect:
+      exprs.push_back(&naive_plan.pred());
+      break;
+    case OpKind::kMap:
+      exprs.push_back(&naive_plan.func());
+      break;
+    case OpKind::kNest:
+      exprs.push_back(&naive_plan.func());
+      break;
+    case OpKind::kExprSource:
+      exprs.push_back(&naive_plan.func());
+      break;
+    case OpKind::kJoin:
+    case OpKind::kSemiJoin:
+    case OpKind::kAntiJoin:
+    case OpKind::kOuterJoin:
+    case OpKind::kNestJoin:
+      exprs.push_back(&naive_plan.pred());
+      break;
+    default:
+      break;
+  }
+  for (const Expr* expr : exprs) {
+    for (const Expr& sub_expr : CollectSubplans(*expr)) {
+      const auto* sub =
+          dynamic_cast<const PlanSubplan*>(&sub_expr.subplan());
+      if (sub == nullptr) continue;
+      if (!sub->signature().uncorrelated()) {
+        CorrelationEstimate estimate;
+        estimate.signature = sub->signature().ToString();
+        // Resolve the binding shape: a unary operator iterating `var`
+        // over a (filtered) base-table subtree, with every signature path
+        // rooted at that var.
+        const LogicalOp* input = nullptr;
+        std::string var;
+        if (naive_plan.op_kind() == OpKind::kSelect ||
+            naive_plan.op_kind() == OpKind::kMap ||
+            naive_plan.op_kind() == OpKind::kNest) {
+          input = naive_plan.input().get();
+          var = naive_plan.var();
+        } else if (naive_plan.is_join_family()) {
+          if (SignatureRootedAt(sub->signature(), naive_plan.left_var())) {
+            input = naive_plan.left().get();
+            var = naive_plan.left_var();
+          } else if (SignatureRootedAt(sub->signature(),
+                                       naive_plan.right_var())) {
+            input = naive_plan.right().get();
+            var = naive_plan.right_var();
+          }
+        }
+        const Table* table = nullptr;
+        if (input != nullptr && SignatureRootedAt(sub->signature(), var)) {
+          table = ResolveBaseTable(*input);
+        }
+        if (table == nullptr) return std::optional<CorrelationEstimate>();
+        estimate.outer_table = table->name();
+        estimate.outer_rows = table->NumRows();
+        TMDB_ASSIGN_OR_RETURN(
+            estimate.distinct,
+            EstimateSignatureDistinct(*table, var, sub->signature()));
+        if (options_.memo_enabled && estimate.outer_rows > 0) {
+          const double keys = static_cast<double>(
+              std::min(estimate.distinct.estimate, estimate.outer_rows));
+          estimate.hit_ratio =
+              1.0 - keys / static_cast<double>(estimate.outer_rows);
+        }
+        return std::optional<CorrelationEstimate>(std::move(estimate));
+      }
+      // Uncorrelated nested block: the interesting correlation may sit one
+      // level deeper (Section 8's linear queries).
+      TMDB_ASSIGN_OR_RETURN(std::optional<CorrelationEstimate> nested,
+                            EstimateCorrelation(*sub->plan()));
+      if (nested.has_value()) return nested;
+    }
+  }
+  for (const LogicalOpPtr& child : naive_plan.inputs()) {
+    TMDB_ASSIGN_OR_RETURN(std::optional<CorrelationEstimate> nested,
+                          EstimateCorrelation(*child));
+    if (nested.has_value()) return nested;
+  }
+  return std::optional<CorrelationEstimate>();
+}
+
+}  // namespace tmdb

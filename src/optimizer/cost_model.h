@@ -1,0 +1,145 @@
+#ifndef TMDB_OPTIMIZER_COST_MODEL_H_
+#define TMDB_OPTIMIZER_COST_MODEL_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "algebra/correlation.h"
+#include "algebra/logical_op.h"
+#include "base/result.h"
+#include "catalog/table.h"
+
+namespace tmdb {
+
+class QueryGuard;
+
+struct CostModelOptions {
+  /// Reservoir size for per-table sampling. Estimates are deterministic for
+  /// a fixed (sample_rows, sample_seed, data) triple.
+  size_t sample_rows = 256;
+  uint64_t sample_seed = 0x5EEDC0DE;
+  /// Whether the executor will memoize correlated subplans
+  /// (RunOptions::subplan_cache_bytes > 0). With memoization off, naive
+  /// evaluation pays one subplan execution per outer row and the distinct
+  /// estimate only informs EXPLAIN.
+  bool memo_enabled = true;
+  /// Optional governor: sampling loops run guard checkpoints every batch,
+  /// so cancellation, deadlines, and injected faults reach the planning
+  /// phase under the same invariant as execution. May be null.
+  QueryGuard* guard = nullptr;
+};
+
+/// Distinct-count estimate from a reservoir sample, GEE-style
+/// (Charikar et al.): D̂ = sqrt(N/n)·f1 + (d − f1), where d is the number
+/// of distinct values in the sample and f1 the number that occur exactly
+/// once — unseen values are extrapolated only from the singletons. Clamped
+/// to [d, N].
+struct DistinctEstimate {
+  uint64_t table_rows = 0;
+  uint64_t sampled_rows = 0;
+  uint64_t sample_distinct = 0;
+  uint64_t estimate = 0;
+};
+
+/// Recursive plan cost: `rows` is the estimated output cardinality, `cost`
+/// the abstract work (rows scanned, pairs checked, subplan rows computed).
+/// The units only need to rank alternatives of the same query.
+struct PlanCost {
+  double rows = 0;
+  double cost = 0;
+};
+
+/// The headline correlation estimate of a query: the first correlated
+/// subplan found, its outer table, and the distinct-correlation estimate
+/// that drives the naive-vs-unnested choice.
+struct CorrelationEstimate {
+  std::string outer_table;
+  std::string signature;  // CorrelationSignature::ToString form
+  uint64_t outer_rows = 0;
+  DistinctEstimate distinct;
+  /// Predicted subplan-cache hit ratio: 1 − min(estimate, outer)/outer
+  /// (0 when memoization is disabled).
+  double hit_ratio = 0.0;
+};
+
+/// Cheap cardinality + distinct-correlation estimation over the in-memory
+/// catalog. Sampling results are memoized per (table, key expression), so
+/// costing several alternative plans of one query samples each base table
+/// once.
+class CostModel {
+ public:
+  explicit CostModel(CostModelOptions options = CostModelOptions())
+      : options_(options) {}
+
+  const CostModelOptions& options() const { return options_; }
+
+  /// Estimates the number of distinct values the correlation signature
+  /// `signature` takes over the rows of `table`, with `var` bound to each
+  /// row. All signature paths must be rooted at `var`.
+  Result<DistinctEstimate> EstimateSignatureDistinct(
+      const Table& table, const std::string& var,
+      const CorrelationSignature& signature) const;
+
+  /// Estimates the number of distinct values of the key expressions `keys`
+  /// (evaluated with `var` bound to each row) over `table`.
+  Result<DistinctEstimate> EstimateKeyDistinct(
+      const Table& table, const std::string& var,
+      const std::vector<Expr>& keys) const;
+
+  /// Recursively costs a logical plan. Handles both naive plans (subplan
+  /// expressions costed via the correlation estimate and the memoization
+  /// setting) and rewritten flat/nest-join plans (join output cardinality
+  /// from sampled key distincts).
+  Result<PlanCost> CostPlan(const LogicalOp& plan) const;
+
+  /// The headline correlation estimate of `naive_plan`: walks to the first
+  /// operator whose expression holds a correlated subplan and estimates the
+  /// distinct correlation values over its input. nullopt when the plan has
+  /// no correlated subplan, or when the binding shape cannot be resolved to
+  /// a base table (the estimate then degrades to the pessimistic
+  /// distinct = outer rows, exactly as CostPlan does).
+  Result<std::optional<CorrelationEstimate>> EstimateCorrelation(
+      const LogicalOp& naive_plan) const;
+
+ private:
+  /// Deterministic reservoir sample of row pointers (guard-checkpointed).
+  Result<std::vector<const Value*>> SampleRows(const Table& table) const;
+
+  /// Total cost of the subplans in `expr` over `input_rows` outer rows:
+  /// per-subplan evaluations × inner plan cost, where evaluations is 1 for
+  /// uncorrelated subplans, min(distinct estimate, input_rows) under
+  /// memoization with a resolvable binding shape (`input_op` iterated by
+  /// `var`), and input_rows otherwise. Adds one key-eval/probe per outer
+  /// row. Returns 0 for subplan-free expressions.
+  Result<double> SubplanEvalCost(const Expr& expr, const LogicalOp* input_op,
+                                 const std::string& var,
+                                 double input_rows) const;
+
+  /// Estimated matching pairs of a join-family operator via sampled key
+  /// distincts (|L|·|R| / max(d_L, d_R)); -1 when the predicate has no
+  /// equi-key conjuncts (the caller then falls back to a selectivity
+  /// guess over the cross product).
+  Result<double> EstimateJoinMatches(const LogicalOp& join, const PlanCost& l,
+                                     const PlanCost& r) const;
+
+  /// Distinct estimate over the sample with `eval` mapping a sampled row
+  /// to its key Value. Memoized under `memo_key`.
+  template <typename KeyFn>
+  Result<DistinctEstimate> EstimateDistinctImpl(const Table& table,
+                                                const std::string& memo_key,
+                                                KeyFn eval) const;
+
+  /// Resolves an operator subtree to the base table it iterates, peeling
+  /// row-preserving kSelect nodes whose iteration variable differs from
+  /// the one being traced. nullptr when the shape is anything else.
+  static const Table* ResolveBaseTable(const LogicalOp& op);
+
+  CostModelOptions options_;
+  mutable std::map<std::string, DistinctEstimate> distinct_memo_;
+};
+
+}  // namespace tmdb
+
+#endif  // TMDB_OPTIMIZER_COST_MODEL_H_

@@ -1,9 +1,11 @@
 #include "optimizer/planner.h"
 
 #include <cmath>
+#include <cstdio>
 #include <optional>
 #include <utility>
 
+#include "base/string_util.h"
 #include "exec/basic_ops.h"
 #include "exec/columnar.h"
 #include "exec/hash_join.h"
@@ -240,6 +242,180 @@ Result<PhysicalOpPtr> Planner::Plan(const LogicalOpPtr& logical) const {
     }
   }
   return Status::Internal("unhandled logical operator in Planner");
+}
+
+namespace {
+
+/// True when any operator in the plan (or a nested block reachable through
+/// an uncorrelated subplan) embeds a kSubplan expression — i.e. the
+/// unnesting rewrites are not a no-op for this query.
+bool PlanHasSubplans(const LogicalOp& op) {
+  std::vector<const Expr*> exprs;
+  switch (op.op_kind()) {
+    case OpKind::kSelect:
+      exprs.push_back(&op.pred());
+      break;
+    case OpKind::kMap:
+    case OpKind::kNest:
+    case OpKind::kExprSource:
+      exprs.push_back(&op.func());
+      break;
+    case OpKind::kJoin:
+    case OpKind::kSemiJoin:
+    case OpKind::kAntiJoin:
+    case OpKind::kOuterJoin:
+      exprs.push_back(&op.pred());
+      break;
+    case OpKind::kNestJoin:
+      exprs.push_back(&op.pred());
+      exprs.push_back(&op.func());
+      break;
+    default:
+      break;
+  }
+  for (const Expr* expr : exprs) {
+    if (!CollectSubplans(*expr).empty()) return true;
+  }
+  for (const LogicalOpPtr& child : op.inputs()) {
+    if (PlanHasSubplans(*child)) return true;
+  }
+  return false;
+}
+
+std::string FmtEstimate(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.4g", v);
+  return buf;
+}
+
+std::string FmtRatio(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+std::string PadRight(std::string s, size_t width) {
+  if (s.size() < width) s.append(width - s.size(), ' ');
+  return s;
+}
+
+}  // namespace
+
+std::string StrategyDecision::ToTable() const {
+  if (!costed) {
+    return StrCat("  (not costed: ", reason, ")\n");
+  }
+  std::string out;
+  out += StrCat("  ", PadRight("candidate", 16), PadRight("est. cost", 14),
+                "est. rows\n");
+  for (const StrategyAlternative& alt : alternatives) {
+    const char* marker = (alt.feasible && alt.strategy == chosen) ? "* " : "  ";
+    out += StrCat(marker, PadRight(StrategyName(alt.strategy), 16));
+    if (alt.feasible) {
+      out += StrCat(PadRight(FmtEstimate(alt.est_cost), 14),
+                    FmtEstimate(alt.est_rows), "\n");
+    } else {
+      out += StrCat("infeasible: ", alt.note, "\n");
+    }
+  }
+  out += StrCat("  estimate: ~", est_distinct_corr,
+                " distinct correlation value(s) over ", outer_rows,
+                " outer row(s), est. hit ratio ", FmtRatio(est_hit_ratio),
+                "\n");
+  out += StrCat("  chosen: ", StrategyName(chosen), " -- ", reason, "\n");
+  return out;
+}
+
+bool StrategyDecision::BestUnnested(Strategy* out) const {
+  bool found = false;
+  double best = 0;
+  for (const StrategyAlternative& alt : alternatives) {
+    if (!alt.feasible || alt.strategy == Strategy::kNaive) continue;
+    if (!found || alt.est_cost < best) {
+      found = true;
+      best = alt.est_cost;
+      *out = alt.strategy;
+    }
+  }
+  return found;
+}
+
+Result<StrategyDecision> ChooseStrategy(const LogicalOpPtr& naive_plan,
+                                        const CostModel& model) {
+  StrategyDecision decision;
+  if (!PlanHasSubplans(*naive_plan)) {
+    decision.chosen = Strategy::kNestJoin;
+    decision.costed = false;
+    decision.reason = "no nested subqueries; the unnesting rewrite is a no-op";
+    return decision;
+  }
+  decision.costed = true;
+  TMDB_ASSIGN_OR_RETURN(std::optional<CorrelationEstimate> corr,
+                        model.EstimateCorrelation(*naive_plan));
+  if (corr.has_value()) {
+    decision.outer_rows = corr->outer_rows;
+    decision.est_distinct_corr = corr->distinct.estimate;
+    decision.est_hit_ratio = corr->hit_ratio;
+  }
+  // Enumeration order is also the tie-break order: a strict `<` comparison
+  // means equal-cost candidates resolve to the earliest, so ties prefer the
+  // unnested strategies (the paper's default). Kim's algorithm is excluded
+  // from the candidate set: it reproduces the COUNT bug by design.
+  const Strategy candidates[] = {Strategy::kNestJoin, Strategy::kNestJoinOnly,
+                                 Strategy::kOuterJoin, Strategy::kNaive};
+  bool have_best = false;
+  double best_cost = 0;
+  for (Strategy s : candidates) {
+    StrategyAlternative alt;
+    alt.strategy = s;
+    Result<LogicalOpPtr> rewritten = PlanForStrategy(naive_plan, s);
+    if (!rewritten.ok()) {
+      alt.feasible = false;
+      alt.note = rewritten.status().message();
+      decision.alternatives.push_back(std::move(alt));
+      continue;
+    }
+    // A costing failure is a hard error, not infeasibility: sampling runs
+    // guard checkpoints, so cancellation / deadlines / injected faults must
+    // abort the choice (and the query) rather than silently skew it.
+    TMDB_ASSIGN_OR_RETURN(PlanCost cost, model.CostPlan(**rewritten));
+    alt.est_rows = cost.rows;
+    alt.est_cost = cost.cost;
+    if (!have_best || alt.est_cost < best_cost) {
+      have_best = true;
+      best_cost = alt.est_cost;
+      decision.chosen = s;
+    }
+    decision.alternatives.push_back(std::move(alt));
+  }
+  if (!have_best) {
+    return Status::Internal(
+        "strategy enumeration found no feasible candidate (naive should "
+        "always be feasible)");
+  }
+  if (decision.chosen == Strategy::kNaive) {
+    decision.reason = StrCat(
+        "memoized naive evaluation: ~", decision.est_distinct_corr,
+        " distinct correlation value(s) across ", decision.outer_rows,
+        " outer row(s) (est. hit ratio ", FmtRatio(decision.est_hit_ratio),
+        ")");
+  } else {
+    double naive_cost = -1;
+    for (const StrategyAlternative& alt : decision.alternatives) {
+      if (alt.feasible && alt.strategy == Strategy::kNaive) {
+        naive_cost = alt.est_cost;
+      }
+    }
+    if (naive_cost > 0 && best_cost > 0) {
+      decision.reason = StrCat(
+          "unnesting is ~", FmtEstimate(naive_cost / best_cost),
+          "x cheaper than memoized naive (est. hit ratio ",
+          FmtRatio(decision.est_hit_ratio), ")");
+    } else {
+      decision.reason = "lowest estimated cost among feasible strategies";
+    }
+  }
+  return decision;
 }
 
 }  // namespace tmdb

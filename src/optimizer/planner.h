@@ -7,6 +7,8 @@
 #include "algebra/logical_op.h"
 #include "base/result.h"
 #include "exec/physical_op.h"
+#include "optimizer/cost_model.h"
+#include "translate/strategies.h"
 
 namespace tmdb {
 
@@ -72,6 +74,47 @@ class Planner {
  private:
   PlannerOptions options_;
 };
+
+/// One costed candidate of the strategy enumeration.
+struct StrategyAlternative {
+  Strategy strategy = Strategy::kNaive;
+  bool feasible = true;
+  double est_rows = 0;
+  double est_cost = 0;
+  std::string note;  // infeasibility reason; empty otherwise
+};
+
+/// Outcome of the cost-based strategy choice (strategy = auto): the chosen
+/// strategy, every costed alternative, the headline correlation estimate,
+/// and a one-line reason. EXPLAIN prints ToTable(); the Database arms the
+/// adaptive switch from est_hit_ratio.
+struct StrategyDecision {
+  Strategy chosen = Strategy::kNestJoin;
+  std::vector<StrategyAlternative> alternatives;
+  /// False when the query has no nested subquery — the rewrite is a no-op
+  /// and enumeration (including sampling) is skipped entirely.
+  bool costed = false;
+  uint64_t outer_rows = 0;
+  uint64_t est_distinct_corr = 0;
+  double est_hit_ratio = 0.0;
+  std::string reason;
+
+  /// The costed-alternatives table EXPLAIN prints. Deterministic for fixed
+  /// data + sample seed (golden-file tested).
+  std::string ToTable() const;
+
+  /// Cheapest feasible non-naive alternative — the adaptive switch target.
+  /// Returns false when every non-naive candidate was infeasible.
+  bool BestUnnested(Strategy* out) const;
+};
+
+/// Costs {memoized naive, nest join, semi/anti join, flatten} for
+/// `naive_plan` via `model` and picks the cheapest (ties prefer the
+/// unnested strategies, the paper's default). Kim's algorithm is excluded:
+/// it reproduces the COUNT bug by design and is never a correct choice.
+/// Queries without nested subqueries return chosen = kNestJoin uncosted.
+Result<StrategyDecision> ChooseStrategy(const LogicalOpPtr& naive_plan,
+                                        const CostModel& model);
 
 /// Splits `pred` (over `left_var`/`right_var`) into equi-key pairs and a
 /// residual predicate. Exposed for tests and benches.

@@ -19,8 +19,22 @@ std::string StrategyName(Strategy strategy) {
       return "nestjoin";
     case Strategy::kNestJoinOnly:
       return "nestjoin-only";
+    case Strategy::kAuto:
+      return "auto";
   }
   return "?";
+}
+
+bool ParseStrategyName(const std::string& name, Strategy* out) {
+  for (Strategy s : {Strategy::kNaive, Strategy::kKim, Strategy::kOuterJoin,
+                     Strategy::kNestJoin, Strategy::kNestJoinOnly,
+                     Strategy::kAuto}) {
+    if (name == StrategyName(s)) {
+      *out = s;
+      return true;
+    }
+  }
+  return false;
 }
 
 Result<LogicalOpPtr> PlanForStrategy(const LogicalOpPtr& naive_plan,
@@ -49,6 +63,10 @@ Result<LogicalOpPtr> PlanForStrategy(const LogicalOpPtr& naive_plan,
       // (strip maps, identity maps, adjacent selects).
       return SimplifyPlan(plan);
     }
+    case Strategy::kAuto:
+      return Status::InvalidArgument(
+          "strategy 'auto' must be resolved by the cost model before "
+          "rewriting; use Database::Run or ChooseStrategy");
   }
   return Status::Internal("unhandled strategy");
 }

@@ -25,9 +25,25 @@ enum class Strategy {
   /// Ablation: the paper's strategy with flat joins disabled — every
   /// subquery becomes a nest join even when a semijoin would do.
   kNestJoinOnly,
+  /// Cost-based choice between {kNaive (memoized), kNestJoin,
+  /// kNestJoinOnly, kOuterJoin}, made per query by the optimizer's cost
+  /// model — plus a mid-query re-plan when observed subplan-cache hit
+  /// ratios contradict the estimate. Resolved by the Database before
+  /// PlanForStrategy is reached; PlanForStrategy itself rejects it.
+  kAuto,
 };
 
 std::string StrategyName(Strategy strategy);
+
+/// Parses a StrategyName back into the enum (incl. "auto"). Returns false
+/// on unknown names. Shared by the REPL and the query server.
+bool ParseStrategyName(const std::string& name, Strategy* out);
+
+/// Stable wire/stats encoding of a strategy: 1 + enum value, with 0
+/// reserved for "not recorded" (ExecStats::strategy_chosen).
+inline uint64_t StrategyStatCode(Strategy strategy) {
+  return 1 + static_cast<uint64_t>(strategy);
+}
 
 /// Rewrites the naive plan according to `strategy`. For kNestJoin /
 /// kNestJoinOnly the unnest report (which Table 2 rules fired) is appended

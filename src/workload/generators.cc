@@ -226,12 +226,23 @@ Status LoadCorrelatedTables(Database* db, const CorrelatedConfig& config) {
     scale = static_cast<int64_t>(config.num_outer);
   }
   // Round-robin k: every correlation value appears, so a memoizing run
-  // computes exactly `scale` subplans and hits on the rest.
+  // computes exactly `scale` subplans and hits on the rest. With
+  // hot_key_fraction > 0 a Bernoulli draw redirects that share of rows to a
+  // small hot set — the branch is guarded so the fraction-0 RNG stream (and
+  // every existing workload's data) is untouched.
+  const int64_t hot_set = scale < 8 ? scale : 8;
   for (size_t i = 0; i < config.num_outer; ++i) {
+    int64_t k = static_cast<int64_t>(i) % scale;
+    if (config.hot_key_fraction > 0) {
+      const double draw =
+          static_cast<double>(rng.Uniform(1ull << 53)) /
+          static_cast<double>(1ull << 53);
+      if (draw < config.hot_key_fraction) k = rng.UniformInt(0, hot_set - 1);
+    }
     TMDB_RETURN_IF_ERROR(InsertRow(
         o.get(),
         IntTuple({"a", "k", "v"},
-                 {static_cast<int64_t>(i), static_cast<int64_t>(i) % scale,
+                 {static_cast<int64_t>(i), k,
                   rng.UniformInt(0, config.value_domain - 1)})));
   }
   for (size_t i = 0; i < config.num_inner; ++i) {

@@ -90,6 +90,12 @@ struct CorrelatedConfig {
   int64_t correlation_scale = 10;
   int64_t value_domain = 100;
   uint64_t seed = 47;
+  /// Skew knob for the cost-model tests: this fraction of outer rows takes
+  /// k from a hot set of min(8, scale) values instead of the round-robin
+  /// cycle, producing a skewed distinct-correlation distribution. 0 (the
+  /// default) draws no extra random numbers, so existing workloads keep
+  /// their exact data bit-for-bit.
+  double hot_key_fraction = 0.0;
 };
 Status LoadCorrelatedTables(Database* db, const CorrelatedConfig& config);
 

@@ -1,0 +1,340 @@
+// The cost model and the adaptive strategy switch, tested bottom-up:
+//  - reservoir sampling is deterministic for a fixed (rows, seed, data)
+//    triple and the GEE distinct estimates respect their [d, N] bounds on
+//    uniform, single-key, all-distinct and skewed key distributions;
+//  - ChooseStrategy picks memoized naive on a high-hit-ratio workload and
+//    a nest-join strategy on a low-hit-ratio one, and never picks naive
+//    when memoization is off;
+//  - AdaptiveController requests a switch exactly when the observed hit
+//    ratio falls short of the prediction by the threshold, stickily;
+//  - end to end, a run whose cache is rigged to thrash (capacity 1 byte,
+//    no spill) switches mid-query from naive to the unnested plan and
+//    still returns exactly the forced-strategy rows.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "catalog/table.h"
+#include "core/database.h"
+#include "exec/adaptive.h"
+#include "optimizer/cost_model.h"
+#include "optimizer/planner.h"
+#include "tests/test_util.h"
+#include "translate/strategies.h"
+#include "workload/generators.h"
+
+namespace tmdb {
+namespace {
+
+constexpr const char* kCorrelated =
+    "SELECT (a = o.a, n = count(SELECT i.v FROM I i WHERE o.k = i.k)) "
+    "FROM O o";
+
+/// Loads the O/I correlated workload and returns the bound naive plan.
+void LoadCorrelated(Database* db, size_t num_outer, int64_t scale,
+                    double hot_key_fraction = 0.0) {
+  CorrelatedConfig config;
+  config.num_outer = num_outer;
+  config.num_inner = 60;
+  config.correlation_scale = scale;
+  config.hot_key_fraction = hot_key_fraction;
+  TMDB_ASSERT_OK(LoadCorrelatedTables(db, config));
+}
+
+Result<LogicalOpPtr> NaivePlan(Database* db) {
+  return db->Plan(kCorrelated, Strategy::kNaive);
+}
+
+TEST(CostModelTest, SamplingIsDeterministicForAFixedSeed) {
+  Database db;
+  LoadCorrelated(&db, 2000, 1000);
+  TMDB_ASSERT_OK_AND_ASSIGN(LogicalOpPtr naive, NaivePlan(&db));
+
+  CostModelOptions options;
+  options.sample_rows = 64;
+  CostModel first(options);
+  CostModel second(options);
+  TMDB_ASSERT_OK_AND_ASSIGN(auto a, first.EstimateCorrelation(*naive));
+  TMDB_ASSERT_OK_AND_ASSIGN(auto b, second.EstimateCorrelation(*naive));
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(a->distinct.estimate, b->distinct.estimate);
+  EXPECT_EQ(a->distinct.sample_distinct, b->distinct.sample_distinct);
+  EXPECT_EQ(a->distinct.sampled_rows, b->distinct.sampled_rows);
+
+  // The estimate is a function of the seed: resampling with another seed
+  // must still satisfy the bounds, though the point estimate may move.
+  options.sample_seed = 0xDEADBEEF;
+  CostModel reseeded(options);
+  TMDB_ASSERT_OK_AND_ASSIGN(auto c, reseeded.EstimateCorrelation(*naive));
+  ASSERT_TRUE(c.has_value());
+  EXPECT_GE(c->distinct.estimate, c->distinct.sample_distinct);
+  EXPECT_LE(c->distinct.estimate, c->distinct.table_rows);
+}
+
+TEST(CostModelTest, SingleCorrelationValueEstimatesOne) {
+  Database db;
+  LoadCorrelated(&db, 500, 1);
+  TMDB_ASSERT_OK_AND_ASSIGN(LogicalOpPtr naive, NaivePlan(&db));
+  CostModel model;
+  TMDB_ASSERT_OK_AND_ASSIGN(auto corr, model.EstimateCorrelation(*naive));
+  ASSERT_TRUE(corr.has_value());
+  EXPECT_EQ(corr->outer_table, "O");
+  EXPECT_EQ(corr->outer_rows, 500u);
+  EXPECT_EQ(corr->distinct.estimate, 1u);
+  EXPECT_NEAR(corr->hit_ratio, 1.0 - 1.0 / 500.0, 1e-9);
+}
+
+TEST(CostModelTest, UniformRoundRobinKeysEstimateExactly) {
+  // 10 round-robin values over 2000 rows: a 256-row sample sees every value
+  // many times, so no singletons survive and GEE returns the sample count.
+  Database db;
+  LoadCorrelated(&db, 2000, 10);
+  TMDB_ASSERT_OK_AND_ASSIGN(LogicalOpPtr naive, NaivePlan(&db));
+  CostModel model;
+  TMDB_ASSERT_OK_AND_ASSIGN(auto corr, model.EstimateCorrelation(*naive));
+  ASSERT_TRUE(corr.has_value());
+  EXPECT_EQ(corr->distinct.estimate, 10u);
+  EXPECT_GT(corr->hit_ratio, 0.99);
+}
+
+TEST(CostModelTest, AllDistinctKeysRespectBounds) {
+  // scale == num_outer: every row has its own correlation value. The
+  // sample is all singletons; the sqrt extrapolation must land in
+  // [sample_distinct, table_rows] and well above the sample size.
+  Database db;
+  LoadCorrelated(&db, 2000, 2000);
+  TMDB_ASSERT_OK_AND_ASSIGN(LogicalOpPtr naive, NaivePlan(&db));
+  CostModel model;
+  TMDB_ASSERT_OK_AND_ASSIGN(auto corr, model.EstimateCorrelation(*naive));
+  ASSERT_TRUE(corr.has_value());
+  EXPECT_GE(corr->distinct.estimate, corr->distinct.sample_distinct);
+  EXPECT_LE(corr->distinct.estimate, 2000u);
+  EXPECT_GT(corr->distinct.estimate, 256u)
+      << "all-singleton sample should extrapolate beyond the sample size";
+  EXPECT_LT(corr->hit_ratio, 0.9);
+}
+
+TEST(CostModelTest, SkewedKeysRespectBounds) {
+  // 90% of rows take one of 8 hot values; the cold tail cycles through
+  // 1000. The estimate must stay within [d, N] whatever the skew does to
+  // the singleton count.
+  Database db;
+  LoadCorrelated(&db, 2000, 1000, /*hot_key_fraction=*/0.9);
+  TMDB_ASSERT_OK_AND_ASSIGN(LogicalOpPtr naive, NaivePlan(&db));
+  CostModel model;
+  TMDB_ASSERT_OK_AND_ASSIGN(auto corr, model.EstimateCorrelation(*naive));
+  ASSERT_TRUE(corr.has_value());
+  EXPECT_GE(corr->distinct.estimate, corr->distinct.sample_distinct);
+  EXPECT_LE(corr->distinct.estimate, 2000u);
+}
+
+TEST(ChooseStrategyTest, HighHitRatioPicksMemoizedNaive) {
+  // 10 distinct correlation values over 10000 outer rows: memoized naive
+  // computes ~10 subplans while every unnested strategy scans/joins the
+  // full cross of O and I.
+  Database db;
+  LoadCorrelated(&db, 10000, 10);
+  TMDB_ASSERT_OK_AND_ASSIGN(LogicalOpPtr naive, NaivePlan(&db));
+  CostModel model;
+  TMDB_ASSERT_OK_AND_ASSIGN(StrategyDecision decision,
+                            ChooseStrategy(naive, model));
+  ASSERT_TRUE(decision.costed);
+  EXPECT_EQ(decision.chosen, Strategy::kNaive);
+  EXPECT_GT(decision.est_hit_ratio, 0.99);
+  EXPECT_LE(decision.est_distinct_corr, 20u);
+  Strategy fallback = Strategy::kNaive;
+  ASSERT_TRUE(decision.BestUnnested(&fallback));
+  EXPECT_NE(fallback, Strategy::kNaive);
+}
+
+TEST(ChooseStrategyTest, LowHitRatioPicksUnnested) {
+  // Every outer row carries its own correlation value: memoization buys
+  // nothing and naive pays outer × inner-scan. The unnested rewrites win.
+  Database db;
+  LoadCorrelated(&db, 10000, 10000);
+  TMDB_ASSERT_OK_AND_ASSIGN(LogicalOpPtr naive, NaivePlan(&db));
+  CostModel model;
+  TMDB_ASSERT_OK_AND_ASSIGN(StrategyDecision decision,
+                            ChooseStrategy(naive, model));
+  ASSERT_TRUE(decision.costed);
+  EXPECT_NE(decision.chosen, Strategy::kNaive);
+  EXPECT_NE(decision.chosen, Strategy::kKim);
+  EXPECT_LT(decision.est_hit_ratio, 0.9);
+}
+
+TEST(ChooseStrategyTest, MemoizationOffNeverPicksNaive) {
+  // The same high-hit-ratio data, but costed for an executor that cannot
+  // memoize: naive degenerates to one subplan execution per outer row.
+  Database db;
+  LoadCorrelated(&db, 10000, 10);
+  TMDB_ASSERT_OK_AND_ASSIGN(LogicalOpPtr naive, NaivePlan(&db));
+  CostModelOptions options;
+  options.memo_enabled = false;
+  CostModel model(options);
+  TMDB_ASSERT_OK_AND_ASSIGN(StrategyDecision decision,
+                            ChooseStrategy(naive, model));
+  ASSERT_TRUE(decision.costed);
+  EXPECT_NE(decision.chosen, Strategy::kNaive);
+}
+
+TEST(ChooseStrategyTest, SubplanFreeQueryIsUncosted) {
+  Database db;
+  LoadCorrelated(&db, 100, 10);
+  TMDB_ASSERT_OK_AND_ASSIGN(LogicalOpPtr naive,
+                            db.Plan("SELECT o.a FROM O o WHERE o.k = 3",
+                                    Strategy::kNaive));
+  CostModel model;
+  TMDB_ASSERT_OK_AND_ASSIGN(StrategyDecision decision,
+                            ChooseStrategy(naive, model));
+  EXPECT_FALSE(decision.costed);
+  EXPECT_EQ(decision.chosen, Strategy::kNestJoin);
+  EXPECT_TRUE(decision.alternatives.empty());
+}
+
+TEST(ChooseStrategyTest, TableIsDeterministicAndNamesTheWinner) {
+  Database db;
+  LoadCorrelated(&db, 10000, 10);
+  TMDB_ASSERT_OK_AND_ASSIGN(LogicalOpPtr naive, NaivePlan(&db));
+  CostModel model;
+  TMDB_ASSERT_OK_AND_ASSIGN(StrategyDecision first,
+                            ChooseStrategy(naive, model));
+  TMDB_ASSERT_OK_AND_ASSIGN(StrategyDecision second,
+                            ChooseStrategy(naive, model));
+  EXPECT_EQ(first.ToTable(), second.ToTable());
+  EXPECT_NE(first.ToTable().find("* naive"), std::string::npos);
+  EXPECT_NE(first.ToTable().find("chosen: naive"), std::string::npos);
+}
+
+TEST(AdaptiveControllerTest, SwitchesAtTheProbeWindowOnThrash) {
+  AdaptiveController controller;
+  AdaptiveConfig config;
+  config.predicted_hit_ratio = 0.95;
+  config.switch_threshold = 0.4;
+  config.probe_acquires = 64;
+  controller.Arm(config);
+  // 63 misses: still inside the first window, no decision yet.
+  for (int i = 0; i < 63; ++i) {
+    TMDB_ASSERT_OK(controller.Observe(false));
+  }
+  EXPECT_FALSE(controller.switch_requested());
+  // The 64th acquire closes the window: observed 0.0 vs predicted 0.95.
+  Status s = controller.Observe(false);
+  EXPECT_EQ(s.code(), StatusCode::kStrategySwitch) << s.ToString();
+  EXPECT_TRUE(controller.switch_requested());
+  // Sticky: even a hit now reports the switch so every worker unwinds.
+  EXPECT_EQ(controller.Observe(true).code(), StatusCode::kStrategySwitch);
+  controller.Disarm();
+  EXPECT_FALSE(controller.armed());
+  TMDB_ASSERT_OK(controller.Observe(false));
+}
+
+TEST(AdaptiveControllerTest, AccurateEstimateNeverSwitches) {
+  AdaptiveController controller;
+  AdaptiveConfig config;
+  config.predicted_hit_ratio = 0.9;
+  config.switch_threshold = 0.4;
+  config.probe_acquires = 8;
+  controller.Arm(config);
+  // Observed ratio 7/8 = 0.875: shortfall 0.025 stays under the threshold
+  // across many windows.
+  for (int i = 0; i < 256; ++i) {
+    TMDB_ASSERT_OK(controller.Observe(i % 8 != 0));
+  }
+  EXPECT_FALSE(controller.switch_requested());
+  EXPECT_EQ(controller.acquires(), 256u);
+}
+
+TEST(AdaptiveControllerTest, ShortfallBelowThresholdHolds) {
+  AdaptiveController controller;
+  AdaptiveConfig config;
+  config.predicted_hit_ratio = 0.5;
+  config.switch_threshold = 0.4;
+  config.probe_acquires = 4;
+  controller.Arm(config);
+  // Observed 0.25: shortfall 0.25 < 0.4 — no switch, however many windows.
+  for (int i = 0; i < 64; ++i) {
+    TMDB_ASSERT_OK(controller.Observe(i % 4 == 0));
+  }
+  EXPECT_FALSE(controller.switch_requested());
+}
+
+/// End to end: auto picks memoized naive (scale 10 over 200 rows), but a
+/// 1-byte cache without spill turns every acquire into a miss — at the
+/// 64th acquire the controller fires, the attempt unwinds, and the query
+/// re-runs with the best unnested strategy. Rows must equal the forced
+/// run's exactly; the stats must record the switch.
+TEST(AdaptiveSwitchTest, ThrashingCacheSwitchesMidQuery) {
+  Database db;
+  LoadCorrelated(&db, 1000, 10);
+
+  RunOptions forced;
+  forced.strategy = Strategy::kNestJoin;
+  TMDB_ASSERT_OK_AND_ASSIGN(QueryResult reference,
+                            db.Run(kCorrelated, forced));
+
+  RunOptions rigged;
+  rigged.strategy = Strategy::kAuto;
+  rigged.subplan_cache_bytes = 1;  // thrash: nothing ever stays cached
+  TMDB_ASSERT_OK_AND_ASSIGN(QueryResult run, db.Run(kCorrelated, rigged));
+  EXPECT_TRUE(run.auto_strategy);
+  EXPECT_EQ(run.stats.strategy_switches, 1u) << run.stats.ToString();
+  EXPECT_NE(run.strategy, Strategy::kNaive);
+  EXPECT_EQ(run.stats.strategy_chosen, StrategyStatCode(run.strategy));
+  ASSERT_EQ(run.rows.size(), reference.rows.size());
+  TMDB_ASSERT_OK_AND_ASSIGN(QueryResult same_strategy,
+                            db.Run(kCorrelated, [&] {
+                              RunOptions o;
+                              o.strategy = run.strategy;
+                              return o;
+                            }()));
+  for (size_t i = 0; i < run.rows.size(); ++i) {
+    EXPECT_TRUE(run.rows[i].Equals(same_strategy.rows[i])) << i;
+  }
+}
+
+TEST(AdaptiveSwitchTest, HealthyCacheNeverSwitches) {
+  Database db;
+  LoadCorrelated(&db, 1000, 10);
+  RunOptions options;
+  options.strategy = Strategy::kAuto;
+  TMDB_ASSERT_OK_AND_ASSIGN(QueryResult run, db.Run(kCorrelated, options));
+  EXPECT_TRUE(run.auto_strategy);
+  EXPECT_EQ(run.strategy, Strategy::kNaive);
+  EXPECT_EQ(run.stats.strategy_switches, 0u);
+  EXPECT_EQ(run.stats.subplan_evals, 10u) << run.stats.ToString();
+  EXPECT_GT(run.stats.est_distinct_corr, 0u);
+}
+
+TEST(AdaptiveSwitchTest, SwitchRespectsRemainingRowBudget) {
+  // The rigged thrash run burns part of the max_rows budget in attempt 1;
+  // a budget sized below attempt 1 + attempt 2 must fail with
+  // kResourceExhausted rather than granting the re-plan a fresh allowance.
+  Database db;
+  LoadCorrelated(&db, 1000, 10);
+
+  RunOptions unlimited;
+  unlimited.strategy = Strategy::kAuto;
+  unlimited.subplan_cache_bytes = 1;
+  TMDB_ASSERT_OK_AND_ASSIGN(QueryResult full, db.Run(kCorrelated, unlimited));
+  ASSERT_EQ(full.stats.strategy_switches, 1u);
+  const uint64_t total_rows =
+      full.stats.rows_emitted + full.stats.rows_built;
+
+  RunOptions tight = unlimited;
+  tight.max_rows = total_rows - 1;
+  Result<QueryResult> capped = db.Run(kCorrelated, tight);
+  ASSERT_FALSE(capped.ok());
+  EXPECT_EQ(capped.status().code(), StatusCode::kResourceExhausted)
+      << capped.status().ToString();
+
+  // And the database stays usable after the budget trip.
+  RunOptions plain;
+  TMDB_ASSERT_OK(db.Run(kCorrelated, plain).status());
+}
+
+}  // namespace
+}  // namespace tmdb

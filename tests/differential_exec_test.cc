@@ -117,7 +117,8 @@ TEST_F(DifferentialExecTest, StrategySpillThreadMatrixAgrees) {
   ASSERT_GT(reference.rows.size(), 0u);
 
   for (Strategy strategy : {Strategy::kNaive, Strategy::kOuterJoin,
-                            Strategy::kNestJoin, Strategy::kNestJoinOnly}) {
+                            Strategy::kNestJoin, Strategy::kNestJoinOnly,
+                            Strategy::kAuto}) {
     for (int threads : {1, 4}) {
       for (bool spill : {false, true}) {
         SCOPED_TRACE(StrategyName(strategy) + "/threads=" +
@@ -131,11 +132,18 @@ TEST_F(DifferentialExecTest, StrategySpillThreadMatrixAgrees) {
             QueryResult run, db_.Run(kQuery, Opts(strategy, threads, spill,
                                                   base)));
         EXPECT_TRUE(RowsEqual(run.rows, reference.rows));
+        if (strategy == Strategy::kAuto) {
+          // Auto must resolve to a concrete strategy and report it.
+          EXPECT_TRUE(run.auto_strategy);
+          EXPECT_NE(run.strategy, Strategy::kAuto);
+          EXPECT_EQ(run.stats.strategy_chosen, StrategyStatCode(run.strategy));
+        }
         if (spill) {
           // The unnested strategies all materialise more than the budget;
           // naive evaluation holds no large state, so only require that
-          // the budgeted run visibly engaged disk for the former.
-          if (strategy != Strategy::kNaive) {
+          // the budgeted run visibly engaged disk for the former. For auto
+          // the check keys off the strategy it resolved to.
+          if (run.strategy != Strategy::kNaive) {
             EXPECT_GT(run.stats.spill_partitions + run.stats.spill_sort_runs,
                       0u)
                 << "budget never engaged the spill path: "
@@ -147,6 +155,51 @@ TEST_F(DifferentialExecTest, StrategySpillThreadMatrixAgrees) {
       }
     }
   }
+}
+
+TEST_F(DifferentialExecTest, AutoMatchesItsResolvedForcedStrategy) {
+  // Whatever auto picks, its rows and deterministic work counters must be
+  // bit-identical to forcing that same strategy — the cost model may only
+  // choose between behaviours that already exist, never invent a new one.
+  // (The planning phase's sampling checkpoints are the one legitimate
+  // delta, so guard_checkpoints is compared with >=.)
+  RunOptions auto_opts = Opts(Strategy::kAuto, 1, false, "");
+  TMDB_ASSERT_OK_AND_ASSIGN(QueryResult auto_run, db_.Run(kQuery, auto_opts));
+  ASSERT_NE(auto_run.strategy, Strategy::kAuto);
+  TMDB_ASSERT_OK_AND_ASSIGN(
+      QueryResult forced,
+      db_.Run(kQuery, Opts(auto_run.strategy, 1, false, "")));
+  EXPECT_TRUE(BitIdentical(auto_run.rows, forced.rows));
+  EXPECT_EQ(auto_run.stats.rows_emitted, forced.stats.rows_emitted);
+  EXPECT_EQ(auto_run.stats.subplan_evals, forced.stats.subplan_evals);
+  EXPECT_EQ(auto_run.stats.predicate_evals, forced.stats.predicate_evals);
+  EXPECT_GE(auto_run.stats.guard_checkpoints, forced.stats.guard_checkpoints);
+}
+
+TEST_F(DifferentialExecTest, AutoNeverExceedsWorstForcedStrategy) {
+  // Without a mid-query switch (none fires on this workload), auto's row
+  // and checkpoint counts are those of one forced strategy plus the
+  // sampling checkpoints — never more than the worst forced strategy pays.
+  uint64_t worst_rows = 0;
+  uint64_t worst_checkpoints = 0;
+  for (Strategy strategy : {Strategy::kNaive, Strategy::kOuterJoin,
+                            Strategy::kNestJoin, Strategy::kNestJoinOnly}) {
+    TMDB_ASSERT_OK_AND_ASSIGN(
+        QueryResult run, db_.Run(kQuery, Opts(strategy, 1, false, "")));
+    const uint64_t rows = run.stats.rows_emitted + run.stats.rows_built;
+    if (rows > worst_rows) worst_rows = rows;
+    if (run.stats.guard_checkpoints > worst_checkpoints) {
+      worst_checkpoints = run.stats.guard_checkpoints;
+    }
+  }
+  TMDB_ASSERT_OK_AND_ASSIGN(
+      QueryResult auto_run,
+      db_.Run(kQuery, Opts(Strategy::kAuto, 1, false, "")));
+  EXPECT_EQ(auto_run.stats.strategy_switches, 0u);
+  EXPECT_LE(auto_run.stats.rows_emitted + auto_run.stats.rows_built,
+            worst_rows);
+  EXPECT_LE(auto_run.stats.guard_checkpoints, worst_checkpoints)
+      << "sampling checkpoints pushed auto past the worst forced strategy";
 }
 
 TEST_F(DifferentialExecTest, JoinImplementationsAgreeUnderSpill) {
@@ -264,6 +317,74 @@ TEST_F(DifferentialCacheTest, CacheConfigurationsAgree) {
         EXPECT_TRUE(SpillBaseEmpty(base));
         fs::remove_all(base);
       }
+    }
+  }
+}
+
+TEST_F(DifferentialCacheTest, AutoAgreesAcrossCacheConfigurations) {
+  // strategy = auto across the same cache sweep: a healthy cache, no cache
+  // (the cost model then never picks naive), and a 1-byte thrashing cache
+  // that may trigger the adaptive switch. Rows must match the uncached
+  // naive reference in every cell.
+  RunOptions reference_opts;
+  reference_opts.strategy = Strategy::kNaive;
+  reference_opts.subplan_cache_bytes = 0;
+  TMDB_ASSERT_OK_AND_ASSIGN(QueryResult reference,
+                            db_.Run(kCorrelated, reference_opts));
+
+  for (uint64_t cache_bytes : {16ull << 20, 0ull, 1ull}) {
+    for (int threads : {1, 4}) {
+      SCOPED_TRACE("cache=" + std::to_string(cache_bytes) +
+                   "/threads=" + std::to_string(threads));
+      RunOptions opts;
+      opts.strategy = Strategy::kAuto;
+      opts.subplan_cache_bytes = cache_bytes;
+      opts.num_threads = threads;
+      TMDB_ASSERT_OK_AND_ASSIGN(QueryResult run, db_.Run(kCorrelated, opts));
+      EXPECT_TRUE(RowsEqual(run.rows, reference.rows));
+      EXPECT_TRUE(run.auto_strategy);
+      EXPECT_NE(run.strategy, Strategy::kAuto);
+      if (cache_bytes == 0) {
+        EXPECT_NE(run.strategy, Strategy::kNaive)
+            << "memoization off must rule out naive";
+      }
+    }
+  }
+}
+
+TEST_F(DifferentialCacheTest, AutoSwitchUnderThreadsAgrees) {
+  // 1000 outer rows over 10 correlation values: the model picks memoized
+  // naive, and a 1-byte cache makes every acquire miss, so the adaptive
+  // switch fires (deterministically in serial; under threads the unwind
+  // interleaves but the re-planned rows must still match). Fresh database:
+  // the fixture's 200-row workload sits on the naive/nest-join cost knife
+  // edge, this one does not.
+  Database db;
+  CorrelatedConfig config;
+  config.num_outer = 1000;
+  config.num_inner = 60;
+  config.correlation_scale = 10;
+  TMDB_ASSERT_OK(LoadCorrelatedTables(&db, config));
+
+  RunOptions reference_opts;
+  reference_opts.strategy = Strategy::kNaive;
+  reference_opts.subplan_cache_bytes = 0;
+  TMDB_ASSERT_OK_AND_ASSIGN(QueryResult reference,
+                            db.Run(kCorrelated, reference_opts));
+
+  for (int threads : {1, 4}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    RunOptions opts;
+    opts.strategy = Strategy::kAuto;
+    opts.subplan_cache_bytes = 1;
+    opts.num_threads = threads;
+    TMDB_ASSERT_OK_AND_ASSIGN(QueryResult run, db.Run(kCorrelated, opts));
+    EXPECT_TRUE(RowsEqual(run.rows, reference.rows));
+    if (threads == 1) {
+      // Serial acquire order is fixed: the switch fires at exactly the
+      // 64th probe, every time.
+      EXPECT_EQ(run.stats.strategy_switches, 1u) << run.stats.ToString();
+      EXPECT_NE(run.strategy, Strategy::kNaive);
     }
   }
 }

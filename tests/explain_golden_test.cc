@@ -1,0 +1,135 @@
+// Golden-file EXPLAIN tests: the full EXPLAIN text — naive plan, strategy
+// costing table (strategy = auto), rewritten plan, Table 2 decisions,
+// physical plan — is compared byte for byte against checked-in files under
+// tests/golden/. Everything that feeds the text is deterministic: the
+// workload generators are seeded, the cost model samples with a fixed
+// seed, and the costing table formats through fixed-width printf.
+//
+// To regenerate after an intentional change:
+//   TMDB_UPDATE_GOLDENS=1 ./build/tests/explain_golden_test
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/database.h"
+#include "tests/test_util.h"
+#include "translate/strategies.h"
+#include "workload/generators.h"
+
+namespace tmdb {
+namespace {
+
+namespace fs = std::filesystem;
+
+fs::path GoldenPath(const std::string& name) {
+  return fs::path(TMDB_GOLDEN_DIR) / (name + ".txt");
+}
+
+/// Compares `actual` against the named golden file; with
+/// TMDB_UPDATE_GOLDENS set, rewrites the file instead and passes.
+void ExpectMatchesGolden(const std::string& name, const std::string& actual) {
+  const fs::path path = GoldenPath(name);
+  if (std::getenv("TMDB_UPDATE_GOLDENS") != nullptr) {
+    fs::create_directories(path.parent_path());
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << actual;
+    ASSERT_TRUE(out.good()) << "failed to write " << path.string();
+    return;
+  }
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden file " << path.string()
+                         << " — run with TMDB_UPDATE_GOLDENS=1 to create it";
+  std::ostringstream expected;
+  expected << in.rdbuf();
+  EXPECT_EQ(expected.str(), actual)
+      << "EXPLAIN output drifted from " << path.string()
+      << "; if intentional, regenerate with TMDB_UPDATE_GOLDENS=1";
+}
+
+constexpr const char* kCorrelated =
+    "SELECT (a = o.a, n = count(SELECT i.v FROM I i WHERE o.k = i.k)) "
+    "FROM O o";
+
+void LoadCorrelated(Database* db, size_t num_outer, int64_t scale) {
+  CorrelatedConfig config;
+  config.num_outer = num_outer;
+  config.num_inner = 60;
+  config.correlation_scale = scale;
+  TMDB_ASSERT_OK(LoadCorrelatedTables(db, config));
+}
+
+TEST(ExplainGoldenTest, AutoHighHitRatioChoosesMemoizedNaive) {
+  // 10 distinct correlation values over 10000 rows: the costing table must
+  // show naive starred with an est. hit ratio near 1.
+  Database db;
+  LoadCorrelated(&db, 10000, 10);
+  TMDB_ASSERT_OK_AND_ASSIGN(std::string out,
+                            db.Explain(kCorrelated, Strategy::kAuto));
+  EXPECT_NE(out.find("== strategy costing (auto) =="), std::string::npos);
+  EXPECT_NE(out.find("* naive"), std::string::npos);
+  EXPECT_NE(out.find("rewritten (auto -> naive)"), std::string::npos);
+  ExpectMatchesGolden("explain_auto_high_hit", out);
+}
+
+TEST(ExplainGoldenTest, AutoLowHitRatioChoosesUnnested) {
+  // Every outer row has its own correlation value: an unnested strategy
+  // must be starred and the rewritten header must name it.
+  Database db;
+  LoadCorrelated(&db, 2000, 2000);
+  TMDB_ASSERT_OK_AND_ASSIGN(std::string out,
+                            db.Explain(kCorrelated, Strategy::kAuto));
+  EXPECT_NE(out.find("== strategy costing (auto) =="), std::string::npos);
+  EXPECT_EQ(out.find("* naive"), std::string::npos);
+  EXPECT_EQ(out.find("rewritten (auto -> naive)"), std::string::npos);
+  ExpectMatchesGolden("explain_auto_low_hit", out);
+}
+
+TEST(ExplainGoldenTest, AutoCountBugQuery) {
+  // The paper's COUNT-bug query through the auto path: the chosen rewrite
+  // must be one of the COUNT-bug-safe strategies (Kim is not a candidate)
+  // and the Table 2 decisions section must survive unchanged.
+  Database db;
+  CountBugConfig config;
+  config.num_r = 100;
+  config.num_s = 500;
+  config.match_fraction = 0.5;
+  config.domain_scale = 64;
+  TMDB_ASSERT_OK(LoadCountBugTables(&db, config));
+  TMDB_ASSERT_OK_AND_ASSIGN(
+      std::string out,
+      db.Explain("SELECT x FROM R x WHERE x.b = count(SELECT y.d FROM S y "
+                 "WHERE x.c = y.c)",
+                 Strategy::kAuto));
+  EXPECT_EQ(out.find("kim"), std::string::npos)
+      << "Kim's algorithm must never appear as a costed candidate";
+  ExpectMatchesGolden("explain_auto_count_bug", out);
+}
+
+TEST(ExplainGoldenTest, AutoSubplanFreeQueryIsUncosted) {
+  Database db;
+  LoadCorrelated(&db, 100, 10);
+  TMDB_ASSERT_OK_AND_ASSIGN(
+      std::string out,
+      db.Explain("SELECT o.a FROM O o WHERE o.k = 3", Strategy::kAuto));
+  EXPECT_NE(out.find("not costed"), std::string::npos);
+  ExpectMatchesGolden("explain_auto_no_subquery", out);
+}
+
+TEST(ExplainGoldenTest, ForcedStrategyFormatUnchanged) {
+  // Regression pin for the pre-auto EXPLAIN shape: a forced strategy must
+  // render without any costing section.
+  Database db;
+  LoadCorrelated(&db, 100, 10);
+  TMDB_ASSERT_OK_AND_ASSIGN(std::string out,
+                            db.Explain(kCorrelated, Strategy::kNestJoin));
+  EXPECT_EQ(out.find("strategy costing"), std::string::npos);
+  ExpectMatchesGolden("explain_forced_nestjoin", out);
+}
+
+}  // namespace
+}  // namespace tmdb

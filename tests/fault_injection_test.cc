@@ -9,6 +9,7 @@
 //    kResourceExhausted without killing the process or the database.
 
 #include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <filesystem>
 #include <string>
@@ -31,6 +32,7 @@
 #include "exec/query_guard.h"
 #include "optimizer/planner.h"
 #include "tests/test_util.h"
+#include "workload/generators.h"
 
 namespace tmdb {
 namespace {
@@ -1058,6 +1060,202 @@ TEST_F(SubplanFaultTest, CacheOverflowIoFaultsDegradeWithoutFailing) {
     }
   }
   fs::remove_all(base);
+}
+
+// ------------------- strategy = auto under faults and cancellation
+//
+// The auto path adds two phases in front of ordinary execution — cost-model
+// sampling and (after a mid-query switch) a second attempt — and both run
+// under the same guard as the query itself. The sweeps below walk a fault
+// across the combined checkpoint sequence, so sampling, attempt 1 and the
+// re-planned attempt 2 all get poisoned.
+
+class AutoStrategyFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // 10 distinct correlation values over 1000 outer rows: the cost model
+    // picks memoized naive, and a 1-byte cache then thrashes it into an
+    // adaptive switch at the 64th probe (serial execution).
+    CorrelatedConfig config;
+    config.num_outer = 1000;
+    config.num_inner = 60;
+    config.correlation_scale = 10;
+    TMDB_ASSERT_OK(LoadCorrelatedTables(&db_, config));
+  }
+
+  static RunOptions ThrashAutoOptions(FaultInjector* injector) {
+    RunOptions options;
+    options.strategy = Strategy::kAuto;
+    options.subplan_cache_bytes = 1;
+    options.fault_injector = injector;
+    return options;
+  }
+
+  static void ExpectSameRows(const QueryResult& run,
+                             const QueryResult& baseline) {
+    ASSERT_EQ(run.rows.size(), baseline.rows.size());
+    for (size_t i = 0; i < run.rows.size(); ++i) {
+      ASSERT_TRUE(run.rows[i].Equals(baseline.rows[i]))
+          << "row " << i << " diverges";
+    }
+  }
+
+  static constexpr const char* kCorrelated =
+      "SELECT (a = o.a, n = count(SELECT i.v FROM I i WHERE o.k = i.k)) "
+      "FROM O o";
+
+  Database db_;
+  Executor executor_{1};
+};
+
+TEST_F(AutoStrategyFaultTest, CheckpointSweepAcrossSamplingAndSwitch) {
+  FaultInjector injector;
+  const RunOptions options = ThrashAutoOptions(&injector);
+
+  injector.ArmNth(0);  // count-only baseline
+  TMDB_ASSERT_OK_AND_ASSIGN(QueryResult baseline,
+                            db_.RunWith(kCorrelated, options, &executor_));
+  ASSERT_EQ(baseline.stats.strategy_switches, 1u)
+      << "thrashing workload no longer triggers the adaptive switch; the "
+         "sweep would not cover attempt 2";
+  EXPECT_TRUE(baseline.auto_strategy);
+  EXPECT_NE(baseline.strategy, Strategy::kNaive);
+  const uint64_t total = injector.checkpoints_seen();
+  ASSERT_GT(total, 0u);
+
+  const uint64_t stride = std::max<uint64_t>(1, total / 12);
+  for (uint64_t n = 1; n <= total; n += stride) {
+    SCOPED_TRACE("checkpoint " + std::to_string(n) + " of " +
+                 std::to_string(total));
+    injector.ArmNth(n);
+    auto poisoned = db_.RunWith(kCorrelated, options, &executor_);
+    ASSERT_FALSE(poisoned.ok()) << "checkpoint " << n << " did not fire";
+    EXPECT_EQ(poisoned.status().code(), StatusCode::kInternal)
+        << poisoned.status().ToString();
+    EXPECT_NE(poisoned.status().message().find("injected fault"),
+              std::string::npos)
+        << "fault surfaced as something other than the injected error: "
+        << poisoned.status().ToString();
+    EXPECT_EQ(injector.faults_fired(), 1u);
+
+    // The same executor recovers to the exact baseline — including the
+    // adaptive switch firing again at the same probe.
+    injector.Disarm();
+    auto recovered = db_.RunWith(kCorrelated, options, &executor_);
+    ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+    ExpectSameRows(*recovered, baseline);
+    EXPECT_EQ(recovered->stats.strategy_switches, 1u);
+    EXPECT_EQ(recovered->strategy, baseline.strategy);
+  }
+}
+
+TEST_F(AutoStrategyFaultTest, RandomRatesUnwindCleanly) {
+  FaultInjector injector;
+  const RunOptions options = ThrashAutoOptions(&injector);
+  TMDB_ASSERT_OK_AND_ASSIGN(QueryResult baseline,
+                            db_.RunWith(kCorrelated, options, &executor_));
+
+  for (uint64_t seed : {3u, 17u, 99u, 1234u}) {
+    for (double rate : {0.002, 0.02}) {
+      SCOPED_TRACE("seed=" + std::to_string(seed) +
+                   " rate=" + std::to_string(rate));
+      injector.ArmRate(rate, seed);
+      auto run = db_.RunWith(kCorrelated, options, &executor_);
+      if (run.ok()) {
+        ExpectSameRows(*run, baseline);
+      } else {
+        EXPECT_EQ(run.status().code(), StatusCode::kInternal)
+            << run.status().ToString();
+      }
+
+      injector.Disarm();
+      auto recovered = db_.RunWith(kCorrelated, options, &executor_);
+      ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+      ExpectSameRows(*recovered, baseline);
+    }
+  }
+}
+
+TEST_F(AutoStrategyFaultTest, CacheOverflowIoFaultsDegradeUnderAuto) {
+  // With spill enabled the 1-byte cap overflows entries to disk and faults
+  // them back in as hits, so cache I/O runs hot through the auto path.
+  // Cache I/O failures must degrade (drop the entry / recompute), never
+  // fail the query or change its rows.
+  const std::string base = MakeSpillBase("iofault-auto");
+  FaultInjector injector;
+  RunOptions options = ThrashAutoOptions(&injector);
+  options.enable_spill = true;
+  options.spill_dir = base;
+  options.spill_block_bytes = 4096;
+
+  injector.ArmIo(IoFaultKind::kShortWrite, 0);  // count only
+  TMDB_ASSERT_OK_AND_ASSIGN(QueryResult baseline,
+                            db_.RunWith(kCorrelated, options, &executor_));
+  const uint64_t writes = injector.io_writes_seen();
+  const uint64_t reads = injector.io_reads_seen();
+  ASSERT_GT(writes, 0u) << "soft cap never overflowed to disk";
+  ASSERT_GT(reads, 0u) << "no overflow entry was ever faulted back in";
+  EXPECT_TRUE(SpillBaseEmpty(base));
+
+  struct Channel {
+    IoFaultKind kind;
+    uint64_t ops;
+  };
+  const Channel channels[] = {{IoFaultKind::kShortWrite, writes},
+                              {IoFaultKind::kEnospc, writes},
+                              {IoFaultKind::kCorruptRead, reads}};
+  for (const Channel& ch : channels) {
+    const uint64_t stride = std::max<uint64_t>(1, ch.ops / 4);
+    for (uint64_t n = 1; n <= ch.ops; n += stride) {
+      SCOPED_TRACE("kind=" + std::to_string(static_cast<int>(ch.kind)) +
+                   " n=" + std::to_string(n));
+      injector.ArmIo(ch.kind, n);
+      auto run = db_.RunWith(kCorrelated, options, &executor_);
+      ASSERT_TRUE(run.ok()) << "cache overflow I/O fault failed the query: "
+                            << run.status().ToString();
+      ExpectSameRows(*run, baseline);
+      EXPECT_TRUE(SpillBaseEmpty(base));
+    }
+  }
+  injector.DisarmIo();
+  fs::remove_all(base);
+}
+
+TEST_F(AutoStrategyFaultTest, CancelRacingTheAdaptiveSwitchNeverLeaks) {
+  // A cancel landing anywhere in the auto pipeline — sampling, attempt 1,
+  // the switch unwind, attempt 2 — must surface as kCancelled or lose the
+  // race and leave a clean result. kStrategySwitch is an internal control
+  // code and must never escape; neither may any other error.
+  RunOptions options;
+  options.strategy = Strategy::kAuto;
+  options.subplan_cache_bytes = 1;
+  TMDB_ASSERT_OK_AND_ASSIGN(QueryResult baseline,
+                            db_.RunWith(kCorrelated, options, &executor_));
+  ASSERT_EQ(baseline.stats.strategy_switches, 1u);
+
+  for (int delay_us : {0, 50, 100, 200, 400, 800, 1600, 3200}) {
+    SCOPED_TRACE("delay_us=" + std::to_string(delay_us));
+    std::thread canceller([this, delay_us] {
+      std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
+      executor_.guard()->Cancel();
+    });
+    auto run = db_.RunWith(kCorrelated, options, &executor_);
+    canceller.join();
+    if (run.ok()) {
+      ExpectSameRows(*run, baseline);
+    } else {
+      EXPECT_EQ(run.status().code(), StatusCode::kCancelled)
+          << run.status().ToString();
+      EXPECT_NE(run.status().message().find("query cancelled"),
+                std::string::npos)
+          << run.status().ToString();
+    }
+
+    // The executor is reusable after every outcome.
+    auto next = db_.RunWith(kCorrelated, options, &executor_);
+    ASSERT_TRUE(next.ok()) << next.status().ToString();
+    ExpectSameRows(*next, baseline);
+  }
 }
 
 // ------------------------------------------------- fault injector itself
