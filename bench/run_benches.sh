@@ -105,6 +105,20 @@ trap 'rm -rf "$OUT_DIR" "$SPILL_OUT_DIR" "$SUBPLAN_OUT_DIR" "$COLUMNAR_OUT_DIR" 
 )
 merge "$STRATEGY_OUT_DIR" "$REPO_ROOT/BENCH_strategy.json"
 
+# Scheduler suite: static per-thread pre-splitting (legacy ThreadPool) vs
+# dynamic morsel stealing on a skewed Table-1 workload at 1/2/4/8 threads,
+# the two-query interference pair, and the real skewed hash nest join end
+# to end. Caveat: on a single-core CI host stealing never fires and the
+# static-vs-stealing gap collapses — read the context "num_cpus" field
+# before comparing bars across machines.
+SCHED_OUT_DIR="$(mktemp -d)"
+trap 'rm -rf "$OUT_DIR" "$SPILL_OUT_DIR" "$SUBPLAN_OUT_DIR" "$COLUMNAR_OUT_DIR" "$STRATEGY_OUT_DIR" "$SCHED_OUT_DIR"' EXIT
+(
+  OUT_DIR="$SCHED_OUT_DIR"
+  run bench_sched
+)
+merge "$SCHED_OUT_DIR" "$REPO_ROOT/BENCH_sched.json"
+
 # Compare the fresh numbers against the committed baselines; warns on >15%
 # real_time regressions (pass --strict via BENCH_DIFF_ARGS to make that
 # fatal in CI).

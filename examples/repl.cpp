@@ -8,7 +8,8 @@
 //   \strategy <name>       auto | naive | kim | outerjoin | nestjoin |
 //                          nestjoin-only (auto = cost-based choice with the
 //                          mid-query adaptive switch)
-//   \threads <n>           parallelism for hash/nest-join builds (default 1)
+//   \threads <n>           per-query max-parallelism cap over the shared
+//                          work-stealing scheduler (default 1 = serial)
 //   \timeout <ms>          per-query wall-clock limit, 0 = unlimited
 //   \memlimit <bytes>      per-query materialisation budget, 0 = unlimited
 //   \maxrows <n>           per-query processed-row budget, 0 = unlimited
@@ -19,7 +20,8 @@
 //   \tables                list tables and schemas
 //   \stats on|off|<empty>  per-query counters: toggle auto-print, or show
 //                          the last query's (subplan cache hits/misses/
-//                          evictions, spill partitions, guard checkpoints)
+//                          evictions, spill partitions, guard checkpoints,
+//                          scheduler morsels dispatched/stolen)
 //   \quit
 
 #include <cstdio>
@@ -133,7 +135,8 @@ int main() {
                     arg.c_str());
       } else {
         num_threads = n;
-        std::printf("  num_threads = %d (results identical to serial)\n", n);
+        std::printf("  num_threads = %d — max-parallelism cap on the shared "
+                    "scheduler (results identical to serial)\n", n);
       }
       continue;
     }

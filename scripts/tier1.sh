@@ -31,11 +31,17 @@ done
 # not in plain ctest. Sanitizers need their own object files, so each
 # gets a dedicated build tree.
 cmake -B build-tsan -S . -DTMDB_SANITIZE=thread
-cmake --build build-tsan -j --target parallel_exec_test fault_injection_test \
+cmake --build build-tsan -j --target parallel_exec_test sched_test \
+  fault_injection_test \
   spill_codec_test spill_exec_test subplan_cache_test columnar_exec_test \
   differential_exec_test cost_model_test net_service_test \
   executor_reuse_soak_test
 ./build-tsan/tests/parallel_exec_test
+# sched_test is the work-stealing scheduler's own suite: deque discipline,
+# per-query caps, the multi-query soak (several tagged queries sharing the
+# one pool), and cancellation isolation — the highest-value TSan target in
+# the tree, since every interleaving it finds is a real scheduler race.
+./build-tsan/tests/sched_test
 ./build-tsan/tests/fault_injection_test
 ./build-tsan/tests/spill_codec_test
 ./build-tsan/tests/spill_exec_test
@@ -54,11 +60,13 @@ cmake --build build-tsan -j --target parallel_exec_test fault_injection_test \
 # ASan pass over the same suites: every injected fault must unwind without
 # leaking operator, pool, or spill-file state.
 cmake -B build-asan -S . -DTMDB_SANITIZE=address
-cmake --build build-asan -j --target parallel_exec_test fault_injection_test \
+cmake --build build-asan -j --target parallel_exec_test sched_test \
+  fault_injection_test \
   spill_codec_test spill_exec_test subplan_cache_test columnar_exec_test \
   differential_exec_test cost_model_test net_service_test \
   executor_reuse_soak_test
 ./build-asan/tests/parallel_exec_test
+./build-asan/tests/sched_test
 ./build-asan/tests/fault_injection_test
 ./build-asan/tests/spill_codec_test
 ./build-asan/tests/spill_exec_test

@@ -14,10 +14,18 @@
 
 namespace tmdb {
 
-/// Fixed-size worker pool used for intra-operator parallelism (partitioned
-/// hash builds, morsel-wise probes). Tasks are submitted as callables and
-/// observed through std::future, so exceptions thrown inside a task
-/// propagate to the caller at future.get() instead of crashing a worker.
+/// Fixed-size worker pool with a single shared queue.
+///
+/// LEGACY: the engine's intra-operator parallelism moved to the
+/// process-wide work-stealing scheduler in sched/scheduler.h (per-worker
+/// deques, dynamic morsel claiming, queries multiplexed over one pool).
+/// This class remains as the static-dispatch baseline for benchmarks
+/// (bench_sched measures it against the scheduler) and for tests of the
+/// future-based task boundary; new engine code should not use it.
+///
+/// Tasks are submitted as callables and observed through std::future, so
+/// exceptions thrown inside a task propagate to the caller at
+/// future.get() instead of crashing a worker.
 ///
 /// Shutdown is deterministic: the destructor lets the workers drain every
 /// task already queued, then joins all of them. No task is dropped, and no

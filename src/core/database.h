@@ -47,7 +47,10 @@ struct RunOptions {
   Strategy strategy = Strategy::kNestJoin;
   /// Join implementation policy for the physical planner.
   JoinImpl join_impl = JoinImpl::kAuto;
-  /// Intra-operator parallelism degree (hash/nest join builds and probes).
+  /// Per-query max-parallelism cap (hash/nest join builds and probes):
+  /// at most this many threads of the process-wide work-stealing
+  /// scheduler run this query's morsels at once. A cap, not a pool size —
+  /// concurrent queries share one worker pool sized to the hardware.
   /// 1 = serial execution; any value produces identical results.
   int num_threads = 1;
 

@@ -9,8 +9,8 @@
 namespace tmdb {
 
 class QueryGuard;
+class QuerySched;
 class SpillManager;
-class ThreadPool;
 
 /// Counters accumulated during one execution. They expose the *work* a
 /// strategy does (the quantity the paper's argument is about), independent
@@ -37,6 +37,14 @@ struct ExecStats {
   uint64_t strategy_chosen = 0;     // 1 + Strategy enum value; 0 = unrecorded
   uint64_t strategy_switches = 0;   // mid-query adaptive re-plans taken
   uint64_t est_distinct_corr = 0;   // cost model's distinct-correlation est.
+  // Work-stealing scheduler telemetry. morsels_dispatched is deterministic
+  // (the sum of morsel-set sizes the query submitted); morsels_stolen
+  // counts the subset executed via tickets taken from another worker's
+  // deque — scheduling-dependent by nature, exposed so starvation shows up
+  // as numbers instead of latency. Neither participates in the serial-vs-
+  // parallel stats-identity contract.
+  uint64_t morsels_dispatched = 0;  // morsels run through the scheduler
+  uint64_t morsels_stolen = 0;      // of those, run via work stealing
 
   void Reset() { *this = ExecStats(); }
   std::string ToString() const;
@@ -51,12 +59,14 @@ struct ExecContext {
   SubplanEvaluator* subplans = nullptr;
   /// Work counters; never null during execution.
   ExecStats* stats = nullptr;
-  /// Worker pool for intra-operator parallelism (partitioned hash builds,
+  /// This query's registration with the process-wide work-stealing
+  /// scheduler (intra-operator parallelism: partitioned hash builds,
   /// morsel-wise probes). nullptr, or num_threads == 1, means fully serial
-  /// execution — the seed behaviour. Operators submit tasks only from the
-  /// coordinating thread; worker tasks never touch the pool themselves.
-  ThreadPool* pool = nullptr;
-  /// Target degree of parallelism (also the number of build partitions).
+  /// execution — the seed behaviour. Operators submit morsel sets only
+  /// from the coordinating thread; worker tasks never dispatch themselves.
+  QuerySched* sched = nullptr;
+  /// Per-query max-parallelism cap (also the number of build partitions).
+  /// A cap, not a pool size: threads come from the shared scheduler.
   int num_threads = 1;
   /// Resource governor: cancellation flag, deadline, row/memory budgets,
   /// fault injection. Operators call CheckGuard(ctx) at batch and morsel
@@ -66,7 +76,7 @@ struct ExecContext {
   /// fails the query with kResourceExhausted exactly as before.
   SpillManager* spill = nullptr;
 
-  bool parallel_enabled() const { return pool != nullptr && num_threads > 1; }
+  bool parallel_enabled() const { return sched != nullptr && num_threads > 1; }
 };
 
 }  // namespace tmdb

@@ -101,14 +101,10 @@ Result<std::vector<Value>> Executor::Run(const LogicalOpPtr& plan) {
 }
 
 void Executor::set_num_threads(int num_threads) {
-  if (num_threads < 1) num_threads = 1;
-  num_threads_ = num_threads;
-  if (num_threads_ == 1) {
-    pool_.reset();
-  } else if (pool_ == nullptr ||
-             pool_->num_threads() != static_cast<size_t>(num_threads_)) {
-    pool_ = std::make_unique<ThreadPool>(static_cast<size_t>(num_threads_));
-  }
+  // A cap update, nothing more: threads live in the process-wide
+  // scheduler, so a reused executor can flip between parallelism degrees
+  // without tearing down or spawning anything.
+  num_threads_ = num_threads < 1 ? 1 : num_threads;
 }
 
 void Executor::ArmPlanningGuard() {
@@ -148,11 +144,19 @@ Result<std::vector<Value>> Executor::RunPhysical(PhysicalOp* root) {
   runner_ = std::make_unique<SubplanRunner>(
       subplan_cache_bytes_ > 0 ? &cache_ : nullptr, &guard_, spill_.get(),
       &stats_, adaptive_armed_ ? &adaptive_ : nullptr);
+  // Register this run with the global scheduler only when it may go
+  // parallel; a serial run never touches the singleton. A fresh
+  // registration per run gives every query its own tag for dispatch
+  // accounting while the worker threads stay shared.
+  sched_.reset();
+  if (num_threads_ > 1) {
+    sched_ = std::make_unique<QuerySched>(num_threads_);
+  }
   ExecContext ctx;
   ctx.outer_env = nullptr;
   ctx.subplans = this;
   ctx.stats = &stats_;
-  ctx.pool = pool_.get();
+  ctx.sched = sched_.get();
   ctx.num_threads = num_threads_;
   ctx.guard = &guard_;
   ctx.spill = spill_.get();
@@ -177,6 +181,11 @@ Result<std::vector<Value>> Executor::RunPhysical(PhysicalOp* root) {
   stats_.subplan_cache_disk_evictions += cache_.disk_evictions();
   stats_.subplan_cache_disk_faults += cache_.disk_faults();
   stats_.guard_checkpoints += guard_.checkpoints();
+  if (sched_ != nullptr) {
+    stats_.morsels_dispatched += sched_->morsels_dispatched();
+    stats_.morsels_stolen += sched_->morsels_stolen();
+    sched_.reset();
+  }
   // Reused executors must not carry trip state between queries: a stale
   // memory-trip record would make the next query's first budget failure
   // look spill-eligible, and a cancel that arrived after the unwind would

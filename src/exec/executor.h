@@ -10,12 +10,12 @@
 #include "algebra/logical_op.h"
 #include "base/fault_injector.h"
 #include "base/result.h"
-#include "base/thread_pool.h"
 #include "exec/adaptive.h"
 #include "exec/exec_context.h"
 #include "exec/physical_op.h"
 #include "exec/query_guard.h"
 #include "exec/subplan_cache.h"
+#include "sched/scheduler.h"
 #include "spill/spill_manager.h"
 #include "values/value.h"
 
@@ -28,12 +28,16 @@ namespace tmdb {
 /// strategies are validated against.
 class Executor final : public SubplanEvaluator {
  public:
-  /// `num_threads` > 1 enables intra-operator parallelism (a lazily created
-  /// worker pool shared by all executions of this Executor). 1 = serial,
-  /// the default. Results are identical either way.
+  /// `num_threads` > 1 enables intra-operator parallelism: each run
+  /// registers with the process-wide work-stealing scheduler and may use
+  /// up to `num_threads` threads of it. 1 = serial, the default. Results
+  /// are identical either way.
   explicit Executor(int num_threads = 1) { set_num_threads(num_threads); }
 
-  /// Changes the parallelism degree for subsequent executions.
+  /// Changes the per-query max-parallelism cap for subsequent executions.
+  /// Cheap — a plain assignment; no pool is torn down or rebuilt, and no
+  /// OS threads are created, whatever sequence of values a reused
+  /// executor cycles through.
   void set_num_threads(int num_threads);
   int num_threads() const { return num_threads_; }
 
@@ -122,8 +126,10 @@ class Executor final : public SubplanEvaluator {
   // Reset at the top of every RunPhysical; shared with subplan contexts so
   // a budget covers the whole query including correlated inner blocks.
   QueryGuard guard_;
-  // Created on first use when num_threads_ > 1; reused across executions.
-  std::unique_ptr<ThreadPool> pool_;
+  // Per-run registration with the global scheduler (num_threads_ > 1
+  // only): tags this run's morsels with a fresh query id so cancellation
+  // and accounting stay per-query while the worker threads are shared.
+  std::unique_ptr<QuerySched> sched_;
   // Spill-to-disk configuration and the per-run manager. The manager is a
   // member (not a RunPhysical local) because EvaluateSubplan's contexts
   // must share it; it is torn down — temp dir included — on every exit

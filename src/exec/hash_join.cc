@@ -195,7 +195,7 @@ Status HashJoinOp::BuildInMemory(ExecContext* ctx, std::vector<Value>* rows_in) 
     std::vector<std::unique_ptr<SubplanEvaluator>> key_evals =
         ForkSubplanEvaluators(ctx->subplans, &key_stats);
     TMDB_RETURN_IF_ERROR(ParallelForMorsels(
-        ctx->pool, ctx->guard, morsels,
+        ctx->sched, ctx->guard, morsels,
         [&](size_t m, MorselRange range) -> Status {
           ExecContext wctx;
           wctx.outer_env = ctx->outer_env;
@@ -236,7 +236,7 @@ Status HashJoinOp::BuildInMemory(ExecContext* ctx, std::vector<Value>* rows_in) 
       one_per_partition.push_back({p, p + 1});
     }
     TMDB_RETURN_IF_ERROR(ParallelForMorsels(
-        ctx->pool, ctx->guard, one_per_partition,
+        ctx->sched, ctx->guard, one_per_partition,
         [&](size_t, MorselRange range) -> Status {
           const size_t p = range.begin;
           BuildMap& table = partitions_[p];
@@ -607,7 +607,7 @@ Status HashJoinOp::ParallelProbe() {
   std::vector<std::unique_ptr<SubplanEvaluator>> probe_evals =
       ForkSubplanEvaluators(ctx_->subplans, &local_stats);
   TMDB_RETURN_IF_ERROR(ParallelForMorsels(
-      ctx_->pool, ctx_->guard, morsels,
+      ctx_->sched, ctx_->guard, morsels,
       [&](size_t m, MorselRange range) -> Status {
         ExecContext wctx;
         wctx.outer_env = ctx_->outer_env;

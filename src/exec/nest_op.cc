@@ -131,7 +131,7 @@ Status NestOp::OpenParallel(std::vector<Value>* rows_ptr) {
   std::vector<std::unique_ptr<SubplanEvaluator>> elem_evals =
       ForkSubplanEvaluators(ctx_->subplans, &local_stats);
   TMDB_RETURN_IF_ERROR(ParallelForMorsels(
-      ctx_->pool, ctx_->guard, morsels,
+      ctx_->sched, ctx_->guard, morsels,
       [&](size_t m, MorselRange range) -> Status {
         SubplanEvaluator* subplans =
             elem_evals[m] != nullptr ? elem_evals[m].get() : ctx_->subplans;
@@ -168,7 +168,7 @@ Status NestOp::OpenParallel(std::vector<Value>* rows_ptr) {
     one_per_partition.push_back({p, p + 1});
   }
   TMDB_RETURN_IF_ERROR(ParallelForMorsels(
-      ctx_->pool, ctx_->guard, one_per_partition,
+      ctx_->sched, ctx_->guard, one_per_partition,
       [&](size_t, MorselRange range) -> Status {
         const size_t p = range.begin;
         std::unordered_map<Value, size_t, ValueHash, ValueEq> group_index;

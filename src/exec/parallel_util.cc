@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <exception>
-#include <future>
 #include <utility>
 
 #include "base/string_util.h"
@@ -46,9 +45,14 @@ std::vector<std::unique_ptr<SubplanEvaluator>> ForkSubplanEvaluators(
 std::vector<MorselRange> SplitMorsels(size_t n, int num_threads) {
   std::vector<MorselRange> morsels;
   if (n == 0) return morsels;
-  const size_t max_morsels =
-      std::max<size_t>(1, static_cast<size_t>(num_threads) * 4);
-  const size_t count = std::min(n, max_morsels);
+  const size_t threads =
+      static_cast<size_t>(num_threads < 1 ? 1 : num_threads);
+  // Row-aware granularity: target-sized morsels, floored at one morsel per
+  // permitted thread (when the input has that many rows), capped so huge
+  // inputs keep a bounded dispatch count.
+  size_t count = (n + kMorselTargetRows - 1) / kMorselTargetRows;
+  count = std::max(count, std::min(n, threads));
+  count = std::min({count, kMaxMorselsPerDispatch, n});
   const size_t base = n / count;
   const size_t extra = n % count;
   size_t begin = 0;
@@ -64,7 +68,7 @@ namespace {
 
 // Task boundary: checkpoint first (a tripped guard skips the work), then
 // run the body with exceptions converted to Status so nothing escapes into
-// the exception-free engine or wedges the pool.
+// the exception-free engine or wedges a scheduler worker.
 Status RunMorselTask(QueryGuard* guard,
                      const std::function<Status(size_t, MorselRange)>& body,
                      size_t index, MorselRange range) {
@@ -84,30 +88,24 @@ Status RunMorselTask(QueryGuard* guard,
 }  // namespace
 
 Status ParallelForMorsels(
-    ThreadPool* pool, QueryGuard* guard,
+    QuerySched* sched, QueryGuard* guard,
     const std::vector<MorselRange>& morsels,
     const std::function<Status(size_t, MorselRange)>& body) {
-  std::vector<std::future<Status>> futures;
-  futures.reserve(morsels.size());
-  for (size_t i = 0; i < morsels.size(); ++i) {
-    const MorselRange range = morsels[i];
-    futures.push_back(pool->Submit([&body, guard, i, range] {
-      return RunMorselTask(guard, body, i, range);
-    }));
-  }
-  Status first = Status::OK();
-  for (std::future<Status>& future : futures) {
-    Status status;
-    try {
-      status = future.get();
-    } catch (const std::exception& e) {
-      status = Status::Internal(StrCat("parallel task threw: ", e.what()));
-    } catch (...) {
-      status = Status::Internal("parallel task threw a non-standard exception");
+  if (morsels.empty()) return Status::OK();
+  if (sched == nullptr) {
+    // Inline fallback: identical task boundary and first-error-in-order
+    // semantics, no scheduler interaction at all.
+    Status first = Status::OK();
+    for (size_t i = 0; i < morsels.size(); ++i) {
+      Status status = RunMorselTask(guard, body, i, morsels[i]);
+      if (first.ok() && !status.ok()) first = std::move(status);
     }
-    if (first.ok() && !status.ok()) first = std::move(status);
+    return first;
   }
-  return first;
+  return Scheduler::Global().RunTaskSet(
+      sched, morsels.size(), [&body, guard, &morsels](size_t i) {
+        return RunMorselTask(guard, body, i, morsels[i]);
+      });
 }
 
 }  // namespace tmdb

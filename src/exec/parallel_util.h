@@ -7,9 +7,9 @@
 #include <vector>
 
 #include "base/result.h"
-#include "base/thread_pool.h"
 #include "exec/exec_context.h"
 #include "expr/eval.h"
+#include "sched/scheduler.h"
 
 namespace tmdb {
 
@@ -35,22 +35,40 @@ struct MorselRange {
   size_t size() const { return end - begin; }
 };
 
-/// Splits [0, n) into at most 4 * num_threads contiguous morsels, so the
-/// pool's shared queue load-balances uneven per-row costs (the essence of
-/// morsel-driven scheduling with static ranges).
+/// Rows per morsel the splitter aims for: big enough that dispatch cost is
+/// noise against the work, small enough that a straggler holds at most one
+/// morsel's worth of skew.
+inline constexpr size_t kMorselTargetRows = 1024;
+/// Upper bound on morsels per dispatch, so a huge input does not turn into
+/// tens of thousands of claim-cursor bumps and per-morsel stat blocks.
+inline constexpr size_t kMaxMorselsPerDispatch = 256;
+
+/// Splits [0, n) into contiguous morsels for dynamic dispatch. The count
+/// is row-aware rather than a blind multiple of the thread count:
+///   - ~kMorselTargetRows rows per morsel, so huge inputs expose plenty of
+///     steal parallelism at bounded granularity;
+///   - at least min(n, num_threads) morsels, so a small-but-parallelizable
+///     input can still occupy every permitted thread;
+///   - at most kMaxMorselsPerDispatch (and never more than n), so tiny
+///     inputs stop paying dispatch overhead per handful of rows.
 std::vector<MorselRange> SplitMorsels(size_t n, int num_threads);
 
 class QueryGuard;
 
-/// Runs body(morsel_index, range) for every morsel on `pool` and waits for
-/// all of them. Returns the first non-OK status in morsel order, so error
-/// reporting is deterministic regardless of scheduling. Each task runs a
-/// guard checkpoint before its body (when `guard` is non-null), so a
-/// tripped guard drains the remaining morsels cheaply instead of doing
-/// their work. A task that throws is caught at the task boundary and
-/// converted to kInternal — the engine is exception-free and the pool must
-/// never be poisoned by a rogue expression.
-Status ParallelForMorsels(ThreadPool* pool, QueryGuard* guard,
+/// Runs body(morsel_index, range) for every morsel via the process-wide
+/// work-stealing scheduler and waits for all of them. The calling thread
+/// participates, idle workers steal morsels up to `sched`'s parallelism
+/// cap, and a skewed morsel therefore delays only itself. Returns the
+/// first non-OK status in morsel order, so error reporting is
+/// deterministic regardless of scheduling. Each task runs a guard
+/// checkpoint before its body (when `guard` is non-null), so a tripped
+/// guard drains the remaining morsels cheaply instead of doing their
+/// work. A task that throws is caught at the task boundary and converted
+/// to kInternal — the engine is exception-free and the scheduler must
+/// never be poisoned by a rogue expression. `sched` == nullptr runs every
+/// morsel inline on the calling thread (serial semantics, same checkpoint
+/// discipline).
+Status ParallelForMorsels(QuerySched* sched, QueryGuard* guard,
                           const std::vector<MorselRange>& morsels,
                           const std::function<Status(size_t, MorselRange)>& body);
 

@@ -36,6 +36,10 @@ std::string ExecStats::ToString() const {
                   " strategy_switches=", strategy_switches,
                   " est_distinct_corr=", est_distinct_corr);
   }
+  if (morsels_dispatched > 0) {
+    out += StrCat(" morsels_dispatched=", morsels_dispatched,
+                  " morsels_stolen=", morsels_stolen);
+  }
   return out;
 }
 

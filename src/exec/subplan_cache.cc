@@ -395,9 +395,11 @@ Result<Value> SubplanRunner::Compute(const SubplanBase& subplan,
   ctx.stats = stats_;
   ctx.guard = guard_;
   ctx.spill = spill_;
-  // Subplans stay serial inside (no pool): each distinct correlation value
-  // runs the plan once, where per-execution fan-out overhead would swamp
-  // any gain. Parallelism comes from forking runners across morsels.
+  // Subplans stay serial inside (no scheduler handle): each distinct
+  // correlation value runs the plan once, where per-execution fan-out
+  // overhead would swamp any gain — and morsel workers must never dispatch
+  // nested morsel sets. Parallelism comes from forking runners across
+  // morsels.
   TMDB_ASSIGN_OR_RETURN(std::vector<Value> rows,
                         CollectRows(it->second.get(), &ctx));
   return Value::Set(std::move(rows));

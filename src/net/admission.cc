@@ -1,5 +1,6 @@
 #include "net/admission.h"
 
+#include <algorithm>
 #include <chrono>
 
 #include "base/string_util.h"
@@ -10,8 +11,10 @@ namespace tmdb {
 AdmissionController::AdmissionController(const AdmissionConfig& config)
     : config_(config) {}
 
-Result<AdmissionGrant> AdmissionController::Admit(int64_t queue_wait_ms) {
+Result<AdmissionGrant> AdmissionController::Admit(int64_t queue_wait_ms,
+                                                  int weight) {
   if (queue_wait_ms <= 0) queue_wait_ms = config_.default_queue_wait_ms;
+  if (weight < 1) weight = 1;
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::milliseconds(queue_wait_ms);
   std::unique_lock<std::mutex> lock(mu_);
@@ -41,6 +44,7 @@ Result<AdmissionGrant> AdmissionController::Admit(int64_t queue_wait_ms) {
     }
   }
   ++active_;
+  active_weight_ += weight;
   ++admitted_total_;
   AdmissionGrant grant;
   grant.memory_bytes =
@@ -48,16 +52,26 @@ Result<AdmissionGrant> AdmissionController::Admit(int64_t queue_wait_ms) {
           ? 0
           : config_.total_memory_bytes /
                 static_cast<uint64_t>(config_.max_concurrent);
-  grant.threads = config_.total_threads / config_.max_concurrent;
-  if (grant.threads < 1) grant.threads = 1;
+  // Weighted share of the shared scheduler pool, from the load at this
+  // instant: total * weight / sum-of-active-weights, never below 1. The
+  // share is a parallelism cap, not a thread reservation — transient
+  // oversubscription (an early lone query granted the full pool, then
+  // neighbours arriving) is absorbed by work stealing, it cannot strand
+  // or trip anyone.
+  const int64_t share = static_cast<int64_t>(config_.total_threads) *
+                        weight / std::max(1, active_weight_);
+  grant.threads = static_cast<int>(std::max<int64_t>(1, share));
   grant.active = active_;
   return grant;
 }
 
-void AdmissionController::Release() {
+void AdmissionController::Release(int weight) {
+  if (weight < 1) weight = 1;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (active_ > 0) --active_;
+    active_weight_ -= weight;
+    if (active_weight_ < 0) active_weight_ = 0;
   }
   slot_free_.notify_one();
 }

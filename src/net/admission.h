@@ -16,8 +16,12 @@ struct AdmissionConfig {
   /// split into equal per-query slices. 0 = unlimited (every grant is
   /// unlimited too).
   uint64_t total_memory_bytes = 256ull << 20;
-  /// Total intra-query worker threads across all running queries. Each
-  /// grant gets an equal slice, never below 1.
+  /// Width of the shared worker pool the controller apportions: running
+  /// queries receive *weighted shares* of this many threads (weight =
+  /// the parallelism the request asked for), recomputed from current load
+  /// at each admission. Not a reservation — the work-stealing scheduler
+  /// multiplexes every query over one pool, so a grant is a cap on a
+  /// query's parallelism, not a set of dedicated threads.
   int total_threads = 8;
   /// Queries executing at once; arrivals beyond this wait in the queue.
   int max_concurrent = 8;
@@ -32,13 +36,17 @@ struct AdmissionConfig {
   int64_t retry_after_ms = 50;
 };
 
-/// What one admitted query may use. The slices are fixed at admission
-/// (total/max_concurrent) rather than rebalanced as load changes: a
-/// query's budget never shrinks after it started, so a burst of arrivals
-/// can reject cleanly but can never trip a running query's guard.
+/// What one admitted query may use. Budgets are fixed at admission rather
+/// than rebalanced as load changes: a query's budget never shrinks after
+/// it started, so a burst of arrivals can reject cleanly but can never
+/// trip a running query's guard. Memory is an equal slice of the global
+/// budget (a hard reservation — the guard enforces it); `threads` is a
+/// weighted share of the scheduler pool computed from the load at grant
+/// time — an idle server hands one query the whole pool, a busy one
+/// apportions it by requested weight.
 struct AdmissionGrant {
   uint64_t memory_bytes = 0;  // 0 = unlimited
-  int threads = 1;
+  int threads = 1;            // max-parallelism cap for this query
   int active = 0;  // running queries including this one, at grant time
 };
 
@@ -55,10 +63,17 @@ class AdmissionController {
   /// Blocks up to `queue_wait_ms` (0 = config default) for an execution
   /// slot. Returns the grant, or kResourceExhausted when the queue is full
   /// (immediate) or the wait timed out, or kCancelled when Shutdown ran.
-  Result<AdmissionGrant> Admit(int64_t queue_wait_ms);
+  ///
+  /// `weight` expresses how much of the thread pool the query wants —
+  /// the server passes the request's num_threads. The thread grant is
+  /// total_threads * weight / (sum of active weights), floored at 1: a
+  /// lone query gets the whole pool, concurrent queries split it in
+  /// proportion to what they asked for. Weights are clamped to >= 1.
+  Result<AdmissionGrant> Admit(int64_t queue_wait_ms, int weight = 1);
 
-  /// Returns one admitted query's slot; wakes a queued waiter.
-  void Release();
+  /// Returns one admitted query's slot; wakes a queued waiter. `weight`
+  /// must match the value passed to the Admit being released.
+  void Release(int weight = 1);
 
   /// Wakes every queued waiter with kCancelled and fails all future
   /// Admits. Part of server teardown.
@@ -79,6 +94,7 @@ class AdmissionController {
   std::condition_variable slot_free_;
   bool shutdown_ = false;
   int active_ = 0;
+  int active_weight_ = 0;  // sum of running queries' admission weights
   int queued_ = 0;
   uint64_t admitted_total_ = 0;
   uint64_t rejected_queue_full_ = 0;

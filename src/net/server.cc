@@ -38,16 +38,17 @@ bool IsWriteStatement(const std::string& text) {
 /// success, error, disconnect, stream failure — returns its slot.
 class AdmissionSlot {
  public:
-  explicit AdmissionSlot(AdmissionController* controller)
-      : controller_(controller) {}
+  AdmissionSlot(AdmissionController* controller, int weight)
+      : controller_(controller), weight_(weight) {}
   ~AdmissionSlot() {
-    if (controller_ != nullptr) controller_->Release();
+    if (controller_ != nullptr) controller_->Release(weight_);
   }
   AdmissionSlot(const AdmissionSlot&) = delete;
   AdmissionSlot& operator=(const AdmissionSlot&) = delete;
 
  private:
   AdmissionController* controller_;
+  const int weight_;
 };
 
 }  // namespace
@@ -158,8 +159,13 @@ class QueryServer::Session {
     }
 
     // ---------------------------------------------------------- admission
+    // The requested parallelism doubles as the admission weight: a query
+    // asking for 8 threads gets a proportionally larger share of the
+    // scheduler pool than one asking for 1.
+    const int admission_weight =
+        request.num_threads < 1 ? 1 : static_cast<int>(request.num_threads);
     Result<AdmissionGrant> admitted = server_->admission_.Admit(
-        static_cast<int64_t>(request.queue_wait_ms));
+        static_cast<int64_t>(request.queue_wait_ms), admission_weight);
     if (!admitted.ok()) {
       server_->queries_rejected_.fetch_add(1, std::memory_order_relaxed);
       Frame rejected_frame;
@@ -179,7 +185,7 @@ class QueryServer::Session {
       return true;
     }
     const AdmissionGrant grant = *admitted;
-    AdmissionSlot slot(&server_->admission_);
+    AdmissionSlot slot(&server_->admission_, admission_weight);
 
     Frame accepted_frame;
     accepted_frame.type = FrameType::kAccepted;

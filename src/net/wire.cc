@@ -280,6 +280,8 @@ void EncodeStatsPayload(const ExecStats& stats, std::string* out) {
   PutVarint(stats.strategy_chosen, out);
   PutVarint(stats.strategy_switches, out);
   PutVarint(stats.est_distinct_corr, out);
+  PutVarint(stats.morsels_dispatched, out);
+  PutVarint(stats.morsels_stolen, out);
 }
 
 Status DecodeStatsPayload(std::string_view payload, ExecStats* stats) {
@@ -297,7 +299,9 @@ Status DecodeStatsPayload(std::string_view payload, ExecStats* stats) {
       &stats->guard_checkpoints,
       &stats->strategy_chosen,
       &stats->strategy_switches,
-      &stats->est_distinct_corr};
+      &stats->est_distinct_corr,
+      &stats->morsels_dispatched,
+      &stats->morsels_stolen};
   for (uint64_t* field : fields) {
     TMDB_RETURN_IF_ERROR(GetVarint(payload, &pos, field));
   }

@@ -100,6 +100,11 @@ Status ValidateFramePayload(const FrameHeader& header,
 struct WireRequest {
   std::string query;      // statement text (query, CREATE, INSERT, ...)
   std::string strategy;   // StrategyName, "" = server default (nestjoin)
+  /// Desired max parallelism. Doubles as the admission weight: the grant
+  /// is a weighted share of the server's scheduler pool, and the query
+  /// runs capped at min(num_threads, granted share). Threads themselves
+  /// come from the process-wide work-stealing scheduler, not a
+  /// per-session pool.
   uint32_t num_threads = 1;
   uint64_t timeout_ms = 0;
   uint64_t memory_budget_bytes = 0;

@@ -1,0 +1,204 @@
+#include "sched/scheduler.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace tmdb {
+
+// ------------------------------------------------------------- task sets
+
+/// One ParallelForMorsels call: slot-indexed tasks claimed through an
+/// atomic cursor. The set outlives the submitting call only through
+/// tickets still sitting in deques, and a late ticket's claim loop exits
+/// on its first cursor read without touching `body`, `results`, or
+/// `query` — so the coordinator may safely return (and its stack frame
+/// die) the moment `completed == total`.
+struct Scheduler::TaskSet {
+  std::function<Status(size_t)> body;
+  std::vector<Status> results;  // slot-indexed; each written exactly once
+  size_t total = 0;
+  QuerySched* query = nullptr;  // tag for accounting; null = untagged
+
+  std::atomic<size_t> next{0};       // claim cursor
+  std::atomic<size_t> completed{0};  // finished tasks
+
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  bool done = false;
+};
+
+void Scheduler::RunClaimLoop(TaskSet* set, bool stolen_ticket) {
+  for (;;) {
+    const size_t i = set->next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= set->total) return;
+    set->results[i] = set->body(i);
+    if (set->query != nullptr) {
+      set->query->dispatched_.fetch_add(1, std::memory_order_relaxed);
+      if (stolen_ticket) {
+        set->query->stolen_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    // acq_rel: joins the release sequence of every earlier finisher, so the
+    // thread that observes completed == total (and, through done_mu, the
+    // coordinator) sees every slot's result write.
+    const size_t finished =
+        set->completed.fetch_add(1, std::memory_order_acq_rel) + 1;
+    if (finished == set->total) {
+      std::lock_guard<std::mutex> lock(set->done_mu);
+      set->done = true;
+      set->done_cv.notify_all();
+    }
+  }
+}
+
+// ------------------------------------------------------------- scheduler
+
+namespace {
+
+size_t DecideWorkerCount() {
+  if (const char* env = std::getenv("TMDB_SCHED_WORKERS")) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed > 0) return std::min<long>(parsed, 128);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return std::max(1u, std::min(hw, 128u));
+}
+
+}  // namespace
+
+Scheduler& Scheduler::Global() {
+  static Scheduler instance;
+  return instance;
+}
+
+Scheduler::Scheduler() {
+  const size_t count = DecideWorkerCount();
+  worker_state_.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    worker_state_.push_back(std::make_unique<Worker>());
+  }
+  workers_.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+    threads_created_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+Scheduler::~Scheduler() {
+  {
+    std::lock_guard<std::mutex> lock(idle_mu_);
+    shutting_down_ = true;
+  }
+  idle_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+bool Scheduler::PopLocal(size_t id, Ticket* out) {
+  Worker& self = *worker_state_[id];
+  std::lock_guard<std::mutex> lock(self.mu);
+  if (self.deque.empty()) return false;
+  *out = std::move(self.deque.back());  // LIFO: newest, cache-warm
+  self.deque.pop_back();
+  return true;
+}
+
+bool Scheduler::StealFrom(size_t id, Ticket* out) {
+  const size_t n = worker_state_.size();
+  for (size_t hop = 1; hop < n; ++hop) {
+    Worker& victim = *worker_state_[(id + hop) % n];
+    std::lock_guard<std::mutex> lock(victim.mu);
+    if (victim.deque.empty()) continue;
+    *out = std::move(victim.deque.front());  // FIFO: oldest, fairest
+    victim.deque.pop_front();
+    return true;
+  }
+  return false;
+}
+
+void Scheduler::EnqueueTickets(const std::shared_ptr<TaskSet>& set,
+                               int count) {
+  for (int t = 0; t < count; ++t) {
+    const size_t home =
+        next_home_.fetch_add(1, std::memory_order_relaxed) %
+        worker_state_.size();
+    std::lock_guard<std::mutex> lock(worker_state_[home]->mu);
+    worker_state_[home]->deque.push_back(Ticket{set, home});
+  }
+  {
+    // The count must move under idle_mu_ so a worker between its empty
+    // deque scan and its cv sleep cannot miss the wakeup.
+    std::lock_guard<std::mutex> lock(idle_mu_);
+    pending_tickets_.fetch_add(count, std::memory_order_relaxed);
+  }
+  idle_cv_.notify_all();
+}
+
+void Scheduler::WorkerLoop(size_t worker_id) {
+  for (;;) {
+    Ticket ticket;
+    if (PopLocal(worker_id, &ticket) || StealFrom(worker_id, &ticket)) {
+      pending_tickets_.fetch_sub(1, std::memory_order_relaxed);
+      const bool stolen = ticket.home_worker != worker_id;
+      if (stolen) tickets_stolen_.fetch_add(1, std::memory_order_relaxed);
+      RunClaimLoop(ticket.set.get(), stolen);
+      ticket.set.reset();
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(idle_mu_);
+    if (shutting_down_) return;  // coordinators finish their own sets
+    idle_cv_.wait(lock, [this] {
+      return shutting_down_ ||
+             pending_tickets_.load(std::memory_order_relaxed) > 0;
+    });
+    if (shutting_down_) return;
+  }
+}
+
+Status Scheduler::RunTaskSet(QuerySched* query, size_t num_tasks,
+                             const std::function<Status(size_t)>& body) {
+  if (num_tasks == 0) return Status::OK();
+  auto set = std::make_shared<TaskSet>();
+  set->body = body;
+  set->results.assign(num_tasks, Status::OK());
+  set->total = num_tasks;
+  set->query = query;
+  sets_run_.fetch_add(1, std::memory_order_relaxed);
+
+  // Cap enforcement happens here, at dispatch: P-1 tickets plus the
+  // coordinator bounds the set's concurrency at P. More tickets than
+  // workers would only queue behind each other, and more than tasks-1
+  // could never claim anything.
+  int cap = query != nullptr ? query->max_parallelism()
+                             : static_cast<int>(num_workers()) + 1;
+  if (cap < 1) cap = 1;
+  const size_t tickets =
+      std::min({static_cast<size_t>(cap - 1), num_tasks - 1, num_workers()});
+  if (tickets > 0) EnqueueTickets(set, static_cast<int>(tickets));
+
+  // The coordinator lends its own thread: progress is guaranteed even if
+  // every worker is pinned on other queries' long morsels.
+  RunClaimLoop(set.get(), /*stolen_ticket=*/false);
+  {
+    std::unique_lock<std::mutex> lock(set->done_mu);
+    set->done_cv.wait(lock, [&] { return set->done; });
+  }
+  for (Status& status : set->results) {
+    if (!status.ok()) return std::move(status);  // first error in task order
+  }
+  return Status::OK();
+}
+
+// ----------------------------------------------------------- query handle
+
+QuerySched::QuerySched(int max_parallelism)
+    : query_id_(Scheduler::Global().next_query_id_.fetch_add(
+          1, std::memory_order_relaxed)),
+      cap_(max_parallelism < 1 ? 1 : max_parallelism) {}
+
+QuerySched::~QuerySched() = default;
+
+void QuerySched::set_max_parallelism(int cap) {
+  cap_.store(cap < 1 ? 1 : cap, std::memory_order_relaxed);
+}
+
+}  // namespace tmdb

@@ -1,0 +1,182 @@
+#ifndef TMDB_SCHED_SCHEDULER_H_
+#define TMDB_SCHED_SCHEDULER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "base/status.h"
+
+namespace tmdb {
+
+class Scheduler;
+
+/// One query's registration with the process-wide scheduler: a stable query
+/// id for tagging tasks, a max-parallelism cap, and the per-query dispatch
+/// accounting (`morsels_dispatched` / `morsels_stolen`). Registration and
+/// teardown are cheap (no OS threads are created or destroyed), so an
+/// Executor registers one of these per run.
+///
+/// The cap bounds how many threads may execute this query's morsels at
+/// once; it is NOT a thread reservation. Two queries with cap 8 on an
+/// 8-worker scheduler share the same eight workers, and the deque
+/// discipline (steal from the oldest work) keeps both making progress.
+class QuerySched {
+ public:
+  explicit QuerySched(int max_parallelism);
+  ~QuerySched();
+  QuerySched(const QuerySched&) = delete;
+  QuerySched& operator=(const QuerySched&) = delete;
+
+  uint64_t query_id() const { return query_id_; }
+
+  /// The parallelism cap: at most this many threads (workers plus the
+  /// coordinator) run this query's morsels concurrently. Updating it is a
+  /// plain store — no pool is torn down or rebuilt.
+  int max_parallelism() const {
+    return cap_.load(std::memory_order_relaxed);
+  }
+  void set_max_parallelism(int cap);
+
+  /// Morsels executed through this query's task sets. `dispatched` counts
+  /// every morsel (deterministic: the sum of submitted set sizes);
+  /// `stolen` counts the subset run via a ticket taken from another
+  /// worker's deque (scheduling-dependent — observability, not identity).
+  uint64_t morsels_dispatched() const {
+    return dispatched_.load(std::memory_order_relaxed);
+  }
+  uint64_t morsels_stolen() const {
+    return stolen_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class Scheduler;
+
+  const uint64_t query_id_;
+  std::atomic<int> cap_;
+  std::atomic<uint64_t> dispatched_{0};
+  std::atomic<uint64_t> stolen_{0};
+};
+
+/// Process-wide work-stealing scheduler: one singleton worker pool sized to
+/// the hardware (override with TMDB_SCHED_WORKERS), shared by every query
+/// in the process. Replaces the per-Executor fixed ThreadPool: concurrent
+/// queries no longer fight over disjoint pools, and a skewed morsel no
+/// longer idles a query's other workers — idle workers steal whatever work
+/// exists, whoever submitted it.
+///
+/// Structure (ponyc libponyrt/sched shape, simplified):
+///   - each worker owns a deque; submitters push tickets to the back,
+///     the owner pops from the back (LIFO — cache-warm, most recently
+///     submitted), and other workers steal from the front (FIFO — the
+///     oldest work, which is both the fairest and the least likely to
+///     contend with the owner). The deques are mutex-guarded rather than
+///     lock-free Chase–Lev: tickets are coarse (each one joins a whole
+///     task set), so the lock is held for nanoseconds per dispatch and the
+///     discipline — not the synchronisation primitive — is what matters.
+///   - a *task set* is one ParallelForMorsels call: N slot-indexed tasks
+///     claimed dynamically through an atomic cursor. Workers that pop or
+///     steal a ticket for the set join its claim loop; the submitting
+///     (coordinator) thread always joins too, so a set makes progress even
+///     when every worker is busy with other queries — and with zero
+///     workers the coordinator simply runs every task itself, which is
+///     why query results cannot depend on pool size.
+///   - per-query caps are enforced at dispatch: a set for a query with
+///     max_parallelism P receives at most P-1 tickets, so at most P
+///     threads (tickets + coordinator) ever run its tasks concurrently.
+///
+/// Determinism: results and errors are slot-indexed, the claim cursor
+/// hands every task to exactly one thread, and the coordinator returns the
+/// first non-OK status in task order — so which thread ran which morsel is
+/// unobservable in rows, stats, and errors.
+class Scheduler {
+ public:
+  /// The process-wide instance. Workers start on first use and join on
+  /// process exit.
+  static Scheduler& Global();
+
+  size_t num_workers() const { return workers_.size(); }
+
+  /// OS threads this scheduler has ever started — stable after startup.
+  /// Regression hook: executors switching num_threads must not move this.
+  uint64_t threads_created() const {
+    return threads_created_.load(std::memory_order_relaxed);
+  }
+
+  /// Runs body(i) for every i in [0, num_tasks) and waits for all of them.
+  /// Tasks run on scheduler workers and on the calling thread; at most
+  /// `query->max_parallelism()` threads participate. Returns the first
+  /// non-OK status in task order. `query` may be null (untagged, cap =
+  /// pool width) — tests and one-off utilities.
+  ///
+  /// The callable must not submit further task sets for the same thread's
+  /// scheduler recursively from inside a task (operators dispatch only
+  /// from the coordinating thread; subplans inside morsels stay serial).
+  Status RunTaskSet(QuerySched* query, size_t num_tasks,
+                    const std::function<Status(size_t)>& body);
+
+  /// Process-lifetime counters (observability / tests).
+  uint64_t sets_run() const {
+    return sets_run_.load(std::memory_order_relaxed);
+  }
+  uint64_t tickets_stolen() const {
+    return tickets_stolen_.load(std::memory_order_relaxed);
+  }
+
+  ~Scheduler();
+
+ private:
+  struct TaskSet;
+  struct Ticket {
+    std::shared_ptr<TaskSet> set;
+    size_t home_worker = 0;  // deque the ticket was pushed to
+  };
+  struct Worker {
+    std::mutex mu;
+    std::deque<Ticket> deque;
+  };
+
+  Scheduler();
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  void WorkerLoop(size_t worker_id);
+  /// Pops from the back of worker `id`'s own deque (LIFO).
+  bool PopLocal(size_t id, Ticket* out);
+  /// Steals from the front of some other worker's deque (FIFO), scanning
+  /// victims round-robin from the caller's successor.
+  bool StealFrom(size_t id, Ticket* out);
+  void EnqueueTickets(const std::shared_ptr<TaskSet>& set, int count);
+  /// The shared claim loop: claim tasks from `set` until its cursor is
+  /// exhausted. `stolen_ticket` tags the morsels this thread claims.
+  static void RunClaimLoop(TaskSet* set, bool stolen_ticket);
+
+  std::vector<std::unique_ptr<Worker>> worker_state_;
+  std::vector<std::thread> workers_;
+  std::atomic<uint64_t> threads_created_{0};
+  std::atomic<uint64_t> sets_run_{0};
+  std::atomic<uint64_t> tickets_stolen_{0};
+  std::atomic<uint64_t> next_query_id_{1};
+  std::atomic<size_t> next_home_{0};  // round-robin ticket placement
+
+  // Sleep/wake for idle workers. `pending_tickets_` conservatively counts
+  // tickets sitting in deques; a worker only sleeps when it is zero, and
+  // every push increments it before notifying, so wakeups are never lost.
+  std::mutex idle_mu_;
+  std::condition_variable idle_cv_;
+  std::atomic<int64_t> pending_tickets_{0};
+  bool shutting_down_ = false;
+
+  friend class QuerySched;
+};
+
+}  // namespace tmdb
+
+#endif  // TMDB_SCHED_SCHEDULER_H_

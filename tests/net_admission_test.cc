@@ -1,5 +1,6 @@
-// Admission controller tests: grant slicing, bounded-queue rejection,
-// deadline rejection, release/wake ordering, and shutdown draining.
+// Admission controller tests: weighted-share thread grants, memory
+// slicing, bounded-queue rejection, deadline rejection, release/wake
+// ordering, and shutdown draining.
 
 #include <gtest/gtest.h>
 
@@ -14,20 +15,76 @@
 namespace tmdb {
 namespace {
 
-TEST(AdmissionTest, GrantsEqualSlicesOfTheGlobalBudgets) {
+TEST(AdmissionTest, LoneQueryIsGrantedTheWholeSchedulerPool) {
   AdmissionConfig config;
   config.total_memory_bytes = 64ull << 20;
   config.total_threads = 8;
   config.max_concurrent = 4;
   AdmissionController controller(config);
 
+  // Threads are weighted shares, not fixed slices: with nothing else
+  // running, a weight-1 query gets the entire pool width. Memory stays an
+  // equal slice of the global budget per concurrency slot.
   Result<AdmissionGrant> grant = controller.Admit(0);
   ASSERT_TRUE(grant.ok());
   EXPECT_EQ(grant->memory_bytes, (64ull << 20) / 4);
-  EXPECT_EQ(grant->threads, 2);
+  EXPECT_EQ(grant->threads, 8);
   EXPECT_EQ(grant->active, 1);
   EXPECT_EQ(controller.active(), 1);
   controller.Release();
+  EXPECT_EQ(controller.active(), 0);
+}
+
+TEST(AdmissionTest, ThreadGrantsAreWeightedShares) {
+  AdmissionConfig config;
+  config.total_threads = 8;
+  config.max_concurrent = 8;
+  AdmissionController controller(config);
+
+  // First query, weight 4: alone → the whole pool.
+  Result<AdmissionGrant> first = controller.Admit(0, /*weight=*/4);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->threads, 8);
+
+  // Second query, weight 4: 8 × 4 / (4 + 4) = 4.
+  Result<AdmissionGrant> second = controller.Admit(0, /*weight=*/4);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->threads, 4);
+
+  // Third query, weight 8: 8 × 8 / 16 = 4. Existing grants are caps on a
+  // shared work-stealing pool, not reservations, so the sum of grants may
+  // exceed the pool width — stealing absorbs the oversubscription.
+  Result<AdmissionGrant> third = controller.Admit(0, /*weight=*/8);
+  ASSERT_TRUE(third.ok());
+  EXPECT_EQ(third->threads, 4);
+
+  // A light query under heavy load still gets at least one thread:
+  // 8 × 1 / 17 = 0 → clamped to 1.
+  Result<AdmissionGrant> light = controller.Admit(0, /*weight=*/1);
+  ASSERT_TRUE(light.ok());
+  EXPECT_EQ(light->threads, 1);
+
+  // Releases retire their weight; the next admit sees the smaller load.
+  controller.Release(/*weight=*/1);
+  controller.Release(/*weight=*/8);
+  controller.Release(/*weight=*/4);
+  Result<AdmissionGrant> after = controller.Admit(0, /*weight=*/4);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->threads, 4);  // 8 × 4 / (4 + 4)
+  controller.Release(/*weight=*/4);
+  controller.Release(/*weight=*/4);
+  EXPECT_EQ(controller.active(), 0);
+}
+
+TEST(AdmissionTest, NonPositiveWeightIsClampedToOne) {
+  AdmissionConfig config;
+  config.total_threads = 4;
+  config.max_concurrent = 4;
+  AdmissionController controller(config);
+  Result<AdmissionGrant> grant = controller.Admit(0, /*weight=*/0);
+  ASSERT_TRUE(grant.ok());
+  EXPECT_EQ(grant->threads, 4);  // treated as weight 1, alone → whole pool
+  controller.Release(/*weight=*/0);
   EXPECT_EQ(controller.active(), 0);
 }
 

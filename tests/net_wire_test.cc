@@ -248,6 +248,8 @@ TEST(WirePayloadTest, StatsRoundtripAllCounters) {
   in.subplan_cache_disk_evictions = 15;
   in.subplan_cache_disk_faults = 16;
   in.guard_checkpoints = 13;
+  in.morsels_dispatched = 17;
+  in.morsels_stolen = 18;
   std::string payload;
   EncodeStatsPayload(in, &payload);
   ExecStats out;
@@ -268,6 +270,8 @@ TEST(WirePayloadTest, StatsRoundtripAllCounters) {
   EXPECT_EQ(out.subplan_cache_disk_evictions, in.subplan_cache_disk_evictions);
   EXPECT_EQ(out.subplan_cache_disk_faults, in.subplan_cache_disk_faults);
   EXPECT_EQ(out.guard_checkpoints, in.guard_checkpoints);
+  EXPECT_EQ(out.morsels_dispatched, in.morsels_dispatched);
+  EXPECT_EQ(out.morsels_stolen, in.morsels_stolen);
 }
 
 TEST(WireFaultChannelTest, SendChannelFiresOnNthSendOnly) {

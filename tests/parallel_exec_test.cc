@@ -1,6 +1,8 @@
 // Determinism tests for intra-operator parallelism: any num_threads must
 // produce results *identical* to serial execution — same rows, same order,
-// same ExecStats. Also unit-tests the ThreadPool itself.
+// same ExecStats. Also unit-tests the legacy ThreadPool (kept as the
+// static-dispatch bench baseline) and the ParallelForMorsels entry point
+// over the shared work-stealing scheduler.
 
 #include <atomic>
 #include <stdexcept>
@@ -19,6 +21,7 @@
 #include "exec/hash_join.h"
 #include "exec/parallel_util.h"
 #include "optimizer/planner.h"
+#include "sched/scheduler.h"
 #include "tests/test_util.h"
 #include "workload/generators.h"
 
@@ -73,12 +76,12 @@ TEST(ThreadPoolTest, ExceptionPropagatesThroughFuture) {
   EXPECT_EQ(good.get(), 7);
 }
 
-TEST(ParallelForMorselsTest, ThrowingBodyBecomesStatusAndPoolSurvives) {
-  ThreadPool pool(4);
+TEST(ParallelForMorselsTest, ThrowingBodyBecomesStatusAndSchedulerSurvives) {
+  QuerySched sched(4);
   std::vector<MorselRange> morsels = SplitMorsels(100, 4);
   std::atomic<int> calls{0};
   Status status = ParallelForMorsels(
-      &pool, /*guard=*/nullptr, morsels,
+      &sched, /*guard=*/nullptr, morsels,
       [&calls](size_t index, MorselRange) -> Status {
         calls.fetch_add(1, std::memory_order_relaxed);
         if (index == 2) throw std::runtime_error("boom in morsel");
@@ -88,16 +91,24 @@ TEST(ParallelForMorselsTest, ThrowingBodyBecomesStatusAndPoolSurvives) {
   EXPECT_EQ(status.code(), StatusCode::kInternal) << status.ToString();
   EXPECT_NE(status.ToString().find("parallel task threw"), std::string::npos)
       << status.ToString();
-  // The pool must keep serving work after the contained exception.
-  auto after = pool.Submit([] { return 41 + 1; });
-  EXPECT_EQ(after.get(), 42);
+  // The shared scheduler must keep serving work after the contained
+  // exception — including for the same query registration.
+  std::atomic<size_t> covered{0};
+  Status after = ParallelForMorsels(
+      &sched, /*guard=*/nullptr, SplitMorsels(100, 4),
+      [&covered](size_t, MorselRange m) -> Status {
+        covered.fetch_add(m.end - m.begin, std::memory_order_relaxed);
+        return Status::OK();
+      });
+  ASSERT_TRUE(after.ok()) << after.ToString();
+  EXPECT_EQ(covered.load(), 100u);
 }
 
 TEST(ParallelForMorselsTest, FirstErrorInMorselOrderWins) {
-  ThreadPool pool(4);
+  QuerySched sched(4);
   std::vector<MorselRange> morsels = SplitMorsels(64, 4);
   Status status = ParallelForMorsels(
-      &pool, /*guard=*/nullptr, morsels,
+      &sched, /*guard=*/nullptr, morsels,
       [](size_t index, MorselRange) -> Status {
         if (index >= 1) {
           return Status::Internal("morsel " + std::to_string(index));
@@ -107,6 +118,28 @@ TEST(ParallelForMorselsTest, FirstErrorInMorselOrderWins) {
   ASSERT_FALSE(status.ok());
   EXPECT_NE(status.ToString().find("morsel 1"), std::string::npos)
       << status.ToString();
+}
+
+TEST(ParallelForMorselsTest, NullSchedRunsInlineAndKeepsFirstError) {
+  // sched == nullptr is the serial path: every morsel still runs (so guard
+  // checkpoint counts stay deterministic) and the first error in morsel
+  // order wins.
+  std::vector<MorselRange> morsels = SplitMorsels(4096, 4);
+  ASSERT_GT(morsels.size(), 3u);
+  std::atomic<int> calls{0};
+  Status status = ParallelForMorsels(
+      nullptr, /*guard=*/nullptr, morsels,
+      [&calls](size_t index, MorselRange) -> Status {
+        calls.fetch_add(1, std::memory_order_relaxed);
+        if (index == 3 || index == 1) {
+          return Status::Internal("morsel " + std::to_string(index));
+        }
+        return Status::OK();
+      });
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.ToString().find("morsel 1"), std::string::npos)
+      << status.ToString();
+  EXPECT_EQ(calls.load(), static_cast<int>(morsels.size()));
 }
 
 TEST(MorselSplitTest, CoversRangeExactlyOnce) {

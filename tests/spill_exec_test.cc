@@ -19,7 +19,6 @@
 
 #include "base/fault_injector.h"
 #include "base/random.h"
-#include "base/thread_pool.h"
 #include "catalog/table.h"
 #include "core/database.h"
 #include "exec/basic_ops.h"
@@ -28,6 +27,7 @@
 #include "exec/merge_join.h"
 #include "exec/nest_op.h"
 #include "exec/query_guard.h"
+#include "sched/scheduler.h"
 #include "tests/test_util.h"
 #include "workload/generators.h"
 
@@ -887,11 +887,11 @@ TEST(PhantomChargeTest, NestOpParallelPathRefundsScratch) {
     ExecStats stats;
     QueryGuard guard;
     guard.Reset(limits, &stats, nullptr);
-    ThreadPool pool(2);
+    QuerySched sched(2);
     ExecContext ctx;
     ctx.stats = &stats;
     ctx.guard = &guard;
-    ctx.pool = parallel ? &pool : nullptr;
+    ctx.sched = parallel ? &sched : nullptr;
     ctx.num_threads = parallel ? 2 : 1;
     Status s = op.Open(&ctx);
     EXPECT_TRUE(s.ok()) << s.ToString();
